@@ -1,0 +1,324 @@
+//! The cuBLAS stand-in: a fixed kernel repertoire + handcrafted selection
+//! heuristics + a best-kernel override mode.
+//!
+//! Repertoire structure (from the paper's observations):
+//!
+//! * **Main family** -- large tiles with N-tiling restricted to 64/128
+//!   ("it is unfortunate that cuBLAS only provides 64- and 128-way tiling
+//!   along the N dimension", Section 8.1). fp16x2 kernels exist *only*
+//!   here (Section 7.3.2: "the near-optimal half-precision performance of
+//!   NVIDIA's library on LINPACK underlines the existence of a limited set
+//!   of NVIDIA kernels implementing this feature").
+//! * **Split-K family** -- small square tiles with global reduction
+//!   splitting (`KG > 1`) but never intra-SM splitting (`KL = 1`,
+//!   Section 7.3.1 ICA analysis).
+//!
+//! The heuristic's documented blind spot: global split-K is only selected
+//! when one output dimension is at most 16, so DeepBench N in {32, 64}
+//! ("poor handling of reduction-splitting in the library's heuristics")
+//! and ICA's 32x32x60000 ("heuristics fail to properly leverage this
+//! feature, resulting in drastic slow-downs") both mis-select.
+//!
+//! On its home architecture (Maxwell) the kernels get a hand-scheduled
+//! assembly discount on non-math instruction issue; the PTX-generated
+//! ISAAC kernels do not.
+
+use isaac_device::{DType, DeviceSpec, KernelProfile, Measurement, MicroArch, Profiler};
+use isaac_gen::profile::gemm_profile;
+use isaac_gen::shapes::GemmShape;
+use isaac_gen::GemmConfig;
+
+/// Issue-rate discount for hand-scheduled SASS on the home architecture.
+const MAXWELL_ASM_DISCOUNT: f64 = 0.5;
+
+/// The cuBLAS-like library bound to one device.
+#[derive(Debug)]
+pub struct CublasLike {
+    spec: DeviceSpec,
+    profiler: Profiler,
+}
+
+/// A selected kernel plus its measurement.
+#[derive(Debug, Clone)]
+pub struct BaselineChoice {
+    /// The selected fixed kernel.
+    pub config: GemmConfig,
+    /// Measured performance.
+    pub measurement: Measurement,
+}
+
+fn cfg(ml: u32, nl: u32, ms: u32, ns: u32, u: u32, kg: u32, vec: u32) -> GemmConfig {
+    GemmConfig {
+        ms,
+        ns,
+        ml,
+        nl,
+        u,
+        ks: 1,
+        kl: 1,
+        kg,
+        vec,
+        ..Default::default()
+    }
+}
+
+impl CublasLike {
+    /// Bind the library to a device (measurement noise seed fixed so runs
+    /// are reproducible).
+    pub fn new(spec: DeviceSpec) -> Self {
+        CublasLike {
+            profiler: Profiler::new(spec.clone(), 0xCB1A5),
+            spec,
+        }
+    }
+
+    /// The statically compiled kernel set for a data type.
+    pub fn repertoire(&self, dtype: DType) -> Vec<GemmConfig> {
+        let mut out = Vec::new();
+        match dtype {
+            DType::F32 => {
+                // Main family: N-tiling restricted to 64/128.
+                for (ml, nl) in [(128, 128), (128, 64), (64, 128), (64, 64)] {
+                    for vec in [4, 1] {
+                        out.push(cfg(ml, nl, 8, 8, 8, 1, vec));
+                    }
+                }
+                // Split-K family: small squares, global splitting only.
+                for (ml, nl) in [(32, 32), (64, 64)] {
+                    for kg in [4, 8, 32] {
+                        for vec in [4, 1] {
+                            out.push(cfg(ml, nl, 4, 4, 8, kg, vec));
+                        }
+                    }
+                }
+            }
+            DType::F64 => {
+                for (ml, nl) in [(64, 64), (64, 128)] {
+                    for vec in [2, 1] {
+                        out.push(cfg(ml, nl, 4, 4, 8, 1, vec));
+                    }
+                }
+                // f64 global atomics only exist on Pascal.
+                if self.spec.arch == MicroArch::Pascal {
+                    for kg in [4, 16] {
+                        for vec in [2, 1] {
+                            out.push(cfg(32, 32, 2, 2, 8, kg, vec));
+                        }
+                    }
+                }
+            }
+            DType::F16 => {
+                // fp16x2 kernels: the square/LINPACK family only.
+                for (ml, nl) in [(128, 128), (128, 64), (64, 64)] {
+                    for vec in [4, 2] {
+                        out.push(cfg(ml, nl, 8, 8, 8, 1, vec));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Build the (baseline-adjusted) profile of a repertoire kernel:
+    /// the generator profile plus the home-architecture assembly discount.
+    pub fn profile(&self, config: &GemmConfig, shape: &GemmShape) -> Option<KernelProfile> {
+        let mut p = gemm_profile(config, shape, &self.spec).ok()?;
+        if self.spec.arch == MicroArch::Maxwell {
+            p.misc_discount = MAXWELL_ASM_DISCOUNT;
+        }
+        p.name = format!("cublas_{}", p.name);
+        Some(p)
+    }
+
+    fn measure(&self, config: &GemmConfig, shape: &GemmShape) -> Option<Measurement> {
+        let p = self.profile(config, shape)?;
+        self.profiler.measure_best_of(&p, 3).ok()
+    }
+
+    /// Heuristic score of a tile choice: padding utilization (fraction of
+    /// computed lanes landing inside the output) discounted when the grid
+    /// is too small to occupy the device -- the coarse block-count rule
+    /// real heuristics encode.
+    fn utilization(&self, config: &GemmConfig, shape: &GemmShape) -> f64 {
+        let gm = shape.m.div_ceil(config.ml) as f64;
+        let gn = shape.n.div_ceil(config.nl) as f64;
+        let pad = (shape.m as f64 * shape.n as f64)
+            / (gm * config.ml as f64 * gn * config.nl as f64);
+        let blocks = gm * gn * config.kg as f64;
+        let occupancy = (blocks / (2.0 * self.spec.sm_count as f64)).min(1.0);
+        pad * occupancy
+    }
+
+    /// The handcrafted selection heuristic.
+    ///
+    /// Rules, in order:
+    /// 1. Global split-K is considered only when an output dimension is at
+    ///    most 16 and the reduction is deep (the documented blind spot).
+    /// 2. Otherwise pick the legal main-family kernel with the best
+    ///    padding utilization, preferring larger tiles on ties.
+    pub fn heuristic_gemm(&self, shape: &GemmShape) -> Option<BaselineChoice> {
+        let legal: Vec<GemmConfig> = self
+            .repertoire(shape.dtype)
+            .into_iter()
+            .filter(|c| isaac_gen::legality::check(c, shape, &self.spec).is_ok())
+            .collect();
+        if legal.is_empty() {
+            return None;
+        }
+        let small = shape.m.min(shape.n);
+        let wants_split = small <= 16 && shape.k >= 32 * small;
+        let pool: Vec<&GemmConfig> = if wants_split {
+            let split: Vec<&GemmConfig> = legal.iter().filter(|c| c.kg > 1).collect();
+            if split.is_empty() {
+                legal.iter().collect()
+            } else {
+                split
+            }
+        } else {
+            let plain: Vec<&GemmConfig> = legal.iter().filter(|c| c.kg == 1).collect();
+            if plain.is_empty() {
+                legal.iter().collect()
+            } else {
+                plain
+            }
+        };
+        let chosen = pool.into_iter().max_by(|a, b| {
+            let ua = self.utilization(a, shape) * (a.vec as f64).sqrt()
+                + (a.ml * a.nl) as f64 * 1e-9;
+            let ub = self.utilization(b, shape) * (b.vec as f64).sqrt()
+                + (b.ml * b.nl) as f64 * 1e-9;
+            ua.total_cmp(&ub)
+        })?;
+        let config = *chosen;
+        let measurement = self.measure(&config, shape)?;
+        Some(BaselineChoice {
+            config,
+            measurement,
+        })
+    }
+
+    /// The `cublasGemmEx` "Best Kernel" mode: measure every legal
+    /// repertoire kernel and return the fastest (bypasses the heuristics,
+    /// paper Section 7.2).
+    pub fn best_kernel_gemm(&self, shape: &GemmShape) -> Option<BaselineChoice> {
+        let mut best: Option<BaselineChoice> = None;
+        for config in self.repertoire(shape.dtype) {
+            if isaac_gen::legality::check(&config, shape, &self.spec).is_err() {
+                continue;
+            }
+            let Some(m) = self.measure(&config, shape) else {
+                continue;
+            };
+            if best
+                .as_ref()
+                .is_none_or(|b| m.time_s < b.measurement.time_s)
+            {
+                best = Some(BaselineChoice {
+                    config,
+                    measurement: m,
+                });
+            }
+        }
+        best
+    }
+
+    /// The device this library instance targets.
+    pub fn spec(&self) -> &DeviceSpec {
+        &self.spec
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use isaac_device::specs::{gtx980ti, tesla_p100};
+
+    #[test]
+    fn repertoire_has_no_narrow_n_tiles_in_main_family() {
+        let lib = CublasLike::new(tesla_p100());
+        for c in lib.repertoire(DType::F32) {
+            if c.kg == 1 {
+                assert!(c.nl >= 64, "main family NL must be 64/128, got {}", c.nl);
+            }
+        }
+    }
+
+    #[test]
+    fn fp16_repertoire_is_square_family_only() {
+        let lib = CublasLike::new(tesla_p100());
+        for c in lib.repertoire(DType::F16) {
+            assert_eq!(c.kg, 1);
+            assert!(c.ml >= 64 && c.nl >= 64);
+        }
+    }
+
+    #[test]
+    fn no_f64_split_kernels_on_maxwell() {
+        let maxwell = CublasLike::new(gtx980ti());
+        assert!(maxwell.repertoire(DType::F64).iter().all(|c| c.kg == 1));
+        let pascal = CublasLike::new(tesla_p100());
+        assert!(pascal.repertoire(DType::F64).iter().any(|c| c.kg > 1));
+    }
+
+    #[test]
+    fn heuristic_picks_wide_tiles_for_square() {
+        let lib = CublasLike::new(tesla_p100());
+        let shape = GemmShape::new(2048, 2048, 2048, "N", "T", DType::F32);
+        let choice = lib.heuristic_gemm(&shape).expect("selects");
+        assert!(choice.config.ml == 128 && choice.config.nl == 128);
+        assert!(choice.measurement.tflops > 5.0);
+    }
+
+    #[test]
+    fn heuristic_split_blind_spot_at_n32() {
+        // N = 32: the heuristic refuses split-K although the best kernel
+        // uses it (the Section 7.3.1 flaw).
+        let lib = CublasLike::new(tesla_p100());
+        let shape = GemmShape::new(2560, 32, 2560, "N", "N", DType::F32);
+        let heur = lib.heuristic_gemm(&shape).unwrap();
+        assert_eq!(heur.config.kg, 1, "heuristic must not split at N=32");
+        let best = lib.best_kernel_gemm(&shape).unwrap();
+        assert!(
+            best.measurement.tflops >= heur.measurement.tflops,
+            "best-kernel mode dominates heuristics"
+        );
+    }
+
+    #[test]
+    fn ica_heuristic_disaster() {
+        // 32x32x60000: heuristics skip split-K entirely (min dim > 16),
+        // the best-kernel mode recovers an order of magnitude.
+        let lib = CublasLike::new(tesla_p100());
+        let shape = GemmShape::new(32, 32, 60000, "N", "T", DType::F32);
+        let heur = lib.heuristic_gemm(&shape).unwrap();
+        let best = lib.best_kernel_gemm(&shape).unwrap();
+        assert_eq!(heur.config.kg, 1);
+        assert!(best.config.kg > 1);
+        assert!(
+            best.measurement.tflops > 5.0 * heur.measurement.tflops,
+            "best {} vs heuristic {}",
+            best.measurement.tflops,
+            heur.measurement.tflops
+        );
+    }
+
+    #[test]
+    fn deepbench_n16_gets_split() {
+        let lib = CublasLike::new(tesla_p100());
+        let shape = GemmShape::new(2560, 16, 2560, "N", "N", DType::F32);
+        let choice = lib.heuristic_gemm(&shape).unwrap();
+        assert!(choice.config.kg > 1, "N=16 deep-K should trigger split");
+    }
+
+    #[test]
+    fn maxwell_kernels_get_asm_discount() {
+        let maxwell = CublasLike::new(gtx980ti());
+        let pascal = CublasLike::new(tesla_p100());
+        let shape = GemmShape::new(1024, 1024, 1024, "N", "T", DType::F32);
+        let config = cfg(128, 128, 8, 8, 8, 1, 4);
+        let pm = maxwell.profile(&config, &shape).unwrap();
+        let pp = pascal.profile(&config, &shape).unwrap();
+        assert_eq!(pm.misc_discount, MAXWELL_ASM_DISCOUNT);
+        assert_eq!(pp.misc_discount, 1.0);
+    }
+}

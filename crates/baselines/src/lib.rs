@@ -1,0 +1,26 @@
+//! Baseline libraries: faithful stand-ins for the closed-source comparators
+//! of the paper's evaluation.
+//!
+//! Both baselines follow the industry pattern the paper describes in
+//! Section 2: "engineer a set of several highly-optimized assembly kernels,
+//! and handcraft heuristics for runtime kernel selection". They run on the
+//! same device model and profiler as ISAAC, so comparisons isolate the
+//! *selection policy and kernel repertoire* -- exactly the paper's axis of
+//! comparison.
+//!
+//! * [`cublas::CublasLike`] -- a fixed GEMM kernel repertoire (wide-N
+//!   tiling, a global-split-K family, fp16x2 only in the square/LINPACK
+//!   family), a hand-scheduled-assembly issue discount on its home Maxwell
+//!   architecture, heuristics with the documented blind spots, and the
+//!   `cublasGemmEx`-style best-kernel mode the paper uses to separate bad
+//!   heuristics from missing kernels.
+//! * [`cudnn::CudnnLike`] -- an `IMPLICIT_PRECOMP_GEMM` convolution
+//!   repertoire without reduction splitting, whose per-shape choice is made
+//!   with the *Maxwell* device model even when executing on Pascal
+//!   ("kernels and heuristics tailored to Maxwell", Section 7.4.2).
+
+pub mod cublas;
+pub mod cudnn;
+
+pub use cublas::CublasLike;
+pub use cudnn::CudnnLike;

@@ -1,0 +1,131 @@
+//! Figures 6, 7 and 8: GEMM performance across the Table 4 workloads.
+//!
+//! * Figure 6 -- SGEMM on the GTX 980 Ti: ISAAC vs cuBLAS heuristics.
+//! * Figure 7 -- SGEMM on the Tesla P100: ISAAC vs cuBLAS heuristics vs
+//!   the `cublasGemmEx` best-kernel mode.
+//! * Figure 8 -- H/DGEMM on the Tesla P100 (f16 LINPACK/DeepBench, f64
+//!   ICA/SVD).
+//!
+//! Each harness prints the figure's series as a table (one row per x-axis
+//! point) and then benchmarks the runtime-inference model-evaluation
+//! throughput, substantiating the paper's Section 6 claim that exhaustive
+//! search over the model is cheap ("up to a million different
+//! configurations per second").
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use isaac_baselines::CublasLike;
+use isaac_bench::harness::cached_tuner;
+use isaac_bench::report::{fmt_speedup, fmt_tflops, Table};
+use isaac_bench::workloads::{table4_f32, table4_mixed, GemmTask};
+use isaac_core::features::gemm_features;
+use isaac_core::{enumerate_legal_gemm, OpKind};
+use isaac_device::specs::{gtx980ti, tesla_p100};
+use isaac_device::{DeviceSpec, DType};
+use std::hint::black_box;
+
+fn run_gemm_figure(
+    title: &str,
+    spec: &DeviceSpec,
+    tasks: &[GemmTask],
+    dtypes: &[DType],
+    with_best: bool,
+) {
+    let mut tuner = cached_tuner(spec, OpKind::Gemm, dtypes);
+    let cublas = CublasLike::new(spec.clone());
+    let mut headers = vec![
+        "suite", "x", "dtype", "M", "N", "K", "layout", "ISAAC", "cuBLAS",
+    ];
+    if with_best {
+        headers.push("cuBLAS best");
+    }
+    headers.push("speedup");
+    let mut table = Table::new(title, &headers);
+    for task in tasks {
+        let shape = &task.shape;
+        let isaac = tuner.tune_gemm(shape);
+        let heur = cublas.heuristic_gemm(shape);
+        let best = if with_best {
+            cublas.best_kernel_gemm(shape)
+        } else {
+            None
+        };
+        let i_tf = isaac.as_ref().map_or(0.0, |c| c.tflops);
+        let h_tf = heur.as_ref().map_or(0.0, |c| c.measurement.tflops);
+        let mut row = vec![
+            task.suite.to_string(),
+            task.label.clone(),
+            shape.dtype.to_string(),
+            shape.m.to_string(),
+            shape.n.to_string(),
+            shape.k.to_string(),
+            shape.layout(),
+            fmt_tflops(i_tf),
+            fmt_tflops(h_tf),
+        ];
+        if with_best {
+            row.push(fmt_tflops(best.as_ref().map_or(0.0, |c| c.measurement.tflops)));
+        }
+        row.push(if h_tf > 0.0 {
+            fmt_speedup(i_tf / h_tf)
+        } else {
+            "-".into()
+        });
+        table.row(row);
+    }
+    table.print();
+}
+
+fn figure6(c: &mut Criterion) {
+    run_gemm_figure(
+        "Figure 6: SGEMM performance on the GTX 980 TI (TFLOPS)",
+        &gtx980ti(),
+        &table4_f32(),
+        &[DType::F32],
+        false,
+    );
+    bench_model_eval(c, "figure6", &gtx980ti(), &[DType::F32]);
+}
+
+fn figure7(c: &mut Criterion) {
+    run_gemm_figure(
+        "Figure 7: SGEMM performance on the Tesla P100 (TFLOPS)",
+        &tesla_p100(),
+        &table4_f32(),
+        &[DType::F16, DType::F32, DType::F64],
+        true,
+    );
+    bench_model_eval(c, "figure7", &tesla_p100(), &[DType::F16, DType::F32, DType::F64]);
+}
+
+fn figure8(c: &mut Criterion) {
+    run_gemm_figure(
+        "Figure 8: H/DGEMM performance on the Tesla P100 (TFLOPS)",
+        &tesla_p100(),
+        &table4_mixed(),
+        &[DType::F16, DType::F32, DType::F64],
+        true,
+    );
+    let _ = c;
+}
+
+/// Benchmark the exhaustive-search model evaluation: predict the
+/// performance of every legal configuration for one input.
+fn bench_model_eval(c: &mut Criterion, tag: &str, spec: &DeviceSpec, dtypes: &[DType]) {
+    let tuner = cached_tuner(spec, OpKind::Gemm, dtypes);
+    let shape = isaac_gen::shapes::GemmShape::new(2560, 32, 2560, "N", "N", DType::F32);
+    let candidates = enumerate_legal_gemm(&shape, spec);
+    let rows: Vec<Vec<f32>> = candidates
+        .iter()
+        .map(|cfg| gemm_features(&shape, cfg, true))
+        .collect();
+    let mut group = c.benchmark_group(tag);
+    group.sample_size(10);
+    group.throughput(criterion::Throughput::Elements(rows.len() as u64));
+    group.bench_function("model_eval_per_config", |b| {
+        b.iter(|| black_box(tuner.model().predict_batch(black_box(&rows))));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, figure6, figure7, figure8);
+criterion_main!(benches);

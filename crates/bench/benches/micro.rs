@@ -1,0 +1,122 @@
+//! Micro-benchmarks of the reproduction's own machinery: the functional
+//! VM, PTX emission/parsing, the analytical simulator, samplers, and the
+//! exhaustive legality enumeration that runtime inference performs.
+//!
+//! These quantify the substitution costs: how fast is the software GPU,
+//! and how cheap is a simulated "benchmark" compared to the hours of real
+//! benchmarking the paper spends.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use isaac_core::sampling::{CategoricalSampler, UniformSampler};
+use isaac_device::specs::tesla_p100;
+use isaac_device::{simulate, DType};
+use isaac_gen::profile::gemm_profile;
+use isaac_gen::shapes::GemmShape;
+use isaac_gen::{gemm, GemmConfig};
+use isaac_ir::{emit_ptx, ptx};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn small_cfg() -> GemmConfig {
+    GemmConfig {
+        ml: 32,
+        nl: 32,
+        ms: 4,
+        ns: 4,
+        u: 8,
+        vec: 4,
+        ..Default::default()
+    }
+}
+
+fn vm_execution(c: &mut Criterion) {
+    let shape = GemmShape::new(64, 64, 64, "N", "T", DType::F32);
+    let a = vec![1.0f32; shape.a_len()];
+    let b_data = vec![1.0f32; shape.b_len()];
+    let cfg = small_cfg();
+    let mut group = c.benchmark_group("vm");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(shape.flops() as u64));
+    group.bench_function("gemm_64cubed_flops", |b| {
+        b.iter(|| black_box(gemm::run_f32(&cfg, &shape, &a, &b_data).unwrap()));
+    });
+    group.finish();
+}
+
+fn ptx_pipeline(c: &mut Criterion) {
+    let shape = GemmShape::new(512, 512, 512, "N", "T", DType::F32);
+    let cfg = GemmConfig::default();
+    let built = gemm::build_kernel(&cfg, &shape);
+    let text = emit_ptx(&built.kernel, "sm_60");
+    let mut group = c.benchmark_group("ptx");
+    group.sample_size(20);
+    group.bench_function("build_kernel", |b| {
+        b.iter(|| black_box(gemm::build_kernel(&cfg, &shape)));
+    });
+    group.bench_function("emit", |b| {
+        b.iter(|| black_box(emit_ptx(&built.kernel, "sm_60")));
+    });
+    group.bench_function("parse_validate", |b| {
+        b.iter(|| {
+            let m = ptx::parse_module(black_box(&text)).unwrap();
+            m.validate().unwrap();
+            black_box(m.class_counts())
+        });
+    });
+    group.finish();
+}
+
+fn simulator(c: &mut Criterion) {
+    let spec = tesla_p100();
+    let shape = GemmShape::new(2048, 2048, 2048, "N", "T", DType::F32);
+    let profile = gemm_profile(&GemmConfig::default(), &shape, &spec).unwrap();
+    let mut group = c.benchmark_group("simulator");
+    group.bench_function("profile_build", |b| {
+        b.iter(|| black_box(gemm_profile(&GemmConfig::default(), &shape, &spec).unwrap()));
+    });
+    group.bench_function("simulate", |b| {
+        b.iter(|| black_box(simulate(&spec, &profile).unwrap()));
+    });
+    group.finish();
+}
+
+fn samplers(c: &mut Criterion) {
+    let spec = tesla_p100();
+    let shape = GemmShape::new(2048, 2048, 2048, "N", "T", DType::F32);
+    let legal = move |cfg: &GemmConfig| isaac_gen::legality::check(cfg, &shape, &spec).is_ok();
+    let mut rng = StdRng::seed_from_u64(5);
+    let cat = CategoricalSampler::fit(&legal, &mut rng, 10_000, 100.0);
+    let uni = UniformSampler::new();
+    let mut group = c.benchmark_group("sampling");
+    group.bench_function("uniform", |b| {
+        let mut r = StdRng::seed_from_u64(1);
+        b.iter(|| black_box(uni.sample(&mut r)));
+    });
+    group.bench_function("categorical", |b| {
+        let mut r = StdRng::seed_from_u64(2);
+        b.iter(|| black_box(cat.sample(&mut r)));
+    });
+    group.bench_function("legality_check", |b| {
+        let mut r = StdRng::seed_from_u64(3);
+        b.iter(|| {
+            let cfg = uni.sample(&mut r);
+            black_box(legal(&cfg))
+        });
+    });
+    group.finish();
+}
+
+fn enumeration(c: &mut Criterion) {
+    let spec = tesla_p100();
+    let shape = GemmShape::new(2560, 32, 2560, "N", "N", DType::F32);
+    let mut group = c.benchmark_group("inference");
+    group.sample_size(10);
+    group.bench_function("enumerate_legal_space", |b| {
+        b.iter(|| black_box(isaac_core::enumerate_legal_gemm(&shape, &spec).len()));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, vm_execution, ptx_pipeline, simulator, samplers, enumeration);
+criterion_main!(benches);

@@ -1,0 +1,150 @@
+//! Table 2 and Figure 5: regression-model quality.
+//!
+//! * Table 2 -- cross-validation MSE of seven MLP architectures, with the
+//!   logarithmic feature transform and (for the shallow half) without it.
+//! * Figure 5 -- cross-validation MSE of the deepest architecture as the
+//!   training-set size grows.
+//!
+//! Dataset sizes are scaled to this host (`ISAAC_T2_TRAIN`,
+//! `ISAAC_F5_MAX`); the paper's qualitative conclusions -- deeper is
+//! better at fixed parameter count, the log transform is decisive, MSE
+//! saturates with data -- are what the harness verifies.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use isaac_bench::harness::env_usize;
+use isaac_bench::report::Table;
+use isaac_core::dataset::{generate_gemm_dataset, DatasetOptions};
+use isaac_device::specs::tesla_p100;
+use isaac_device::{DType, Profiler};
+use isaac_mlp::{Dataset, Mlp, TrainConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+/// The seven architectures of paper Table 2.
+const ARCHS: &[&[usize]] = &[
+    &[64],
+    &[512],
+    &[32, 64, 32],
+    &[64, 128, 64],
+    &[32, 64, 128, 64, 32],
+    &[64, 128, 256, 128, 64],
+    &[64, 128, 192, 256, 192, 128, 64],
+];
+
+fn gen_data(log_features: bool, samples: usize, seed: u64) -> Dataset {
+    let profiler = Profiler::new(tesla_p100(), 0xF00D);
+    generate_gemm_dataset(
+        &profiler,
+        &DatasetOptions {
+            samples,
+            dtypes: vec![DType::F32],
+            log_features,
+            calibration: 8_000,
+            seed,
+        },
+    )
+}
+
+fn train_arch(
+    data: &Dataset,
+    hidden: &[usize],
+    epochs: usize,
+    seed: u64,
+) -> (usize, f32) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let (mut train, mut val) = data.split(0.12, &mut rng);
+    let (sx, ym, ys) = train.standardize();
+    val.standardize_with(&sx, ym, ys);
+    let mut mlp = Mlp::with_hidden(train.x.cols, hidden, seed ^ 0x77);
+    let report = mlp.train(
+        &train,
+        &val,
+        &TrainConfig {
+            epochs,
+            seed,
+            ..Default::default()
+        },
+    );
+    (mlp.num_weights(), report.best_val_mse())
+}
+
+fn table2(c: &mut Criterion) {
+    let samples = env_usize("ISAAC_T2_TRAIN", 30_000);
+    let epochs = env_usize("ISAAC_EPOCHS", 12);
+    let with_log = gen_data(true, samples, 1);
+    let without_log = gen_data(false, samples, 1);
+
+    let mut t = Table::new(
+        format!("Table 2: cross-validation MSE of MLP architectures ({samples} samples)"),
+        &["hidden layer sizes", "#weights", "MSE", "MSE (no log)"],
+    );
+    for (i, hidden) in ARCHS.iter().enumerate() {
+        let (weights, mse) = train_arch(&with_log, hidden, epochs, 42 + i as u64);
+        // The paper reports the no-log ablation for the shallower half.
+        let no_log = if i < 4 {
+            let (_, m) = train_arch(&without_log, hidden, epochs, 42 + i as u64);
+            format!("{m:.3}")
+        } else {
+            "-".into()
+        };
+        t.row(vec![
+            hidden
+                .iter()
+                .map(|v| v.to_string())
+                .collect::<Vec<_>>()
+                .join(", "),
+            weights.to_string(),
+            format!("{mse:.4}"),
+            no_log,
+        ]);
+    }
+    t.print();
+
+    let mut group = c.benchmark_group("table2");
+    group.sample_size(10);
+    group.bench_function("mlp_forward_1k_rows", |b| {
+        let mut rng = StdRng::seed_from_u64(3);
+        let (train, _) = with_log.split(0.99, &mut rng);
+        let mlp = Mlp::with_hidden(with_log.x.cols, &[64, 128, 64], 1);
+        b.iter(|| black_box(mlp.predict_batch(&train.x)));
+    });
+    group.finish();
+}
+
+fn figure5(c: &mut Criterion) {
+    let max = env_usize("ISAAC_F5_MAX", 80_000);
+    let epochs = env_usize("ISAAC_EPOCHS", 12);
+    let full = gen_data(true, max, 7);
+    let mut sizes = vec![];
+    let mut s = max / 16;
+    while s <= max {
+        sizes.push(s);
+        s *= 2;
+    }
+    let mut t = Table::new(
+        "Figure 5: cross-validation MSE vs dataset size (arch 64-128-64)",
+        &["training samples", "MSE"],
+    );
+    let mut series = Vec::new();
+    for &n in &sizes {
+        let subset = full.take(n);
+        let (_, mse) = train_arch(&subset, &[64, 128, 64], epochs, 99);
+        series.push(mse);
+        t.row(vec![n.to_string(), format!("{mse:.4}")]);
+    }
+    t.print();
+    if series.len() >= 3 {
+        let first = series[0];
+        let last = *series.last().expect("nonempty");
+        println!(
+            "trend: MSE {}{} with more data (paper Figure 5 saturates near 150k samples)",
+            if last <= first { "decreases " } else { "INCREASES " },
+            format_args!("({first:.4} -> {last:.4})"),
+        );
+    }
+    let _ = c;
+}
+
+criterion_group!(benches, table2, figure5);
+criterion_main!(benches);

@@ -1,0 +1,201 @@
+//! Tables 1, 3, 6 and the Section 8.1 analysis table (referred to as
+//! "Table 7" in DESIGN.md).
+//!
+//! * Table 1 -- proportion of samples accepted by the categorical
+//!   generative model vs naive uniform sampling, for GEMM and CONV, over
+//!   the raw power-of-two space the paper describes.
+//! * Table 3 -- the two test platforms.
+//! * Table 6 -- ISAAC's parameterization choices across problem classes.
+//! * Table 7 -- ISAAC vs cuBLAS best-kernel detail at (2560, 32, 2560).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use isaac_baselines::CublasLike;
+use isaac_bench::harness::cached_tuner;
+use isaac_bench::report::Table;
+use isaac_bench::workloads::table6_problems;
+use isaac_core::sampling::{acceptance_rate, raw_space, CategoricalSampler, UniformSampler};
+use isaac_core::dataset::{random_conv_shape, random_gemm_shape};
+use isaac_core::OpKind;
+use isaac_device::specs::{gtx980ti, tesla_p100};
+use isaac_device::{simulate, DType};
+use isaac_gen::profile::gemm_profile;
+use isaac_gen::GemmConfig;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::cell::RefCell;
+use std::hint::black_box;
+
+fn table1(c: &mut Criterion) {
+    let spec = tesla_p100();
+    let trials = isaac_bench::harness::env_usize("ISAAC_T1_TRIALS", 40_000);
+
+    // Joint (shape, config) legality: a fresh random shape per probe, as
+    // in dataset generation.
+    let gemm_legal = {
+        let spec = spec.clone();
+        let rng = RefCell::new(StdRng::seed_from_u64(101));
+        move |cfg: &GemmConfig| {
+            let shape = random_gemm_shape(&mut rng.borrow_mut(), &[DType::F32]);
+            isaac_gen::legality::check_physical(cfg, &shape, &spec).is_ok()
+        }
+    };
+    let conv_legal = {
+        let spec = spec.clone();
+        let rng = RefCell::new(StdRng::seed_from_u64(102));
+        move |cfg: &GemmConfig| {
+            let shape = random_conv_shape(&mut rng.borrow_mut(), &[DType::F32]);
+            let g = isaac_gen::conv::equivalent_gemm(&shape);
+            isaac_gen::legality::check_physical(cfg, &g, &spec).is_ok()
+                && (cfg.vec == 1 || shape.n % cfg.vec == 0)
+        }
+    };
+
+    let mut rng = StdRng::seed_from_u64(103);
+    let gemm_cat = CategoricalSampler::fit_over(raw_space(), &gemm_legal, &mut rng, trials, 100.0);
+    let conv_cat = CategoricalSampler::fit_over(raw_space(), &conv_legal, &mut rng, trials, 100.0);
+
+    let rate = |sampler: &dyn Fn(&mut StdRng) -> GemmConfig,
+                legal: &dyn Fn(&GemmConfig) -> bool,
+                seed: u64| {
+        acceptance_rate(sampler, legal, &mut StdRng::seed_from_u64(seed), trials)
+    };
+    let uni = UniformSampler::over(raw_space());
+    let g_cat = rate(&|r: &mut StdRng| gemm_cat.sample(r), &gemm_legal, 104);
+    let g_uni = rate(&|r: &mut StdRng| uni.sample(r), &gemm_legal, 105);
+    let c_cat = rate(&|r: &mut StdRng| conv_cat.sample(r), &conv_legal, 106);
+    let c_uni = rate(&|r: &mut StdRng| uni.sample(r), &conv_legal, 107);
+
+    let mut t = Table::new(
+        "Table 1: proportion of samples accepted (categorical vs uniform)",
+        &["op", "Categorical", "Uniform", "paper (cat/uni)"],
+    );
+    t.row(vec![
+        "GEMM".into(),
+        format!("{:.1}%", 100.0 * g_cat),
+        format!("{:.2}%", 100.0 * g_uni),
+        "20% / 0.1%".into(),
+    ]);
+    t.row(vec![
+        "CONV".into(),
+        format!("{:.1}%", 100.0 * c_cat),
+        format!("{:.2}%", 100.0 * c_uni),
+        "15% / 0.1%".into(),
+    ]);
+    t.print();
+
+    let mut group = c.benchmark_group("table1");
+    group.sample_size(10);
+    group.bench_function("categorical_sample", |b| {
+        let mut r = StdRng::seed_from_u64(1);
+        b.iter(|| black_box(gemm_cat.sample(&mut r)));
+    });
+    group.finish();
+}
+
+fn table3(c: &mut Criterion) {
+    for spec in [gtx980ti(), tesla_p100()] {
+        let mut t = Table::new(
+            format!("Table 3: test platform -- {}", spec.name),
+            &["property", "value"],
+        );
+        for (k, v) in spec.table3_rows() {
+            t.row(vec![k.to_string(), v]);
+        }
+        t.print();
+    }
+    let _ = c;
+}
+
+fn table6(c: &mut Criterion) {
+    let spec = tesla_p100();
+    let mut tuner = cached_tuner(&spec, OpKind::Gemm, &[DType::F16, DType::F32, DType::F64]);
+    let mut t = Table::new(
+        "Table 6: parameterization choices of ISAAC (Tesla P100)",
+        &["problem", "Ms", "Ns", "ML", "NL", "U", "Ks", "KL", "KG", "vec", "TFLOPS"],
+    );
+    for (label, shape) in table6_problems() {
+        if let Some(choice) = tuner.tune_gemm(&shape) {
+            let cfg = choice.config;
+            t.row(vec![
+                label,
+                cfg.ms.to_string(),
+                cfg.ns.to_string(),
+                cfg.ml.to_string(),
+                cfg.nl.to_string(),
+                cfg.u.to_string(),
+                cfg.ks.to_string(),
+                cfg.kl.to_string(),
+                cfg.kg.to_string(),
+                cfg.vec.to_string(),
+                format!("{:.2}", choice.tflops),
+            ]);
+        }
+    }
+    t.print();
+    let _ = c;
+}
+
+fn table7(c: &mut Criterion) {
+    // Section 8.1: ISAAC vs cuBLAS best kernel at (M, N, K) = (2560, 32,
+    // 2560) on the Tesla P100.
+    let spec = tesla_p100();
+    let shape = isaac_gen::shapes::GemmShape::new(2560, 32, 2560, "N", "N", DType::F32);
+    let mut tuner = cached_tuner(&spec, OpKind::Gemm, &[DType::F16, DType::F32, DType::F64]);
+    let cublas = CublasLike::new(spec.clone());
+
+    let isaac_choice = tuner.tune_gemm(&shape).expect("ISAAC selects");
+    let cublas_choice = cublas.best_kernel_gemm(&shape).expect("cuBLAS selects");
+
+    let ip = gemm_profile(&isaac_choice.config, &shape, &spec).expect("legal");
+    let cp = cublas.profile(&cublas_choice.config, &shape).expect("legal");
+    let ir = simulate(&spec, &ip).expect("simulates");
+    let cr = simulate(&spec, &cp).expect("simulates");
+
+    let mut t = Table::new(
+        "Section 8.1 analysis: (2560, 32, 2560) on Tesla P100",
+        &["metric", "ISAAC", "cuBLAS (best kernel)"],
+    );
+    let rows: Vec<(&str, String, String)> = vec![
+        ("TFLOPS", format!("{:.2}", ir.tflops), format!("{:.2}", cr.tflops)),
+        ("ML", ip.name.clone(), cp.name.clone()),
+        ("tile ML", isaac_choice.config.ml.to_string(), cublas_choice.config.ml.to_string()),
+        ("tile NL", isaac_choice.config.nl.to_string(), cublas_choice.config.nl.to_string()),
+        ("KL", isaac_choice.config.kl.to_string(), cublas_choice.config.kl.to_string()),
+        ("KG", isaac_choice.config.kg.to_string(), cublas_choice.config.kg.to_string()),
+        ("prefetch U", isaac_choice.config.u.to_string(), cublas_choice.config.u.to_string()),
+        (
+            "shared memory",
+            format!("{:.2} kB", ip.smem_per_block as f64 / 1024.0),
+            format!("{:.2} kB", cp.smem_per_block as f64 / 1024.0),
+        ),
+        ("registers", ip.regs_per_thread.to_string(), cp.regs_per_thread.to_string()),
+        (
+            "occupancy",
+            format!("{:.0}%", 100.0 * ir.occupancy.fraction),
+            format!("{:.0}%", 100.0 * cr.occupancy.fraction),
+        ),
+        (
+            "L2 hit rate",
+            format!("{:.0}%", 100.0 * ir.l2_hit_rate),
+            format!("{:.0}%", 100.0 * cr.l2_hit_rate),
+        ),
+        ("bottleneck", ir.bottleneck.to_string(), cr.bottleneck.to_string()),
+    ];
+    for (k, a, b) in rows {
+        if k == "ML" {
+            continue; // kernel names too wide for the table
+        }
+        t.row(vec![k.to_string(), a, b]);
+    }
+    t.print();
+
+    let mut group = c.benchmark_group("table7");
+    group.sample_size(10);
+    group.bench_function("simulate_kernel", |b| {
+        b.iter(|| black_box(simulate(&spec, &ip).unwrap()));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, table1, table3, table6, table7);
+criterion_main!(benches);

@@ -1,0 +1,100 @@
+//! Tuner construction with disk caching and env-var-controlled sizes.
+//!
+//! Training a tuner takes a few seconds on this host; four tuners are
+//! needed across the figure harnesses (GEMM/CONV x Maxwell/Pascal), so
+//! trained models are cached as text under `target/isaac-cache/` keyed by
+//! device, operation and training size.
+
+use isaac_core::{IsaacTuner, OpKind, TrainOptions};
+use isaac_device::{DType, DeviceSpec};
+use std::path::PathBuf;
+
+/// Read a `usize` knob from the environment.
+pub fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Default sample count for tuner training (`ISAAC_SAMPLES`).
+pub fn default_samples() -> usize {
+    env_usize("ISAAC_SAMPLES", 20_000)
+}
+
+/// Default epoch count (`ISAAC_EPOCHS`).
+pub fn default_epochs() -> usize {
+    env_usize("ISAAC_EPOCHS", 12)
+}
+
+fn cache_dir() -> PathBuf {
+    // target/ relative to the workspace root.
+    let mut dir = std::env::current_exe()
+        .ok()
+        .and_then(|p| {
+            p.ancestors()
+                .find(|a| a.file_name().is_some_and(|n| n == "target"))
+                .map(|a| a.to_path_buf())
+        })
+        .unwrap_or_else(|| PathBuf::from("target"));
+    dir.push("isaac-cache");
+    let _ = std::fs::create_dir_all(&dir);
+    dir
+}
+
+/// Train (or load from cache) a tuner for `spec`/`kind` covering `dtypes`.
+pub fn cached_tuner(spec: &DeviceSpec, kind: OpKind, dtypes: &[DType]) -> IsaacTuner {
+    let samples = default_samples();
+    let epochs = default_epochs();
+    let dtag: String = dtypes.iter().map(|d| d.blas_prefix()).collect();
+    let path = cache_dir().join(format!(
+        "{}-{}-{}-s{}-e{}.txt",
+        spec.chip, kind, dtag, samples, epochs
+    ));
+    if path.exists() {
+        if let Ok(t) = IsaacTuner::load(&path, spec.clone(), kind) {
+            return t;
+        }
+    }
+    let t0 = std::time::Instant::now();
+    let tuner = IsaacTuner::train(
+        spec.clone(),
+        kind,
+        TrainOptions {
+            samples,
+            epochs,
+            dtypes: dtypes.to_vec(),
+            ..Default::default()
+        },
+    );
+    eprintln!(
+        "[isaac-bench] trained {kind} tuner for {} ({} samples) in {:.1?}; val MSE {:.4}",
+        spec.name,
+        samples,
+        t0.elapsed(),
+        tuner.validation_mse
+    );
+    let _ = tuner.save(&path);
+    tuner
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn env_usize_parses_and_defaults() {
+        std::env::set_var("ISAAC_TEST_KNOB", "42");
+        assert_eq!(env_usize("ISAAC_TEST_KNOB", 7), 42);
+        assert_eq!(env_usize("ISAAC_TEST_KNOB_MISSING", 7), 7);
+        std::env::set_var("ISAAC_TEST_KNOB", "not-a-number");
+        assert_eq!(env_usize("ISAAC_TEST_KNOB", 7), 7);
+    }
+
+    #[test]
+    fn cache_dir_is_creatable() {
+        let d = cache_dir();
+        assert!(d.ends_with("isaac-cache"));
+        assert!(d.exists());
+    }
+}

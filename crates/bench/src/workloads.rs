@@ -1,0 +1,156 @@
+//! The evaluation workloads: paper Table 4 (GEMM) and Table 5 (CONV).
+
+use isaac_device::DType;
+use isaac_gen::shapes::{ConvShape, GemmShape};
+
+/// One GEMM task with its benchmark-suite label.
+#[derive(Debug, Clone)]
+pub struct GemmTask {
+    /// Suite name (`LINPACK`, `DeepBench [F]`, ...).
+    pub suite: &'static str,
+    /// Axis label used in the figures (the varying dimension).
+    pub label: String,
+    /// The shape.
+    pub shape: GemmShape,
+}
+
+/// The GEMM tasks of paper Table 4, in figure order, for a data type per
+/// suite chosen by the caller (Figures 6/7 use f32 everywhere; Figure 8
+/// uses f16 for LINPACK/DeepBench and f64 for ICA/SVD).
+pub fn table4(linpack_dt: DType, deepbench_dt: DType, ica_dt: DType, svd_dt: DType) -> Vec<GemmTask> {
+    let mut tasks = Vec::new();
+    for s in [512u32, 1024, 2048] {
+        tasks.push(GemmTask {
+            suite: "LINPACK",
+            label: s.to_string(),
+            shape: GemmShape::new(s, s, s, "N", "T", linpack_dt),
+        });
+    }
+    for n in [16u32, 32, 64, 128] {
+        tasks.push(GemmTask {
+            suite: "DeepBench [F]",
+            label: n.to_string(),
+            shape: GemmShape::new(2560, n, 2560, "N", "N", deepbench_dt),
+        });
+    }
+    for n in [16u32, 32, 64, 128] {
+        tasks.push(GemmTask {
+            suite: "DeepBench [B]",
+            label: n.to_string(),
+            shape: GemmShape::new(2560, n, 2560, "T", "N", deepbench_dt),
+        });
+    }
+    for mn in [32u32, 64, 256] {
+        tasks.push(GemmTask {
+            suite: "ICA",
+            label: mn.to_string(),
+            shape: GemmShape::new(mn, mn, 60000, "N", "T", ica_dt),
+        });
+    }
+    for mn in [896u32, 2048, 4096] {
+        tasks.push(GemmTask {
+            suite: "Blocked SVD",
+            label: mn.to_string(),
+            shape: GemmShape::new(mn, mn, 32, "N", "T", svd_dt),
+        });
+    }
+    tasks
+}
+
+/// Table 4 with f32 everywhere (Figures 6 and 7).
+pub fn table4_f32() -> Vec<GemmTask> {
+    table4(DType::F32, DType::F32, DType::F32, DType::F32)
+}
+
+/// Table 4 for Figure 8: f16 LINPACK/DeepBench, f64 ICA/SVD.
+pub fn table4_mixed() -> Vec<GemmTask> {
+    table4(DType::F16, DType::F16, DType::F64, DType::F64)
+}
+
+/// One CONV task.
+#[derive(Debug, Clone)]
+pub struct ConvTask {
+    /// `Conv1` ... `Conv14`.
+    pub name: &'static str,
+    /// Application (DeepSpeech, OCR, ...).
+    pub app: &'static str,
+    /// The shape.
+    pub shape: ConvShape,
+}
+
+/// The fourteen convolutions of paper Table 5.
+pub fn table5(dtype: DType) -> Vec<ConvTask> {
+    let rows: [(&'static str, &'static str, [u32; 7]); 14] = [
+        ("Conv1", "DeepSpeech", [16, 79, 341, 32, 1, 5, 20]),
+        ("Conv2", "DeepSpeech", [16, 38, 166, 32, 32, 5, 10]),
+        ("Conv3", "OCR", [16, 24, 240, 32, 16, 3, 3]),
+        ("Conv4", "OCR", [16, 12, 120, 64, 32, 3, 3]),
+        ("Conv5", "Face Recognition", [8, 54, 54, 64, 64, 3, 3]),
+        ("Conv6", "Face Recognition", [8, 27, 27, 128, 128, 3, 3]),
+        ("Conv7", "Face Recognition", [16, 14, 14, 48, 512, 5, 5]),
+        ("Conv8", "Face Recognition", [16, 7, 7, 128, 832, 5, 5]),
+        ("Conv9", "Vision", [8, 112, 112, 128, 64, 3, 3]),
+        ("Conv10", "Vision", [8, 56, 56, 256, 128, 3, 3]),
+        ("Conv11", "Speaker ID", [16, 128, 39, 174, 64, 5, 5]),
+        ("Conv12", "Speaker ID", [16, 256, 19, 87, 128, 5, 5]),
+        ("Conv13", "ResNET", [16, 7, 7, 512, 512, 3, 3]),
+        ("Conv14", "ResNET", [16, 7, 7, 2048, 1024, 1, 1]),
+    ];
+    rows.iter()
+        .map(|&(name, app, [n, p, q, k, c, r, s])| ConvTask {
+            name,
+            app,
+            shape: ConvShape::from_output(n, p, q, k, c, r, s, dtype),
+        })
+        .collect()
+}
+
+/// The Table 6 problem subset (parameterization-choice table).
+pub fn table6_problems() -> Vec<(String, GemmShape)> {
+    vec![
+        ("LINPACK (512)".into(), GemmShape::new(512, 512, 512, "N", "T", DType::F32)),
+        ("LINPACK (2048)".into(), GemmShape::new(2048, 2048, 2048, "N", "T", DType::F32)),
+        ("DeepBench-F (16)".into(), GemmShape::new(2560, 16, 2560, "N", "N", DType::F32)),
+        ("DeepBench-F (128)".into(), GemmShape::new(2560, 128, 2560, "N", "N", DType::F32)),
+        ("DeepBench-B (16)".into(), GemmShape::new(2560, 16, 2560, "T", "N", DType::F32)),
+        ("DeepBench-B (128)".into(), GemmShape::new(2560, 128, 2560, "T", "N", DType::F32)),
+        ("ICA (32)".into(), GemmShape::new(32, 32, 60000, "N", "T", DType::F32)),
+        ("ICA (256)".into(), GemmShape::new(256, 256, 60000, "N", "T", DType::F32)),
+        ("LAPACK (896)".into(), GemmShape::new(896, 896, 32, "N", "T", DType::F32)),
+        ("LAPACK (4096)".into(), GemmShape::new(4096, 4096, 32, "N", "T", DType::F32)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table4_has_fourteen_tasks() {
+        assert_eq!(table4_f32().len(), 17);
+    }
+
+    #[test]
+    fn table5_matches_paper_npq_crs() {
+        let t = table5(DType::F32);
+        assert_eq!(t.len(), 14);
+        let c1 = &t[0].shape;
+        assert_eq!(c1.npq(), 431024 / 1); // 16*79*341
+        assert_eq!(c1.crs(), 100);
+        let c12 = &t[11].shape;
+        assert_eq!(c12.npq(), 77824);
+        assert_eq!(c12.crs(), 3200);
+    }
+
+    #[test]
+    fn figure8_precisions() {
+        let t = table4_mixed();
+        assert!(t.iter().filter(|t| t.suite == "LINPACK").all(|t| t.shape.dtype == DType::F16));
+        assert!(t.iter().filter(|t| t.suite == "ICA").all(|t| t.shape.dtype == DType::F64));
+    }
+
+    #[test]
+    fn table6_has_ten_rows() {
+        assert_eq!(table6_problems().len(), 10);
+    }
+}

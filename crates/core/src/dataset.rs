@@ -1,0 +1,285 @@
+//! Benchmark-data generation: the bridge between the generative sampler
+//! and the regression model.
+//!
+//! Each data point is `(features(input, tuning), ln GFLOPS)` where the
+//! performance measurement comes from the device model with seeded
+//! log-normal noise -- the stand-in for "benchmark the kernel on the
+//! target hardware". Input shapes are drawn log-uniformly over ranges
+//! covering the paper's evaluation workloads (LINPACK squares through
+//! ICA's K = 60000 deep reductions).
+
+use crate::features::{conv_features, gemm_features};
+use crate::sampling::CategoricalSampler;
+use isaac_device::{DType, Profiler};
+use isaac_gen::profile::{conv_profile, gemm_profile};
+use isaac_gen::shapes::{ConvShape, GemmShape};
+use isaac_mlp::{Dataset, Mat};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Which operation a tuner instance covers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpKind {
+    /// Matrix multiplication.
+    Gemm,
+    /// Multi-channel convolution.
+    Conv,
+}
+
+impl std::fmt::Display for OpKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OpKind::Gemm => f.write_str("gemm"),
+            OpKind::Conv => f.write_str("conv"),
+        }
+    }
+}
+
+/// Options for dataset generation.
+#[derive(Debug, Clone)]
+pub struct DatasetOptions {
+    /// Number of (legal, measured) samples to produce.
+    pub samples: usize,
+    /// Data types to sample from.
+    pub dtypes: Vec<DType>,
+    /// Whether features are log-transformed (Table 2 ablation).
+    pub log_features: bool,
+    /// Calibration trials for the categorical sampler.
+    pub calibration: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for DatasetOptions {
+    fn default() -> Self {
+        DatasetOptions {
+            samples: 20_000,
+            dtypes: vec![DType::F32],
+            log_features: true,
+            calibration: 10_000,
+            seed: 0,
+        }
+    }
+}
+
+/// Sample a power-of-two-ish value log-uniformly in `[lo, hi]`.
+fn log_uniform(rng: &mut StdRng, lo: u32, hi: u32) -> u32 {
+    let (l, h) = ((lo as f64).ln(), (hi as f64).ln());
+    let v = (rng.gen_range(l..=h)).exp();
+    // Snap to a multiple of 16 above 64 to keep shapes realistic.
+    let v = v.round() as u32;
+    if v > 64 {
+        (v / 16).max(1) * 16
+    } else {
+        v.max(lo)
+    }
+}
+
+/// Random GEMM shape covering the evaluation ranges.
+pub fn random_gemm_shape(rng: &mut StdRng, dtypes: &[DType]) -> GemmShape {
+    GemmShape {
+        m: log_uniform(rng, 16, 4096),
+        n: log_uniform(rng, 16, 4096),
+        k: log_uniform(rng, 16, 65536),
+        trans_a: rng.gen_bool(0.5),
+        trans_b: rng.gen_bool(0.5),
+        dtype: dtypes[rng.gen_range(0..dtypes.len())],
+    }
+}
+
+/// Random CONV shape covering the Table 5 ranges.
+pub fn random_conv_shape(rng: &mut StdRng, dtypes: &[DType]) -> ConvShape {
+    let r = *[1u32, 3, 5].get(rng.gen_range(0..3)).unwrap();
+    let s = if rng.gen_bool(0.15) {
+        // occasionally rectangular (DeepSpeech-style)
+        *[5u32, 10, 20].get(rng.gen_range(0..3)).unwrap()
+    } else {
+        r
+    };
+    let p = log_uniform(rng, 4, 128).min(128);
+    let q = log_uniform(rng, 4, 128).min(128);
+    ConvShape::from_output(
+        1 << rng.gen_range(0..6),          // N in 1..32
+        p,
+        q,
+        log_uniform(rng, 16, 2048),        // K filters
+        log_uniform(rng, 1, 1024),         // C channels
+        r,
+        s,
+        dtypes[rng.gen_range(0..dtypes.len())],
+    )
+}
+
+/// Generate a GEMM training dataset on the device behind `profiler`.
+///
+/// Returns the raw (unstandardized) dataset; callers standardize with
+/// `Dataset::standardize` before training.
+pub fn generate_gemm_dataset(profiler: &Profiler, opts: &DatasetOptions) -> Dataset {
+    let spec = profiler.spec().clone();
+    let mut rng = StdRng::seed_from_u64(opts.seed);
+    // Fit the generative model against a mixture of shapes, so the
+    // acceptance function reflects the joint (input, tuning) legality.
+    let dtypes = opts.dtypes.clone();
+    let cat = {
+        let mut cal_rng = StdRng::seed_from_u64(opts.seed ^ 0xABCD);
+        let spec = spec.clone();
+        let dtypes = dtypes.clone();
+        CategoricalSampler::fit(
+            move |cfg| {
+                let mut srng = StdRng::seed_from_u64(cfg.as_vector().iter().sum::<u32>() as u64);
+                let shape = random_gemm_shape(&mut srng, &dtypes);
+                isaac_gen::legality::check(cfg, &shape, &spec).is_ok()
+            },
+            &mut cal_rng,
+            opts.calibration,
+            100.0,
+        )
+    };
+
+    let mut rows: Vec<Vec<f32>> = Vec::with_capacity(opts.samples);
+    let mut y = Vec::with_capacity(opts.samples);
+    let mut attempts = 0usize;
+    while rows.len() < opts.samples && attempts < opts.samples * 200 {
+        attempts += 1;
+        let shape = random_gemm_shape(&mut rng, &opts.dtypes);
+        let cfg = cat.sample(&mut rng);
+        let Ok(profile) = gemm_profile(&cfg, &shape, &spec) else {
+            continue;
+        };
+        let Ok(measurement) = profiler.measure(&profile) else {
+            continue;
+        };
+        rows.push(gemm_features(&shape, &cfg, opts.log_features));
+        y.push((measurement.tflops * 1e3).max(1e-6).ln() as f32); // ln GFLOPS
+    }
+    rows_to_dataset(rows, y)
+}
+
+/// Generate a CONV training dataset.
+pub fn generate_conv_dataset(profiler: &Profiler, opts: &DatasetOptions) -> Dataset {
+    let spec = profiler.spec().clone();
+    let mut rng = StdRng::seed_from_u64(opts.seed);
+    let dtypes = opts.dtypes.clone();
+    let cat = {
+        let mut cal_rng = StdRng::seed_from_u64(opts.seed ^ 0xBEEF);
+        let spec = spec.clone();
+        let dtypes = dtypes.clone();
+        CategoricalSampler::fit(
+            move |cfg| {
+                let mut srng = StdRng::seed_from_u64(cfg.as_vector().iter().sum::<u32>() as u64);
+                let shape = random_conv_shape(&mut srng, &dtypes);
+                isaac_gen::conv::check(cfg, &shape, &spec).is_ok()
+            },
+            &mut cal_rng,
+            opts.calibration,
+            100.0,
+        )
+    };
+
+    let mut rows: Vec<Vec<f32>> = Vec::with_capacity(opts.samples);
+    let mut y = Vec::with_capacity(opts.samples);
+    let mut attempts = 0usize;
+    while rows.len() < opts.samples && attempts < opts.samples * 200 {
+        attempts += 1;
+        let shape = random_conv_shape(&mut rng, &opts.dtypes);
+        let cfg = cat.sample(&mut rng);
+        let Ok(profile) = conv_profile(&cfg, &shape, &spec) else {
+            continue;
+        };
+        let Ok(measurement) = profiler.measure(&profile) else {
+            continue;
+        };
+        rows.push(conv_features(&shape, &cfg, opts.log_features));
+        y.push((measurement.tflops * 1e3).max(1e-6).ln() as f32);
+    }
+    rows_to_dataset(rows, y)
+}
+
+fn rows_to_dataset(rows: Vec<Vec<f32>>, y: Vec<f32>) -> Dataset {
+    assert!(!rows.is_empty(), "no legal samples generated");
+    let cols = rows[0].len();
+    let mut x = Mat::zeros(rows.len(), cols);
+    for (r, row) in rows.iter().enumerate() {
+        x.row_mut(r).copy_from_slice(row);
+    }
+    Dataset::new(x, y)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use isaac_device::specs::tesla_p100;
+
+    #[test]
+    fn gemm_dataset_generates_requested_samples() {
+        let profiler = Profiler::new(tesla_p100(), 1);
+        let opts = DatasetOptions {
+            samples: 500,
+            calibration: 2_000,
+            ..Default::default()
+        };
+        let d = generate_gemm_dataset(&profiler, &opts);
+        assert_eq!(d.len(), 500);
+        assert_eq!(d.x.cols, crate::features::GEMM_FEATURES);
+        // Targets are ln(GFLOPS): plausible range on a P100 model.
+        for &v in &d.y {
+            assert!((-5.0..12.0).contains(&v), "ln gflops {v}");
+        }
+    }
+
+    #[test]
+    fn conv_dataset_generates_requested_samples() {
+        let profiler = Profiler::new(tesla_p100(), 2);
+        let opts = DatasetOptions {
+            samples: 300,
+            calibration: 2_000,
+            ..Default::default()
+        };
+        let d = generate_conv_dataset(&profiler, &opts);
+        assert_eq!(d.len(), 300);
+        assert_eq!(d.x.cols, crate::features::CONV_FEATURES);
+    }
+
+    #[test]
+    fn dataset_generation_is_deterministic() {
+        let profiler = Profiler::new(tesla_p100(), 3);
+        let opts = DatasetOptions {
+            samples: 100,
+            calibration: 1_000,
+            ..Default::default()
+        };
+        let a = generate_gemm_dataset(&profiler, &opts);
+        let b = generate_gemm_dataset(&profiler, &opts);
+        assert_eq!(a.y, b.y);
+        assert_eq!(a.x.data(), b.x.data());
+    }
+
+    #[test]
+    fn performance_varies_across_samples() {
+        // A constant-output dataset would indicate a broken pipeline.
+        let profiler = Profiler::new(tesla_p100(), 4);
+        let opts = DatasetOptions {
+            samples: 200,
+            calibration: 1_000,
+            ..Default::default()
+        };
+        let d = generate_gemm_dataset(&profiler, &opts);
+        let mean = d.y.iter().sum::<f32>() / d.len() as f32;
+        let var = d.y.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / d.len() as f32;
+        assert!(var > 0.5, "target variance {var} suspiciously small");
+    }
+
+    #[test]
+    fn random_shapes_cover_wide_ranges() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut max_k = 0;
+        let mut min_k = u32::MAX;
+        for _ in 0..500 {
+            let s = random_gemm_shape(&mut rng, &[DType::F32]);
+            max_k = max_k.max(s.k);
+            min_k = min_k.min(s.k);
+        }
+        assert!(max_k > 8192, "deep-K shapes must appear (got max {max_k})");
+        assert!(min_k < 128, "small-K shapes must appear (got min {min_k})");
+    }
+}

@@ -1,0 +1,160 @@
+//! Feature extraction for the predictive model.
+//!
+//! The paper's decisive implementation detail (Section 5.2) is the
+//! logarithmic feature transform: performance models are built from
+//! products, quotients and maxima of parameters, and an MLP models sums
+//! far more naturally than products, so `a_{-1} = log(x)` turns the
+//! multiplicative structure into additive structure. Table 2 quantifies
+//! how much worse the fit gets without it; both variants are exposed here
+//! (`log = false` reproduces the ablation).
+
+use isaac_gen::shapes::{ConvShape, GemmShape};
+use isaac_gen::GemmConfig;
+
+/// Number of input features for GEMM (M, N, K, element size, two layout
+/// flags).
+pub const GEMM_INPUT_FEATURES: usize = 6;
+/// Number of tuning features (the 9 sampled parameters).
+pub const TUNING_FEATURES: usize = 9;
+/// Total GEMM feature-vector length.
+pub const GEMM_FEATURES: usize = GEMM_INPUT_FEATURES + TUNING_FEATURES;
+/// Number of input features for CONV (K, NPQ, CRS, element size, batch,
+/// filter area).
+pub const CONV_INPUT_FEATURES: usize = 6;
+/// Total CONV feature-vector length.
+pub const CONV_FEATURES: usize = CONV_INPUT_FEATURES + TUNING_FEATURES;
+
+#[inline]
+fn enc(v: f64, log: bool) -> f32 {
+    if log {
+        (v.max(1e-9)).log2() as f32
+    } else {
+        v as f32
+    }
+}
+
+fn push_tuning(out: &mut Vec<f32>, cfg: &GemmConfig, log: bool) {
+    for v in cfg.as_vector() {
+        out.push(enc(v as f64, log));
+    }
+}
+
+/// Feature vector for a GEMM `(input, tuning)` pair.
+pub fn gemm_features(shape: &GemmShape, cfg: &GemmConfig, log: bool) -> Vec<f32> {
+    let mut out = Vec::with_capacity(GEMM_FEATURES);
+    out.push(enc(shape.m as f64, log));
+    out.push(enc(shape.n as f64, log));
+    out.push(enc(shape.k as f64, log));
+    out.push(enc(shape.dtype.size_bytes() as f64, log));
+    // Layout flags are categorical; they stay 0/1 in both variants.
+    out.push(shape.trans_a as u8 as f32);
+    out.push(shape.trans_b as u8 as f32);
+    push_tuning(&mut out, cfg, log);
+    out
+}
+
+/// Feature vector for a CONV `(input, tuning)` pair, built on the
+/// implicit-GEMM dimensions plus the convolution-specific structure
+/// (batch size and filter area) that shifts memory behaviour.
+pub fn conv_features(shape: &ConvShape, cfg: &GemmConfig, log: bool) -> Vec<f32> {
+    let mut out = Vec::with_capacity(CONV_FEATURES);
+    out.push(enc(shape.k as f64, log));
+    out.push(enc(shape.npq() as f64, log));
+    out.push(enc(shape.crs() as f64, log));
+    out.push(enc(shape.dtype.size_bytes() as f64, log));
+    out.push(enc(shape.n as f64, log));
+    out.push(enc((shape.r * shape.s) as f64, log));
+    push_tuning(&mut out, cfg, log);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use isaac_device::DType;
+
+    #[test]
+    fn gemm_feature_length_and_log() {
+        let shape = GemmShape::new(2048, 16, 4096, "N", "T", DType::F32);
+        let cfg = GemmConfig::default();
+        let f = gemm_features(&shape, &cfg, true);
+        assert_eq!(f.len(), GEMM_FEATURES);
+        assert_eq!(f[0], 11.0); // log2(2048)
+        assert_eq!(f[1], 4.0);
+        assert_eq!(f[2], 12.0);
+        assert_eq!(f[3], 2.0); // log2(4 bytes)
+        assert_eq!(f[4], 0.0);
+        assert_eq!(f[5], 1.0);
+    }
+
+    #[test]
+    fn raw_variant_keeps_magnitudes() {
+        let shape = GemmShape::new(2048, 16, 4096, "N", "N", DType::F64);
+        let cfg = GemmConfig::default();
+        let f = gemm_features(&shape, &cfg, false);
+        assert_eq!(f[0], 2048.0);
+        assert_eq!(f[3], 8.0);
+    }
+
+    #[test]
+    fn layout_flags_unaffected_by_log() {
+        let shape = GemmShape::new(64, 64, 64, "T", "N", DType::F32);
+        let cfg = GemmConfig::default();
+        let fl = gemm_features(&shape, &cfg, true);
+        let fr = gemm_features(&shape, &cfg, false);
+        assert_eq!(fl[4], fr[4]);
+        assert_eq!(fl[5], fr[5]);
+    }
+
+    #[test]
+    fn tuning_features_are_log2_of_params() {
+        let shape = GemmShape::new(64, 64, 64, "N", "N", DType::F32);
+        let cfg = GemmConfig {
+            ms: 8,
+            ns: 4,
+            ml: 64,
+            nl: 32,
+            u: 16,
+            ks: 1,
+            kl: 2,
+            kg: 4,
+            vec: 2,
+            ..Default::default()
+        };
+        let f = gemm_features(&shape, &cfg, true);
+        let tuning = &f[GEMM_INPUT_FEATURES..];
+        assert_eq!(
+            tuning,
+            &[3.0, 2.0, 6.0, 5.0, 4.0, 0.0, 1.0, 2.0, 1.0],
+            "log2 of [ms ns ml nl u ks kl kg vec]"
+        );
+    }
+
+    #[test]
+    fn conv_features_cover_structure() {
+        let shape = ConvShape::from_output(16, 14, 14, 48, 512, 5, 5, DType::F32);
+        let cfg = GemmConfig::default();
+        let f = conv_features(&shape, &cfg, true);
+        assert_eq!(f.len(), CONV_FEATURES);
+        assert_eq!(f[0], (48f64).log2() as f32);
+        assert_eq!(f[1], (3136f64).log2() as f32);
+        assert_eq!(f[2], (12800f64).log2() as f32);
+        assert_eq!(f[4], 4.0); // log2(16)
+        assert_eq!(f[5], (25f64).log2() as f32);
+    }
+
+    #[test]
+    fn distinct_configs_give_distinct_features() {
+        let shape = GemmShape::new(64, 64, 64, "N", "N", DType::F32);
+        let a = gemm_features(&shape, &GemmConfig::default(), true);
+        let b = gemm_features(
+            &shape,
+            &GemmConfig {
+                kg: 8,
+                ..Default::default()
+            },
+            true,
+        );
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,217 @@
+//! Runtime kernel inference (paper Section 6).
+//!
+//! At runtime the input parameters are fixed, so the regression model can
+//! be optimized over tuning parameters alone. Following the paper we use
+//! exhaustive search -- it finds the global optimum of the model within the
+//! space, is embarrassingly parallel, and makes it trivial to keep the
+//! top-k candidates for re-benchmarking on the "target device" to smooth
+//! out model noise.
+
+use crate::features::{conv_features, gemm_features};
+use isaac_device::{DeviceSpec, Profiler};
+use isaac_gen::legality::SPACE;
+use isaac_gen::profile::{conv_profile, gemm_profile};
+use isaac_gen::shapes::{ConvShape, GemmShape};
+use isaac_gen::GemmConfig;
+use isaac_mlp::io::ModelBundle;
+
+/// The outcome of tuning one input: the selected configuration, the
+/// model's prediction for it, and its (simulated) measurement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TunedChoice {
+    /// The winning configuration.
+    pub config: GemmConfig,
+    /// Model-predicted GFLOPS for the winner.
+    pub predicted_gflops: f64,
+    /// Re-benchmarked TFLOPS.
+    pub tflops: f64,
+    /// Re-benchmarked execution time in seconds.
+    pub time_s: f64,
+}
+
+/// Iterate the full cartesian space X-hat (all 9-parameter combinations).
+pub fn space_iter() -> impl Iterator<Item = GemmConfig> {
+    let sizes: Vec<usize> = SPACE.iter().map(|p| p.values.len()).collect();
+    let total: usize = sizes.iter().product();
+    (0..total).map(move |mut idx| {
+        let mut v = [0u32; 9];
+        for (slot, (range, &size)) in v.iter_mut().zip(SPACE.iter().zip(&sizes)) {
+            *slot = range.values[idx % size];
+            idx /= size;
+        }
+        GemmConfig::from_vector(v)
+    })
+}
+
+/// All configurations legal for `shape` on `spec`.
+pub fn enumerate_legal_gemm(shape: &GemmShape, spec: &DeviceSpec) -> Vec<GemmConfig> {
+    space_iter()
+        .filter(|cfg| isaac_gen::legality::check(cfg, shape, spec).is_ok())
+        .collect()
+}
+
+/// All configurations legal for a convolution.
+pub fn enumerate_legal_conv(shape: &ConvShape, spec: &DeviceSpec) -> Vec<GemmConfig> {
+    space_iter()
+        .filter(|cfg| isaac_gen::conv::check(cfg, shape, spec).is_ok())
+        .collect()
+}
+
+/// Indices of the `k` largest values.
+fn top_k_indices(scores: &[f32], k: usize) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..scores.len()).collect();
+    idx.sort_unstable_by(|&a, &b| scores[b].total_cmp(&scores[a]));
+    idx.truncate(k);
+    idx
+}
+
+/// Exhaustive model search + top-k re-benchmark for GEMM.
+pub fn infer_gemm(
+    bundle: &ModelBundle,
+    shape: &GemmShape,
+    profiler: &Profiler,
+    top_k: usize,
+    log_features: bool,
+) -> Option<TunedChoice> {
+    let spec = profiler.spec();
+    let candidates = enumerate_legal_gemm(shape, spec);
+    if candidates.is_empty() {
+        return None;
+    }
+    let rows: Vec<Vec<f32>> = candidates
+        .iter()
+        .map(|cfg| gemm_features(shape, cfg, log_features))
+        .collect();
+    let scores = bundle.predict_batch(&rows);
+    let mut best: Option<TunedChoice> = None;
+    for idx in top_k_indices(&scores, top_k) {
+        let cfg = candidates[idx];
+        let Ok(profile) = gemm_profile(&cfg, shape, spec) else {
+            continue;
+        };
+        let Ok(m) = profiler.measure_best_of(&profile, 3) else {
+            continue;
+        };
+        if best.as_ref().is_none_or(|b| m.time_s < b.time_s) {
+            best = Some(TunedChoice {
+                config: cfg,
+                predicted_gflops: (scores[idx] as f64).exp(),
+                tflops: m.tflops,
+                time_s: m.time_s,
+            });
+        }
+    }
+    best
+}
+
+/// Exhaustive model search + top-k re-benchmark for CONV.
+pub fn infer_conv(
+    bundle: &ModelBundle,
+    shape: &ConvShape,
+    profiler: &Profiler,
+    top_k: usize,
+    log_features: bool,
+) -> Option<TunedChoice> {
+    let spec = profiler.spec();
+    let candidates = enumerate_legal_conv(shape, spec);
+    if candidates.is_empty() {
+        return None;
+    }
+    let rows: Vec<Vec<f32>> = candidates
+        .iter()
+        .map(|cfg| conv_features(shape, cfg, log_features))
+        .collect();
+    let scores = bundle.predict_batch(&rows);
+    let mut best: Option<TunedChoice> = None;
+    for idx in top_k_indices(&scores, top_k) {
+        let cfg = candidates[idx];
+        let Ok(profile) = conv_profile(&cfg, shape, spec) else {
+            continue;
+        };
+        let Ok(m) = profiler.measure_best_of(&profile, 3) else {
+            continue;
+        };
+        if best.as_ref().is_none_or(|b| m.time_s < b.time_s) {
+            best = Some(TunedChoice {
+                config: cfg,
+                predicted_gflops: (scores[idx] as f64).exp(),
+                tflops: m.tflops,
+                time_s: m.time_s,
+            });
+        }
+    }
+    best
+}
+
+/// Brute-force oracle: measure *every* legal configuration and return the
+/// true best (the "10 hours of exhaustive search on hardware" the paper's
+/// runtime inference replaces). Used to evaluate selection quality.
+pub fn oracle_gemm(shape: &GemmShape, profiler: &Profiler) -> Option<TunedChoice> {
+    let spec = profiler.spec();
+    let mut best: Option<TunedChoice> = None;
+    for cfg in enumerate_legal_gemm(shape, spec) {
+        let Ok(profile) = gemm_profile(&cfg, shape, spec) else {
+            continue;
+        };
+        let Ok(m) = profiler.measure(&profile) else {
+            continue;
+        };
+        if best.as_ref().is_none_or(|b| m.time_s < b.time_s) {
+            best = Some(TunedChoice {
+                config: cfg,
+                predicted_gflops: m.tflops * 1e3,
+                tflops: m.tflops,
+                time_s: m.time_s,
+            });
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use isaac_device::specs::tesla_p100;
+    use isaac_device::DType;
+    use isaac_gen::legality::space_size;
+
+    #[test]
+    fn space_iter_covers_the_full_space() {
+        assert_eq!(space_iter().count() as u64, space_size());
+    }
+
+    #[test]
+    fn space_iter_yields_distinct_configs() {
+        let set: std::collections::HashSet<[u32; 9]> =
+            space_iter().map(|c| c.as_vector()).collect();
+        assert_eq!(set.len() as u64, space_size());
+    }
+
+    #[test]
+    fn legal_set_is_nonempty_for_benchmark_shapes() {
+        let spec = tesla_p100();
+        for (m, n, k) in [(512, 512, 512), (2560, 16, 2560), (32, 32, 60000)] {
+            let shape = GemmShape::new(m, n, k, "N", "T", DType::F32);
+            let legal = enumerate_legal_gemm(&shape, &spec);
+            assert!(
+                legal.len() > 100,
+                "({m},{n},{k}) has only {} legal configs",
+                legal.len()
+            );
+        }
+    }
+
+    #[test]
+    fn top_k_selects_largest() {
+        let scores = [0.1f32, 5.0, 3.0, 4.0, -1.0];
+        assert_eq!(top_k_indices(&scores, 3), vec![1, 3, 2]);
+    }
+
+    #[test]
+    fn oracle_finds_a_runnable_kernel() {
+        let profiler = Profiler::noiseless(tesla_p100());
+        let shape = GemmShape::new(256, 256, 256, "N", "T", DType::F32);
+        let best = oracle_gemm(&shape, &profiler).expect("some legal kernel");
+        assert!(best.tflops > 0.5, "oracle kernel too slow: {}", best.tflops);
+    }
+}

@@ -1,0 +1,34 @@
+//! The ISAAC auto-tuner: input-aware kernel selection learned from
+//! benchmarking data (the paper's primary contribution).
+//!
+//! Pipeline, mirroring paper Figure 1:
+//!
+//! 1. **Data generation** ([`sampling`], [`dataset`]): kernel
+//!    configurations are drawn from a Dirichlet-smoothed categorical
+//!    generative model fitted to the legal space X (Section 4), executed on
+//!    the device model, and recorded as `(features, log performance)`
+//!    pairs.
+//! 2. **Regression** ([`features`], `isaac-mlp`): an MLP over
+//!    log-transformed input+tuning features learns the performance
+//!    surface (Section 5).
+//! 3. **Runtime inference** ([`inference`]): for a fixed input, the model
+//!    is evaluated exhaustively over all legal tuning configurations, the
+//!    top-k predictions are re-benchmarked to smooth model noise, and the
+//!    winner is cached (Section 6).
+//!
+//! [`tuner::IsaacTuner`] packages the whole loop behind a
+//! `train -> tune -> execute` API; see the crate examples at the
+//! repository root.
+
+pub mod dataset;
+pub mod features;
+pub mod inference;
+pub mod optimizers;
+pub mod sampling;
+pub mod tuner;
+
+pub use dataset::{generate_conv_dataset, generate_gemm_dataset, DatasetOptions, OpKind};
+pub use inference::{enumerate_legal_gemm, infer_conv, infer_gemm, TunedChoice};
+pub use optimizers::{exhaustive, genetic, simulated_annealing, SearchResult};
+pub use sampling::{acceptance_rate, CategoricalSampler, UniformSampler};
+pub use tuner::{IsaacTuner, TrainOptions};

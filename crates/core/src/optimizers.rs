@@ -1,0 +1,278 @@
+//! Discrete optimizers over the tuning space.
+//!
+//! Paper Section 6: "Any discrete optimization method (e.g., simulated
+//! annealing, genetic algorithm, exhaustive search) may be used" to
+//! optimize the regression model over tuning parameters once the input is
+//! fixed. The paper opts for exhaustive search; this module provides all
+//! three so the trade-off (global optimality vs model evaluations) can be
+//! measured -- see the `ablations` bench.
+//!
+//! All optimizers work through a scoring closure `score(config) ->
+//! Option<f32>` (`None` marks illegal configurations), so they are
+//! agnostic to GEMM/CONV and to whether the score comes from the model or
+//! the simulator.
+
+use isaac_gen::legality::SPACE;
+use isaac_gen::GemmConfig;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Outcome of a search.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchResult {
+    /// Best configuration found.
+    pub config: GemmConfig,
+    /// Its score.
+    pub score: f32,
+    /// Number of scoring-closure evaluations spent.
+    pub evaluations: usize,
+}
+
+/// Exhaustive search: guaranteed global optimum of the score within the
+/// space (the paper's choice).
+pub fn exhaustive(mut score: impl FnMut(&GemmConfig) -> Option<f32>) -> Option<SearchResult> {
+    let mut best: Option<SearchResult> = None;
+    let mut evals = 0usize;
+    for cfg in crate::inference::space_iter() {
+        evals += 1;
+        if let Some(s) = score(&cfg) {
+            if best.as_ref().is_none_or(|b| s > b.score) {
+                best = Some(SearchResult {
+                    config: cfg,
+                    score: s,
+                    evaluations: 0,
+                });
+            }
+        }
+    }
+    best.map(|mut b| {
+        b.evaluations = evals;
+        b
+    })
+}
+
+/// Index of `value` within parameter `param`'s value list.
+fn value_index(param: usize, value: u32) -> usize {
+    SPACE[param]
+        .values
+        .iter()
+        .position(|&v| v == value)
+        .expect("config value within space")
+}
+
+/// Mutate one randomly chosen parameter to an adjacent value (a local
+/// move in the lattice).
+fn neighbor(cfg: &GemmConfig, rng: &mut StdRng) -> GemmConfig {
+    let mut v = cfg.as_vector();
+    let p = rng.gen_range(0..v.len());
+    let values = SPACE[p].values;
+    let idx = value_index(p, v[p]);
+    let new_idx = if idx == 0 {
+        1
+    } else if idx + 1 == values.len() {
+        idx - 1
+    } else if rng.gen_bool(0.5) {
+        idx - 1
+    } else {
+        idx + 1
+    };
+    v[p] = values[new_idx.min(values.len() - 1)];
+    GemmConfig::from_vector(v)
+}
+
+/// Draw a uniformly random point of the space.
+fn random_point(rng: &mut StdRng) -> GemmConfig {
+    let mut v = [0u32; 9];
+    for (slot, range) in v.iter_mut().zip(SPACE) {
+        *slot = range.values[rng.gen_range(0..range.values.len())];
+    }
+    GemmConfig::from_vector(v)
+}
+
+/// Simulated annealing with geometric cooling and random restarts on
+/// illegal states.
+pub fn simulated_annealing(
+    mut score: impl FnMut(&GemmConfig) -> Option<f32>,
+    iterations: usize,
+    seed: u64,
+) -> Option<SearchResult> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut evals = 0usize;
+    // Find a legal starting point.
+    let mut current = None;
+    for _ in 0..10_000 {
+        let cfg = random_point(&mut rng);
+        evals += 1;
+        if let Some(s) = score(&cfg) {
+            current = Some((cfg, s));
+            break;
+        }
+    }
+    let (mut cur_cfg, mut cur_score) = current?;
+    let mut best = SearchResult {
+        config: cur_cfg,
+        score: cur_score,
+        evaluations: 0,
+    };
+    // Temperature scale: scores are ln-GFLOPS-like, so O(1) spans matter.
+    let t0 = 0.5f32;
+    let t_end = 0.01f32;
+    for it in 0..iterations {
+        let t = t0 * (t_end / t0).powf(it as f32 / iterations.max(1) as f32);
+        let cand = neighbor(&cur_cfg, &mut rng);
+        evals += 1;
+        let Some(s) = score(&cand) else {
+            continue;
+        };
+        let accept = s >= cur_score || rng.gen::<f32>() < ((s - cur_score) / t).exp();
+        if accept {
+            cur_cfg = cand;
+            cur_score = s;
+            if s > best.score {
+                best = SearchResult {
+                    config: cand,
+                    score: s,
+                    evaluations: 0,
+                };
+            }
+        }
+    }
+    best.evaluations = evals;
+    Some(best)
+}
+
+/// A (mu + lambda) genetic search with uniform crossover and per-gene
+/// mutation.
+pub fn genetic(
+    mut score: impl FnMut(&GemmConfig) -> Option<f32>,
+    population: usize,
+    generations: usize,
+    seed: u64,
+) -> Option<SearchResult> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut evals = 0usize;
+    let mut scored: Vec<(GemmConfig, f32)> = Vec::new();
+    // Seed the population with legal individuals.
+    let mut attempts = 0;
+    while scored.len() < population && attempts < 50_000 {
+        attempts += 1;
+        let cfg = random_point(&mut rng);
+        evals += 1;
+        if let Some(s) = score(&cfg) {
+            scored.push((cfg, s));
+        }
+    }
+    if scored.is_empty() {
+        return None;
+    }
+    for _gen in 0..generations {
+        scored.sort_by(|a, b| b.1.total_cmp(&a.1));
+        scored.truncate(population.div_ceil(2).max(1));
+        let parents = scored.clone();
+        while scored.len() < population {
+            let pa = &parents[rng.gen_range(0..parents.len())].0;
+            let pb = &parents[rng.gen_range(0..parents.len())].0;
+            let (va, vb) = (pa.as_vector(), pb.as_vector());
+            let mut child = [0u32; 9];
+            for i in 0..9 {
+                child[i] = if rng.gen_bool(0.5) { va[i] } else { vb[i] };
+                // Mutation: jump to a random lattice value.
+                if rng.gen_bool(0.15) {
+                    let values = SPACE[i].values;
+                    child[i] = values[rng.gen_range(0..values.len())];
+                }
+            }
+            let cfg = GemmConfig::from_vector(child);
+            evals += 1;
+            if let Some(s) = score(&cfg) {
+                scored.push((cfg, s));
+            }
+        }
+    }
+    scored.sort_by(|a, b| b.1.total_cmp(&a.1));
+    let (config, s) = scored[0];
+    Some(SearchResult {
+        config,
+        score: s,
+        evaluations: evals,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use isaac_device::specs::tesla_p100;
+    use isaac_device::DType;
+    use isaac_gen::legality;
+    use isaac_gen::shapes::GemmShape;
+
+    /// A smooth synthetic objective with a known optimum: maximize
+    /// `-(log2 ml - 6)^2 - (log2 nl - 6)^2 - (u - 8)^2/16`, legality
+    /// permitting.
+    fn synthetic_score(shape: GemmShape) -> impl FnMut(&GemmConfig) -> Option<f32> {
+        let spec = tesla_p100();
+        move |cfg| {
+            legality::check(cfg, &shape, &spec).ok()?;
+            let lm = (cfg.ml as f32).log2();
+            let ln = (cfg.nl as f32).log2();
+            Some(-(lm - 6.0).powi(2) - (ln - 6.0).powi(2) - (cfg.u as f32 - 8.0).powi(2) / 16.0)
+        }
+    }
+
+    fn shape() -> GemmShape {
+        GemmShape::new(2048, 2048, 2048, "N", "T", DType::F32)
+    }
+
+    #[test]
+    fn exhaustive_finds_global_optimum() {
+        let best = exhaustive(synthetic_score(shape())).expect("found");
+        assert_eq!(best.config.ml, 64);
+        assert_eq!(best.config.nl, 64);
+        assert_eq!(best.config.u, 8);
+        assert_eq!(best.evaluations as u64, isaac_gen::legality::space_size());
+    }
+
+    #[test]
+    fn annealing_gets_close_with_few_evaluations() {
+        let target = exhaustive(synthetic_score(shape())).unwrap();
+        let sa = simulated_annealing(synthetic_score(shape()), 3_000, 7).expect("found");
+        assert!(
+            sa.score >= target.score - 1.0,
+            "SA {} vs exhaustive {}",
+            sa.score,
+            target.score
+        );
+        assert!(sa.evaluations < target.evaluations / 10);
+    }
+
+    #[test]
+    fn genetic_gets_close_with_few_evaluations() {
+        let target = exhaustive(synthetic_score(shape())).unwrap();
+        let ga = genetic(synthetic_score(shape()), 60, 25, 11).expect("found");
+        assert!(
+            ga.score >= target.score - 1.0,
+            "GA {} vs exhaustive {}",
+            ga.score,
+            target.score
+        );
+        assert!(ga.evaluations < target.evaluations / 10);
+    }
+
+    #[test]
+    fn neighbor_moves_stay_in_space() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut cfg = GemmConfig::default();
+        for _ in 0..500 {
+            cfg = neighbor(&cfg, &mut rng);
+            assert!(legality::in_space(&cfg).is_ok(), "{cfg:?}");
+        }
+    }
+
+    #[test]
+    fn optimizers_handle_fully_illegal_spaces() {
+        let dead = |_: &GemmConfig| -> Option<f32> { None };
+        assert!(exhaustive(dead).is_none());
+        assert!(simulated_annealing(dead, 100, 1).is_none());
+        assert!(genetic(dead, 10, 5, 1).is_none());
+    }
+}

@@ -1,0 +1,120 @@
+//! Numeric data types supported by the kernel generators and the device
+//! model.
+//!
+//! The paper evaluates half, single and double precision GEMM/CONV (Figures
+//! 6-11). The data type is one of the six *input parameters* of the tuning
+//! problem (three shapes, one data type, two transposition layouts).
+
+use std::fmt;
+
+/// Element type of a kernel's inputs/outputs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum DType {
+    /// IEEE-754 binary16. On devices with native `fp16x2` support two
+    /// multiply-accumulates issue per instruction.
+    F16,
+    /// IEEE-754 binary32.
+    F32,
+    /// IEEE-754 binary64.
+    F64,
+}
+
+impl DType {
+    /// All supported types, in increasing width order.
+    pub const ALL: [DType; 3] = [DType::F16, DType::F32, DType::F64];
+
+    /// Size of one element in bytes.
+    #[inline]
+    pub fn size_bytes(self) -> usize {
+        match self {
+            DType::F16 => 2,
+            DType::F32 => 4,
+            DType::F64 => 8,
+        }
+    }
+
+    /// Number of 32-bit registers one element occupies.
+    ///
+    /// Two `f16` values pack into a single 32-bit register (the basis of the
+    /// `fp16x2` instructions the paper exploits), so an `f16` element costs
+    /// half a register on average.
+    #[inline]
+    pub fn regs_per_element(self) -> f64 {
+        match self {
+            DType::F16 => 0.5,
+            DType::F32 => 1.0,
+            DType::F64 => 2.0,
+        }
+    }
+
+    /// Short lowercase name as used in kernel mangling (`h`, `s`, `d` --
+    /// matching the BLAS convention HGEMM/SGEMM/DGEMM).
+    pub fn blas_prefix(self) -> &'static str {
+        match self {
+            DType::F16 => "h",
+            DType::F32 => "s",
+            DType::F64 => "d",
+        }
+    }
+
+    /// A stable small integer id, used as a feature value by the predictive
+    /// model (the paper encodes data type as one of its ~20 features).
+    #[inline]
+    pub fn feature_id(self) -> f64 {
+        self.size_bytes() as f64
+    }
+
+    /// Parse from the BLAS-style prefix.
+    pub fn from_blas_prefix(s: &str) -> Option<DType> {
+        match s {
+            "h" => Some(DType::F16),
+            "s" => Some(DType::F32),
+            "d" => Some(DType::F64),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for DType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DType::F16 => "f16",
+            DType::F32 => "f32",
+            DType::F64 => "f64",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_are_monotone() {
+        assert!(DType::F16.size_bytes() < DType::F32.size_bytes());
+        assert!(DType::F32.size_bytes() < DType::F64.size_bytes());
+    }
+
+    #[test]
+    fn regs_track_width() {
+        for t in DType::ALL {
+            assert!((t.regs_per_element() - t.size_bytes() as f64 / 4.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn blas_prefix_roundtrip() {
+        for t in DType::ALL {
+            assert_eq!(DType::from_blas_prefix(t.blas_prefix()), Some(t));
+        }
+        assert_eq!(DType::from_blas_prefix("z"), None);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(DType::F16.to_string(), "f16");
+        assert_eq!(DType::F32.to_string(), "f32");
+        assert_eq!(DType::F64.to_string(), "f64");
+    }
+}

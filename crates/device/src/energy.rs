@@ -1,0 +1,159 @@
+//! Energy and power modeling.
+//!
+//! The paper's data-generation section notes that the performance
+//! measurement `y` may be "FLOPS, Joules, FLOPS/W..." -- energy-aware
+//! tuning was an explicit design goal. This module provides the board
+//! power model that turns a [`crate::SimReport`] into Joules:
+//!
+//! ```text
+//! P = P_idle + (TDP - P_idle) * (w_core * u_core + w_dram * u_dram)
+//! ```
+//!
+//! where `u_core` is the issue-slot utilization of the busiest compute
+//! pipe and `u_dram` the fraction of peak DRAM bandwidth in flight. The
+//! split between core and memory power follows the usual ~70/30 budget of
+//! GDDR5/HBM2-era boards. Power is clamped to the TDP (boards throttle).
+
+use crate::model::SimReport;
+use crate::specs::DeviceSpec;
+
+/// Fraction of the dynamic power budget attributed to the SMs.
+const CORE_POWER_SHARE: f64 = 0.7;
+/// Fraction attributed to the memory system.
+const DRAM_POWER_SHARE: f64 = 0.3;
+/// Idle power as a fraction of TDP (fans, leakage, memory refresh).
+const IDLE_FRACTION: f64 = 0.22;
+
+/// Energy/power estimate for one kernel execution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyReport {
+    /// Average board power in watts.
+    pub power_w: f64,
+    /// Total energy in joules.
+    pub energy_j: f64,
+    /// Energy efficiency in GFLOPS per watt.
+    pub gflops_per_w: f64,
+}
+
+/// Estimate energy for a simulated execution.
+pub fn estimate(spec: &DeviceSpec, report: &SimReport, useful_flops: f64) -> EnergyReport {
+    let total_cycles = (report.time_s * spec.clock_hz()).max(1.0);
+    // Utilization of the dominant compute pipe: how busy the SMs were.
+    let u_core = (report
+        .core_cycles
+        .max(report.smem_cycles)
+        .max(report.lsu_cycles)
+        / total_cycles)
+        .clamp(0.0, 1.0);
+    let u_dram = (report.dram_cycles / total_cycles).clamp(0.0, 1.0);
+
+    let idle = IDLE_FRACTION * spec.tdp_w as f64;
+    let dynamic_budget = spec.tdp_w as f64 - idle;
+    let power =
+        (idle + dynamic_budget * (CORE_POWER_SHARE * u_core + DRAM_POWER_SHARE * u_dram))
+            .min(spec.tdp_w as f64);
+    let energy = power * report.time_s;
+    EnergyReport {
+        power_w: power,
+        energy_j: energy,
+        // Sustained GFLOPS divided by average watts == GFLOP per joule.
+        gflops_per_w: useful_flops / report.time_s.max(1e-12) / 1e9 / power.max(1e-9),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dtype::DType;
+    use crate::model::simulate;
+    use crate::profile::{InstrMix, KernelProfile, Launch, MemoryFootprint};
+    use crate::specs::{gtx980ti, tesla_p100};
+
+    fn busy_profile() -> KernelProfile {
+        KernelProfile {
+            name: "busy".into(),
+            launch: Launch {
+                grid: [64, 64, 1],
+                block_threads: 256,
+            },
+            regs_per_thread: 64,
+            smem_per_block: 8192,
+            instr: InstrMix {
+                math: 65536.0,
+                flops_per_math: 2.0,
+                ldg: 512.0,
+                ldg_bytes: 16.0,
+                stg: 64.0,
+                stg_bytes: 4.0,
+                lds: 8192.0,
+                sts: 512.0,
+                atom: 0.0,
+                misc: 4000.0,
+                barriers: 256.0,
+            },
+            mem: MemoryFootprint {
+                read_bytes: 4e9,
+                unique_read_bytes: 4e7,
+                write_bytes: 1.6e7,
+                atomic_bytes: 0.0,
+                wave_reuse_fraction: 0.5,
+                wave_working_set: 2e6,
+            },
+            ilp: 8.0,
+            mlp: 4.0,
+            dtype: DType::F32,
+            useful_flops: 1.1e11,
+            misc_discount: 1.0,
+        }
+    }
+
+    #[test]
+    fn power_stays_within_board_limits() {
+        for spec in [gtx980ti(), tesla_p100()] {
+            let r = simulate(&spec, &busy_profile()).unwrap();
+            let e = estimate(&spec, &r, 1.1e11);
+            assert!(e.power_w > IDLE_FRACTION * spec.tdp_w as f64);
+            assert!(e.power_w <= spec.tdp_w as f64);
+            assert!(e.energy_j > 0.0);
+        }
+    }
+
+    #[test]
+    fn busier_kernels_draw_more_power() {
+        let spec = tesla_p100();
+        let busy = simulate(&spec, &busy_profile()).unwrap();
+        let mut lazy_profile = busy_profile();
+        // Same work spread across far more time via tiny occupancy.
+        lazy_profile.launch.grid = [1, 1, 1];
+        let lazy = simulate(&spec, &lazy_profile).unwrap();
+        let eb = estimate(&spec, &busy, 1.1e11);
+        let el = estimate(&spec, &lazy, 1.1e11 / 4096.0);
+        assert!(eb.power_w > el.power_w, "{} vs {}", eb.power_w, el.power_w);
+    }
+
+    #[test]
+    fn gflops_per_w_consistent() {
+        let spec = tesla_p100();
+        let r = simulate(&spec, &busy_profile()).unwrap();
+        let e = estimate(&spec, &r, 1.1e11);
+        let expect = (1.1e11 / r.time_s) / 1e9 / e.power_w;
+        assert!(
+            (e.gflops_per_w - expect).abs() / expect < 1e-9,
+            "{} vs {}",
+            e.gflops_per_w,
+            expect
+        );
+    }
+
+    #[test]
+    fn energy_scales_with_time() {
+        let spec = tesla_p100();
+        let r = simulate(&spec, &busy_profile()).unwrap();
+        let e1 = estimate(&spec, &r, 1.1e11);
+        let mut longer = r.clone();
+        longer.time_s *= 2.0;
+        let e2 = estimate(&spec, &longer, 1.1e11);
+        // Utilization halves but idle power keeps burning: energy grows.
+        assert!(e2.energy_j > e1.energy_j);
+    }
+}

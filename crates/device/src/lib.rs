@@ -1,0 +1,46 @@
+//! GPU device models, occupancy calculation and an analytical performance
+//! simulator.
+//!
+//! This crate is the hardware substitute for the ISAAC reproduction: the
+//! paper benchmarks generated PTX kernels on an NVIDIA GTX 980 Ti (Maxwell)
+//! and a Tesla P100 (Pascal). Neither device is available here, so kernel
+//! *timing* is produced by a calibrated analytical model in the spirit of
+//! the latency/throughput model the paper itself builds on (Volkov 2016,
+//! paper Eq. (2)-(3)):
+//!
+//! ```text
+//! t_arith(n) = max(alu_latency / n, alu_throughput)
+//! t_mem(n)   = max(mem_latency / n, mem_throughput)
+//! t(n)       = max(t_arith(n) * i_arith, t_mem(n) * i_mem)
+//! ```
+//!
+//! where `n` is the achieved occupancy in warps per multiprocessor. On top of
+//! that skeleton the model adds the effects the paper's analysis section
+//! attributes performance differences to: tail waste of oversized tiles,
+//! wave quantization, register/shared-memory occupancy limits, L2 reuse as a
+//! function of the resident block wave and prefetch depth, reduced write
+//! bandwidth under global atomics, and fp16x2 / fp64 throughput ratios.
+//!
+//! The entry points are [`DeviceSpec`] (see [`specs::gtx980ti`] and
+//! [`specs::tesla_p100`]), [`occupancy::Occupancy`], and
+//! [`model::simulate`] which maps a [`profile::KernelProfile`] to a
+//! [`model::SimReport`]. [`profiler::Profiler`] wraps the model with seeded
+//! log-normal measurement noise so that "benchmarking" a kernel behaves like
+//! a real measurement campaign.
+
+pub mod dtype;
+pub mod energy;
+pub mod model;
+pub mod noise;
+pub mod occupancy;
+pub mod profile;
+pub mod profiler;
+pub mod specs;
+
+pub use dtype::DType;
+pub use energy::{estimate as estimate_energy, EnergyReport};
+pub use model::{simulate, SimReport};
+pub use occupancy::Occupancy;
+pub use profile::{InstrMix, KernelProfile, Launch, MemoryFootprint};
+pub use profiler::{Measurement, Profiler};
+pub use specs::{DeviceSpec, MicroArch};

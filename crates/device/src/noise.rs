@@ -1,0 +1,120 @@
+//! Deterministic pseudo-random measurement noise.
+//!
+//! Real kernel timings fluctuate (clock boost states, scheduling, DRAM
+//! refresh); the paper's runtime inference step re-benchmarks the top-100
+//! model predictions precisely "to smooth out the inherent noise" (Section
+//! 6). To make that machinery meaningful, our profiler perturbs model times
+//! with multiplicative log-normal noise from a small, dependency-free
+//! splitmix64 generator so the whole pipeline stays reproducible from a
+//! single seed.
+
+/// A tiny deterministic RNG (splitmix64).
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Create a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next raw 64-bit value.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in [0, 1).
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Standard normal via Box-Muller.
+    pub fn next_gaussian(&mut self) -> f64 {
+        let mut u1 = self.next_f64();
+        if u1 < 1e-300 {
+            u1 = 1e-300;
+        }
+        let u2 = self.next_f64();
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    }
+
+    /// Multiplicative log-normal factor with the given sigma (in log space).
+    pub fn lognormal_factor(&mut self, sigma: f64) -> f64 {
+        (sigma * self.next_gaussian()).exp()
+    }
+}
+
+/// Derive a stable 64-bit hash from a string (FNV-1a), used to give every
+/// kernel its own noise stream so repeated measurements of the *same* kernel
+/// vary while the campaign stays reproducible.
+pub fn hash_name(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SplitMix64::new(1);
+        let mut b = SplitMix64::new(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn uniform_in_unit_interval() {
+        let mut g = SplitMix64::new(7);
+        for _ in 0..10_000 {
+            let x = g.next_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn gaussian_moments_are_sane() {
+        let mut g = SplitMix64::new(9);
+        let n = 20_000;
+        let xs: Vec<f64> = (0..n).map(|_| g.next_gaussian()).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "variance {var}");
+    }
+
+    #[test]
+    fn lognormal_factor_centers_near_one() {
+        let mut g = SplitMix64::new(11);
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| g.lognormal_factor(0.03)).sum::<f64>() / n as f64;
+        assert!((mean - 1.0).abs() < 0.01, "mean factor {mean}");
+    }
+
+    #[test]
+    fn name_hash_is_stable_and_distinct() {
+        assert_eq!(hash_name("sgemm"), hash_name("sgemm"));
+        assert_ne!(hash_name("sgemm"), hash_name("dgemm"));
+    }
+}

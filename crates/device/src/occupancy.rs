@@ -1,0 +1,215 @@
+//! CUDA-style occupancy calculation.
+//!
+//! Occupancy -- resident warps per multiprocessor -- is the `n` of the
+//! paper's Eq. (2): it determines how much thread-level parallelism is
+//! available to hide ALU and memory latency. Resident blocks per SM are
+//! limited by four resources: thread slots, block slots, the register file
+//! and shared memory. The paper's Section 8.1 analysis table reports
+//! occupancy as a percentage of the maximum warp residency; we reproduce
+//! that convention here.
+
+use crate::profile::KernelProfile;
+use crate::specs::DeviceSpec;
+
+/// Result of an occupancy computation for one kernel on one device.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Occupancy {
+    /// Blocks resident per SM.
+    pub blocks_per_sm: u32,
+    /// Warps resident per SM.
+    pub warps_per_sm: u32,
+    /// Occupancy as a fraction of the device's maximum resident warps.
+    pub fraction: f64,
+    /// Which resource is the limiter.
+    pub limiter: Limiter,
+}
+
+/// The resource that bounds residency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Limiter {
+    /// Thread slots per SM.
+    Threads,
+    /// Hardware block slots per SM.
+    Blocks,
+    /// Register file capacity.
+    Registers,
+    /// Shared memory capacity.
+    SharedMemory,
+    /// The kernel cannot run at all (a resource request exceeds per-block
+    /// hardware limits).
+    Infeasible,
+}
+
+impl std::fmt::Display for Limiter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Limiter::Threads => "threads",
+            Limiter::Blocks => "blocks",
+            Limiter::Registers => "registers",
+            Limiter::SharedMemory => "shared memory",
+            Limiter::Infeasible => "infeasible",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Round `v` up to a multiple of `unit`.
+#[inline]
+fn round_up(v: u32, unit: u32) -> u32 {
+    v.div_ceil(unit) * unit
+}
+
+/// Compute occupancy of `profile` on `spec`.
+///
+/// Returns `blocks_per_sm == 0` with [`Limiter::Infeasible`] when the kernel
+/// exceeds a hard per-block limit (threads per block, registers per thread,
+/// shared memory per block): these are the configurations that "can be
+/// properly compiled but not safely executed" distinguishing the legal space
+/// X from the possible space X-hat in paper Section 4.
+pub fn occupancy(spec: &DeviceSpec, profile: &KernelProfile) -> Occupancy {
+    let threads = profile.launch.block_threads;
+    let warps = profile.launch.warps_per_block();
+
+    if threads == 0
+        || threads > 1024
+        || profile.regs_per_thread > spec.max_regs_per_thread
+        || profile.smem_per_block > spec.max_smem_per_block
+    {
+        return Occupancy {
+            blocks_per_sm: 0,
+            warps_per_sm: 0,
+            fraction: 0.0,
+            limiter: Limiter::Infeasible,
+        };
+    }
+
+    // Register allocation happens per warp, rounded to the allocation unit.
+    let regs_per_warp = round_up(profile.regs_per_thread.max(16) * 32, spec.reg_alloc_unit);
+    let regs_per_block = regs_per_warp * warps;
+    let smem_per_block = round_up(profile.smem_per_block.max(1), spec.smem_alloc_unit);
+
+    let by_threads = spec.max_threads_per_sm / threads;
+    let by_blocks = spec.max_blocks_per_sm;
+    let by_regs = spec.regs_per_sm / regs_per_block.max(1);
+    let by_smem = spec.smem_per_sm / smem_per_block;
+
+    let blocks_per_sm = by_threads.min(by_blocks).min(by_regs).min(by_smem);
+    if blocks_per_sm == 0 {
+        // Register or smem demand of a single block exceeds the SM.
+        let limiter = if by_regs == 0 {
+            Limiter::Registers
+        } else {
+            Limiter::SharedMemory
+        };
+        return Occupancy {
+            blocks_per_sm: 0,
+            warps_per_sm: 0,
+            fraction: 0.0,
+            limiter,
+        };
+    }
+
+    let limiter = if blocks_per_sm == by_threads {
+        Limiter::Threads
+    } else if blocks_per_sm == by_regs {
+        Limiter::Registers
+    } else if blocks_per_sm == by_smem {
+        Limiter::SharedMemory
+    } else {
+        Limiter::Blocks
+    };
+
+    let warps_per_sm = blocks_per_sm * warps;
+    Occupancy {
+        blocks_per_sm,
+        warps_per_sm,
+        fraction: warps_per_sm as f64 / spec.max_warps_per_sm() as f64,
+        limiter,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dtype::DType;
+    use crate::profile::{InstrMix, Launch, MemoryFootprint};
+    use crate::specs::{gtx980ti, tesla_p100};
+
+    fn profile(threads: u32, regs: u32, smem: u32) -> KernelProfile {
+        KernelProfile {
+            name: "t".into(),
+            launch: Launch {
+                grid: [1024, 1, 1],
+                block_threads: threads,
+            },
+            regs_per_thread: regs,
+            smem_per_block: smem,
+            instr: InstrMix {
+                math: 1000.0,
+                flops_per_math: 2.0,
+                ..Default::default()
+            },
+            mem: MemoryFootprint::default(),
+            ilp: 4.0,
+            mlp: 2.0,
+            dtype: DType::F32,
+            useful_flops: 1e9,
+            misc_discount: 1.0,
+        }
+    }
+
+    #[test]
+    fn small_kernel_is_thread_limited() {
+        let o = occupancy(&gtx980ti(), &profile(256, 32, 4096));
+        assert_eq!(o.limiter, Limiter::Threads);
+        assert_eq!(o.blocks_per_sm, 8);
+        assert_eq!(o.warps_per_sm, 64);
+        assert!((o.fraction - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn register_pressure_limits_occupancy() {
+        // 120 regs/thread, 256 threads -> 120*32 rounded = 3840/warp,
+        // 8 warps -> 30720 regs/block -> 2 blocks/SM on a 64K file.
+        let o = occupancy(&gtx980ti(), &profile(256, 120, 1024));
+        assert_eq!(o.limiter, Limiter::Registers);
+        assert_eq!(o.blocks_per_sm, 2);
+        assert!(o.fraction < 0.3);
+    }
+
+    #[test]
+    fn shared_memory_limits_occupancy() {
+        let o = occupancy(&gtx980ti(), &profile(128, 32, 40 * 1024));
+        assert_eq!(o.limiter, Limiter::SharedMemory);
+        assert_eq!(o.blocks_per_sm, 2);
+    }
+
+    #[test]
+    fn infeasible_configurations_are_flagged() {
+        let o = occupancy(&gtx980ti(), &profile(2048, 32, 1024));
+        assert_eq!(o.limiter, Limiter::Infeasible);
+        let o = occupancy(&gtx980ti(), &profile(256, 255, 64 * 1024));
+        assert_eq!(o.limiter, Limiter::Infeasible);
+    }
+
+    #[test]
+    fn p100_smem_is_tighter_than_maxwell() {
+        let p = profile(256, 32, 24 * 1024);
+        let m = occupancy(&gtx980ti(), &p);
+        let pa = occupancy(&tesla_p100(), &p);
+        // 96K vs 64K shared memory per SM.
+        assert!(m.blocks_per_sm > pa.blocks_per_sm);
+    }
+
+    #[test]
+    fn occupancy_fraction_never_exceeds_one() {
+        for threads in [32, 64, 96, 128, 256, 512, 1024] {
+            for regs in [16, 32, 64, 128] {
+                for smem in [0, 1024, 8192, 32768] {
+                    let o = occupancy(&tesla_p100(), &profile(threads, regs, smem));
+                    assert!(o.fraction <= 1.0 + 1e-12);
+                }
+            }
+        }
+    }
+}

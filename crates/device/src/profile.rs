@@ -1,0 +1,215 @@
+//! The abstract execution profile of a kernel, as consumed by the
+//! performance model.
+//!
+//! The kernel generators in `isaac-gen` lower a tuning configuration to (a)
+//! executable IR for the functional VM and (b) a [`KernelProfile`]: launch
+//! geometry, per-thread instruction mix, resource usage and a memory-traffic
+//! summary. The analytical model in [`crate::model`] turns the profile into
+//! a time estimate on a given [`crate::DeviceSpec`].
+
+use crate::dtype::DType;
+
+/// Grid/block launch geometry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Launch {
+    /// Number of blocks along each grid dimension.
+    pub grid: [u32; 3],
+    /// Threads per block (flattened; the generators use 1-D blocks).
+    pub block_threads: u32,
+}
+
+impl Launch {
+    /// Total number of blocks in the grid.
+    #[inline]
+    pub fn blocks(&self) -> u64 {
+        self.grid.iter().map(|&g| g as u64).product()
+    }
+
+    /// Warps per block (rounded up).
+    #[inline]
+    pub fn warps_per_block(&self) -> u32 {
+        self.block_threads.div_ceil(32)
+    }
+
+    /// Total threads launched.
+    #[inline]
+    pub fn total_threads(&self) -> u64 {
+        self.blocks() * self.block_threads as u64
+    }
+}
+
+/// Per-thread dynamic instruction counts over the whole kernel execution.
+///
+/// Counts are *warp-level* in the SIMT sense: every thread of a warp executes
+/// the same instruction, so per-thread counts equal per-warp instruction
+/// issue counts.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct InstrMix {
+    /// Math instructions on the accumulation pipeline (FMA-class). For
+    /// `fp16x2` one instruction performs two MACs; see `flops_per_math`.
+    pub math: f64,
+    /// Useful FLOPs produced by one math instruction (2 for scalar FMA,
+    /// 4 for fp16x2).
+    pub flops_per_math: f64,
+    /// Global (DRAM/L2) load instructions.
+    pub ldg: f64,
+    /// Bytes moved per global load instruction per thread (vector width x
+    /// element size).
+    pub ldg_bytes: f64,
+    /// Global store instructions.
+    pub stg: f64,
+    /// Bytes per global store instruction per thread.
+    pub stg_bytes: f64,
+    /// Shared-memory load instructions.
+    pub lds: f64,
+    /// Shared-memory store instructions.
+    pub sts: f64,
+    /// Global atomic read-modify-write operations.
+    pub atom: f64,
+    /// Integer / address / compare / branch / conversion instructions.
+    pub misc: f64,
+    /// Barrier (`bar.sync`) count.
+    pub barriers: f64,
+}
+
+impl InstrMix {
+    /// Total issued instructions per thread (excluding barriers).
+    pub fn total(&self) -> f64 {
+        self.math + self.ldg + self.stg + self.lds + self.sts + self.atom + self.misc
+    }
+
+    /// Arithmetic intensity of the instruction stream: math instructions per
+    /// memory-pipe instruction. Used in tests and diagnostics.
+    pub fn math_per_mem(&self) -> f64 {
+        let mem = self.ldg + self.stg + self.lds + self.sts + self.atom;
+        if mem == 0.0 {
+            f64::INFINITY
+        } else {
+            self.math / mem
+        }
+    }
+}
+
+/// Global-memory traffic summary for the kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct MemoryFootprint {
+    /// Total bytes requested from the global space by loads, after intra-warp
+    /// coalescing (i.e. distinct 32-byte sectors x 32).
+    pub read_bytes: f64,
+    /// Unique input bytes (size of the operands); reads beyond this are
+    /// re-reads that may hit in L2.
+    pub unique_read_bytes: f64,
+    /// Bytes written by ordinary global stores.
+    pub write_bytes: f64,
+    /// Bytes written by global atomics (each costs a read+write internally).
+    pub atomic_bytes: f64,
+    /// Fraction of the re-read traffic that exhibits wave-level reuse (same
+    /// panel consumed by concurrently resident blocks). Computed by the
+    /// generator from the grid layout; see `isaac-gen`.
+    pub wave_reuse_fraction: f64,
+    /// Bytes of distinct panel data live per resident wave; if this exceeds
+    /// the L2 capacity the reuse fraction degrades.
+    pub wave_working_set: f64,
+}
+
+/// Everything the analytical model needs to know about one kernel launch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelProfile {
+    /// Human-readable kernel name (mangled tuning parameters).
+    pub name: String,
+    /// Launch geometry.
+    pub launch: Launch,
+    /// 32-bit registers per thread (after allocation-granularity rounding
+    /// the model applies its own rounding too).
+    pub regs_per_thread: u32,
+    /// Shared memory per block, in bytes.
+    pub smem_per_block: u32,
+    /// Per-thread instruction mix.
+    pub instr: InstrMix,
+    /// Global memory traffic.
+    pub mem: MemoryFootprint,
+    /// Independent accumulation chains per thread (ILP the scheduler can
+    /// exploit to hide ALU latency): roughly MS*NS*KS for the generators.
+    pub ilp: f64,
+    /// Outstanding global loads a thread sustains (memory-level
+    /// parallelism): prefetch width / double buffering raise this.
+    pub mlp: f64,
+    /// Element type.
+    pub dtype: DType,
+    /// Useful FLOPs of the mathematical operation (e.g. 2*M*N*K): the
+    /// denominator of the reported TFLOPS. Padded/predicated-off lanes do
+    /// not contribute.
+    pub useful_flops: f64,
+    /// Multiplier (<= 1.0) on `misc` instruction cost for hand-scheduled
+    /// assembly kernels (the cuBLAS stand-in gets a bonus on its home
+    /// architecture; generated PTX kernels use 1.0).
+    pub misc_discount: f64,
+}
+
+impl KernelProfile {
+    /// A rough sanity score used in debug assertions: every kernel must do
+    /// *some* math and move *some* data.
+    pub fn is_plausible(&self) -> bool {
+        self.instr.math > 0.0
+            && self.useful_flops > 0.0
+            && self.launch.blocks() > 0
+            && self.launch.block_threads > 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn launch() -> Launch {
+        Launch {
+            grid: [16, 8, 2],
+            block_threads: 256,
+        }
+    }
+
+    #[test]
+    fn launch_arithmetic() {
+        let l = launch();
+        assert_eq!(l.blocks(), 256);
+        assert_eq!(l.warps_per_block(), 8);
+        assert_eq!(l.total_threads(), 256 * 256);
+    }
+
+    #[test]
+    fn warp_rounding() {
+        let l = Launch {
+            grid: [1, 1, 1],
+            block_threads: 33,
+        };
+        assert_eq!(l.warps_per_block(), 2);
+    }
+
+    #[test]
+    fn instr_mix_totals() {
+        let m = InstrMix {
+            math: 100.0,
+            flops_per_math: 2.0,
+            ldg: 10.0,
+            ldg_bytes: 16.0,
+            stg: 2.0,
+            stg_bytes: 4.0,
+            lds: 20.0,
+            sts: 5.0,
+            atom: 1.0,
+            misc: 30.0,
+            barriers: 4.0,
+        };
+        assert!((m.total() - 168.0).abs() < 1e-12);
+        assert!((m.math_per_mem() - 100.0 / 38.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_mix_has_infinite_intensity() {
+        let m = InstrMix {
+            math: 5.0,
+            ..Default::default()
+        };
+        assert!(m.math_per_mem().is_infinite());
+    }
+}

@@ -1,0 +1,309 @@
+//! Device specifications for the two test platforms of the paper (Table 3),
+//! extended with the "hidden" micro-architectural parameters the analytical
+//! model needs (latencies, per-pipe issue rates, cache sizes, scheduling
+//! limits). The public Table-3 numbers are transcribed verbatim; the hidden
+//! parameters are taken from vendor documentation and micro-benchmarking
+//! literature for GM200/GP100 and are what a learned model would implicitly
+//! discover (paper Section 5.2: "hidden hardware features").
+
+use crate::dtype::DType;
+
+/// GPU micro-architecture family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MicroArch {
+    /// NVIDIA Maxwell (GM2xx).
+    Maxwell,
+    /// NVIDIA Pascal (GP1xx).
+    Pascal,
+}
+
+impl std::fmt::Display for MicroArch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MicroArch::Maxwell => f.write_str("Maxwell"),
+            MicroArch::Pascal => f.write_str("Pascal"),
+        }
+    }
+}
+
+/// Full description of a simulated device.
+///
+/// Public fields mirror paper Table 3; the remaining fields parameterize the
+/// analytical performance model in [`crate::model`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceSpec {
+    /// Marketing name, e.g. `"GTX 980 TI"`.
+    pub name: &'static str,
+    /// Market segment as listed in Table 3 (`Consumer` / `Server`).
+    pub market_segment: &'static str,
+    /// Micro-architecture family.
+    pub arch: MicroArch,
+    /// Chip name (GM200 / GP100).
+    pub chip: &'static str,
+    /// Total CUDA cores (fp32 lanes).
+    pub cuda_cores: u32,
+    /// Boost clock in MHz.
+    pub boost_mhz: u32,
+    /// Memory type string (GDDR5 / HBM2).
+    pub memory_type: &'static str,
+    /// Device memory in GiB.
+    pub memory_gib: u32,
+    /// Peak DRAM bandwidth in GB/s.
+    pub memory_bw_gbs: f64,
+    /// Board TDP in watts.
+    pub tdp_w: u32,
+
+    // ---- hidden micro-architectural parameters -------------------------
+    /// Number of streaming multiprocessors.
+    pub sm_count: u32,
+    /// fp32 lanes per SM (cores / SM).
+    pub cores_per_sm: u32,
+    /// Maximum resident threads per SM.
+    pub max_threads_per_sm: u32,
+    /// Maximum resident blocks per SM.
+    pub max_blocks_per_sm: u32,
+    /// 32-bit registers per SM.
+    pub regs_per_sm: u32,
+    /// Maximum registers addressable per thread.
+    pub max_regs_per_thread: u32,
+    /// Register allocation granularity per warp (registers round up to this).
+    pub reg_alloc_unit: u32,
+    /// Shared memory per SM in bytes.
+    pub smem_per_sm: u32,
+    /// Maximum shared memory per block in bytes.
+    pub max_smem_per_block: u32,
+    /// Shared memory allocation granularity in bytes.
+    pub smem_alloc_unit: u32,
+    /// L2 cache size in bytes.
+    pub l2_bytes: u64,
+    /// fp32 FMA dependent-issue latency in cycles.
+    pub alu_latency: f64,
+    /// DRAM round-trip latency in cycles.
+    pub mem_latency: f64,
+    /// Shared-memory load-to-use latency in cycles.
+    pub smem_latency: f64,
+    /// Warp-instructions per cycle per SM for fp32 FMA.
+    pub fma_ipc: f64,
+    /// Warp-instructions per cycle per SM for integer/misc ALU ops.
+    pub int_ipc: f64,
+    /// Warp-instructions per cycle per SM for shared-memory accesses.
+    pub smem_ipc: f64,
+    /// Warp-instructions per cycle per SM the LSU sustains for global ops.
+    pub lsu_ipc: f64,
+    /// fp64 throughput as a fraction of fp32 (1/32 Maxwell, 1/2 GP100).
+    pub fp64_ratio: f64,
+    /// Whether the device issues packed `fp16x2` instructions (2 MACs per
+    /// instruction). GM200 lacks it; GP100 has it at full rate.
+    pub has_fp16x2: bool,
+    /// Sustained global red/atom operations per cycle per SM (distinct
+    /// addresses; same-address contention is modeled separately).
+    pub atomic_ops_per_cycle_sm: f64,
+    /// Kernel launch overhead in microseconds.
+    pub launch_overhead_us: f64,
+    /// Per-block scheduling overhead in cycles (charged once per block on
+    /// its home SM).
+    pub block_overhead_cycles: f64,
+    /// Fraction of peak DRAM bandwidth reachable by a well-tuned streaming
+    /// kernel (GDDR5 vs HBM2 behave differently; see paper Section 7.1).
+    pub dram_efficiency: f64,
+}
+
+impl DeviceSpec {
+    /// Core clock in Hz.
+    #[inline]
+    pub fn clock_hz(&self) -> f64 {
+        self.boost_mhz as f64 * 1e6
+    }
+
+    /// Peak fp32 throughput in FLOP/s (2 FLOPs per FMA lane per cycle).
+    #[inline]
+    pub fn peak_flops_f32(&self) -> f64 {
+        self.cuda_cores as f64 * 2.0 * self.clock_hz()
+    }
+
+    /// Peak throughput in FLOP/s for an arbitrary data type.
+    pub fn peak_flops(&self, dtype: DType) -> f64 {
+        match dtype {
+            DType::F32 => self.peak_flops_f32(),
+            DType::F64 => self.peak_flops_f32() * self.fp64_ratio,
+            DType::F16 => {
+                if self.has_fp16x2 {
+                    self.peak_flops_f32() * 2.0
+                } else {
+                    self.peak_flops_f32()
+                }
+            }
+        }
+    }
+
+    /// Peak DRAM bandwidth in bytes/s.
+    #[inline]
+    pub fn peak_bw_bytes(&self) -> f64 {
+        self.memory_bw_gbs * 1e9
+    }
+
+    /// Maximum resident warps per SM.
+    #[inline]
+    pub fn max_warps_per_sm(&self) -> u32 {
+        self.max_threads_per_sm / 32
+    }
+
+    /// Render the Table-3 style description of this device, one
+    /// `(label, value)` pair per row.
+    pub fn table3_rows(&self) -> Vec<(&'static str, String)> {
+        vec![
+            ("GPU", self.name.to_string()),
+            ("Market Segment", self.market_segment.to_string()),
+            ("Micro-architecture", self.chip.to_string()),
+            ("CUDA cores", self.cuda_cores.to_string()),
+            ("Boost frequency", format!("{} MHz", self.boost_mhz)),
+            (
+                "Processing Power",
+                format!("{:.1} TFLOPS", self.peak_flops_f32() / 1e12),
+            ),
+            ("Memory quantity", format!("{} GB", self.memory_gib)),
+            ("Memory Type", self.memory_type.to_string()),
+            ("Memory Bandwidth", format!("{} GB/S", self.memory_bw_gbs)),
+            ("TDP", format!("{}W", self.tdp_w)),
+        ]
+    }
+}
+
+/// The GTX 980 Ti test platform (Maxwell GM200) of paper Table 3.
+pub fn gtx980ti() -> DeviceSpec {
+    DeviceSpec {
+        name: "GTX 980 TI",
+        market_segment: "Consumer",
+        arch: MicroArch::Maxwell,
+        chip: "GM200",
+        cuda_cores: 2816,
+        boost_mhz: 1075,
+        memory_type: "GDDR5",
+        memory_gib: 6,
+        memory_bw_gbs: 336.0,
+        tdp_w: 250,
+
+        sm_count: 22,
+        cores_per_sm: 128,
+        max_threads_per_sm: 2048,
+        max_blocks_per_sm: 32,
+        regs_per_sm: 65_536,
+        max_regs_per_thread: 255,
+        reg_alloc_unit: 256,
+        smem_per_sm: 96 * 1024,
+        max_smem_per_block: 48 * 1024,
+        smem_alloc_unit: 256,
+        l2_bytes: 3 * 1024 * 1024,
+        alu_latency: 6.0,
+        mem_latency: 368.0,
+        smem_latency: 24.0,
+        fma_ipc: 4.0,
+        int_ipc: 4.0,
+        smem_ipc: 1.0,
+        lsu_ipc: 1.0,
+        fp64_ratio: 1.0 / 32.0,
+        has_fp16x2: false,
+        atomic_ops_per_cycle_sm: 1.0,
+        launch_overhead_us: 5.0,
+        block_overhead_cycles: 700.0,
+        // GDDR5: high-frequency narrow bus, good random-access behaviour.
+        dram_efficiency: 0.88,
+    }
+}
+
+/// The Tesla P100 (PCIE) test platform (Pascal GP100) of paper Table 3.
+pub fn tesla_p100() -> DeviceSpec {
+    DeviceSpec {
+        name: "Tesla P100 (PCIE)",
+        market_segment: "Server",
+        arch: MicroArch::Pascal,
+        chip: "GP100",
+        cuda_cores: 3584,
+        boost_mhz: 1353,
+        memory_type: "HBM2",
+        memory_gib: 16,
+        memory_bw_gbs: 732.0,
+        tdp_w: 250,
+
+        sm_count: 56,
+        cores_per_sm: 64,
+        max_threads_per_sm: 2048,
+        max_blocks_per_sm: 32,
+        regs_per_sm: 65_536,
+        max_regs_per_thread: 255,
+        reg_alloc_unit: 256,
+        smem_per_sm: 64 * 1024,
+        max_smem_per_block: 48 * 1024,
+        smem_alloc_unit: 256,
+        l2_bytes: 4 * 1024 * 1024,
+        alu_latency: 6.0,
+        mem_latency: 430.0,
+        smem_latency: 24.0,
+        fma_ipc: 2.0,
+        int_ipc: 2.0,
+        smem_ipc: 1.0,
+        lsu_ipc: 0.5,
+        fp64_ratio: 0.5,
+        has_fp16x2: true,
+        atomic_ops_per_cycle_sm: 1.0,
+        launch_overhead_us: 5.0,
+        block_overhead_cycles: 700.0,
+        // HBM2: wide low-frequency bus; streaming efficiency is good but
+        // short, scattered bursts pay more than on GDDR5 (Section 7.1).
+        dram_efficiency: 0.82,
+    }
+}
+
+/// Both paper test platforms, in paper order.
+pub fn all_devices() -> Vec<DeviceSpec> {
+    vec![gtx980ti(), tesla_p100()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn peak_flops_match_table3() {
+        // Table 3 lists 5.8 and 9.7 TFLOPS; cores x 2 x boost gives 6.05 and
+        // 9.70. Accept the small marketing rounding on Maxwell.
+        let m = gtx980ti();
+        let p = tesla_p100();
+        assert!((m.peak_flops_f32() / 1e12 - 6.05).abs() < 0.05);
+        assert!((p.peak_flops_f32() / 1e12 - 9.70).abs() < 0.05);
+    }
+
+    #[test]
+    fn cores_decompose_into_sms() {
+        for d in all_devices() {
+            assert_eq!(d.sm_count * d.cores_per_sm, d.cuda_cores);
+        }
+    }
+
+    #[test]
+    fn fp64_and_fp16_peaks() {
+        let m = gtx980ti();
+        let p = tesla_p100();
+        assert!(m.peak_flops(DType::F64) < m.peak_flops_f32() / 16.0);
+        assert!((p.peak_flops(DType::F64) - p.peak_flops_f32() / 2.0).abs() < 1.0);
+        // fp16: 2x on Pascal (fp16x2), 1x on Maxwell.
+        assert!((p.peak_flops(DType::F16) - 2.0 * p.peak_flops_f32()).abs() < 1.0);
+        assert!((m.peak_flops(DType::F16) - m.peak_flops_f32()).abs() < 1.0);
+    }
+
+    #[test]
+    fn table3_rows_render() {
+        let rows = gtx980ti().table3_rows();
+        assert_eq!(rows.len(), 10);
+        assert_eq!(rows[0].1, "GTX 980 TI");
+        assert!(rows[5].1.contains("TFLOPS"));
+    }
+
+    #[test]
+    fn p100_has_more_bandwidth_and_flops() {
+        let m = gtx980ti();
+        let p = tesla_p100();
+        assert!(p.peak_bw_bytes() > 2.0 * m.peak_bw_bytes() * 0.9);
+        assert!(p.peak_flops_f32() > m.peak_flops_f32());
+    }
+}

@@ -1,0 +1,754 @@
+//! The parameterized GEMM kernel generator (paper Figure 3).
+//!
+//! Each thread block computes an `ML x NL` tile of `C`; each thread an
+//! `MS x NS` sub-tile. Per iteration of the main loop the block
+//! cooperatively prefetches an `ML x (U*KL)` slice of `op(A)` and a
+//! `(U*KL) x NL` slice of `op(B)` into shared memory (transposing in place
+//! when the storage layout requires it), synchronizes, and runs a fully
+//! unrolled `U x MS x NS` multiply-accumulate stream per thread.
+//!
+//! Reduction splitting:
+//! * `Ks` keeps `Ks` independent accumulator sets per thread (ILP),
+//!   folded together after the main loop;
+//! * `KL` partitions each shared slice among `KL` thread groups, whose
+//!   partial results are combined through a shared-memory reduction;
+//! * `KG` partitions K across `ctaid.z`, with partial tiles accumulated
+//!   into `C` by global atomic adds (`C` must be zeroed beforehand).
+//!
+//! Bounds are enforced with predicated loads/stores; out-of-range tile
+//! lanes read zeros, so no host-side padding is ever needed (Section 8.3).
+//!
+//! Addressing is fully strength-reduced: each cooperative load owns a
+//! loop-carried byte address and k-index, bumped once per iteration; the
+//! unrolled inner loop reads shared memory at constant offsets from two
+//! precomputed fragment bases, so it issues *zero* integer instructions --
+//! exactly the property that makes PTX-level generation profitable.
+
+use crate::config::GemmConfig;
+use crate::shapes::GemmShape;
+use isaac_device::DType;
+use isaac_ir::ir::Kernel;
+use isaac_ir::vm::{Arg, GpuFault, GpuMemory, LaunchStats, Vm};
+use isaac_ir::{BinOp, CmpOp, KernelBuilder, Operand, RegId, Sreg, Ty};
+
+/// A fully lowered GEMM kernel plus its launch geometry.
+#[derive(Debug, Clone)]
+pub struct BuiltGemm {
+    /// Executable IR (also emittable as PTX via [`isaac_ir::emit_ptx`]).
+    pub kernel: Kernel,
+    /// Grid dimensions.
+    pub grid: [u32; 3],
+    /// Threads per block.
+    pub threads: u32,
+    /// K elements per grid-z slice (passed as the `kchunk` argument).
+    pub kchunk: u32,
+}
+
+fn data_ty(dtype: DType) -> Ty {
+    match dtype {
+        DType::F16 => Ty::F16,
+        DType::F32 => Ty::F32,
+        DType::F64 => Ty::F64,
+    }
+}
+
+/// Accumulator type: f16 kernels accumulate in f32 (pseudo-fp16, the
+/// `cublasGemmEx` compute mode used in the paper's comparisons).
+fn acc_ty(dtype: DType) -> Ty {
+    match dtype {
+        DType::F16 | DType::F32 => Ty::F32,
+        DType::F64 => Ty::F64,
+    }
+}
+
+fn log2_size(ty: Ty) -> i64 {
+    match ty.size_bytes() {
+        2 => 1,
+        4 => 2,
+        8 => 3,
+        other => panic!("unexpected element size {other}"),
+    }
+}
+
+/// Largest vector width (<= 4) dividing `x`.
+fn frag_width(x: u32) -> u8 {
+    if x % 4 == 0 {
+        4
+    } else if x % 2 == 0 {
+        2
+    } else {
+        1
+    }
+}
+
+/// State of one cooperative tile load, carried across loop iterations.
+struct TileLoad {
+    /// u64 register holding the current global byte address.
+    addr: RegId,
+    /// s32 register holding the current global k index.
+    k_idx: RegId,
+    /// s32 register holding the (loop-invariant) shared-memory byte offset.
+    smem_off: RegId,
+    /// Loop-invariant row/column-validity predicate.
+    span_ok: RegId,
+    /// Per-iteration byte step to add to `addr`.
+    step: Operand,
+    /// Whether the vector lies along the shared tile's contiguous (span)
+    /// axis; if not, the store is decomposed into strided scalar stores.
+    contiguous: bool,
+    /// Stride in bytes between decomposed scalar stores.
+    strided_step: i64,
+}
+
+/// Build the IR kernel for `cfg` on `shape`.
+///
+/// The caller is responsible for checking legality first
+/// ([`crate::legality::check`]); the builder only debug-asserts geometric
+/// divisibility.
+pub fn build_kernel(cfg: &GemmConfig, shape: &GemmShape) -> BuiltGemm {
+    let dty = data_ty(shape.dtype);
+    let aty = acc_ty(shape.dtype);
+    let dsh = log2_size(dty);
+    let ash = log2_size(aty);
+    let (ms, ns) = (cfg.ms as usize, cfg.ns as usize);
+    let (ml, nl) = (cfg.ml as i64, cfg.nl as i64);
+    let u = cfg.u as usize;
+    let uk = cfg.uk() as i64;
+    let vec = cfg.vec as u8;
+    let threads = cfg.threads();
+    let (tm, tn) = (cfg.tm() as i64, cfg.tn() as i64);
+    let kchunk = cfg.kchunk(shape);
+
+    debug_assert_eq!((cfg.ml as i64 * uk) % (threads as i64 * vec as i64), 0);
+    debug_assert_eq!((cfg.nl as i64 * uk) % (threads as i64 * vec as i64), 0);
+
+    let mut b = KernelBuilder::new(cfg.name(shape));
+    let p_a = b.param_ptr("A", dty);
+    let p_b = b.param_ptr("B", dty);
+    let p_c = b.param_ptr("C", dty);
+    let p_m = b.param_s32("M");
+    let p_n = b.param_s32("N");
+    let p_k = b.param_s32("K");
+    let p_kchunk = b.param_s32("kchunk");
+
+    let sm_a = b.shared_array("smA", dty, (ml * uk) as usize);
+    let sm_b = b.shared_array("smB", dty, (nl * uk) as usize);
+    let sm_r = if cfg.kl > 1 {
+        Some(b.shared_array("smR", aty, (ml * nl) as usize))
+    } else {
+        None
+    };
+
+    // ---- prologue -------------------------------------------------------
+    let a_ptr = b.ld_param(p_a);
+    let b_ptr = b.ld_param(p_b);
+    let c_ptr = b.ld_param(p_c);
+    let m = b.ld_param(p_m);
+    let n = b.ld_param(p_n);
+    let k = b.ld_param(p_k);
+    let kchunk_r = b.ld_param(p_kchunk);
+
+    let tid = b.sreg(Sreg::TidX);
+    let bm = b.sreg(Sreg::CtaIdX);
+    let bn = b.sreg(Sreg::CtaIdY);
+    let bk = b.sreg(Sreg::CtaIdZ);
+
+    let tidm = b.bin_new(BinOp::Rem, Ty::S32, tid, tm);
+    let tmp = b.bin_new(BinOp::Div, Ty::S32, tid, tm);
+    let tidn = b.bin_new(BinOp::Rem, Ty::S32, tmp, tn);
+    let tidk = b.bin_new(BinOp::Div, Ty::S32, tmp, tn);
+
+    let k0 = b.mul(bk, kchunk_r);
+    let k0_end = b.add(k0, kchunk_r);
+    let k1 = b.bin_new(BinOp::Min, Ty::S32, k0_end, k);
+
+    // Runtime global strides (bytes) for K-advance when the K axis is the
+    // slow (strided) one.
+    let step_a: Operand = if shape.trans_a {
+        // op(A)(m, k) = A[k + m*K]: advancing k moves contiguously.
+        Operand::ImmI(uk << dsh)
+    } else {
+        // A[m + k*M]: advancing k strides by M elements.
+        let e = b.mul(m, uk);
+        let by = b.bin_new(BinOp::Shl, Ty::S32, e, dsh);
+        let by64 = b.cvt(Ty::U64, by);
+        Operand::Reg(by64)
+    };
+    let step_b: Operand = if shape.trans_b {
+        // op(B)(k, n) = B[n + k*N]: advancing k strides by N.
+        let e = b.mul(n, uk);
+        let by = b.bin_new(BinOp::Shl, Ty::S32, e, dsh);
+        let by64 = b.cvt(Ty::U64, by);
+        Operand::Reg(by64)
+    } else {
+        // B[k + n*K]: contiguous in k.
+        Operand::ImmI(uk << dsh)
+    };
+
+    // ---- cooperative load descriptors ----------------------------------
+    let stride = (threads * cfg.vec) as i64;
+    let mut a_loads = Vec::with_capacity(cfg.loads_a() as usize);
+    for l in 0..cfg.loads_a() as i64 {
+        let f = b.mad_s32(tid, vec as i64, l * stride);
+        // Decompose the flat tile index into (span, kk): span is the
+        // contiguous axis of the *storage* (m when not transposed, else k).
+        let (span, kk) = if shape.trans_a {
+            let kk = b.bin_new(BinOp::Rem, Ty::S32, f, uk);
+            let i = b.bin_new(BinOp::Div, Ty::S32, f, uk);
+            (i, kk)
+        } else {
+            let i = b.bin_new(BinOp::Rem, Ty::S32, f, ml);
+            let kk = b.bin_new(BinOp::Div, Ty::S32, f, ml);
+            (i, kk)
+        };
+        let row = b.mad_s32(bm, ml, span);
+        let span_ok = b.setp_new(CmpOp::Lt, row, m);
+        let k_idx = b.add(k0, kk);
+        let elem = if shape.trans_a {
+            // A[k + row*K]
+            b.mad_s32(row, k, k_idx)
+        } else {
+            // A[row + k*M]
+            b.mad_s32(k_idx, m, row)
+        };
+        let byte = b.bin_new(BinOp::Shl, Ty::S32, elem, dsh);
+        let byte64 = b.cvt(Ty::U64, byte);
+        let addr = b.bin_new(BinOp::Add, Ty::U64, a_ptr, byte64);
+        // Shared store target: smA[kk * ML + i] (k-major tile).
+        let sm_elem = b.mad_s32(kk, ml, span);
+        let smem_off = b.bin_new(BinOp::Shl, Ty::S32, sm_elem, dsh);
+        a_loads.push(TileLoad {
+            addr,
+            k_idx,
+            smem_off,
+            span_ok,
+            step: step_a,
+            // With A not transposed the global vector lies along m, which
+            // is also the contiguous axis of the k-major shared tile.
+            contiguous: !shape.trans_a,
+            strided_step: ml << dsh,
+        });
+    }
+    let mut b_loads = Vec::with_capacity(cfg.loads_b() as usize);
+    for l in 0..cfg.loads_b() as i64 {
+        let f = b.mad_s32(tid, vec as i64, l * stride);
+        let (span, kk) = if shape.trans_b {
+            let j = b.bin_new(BinOp::Rem, Ty::S32, f, nl);
+            let kk = b.bin_new(BinOp::Div, Ty::S32, f, nl);
+            (j, kk)
+        } else {
+            let kk = b.bin_new(BinOp::Rem, Ty::S32, f, uk);
+            let j = b.bin_new(BinOp::Div, Ty::S32, f, uk);
+            (j, kk)
+        };
+        let col = b.mad_s32(bn, nl, span);
+        let span_ok = b.setp_new(CmpOp::Lt, col, n);
+        let k_idx = b.add(k0, kk);
+        let elem = if shape.trans_b {
+            // B[col + k*N]
+            b.mad_s32(k_idx, n, col)
+        } else {
+            // B[k + col*K]
+            b.mad_s32(col, k, k_idx)
+        };
+        let byte = b.bin_new(BinOp::Shl, Ty::S32, elem, dsh);
+        let byte64 = b.cvt(Ty::U64, byte);
+        let addr = b.bin_new(BinOp::Add, Ty::U64, b_ptr, byte64);
+        // Shared store target: smB[kk * NL + j].
+        let sm_elem = b.mad_s32(kk, nl, span);
+        let smem_off = b.bin_new(BinOp::Shl, Ty::S32, sm_elem, dsh);
+        b_loads.push(TileLoad {
+            addr,
+            k_idx,
+            smem_off,
+            span_ok,
+            step: step_b,
+            contiguous: shape.trans_b,
+            strided_step: nl << dsh,
+        });
+    }
+
+    // ---- fragment bases and accumulators --------------------------------
+    // aFrag base: smA[(tidk*U)*ML + tidm*MS], in bytes.
+    let t1 = b.mul(tidk, u as i64 * ml);
+    let t2 = b.mad_s32(tidm, ms as i64, t1);
+    let a_frag_base = b.bin_new(BinOp::Shl, Ty::S32, t2, dsh);
+    let t3 = b.mul(tidk, u as i64 * nl);
+    let t4 = b.mad_s32(tidn, ns as i64, t3);
+    let b_frag_base = b.bin_new(BinOp::Shl, Ty::S32, t4, dsh);
+
+    let acc: Vec<RegId> = (0..cfg.ks as usize * ms * ns).map(|_| b.reg(aty)).collect();
+    for &r in &acc {
+        b.mov(r, 0.0);
+    }
+    let a_frag = b.reg_vec(aty, ms);
+    let b_frag = b.reg_vec(aty, ns);
+
+    // ---- main loop -------------------------------------------------------
+    let va = frag_width(cfg.ms);
+    let vb = frag_width(cfg.ns);
+    let emit_load = |b: &mut KernelBuilder, load: &TileLoad, target: usize| {
+        let in_k = b.setp_new(CmpOp::Lt, load.k_idx, k1);
+        let guard = b.pred_and(in_k, load.span_ok);
+        let stage = b.reg_vec(dty, vec as usize);
+        b.ld_global(stage[0], vec, load.addr, 0, Some(guard));
+        if load.contiguous {
+            b.st_shared(stage[0], vec, target, load.smem_off, 0, None);
+        } else {
+            for (w, &reg) in stage.iter().enumerate() {
+                b.st_shared(reg, 1, target, load.smem_off, w as i64 * load.strided_step, None);
+            }
+        }
+        b.bin(BinOp::Add, load.addr, load.addr, load.step);
+        b.bin(BinOp::Add, load.k_idx, load.k_idx, uk);
+    };
+    b.for_loop(k0, k1, uk, |b, _kb| {
+        for load in &a_loads {
+            emit_load(b, load, sm_a);
+        }
+        for load in &b_loads {
+            emit_load(b, load, sm_b);
+        }
+        b.barrier();
+        for kk in 0..u {
+            for iv in 0..ms / va as usize {
+                b.ld_shared(
+                    a_frag[iv * va as usize],
+                    va,
+                    sm_a,
+                    a_frag_base,
+                    ((kk as i64 * ml) + (iv as i64 * va as i64)) << dsh,
+                );
+            }
+            for jv in 0..ns / vb as usize {
+                b.ld_shared(
+                    b_frag[jv * vb as usize],
+                    vb,
+                    sm_b,
+                    b_frag_base,
+                    ((kk as i64 * nl) + (jv as i64 * vb as i64)) << dsh,
+                );
+            }
+            let set = kk % cfg.ks as usize;
+            for i in 0..ms {
+                for j in 0..ns {
+                    let dst = acc[set * ms * ns + i * ns + j];
+                    b.fma(dst, a_frag[i], b_frag[j]);
+                }
+            }
+        }
+        b.barrier();
+    });
+
+    // ---- Ks fold ---------------------------------------------------------
+    for set in 1..cfg.ks as usize {
+        for e in 0..ms * ns {
+            let dst = acc[e];
+            let src = acc[set * ms * ns + e];
+            b.bin(BinOp::Add, dst, dst, src);
+        }
+    }
+
+    // ---- KL reduction through shared memory ------------------------------
+    let p_group0 = if cfg.kl > 1 {
+        let sm_r = sm_r.expect("smR allocated when KL > 1");
+        let t = b.mul(tidn, ns as i64 * ml);
+        let t2 = b.mad_s32(tidm, ms as i64, t);
+        let red_base = b.bin_new(BinOp::Shl, Ty::S32, t2, ash);
+        let p0 = b.setp_new(CmpOp::Eq, tidk, 0);
+        for i in 0..ms {
+            for j in 0..ns {
+                let off = ((j as i64 * ml) + i as i64) << ash;
+                b.st_shared(acc[i * ns + j], 1, sm_r, red_base, off, Some(p0));
+            }
+        }
+        b.barrier();
+        let tmp = b.reg(aty);
+        for g in 1..cfg.kl as i64 {
+            let pg = b.setp_new(CmpOp::Eq, tidk, g);
+            for i in 0..ms {
+                for j in 0..ns {
+                    let off = ((j as i64 * ml) + i as i64) << ash;
+                    b.ld_shared(tmp, 1, sm_r, red_base, off);
+                    b.bin(BinOp::Add, tmp, tmp, acc[i * ns + j]);
+                    b.st_shared(tmp, 1, sm_r, red_base, off, Some(pg));
+                }
+            }
+            b.barrier();
+        }
+        for i in 0..ms {
+            for j in 0..ns {
+                let off = ((j as i64 * ml) + i as i64) << ash;
+                b.ld_shared(acc[i * ns + j], 1, sm_r, red_base, off);
+            }
+        }
+        Some(p0)
+    } else {
+        None
+    };
+
+    // ---- write-out --------------------------------------------------------
+    let t = b.mul(tidm, ms as i64);
+    let row_base = b.mad_s32(bm, ml, t);
+    let t = b.mul(tidn, ns as i64);
+    let col_base = b.mad_s32(bn, nl, t);
+    let row_ok: Vec<RegId> = (0..ms)
+        .map(|i| {
+            let r = b.add(row_base, i as i64);
+            b.setp_new(CmpOp::Lt, r, m)
+        })
+        .collect();
+    for j in 0..ns {
+        let col = b.add(col_base, j as i64);
+        let col_ok = b.setp_new(CmpOp::Lt, col, n);
+        let col_guard = match p_group0 {
+            Some(p0) => b.pred_and(col_ok, p0),
+            None => col_ok,
+        };
+        let elem = b.mad_s32(col, m, row_base);
+        let byte = b.bin_new(BinOp::Shl, Ty::S32, elem, dsh);
+        let byte64 = b.cvt(Ty::U64, byte);
+        let addr = b.bin_new(BinOp::Add, Ty::U64, c_ptr, byte64);
+        for (i, &rp) in row_ok.iter().enumerate() {
+            let guard = b.pred_and(col_guard, rp);
+            let val = acc[i * ns + j];
+            let off = (i as i64) << dsh;
+            if cfg.kg > 1 {
+                b.atom_add_global(val, addr, off, Some(guard));
+            } else {
+                b.st_global(val, 1, addr, off, Some(guard));
+            }
+        }
+    }
+
+    BuiltGemm {
+        kernel: b.finish(),
+        grid: cfg.grid(shape),
+        threads,
+        kchunk,
+    }
+}
+
+/// Execute the kernel for `cfg`/`shape` on the VM with the given inputs
+/// (f32 storage; for f16 shapes the data is quantized on upload).
+/// Returns the resulting `C` and the dynamic launch statistics.
+pub fn run_f32(
+    cfg: &GemmConfig,
+    shape: &GemmShape,
+    a: &[f32],
+    b_data: &[f32],
+) -> Result<(Vec<f32>, LaunchStats), GpuFault> {
+    assert_ne!(shape.dtype, DType::F64, "use run_f64 for f64 shapes");
+    let built = build_kernel(cfg, shape);
+    let mut mem = GpuMemory::new();
+    let (ba, bb, bc) = if shape.dtype == DType::F16 {
+        (
+            mem.alloc_f16(a),
+            mem.alloc_f16(b_data),
+            mem.alloc_f16_zeroed(shape.c_len()),
+        )
+    } else {
+        (
+            mem.alloc_f32(a),
+            mem.alloc_f32(b_data),
+            mem.alloc_f32_zeroed(shape.c_len()),
+        )
+    };
+    let stats = Vm::new().launch(
+        &built.kernel,
+        built.grid,
+        built.threads,
+        &[
+            Arg::Buf(ba),
+            Arg::Buf(bb),
+            Arg::Buf(bc),
+            Arg::I32(shape.m as i32),
+            Arg::I32(shape.n as i32),
+            Arg::I32(shape.k as i32),
+            Arg::I32(built.kchunk as i32),
+        ],
+        &mut mem,
+    )?;
+    Ok((mem.read_f32(bc), stats))
+}
+
+/// f64 variant of [`run_f32`].
+pub fn run_f64(
+    cfg: &GemmConfig,
+    shape: &GemmShape,
+    a: &[f64],
+    b_data: &[f64],
+) -> Result<(Vec<f64>, LaunchStats), GpuFault> {
+    assert_eq!(shape.dtype, DType::F64);
+    let built = build_kernel(cfg, shape);
+    let mut mem = GpuMemory::new();
+    let ba = mem.alloc_f64(a);
+    let bb = mem.alloc_f64(b_data);
+    let bc = mem.alloc_f64_zeroed(shape.c_len());
+    let stats = Vm::new().launch(
+        &built.kernel,
+        built.grid,
+        built.threads,
+        &[
+            Arg::Buf(ba),
+            Arg::Buf(bb),
+            Arg::Buf(bc),
+            Arg::I32(shape.m as i32),
+            Arg::I32(shape.n as i32),
+            Arg::I32(shape.k as i32),
+            Arg::I32(built.kchunk as i32),
+        ],
+        &mut mem,
+    )?;
+    Ok((mem.read_f64(bc), stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::legality;
+    use crate::reference;
+    use isaac_device::specs::tesla_p100;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn rand_vec(len: usize, seed: u64) -> Vec<f32> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..len).map(|_| rng.gen_range(-1.0..1.0)).collect()
+    }
+
+    fn check_f32(cfg: &GemmConfig, shape: &GemmShape) {
+        legality::check(cfg, shape, &tesla_p100())
+            .unwrap_or_else(|e| panic!("illegal config in test: {e}"));
+        let a = rand_vec(shape.a_len(), 1);
+        let b = rand_vec(shape.b_len(), 2);
+        let (got, _) = run_f32(cfg, shape, &a, &b).expect("VM run");
+        let mut want = vec![0.0f32; shape.c_len()];
+        reference::gemm_f32(shape, &a, &b, &mut want);
+        let tol = 1e-4 * (shape.k as f32).sqrt();
+        for (i, (g, w)) in got.iter().zip(&want).enumerate() {
+            assert!(
+                (g - w).abs() <= tol + 1e-5,
+                "mismatch at {i}: got {g}, want {w} (cfg {cfg:?}, shape {shape:?})"
+            );
+        }
+    }
+
+    #[test]
+    fn exact_tile_fit_nn() {
+        let cfg = GemmConfig {
+            ml: 32,
+            nl: 32,
+            ms: 4,
+            ns: 4,
+            u: 4,
+            vec: 1,
+            ..Default::default()
+        };
+        let shape = GemmShape::new(64, 64, 32, "N", "N", DType::F32);
+        check_f32(&cfg, &shape);
+    }
+
+    #[test]
+    fn ragged_edges_are_predicated_nn() {
+        let cfg = GemmConfig {
+            ml: 32,
+            nl: 32,
+            ms: 4,
+            ns: 4,
+            u: 4,
+            vec: 1,
+            ..Default::default()
+        };
+        let shape = GemmShape::new(50, 37, 29, "N", "N", DType::F32);
+        check_f32(&cfg, &shape);
+    }
+
+    #[test]
+    fn all_four_layouts() {
+        let cfg = GemmConfig {
+            ml: 32,
+            nl: 32,
+            ms: 4,
+            ns: 4,
+            u: 4,
+            vec: 1,
+            ..Default::default()
+        };
+        for (ta, tb) in [("N", "N"), ("N", "T"), ("T", "N"), ("T", "T")] {
+            let shape = GemmShape::new(45, 33, 40, ta, tb, DType::F32);
+            check_f32(&cfg, &shape);
+        }
+    }
+
+    #[test]
+    fn vectorized_loads_nt() {
+        let cfg = GemmConfig {
+            ml: 64,
+            nl: 64,
+            ms: 8,
+            ns: 8,
+            u: 8,
+            vec: 4,
+            ..Default::default()
+        };
+        // NT: both operands vector-load along their contiguous axes.
+        let shape = GemmShape::new(64, 64, 64, "N", "T", DType::F32);
+        check_f32(&cfg, &shape);
+    }
+
+    #[test]
+    fn split_k_within_block() {
+        let cfg = GemmConfig {
+            ml: 16,
+            nl: 16,
+            ms: 2,
+            ns: 2,
+            u: 4,
+            kl: 4,
+            vec: 1,
+            ..Default::default()
+        };
+        let shape = GemmShape::new(20, 20, 100, "N", "N", DType::F32);
+        check_f32(&cfg, &shape);
+    }
+
+    #[test]
+    fn split_k_across_grid_uses_atomics() {
+        let cfg = GemmConfig {
+            ml: 16,
+            nl: 16,
+            ms: 2,
+            ns: 2,
+            u: 4,
+            kg: 8,
+            vec: 1,
+            ..Default::default()
+        };
+        let shape = GemmShape::new(16, 16, 200, "N", "T", DType::F32);
+        check_f32(&cfg, &shape);
+    }
+
+    #[test]
+    fn combined_splits_kl_kg_ks() {
+        let cfg = GemmConfig {
+            ml: 16,
+            nl: 16,
+            ms: 2,
+            ns: 2,
+            u: 4,
+            ks: 2,
+            kl: 2,
+            kg: 4,
+            vec: 1,
+            ..Default::default()
+        };
+        let shape = GemmShape::new(30, 18, 123, "N", "N", DType::F32);
+        check_f32(&cfg, &shape);
+    }
+
+    #[test]
+    fn k_smaller_than_slice_is_fine() {
+        let cfg = GemmConfig {
+            ml: 32,
+            nl: 32,
+            ms: 4,
+            ns: 4,
+            u: 16,
+            vec: 1,
+            ..Default::default()
+        };
+        // K = 5 < U = 16: one partial slice.
+        let shape = GemmShape::new(32, 32, 5, "N", "N", DType::F32);
+        check_f32(&cfg, &shape);
+    }
+
+    #[test]
+    fn f64_kernels_match_reference() {
+        let cfg = GemmConfig {
+            ml: 32,
+            nl: 32,
+            ms: 4,
+            ns: 4,
+            u: 4,
+            vec: 2,
+            ..Default::default()
+        };
+        let shape = GemmShape::new(32, 32, 64, "N", "T", DType::F64);
+        let a: Vec<f64> = rand_vec(shape.a_len(), 3).iter().map(|&x| x as f64).collect();
+        let b: Vec<f64> = rand_vec(shape.b_len(), 4).iter().map(|&x| x as f64).collect();
+        let (got, _) = run_f64(&cfg, &shape, &a, &b).unwrap();
+        let mut want = vec![0.0f64; shape.c_len()];
+        reference::gemm_f64(&shape, &a, &b, &mut want);
+        for (g, w) in got.iter().zip(&want) {
+            assert!((g - w).abs() < 1e-10, "got {g}, want {w}");
+        }
+    }
+
+    #[test]
+    fn f16_kernels_match_quantized_reference() {
+        let cfg = GemmConfig {
+            ml: 32,
+            nl: 32,
+            ms: 4,
+            ns: 4,
+            u: 4,
+            vec: 2,
+            ..Default::default()
+        };
+        let shape = GemmShape::new(32, 48, 40, "N", "T", DType::F16);
+        let a = rand_vec(shape.a_len(), 5);
+        let b = rand_vec(shape.b_len(), 6);
+        let (got, _) = run_f32(&cfg, &shape, &a, &b).unwrap();
+        let mut want = vec![0.0f32; shape.c_len()];
+        reference::gemm_f16(&shape, &a, &b, &mut want);
+        // VM accumulates in f32 like the reference but may differ in
+        // summation order across splits; tolerance covers it.
+        for (g, w) in got.iter().zip(&want) {
+            assert!((g - w).abs() < 2e-2, "got {g}, want {w}");
+        }
+    }
+
+    #[test]
+    fn dynamic_stats_look_like_gemm() {
+        let cfg = GemmConfig {
+            ml: 32,
+            nl: 32,
+            ms: 4,
+            ns: 4,
+            u: 8,
+            vec: 4,
+            ..Default::default()
+        };
+        let shape = GemmShape::new(64, 64, 64, "N", "T", DType::F32);
+        let a = rand_vec(shape.a_len(), 7);
+        let b = rand_vec(shape.b_len(), 8);
+        let (_, stats) = run_f32(&cfg, &shape, &a, &b).unwrap();
+        let per = stats.per_thread();
+        // Each thread performs MS*NS*K = 4*4*64 = 1024 FMAs (plus epilogue
+        // adds).
+        assert!(
+            (per.math - 1024.0).abs() < 64.0,
+            "math/thread = {}",
+            per.math
+        );
+        // Barriers: 2 per main-loop iteration (K/UK = 8 iterations).
+        assert!(per.barriers >= 16.0 / 8.0, "barriers = {}", per.barriers);
+        assert!(per.ldg > 0.0 && per.lds > 0.0 && per.sts > 0.0);
+    }
+
+    #[test]
+    fn generated_ptx_is_valid() {
+        let cfg = GemmConfig::default();
+        let shape = GemmShape::new(512, 512, 512, "N", "T", DType::F32);
+        let built = build_kernel(&cfg, &shape);
+        let ptx = isaac_ir::emit_ptx(&built.kernel, "sm_60");
+        let module = isaac_ir::ptx::parse_module(&ptx).expect("emitted PTX parses");
+        module.validate().expect("emitted PTX validates");
+        let counts = module.class_counts();
+        // The unrolled inner loop dominates: U*MS*NS = 512 FMAs statically.
+        assert!(counts.math >= 512, "math {}", counts.math);
+        assert!(counts.ldg >= 2);
+        assert!(counts.bar >= 2);
+    }
+}

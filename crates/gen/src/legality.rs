@@ -1,0 +1,407 @@
+//! The possible space X-hat and the legal space X (paper Section 4).
+//!
+//! X-hat is the cartesian product of per-parameter value lists (every
+//! parameter a power of two); X is the subset that compiles *and* executes
+//! safely for a given input on a given device: tile/thread divisibility,
+//! vectorization alignment against the input layout, shared-memory and
+//! register capacity, and architecture-specific constraints (no f64 global
+//! atomics before Pascal). Legality depends on both tuning *and* input
+//! parameters -- that is exactly why "more than 99.9% of uniformly sampled
+//! configurations are illegal" in the paper and why the generative model of
+//! `isaac-core` earns its keep.
+
+use crate::config::GemmConfig;
+use crate::shapes::GemmShape;
+use isaac_device::{DeviceSpec, DType, MicroArch};
+
+/// Value lists for each tuning parameter: the possible space X-hat.
+#[derive(Debug, Clone)]
+pub struct ParamRange {
+    /// Parameter name (paper notation).
+    pub name: &'static str,
+    /// Allowed values (powers of two).
+    pub values: &'static [u32],
+}
+
+/// The sampling space used throughout the reproduction: 9 tuning
+/// parameters, each a power of two, matching the Section 4 setup.
+pub const SPACE: &[ParamRange] = &[
+    ParamRange {
+        name: "Ms",
+        values: &[1, 2, 4, 8, 16],
+    },
+    ParamRange {
+        name: "Ns",
+        values: &[1, 2, 4, 8, 16],
+    },
+    ParamRange {
+        name: "ML",
+        values: &[16, 32, 64, 128],
+    },
+    ParamRange {
+        name: "NL",
+        values: &[16, 32, 64, 128],
+    },
+    ParamRange {
+        name: "U",
+        values: &[1, 2, 4, 8, 16],
+    },
+    ParamRange {
+        name: "Ks",
+        values: &[1, 2, 4],
+    },
+    ParamRange {
+        name: "KL",
+        values: &[1, 2, 4, 8],
+    },
+    ParamRange {
+        name: "KG",
+        values: &[1, 2, 4, 8, 16, 32, 64],
+    },
+    ParamRange {
+        name: "vec",
+        values: &[1, 2, 4],
+    },
+];
+
+/// Number of points in X-hat.
+pub fn space_size() -> u64 {
+    SPACE.iter().map(|p| p.values.len() as u64).product()
+}
+
+/// Why a configuration is illegal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigIssue {
+    /// A parameter value is outside its allowed list.
+    OutsideSpace(&'static str),
+    /// Thread tile does not divide the block tile.
+    TileMismatch,
+    /// Thread count outside [32, 1024] or not a warp multiple.
+    ThreadCount(u32),
+    /// Cooperative tile loads do not evenly partition the tile.
+    LoadPartition,
+    /// Vector width incompatible with the tile or input dimensions.
+    Vectorization,
+    /// Shared memory demand exceeds the per-block limit.
+    SharedMemory(u32),
+    /// Register demand exceeds the per-thread limit.
+    Registers(u32),
+    /// Zero blocks would fit on an SM (register file / smem exhausted).
+    Occupancy,
+    /// Per-thread reduction split deeper than the prefetch depth.
+    SplitTooDeep,
+    /// fp16 kernels require an even NS for fp16x2 packing.
+    HalfPacking,
+    /// f64 global atomics (KG > 1) are unsupported on this architecture.
+    AtomicsUnsupported,
+}
+
+impl std::fmt::Display for ConfigIssue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigIssue::OutsideSpace(p) => write!(f, "parameter {p} outside its value list"),
+            ConfigIssue::TileMismatch => f.write_str("thread tile does not divide block tile"),
+            ConfigIssue::ThreadCount(t) => write!(f, "thread count {t} outside [32, 1024]"),
+            ConfigIssue::LoadPartition => {
+                f.write_str("cooperative loads do not partition the shared tiles")
+            }
+            ConfigIssue::Vectorization => {
+                f.write_str("vector width incompatible with layout/shape")
+            }
+            ConfigIssue::SharedMemory(b) => write!(f, "shared memory {b} B over limit"),
+            ConfigIssue::Registers(r) => write!(f, "estimated {r} registers over limit"),
+            ConfigIssue::Occupancy => f.write_str("zero resident blocks per SM"),
+            ConfigIssue::SplitTooDeep => f.write_str("Ks exceeds or does not divide U"),
+            ConfigIssue::HalfPacking => f.write_str("fp16 requires even NS"),
+            ConfigIssue::AtomicsUnsupported => {
+                f.write_str("f64 global atomics unavailable on this architecture")
+            }
+        }
+    }
+}
+
+/// Estimated registers per thread for a configuration (shared by legality
+/// and the analytical profile).
+pub fn estimate_regs(cfg: &GemmConfig, dtype: DType) -> u32 {
+    let rpe = dtype.regs_per_element();
+    let acc = cfg.ms as f64 * cfg.ns as f64 * cfg.ks as f64 * rpe;
+    let frags = (cfg.ms + cfg.ns) as f64 * rpe;
+    // Per cooperative load: 64-bit address (2), running k index (1), shared
+    // store offset (1).
+    let loads = (cfg.loads_a() + cfg.loads_b()) as f64 * 4.0;
+    let staging = cfg.vec as f64 * rpe;
+    (24.0 + acc + frags + loads + staging).ceil() as u32
+}
+
+/// Check whether each parameter value belongs to the space X-hat.
+pub fn in_space(cfg: &GemmConfig) -> Result<(), ConfigIssue> {
+    let v = cfg.as_vector();
+    for (range, &val) in SPACE.iter().zip(v.iter()) {
+        if !range.values.contains(&val) {
+            return Err(ConfigIssue::OutsideSpace(range.name));
+        }
+    }
+    Ok(())
+}
+
+/// Full legality check of a `(tuning, input)` pair on a device: membership
+/// in X.
+pub fn check(cfg: &GemmConfig, shape: &GemmShape, spec: &DeviceSpec) -> Result<(), ConfigIssue> {
+    in_space(cfg)?;
+    check_physical(cfg, shape, spec)
+}
+
+/// The physical subset of the legality rules: everything except membership
+/// in the curated value lists. Used on its own when sampling rawer spaces
+/// (the Table 1 experiment draws every parameter from powers of two in
+/// `[1, 16]`, which is intentionally outside the curated lists).
+pub fn check_physical(
+    cfg: &GemmConfig,
+    shape: &GemmShape,
+    spec: &DeviceSpec,
+) -> Result<(), ConfigIssue> {
+    if cfg.ms > cfg.ml || cfg.ns > cfg.nl {
+        return Err(ConfigIssue::TileMismatch);
+    }
+    let threads = cfg.threads();
+    if !(32..=1024).contains(&threads) || threads % 32 != 0 {
+        return Err(ConfigIssue::ThreadCount(threads));
+    }
+    let uk = cfg.uk();
+    let per_round = threads * cfg.vec;
+    if (cfg.ml * uk) % per_round != 0
+        || (cfg.nl * uk) % per_round != 0
+        || cfg.ml * uk < per_round
+        || cfg.nl * uk < per_round
+    {
+        return Err(ConfigIssue::LoadPartition);
+    }
+    if cfg.vec > 1 {
+        // A loads are contiguous along M (not transposed) or K (transposed).
+        let a_ok = if shape.trans_a {
+            uk % cfg.vec == 0 && shape.k % cfg.vec == 0
+        } else {
+            cfg.ml % cfg.vec == 0 && shape.m % cfg.vec == 0
+        };
+        // B loads are contiguous along K (not transposed) or N (transposed).
+        let b_ok = if shape.trans_b {
+            cfg.nl % cfg.vec == 0 && shape.n % cfg.vec == 0
+        } else {
+            uk % cfg.vec == 0 && shape.k % cfg.vec == 0
+        };
+        if !a_ok || !b_ok {
+            return Err(ConfigIssue::Vectorization);
+        }
+    }
+    if cfg.ks > cfg.u || cfg.u % cfg.ks != 0 {
+        return Err(ConfigIssue::SplitTooDeep);
+    }
+    if shape.dtype == DType::F16 && cfg.ns % 2 != 0 {
+        return Err(ConfigIssue::HalfPacking);
+    }
+    if cfg.kg > 1 && shape.dtype == DType::F64 && spec.arch == MicroArch::Maxwell {
+        return Err(ConfigIssue::AtomicsUnsupported);
+    }
+
+    // Account shared memory exactly as the kernels allocate it: A/B tiles
+    // in data precision plus the KL-reduction buffer in accumulator
+    // precision (see `crate::profile::smem_bytes`).
+    let smem_bytes = crate::profile::smem_bytes(cfg, shape.dtype);
+    if smem_bytes > spec.max_smem_per_block {
+        return Err(ConfigIssue::SharedMemory(smem_bytes));
+    }
+    let regs = estimate_regs(cfg, shape.dtype);
+    if regs > spec.max_regs_per_thread {
+        return Err(ConfigIssue::Registers(regs));
+    }
+    // One block must fit on an SM.
+    let regs_per_block = regs * threads;
+    if regs_per_block > spec.regs_per_sm || smem_bytes > spec.smem_per_sm {
+        return Err(ConfigIssue::Occupancy);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use isaac_device::specs::{gtx980ti, tesla_p100};
+
+    fn square_shape() -> GemmShape {
+        GemmShape::new(2048, 2048, 2048, "N", "T", DType::F32)
+    }
+
+    #[test]
+    fn default_config_is_legal() {
+        let cfg = GemmConfig::default();
+        assert_eq!(check(&cfg, &square_shape(), &tesla_p100()), Ok(()));
+    }
+
+    #[test]
+    fn outside_space_detected() {
+        let cfg = GemmConfig {
+            ms: 3,
+            ..Default::default()
+        };
+        assert_eq!(
+            check(&cfg, &square_shape(), &tesla_p100()),
+            Err(ConfigIssue::OutsideSpace("Ms"))
+        );
+    }
+
+    #[test]
+    fn thread_count_limits() {
+        // 128/1 * 128/1 = 16384 threads.
+        let cfg = GemmConfig {
+            ms: 1,
+            ns: 1,
+            ml: 128,
+            nl: 128,
+            ..Default::default()
+        };
+        assert!(matches!(
+            check(&cfg, &square_shape(), &tesla_p100()),
+            Err(ConfigIssue::ThreadCount(_))
+        ));
+        // 16/16=1 x 16/16=1 x KL=1 -> 1 thread: too few.
+        let cfg = GemmConfig {
+            ms: 16,
+            ns: 16,
+            ml: 16,
+            nl: 16,
+            u: 16,
+            vec: 1,
+            ..Default::default()
+        };
+        assert!(matches!(
+            check(&cfg, &square_shape(), &tesla_p100()),
+            Err(ConfigIssue::ThreadCount(_))
+        ));
+    }
+
+    #[test]
+    fn load_partition_must_divide() {
+        // threads*vec = 64*4 = 256; ML*UK = 16*2 = 32 < 256.
+        let cfg = GemmConfig {
+            ml: 16,
+            nl: 128,
+            ms: 2,
+            ns: 16,
+            u: 2,
+            ..Default::default()
+        };
+        assert_eq!(
+            check(&cfg, &square_shape(), &tesla_p100()),
+            Err(ConfigIssue::LoadPartition)
+        );
+    }
+
+    #[test]
+    fn vectorization_respects_input_shape() {
+        let cfg = GemmConfig::default(); // vec = 4
+        // M = 30 not divisible by 4, A not transposed.
+        let shape = GemmShape::new(30, 64, 64, "N", "N", DType::F32);
+        assert_eq!(
+            check(&cfg, &shape, &tesla_p100()),
+            Err(ConfigIssue::Vectorization)
+        );
+        // Scalar loads make it legal again.
+        let cfg1 = GemmConfig {
+            vec: 1,
+            u: 2,
+            ..Default::default()
+        };
+        assert_eq!(check(&cfg1, &shape, &tesla_p100()), Ok(()));
+    }
+
+    #[test]
+    fn smem_limit_enforced() {
+        // (128+128)*16*KL4 * 4B = 64 KiB > 48 KiB limit.
+        let cfg = GemmConfig {
+            ml: 128,
+            nl: 128,
+            ms: 8,
+            ns: 8,
+            u: 16,
+            kl: 4,
+            ..Default::default()
+        };
+        assert!(matches!(
+            check(&cfg, &square_shape(), &tesla_p100()),
+            Err(ConfigIssue::SharedMemory(_))
+        ));
+    }
+
+    #[test]
+    fn f64_atomics_maxwell_only_illegal_there() {
+        let cfg = GemmConfig {
+            kg: 8,
+            ..Default::default()
+        };
+        let shape = GemmShape::new(256, 256, 4096, "N", "T", DType::F64);
+        assert_eq!(
+            check(&cfg, &shape, &gtx980ti()),
+            Err(ConfigIssue::AtomicsUnsupported)
+        );
+        assert_eq!(check(&cfg, &shape, &tesla_p100()), Ok(()));
+    }
+
+    #[test]
+    fn f16_requires_even_ns() {
+        // 64/8 x 64/1 = 512 threads, loads partition with vec=1, u=8.
+        let cfg = GemmConfig {
+            ms: 8,
+            ns: 1,
+            ml: 64,
+            nl: 64,
+            u: 8,
+            vec: 1,
+            ..Default::default()
+        };
+        let f16 = GemmShape::new(2048, 2048, 2048, "N", "T", DType::F16);
+        assert_eq!(
+            check(&cfg, &f16, &tesla_p100()),
+            Err(ConfigIssue::HalfPacking)
+        );
+        let f32s = square_shape();
+        assert_eq!(check(&cfg, &f32s, &tesla_p100()), Ok(()));
+    }
+
+    #[test]
+    fn ks_must_divide_u() {
+        let cfg = GemmConfig {
+            ks: 4,
+            u: 2,
+            vec: 1,
+            ..Default::default()
+        };
+        assert_eq!(
+            check(&cfg, &square_shape(), &tesla_p100()),
+            Err(ConfigIssue::SplitTooDeep)
+        );
+    }
+
+    #[test]
+    fn space_size_is_large() {
+        assert_eq!(space_size(), 5 * 5 * 4 * 4 * 5 * 3 * 4 * 7 * 3);
+    }
+
+    #[test]
+    fn register_estimate_scales_with_tile_and_dtype() {
+        let small = GemmConfig {
+            ms: 2,
+            ns: 2,
+            ..Default::default()
+        };
+        let big = GemmConfig {
+            ms: 16,
+            ns: 16,
+            ml: 128,
+            nl: 128,
+            ..Default::default()
+        };
+        assert!(estimate_regs(&big, DType::F32) > estimate_regs(&small, DType::F32));
+        assert!(estimate_regs(&big, DType::F64) > estimate_regs(&big, DType::F32));
+        assert!(estimate_regs(&big, DType::F16) < estimate_regs(&big, DType::F32));
+    }
+}

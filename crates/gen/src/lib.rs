@@ -1,0 +1,33 @@
+//! Parameterized GEMM and CONV kernel generators (paper Section 3).
+//!
+//! This crate lowers a tuning configuration plus an input description to:
+//!
+//! 1. an executable IR kernel ([`gemm::build_kernel`],
+//!    [`conv::build_kernel`]) that runs on the `isaac-ir` VM and emits real
+//!    PTX text,
+//! 2. an analytical [`isaac_device::KernelProfile`] (instruction mix,
+//!    resource usage, memory traffic) consumed by the performance model,
+//! 3. legality verdicts distinguishing the possible space X-hat from the
+//!    legal space X (paper Section 4).
+//!
+//! The GEMM parameterization follows paper Figure 3: per-thread tile
+//! `MS x NS`, per-block tile `ML x NL`, prefetch depth `U`, and the three
+//! reduction-splitting parameters `KS` (within a thread), `KL` (within a
+//! block, across warps) and `KG` (across the grid, accumulated with global
+//! atomics). Convolutions are lowered to implicit GEMM (M' = K filters,
+//! N' = N*P*Q outputs, K' = C*R*S reduction) with a host-precomputed
+//! indirection table for the scrambled shared-memory loads, mirroring
+//! Section 3.3 and the cuDNN `IMPLICIT_PRECOMP_GEMM` algorithm the paper
+//! benchmarks against.
+
+pub mod config;
+pub mod conv;
+pub mod gemm;
+pub mod legality;
+pub mod profile;
+pub mod reference;
+pub mod shapes;
+
+pub use config::{BoundsMode, GemmConfig};
+pub use legality::{ConfigIssue, ParamRange, SPACE};
+pub use shapes::{ConvShape, GemmShape};

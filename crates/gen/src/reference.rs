@@ -1,0 +1,296 @@
+//! Reference CPU implementations of GEMM and CONV, used as ground truth
+//! when validating generated kernels on the VM.
+//!
+//! All references are deliberately naive triple loops -- slow but obviously
+//! correct. Half-precision follows the generated kernels' numerics: inputs
+//! quantized to binary16, accumulation in f32 (the `cublasGemmEx`
+//! pseudo-fp16 compute mode), result quantized back to binary16.
+
+use crate::shapes::{ConvShape, GemmShape};
+use isaac_ir::{f16_from_f32, f16_to_f32};
+
+/// `C = op(A) op(B)` in f32 (column-major).
+pub fn gemm_f32(shape: &GemmShape, a: &[f32], b: &[f32], c: &mut [f32]) {
+    let (m, n, k) = (shape.m as usize, shape.n as usize, shape.k as usize);
+    assert_eq!(a.len(), m * k, "A length");
+    assert_eq!(b.len(), k * n, "B length");
+    assert_eq!(c.len(), m * n, "C length");
+    for col in 0..n {
+        for row in 0..m {
+            let mut acc = 0.0f32;
+            for kk in 0..k {
+                let av = if shape.trans_a {
+                    a[kk + row * k]
+                } else {
+                    a[row + kk * m]
+                };
+                let bv = if shape.trans_b {
+                    b[col + kk * n]
+                } else {
+                    b[kk + col * k]
+                };
+                acc = av.mul_add(bv, acc);
+            }
+            c[row + col * m] = acc;
+        }
+    }
+}
+
+/// `C = op(A) op(B)` in f64 (column-major).
+pub fn gemm_f64(shape: &GemmShape, a: &[f64], b: &[f64], c: &mut [f64]) {
+    let (m, n, k) = (shape.m as usize, shape.n as usize, shape.k as usize);
+    assert_eq!(a.len(), m * k, "A length");
+    assert_eq!(b.len(), k * n, "B length");
+    assert_eq!(c.len(), m * n, "C length");
+    for col in 0..n {
+        for row in 0..m {
+            let mut acc = 0.0f64;
+            for kk in 0..k {
+                let av = if shape.trans_a {
+                    a[kk + row * k]
+                } else {
+                    a[row + kk * m]
+                };
+                let bv = if shape.trans_b {
+                    b[col + kk * n]
+                } else {
+                    b[kk + col * k]
+                };
+                acc = av.mul_add(bv, acc);
+            }
+            c[row + col * m] = acc;
+        }
+    }
+}
+
+/// Quantize a value to binary16 precision.
+fn q16(x: f32) -> f32 {
+    f16_to_f32(f16_from_f32(x))
+}
+
+/// `C = op(A) op(B)` with f16 inputs/outputs and f32 accumulation.
+pub fn gemm_f16(shape: &GemmShape, a: &[f32], b: &[f32], c: &mut [f32]) {
+    let (m, n, k) = (shape.m as usize, shape.n as usize, shape.k as usize);
+    assert_eq!(a.len(), m * k, "A length");
+    assert_eq!(b.len(), k * n, "B length");
+    assert_eq!(c.len(), m * n, "C length");
+    for col in 0..n {
+        for row in 0..m {
+            let mut acc = 0.0f32;
+            for kk in 0..k {
+                let av = if shape.trans_a {
+                    a[kk + row * k]
+                } else {
+                    a[row + kk * m]
+                };
+                let bv = if shape.trans_b {
+                    b[col + kk * n]
+                } else {
+                    b[kk + col * k]
+                };
+                acc = q16(av).mul_add(q16(bv), acc);
+            }
+            c[row + col * m] = q16(acc);
+        }
+    }
+}
+
+/// Multi-channel convolution (paper Eq. 1), unit stride, valid padding,
+/// f32. Layouts: `I[C][H][W][N]`, `F[C][R][S][K]`, `O[K][P][Q][N]`, last
+/// index fastest.
+pub fn conv_f32(shape: &ConvShape, input: &[f32], filters: &[f32], out: &mut [f32]) {
+    let ConvShape {
+        n, c, h, w, k, r, s, ..
+    } = *shape;
+    let (n, c, h, w, k, r, s) = (
+        n as usize, c as usize, h as usize, w as usize, k as usize, r as usize, s as usize,
+    );
+    let p = h - r + 1;
+    let q = w - s + 1;
+    assert_eq!(input.len(), c * h * w * n, "I length");
+    assert_eq!(filters.len(), c * r * s * k, "F length");
+    assert_eq!(out.len(), k * p * q * n, "O length");
+    for ko in 0..k {
+        for po in 0..p {
+            for qo in 0..q {
+                for no in 0..n {
+                    let mut acc = 0.0f32;
+                    for ci in 0..c {
+                        for ri in 0..r {
+                            for si in 0..s {
+                                let iv = input[((ci * h + (po + ri)) * w + (qo + si)) * n + no];
+                                let fv = filters[((ci * r + ri) * s + si) * k + ko];
+                                acc = iv.mul_add(fv, acc);
+                            }
+                        }
+                    }
+                    out[((ko * p + po) * q + qo) * n + no] = acc;
+                }
+            }
+        }
+    }
+}
+
+/// Multi-channel convolution with f16 inputs and f32 accumulation.
+pub fn conv_f16(shape: &ConvShape, input: &[f32], filters: &[f32], out: &mut [f32]) {
+    let ConvShape {
+        n, c, h, w, k, r, s, ..
+    } = *shape;
+    let (n, c, h, w, k, r, s) = (
+        n as usize, c as usize, h as usize, w as usize, k as usize, r as usize, s as usize,
+    );
+    let p = h - r + 1;
+    let q = w - s + 1;
+    for ko in 0..k {
+        for po in 0..p {
+            for qo in 0..q {
+                for no in 0..n {
+                    let mut acc = 0.0f32;
+                    for ci in 0..c {
+                        for ri in 0..r {
+                            for si in 0..s {
+                                let iv = input[((ci * h + (po + ri)) * w + (qo + si)) * n + no];
+                                let fv = filters[((ci * r + ri) * s + si) * k + ko];
+                                acc = q16(iv).mul_add(q16(fv), acc);
+                            }
+                        }
+                    }
+                    out[((ko * p + po) * q + qo) * n + no] = q16(acc);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use isaac_device::DType;
+
+    #[test]
+    fn identity_gemm() {
+        // A = I (3x3), B arbitrary: C must equal B.
+        let shape = GemmShape::new(3, 2, 3, "N", "N", DType::F32);
+        let mut a = vec![0.0f32; 9];
+        for i in 0..3 {
+            a[i + i * 3] = 1.0;
+        }
+        let b: Vec<f32> = (0..6).map(|x| x as f32).collect();
+        let mut c = vec![0.0f32; 6];
+        gemm_f32(&shape, &a, &b, &mut c);
+        assert_eq!(c, b);
+    }
+
+    #[test]
+    fn transposition_is_consistent() {
+        // C from (A, N) must equal C from (A^T stored transposed, T).
+        let m = 4;
+        let n = 3;
+        let k = 5;
+        let a: Vec<f32> = (0..m * k).map(|x| (x as f32).sin()).collect();
+        // Build A^T stored as K x M column-major: at[kk + row*k] = a[row + kk*m]
+        let mut at = vec![0.0f32; m * k];
+        for row in 0..m {
+            for kk in 0..k {
+                at[kk + row * k] = a[row + kk * m];
+            }
+        }
+        let b: Vec<f32> = (0..k * n).map(|x| (x as f32).cos()).collect();
+        let mut c1 = vec![0.0f32; m * n];
+        let mut c2 = vec![0.0f32; m * n];
+        gemm_f32(
+            &GemmShape::new(m as u32, n as u32, k as u32, "N", "N", DType::F32),
+            &a,
+            &b,
+            &mut c1,
+        );
+        gemm_f32(
+            &GemmShape::new(m as u32, n as u32, k as u32, "T", "N", DType::F32),
+            &at,
+            &b,
+            &mut c2,
+        );
+        for (x, y) in c1.iter().zip(&c2) {
+            assert!((x - y).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn f64_matches_f32_on_small_ints() {
+        let shape32 = GemmShape::new(4, 4, 4, "N", "T", DType::F32);
+        let a: Vec<f32> = (0..16).map(|x| (x % 5) as f32).collect();
+        let b: Vec<f32> = (0..16).map(|x| (x % 3) as f32).collect();
+        let mut c32 = vec![0.0f32; 16];
+        gemm_f32(&shape32, &a, &b, &mut c32);
+        let a64: Vec<f64> = a.iter().map(|&x| x as f64).collect();
+        let b64: Vec<f64> = b.iter().map(|&x| x as f64).collect();
+        let mut c64 = vec![0.0f64; 16];
+        gemm_f64(&shape32, &a64, &b64, &mut c64);
+        for (x, y) in c32.iter().zip(&c64) {
+            assert_eq!(*x as f64, *y);
+        }
+    }
+
+    #[test]
+    fn conv_1x1_filters_reduce_to_channel_mix() {
+        // With R=S=1, conv is a pure channel mixing: O[k,p,q,n] =
+        // sum_c I[c,p,q,n] * F[c,k].
+        let shape = ConvShape::from_output(2, 3, 3, 2, 4, 1, 1, DType::F32);
+        let i: Vec<f32> = (0..shape.i_len()).map(|x| (x as f32 * 0.1).sin()).collect();
+        let f: Vec<f32> = (0..shape.f_len()).map(|x| (x as f32 * 0.2).cos()).collect();
+        let mut o = vec![0.0f32; shape.o_len()];
+        conv_f32(&shape, &i, &f, &mut o);
+        // Check one output element by hand.
+        let (p, q, n, k) = (1usize, 2usize, 1usize, 1usize);
+        let mut expect = 0.0f32;
+        for c in 0..4usize {
+            let iv = i[((c * 3 + p) * 3 + q) * 2 + n];
+            let fv = f[c * 2 + k];
+            expect = iv.mul_add(fv, expect);
+        }
+        let got = o[((k * 3 + p) * 3 + q) * 2 + n];
+        assert!((got - expect).abs() < 1e-6);
+    }
+
+    #[test]
+    fn conv_single_pixel_equals_dot_product() {
+        // H=R, W=S -> P=Q=1: each output is a full dot product over CRS.
+        let shape = ConvShape {
+            n: 1,
+            c: 3,
+            h: 2,
+            w: 2,
+            k: 2,
+            r: 2,
+            s: 2,
+            dtype: DType::F32,
+        };
+        let i: Vec<f32> = (0..shape.i_len()).map(|x| x as f32).collect();
+        let f: Vec<f32> = (0..shape.f_len()).map(|x| 1.0 + x as f32).collect();
+        let mut o = vec![0.0f32; shape.o_len()];
+        conv_f32(&shape, &i, &f, &mut o);
+        for k in 0..2usize {
+            let mut expect = 0.0f32;
+            for c in 0..3usize {
+                for r in 0..2usize {
+                    for s in 0..2usize {
+                        expect += i[(c * 2 + r) * 2 + s] * f[((c * 2 + r) * 2 + s) * 2 + k];
+                    }
+                }
+            }
+            assert!((o[k] - expect).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn f16_reference_quantizes() {
+        let shape = GemmShape::new(2, 2, 2, "N", "N", DType::F16);
+        let a = vec![1.0 / 3.0; 4];
+        let b = vec![1.0; 4];
+        let mut c = vec![0.0f32; 4];
+        gemm_f16(&shape, &a, &b, &mut c);
+        // 2 * q16(1/3) then re-quantized.
+        let expect = q16(2.0 * q16(1.0 / 3.0));
+        assert!(c.iter().all(|&v| v == expect));
+    }
+}

@@ -1,0 +1,427 @@
+//! Ergonomic builder for IR kernels.
+//!
+//! The kernel generators construct thousands of distinct kernels; the
+//! builder keeps that code readable: typed register allocation, operator
+//! helpers that fold constants where it is free to do so, and structured
+//! loops via closures.
+
+use crate::ir::{
+    BinOp, CmpOp, Kernel, Op, Operand, Param, RegDecl, RegId, SharedDecl, Sreg, Stmt,
+};
+use crate::types::Ty;
+
+/// Builder for a [`Kernel`].
+#[derive(Debug)]
+pub struct KernelBuilder {
+    name: String,
+    params: Vec<Param>,
+    shared: Vec<SharedDecl>,
+    regs: Vec<RegDecl>,
+    /// Stack of statement lists: the bottom entry is the kernel body, upper
+    /// entries are open loop bodies.
+    frames: Vec<Vec<Stmt>>,
+}
+
+impl KernelBuilder {
+    /// Start a new kernel.
+    pub fn new(name: impl Into<String>) -> Self {
+        KernelBuilder {
+            name: name.into(),
+            params: Vec::new(),
+            shared: Vec::new(),
+            regs: Vec::new(),
+            frames: vec![Vec::new()],
+        }
+    }
+
+    // ---- declarations ---------------------------------------------------
+
+    /// Declare a pointer parameter with the given element type; returns its
+    /// index.
+    pub fn param_ptr(&mut self, name: &str, elem: Ty) -> usize {
+        self.params.push(Param {
+            name: name.to_string(),
+            ptr_elem: Some(elem),
+        });
+        self.params.len() - 1
+    }
+
+    /// Declare a scalar `s32` parameter; returns its index.
+    pub fn param_s32(&mut self, name: &str) -> usize {
+        self.params.push(Param {
+            name: name.to_string(),
+            ptr_elem: None,
+        });
+        self.params.len() - 1
+    }
+
+    /// Declare a shared array; returns its index.
+    pub fn shared_array(&mut self, name: &str, ty: Ty, len: usize) -> usize {
+        self.shared.push(SharedDecl {
+            name: name.to_string(),
+            ty,
+            len,
+        });
+        self.shared.len() - 1
+    }
+
+    /// Allocate a fresh register of type `ty`.
+    pub fn reg(&mut self, ty: Ty) -> RegId {
+        self.regs.push(RegDecl { ty });
+        RegId((self.regs.len() - 1) as u32)
+    }
+
+    /// Allocate `n` registers with consecutive ids (for vector memory ops).
+    pub fn reg_vec(&mut self, ty: Ty, n: usize) -> Vec<RegId> {
+        (0..n).map(|_| self.reg(ty)).collect()
+    }
+
+    /// Type of an already-allocated register.
+    pub fn ty_of(&self, r: RegId) -> Ty {
+        self.regs[r.0 as usize].ty
+    }
+
+    // ---- statement emission ----------------------------------------------
+
+    fn push(&mut self, op: Op) {
+        self.frames
+            .last_mut()
+            .expect("builder always has an open frame")
+            .push(Stmt::Op(op));
+    }
+
+    /// `dst = src`.
+    pub fn mov(&mut self, dst: RegId, src: impl Into<Operand>) {
+        self.push(Op::Mov {
+            dst,
+            src: src.into(),
+        });
+    }
+
+    /// `dst = a <op> b`.
+    pub fn bin(&mut self, op: BinOp, dst: RegId, a: impl Into<Operand>, b: impl Into<Operand>) {
+        self.push(Op::Bin {
+            op,
+            dst,
+            a: a.into(),
+            b: b.into(),
+        });
+    }
+
+    /// Fresh register holding `a <op> b`.
+    pub fn bin_new(&mut self, op: BinOp, ty: Ty, a: impl Into<Operand>, b: impl Into<Operand>) -> RegId {
+        let dst = self.reg(ty);
+        self.bin(op, dst, a, b);
+        dst
+    }
+
+    /// Fresh S32 register holding `a + b`.
+    pub fn add(&mut self, a: impl Into<Operand>, b: impl Into<Operand>) -> RegId {
+        self.bin_new(BinOp::Add, Ty::S32, a, b)
+    }
+
+    /// Fresh S32 register holding `a * b`.
+    pub fn mul(&mut self, a: impl Into<Operand>, b: impl Into<Operand>) -> RegId {
+        self.bin_new(BinOp::Mul, Ty::S32, a, b)
+    }
+
+    /// Fresh S32 register holding `a * b + c` via one `mad.lo`.
+    pub fn mad_s32(
+        &mut self,
+        a: impl Into<Operand>,
+        b: impl Into<Operand>,
+        c: impl Into<Operand>,
+    ) -> RegId {
+        let dst = self.reg(Ty::S32);
+        self.push(Op::Mad {
+            dst,
+            a: a.into(),
+            b: b.into(),
+            c: c.into(),
+        });
+        dst
+    }
+
+    /// Float FMA into an existing accumulator: `acc = a * b + acc`.
+    pub fn fma(&mut self, acc: RegId, a: impl Into<Operand>, b: impl Into<Operand>) {
+        self.push(Op::Mad {
+            dst: acc,
+            a: a.into(),
+            b: b.into(),
+            c: Operand::Reg(acc),
+        });
+    }
+
+    /// `dst(pred) = a <cmp> b`.
+    pub fn setp(&mut self, cmp: CmpOp, dst: RegId, a: impl Into<Operand>, b: impl Into<Operand>) {
+        self.push(Op::Setp {
+            cmp,
+            dst,
+            a: a.into(),
+            b: b.into(),
+        });
+    }
+
+    /// Fresh predicate register holding `a <cmp> b`.
+    pub fn setp_new(&mut self, cmp: CmpOp, a: impl Into<Operand>, b: impl Into<Operand>) -> RegId {
+        let dst = self.reg(Ty::Pred);
+        self.setp(cmp, dst, a, b);
+        dst
+    }
+
+    /// Fresh predicate `a && b`.
+    pub fn pred_and(&mut self, a: RegId, b: RegId) -> RegId {
+        let dst = self.reg(Ty::Pred);
+        self.push(Op::PredAnd { dst, a, b });
+        dst
+    }
+
+    /// `dst = p ? a : b`.
+    pub fn selp(
+        &mut self,
+        dst: RegId,
+        a: impl Into<Operand>,
+        b: impl Into<Operand>,
+        p: RegId,
+    ) {
+        self.push(Op::Selp {
+            dst,
+            a: a.into(),
+            b: b.into(),
+            p,
+        });
+    }
+
+    /// Fresh register with `src` converted to `ty`.
+    pub fn cvt(&mut self, ty: Ty, src: RegId) -> RegId {
+        let dst = self.reg(ty);
+        self.push(Op::Cvt { dst, src });
+        dst
+    }
+
+    /// Fresh S32 register holding a special register value.
+    pub fn sreg(&mut self, sreg: Sreg) -> RegId {
+        let dst = self.reg(Ty::S32);
+        self.push(Op::ReadSreg { dst, sreg });
+        dst
+    }
+
+    /// Load parameter `index` into a fresh register (U64 for pointers, S32
+    /// for scalars).
+    pub fn ld_param(&mut self, index: usize) -> RegId {
+        let ty = if self.params[index].ptr_elem.is_some() {
+            Ty::U64
+        } else {
+            Ty::S32
+        };
+        let dst = self.reg(ty);
+        self.push(Op::LdParam { dst, index });
+        dst
+    }
+
+    /// Predicated vector global load into consecutive registers.
+    pub fn ld_global(
+        &mut self,
+        dst: RegId,
+        width: u8,
+        addr: RegId,
+        offset: i64,
+        pred: Option<RegId>,
+    ) {
+        debug_assert!(matches!(width, 1 | 2 | 4));
+        self.push(Op::LdGlobal {
+            dst,
+            width,
+            addr,
+            offset,
+            pred,
+        });
+    }
+
+    /// Predicated vector global store.
+    pub fn st_global(
+        &mut self,
+        src: RegId,
+        width: u8,
+        addr: RegId,
+        offset: i64,
+        pred: Option<RegId>,
+    ) {
+        debug_assert!(matches!(width, 1 | 2 | 4));
+        self.push(Op::StGlobal {
+            src,
+            width,
+            addr,
+            offset,
+            pred,
+        });
+    }
+
+    /// Predicated global atomic add.
+    pub fn atom_add_global(&mut self, src: RegId, addr: RegId, offset: i64, pred: Option<RegId>) {
+        self.push(Op::AtomAddGlobal {
+            src,
+            addr,
+            offset,
+            pred,
+        });
+    }
+
+    /// Shared-memory vector load (byte offset in an S32 register).
+    pub fn ld_shared(&mut self, dst: RegId, width: u8, shared: usize, addr: RegId, offset: i64) {
+        debug_assert!(matches!(width, 1 | 2 | 4));
+        self.push(Op::LdShared {
+            dst,
+            width,
+            shared,
+            addr,
+            offset,
+        });
+    }
+
+    /// Shared-memory vector store.
+    pub fn st_shared(
+        &mut self,
+        src: RegId,
+        width: u8,
+        shared: usize,
+        addr: RegId,
+        offset: i64,
+        pred: Option<RegId>,
+    ) {
+        debug_assert!(matches!(width, 1 | 2 | 4));
+        self.push(Op::StShared {
+            src,
+            width,
+            shared,
+            addr,
+            offset,
+            pred,
+        });
+    }
+
+    /// Block-wide barrier.
+    pub fn barrier(&mut self) {
+        self.push(Op::Barrier);
+    }
+
+    /// Uniform counted loop: allocates the counter register, runs `f` to
+    /// fill the body, and returns the counter id.
+    pub fn for_loop(
+        &mut self,
+        init: impl Into<Operand>,
+        bound: impl Into<Operand>,
+        step: i64,
+        f: impl FnOnce(&mut Self, RegId),
+    ) -> RegId {
+        assert!(step > 0, "loop step must be positive");
+        let counter = self.reg(Ty::S32);
+        self.frames.push(Vec::new());
+        f(self, counter);
+        let body = self.frames.pop().expect("frame pushed above");
+        self.frames
+            .last_mut()
+            .expect("builder always has an open frame")
+            .push(Stmt::For {
+                counter,
+                init: init.into(),
+                bound: bound.into(),
+                step,
+                body,
+            });
+        counter
+    }
+
+    /// Finish and return the kernel.
+    pub fn finish(mut self) -> Kernel {
+        assert_eq!(
+            self.frames.len(),
+            1,
+            "unclosed loop frames at finish() -- builder misuse"
+        );
+        Kernel {
+            name: self.name,
+            params: self.params,
+            shared: self.shared,
+            regs: self.regs,
+            body: self.frames.pop().expect("exactly one frame left"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_simple_kernel() {
+        let mut b = KernelBuilder::new("axpy");
+        let x = b.param_ptr("x", Ty::F32);
+        let _n = b.param_s32("n");
+        let px = b.ld_param(x);
+        let tid = b.sreg(Sreg::TidX);
+        let off = b.mul(tid, 4);
+        let off64 = b.cvt(Ty::U64, off);
+        let addr = b.bin_new(BinOp::Add, Ty::U64, px, off64);
+        let v = b.reg(Ty::F32);
+        b.ld_global(v, 1, addr, 0, None);
+        b.fma(v, v, 2.0);
+        b.st_global(v, 1, addr, 0, None);
+        let k = b.finish();
+        assert_eq!(k.name, "axpy");
+        assert_eq!(k.params.len(), 2);
+        assert_eq!(k.static_size(), 8);
+    }
+
+    #[test]
+    fn nested_loops() {
+        let mut b = KernelBuilder::new("loopy");
+        let acc = b.reg(Ty::F32);
+        b.mov(acc, 0.0);
+        b.for_loop(0, 4, 1, |b, _i| {
+            b.for_loop(0, 8, 2, |b, _j| {
+                b.fma(acc, 1.0, 1.0);
+            });
+        });
+        let k = b.finish();
+        // mov + outer for + inner for + fma
+        assert_eq!(k.static_size(), 4);
+        match &k.body[1] {
+            Stmt::For { body, step, .. } => {
+                assert_eq!(*step, 1);
+                match &body[0] {
+                    Stmt::For { step, .. } => assert_eq!(*step, 2),
+                    other => panic!("expected inner loop, got {other:?}"),
+                }
+            }
+            other => panic!("expected loop, got {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "loop step must be positive")]
+    fn zero_step_rejected() {
+        let mut b = KernelBuilder::new("bad");
+        b.for_loop(0, 4, 0, |_, _| {});
+    }
+
+    #[test]
+    fn reg_vec_is_consecutive() {
+        let mut b = KernelBuilder::new("v");
+        let regs = b.reg_vec(Ty::F32, 4);
+        for w in regs.windows(2) {
+            assert_eq!(w[1].0, w[0].0 + 1);
+        }
+    }
+
+    #[test]
+    fn param_types() {
+        let mut b = KernelBuilder::new("p");
+        let a = b.param_ptr("A", Ty::F64);
+        let n = b.param_s32("n");
+        let pa = b.ld_param(a);
+        let pn = b.ld_param(n);
+        assert_eq!(b.ty_of(pa), Ty::U64);
+        assert_eq!(b.ty_of(pn), Ty::S32);
+    }
+}

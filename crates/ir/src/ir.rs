@@ -1,0 +1,509 @@
+//! The kernel IR: a PTX-shaped, three-address, predicated instruction set
+//! with structured uniform loops.
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Faithful to PTX.** Memory is byte-addressed and address arithmetic
+//!    is explicit (it costs integer instructions, which the performance
+//!    model charges to the core pipe). Bounds checks are predicates guarding
+//!    individual memory operations -- the paper's Section 8.3 point.
+//! 2. **Interpretable in lock-step.** Control flow is restricted to uniform
+//!    `For` loops (trip counts must be identical across the threads of a
+//!    block); divergence is expressed exclusively through predication.
+//!    This makes the VM's lock-step schedule legal.
+//! 3. **Emittable.** Every op corresponds to one PTX instruction (vector
+//!    memory ops to one `v2`/`v4` instruction).
+
+use crate::types::Ty;
+
+/// A virtual register id. Registers are typed; see [`Kernel::regs`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RegId(pub u32);
+
+/// An instruction operand.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Operand {
+    /// A virtual register.
+    Reg(RegId),
+    /// Integer immediate.
+    ImmI(i64),
+    /// Floating-point immediate.
+    ImmF(f64),
+}
+
+impl From<RegId> for Operand {
+    fn from(r: RegId) -> Self {
+        Operand::Reg(r)
+    }
+}
+
+impl From<i64> for Operand {
+    fn from(v: i64) -> Self {
+        Operand::ImmI(v)
+    }
+}
+
+impl From<i32> for Operand {
+    fn from(v: i32) -> Self {
+        Operand::ImmI(v as i64)
+    }
+}
+
+impl From<f64> for Operand {
+    fn from(v: f64) -> Self {
+        Operand::ImmF(v)
+    }
+}
+
+/// Binary ALU operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// Addition (int or float).
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication (integer `mul.lo`).
+    Mul,
+    /// Division (integer division truncates; float unused by generators).
+    Div,
+    /// Remainder.
+    Rem,
+    /// Minimum.
+    Min,
+    /// Maximum.
+    Max,
+    /// Shift left (int).
+    Shl,
+    /// Logical shift right (int).
+    Shr,
+    /// Bitwise and.
+    And,
+    /// Bitwise or.
+    Or,
+    /// Bitwise xor.
+    Xor,
+}
+
+impl BinOp {
+    /// PTX mnemonic stem.
+    pub fn ptx_name(self) -> &'static str {
+        match self {
+            BinOp::Add => "add",
+            BinOp::Sub => "sub",
+            BinOp::Mul => "mul",
+            BinOp::Div => "div",
+            BinOp::Rem => "rem",
+            BinOp::Min => "min",
+            BinOp::Max => "max",
+            BinOp::Shl => "shl",
+            BinOp::Shr => "shr",
+            BinOp::And => "and",
+            BinOp::Or => "or",
+            BinOp::Xor => "xor",
+        }
+    }
+}
+
+/// Comparison operators for `setp`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// Less-than.
+    Lt,
+    /// Less-or-equal.
+    Le,
+    /// Greater-than.
+    Gt,
+    /// Greater-or-equal.
+    Ge,
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+}
+
+impl CmpOp {
+    /// PTX comparison suffix.
+    pub fn ptx_name(self) -> &'static str {
+        match self {
+            CmpOp::Lt => "lt",
+            CmpOp::Le => "le",
+            CmpOp::Gt => "gt",
+            CmpOp::Ge => "ge",
+            CmpOp::Eq => "eq",
+            CmpOp::Ne => "ne",
+        }
+    }
+}
+
+/// Special (read-only) hardware registers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Sreg {
+    /// Thread index within the block (x dimension; blocks are 1-D).
+    TidX,
+    /// Block index, x.
+    CtaIdX,
+    /// Block index, y.
+    CtaIdY,
+    /// Block index, z.
+    CtaIdZ,
+}
+
+impl Sreg {
+    /// PTX name.
+    pub fn ptx_name(self) -> &'static str {
+        match self {
+            Sreg::TidX => "%tid.x",
+            Sreg::CtaIdX => "%ctaid.x",
+            Sreg::CtaIdY => "%ctaid.y",
+            Sreg::CtaIdZ => "%ctaid.z",
+        }
+    }
+}
+
+/// One predicated three-address operation.
+///
+/// `pred` on memory ops means the operation is skipped for threads whose
+/// predicate register is false (emitted as `@%p` in PTX). A skipped load
+/// leaves its destination registers unchanged.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Op {
+    /// `dst = src`.
+    Mov {
+        /// Destination register.
+        dst: RegId,
+        /// Source operand.
+        src: Operand,
+    },
+    /// `dst = a <op> b`.
+    Bin {
+        /// Operation.
+        op: BinOp,
+        /// Destination register.
+        dst: RegId,
+        /// Left operand.
+        a: Operand,
+        /// Right operand.
+        b: Operand,
+    },
+    /// Fused multiply-add: `dst = a * b + c` (float `fma.rn`, integer
+    /// `mad.lo`).
+    Mad {
+        /// Destination register.
+        dst: RegId,
+        /// Multiplicand.
+        a: Operand,
+        /// Multiplier.
+        b: Operand,
+        /// Addend.
+        c: Operand,
+    },
+    /// Set predicate: `dst = a <cmp> b`.
+    Setp {
+        /// Comparison.
+        cmp: CmpOp,
+        /// Destination predicate register.
+        dst: RegId,
+        /// Left operand.
+        a: Operand,
+        /// Right operand.
+        b: Operand,
+    },
+    /// Predicate conjunction `dst = a && b` (PTX `and.pred`).
+    PredAnd {
+        /// Destination predicate register.
+        dst: RegId,
+        /// First predicate.
+        a: RegId,
+        /// Second predicate.
+        b: RegId,
+    },
+    /// Select: `dst = p ? a : b`.
+    Selp {
+        /// Destination register.
+        dst: RegId,
+        /// Value if `p`.
+        a: Operand,
+        /// Value if `!p`.
+        b: Operand,
+        /// Selector predicate.
+        p: RegId,
+    },
+    /// Type conversion between register classes (`cvt`).
+    Cvt {
+        /// Destination register (target type from its declaration).
+        dst: RegId,
+        /// Source register.
+        src: RegId,
+    },
+    /// Read a special register.
+    ReadSreg {
+        /// Destination (S32) register.
+        dst: RegId,
+        /// Which special register.
+        sreg: Sreg,
+    },
+    /// Load a kernel parameter into a register (`ld.param` +
+    /// `cvta.to.global` for pointers).
+    LdParam {
+        /// Destination register (U64 for pointers, S32 for scalars).
+        dst: RegId,
+        /// Parameter index.
+        index: usize,
+    },
+    /// Global load of `width` consecutive elements into registers
+    /// `dst, dst+1, ..` from byte address `addr` (+ `offset` bytes).
+    LdGlobal {
+        /// First destination register (consecutive ids for vector loads).
+        dst: RegId,
+        /// Number of elements (1, 2 or 4).
+        width: u8,
+        /// U64 register holding the byte address.
+        addr: RegId,
+        /// Additional constant byte offset.
+        offset: i64,
+        /// Optional guard predicate.
+        pred: Option<RegId>,
+    },
+    /// Global store, mirroring [`Op::LdGlobal`].
+    StGlobal {
+        /// First source register.
+        src: RegId,
+        /// Number of elements.
+        width: u8,
+        /// U64 register with byte address.
+        addr: RegId,
+        /// Constant byte offset.
+        offset: i64,
+        /// Optional guard predicate.
+        pred: Option<RegId>,
+    },
+    /// Global atomic add (`red.global.add`), one element.
+    AtomAddGlobal {
+        /// Source register holding the addend.
+        src: RegId,
+        /// U64 register with byte address.
+        addr: RegId,
+        /// Constant byte offset.
+        offset: i64,
+        /// Optional guard predicate.
+        pred: Option<RegId>,
+    },
+    /// Shared-memory load: byte address relative to the named shared array.
+    LdShared {
+        /// First destination register.
+        dst: RegId,
+        /// Number of elements.
+        width: u8,
+        /// Shared array index (into [`Kernel::shared`]).
+        shared: usize,
+        /// S32 register holding the byte offset within the array.
+        addr: RegId,
+        /// Constant extra byte offset.
+        offset: i64,
+    },
+    /// Shared-memory store, mirroring [`Op::LdShared`].
+    StShared {
+        /// First source register.
+        src: RegId,
+        /// Number of elements.
+        width: u8,
+        /// Shared array index.
+        shared: usize,
+        /// S32 register with byte offset.
+        addr: RegId,
+        /// Constant extra byte offset.
+        offset: i64,
+        /// Optional guard predicate.
+        pred: Option<RegId>,
+    },
+    /// Block-wide barrier (`bar.sync 0`).
+    Barrier,
+}
+
+/// A statement: an op or a uniform counted loop.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// A single predicated operation.
+    Op(Op),
+    /// `for (counter = init; counter < bound; counter += step) body`.
+    ///
+    /// `init` and `bound` must evaluate to the same value in every thread of
+    /// a block (the VM enforces this), which keeps the lock-step schedule
+    /// valid. `step` is a positive compile-time constant.
+    For {
+        /// S32 loop counter register.
+        counter: RegId,
+        /// Initial value.
+        init: Operand,
+        /// Exclusive upper bound.
+        bound: Operand,
+        /// Positive step.
+        step: i64,
+        /// Loop body.
+        body: Vec<Stmt>,
+    },
+}
+
+/// Kernel parameter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Param {
+    /// Name in the PTX signature.
+    pub name: String,
+    /// Pointer element type (`Some`) or `None` for a scalar `s32` param.
+    pub ptr_elem: Option<Ty>,
+}
+
+/// A `.shared` array declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SharedDecl {
+    /// Array name.
+    pub name: String,
+    /// Element type.
+    pub ty: Ty,
+    /// Length in elements.
+    pub len: usize,
+}
+
+impl SharedDecl {
+    /// Size of the array in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.len * self.ty.size_bytes()
+    }
+}
+
+/// Register declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegDecl {
+    /// Type of the register.
+    pub ty: Ty,
+}
+
+/// A complete kernel.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Kernel {
+    /// Entry-point name.
+    pub name: String,
+    /// Parameters in signature order.
+    pub params: Vec<Param>,
+    /// Shared arrays.
+    pub shared: Vec<SharedDecl>,
+    /// Virtual register declarations, indexed by [`RegId`].
+    pub regs: Vec<RegDecl>,
+    /// Kernel body.
+    pub body: Vec<Stmt>,
+}
+
+impl Kernel {
+    /// Type of a register.
+    #[inline]
+    pub fn reg_ty(&self, r: RegId) -> Ty {
+        self.regs[r.0 as usize].ty
+    }
+
+    /// Total shared memory in bytes.
+    pub fn shared_bytes(&self) -> usize {
+        self.shared.iter().map(SharedDecl::size_bytes).sum()
+    }
+
+    /// Number of virtual registers of each PTX class, as `(class, count)`
+    /// pairs -- the emitter's declaration header and a proxy for register
+    /// pressure in tests.
+    pub fn reg_class_counts(&self) -> Vec<(Ty, usize)> {
+        let mut counts: Vec<(Ty, usize)> = Vec::new();
+        for ty in [Ty::Pred, Ty::S32, Ty::U64, Ty::F16, Ty::F32, Ty::F64] {
+            let n = self.regs.iter().filter(|r| r.ty == ty).count();
+            if n > 0 {
+                counts.push((ty, n));
+            }
+        }
+        counts
+    }
+
+    /// Count statements recursively (loop bodies counted once), a cheap
+    /// static code-size metric.
+    pub fn static_size(&self) -> usize {
+        fn walk(stmts: &[Stmt]) -> usize {
+            stmts
+                .iter()
+                .map(|s| match s {
+                    Stmt::Op(_) => 1,
+                    Stmt::For { body, .. } => 1 + walk(body),
+                })
+                .sum()
+        }
+        walk(&self.body)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn operand_conversions() {
+        let r = RegId(3);
+        assert_eq!(Operand::from(r), Operand::Reg(r));
+        assert_eq!(Operand::from(7i64), Operand::ImmI(7));
+        assert_eq!(Operand::from(7i32), Operand::ImmI(7));
+        assert_eq!(Operand::from(1.5f64), Operand::ImmF(1.5));
+    }
+
+    #[test]
+    fn shared_decl_size() {
+        let d = SharedDecl {
+            name: "smA".into(),
+            ty: Ty::F32,
+            len: 1024,
+        };
+        assert_eq!(d.size_bytes(), 4096);
+    }
+
+    #[test]
+    fn kernel_metadata() {
+        let k = Kernel {
+            name: "t".into(),
+            params: vec![Param {
+                name: "A".into(),
+                ptr_elem: Some(Ty::F32),
+            }],
+            shared: vec![SharedDecl {
+                name: "s".into(),
+                ty: Ty::F64,
+                len: 16,
+            }],
+            regs: vec![
+                RegDecl { ty: Ty::S32 },
+                RegDecl { ty: Ty::S32 },
+                RegDecl { ty: Ty::F32 },
+                RegDecl { ty: Ty::Pred },
+            ],
+            body: vec![
+                Stmt::Op(Op::Mov {
+                    dst: RegId(0),
+                    src: Operand::ImmI(0),
+                }),
+                Stmt::For {
+                    counter: RegId(1),
+                    init: Operand::ImmI(0),
+                    bound: Operand::ImmI(4),
+                    step: 1,
+                    body: vec![Stmt::Op(Op::Barrier)],
+                },
+            ],
+        };
+        assert_eq!(k.shared_bytes(), 128);
+        assert_eq!(k.reg_ty(RegId(2)), Ty::F32);
+        assert_eq!(k.static_size(), 3);
+        let counts = k.reg_class_counts();
+        assert!(counts.contains(&(Ty::S32, 2)));
+        assert!(counts.contains(&(Ty::Pred, 1)));
+    }
+
+    #[test]
+    fn ptx_names_are_stable() {
+        assert_eq!(BinOp::Add.ptx_name(), "add");
+        assert_eq!(BinOp::Shl.ptx_name(), "shl");
+        assert_eq!(CmpOp::Lt.ptx_name(), "lt");
+        assert_eq!(Sreg::TidX.ptx_name(), "%tid.x");
+    }
+}

@@ -1,0 +1,37 @@
+//! SIMT kernel IR, PTX emitter/parser and a functional GPU virtual machine.
+//!
+//! The ISAAC paper generates NVIDIA PTX directly (Section 3, Section 8.3:
+//! predication makes bounds checking nearly free). Without an NVIDIA GPU to
+//! execute PTX, this crate provides the substitute execution stack:
+//!
+//! * [`ir`] -- a typed, PTX-shaped kernel IR: virtual registers, three-
+//!   address ops, byte-addressed global/shared memory, predicated
+//!   instructions, uniform loops and barriers. The kernel generators in
+//!   `isaac-gen` build this IR.
+//! * [`emit`] -- lowers an IR kernel to real PTX ISA 5.0 text (labels,
+//!   `@%p` predication, vectorized `ld.global.v4`, `bar.sync`, ...).
+//! * [`ptx`] -- a parser/validator for the emitted PTX subset, used to
+//!   round-trip-test the emitter and to count instructions by class.
+//! * [`vm`] -- a lock-step SIMT interpreter: executes a kernel over a grid
+//!   of thread blocks against host-side buffers, faithfully modeling
+//!   shared memory, barriers, predication and global atomics, and
+//!   recording dynamic instruction statistics. Generated GEMM/CONV kernels
+//!   are validated against reference CPU implementations through this VM.
+//!
+//! The interpreter executes all threads of a block in lock-step, one
+//! statement at a time. This is a legal schedule for any race-free,
+//! barrier-synchronized kernel -- which the generators guarantee by
+//! construction -- and it makes barriers trivially correct.
+
+pub mod build;
+pub mod emit;
+pub mod ir;
+pub mod ptx;
+pub mod types;
+pub mod vm;
+
+pub use build::KernelBuilder;
+pub use emit::emit_ptx;
+pub use ir::{BinOp, CmpOp, Kernel, Op, Operand, Param, RegId, Sreg, Stmt};
+pub use types::{f16_from_f32, f16_to_f32, Scalar, Ty};
+pub use vm::{Arg, BufId, GpuFault, GpuMemory, HostBuffer, LaunchStats, Vm};

@@ -1,0 +1,490 @@
+//! Parser / validator for the PTX subset emitted by [`crate::emit`].
+//!
+//! The parser is used to round-trip-test the emitter (every emitted module
+//! must parse and validate) and to count instructions by pipeline class,
+//! which provides an independent check of the generators' analytical
+//! instruction-mix estimates.
+
+use std::collections::HashMap;
+
+/// A parsed PTX instruction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PtxInstr {
+    /// Guard predicate register, without `@` (e.g. `"%p3"`).
+    pub pred: Option<String>,
+    /// Full dotted opcode (e.g. `"ld.global.v4.f32"`).
+    pub opcode: String,
+    /// Raw operand text, split on top-level commas.
+    pub operands: Vec<String>,
+}
+
+/// A parsed PTX module (one entry function).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PtxModule {
+    /// PTX ISA version string.
+    pub version: String,
+    /// Target architecture (e.g. `"sm_60"`).
+    pub target: String,
+    /// Entry name.
+    pub entry: String,
+    /// Parameter names with their `.param` types.
+    pub params: Vec<(String, String)>,
+    /// Declared register counts per class prefix (e.g. `"%f" -> 34`).
+    pub reg_decls: HashMap<String, u32>,
+    /// Total shared memory bytes.
+    pub shared_bytes: usize,
+    /// Labels defined in the body.
+    pub labels: Vec<String>,
+    /// Instructions in order.
+    pub instrs: Vec<PtxInstr>,
+}
+
+/// Instruction counts per hardware pipe class (static, per program text).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PtxClassCounts {
+    /// FMA-class float math.
+    pub math: usize,
+    /// Global loads.
+    pub ldg: usize,
+    /// Global stores.
+    pub stg: usize,
+    /// Shared loads.
+    pub lds: usize,
+    /// Shared stores.
+    pub sts: usize,
+    /// Atomics / reductions.
+    pub atom: usize,
+    /// Barriers.
+    pub bar: usize,
+    /// Branches.
+    pub bra: usize,
+    /// Everything else (integer ALU, moves, conversions, setp, ...).
+    pub misc: usize,
+}
+
+/// Parse errors with line context.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PtxError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for PtxError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "PTX parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for PtxError {}
+
+fn err(line: usize, message: impl Into<String>) -> PtxError {
+    PtxError {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Parse a PTX module from text.
+pub fn parse_module(text: &str) -> Result<PtxModule, PtxError> {
+    let mut version = String::new();
+    let mut target = String::new();
+    let mut entry = String::new();
+    let mut params = Vec::new();
+    let mut reg_decls = HashMap::new();
+    let mut shared_bytes = 0usize;
+    let mut labels = Vec::new();
+    let mut instrs = Vec::new();
+
+    let mut in_params = false;
+    let mut in_body = false;
+    let mut brace_depth = 0i32;
+
+    for (ln, raw) in text.lines().enumerate() {
+        let line_no = ln + 1;
+        let line = strip_comment(raw).trim().to_string();
+        if line.is_empty() {
+            continue;
+        }
+
+        if let Some(rest) = line.strip_prefix(".version") {
+            version = rest.trim().to_string();
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix(".target") {
+            target = rest.trim().to_string();
+            continue;
+        }
+        if line.starts_with(".address_size") {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix(".visible .entry") {
+            let rest = rest.trim();
+            let name_end = rest.find('(').ok_or_else(|| err(line_no, "missing '('"))?;
+            entry = rest[..name_end].trim().to_string();
+            in_params = !rest.trim_end().ends_with(')');
+            continue;
+        }
+        if in_params {
+            if line.starts_with(')') {
+                in_params = false;
+                continue;
+            }
+            let rest = line
+                .strip_prefix(".param")
+                .ok_or_else(|| err(line_no, format!("expected .param, got '{line}'")))?
+                .trim()
+                .trim_end_matches(',');
+            let mut it = rest.split_whitespace();
+            let ty = it
+                .next()
+                .ok_or_else(|| err(line_no, "missing param type"))?;
+            let name = it
+                .next()
+                .ok_or_else(|| err(line_no, "missing param name"))?;
+            params.push((name.to_string(), ty.to_string()));
+            continue;
+        }
+        if line == "{" {
+            brace_depth += 1;
+            in_body = true;
+            continue;
+        }
+        if line == "}" {
+            brace_depth -= 1;
+            if brace_depth < 0 {
+                return Err(err(line_no, "unbalanced '}'"));
+            }
+            in_body = false;
+            continue;
+        }
+        if !in_body {
+            return Err(err(line_no, format!("unexpected text outside body: '{line}'")));
+        }
+
+        if let Some(rest) = line.strip_prefix(".reg") {
+            // `.reg .f32 %f<34>;`
+            let rest = rest.trim().trim_end_matches(';');
+            let mut it = rest.split_whitespace();
+            let _ty = it.next().ok_or_else(|| err(line_no, "missing reg type"))?;
+            let decl = it.next().ok_or_else(|| err(line_no, "missing reg name"))?;
+            let open = decl
+                .find('<')
+                .ok_or_else(|| err(line_no, "missing '<' in reg decl"))?;
+            let close = decl
+                .find('>')
+                .ok_or_else(|| err(line_no, "missing '>' in reg decl"))?;
+            let prefix = decl[..open].to_string();
+            let count: u32 = decl[open + 1..close]
+                .parse()
+                .map_err(|_| err(line_no, "bad reg count"))?;
+            reg_decls.insert(prefix, count);
+            continue;
+        }
+        if line.starts_with(".shared") {
+            // `.shared .align 16 .b8 __smem[4096];`
+            let open = line
+                .find('[')
+                .ok_or_else(|| err(line_no, "missing '[' in shared decl"))?;
+            let close = line
+                .find(']')
+                .ok_or_else(|| err(line_no, "missing ']' in shared decl"))?;
+            shared_bytes = line[open + 1..close]
+                .parse()
+                .map_err(|_| err(line_no, "bad shared size"))?;
+            continue;
+        }
+        if line.starts_with('$') && line.ends_with(':') {
+            labels.push(line.trim_end_matches(':').to_string());
+            continue;
+        }
+
+        // Ordinary instruction.
+        let mut body = line.trim_end_matches(';').trim();
+        let mut pred = None;
+        if let Some(rest) = body.strip_prefix('@') {
+            let sp = rest
+                .find(char::is_whitespace)
+                .ok_or_else(|| err(line_no, "predicate without instruction"))?;
+            pred = Some(rest[..sp].to_string());
+            body = rest[sp..].trim();
+        }
+        let (opcode, rest) = match body.find(char::is_whitespace) {
+            Some(i) => (body[..i].to_string(), body[i..].trim()),
+            None => (body.to_string(), ""),
+        };
+        let operands = split_operands(rest);
+        instrs.push(PtxInstr {
+            pred,
+            opcode,
+            operands,
+        });
+    }
+
+    if brace_depth != 0 {
+        return Err(err(text.lines().count(), "unbalanced braces at EOF"));
+    }
+    if entry.is_empty() {
+        return Err(err(1, "no .entry found"));
+    }
+    Ok(PtxModule {
+        version,
+        target,
+        entry,
+        params,
+        reg_decls,
+        shared_bytes,
+        labels,
+        instrs,
+    })
+}
+
+fn strip_comment(line: &str) -> &str {
+    match line.find("//") {
+        Some(i) => &line[..i],
+        None => line,
+    }
+}
+
+/// Split an operand list on top-level commas (commas inside `{...}` or
+/// `[...]` do not split).
+fn split_operands(s: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut depth = 0i32;
+    let mut cur = String::new();
+    for c in s.chars() {
+        match c {
+            '{' | '[' => {
+                depth += 1;
+                cur.push(c);
+            }
+            '}' | ']' => {
+                depth -= 1;
+                cur.push(c);
+            }
+            ',' if depth == 0 => {
+                let t = cur.trim();
+                if !t.is_empty() {
+                    out.push(t.to_string());
+                }
+                cur.clear();
+            }
+            _ => cur.push(c),
+        }
+    }
+    let t = cur.trim();
+    if !t.is_empty() {
+        out.push(t.to_string());
+    }
+    out
+}
+
+impl PtxModule {
+    /// Validate internal consistency: every referenced register is covered
+    /// by a declaration, every branch target exists.
+    pub fn validate(&self) -> Result<(), String> {
+        for (i, ins) in self.instrs.iter().enumerate() {
+            if ins.opcode == "bra" {
+                let target = ins
+                    .operands
+                    .first()
+                    .ok_or_else(|| format!("instr {i}: bra without target"))?;
+                if !self.labels.iter().any(|l| l == target) {
+                    return Err(format!("instr {i}: branch to unknown label {target}"));
+                }
+            }
+            let check_reg = |tok: &str| -> Result<(), String> {
+                for (prefix, count) in &self.reg_decls {
+                    if let Some(rest) = tok.strip_prefix(prefix.as_str()) {
+                        if let Ok(idx) = rest.parse::<u32>() {
+                            if idx >= *count {
+                                return Err(format!(
+                                    "instr {i}: register {tok} beyond declared {prefix}<{count}>"
+                                ));
+                            }
+                            return Ok(());
+                        }
+                    }
+                }
+                Ok(())
+            };
+            if let Some(p) = &ins.pred {
+                check_reg(p)?;
+            }
+            for operand in &ins.operands {
+                for tok in operand
+                    .split(|c: char| "{}[], +".contains(c))
+                    .filter(|t| t.starts_with('%'))
+                {
+                    // Special registers (%tid.x etc.) are always legal.
+                    if tok.contains('.') {
+                        continue;
+                    }
+                    check_reg(tok)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Classify instructions per hardware pipe.
+    pub fn class_counts(&self) -> PtxClassCounts {
+        let mut c = PtxClassCounts::default();
+        for ins in &self.instrs {
+            let op = ins.opcode.as_str();
+            if op.starts_with("fma.")
+                || ((op.starts_with("add.") || op.starts_with("sub.") || op.starts_with("mul."))
+                    && (op.ends_with(".f32") || op.ends_with(".f64") || op.ends_with(".f16")))
+            {
+                c.math += 1;
+            } else if op.starts_with("ld.global") {
+                c.ldg += 1;
+            } else if op.starts_with("st.global") {
+                c.stg += 1;
+            } else if op.starts_with("ld.shared") {
+                c.lds += 1;
+            } else if op.starts_with("st.shared") {
+                c.sts += 1;
+            } else if op.starts_with("red.") || op.starts_with("atom.") {
+                c.atom += 1;
+            } else if op.starts_with("bar.") {
+                c.bar += 1;
+            } else if op == "bra" {
+                c.bra += 1;
+            } else if op == "ret" {
+                // not counted
+            } else {
+                c.misc += 1;
+            }
+        }
+        c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::KernelBuilder;
+    use crate::emit::emit_ptx;
+    use crate::ir::{BinOp, CmpOp, Sreg};
+    use crate::types::Ty;
+
+    fn sample_ptx() -> String {
+        let mut b = KernelBuilder::new("roundtrip");
+        let px = b.param_ptr("x", Ty::F32);
+        let pn = b.param_s32("n");
+        let sm = b.shared_array("tile", Ty::F32, 64);
+        let x = b.ld_param(px);
+        let n = b.ld_param(pn);
+        let tid = b.sreg(Sreg::TidX);
+        let guard = b.setp_new(CmpOp::Lt, tid, n);
+        let off = b.mul(tid, 4);
+        let off64 = b.cvt(Ty::U64, off);
+        let addr = b.bin_new(BinOp::Add, Ty::U64, x, off64);
+        let v = b.reg(Ty::F32);
+        b.mov(v, 0.0);
+        b.ld_global(v, 1, addr, 0, Some(guard));
+        b.st_shared(v, 1, sm, off, 0, None);
+        b.barrier();
+        b.for_loop(0, n, 1, |b, _| {
+            b.fma(v, v, 2.0);
+        });
+        b.st_global(v, 1, addr, 0, Some(guard));
+        emit_ptx(&b.finish(), "sm_60")
+    }
+
+    #[test]
+    fn emitted_ptx_parses_and_validates() {
+        let ptx = sample_ptx();
+        let m = parse_module(&ptx).expect("parse");
+        m.validate().expect("validate");
+        assert_eq!(m.entry, "roundtrip");
+        assert_eq!(m.version, "5.0");
+        assert_eq!(m.target, "sm_60");
+        assert_eq!(m.params.len(), 2);
+        assert_eq!(m.shared_bytes, 256);
+    }
+
+    #[test]
+    fn class_counts_match_expectations() {
+        let ptx = sample_ptx();
+        let m = parse_module(&ptx).unwrap();
+        let c = m.class_counts();
+        assert_eq!(c.math, 1, "{c:?}"); // one fma in the loop body
+        assert_eq!(c.ldg, 1);
+        assert_eq!(c.stg, 1);
+        assert_eq!(c.sts, 1);
+        assert_eq!(c.bar, 1);
+        assert_eq!(c.bra, 2); // loop backedge + exit branch
+        assert!(c.misc > 5);
+    }
+
+    #[test]
+    fn predicates_are_captured() {
+        let ptx = sample_ptx();
+        let m = parse_module(&ptx).unwrap();
+        let guarded: Vec<_> = m.instrs.iter().filter(|i| i.pred.is_some()).collect();
+        // guarded load, guarded store, loop exit branch
+        assert_eq!(guarded.len(), 3, "{guarded:?}");
+    }
+
+    #[test]
+    fn unbalanced_braces_rejected() {
+        let bad = ".visible .entry x()\n{\nret;";
+        // Missing closing brace: entry parses but EOF check fails.
+        assert!(parse_module(bad).is_err());
+    }
+
+    #[test]
+    fn branch_to_unknown_label_fails_validation() {
+        let text = "\
+.version 5.0
+.target sm_60
+.address_size 64
+.visible .entry t()
+{
+\tbra $L_nowhere;
+}
+";
+        let m = parse_module(text).unwrap();
+        assert!(m.validate().is_err());
+    }
+
+    #[test]
+    fn register_overflow_fails_validation() {
+        let text = "\
+.version 5.0
+.target sm_60
+.address_size 64
+.visible .entry t()
+{
+\t.reg .f32 %f<3>;
+\tadd.rn.f32 %f9, %f1, %f2;
+}
+";
+        let m = parse_module(text).unwrap();
+        let e = m.validate().unwrap_err();
+        assert!(e.contains("%f9"), "{e}");
+    }
+
+    #[test]
+    fn operand_splitting_respects_braces() {
+        let ops = split_operands("{%f1, %f2, %f3, %f4}, [%rd5+16]");
+        assert_eq!(ops.len(), 2);
+        assert_eq!(ops[0], "{%f1, %f2, %f3, %f4}");
+        assert_eq!(ops[1], "[%rd5+16]");
+    }
+
+    #[test]
+    fn vector_loads_count_once() {
+        let mut b = KernelBuilder::new("v");
+        let p = b.param_ptr("x", Ty::F32);
+        let x = b.ld_param(p);
+        let v = b.reg_vec(Ty::F32, 4);
+        b.ld_global(v[0], 4, x, 0, None);
+        let ptx = emit_ptx(&b.finish(), "sm_60");
+        let m = parse_module(&ptx).unwrap();
+        assert_eq!(m.class_counts().ldg, 1);
+    }
+}

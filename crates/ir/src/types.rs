@@ -1,0 +1,297 @@
+//! Register/value types and half-precision conversion helpers.
+
+use std::fmt;
+
+/// Types a virtual register (or memory element) can have.
+///
+/// These mirror the PTX register classes the emitter uses: `.pred`, `.s32`,
+/// `.u64`, `.f16`, `.f32`, `.f64`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Ty {
+    /// 1-bit predicate.
+    Pred,
+    /// 32-bit signed integer (wrapping semantics, like hardware).
+    S32,
+    /// 64-bit unsigned integer, used for byte addresses.
+    U64,
+    /// 16-bit IEEE float. Interpreted values are quantized on every write.
+    F16,
+    /// 32-bit IEEE float.
+    F32,
+    /// 64-bit IEEE float.
+    F64,
+}
+
+impl Ty {
+    /// Size in bytes of one element of this type in memory.
+    pub fn size_bytes(self) -> usize {
+        match self {
+            Ty::Pred => 1,
+            Ty::S32 => 4,
+            Ty::U64 => 8,
+            Ty::F16 => 2,
+            Ty::F32 => 4,
+            Ty::F64 => 8,
+        }
+    }
+
+    /// Whether the type is a floating-point class.
+    pub fn is_float(self) -> bool {
+        matches!(self, Ty::F16 | Ty::F32 | Ty::F64)
+    }
+
+    /// PTX type suffix (`.f32`, `.s32`, ...).
+    pub fn ptx_suffix(self) -> &'static str {
+        match self {
+            Ty::Pred => "pred",
+            Ty::S32 => "s32",
+            Ty::U64 => "u64",
+            Ty::F16 => "f16",
+            Ty::F32 => "f32",
+            Ty::F64 => "f64",
+        }
+    }
+
+    /// PTX register-name prefix for declarations (`%f`, `%r`, ...).
+    pub fn reg_prefix(self) -> &'static str {
+        match self {
+            Ty::Pred => "%p",
+            Ty::S32 => "%r",
+            Ty::U64 => "%rd",
+            Ty::F16 => "%h",
+            Ty::F32 => "%f",
+            Ty::F64 => "%fd",
+        }
+    }
+}
+
+impl fmt::Display for Ty {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.ptx_suffix())
+    }
+}
+
+/// A dynamic scalar value in the interpreter.
+///
+/// Floats are carried in `f64`; writes to `F32`/`F16` registers round to the
+/// destination precision, which gives FMA its correct single-rounding
+/// behaviour when the target type is `F32`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Scalar {
+    /// Integer classes (S32 stored sign-extended, U64 stored as bits).
+    I(i64),
+    /// Float classes.
+    F(f64),
+    /// Predicate.
+    P(bool),
+}
+
+impl Scalar {
+    /// Integer payload; panics on class mismatch (an interpreter bug, not a
+    /// user error -- the builder type-checks kernels).
+    #[inline]
+    pub fn as_i(self) -> i64 {
+        match self {
+            Scalar::I(v) => v,
+            other => panic!("expected integer scalar, got {other:?}"),
+        }
+    }
+
+    /// Float payload.
+    #[inline]
+    pub fn as_f(self) -> f64 {
+        match self {
+            Scalar::F(v) => v,
+            other => panic!("expected float scalar, got {other:?}"),
+        }
+    }
+
+    /// Predicate payload.
+    #[inline]
+    pub fn as_p(self) -> bool {
+        match self {
+            Scalar::P(v) => v,
+            other => panic!("expected predicate scalar, got {other:?}"),
+        }
+    }
+
+    /// Zero value of the given type.
+    pub fn zero(ty: Ty) -> Scalar {
+        match ty {
+            Ty::Pred => Scalar::P(false),
+            Ty::S32 | Ty::U64 => Scalar::I(0),
+            _ => Scalar::F(0.0),
+        }
+    }
+
+    /// Round/wrap `self` for storage in a register of type `ty`.
+    pub fn quantize(self, ty: Ty) -> Scalar {
+        match (self, ty) {
+            (Scalar::I(v), Ty::S32) => Scalar::I(v as i32 as i64),
+            (Scalar::I(v), Ty::U64) => Scalar::I(v),
+            (Scalar::F(v), Ty::F64) => Scalar::F(v),
+            (Scalar::F(v), Ty::F32) => Scalar::F(v as f32 as f64),
+            (Scalar::F(v), Ty::F16) => Scalar::F(f16_to_f32(f16_from_f32(v as f32)) as f64),
+            (Scalar::P(v), Ty::Pred) => Scalar::P(v),
+            (s, t) => panic!("cannot store {s:?} into {t} register"),
+        }
+    }
+}
+
+/// Convert an `f32` to IEEE binary16 bits (round-to-nearest-even).
+pub fn f16_from_f32(x: f32) -> u16 {
+    let bits = x.to_bits();
+    let sign = ((bits >> 16) & 0x8000) as u16;
+    let mut exp = ((bits >> 23) & 0xff) as i32;
+    let mut frac = bits & 0x007f_ffff;
+
+    if exp == 0xff {
+        // Inf / NaN.
+        let f16_frac = if frac != 0 { 0x0200 } else { 0 };
+        return sign | 0x7c00 | f16_frac;
+    }
+    exp -= 127 - 15;
+    if exp >= 0x1f {
+        // Overflow -> infinity.
+        return sign | 0x7c00;
+    }
+    if exp <= 0 {
+        // Subnormal or underflow to zero.
+        if exp < -10 {
+            return sign;
+        }
+        frac |= 0x0080_0000;
+        let shift = (14 - exp) as u32;
+        let sub = frac >> shift;
+        // Round to nearest even.
+        let rem = frac & ((1 << shift) - 1);
+        let half = 1u32 << (shift - 1);
+        let rounded = if rem > half || (rem == half && (sub & 1) != 0) {
+            sub + 1
+        } else {
+            sub
+        };
+        return sign | rounded as u16;
+    }
+    // Normal: round the 23-bit fraction to 10 bits, nearest even.
+    let sub = frac >> 13;
+    let rem = frac & 0x1fff;
+    let mut out = ((exp as u32) << 10) | sub;
+    if rem > 0x1000 || (rem == 0x1000 && (out & 1) != 0) {
+        out += 1; // may carry into exponent: that is correct rounding
+    }
+    sign | out as u16
+}
+
+/// Convert IEEE binary16 bits to `f32`.
+pub fn f16_to_f32(h: u16) -> f32 {
+    let sign = ((h & 0x8000) as u32) << 16;
+    let exp = ((h >> 10) & 0x1f) as u32;
+    let frac = (h & 0x03ff) as u32;
+    let bits = if exp == 0 {
+        if frac == 0 {
+            sign
+        } else {
+            // Subnormal: normalize.
+            let mut e = 127 - 15 - 10;
+            let mut f = frac;
+            while f & 0x0400 == 0 {
+                f <<= 1;
+                e -= 1;
+            }
+            f &= 0x03ff;
+            sign | (((e + 10 + 1) as u32) << 23) | (f << 13)
+        }
+    } else if exp == 0x1f {
+        sign | 0x7f80_0000 | (frac << 13)
+    } else {
+        sign | ((exp + 127 - 15) << 23) | (frac << 13)
+    };
+    f32::from_bits(bits)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn f16_exact_values_roundtrip() {
+        for v in [0.0f32, 1.0, -1.0, 0.5, 2.0, 65504.0, -65504.0, 0.25] {
+            assert_eq!(f16_to_f32(f16_from_f32(v)), v, "value {v}");
+        }
+    }
+
+    #[test]
+    fn f16_overflow_is_infinite() {
+        assert!(f16_to_f32(f16_from_f32(1e6)).is_infinite());
+        assert!(f16_to_f32(f16_from_f32(-1e6)).is_infinite());
+    }
+
+    #[test]
+    fn f16_nan_propagates() {
+        assert!(f16_to_f32(f16_from_f32(f32::NAN)).is_nan());
+    }
+
+    #[test]
+    fn f16_subnormals() {
+        let tiny = 5.96e-8f32; // smallest positive subnormal ~5.96e-8
+        let rt = f16_to_f32(f16_from_f32(tiny));
+        assert!(rt > 0.0 && rt < 1e-7);
+    }
+
+    #[test]
+    fn scalar_quantize_s32_wraps() {
+        let v = Scalar::I(i32::MAX as i64 + 1).quantize(Ty::S32);
+        assert_eq!(v.as_i(), i32::MIN as i64);
+    }
+
+    #[test]
+    fn scalar_quantize_f32_rounds() {
+        let v = Scalar::F(1.0 + 1e-12).quantize(Ty::F32);
+        assert_eq!(v.as_f(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot store")]
+    fn scalar_quantize_class_mismatch_panics() {
+        let _ = Scalar::I(1).quantize(Ty::F32);
+    }
+
+    #[test]
+    fn ty_sizes() {
+        assert_eq!(Ty::F16.size_bytes(), 2);
+        assert_eq!(Ty::F32.size_bytes(), 4);
+        assert_eq!(Ty::F64.size_bytes(), 8);
+        assert_eq!(Ty::S32.size_bytes(), 4);
+        assert_eq!(Ty::U64.size_bytes(), 8);
+    }
+
+    proptest! {
+        /// Round-tripping through f16 must be idempotent: quantizing twice
+        /// equals quantizing once.
+        #[test]
+        fn f16_quantization_idempotent(x in -1e5f32..1e5f32) {
+            let once = f16_to_f32(f16_from_f32(x));
+            let twice = f16_to_f32(f16_from_f32(once));
+            prop_assert_eq!(once.to_bits(), twice.to_bits());
+        }
+
+        /// f16 rounding error is bounded by half a ulp (relative 2^-11
+        /// for normal range).
+        #[test]
+        fn f16_error_bounded(x in 6.2e-5f32..6e4f32) {
+            let rt = f16_to_f32(f16_from_f32(x));
+            let rel = ((rt - x) / x).abs();
+            prop_assert!(rel <= 4.9e-4, "x={} rt={} rel={}", x, rt, rel);
+        }
+
+        /// Sign symmetry.
+        #[test]
+        fn f16_sign_symmetric(x in -6e4f32..6e4f32) {
+            let a = f16_to_f32(f16_from_f32(x));
+            let b = f16_to_f32(f16_from_f32(-x));
+            prop_assert_eq!(a, -b);
+        }
+    }
+}

@@ -1,0 +1,1122 @@
+//! Lock-step SIMT interpreter for IR kernels: the functional half of the
+//! GPU substitute.
+//!
+//! Semantics:
+//!
+//! * A launch executes `grid[0] * grid[1] * grid[2]` blocks sequentially;
+//!   each block runs `block_threads` threads in lock-step, one statement at
+//!   a time. For race-free barrier-synchronized kernels (which the
+//!   generators produce by construction) this schedule is equivalent to any
+//!   real interleaving; barriers become no-ops that are still counted.
+//! * Global memory is a set of typed host buffers. Pointers are encoded as
+//!   `(buffer id << 40) | byte offset`, so ordinary integer arithmetic on
+//!   addresses works exactly like device byte addressing.
+//! * Predicated memory operations are *issued* by every active thread
+//!   (they cost an instruction slot, as on hardware) but only touch memory
+//!   where the guard predicate holds -- out-of-bounds addresses under a
+//!   false predicate are legal, which is precisely what makes PTX
+//!   predication cheaper than padding (paper Section 8.3).
+//! * Uniform loops check that `init`/`bound` agree across the block and
+//!   fault otherwise: lock-step execution would be unsound for divergent
+//!   trip counts.
+//!
+//! The VM also gathers dynamic instruction statistics used to cross-check
+//! the generators' analytical instruction-mix estimates.
+
+use crate::ir::{BinOp, CmpOp, Kernel, Op, Operand, RegId, Sreg, Stmt};
+use crate::types::{f16_from_f32, f16_to_f32, Scalar, Ty};
+
+/// Bits reserved for the byte offset within a buffer in an encoded pointer.
+const PTR_OFFSET_BITS: u32 = 40;
+
+/// Identifier of a device buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BufId(pub u32);
+
+/// A typed host-side buffer standing in for device global memory.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HostBuffer {
+    /// binary16 elements (stored as quantized f32 for convenience).
+    F16(Vec<f32>),
+    /// f32 elements.
+    F32(Vec<f32>),
+    /// f64 elements.
+    F64(Vec<f64>),
+    /// i32 elements (e.g. the CONV indirection table).
+    I32(Vec<i32>),
+}
+
+impl HostBuffer {
+    /// Element type of the buffer.
+    pub fn ty(&self) -> Ty {
+        match self {
+            HostBuffer::F16(_) => Ty::F16,
+            HostBuffer::F32(_) => Ty::F32,
+            HostBuffer::F64(_) => Ty::F64,
+            HostBuffer::I32(_) => Ty::S32,
+        }
+    }
+
+    /// Length in elements.
+    pub fn len(&self) -> usize {
+        match self {
+            HostBuffer::F16(v) => v.len(),
+            HostBuffer::F32(v) => v.len(),
+            HostBuffer::F64(v) => v.len(),
+            HostBuffer::I32(v) => v.len(),
+        }
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn get(&self, idx: usize) -> Scalar {
+        match self {
+            HostBuffer::F16(v) => Scalar::F(v[idx] as f64),
+            HostBuffer::F32(v) => Scalar::F(v[idx] as f64),
+            HostBuffer::F64(v) => Scalar::F(v[idx]),
+            HostBuffer::I32(v) => Scalar::I(v[idx] as i64),
+        }
+    }
+
+    fn set(&mut self, idx: usize, val: Scalar) {
+        match self {
+            HostBuffer::F16(v) => {
+                v[idx] = f16_to_f32(f16_from_f32(val.as_f() as f32));
+            }
+            HostBuffer::F32(v) => v[idx] = val.as_f() as f32,
+            HostBuffer::F64(v) => v[idx] = val.as_f(),
+            HostBuffer::I32(v) => v[idx] = val.as_i() as i32,
+        }
+    }
+
+    fn add(&mut self, idx: usize, val: Scalar) {
+        match self {
+            HostBuffer::F16(v) => {
+                let sum = v[idx] + val.as_f() as f32;
+                v[idx] = f16_to_f32(f16_from_f32(sum));
+            }
+            HostBuffer::F32(v) => v[idx] += val.as_f() as f32,
+            HostBuffer::F64(v) => v[idx] += val.as_f(),
+            HostBuffer::I32(v) => v[idx] = v[idx].wrapping_add(val.as_i() as i32),
+        }
+    }
+}
+
+/// Device global memory: an arena of typed buffers.
+#[derive(Debug, Default)]
+pub struct GpuMemory {
+    bufs: Vec<HostBuffer>,
+}
+
+impl GpuMemory {
+    /// Empty memory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Allocate a buffer and return its id.
+    pub fn alloc(&mut self, buf: HostBuffer) -> BufId {
+        self.bufs.push(buf);
+        BufId((self.bufs.len() - 1) as u32)
+    }
+
+    /// Allocate an f32 buffer from a slice.
+    pub fn alloc_f32(&mut self, data: &[f32]) -> BufId {
+        self.alloc(HostBuffer::F32(data.to_vec()))
+    }
+
+    /// Allocate a zeroed f32 buffer.
+    pub fn alloc_f32_zeroed(&mut self, len: usize) -> BufId {
+        self.alloc(HostBuffer::F32(vec![0.0; len]))
+    }
+
+    /// Allocate an f64 buffer from a slice.
+    pub fn alloc_f64(&mut self, data: &[f64]) -> BufId {
+        self.alloc(HostBuffer::F64(data.to_vec()))
+    }
+
+    /// Allocate a zeroed f64 buffer.
+    pub fn alloc_f64_zeroed(&mut self, len: usize) -> BufId {
+        self.alloc(HostBuffer::F64(vec![0.0; len]))
+    }
+
+    /// Allocate an f16 buffer from f32 data (quantizing each element).
+    pub fn alloc_f16(&mut self, data: &[f32]) -> BufId {
+        self.alloc(HostBuffer::F16(
+            data.iter()
+                .map(|&x| f16_to_f32(f16_from_f32(x)))
+                .collect(),
+        ))
+    }
+
+    /// Allocate a zeroed f16 buffer.
+    pub fn alloc_f16_zeroed(&mut self, len: usize) -> BufId {
+        self.alloc(HostBuffer::F16(vec![0.0; len]))
+    }
+
+    /// Allocate an i32 buffer from a slice.
+    pub fn alloc_i32(&mut self, data: &[i32]) -> BufId {
+        self.alloc(HostBuffer::I32(data.to_vec()))
+    }
+
+    /// Borrow a buffer.
+    pub fn buffer(&self, id: BufId) -> &HostBuffer {
+        &self.bufs[id.0 as usize]
+    }
+
+    /// Read back an f32 (or f16) buffer as f32 values.
+    pub fn read_f32(&self, id: BufId) -> Vec<f32> {
+        match self.buffer(id) {
+            HostBuffer::F32(v) | HostBuffer::F16(v) => v.clone(),
+            other => panic!("buffer {id:?} is {:?}, not f32/f16", other.ty()),
+        }
+    }
+
+    /// Read back an f64 buffer.
+    pub fn read_f64(&self, id: BufId) -> Vec<f64> {
+        match self.buffer(id) {
+            HostBuffer::F64(v) => v.clone(),
+            other => panic!("buffer {id:?} is {:?}, not f64", other.ty()),
+        }
+    }
+
+    fn decode_ptr(&self, ptr: i64) -> (usize, usize) {
+        let buf = (ptr as u64 >> PTR_OFFSET_BITS) as usize;
+        let off = (ptr as u64 & ((1u64 << PTR_OFFSET_BITS) - 1)) as usize;
+        (buf, off)
+    }
+
+    /// Encode a `(buffer, byte offset)` pair into a pointer value.
+    pub fn encode_ptr(id: BufId, byte_offset: usize) -> i64 {
+        (((id.0 as u64) << PTR_OFFSET_BITS) | byte_offset as u64) as i64
+    }
+}
+
+/// A kernel launch argument.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Arg {
+    /// A device buffer (bound to a pointer parameter).
+    Buf(BufId),
+    /// A 32-bit scalar (bound to an `s32` parameter).
+    I32(i32),
+}
+
+/// An execution fault. Faults abort the launch, like a real device would
+/// (`CUDA_ERROR_ILLEGAL_ADDRESS` and friends).
+#[derive(Debug, Clone, PartialEq)]
+pub enum GpuFault {
+    /// A memory access fell outside its buffer.
+    OutOfBounds {
+        /// Description of the access.
+        what: String,
+    },
+    /// A memory access was not aligned to the element size.
+    Misaligned {
+        /// Description of the access.
+        what: String,
+    },
+    /// Loop bounds differed across threads of a block.
+    NonUniformLoop {
+        /// Kernel name.
+        kernel: String,
+    },
+    /// Argument list does not match the kernel signature.
+    BadArguments(String),
+    /// Integer division by zero.
+    DivByZero,
+    /// Operand/register class mismatch (a generator bug).
+    TypeError(String),
+}
+
+impl std::fmt::Display for GpuFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GpuFault::OutOfBounds { what } => write!(f, "out-of-bounds access: {what}"),
+            GpuFault::Misaligned { what } => write!(f, "misaligned access: {what}"),
+            GpuFault::NonUniformLoop { kernel } => {
+                write!(f, "non-uniform loop bounds in kernel {kernel}")
+            }
+            GpuFault::BadArguments(s) => write!(f, "bad arguments: {s}"),
+            GpuFault::DivByZero => f.write_str("integer division by zero"),
+            GpuFault::TypeError(s) => write!(f, "type error: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for GpuFault {}
+
+/// Dynamic instruction statistics for a launch (totals over all threads).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct LaunchStats {
+    /// Threads launched.
+    pub threads: u64,
+    /// Floating-point math instructions (FMA, float add/mul...).
+    pub math: f64,
+    /// Global load instructions.
+    pub ldg: f64,
+    /// Global store instructions.
+    pub stg: f64,
+    /// Shared loads.
+    pub lds: f64,
+    /// Shared stores.
+    pub sts: f64,
+    /// Global atomics.
+    pub atom: f64,
+    /// Integer / control / conversion instructions.
+    pub misc: f64,
+    /// Barriers.
+    pub barriers: f64,
+}
+
+impl LaunchStats {
+    /// Average per-thread instruction counts.
+    pub fn per_thread(&self) -> LaunchStats {
+        let n = self.threads.max(1) as f64;
+        LaunchStats {
+            threads: 1,
+            math: self.math / n,
+            ldg: self.ldg / n,
+            stg: self.stg / n,
+            lds: self.lds / n,
+            sts: self.sts / n,
+            atom: self.atom / n,
+            misc: self.misc / n,
+            barriers: self.barriers / n,
+        }
+    }
+
+    /// Total dynamic instructions (excluding barriers).
+    pub fn total(&self) -> f64 {
+        self.math + self.ldg + self.stg + self.lds + self.sts + self.atom + self.misc
+    }
+}
+
+/// The virtual machine.
+#[derive(Debug, Default)]
+pub struct Vm;
+
+struct BlockCtx<'a> {
+    kernel: &'a Kernel,
+    mem: &'a mut GpuMemory,
+    args: &'a [Arg],
+    nthreads: usize,
+    block: [u32; 3],
+    /// regs[reg_id][thread]
+    regs: Vec<Vec<Scalar>>,
+    /// shared[array_idx] = flat scalar storage
+    shared: Vec<Vec<Scalar>>,
+    stats: LaunchStats,
+}
+
+impl Vm {
+    /// Create a VM.
+    pub fn new() -> Self {
+        Vm
+    }
+
+    /// Execute `kernel` over the given grid, returning dynamic statistics.
+    pub fn launch(
+        &self,
+        kernel: &Kernel,
+        grid: [u32; 3],
+        block_threads: u32,
+        args: &[Arg],
+        mem: &mut GpuMemory,
+    ) -> Result<LaunchStats, GpuFault> {
+        if args.len() != kernel.params.len() {
+            return Err(GpuFault::BadArguments(format!(
+                "kernel {} expects {} args, got {}",
+                kernel.name,
+                kernel.params.len(),
+                args.len()
+            )));
+        }
+        for (i, (a, p)) in args.iter().zip(&kernel.params).enumerate() {
+            let ok = matches!(
+                (a, p.ptr_elem.is_some()),
+                (Arg::Buf(_), true) | (Arg::I32(_), false)
+            );
+            if !ok {
+                return Err(GpuFault::BadArguments(format!(
+                    "arg {i} of kernel {} has wrong kind",
+                    kernel.name
+                )));
+            }
+        }
+
+        let mut stats = LaunchStats::default();
+        for bz in 0..grid[2] {
+            for by in 0..grid[1] {
+                for bx in 0..grid[0] {
+                    let mut ctx = BlockCtx {
+                        kernel,
+                        mem,
+                        args,
+                        nthreads: block_threads as usize,
+                        block: [bx, by, bz],
+                        regs: kernel
+                            .regs
+                            .iter()
+                            .map(|d| vec![Scalar::zero(d.ty); block_threads as usize])
+                            .collect(),
+                        shared: kernel
+                            .shared
+                            .iter()
+                            .map(|d| vec![Scalar::zero(d.ty); d.len])
+                            .collect(),
+                        stats: LaunchStats::default(),
+                    };
+                    ctx.exec_stmts(&kernel.body)?;
+                    let s = ctx.stats;
+                    stats.math += s.math;
+                    stats.ldg += s.ldg;
+                    stats.stg += s.stg;
+                    stats.lds += s.lds;
+                    stats.sts += s.sts;
+                    stats.atom += s.atom;
+                    stats.misc += s.misc;
+                    stats.barriers += s.barriers;
+                }
+            }
+        }
+        stats.threads = grid.iter().map(|&g| g as u64).product::<u64>() * block_threads as u64;
+        Ok(stats)
+    }
+}
+
+impl BlockCtx<'_> {
+    fn exec_stmts(&mut self, stmts: &[Stmt]) -> Result<(), GpuFault> {
+        for s in stmts {
+            match s {
+                Stmt::Op(op) => self.exec_op(op)?,
+                Stmt::For {
+                    counter,
+                    init,
+                    bound,
+                    step,
+                    body,
+                } => {
+                    let init_v = self.uniform_value(init)?;
+                    let bound_v = self.uniform_value(bound)?;
+                    let mut v = init_v;
+                    while v < bound_v {
+                        for t in 0..self.nthreads {
+                            self.regs[counter.0 as usize][t] = Scalar::I(v);
+                        }
+                        // Counter updates cost one integer add per
+                        // iteration, plus the loop-closing compare/branch.
+                        self.stats.misc += 2.0 * self.nthreads as f64;
+                        self.exec_stmts(body)?;
+                        v += step;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Evaluate an operand that must be block-uniform (loop bounds).
+    fn uniform_value(&self, op: &Operand) -> Result<i64, GpuFault> {
+        match op {
+            Operand::ImmI(v) => Ok(*v),
+            Operand::ImmF(_) => Err(GpuFault::TypeError("float loop bound".into())),
+            Operand::Reg(r) => {
+                let vals = &self.regs[r.0 as usize];
+                let first = vals[0].as_i();
+                if vals.iter().any(|v| v.as_i() != first) {
+                    return Err(GpuFault::NonUniformLoop {
+                        kernel: self.kernel.name.clone(),
+                    });
+                }
+                Ok(first)
+            }
+        }
+    }
+
+    #[inline]
+    fn read(&self, op: Operand, t: usize) -> Scalar {
+        match op {
+            Operand::Reg(r) => self.regs[r.0 as usize][t],
+            Operand::ImmI(v) => Scalar::I(v),
+            Operand::ImmF(v) => Scalar::F(v),
+        }
+    }
+
+    #[inline]
+    fn write(&mut self, r: RegId, t: usize, v: Scalar) {
+        let ty = self.kernel.reg_ty(r);
+        self.regs[r.0 as usize][t] = v.quantize(ty);
+    }
+
+    fn exec_op(&mut self, op: &Op) -> Result<(), GpuFault> {
+        let n = self.nthreads;
+        let nf = n as f64;
+        match op {
+            Op::Mov { dst, src } => {
+                for t in 0..n {
+                    let v = self.read(*src, t);
+                    self.write(*dst, t, v);
+                }
+                self.stats.misc += nf;
+            }
+            Op::Bin { op: bop, dst, a, b } => {
+                let is_float = self.kernel.reg_ty(*dst).is_float();
+                for t in 0..n {
+                    let av = self.read(*a, t);
+                    let bv = self.read(*b, t);
+                    let v = eval_bin(*bop, av, bv)?;
+                    self.write(*dst, t, v);
+                }
+                if is_float {
+                    self.stats.math += nf;
+                } else {
+                    self.stats.misc += nf;
+                }
+            }
+            Op::Mad { dst, a, b, c } => {
+                let is_float = self.kernel.reg_ty(*dst).is_float();
+                for t in 0..n {
+                    let av = self.read(*a, t);
+                    let bv = self.read(*b, t);
+                    let cv = self.read(*c, t);
+                    let v = if is_float {
+                        Scalar::F(av.as_f() * bv.as_f() + cv.as_f())
+                    } else {
+                        Scalar::I(
+                            av.as_i()
+                                .wrapping_mul(bv.as_i())
+                                .wrapping_add(cv.as_i()),
+                        )
+                    };
+                    self.write(*dst, t, v);
+                }
+                if is_float {
+                    self.stats.math += nf;
+                } else {
+                    self.stats.misc += nf;
+                }
+            }
+            Op::Setp { cmp, dst, a, b } => {
+                for t in 0..n {
+                    let av = self.read(*a, t);
+                    let bv = self.read(*b, t);
+                    let p = eval_cmp(*cmp, av, bv)?;
+                    self.regs[dst.0 as usize][t] = Scalar::P(p);
+                }
+                self.stats.misc += nf;
+            }
+            Op::PredAnd { dst, a, b } => {
+                for t in 0..n {
+                    let v = self.regs[a.0 as usize][t].as_p() && self.regs[b.0 as usize][t].as_p();
+                    self.regs[dst.0 as usize][t] = Scalar::P(v);
+                }
+                self.stats.misc += nf;
+            }
+            Op::Selp { dst, a, b, p } => {
+                for t in 0..n {
+                    let sel = self.regs[p.0 as usize][t].as_p();
+                    let v = if sel {
+                        self.read(*a, t)
+                    } else {
+                        self.read(*b, t)
+                    };
+                    self.write(*dst, t, v);
+                }
+                self.stats.misc += nf;
+            }
+            Op::Cvt { dst, src } => {
+                let dty = self.kernel.reg_ty(*dst);
+                for t in 0..n {
+                    let v = self.regs[src.0 as usize][t];
+                    let out = match (v, dty.is_float()) {
+                        (Scalar::I(i), false) => Scalar::I(i),
+                        (Scalar::I(i), true) => Scalar::F(i as f64),
+                        (Scalar::F(f), true) => Scalar::F(f),
+                        (Scalar::F(f), false) => Scalar::I(f as i64),
+                        (Scalar::P(_), _) => {
+                            return Err(GpuFault::TypeError("cvt from predicate".into()))
+                        }
+                    };
+                    self.write(*dst, t, out);
+                }
+                self.stats.misc += nf;
+            }
+            Op::ReadSreg { dst, sreg } => {
+                for t in 0..n {
+                    let v = match sreg {
+                        Sreg::TidX => t as i64,
+                        Sreg::CtaIdX => self.block[0] as i64,
+                        Sreg::CtaIdY => self.block[1] as i64,
+                        Sreg::CtaIdZ => self.block[2] as i64,
+                    };
+                    self.write(*dst, t, Scalar::I(v));
+                }
+                self.stats.misc += nf;
+            }
+            Op::LdParam { dst, index } => {
+                let v = match self.args[*index] {
+                    Arg::Buf(id) => Scalar::I(GpuMemory::encode_ptr(id, 0)),
+                    Arg::I32(x) => Scalar::I(x as i64),
+                };
+                for t in 0..n {
+                    self.write(*dst, t, v);
+                }
+                self.stats.misc += nf;
+            }
+            Op::LdGlobal {
+                dst,
+                width,
+                addr,
+                offset,
+                pred,
+            } => {
+                self.stats.ldg += nf;
+                for t in 0..n {
+                    if let Some(p) = pred {
+                        if !self.regs[p.0 as usize][t].as_p() {
+                            // Guarded-off loads zero their destinations
+                            // (the emitter renders the corresponding
+                            // `mov 0` ahead of the `@%p ld`), so tile
+                            // tails read as zero padding.
+                            for w in 0..*width as usize {
+                                let r = RegId(dst.0 + w as u32);
+                                let z = Scalar::zero(self.kernel.reg_ty(r));
+                                self.regs[r.0 as usize][t] = z;
+                            }
+                            continue;
+                        }
+                    }
+                    let ptr = self.regs[addr.0 as usize][t].as_i() + offset;
+                    let (buf_idx, elem) = self.global_index(ptr, *width, "ld.global")?;
+                    for w in 0..*width as usize {
+                        let v = self.mem.bufs[buf_idx].get(elem + w);
+                        self.write(RegId(dst.0 + w as u32), t, v);
+                    }
+                }
+            }
+            Op::StGlobal {
+                src,
+                width,
+                addr,
+                offset,
+                pred,
+            } => {
+                self.stats.stg += nf;
+                for t in 0..n {
+                    if let Some(p) = pred {
+                        if !self.regs[p.0 as usize][t].as_p() {
+                            continue;
+                        }
+                    }
+                    let ptr = self.regs[addr.0 as usize][t].as_i() + offset;
+                    let (buf_idx, elem) = self.global_index(ptr, *width, "st.global")?;
+                    for w in 0..*width as usize {
+                        let v = self.regs[src.0 as usize + w][t];
+                        self.mem.bufs[buf_idx].set(elem + w, v);
+                    }
+                }
+            }
+            Op::AtomAddGlobal {
+                src,
+                addr,
+                offset,
+                pred,
+            } => {
+                self.stats.atom += nf;
+                for t in 0..n {
+                    if let Some(p) = pred {
+                        if !self.regs[p.0 as usize][t].as_p() {
+                            continue;
+                        }
+                    }
+                    let ptr = self.regs[addr.0 as usize][t].as_i() + offset;
+                    let (buf_idx, elem) = self.global_index(ptr, 1, "red.global.add")?;
+                    let v = self.regs[src.0 as usize][t];
+                    self.mem.bufs[buf_idx].add(elem, v);
+                }
+            }
+            Op::LdShared {
+                dst,
+                width,
+                shared,
+                addr,
+                offset,
+            } => {
+                self.stats.lds += nf;
+                for t in 0..n {
+                    let byte = self.regs[addr.0 as usize][t].as_i() + offset;
+                    let elem = self.shared_index(*shared, byte, *width, "ld.shared")?;
+                    for w in 0..*width as usize {
+                        let v = self.shared[*shared][elem + w];
+                        self.write(RegId(dst.0 + w as u32), t, v);
+                    }
+                }
+            }
+            Op::StShared {
+                src,
+                width,
+                shared,
+                addr,
+                offset,
+                pred,
+            } => {
+                self.stats.sts += nf;
+                for t in 0..n {
+                    if let Some(p) = pred {
+                        if !self.regs[p.0 as usize][t].as_p() {
+                            continue;
+                        }
+                    }
+                    let byte = self.regs[addr.0 as usize][t].as_i() + offset;
+                    let elem = self.shared_index(*shared, byte, *width, "st.shared")?;
+                    let ty = self.kernel.shared[*shared].ty;
+                    for w in 0..*width as usize {
+                        let v = self.regs[src.0 as usize + w][t].quantize(ty);
+                        self.shared[*shared][elem + w] = v;
+                    }
+                }
+            }
+            Op::Barrier => {
+                // Lock-step execution: nothing to do, but it is issued (once
+                // per thread, like every other counter).
+                self.stats.barriers += nf;
+            }
+        }
+        Ok(())
+    }
+
+    /// Decode and bounds-check a global pointer; returns (buffer index,
+    /// element index).
+    fn global_index(
+        &self,
+        ptr: i64,
+        width: u8,
+        what: &str,
+    ) -> Result<(usize, usize), GpuFault> {
+        let (buf_idx, byte) = self.mem.decode_ptr(ptr);
+        let Some(buf) = self.mem.bufs.get(buf_idx) else {
+            return Err(GpuFault::OutOfBounds {
+                what: format!("{what}: bad buffer id {buf_idx}"),
+            });
+        };
+        let esz = buf.ty().size_bytes();
+        if byte % esz != 0 {
+            return Err(GpuFault::Misaligned {
+                what: format!("{what}: byte offset {byte} on {} elements", buf.ty()),
+            });
+        }
+        let elem = byte / esz;
+        if elem + width as usize > buf.len() {
+            return Err(GpuFault::OutOfBounds {
+                what: format!(
+                    "{what}: element {elem}+{width} beyond buffer of {} elements",
+                    buf.len()
+                ),
+            });
+        }
+        Ok((buf_idx, elem))
+    }
+
+    /// Bounds-check a shared-memory byte offset; returns the element index.
+    fn shared_index(
+        &self,
+        array: usize,
+        byte: i64,
+        width: u8,
+        what: &str,
+    ) -> Result<usize, GpuFault> {
+        let decl = &self.kernel.shared[array];
+        let esz = decl.ty.size_bytes() as i64;
+        if byte < 0 {
+            return Err(GpuFault::OutOfBounds {
+                what: format!("{what}: negative shared offset {byte}"),
+            });
+        }
+        if byte % esz != 0 {
+            return Err(GpuFault::Misaligned {
+                what: format!("{what}: shared byte offset {byte} on {}", decl.ty),
+            });
+        }
+        let elem = (byte / esz) as usize;
+        if elem + width as usize > decl.len {
+            return Err(GpuFault::OutOfBounds {
+                what: format!(
+                    "{what}: shared element {elem}+{width} beyond array {} of {} elements",
+                    decl.name, decl.len
+                ),
+            });
+        }
+        Ok(elem)
+    }
+}
+
+fn eval_bin(op: BinOp, a: Scalar, b: Scalar) -> Result<Scalar, GpuFault> {
+    match (a, b) {
+        (Scalar::I(x), Scalar::I(y)) => {
+            let v = match op {
+                BinOp::Add => x.wrapping_add(y),
+                BinOp::Sub => x.wrapping_sub(y),
+                BinOp::Mul => x.wrapping_mul(y),
+                BinOp::Div => {
+                    if y == 0 {
+                        return Err(GpuFault::DivByZero);
+                    }
+                    x.wrapping_div(y)
+                }
+                BinOp::Rem => {
+                    if y == 0 {
+                        return Err(GpuFault::DivByZero);
+                    }
+                    x.wrapping_rem(y)
+                }
+                BinOp::Min => x.min(y),
+                BinOp::Max => x.max(y),
+                BinOp::Shl => x.wrapping_shl(y as u32 & 63),
+                BinOp::Shr => ((x as u64) >> (y as u32 & 63)) as i64,
+                BinOp::And => x & y,
+                BinOp::Or => x | y,
+                BinOp::Xor => x ^ y,
+            };
+            Ok(Scalar::I(v))
+        }
+        (Scalar::F(x), Scalar::F(y)) => {
+            let v = match op {
+                BinOp::Add => x + y,
+                BinOp::Sub => x - y,
+                BinOp::Mul => x * y,
+                BinOp::Div => x / y,
+                BinOp::Min => x.min(y),
+                BinOp::Max => x.max(y),
+                other => {
+                    return Err(GpuFault::TypeError(format!(
+                        "float operands for integer op {other:?}"
+                    )))
+                }
+            };
+            Ok(Scalar::F(v))
+        }
+        (a, b) => Err(GpuFault::TypeError(format!(
+            "mixed operand classes {a:?} / {b:?}"
+        ))),
+    }
+}
+
+fn eval_cmp(op: CmpOp, a: Scalar, b: Scalar) -> Result<bool, GpuFault> {
+    let ord = match (a, b) {
+        (Scalar::I(x), Scalar::I(y)) => x.partial_cmp(&y),
+        (Scalar::F(x), Scalar::F(y)) => x.partial_cmp(&y),
+        (a, b) => {
+            return Err(GpuFault::TypeError(format!(
+                "mixed compare {a:?} / {b:?}"
+            )))
+        }
+    };
+    use std::cmp::Ordering::*;
+    Ok(match (op, ord) {
+        (CmpOp::Lt, Some(Less)) => true,
+        (CmpOp::Le, Some(Less | Equal)) => true,
+        (CmpOp::Gt, Some(Greater)) => true,
+        (CmpOp::Ge, Some(Greater | Equal)) => true,
+        (CmpOp::Eq, Some(Equal)) => true,
+        (CmpOp::Ne, Some(Less | Greater)) => true,
+        _ => false,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::KernelBuilder;
+    use crate::ir::Sreg;
+
+    /// y[i] = a * x[i] + y[i] over one block.
+    fn axpy_kernel() -> Kernel {
+        let mut b = KernelBuilder::new("axpy");
+        let px = b.param_ptr("x", Ty::F32);
+        let py = b.param_ptr("y", Ty::F32);
+        let pn = b.param_s32("n");
+        let x = b.ld_param(px);
+        let y = b.ld_param(py);
+        let n = b.ld_param(pn);
+        let tid = b.sreg(Sreg::TidX);
+        let inb = b.setp_new(CmpOp::Lt, tid, n);
+        let off = b.mul(tid, 4);
+        let off64 = b.cvt(Ty::U64, off);
+        let ax = b.bin_new(BinOp::Add, Ty::U64, x, off64);
+        let ay = b.bin_new(BinOp::Add, Ty::U64, y, off64);
+        let vx = b.reg(Ty::F32);
+        let vy = b.reg(Ty::F32);
+        b.mov(vx, 0.0);
+        b.mov(vy, 0.0);
+        b.ld_global(vx, 1, ax, 0, Some(inb));
+        b.ld_global(vy, 1, ay, 0, Some(inb));
+        b.fma(vy, vx, 2.5);
+        b.st_global(vy, 1, ay, 0, Some(inb));
+        b.finish()
+    }
+
+    #[test]
+    fn axpy_computes_correctly() {
+        let k = axpy_kernel();
+        let mut mem = GpuMemory::new();
+        let x: Vec<f32> = (0..100).map(|i| i as f32).collect();
+        let y: Vec<f32> = (0..100).map(|i| (i * 2) as f32).collect();
+        let bx = mem.alloc_f32(&x);
+        let by = mem.alloc_f32(&y);
+        let vm = Vm::new();
+        // 128 threads, 100 valid: predication guards the tail.
+        let stats = vm
+            .launch(&k, [1, 1, 1], 128, &[Arg::Buf(bx), Arg::Buf(by), Arg::I32(100)], &mut mem)
+            .unwrap();
+        let out = mem.read_f32(by);
+        for i in 0..100 {
+            assert_eq!(out[i], 2.5 * i as f32 + (i * 2) as f32);
+        }
+        assert_eq!(stats.threads, 128);
+        assert!(stats.math > 0.0);
+        assert!(stats.ldg > 0.0);
+    }
+
+    #[test]
+    fn out_of_bounds_without_predicate_faults() {
+        let k = {
+            let mut b = KernelBuilder::new("oob");
+            let p = b.param_ptr("x", Ty::F32);
+            let x = b.ld_param(p);
+            let v = b.reg(Ty::F32);
+            b.ld_global(v, 1, x, 4000, None); // beyond the buffer
+            b.finish()
+        };
+        let mut mem = GpuMemory::new();
+        let bx = mem.alloc_f32(&[1.0; 10]);
+        let err = Vm::new()
+            .launch(&k, [1, 1, 1], 1, &[Arg::Buf(bx)], &mut mem)
+            .unwrap_err();
+        assert!(matches!(err, GpuFault::OutOfBounds { .. }), "{err}");
+    }
+
+    #[test]
+    fn misaligned_access_faults() {
+        let k = {
+            let mut b = KernelBuilder::new("mis");
+            let p = b.param_ptr("x", Ty::F32);
+            let x = b.ld_param(p);
+            let v = b.reg(Ty::F32);
+            b.ld_global(v, 1, x, 2, None);
+            b.finish()
+        };
+        let mut mem = GpuMemory::new();
+        let bx = mem.alloc_f32(&[1.0; 10]);
+        let err = Vm::new()
+            .launch(&k, [1, 1, 1], 1, &[Arg::Buf(bx)], &mut mem)
+            .unwrap_err();
+        assert!(matches!(err, GpuFault::Misaligned { .. }), "{err}");
+    }
+
+    #[test]
+    fn shared_memory_broadcast() {
+        // Thread 0 writes, all threads read after a barrier.
+        let k = {
+            let mut b = KernelBuilder::new("bcast");
+            let p = b.param_ptr("out", Ty::F32);
+            let out = b.ld_param(p);
+            let sm = b.shared_array("sm", Ty::F32, 1);
+            let tid = b.sreg(Sreg::TidX);
+            let is0 = b.setp_new(CmpOp::Eq, tid, 0);
+            let v = b.reg(Ty::F32);
+            b.mov(v, 42.0);
+            let zero = b.reg(Ty::S32);
+            b.mov(zero, 0);
+            b.st_shared(v, 1, sm, zero, 0, Some(is0));
+            b.barrier();
+            let r = b.reg(Ty::F32);
+            b.ld_shared(r, 1, sm, zero, 0);
+            let off = b.mul(tid, 4);
+            let off64 = b.cvt(Ty::U64, off);
+            let addr = b.bin_new(BinOp::Add, Ty::U64, out, off64);
+            b.st_global(r, 1, addr, 0, None);
+            b.finish()
+        };
+        let mut mem = GpuMemory::new();
+        let out = mem.alloc_f32_zeroed(64);
+        let stats = Vm::new()
+            .launch(&k, [1, 1, 1], 64, &[Arg::Buf(out)], &mut mem)
+            .unwrap();
+        assert!(mem.read_f32(out).iter().all(|&v| v == 42.0));
+        assert_eq!(stats.barriers, 64.0); // one barrier, 64 threads
+    }
+
+    #[test]
+    fn atomics_accumulate_across_blocks() {
+        // Each block atomically adds 1.0 into out[0].
+        let k = {
+            let mut b = KernelBuilder::new("atom");
+            let p = b.param_ptr("out", Ty::F32);
+            let out = b.ld_param(p);
+            let tid = b.sreg(Sreg::TidX);
+            let is0 = b.setp_new(CmpOp::Eq, tid, 0);
+            let one = b.reg(Ty::F32);
+            b.mov(one, 1.0);
+            b.atom_add_global(one, out, 0, Some(is0));
+            b.finish()
+        };
+        let mut mem = GpuMemory::new();
+        let out = mem.alloc_f32_zeroed(1);
+        let stats = Vm::new()
+            .launch(&k, [5, 3, 2], 32, &[Arg::Buf(out)], &mut mem)
+            .unwrap();
+        assert_eq!(mem.read_f32(out)[0], 30.0);
+        assert_eq!(stats.atom, 30.0 * 32.0);
+    }
+
+    #[test]
+    fn uniform_loop_executes_bound_times() {
+        let k = {
+            let mut b = KernelBuilder::new("loop");
+            let p = b.param_ptr("out", Ty::F32);
+            let pn = b.param_s32("n");
+            let out = b.ld_param(p);
+            let n = b.ld_param(pn);
+            let acc = b.reg(Ty::F32);
+            b.mov(acc, 0.0);
+            b.for_loop(0, n, 1, |b, _i| {
+                b.fma(acc, 1.0, 1.0);
+            });
+            let tid = b.sreg(Sreg::TidX);
+            let off = b.mul(tid, 4);
+            let off64 = b.cvt(Ty::U64, off);
+            let addr = b.bin_new(BinOp::Add, Ty::U64, out, off64);
+            b.st_global(acc, 1, addr, 0, None);
+            b.finish()
+        };
+        let mut mem = GpuMemory::new();
+        let out = mem.alloc_f32_zeroed(8);
+        Vm::new()
+            .launch(&k, [1, 1, 1], 8, &[Arg::Buf(out), Arg::I32(17)], &mut mem)
+            .unwrap();
+        assert!(mem.read_f32(out).iter().all(|&v| v == 17.0));
+    }
+
+    #[test]
+    fn non_uniform_loop_bound_faults() {
+        let k = {
+            let mut b = KernelBuilder::new("div");
+            let tid = b.sreg(Sreg::TidX); // differs per thread
+            b.for_loop(0, tid, 1, |_b, _i| {});
+            b.finish()
+        };
+        let mut mem = GpuMemory::new();
+        let err = Vm::new()
+            .launch(&k, [1, 1, 1], 4, &[], &mut mem)
+            .unwrap_err();
+        assert!(matches!(err, GpuFault::NonUniformLoop { .. }));
+    }
+
+    #[test]
+    fn f16_buffers_quantize() {
+        let k = {
+            let mut b = KernelBuilder::new("f16copy");
+            let pi = b.param_ptr("in", Ty::F16);
+            let po = b.param_ptr("out", Ty::F16);
+            let i = b.ld_param(pi);
+            let o = b.ld_param(po);
+            let v = b.reg(Ty::F16);
+            b.ld_global(v, 1, i, 0, None);
+            b.st_global(v, 1, o, 0, None);
+            b.finish()
+        };
+        let mut mem = GpuMemory::new();
+        let src = mem.alloc_f16(&[1.0 / 3.0]);
+        let dst = mem.alloc_f16_zeroed(1);
+        Vm::new()
+            .launch(&k, [1, 1, 1], 1, &[Arg::Buf(src), Arg::Buf(dst)], &mut mem)
+            .unwrap();
+        let got = mem.read_f32(dst)[0];
+        assert!((got - 1.0 / 3.0).abs() < 1e-3);
+        assert_ne!(got, 1.0 / 3.0); // must be quantized
+    }
+
+    #[test]
+    fn bad_arguments_rejected() {
+        let k = axpy_kernel();
+        let mut mem = GpuMemory::new();
+        let bx = mem.alloc_f32(&[0.0; 4]);
+        let err = Vm::new()
+            .launch(&k, [1, 1, 1], 4, &[Arg::Buf(bx)], &mut mem)
+            .unwrap_err();
+        assert!(matches!(err, GpuFault::BadArguments(_)));
+        let err = Vm::new()
+            .launch(
+                &k,
+                [1, 1, 1],
+                4,
+                &[Arg::Buf(bx), Arg::I32(1), Arg::I32(2)],
+                &mut mem,
+            )
+            .unwrap_err();
+        assert!(matches!(err, GpuFault::BadArguments(_)));
+    }
+
+    #[test]
+    fn division_by_zero_faults() {
+        let k = {
+            let mut b = KernelBuilder::new("divz");
+            let a = b.reg(Ty::S32);
+            b.mov(a, 1);
+            let z = b.reg(Ty::S32);
+            b.mov(z, 0);
+            b.bin(BinOp::Div, a, a, z);
+            b.finish()
+        };
+        let mut mem = GpuMemory::new();
+        let err = Vm::new()
+            .launch(&k, [1, 1, 1], 1, &[], &mut mem)
+            .unwrap_err();
+        assert_eq!(err, GpuFault::DivByZero);
+    }
+
+    #[test]
+    fn vector_loads_hit_consecutive_registers() {
+        let k = {
+            let mut b = KernelBuilder::new("vec4");
+            let pi = b.param_ptr("in", Ty::F32);
+            let po = b.param_ptr("out", Ty::F32);
+            let i = b.ld_param(pi);
+            let o = b.ld_param(po);
+            let v = b.reg_vec(Ty::F32, 4);
+            b.ld_global(v[0], 4, i, 0, None);
+            // Store them reversed, element by element.
+            for (j, &r) in v.iter().rev().enumerate() {
+                b.st_global(r, 1, o, (j * 4) as i64, None);
+            }
+            b.finish()
+        };
+        let mut mem = GpuMemory::new();
+        let src = mem.alloc_f32(&[1.0, 2.0, 3.0, 4.0]);
+        let dst = mem.alloc_f32_zeroed(4);
+        let stats = Vm::new()
+            .launch(&k, [1, 1, 1], 1, &[Arg::Buf(src), Arg::Buf(dst)], &mut mem)
+            .unwrap();
+        assert_eq!(mem.read_f32(dst), vec![4.0, 3.0, 2.0, 1.0]);
+        // One vector load instruction, four scalar stores.
+        assert_eq!(stats.ldg, 1.0);
+        assert_eq!(stats.stg, 4.0);
+    }
+
+    #[test]
+    fn stats_per_thread_normalizes() {
+        let mut s = LaunchStats {
+            threads: 10,
+            math: 100.0,
+            ..Default::default()
+        };
+        s.misc = 50.0;
+        let p = s.per_thread();
+        assert_eq!(p.math, 10.0);
+        assert_eq!(p.misc, 5.0);
+        assert!((s.total() - 150.0).abs() < 1e-12);
+    }
+}

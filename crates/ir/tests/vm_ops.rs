@@ -1,0 +1,249 @@
+//! Integration tests pinning down the VM's per-instruction semantics:
+//! these are the behaviours the kernel generators rely on, tested in
+//! isolation through tiny single-purpose kernels.
+
+use isaac_ir::vm::{Arg, GpuMemory, Vm};
+use isaac_ir::{BinOp, CmpOp, KernelBuilder, RegId, Sreg, Ty};
+
+/// Run a 1-thread kernel writing one f32 result to out[0].
+fn run_scalar(build: impl FnOnce(&mut KernelBuilder, RegId)) -> f32 {
+    let mut b = KernelBuilder::new("t");
+    let p = b.param_ptr("out", Ty::F32);
+    let out = b.ld_param(p);
+    build(&mut b, out);
+    let k = b.finish();
+    let mut mem = GpuMemory::new();
+    let buf = mem.alloc_f32_zeroed(1);
+    Vm::new()
+        .launch(&k, [1, 1, 1], 1, &[Arg::Buf(buf)], &mut mem)
+        .expect("launch");
+    mem.read_f32(buf)[0]
+}
+
+/// Same, but with an s32 result routed through a cvt.
+fn run_scalar_i32(build: impl FnOnce(&mut KernelBuilder) -> RegId) -> f32 {
+    run_scalar(|b, out| {
+        let r = build(b);
+        let f = b.cvt(Ty::F32, r);
+        b.st_global(f, 1, out, 0, None);
+    })
+}
+
+#[test]
+fn integer_min_max() {
+    let v = run_scalar_i32(|b| {
+        let a = b.reg(Ty::S32);
+        b.mov(a, -7);
+        let c = b.bin_new(BinOp::Max, Ty::S32, a, 3);
+        b.bin_new(BinOp::Min, Ty::S32, c, 2)
+    });
+    assert_eq!(v, 2.0);
+}
+
+#[test]
+fn shift_semantics() {
+    let v = run_scalar_i32(|b| {
+        let a = b.reg(Ty::S32);
+        b.mov(a, 5);
+        b.bin_new(BinOp::Shl, Ty::S32, a, 3)
+    });
+    assert_eq!(v, 40.0);
+    let v = run_scalar_i32(|b| {
+        let a = b.reg(Ty::S32);
+        b.mov(a, 40);
+        b.bin_new(BinOp::Shr, Ty::S32, a, 3)
+    });
+    assert_eq!(v, 5.0);
+}
+
+#[test]
+fn division_truncates_and_rem_matches() {
+    let v = run_scalar_i32(|b| {
+        let a = b.reg(Ty::S32);
+        b.mov(a, 17);
+        b.bin_new(BinOp::Div, Ty::S32, a, 5)
+    });
+    assert_eq!(v, 3.0);
+    let v = run_scalar_i32(|b| {
+        let a = b.reg(Ty::S32);
+        b.mov(a, 17);
+        b.bin_new(BinOp::Rem, Ty::S32, a, 5)
+    });
+    assert_eq!(v, 2.0);
+}
+
+#[test]
+fn selp_selects_by_predicate() {
+    let v = run_scalar(|b, out| {
+        let t = b.sreg(Sreg::TidX); // = 0
+        let p = b.setp_new(CmpOp::Eq, t, 0);
+        let r = b.reg(Ty::F32);
+        b.selp(r, 2.5, -1.0, p);
+        b.st_global(r, 1, out, 0, None);
+    });
+    assert_eq!(v, 2.5);
+}
+
+#[test]
+fn cvt_float_to_int_truncates_toward_zero() {
+    let v = run_scalar_i32(|b| {
+        let f = b.reg(Ty::F32);
+        b.mov(f, 3.9);
+        b.cvt(Ty::S32, f)
+    });
+    assert_eq!(v, 3.0);
+}
+
+#[test]
+fn fma_single_rounding_in_f32() {
+    // FMA computes a*b+c with one rounding: pick values where separate
+    // mul+add in f32 would round differently.
+    let v = run_scalar(|b, out| {
+        let a = b.reg(Ty::F32);
+        b.mov(a, 1.000_000_1_f64);
+        let acc = b.reg(Ty::F32);
+        b.mov(acc, -1.0);
+        b.fma(acc, a, a);
+        b.st_global(acc, 1, out, 0, None);
+    });
+    // (1.0000001f32)^2 - 1 in exact-then-round-once arithmetic.
+    let x = 1.000_000_1_f32 as f64;
+    let want = (x * x - 1.0) as f32;
+    assert_eq!(v, want);
+}
+
+#[test]
+fn s32_wraparound_on_overflow() {
+    let v = run_scalar_i32(|b| {
+        let a = b.reg(Ty::S32);
+        b.mov(a, i32::MAX as i64);
+        b.bin_new(BinOp::Add, Ty::S32, a, 1)
+    });
+    assert_eq!(v, i32::MIN as f32);
+}
+
+#[test]
+fn predicated_store_skips_memory() {
+    let mut b = KernelBuilder::new("skip");
+    let p = b.param_ptr("out", Ty::F32);
+    let out = b.ld_param(p);
+    let t = b.sreg(Sreg::TidX);
+    let pr = b.setp_new(CmpOp::Eq, t, 99); // false for every thread
+    let val = b.reg(Ty::F32);
+    b.mov(val, 7.0);
+    b.st_global(val, 1, out, 0, Some(pr));
+    let k = b.finish();
+    let mut mem = GpuMemory::new();
+    let buf = mem.alloc_f32(&[42.0]);
+    Vm::new()
+        .launch(&k, [1, 1, 1], 4, &[Arg::Buf(buf)], &mut mem)
+        .unwrap();
+    assert_eq!(mem.read_f32(buf)[0], 42.0, "guarded-off store must not write");
+}
+
+#[test]
+fn predicated_load_zero_fills() {
+    let mut b = KernelBuilder::new("zf");
+    let pi = b.param_ptr("in", Ty::F32);
+    let po = b.param_ptr("out", Ty::F32);
+    let i = b.ld_param(pi);
+    let o = b.ld_param(po);
+    let t = b.sreg(Sreg::TidX);
+    let pr = b.setp_new(CmpOp::Eq, t, 99); // false
+    let v = b.reg(Ty::F32);
+    b.mov(v, 5.0); // stale value that must be cleared
+    b.ld_global(v, 1, i, 0, Some(pr));
+    b.st_global(v, 1, o, 0, None);
+    let k = b.finish();
+    let mut mem = GpuMemory::new();
+    let src = mem.alloc_f32(&[9.0]);
+    let dst = mem.alloc_f32_zeroed(1);
+    Vm::new()
+        .launch(&k, [1, 1, 1], 1, &[Arg::Buf(src), Arg::Buf(dst)], &mut mem)
+        .unwrap();
+    assert_eq!(mem.read_f32(dst)[0], 0.0, "guarded-off load zero-fills");
+}
+
+#[test]
+fn shared_memory_is_per_block() {
+    // Block 0 writes 1.0 into shared memory; block 1 must not see it.
+    let mut b = KernelBuilder::new("iso");
+    let p = b.param_ptr("out", Ty::F32);
+    let out = b.ld_param(p);
+    let sm = b.shared_array("s", Ty::F32, 1);
+    let bx = b.sreg(Sreg::CtaIdX);
+    let zero = b.reg(Ty::S32);
+    b.mov(zero, 0);
+    let is0 = b.setp_new(CmpOp::Eq, bx, 0);
+    let one = b.reg(Ty::F32);
+    b.mov(one, 1.0);
+    b.st_shared(one, 1, sm, zero, 0, Some(is0));
+    b.barrier();
+    let got = b.reg(Ty::F32);
+    b.ld_shared(got, 1, sm, zero, 0);
+    // out[ctaid] = shared value
+    let off = b.mul(bx, 4);
+    let off64 = b.cvt(Ty::U64, off);
+    let addr = b.bin_new(BinOp::Add, Ty::U64, out, off64);
+    b.st_global(got, 1, addr, 0, None);
+    let k = b.finish();
+    let mut mem = GpuMemory::new();
+    let buf = mem.alloc_f32_zeroed(2);
+    Vm::new()
+        .launch(&k, [2, 1, 1], 1, &[Arg::Buf(buf)], &mut mem)
+        .unwrap();
+    assert_eq!(mem.read_f32(buf), vec![1.0, 0.0]);
+}
+
+#[test]
+fn loop_with_zero_trips_executes_nothing() {
+    let v = run_scalar(|b, out| {
+        let acc = b.reg(Ty::F32);
+        b.mov(acc, 3.0);
+        b.for_loop(5, 5, 1, |b, _| {
+            b.fma(acc, 100.0, 1.0);
+        });
+        b.st_global(acc, 1, out, 0, None);
+    });
+    assert_eq!(v, 3.0);
+}
+
+#[test]
+fn nested_loops_multiply_trip_counts() {
+    let v = run_scalar(|b, out| {
+        let acc = b.reg(Ty::F32);
+        b.mov(acc, 0.0);
+        b.for_loop(0, 3, 1, |b, _| {
+            b.for_loop(0, 14, 2, |b, _| {
+                b.fma(acc, 1.0, 1.0);
+            });
+        });
+        b.st_global(acc, 1, out, 0, None);
+    });
+    assert_eq!(v, 21.0); // 3 * 7
+}
+
+#[test]
+fn f16_shared_memory_quantizes_stores() {
+    let mut b = KernelBuilder::new("f16sm");
+    let p = b.param_ptr("out", Ty::F32);
+    let out = b.ld_param(p);
+    let sm = b.shared_array("s", Ty::F16, 1);
+    let zero = b.reg(Ty::S32);
+    b.mov(zero, 0);
+    let v = b.reg(Ty::F32);
+    b.mov(v, 1.0 / 3.0);
+    b.st_shared(v, 1, sm, zero, 0, None);
+    let back = b.reg(Ty::F32);
+    b.ld_shared(back, 1, sm, zero, 0);
+    b.st_global(back, 1, out, 0, None);
+    let k = b.finish();
+    let mut mem = GpuMemory::new();
+    let buf = mem.alloc_f32_zeroed(1);
+    Vm::new()
+        .launch(&k, [1, 1, 1], 1, &[Arg::Buf(buf)], &mut mem)
+        .unwrap();
+    let got = mem.read_f32(buf)[0];
+    assert_ne!(got, 1.0 / 3.0, "must be f16-quantized");
+    assert!((got - 1.0 / 3.0).abs() < 1e-3);
+}

@@ -1,0 +1,230 @@
+//! Dataset handling: standardization and train/validation splits.
+//!
+//! Features and targets are standardized to zero mean / unit variance; the
+//! cross-validation MSE numbers of paper Table 2 are reported on the
+//! standardized (log-)performance scale, which is what makes values like
+//! 0.067 comparable across experiments.
+
+use crate::matrix::Mat;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Per-column affine normalization fitted on training data.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Standardizer {
+    /// Column means.
+    pub mean: Vec<f32>,
+    /// Column standard deviations (zero-variance columns get 1.0).
+    pub std: Vec<f32>,
+}
+
+impl Standardizer {
+    /// Fit on the rows of `x`.
+    pub fn fit(x: &Mat) -> Self {
+        let n = x.rows.max(1) as f32;
+        let mut mean = vec![0.0f32; x.cols];
+        for r in 0..x.rows {
+            for (m, v) in mean.iter_mut().zip(x.row(r)) {
+                *m += v;
+            }
+        }
+        for m in &mut mean {
+            *m /= n;
+        }
+        let mut var = vec![0.0f32; x.cols];
+        for r in 0..x.rows {
+            for ((s, v), m) in var.iter_mut().zip(x.row(r)).zip(&mean) {
+                let d = v - m;
+                *s += d * d;
+            }
+        }
+        let std = var
+            .into_iter()
+            .map(|s| {
+                let sd = (s / n).sqrt();
+                if sd < 1e-8 {
+                    1.0
+                } else {
+                    sd
+                }
+            })
+            .collect();
+        Standardizer { mean, std }
+    }
+
+    /// Standardize a matrix in place.
+    pub fn apply(&self, x: &mut Mat) {
+        assert_eq!(x.cols, self.mean.len());
+        for r in 0..x.rows {
+            let row = x.row_mut(r);
+            for ((v, m), s) in row.iter_mut().zip(&self.mean).zip(&self.std) {
+                *v = (*v - m) / s;
+            }
+        }
+    }
+
+    /// Standardize a single feature vector in place.
+    pub fn apply_row(&self, row: &mut [f32]) {
+        for ((v, m), s) in row.iter_mut().zip(&self.mean).zip(&self.std) {
+            *v = (*v - m) / s;
+        }
+    }
+}
+
+/// A supervised dataset: feature rows and scalar targets.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// Feature matrix, one sample per row.
+    pub x: Mat,
+    /// Targets, one per row.
+    pub y: Vec<f32>,
+}
+
+impl Dataset {
+    /// Build from rows.
+    pub fn new(x: Mat, y: Vec<f32>) -> Self {
+        assert_eq!(x.rows, y.len(), "X/y length mismatch");
+        Dataset { x, y }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.y.len()
+    }
+
+    /// Whether the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.y.is_empty()
+    }
+
+    /// Shuffle and split into `(train, validation)` with `val_fraction` of
+    /// the samples held out.
+    pub fn split(&self, val_fraction: f64, rng: &mut impl Rng) -> (Dataset, Dataset) {
+        let mut idx: Vec<usize> = (0..self.len()).collect();
+        idx.shuffle(rng);
+        let n_val = ((self.len() as f64) * val_fraction).round() as usize;
+        let (val_idx, train_idx) = idx.split_at(n_val.min(self.len()));
+        (self.subset(train_idx), self.subset(val_idx))
+    }
+
+    /// Extract the given rows into a new dataset.
+    pub fn subset(&self, rows: &[usize]) -> Dataset {
+        let mut x = Mat::zeros(rows.len(), self.x.cols);
+        let mut y = Vec::with_capacity(rows.len());
+        for (out_r, &r) in rows.iter().enumerate() {
+            x.row_mut(out_r).copy_from_slice(self.x.row(r));
+            y.push(self.y[r]);
+        }
+        Dataset::new(x, y)
+    }
+
+    /// Take the first `n` samples (deterministic truncation, used for the
+    /// Figure 5 dataset-size sweep).
+    pub fn take(&self, n: usize) -> Dataset {
+        let rows: Vec<usize> = (0..n.min(self.len())).collect();
+        self.subset(&rows)
+    }
+
+    /// Standardize features and targets in place; returns the fitted
+    /// transformers `(features, target_mean, target_std)`.
+    pub fn standardize(&mut self) -> (Standardizer, f32, f32) {
+        let sx = Standardizer::fit(&self.x);
+        sx.apply(&mut self.x);
+        let n = self.y.len().max(1) as f32;
+        let mean = self.y.iter().sum::<f32>() / n;
+        let var = self.y.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / n;
+        let std = if var.sqrt() < 1e-8 { 1.0 } else { var.sqrt() };
+        for v in &mut self.y {
+            *v = (*v - mean) / std;
+        }
+        (sx, mean, std)
+    }
+
+    /// Apply transformers fitted elsewhere (e.g. standardize validation
+    /// data with training statistics).
+    pub fn standardize_with(&mut self, sx: &Standardizer, y_mean: f32, y_std: f32) {
+        sx.apply(&mut self.x);
+        for v in &mut self.y {
+            *v = (*v - y_mean) / y_std;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn toy() -> Dataset {
+        let mut x = Mat::zeros(100, 3);
+        let mut y = Vec::new();
+        for r in 0..100 {
+            x.set(r, 0, r as f32);
+            x.set(r, 1, 10.0 + (r % 7) as f32);
+            x.set(r, 2, 5.0); // constant column
+            y.push(r as f32 * 2.0);
+        }
+        Dataset::new(x, y)
+    }
+
+    #[test]
+    fn standardizer_centers_and_scales() {
+        let mut d = toy();
+        let (sx, ym, ys) = d.standardize();
+        assert_eq!(sx.mean.len(), 3);
+        // Column 0 mean ~ 49.5.
+        assert!((sx.mean[0] - 49.5).abs() < 1e-3);
+        // Constant column gets std 1 (no blow-up).
+        assert_eq!(sx.std[2], 1.0);
+        // After standardization the data has ~zero mean.
+        let m0: f32 = (0..d.x.rows).map(|r| d.x.get(r, 0)).sum::<f32>() / 100.0;
+        assert!(m0.abs() < 1e-5);
+        assert!(ym > 0.0 && ys > 0.0);
+        let ymean: f32 = d.y.iter().sum::<f32>() / 100.0;
+        assert!(ymean.abs() < 1e-5);
+    }
+
+    #[test]
+    fn split_partitions_samples() {
+        let d = toy();
+        let mut rng = StdRng::seed_from_u64(1);
+        let (train, val) = d.split(0.2, &mut rng);
+        assert_eq!(train.len(), 80);
+        assert_eq!(val.len(), 20);
+    }
+
+    #[test]
+    fn split_is_disjoint() {
+        // Feature 0 is a unique id per row; check no id appears twice.
+        let d = toy();
+        let mut rng = StdRng::seed_from_u64(2);
+        let (train, val) = d.split(0.3, &mut rng);
+        let mut seen = std::collections::HashSet::new();
+        for r in 0..train.len() {
+            assert!(seen.insert(train.x.get(r, 0) as i64));
+        }
+        for r in 0..val.len() {
+            assert!(seen.insert(val.x.get(r, 0) as i64));
+        }
+        assert_eq!(seen.len(), 100);
+    }
+
+    #[test]
+    fn take_truncates_in_order() {
+        let d = toy();
+        let t = d.take(10);
+        assert_eq!(t.len(), 10);
+        assert_eq!(t.x.get(9, 0), 9.0);
+    }
+
+    #[test]
+    fn apply_row_matches_apply() {
+        let mut d = toy();
+        let sx = Standardizer::fit(&d.x);
+        let mut row = d.x.row(17).to_vec();
+        sx.apply_row(&mut row);
+        sx.apply(&mut d.x);
+        assert_eq!(row, d.x.row(17));
+    }
+}

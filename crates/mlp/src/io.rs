@@ -1,0 +1,243 @@
+//! Plain-text serialization for trained models and standardizers.
+//!
+//! Format (one item per line, whitespace-separated floats):
+//!
+//! ```text
+//! mlp <n_sizes> <size_0> ... <size_k>
+//! w <layer> <out> <in> v v v ...
+//! b <layer> v v ...
+//! std <n> mean... std...
+//! y <mean> <std>
+//! ```
+//!
+//! A hand-rolled format keeps the dependency tree free of serde while
+//! remaining diffable and debuggable; the tuner caches trained models under
+//! `target/isaac-cache/` with this.
+
+use crate::data::Standardizer;
+use crate::matrix::Mat;
+use crate::mlp::Mlp;
+use std::fmt::Write as _;
+
+/// A trained model bundle: the network plus its input/target transforms.
+#[derive(Debug, Clone)]
+pub struct ModelBundle {
+    /// The trained network.
+    pub mlp: Mlp,
+    /// Feature standardizer.
+    pub standardizer: Standardizer,
+    /// Target mean (standardized-target space).
+    pub y_mean: f32,
+    /// Target standard deviation.
+    pub y_std: f32,
+}
+
+impl ModelBundle {
+    /// Predict in the original target scale for raw (unstandardized)
+    /// features.
+    pub fn predict(&self, features: &[f32]) -> f32 {
+        let mut row = features.to_vec();
+        self.standardizer.apply_row(&mut row);
+        self.mlp.predict_one(&row) * self.y_std + self.y_mean
+    }
+
+    /// Predict a batch of raw feature rows in the original target scale.
+    pub fn predict_batch(&self, rows: &[Vec<f32>]) -> Vec<f32> {
+        if rows.is_empty() {
+            return Vec::new();
+        }
+        let cols = rows[0].len();
+        let mut x = Mat::zeros(rows.len(), cols);
+        for (r, row) in rows.iter().enumerate() {
+            let dst = x.row_mut(r);
+            dst.copy_from_slice(row);
+            self.standardizer.apply_row(dst);
+        }
+        self.mlp
+            .predict_batch(&x)
+            .into_iter()
+            .map(|v| v * self.y_std + self.y_mean)
+            .collect()
+    }
+}
+
+/// Serialize a bundle to text.
+pub fn to_text(bundle: &ModelBundle) -> String {
+    let mut out = String::new();
+    let sizes = &bundle.mlp.sizes;
+    let _ = write!(out, "mlp {}", sizes.len());
+    for s in sizes {
+        let _ = write!(out, " {s}");
+    }
+    out.push('\n');
+    for (li, layer) in bundle.mlp.layers.iter().enumerate() {
+        let _ = write!(out, "w {li} {} {}", layer.w.rows, layer.w.cols);
+        for v in layer.w.data() {
+            let _ = write!(out, " {v:e}");
+        }
+        out.push('\n');
+        let _ = write!(out, "b {li}");
+        for v in &layer.b {
+            let _ = write!(out, " {v:e}");
+        }
+        out.push('\n');
+    }
+    let _ = write!(out, "std {}", bundle.standardizer.mean.len());
+    for v in &bundle.standardizer.mean {
+        let _ = write!(out, " {v:e}");
+    }
+    for v in &bundle.standardizer.std {
+        let _ = write!(out, " {v:e}");
+    }
+    out.push('\n');
+    let _ = writeln!(out, "y {:e} {:e}", bundle.y_mean, bundle.y_std);
+    out
+}
+
+/// Parse a bundle from text.
+pub fn from_text(text: &str) -> Result<ModelBundle, String> {
+    let mut sizes: Vec<usize> = Vec::new();
+    let mut weights: Vec<(usize, Mat)> = Vec::new();
+    let mut biases: Vec<(usize, Vec<f32>)> = Vec::new();
+    let mut standardizer = None;
+    let mut y = None;
+    for (ln, line) in text.lines().enumerate() {
+        let mut it = line.split_whitespace();
+        match it.next() {
+            Some("mlp") => {
+                let n: usize = it
+                    .next()
+                    .ok_or(format!("line {ln}: missing size count"))?
+                    .parse()
+                    .map_err(|e| format!("line {ln}: {e}"))?;
+                sizes = it
+                    .take(n)
+                    .map(|t| t.parse().map_err(|e| format!("line {ln}: {e}")))
+                    .collect::<Result<_, _>>()?;
+                if sizes.len() != n {
+                    return Err(format!("line {ln}: truncated sizes"));
+                }
+            }
+            Some("w") => {
+                let li: usize = it.next().ok_or("missing layer idx")?.parse().map_err(|e| format!("{e}"))?;
+                let rows: usize = it.next().ok_or("missing rows")?.parse().map_err(|e| format!("{e}"))?;
+                let cols: usize = it.next().ok_or("missing cols")?.parse().map_err(|e| format!("{e}"))?;
+                let data: Vec<f32> = it
+                    .map(|t| t.parse().map_err(|e| format!("line {ln}: {e}")))
+                    .collect::<Result<_, _>>()?;
+                if data.len() != rows * cols {
+                    return Err(format!("line {ln}: expected {} weights", rows * cols));
+                }
+                weights.push((li, Mat::from_vec(rows, cols, data)));
+            }
+            Some("b") => {
+                let li: usize = it.next().ok_or("missing layer idx")?.parse().map_err(|e| format!("{e}"))?;
+                let data: Vec<f32> = it
+                    .map(|t| t.parse().map_err(|e| format!("line {ln}: {e}")))
+                    .collect::<Result<_, _>>()?;
+                biases.push((li, data));
+            }
+            Some("std") => {
+                let n: usize = it.next().ok_or("missing std len")?.parse().map_err(|e| format!("{e}"))?;
+                let vals: Vec<f32> = it
+                    .map(|t| t.parse().map_err(|e| format!("line {ln}: {e}")))
+                    .collect::<Result<_, _>>()?;
+                if vals.len() != 2 * n {
+                    return Err(format!("line {ln}: expected {} std values", 2 * n));
+                }
+                standardizer = Some(Standardizer {
+                    mean: vals[..n].to_vec(),
+                    std: vals[n..].to_vec(),
+                });
+            }
+            Some("y") => {
+                let m: f32 = it.next().ok_or("missing y mean")?.parse().map_err(|e| format!("{e}"))?;
+                let s: f32 = it.next().ok_or("missing y std")?.parse().map_err(|e| format!("{e}"))?;
+                y = Some((m, s));
+            }
+            Some(other) => return Err(format!("line {ln}: unknown record '{other}'")),
+            None => {}
+        }
+    }
+    if sizes.is_empty() {
+        return Err("no mlp header".into());
+    }
+    weights.sort_by_key(|(li, _)| *li);
+    biases.sort_by_key(|(li, _)| *li);
+    if weights.len() != sizes.len() - 1 || biases.len() != sizes.len() - 1 {
+        return Err("layer count mismatch".into());
+    }
+    let layers = weights
+        .into_iter()
+        .zip(biases)
+        .map(|((_, w), (_, b))| crate::mlp::Dense { w, b })
+        .collect();
+    let (y_mean, y_std) = y.ok_or("missing y record")?;
+    Ok(ModelBundle {
+        mlp: Mlp { sizes, layers },
+        standardizer: standardizer.ok_or("missing std record")?,
+        y_mean,
+        y_std,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bundle() -> ModelBundle {
+        let mlp = Mlp::new(&[3, 8, 4, 1], 42);
+        ModelBundle {
+            mlp,
+            standardizer: Standardizer {
+                mean: vec![1.0, 2.0, 3.0],
+                std: vec![0.5, 1.5, 2.5],
+            },
+            y_mean: 10.0,
+            y_std: 2.0,
+        }
+    }
+
+    #[test]
+    fn roundtrip_preserves_predictions() {
+        let b = bundle();
+        let text = to_text(&b);
+        let b2 = from_text(&text).expect("parse");
+        for probe in [
+            vec![0.0, 0.0, 0.0],
+            vec![1.0, -2.0, 5.0],
+            vec![10.0, 0.5, -3.0],
+        ] {
+            let p1 = b.predict(&probe);
+            let p2 = b2.predict(&probe);
+            assert!((p1 - p2).abs() < 1e-5, "{p1} vs {p2}");
+        }
+    }
+
+    #[test]
+    fn predict_batch_matches_predict() {
+        let b = bundle();
+        let rows = vec![vec![0.1, 0.2, 0.3], vec![5.0, 4.0, 3.0]];
+        let batch = b.predict_batch(&rows);
+        assert!((batch[0] - b.predict(&rows[0])).abs() < 1e-5);
+        assert!((batch[1] - b.predict(&rows[1])).abs() < 1e-5);
+    }
+
+    #[test]
+    fn corrupt_text_is_rejected() {
+        assert!(from_text("").is_err());
+        assert!(from_text("mlp 2 3 1\nw 0 1 3 0.1 0.2\n").is_err());
+        assert!(from_text("nonsense 1 2 3").is_err());
+    }
+
+    #[test]
+    fn denormalization_applies() {
+        let b = bundle();
+        // predict() must equal raw mlp output * y_std + y_mean.
+        let mut row = vec![2.0f32, 2.0, 2.0];
+        b.standardizer.apply_row(&mut row);
+        let raw = b.mlp.predict_one(&row);
+        let scaled = b.predict(&[2.0, 2.0, 2.0]);
+        assert!((scaled - (raw * 2.0 + 10.0)).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,24 @@
+//! A from-scratch multi-layer perceptron for performance regression
+//! (paper Section 5).
+//!
+//! The paper models kernel performance with an MLP over ~20 log-transformed
+//! features, trained with mean-square-error loss. This crate implements the
+//! full stack with no external ML dependency:
+//!
+//! * [`matrix::Mat`] -- a minimal row-major f32 matrix with the handful of
+//!   cache-friendly products the forward/backward passes need,
+//! * [`mlp::Mlp`] -- dense layers, ReLU activations (paper Section 5.2:
+//!   "choosing the rectified linear unit activation seems appropriate to
+//!   handle maximums"), MSE loss, SGD-with-momentum and Adam optimizers,
+//! * [`data`] -- feature standardization and train/validation splits,
+//! * [`io`] -- a plain-text serialization format for trained models (kept
+//!   dependency-free on purpose; see DESIGN.md).
+
+pub mod data;
+pub mod io;
+pub mod matrix;
+pub mod mlp;
+
+pub use data::{Dataset, Standardizer};
+pub use matrix::Mat;
+pub use mlp::{Mlp, Optimizer, TrainConfig, TrainReport};

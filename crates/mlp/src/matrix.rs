@@ -1,0 +1,230 @@
+//! Minimal row-major f32 matrix with the products the MLP needs.
+//!
+//! The inner loops are written over contiguous slices so LLVM can
+//! auto-vectorize them; on the feature widths involved here (tens to a few
+//! hundred columns) that is within a small factor of a tuned BLAS and far
+//! below the simulator's cost anyway.
+
+/// A dense row-major matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mat {
+    /// Number of rows.
+    pub rows: usize,
+    /// Number of columns.
+    pub cols: usize,
+    data: Vec<f32>,
+}
+
+impl Mat {
+    /// Zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Mat {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Build from a flat row-major vector.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), rows * cols, "shape mismatch");
+        Mat { rows, cols, data }
+    }
+
+    /// Flat data access.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable flat data access.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Borrow row `r`.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f32] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutably borrow row `r`.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Element access.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        self.data[r * self.cols + c]
+    }
+
+    /// Element update.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f32) {
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// `out = self * other^T`: `(m x k) * (n x k)^T -> (m x n)`.
+    ///
+    /// Both operands are traversed along contiguous rows (dot products), the
+    /// cache-friendly orientation for `X * W^T` in the forward pass and
+    /// `dZ^T`-style products in the backward pass.
+    pub fn mul_bt(&self, other: &Mat, out: &mut Mat) {
+        assert_eq!(self.cols, other.cols, "inner dims");
+        assert_eq!(out.rows, self.rows);
+        assert_eq!(out.cols, other.rows);
+        for r in 0..self.rows {
+            let a = self.row(r);
+            let orow = out.row_mut(r);
+            for (c, o) in orow.iter_mut().enumerate() {
+                let b = other.row(c);
+                let mut acc = 0.0f32;
+                for (x, y) in a.iter().zip(b) {
+                    acc += x * y;
+                }
+                *o = acc;
+            }
+        }
+    }
+
+    /// `out += self^T * other`: `(m x k)^T * (m x n) -> (k x n)`,
+    /// accumulated into `out`. Used for weight gradients
+    /// (`dW += dZ^T * A`).
+    pub fn add_at_b(&self, other: &Mat, out: &mut Mat) {
+        assert_eq!(self.rows, other.rows, "outer dims");
+        assert_eq!(out.rows, self.cols);
+        assert_eq!(out.cols, other.cols);
+        for r in 0..self.rows {
+            let a = self.row(r);
+            let b = other.row(r);
+            for (i, &ai) in a.iter().enumerate() {
+                if ai == 0.0 {
+                    continue;
+                }
+                let orow = out.row_mut(i);
+                for (o, &bj) in orow.iter_mut().zip(b) {
+                    *o += ai * bj;
+                }
+            }
+        }
+    }
+
+    /// `out = self * other`: `(m x k) * (k x n) -> (m x n)`. Used for the
+    /// input-gradient product `dA = dZ * W` (W stored `(out x in)`, so this
+    /// is a plain row-times-matrix walk).
+    pub fn mul(&self, other: &Mat, out: &mut Mat) {
+        assert_eq!(self.cols, other.rows, "inner dims");
+        assert_eq!(out.rows, self.rows);
+        assert_eq!(out.cols, other.cols);
+        for r in 0..self.rows {
+            let a = self.row(r);
+            let orow = out.row_mut(r);
+            orow.fill(0.0);
+            for (i, &ai) in a.iter().enumerate() {
+                if ai == 0.0 {
+                    continue;
+                }
+                let b = other.row(i);
+                for (o, &bj) in orow.iter_mut().zip(b) {
+                    *o += ai * bj;
+                }
+            }
+        }
+    }
+
+    /// Frobenius norm, for tests and gradient checks.
+    pub fn norm(&self) -> f32 {
+        self.data.iter().map(|x| x * x).sum::<f32>().sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small(rows: usize, cols: usize, f: impl Fn(usize, usize) -> f32) -> Mat {
+        let mut m = Mat::zeros(rows, cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                m.set(r, c, f(r, c));
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn mul_bt_matches_manual() {
+        // A: 2x3, B: 4x3, out = A * B^T: 2x4.
+        let a = small(2, 3, |r, c| (r * 3 + c) as f32);
+        let b = small(4, 3, |r, c| (r + c) as f32 * 0.5);
+        let mut out = Mat::zeros(2, 4);
+        a.mul_bt(&b, &mut out);
+        for r in 0..2 {
+            for c in 0..4 {
+                let want: f32 = (0..3).map(|k| a.get(r, k) * b.get(c, k)).sum();
+                assert!((out.get(r, c) - want).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn add_at_b_accumulates() {
+        let a = small(3, 2, |r, c| (r + c) as f32);
+        let b = small(3, 4, |r, c| (r * c) as f32);
+        let mut out = Mat::zeros(2, 4);
+        a.add_at_b(&b, &mut out);
+        a.add_at_b(&b, &mut out); // twice
+        for r in 0..2 {
+            for c in 0..4 {
+                let want: f32 = 2.0 * (0..3).map(|k| a.get(k, r) * b.get(k, c)).sum::<f32>();
+                assert!((out.get(r, c) - want).abs() < 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn mul_matches_manual() {
+        let a = small(2, 3, |r, c| (r * 3 + c) as f32 * 0.1);
+        let b = small(3, 5, |r, c| (r + 2 * c) as f32 * 0.2);
+        let mut out = Mat::zeros(2, 5);
+        a.mul(&b, &mut out);
+        for r in 0..2 {
+            for c in 0..5 {
+                let want: f32 = (0..3).map(|k| a.get(r, k) * b.get(k, c)).sum();
+                assert!((out.get(r, c) - want).abs() < 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn transpose_identities_agree() {
+        // (A * B^T) == (B * A^T)^T
+        let a = small(3, 4, |r, c| ((r * 7 + c * 3) % 5) as f32);
+        let b = small(2, 4, |r, c| ((r * 3 + c) % 4) as f32);
+        let mut ab = Mat::zeros(3, 2);
+        let mut ba = Mat::zeros(2, 3);
+        a.mul_bt(&b, &mut ab);
+        b.mul_bt(&a, &mut ba);
+        for r in 0..3 {
+            for c in 0..2 {
+                assert_eq!(ab.get(r, c), ba.get(c, r));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dims")]
+    fn dimension_mismatch_panics() {
+        let a = Mat::zeros(2, 3);
+        let b = Mat::zeros(2, 4);
+        let mut out = Mat::zeros(2, 2);
+        a.mul_bt(&b, &mut out);
+    }
+
+    #[test]
+    fn norm_is_euclidean() {
+        let m = Mat::from_vec(1, 2, vec![3.0, 4.0]);
+        assert_eq!(m.norm(), 5.0);
+    }
+}

@@ -1,0 +1,529 @@
+//! The multi-layer perceptron: dense layers, ReLU, MSE loss, and two
+//! optimizers (SGD with momentum and Adam).
+//!
+//! The architecture follows paper Algorithm 1 (forward propagation through
+//! fully connected layers with a shared nonlinearity per layer); training
+//! minimizes the mean square error as appropriate for regression under
+//! Gaussian noise (Section 5.1).
+
+use crate::data::Dataset;
+use crate::matrix::Mat;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One fully connected layer: `z = x W^T + b`, stored `(out x in)`.
+#[derive(Debug, Clone)]
+pub struct Dense {
+    /// Weights, `(out x in)`.
+    pub w: Mat,
+    /// Biases, length `out`.
+    pub b: Vec<f32>,
+}
+
+/// Optimizer selection.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Optimizer {
+    /// Stochastic gradient descent with momentum.
+    Sgd {
+        /// Momentum coefficient (0.9 is the usual choice).
+        momentum: f32,
+    },
+    /// Adam with the standard decay constants.
+    Adam {
+        /// First-moment decay.
+        beta1: f32,
+        /// Second-moment decay.
+        beta2: f32,
+    },
+}
+
+impl Default for Optimizer {
+    fn default() -> Self {
+        Optimizer::Adam {
+            beta1: 0.9,
+            beta2: 0.999,
+        }
+    }
+}
+
+/// Training hyperparameters.
+#[derive(Debug, Clone)]
+pub struct TrainConfig {
+    /// Passes over the training set.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch: usize,
+    /// Initial learning rate.
+    pub lr: f32,
+    /// Multiplicative learning-rate decay per epoch.
+    pub lr_decay: f32,
+    /// Optimizer.
+    pub optimizer: Optimizer,
+    /// Shuffling seed.
+    pub seed: u64,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig {
+            epochs: 15,
+            batch: 128,
+            lr: 3e-3,
+            lr_decay: 0.92,
+            optimizer: Optimizer::default(),
+            seed: 0,
+        }
+    }
+}
+
+/// Training outcome.
+#[derive(Debug, Clone)]
+pub struct TrainReport {
+    /// Validation MSE after each epoch.
+    pub val_mse: Vec<f32>,
+    /// Final training MSE.
+    pub train_mse: f32,
+}
+
+impl TrainReport {
+    /// Best validation MSE seen.
+    pub fn best_val_mse(&self) -> f32 {
+        self.val_mse.iter().copied().fold(f32::INFINITY, f32::min)
+    }
+}
+
+/// The network.
+#[derive(Debug, Clone)]
+pub struct Mlp {
+    /// Layer sizes, input first, 1 output last.
+    pub sizes: Vec<usize>,
+    /// Layers.
+    pub layers: Vec<Dense>,
+}
+
+impl Mlp {
+    /// Create a network with Xavier-uniform initialization.
+    ///
+    /// `sizes` runs `[inputs, hidden..., 1]`; e.g. the paper's best Table 2
+    /// architecture on 17 features is `[17, 64, 128, 192, 256, 192, 128,
+    /// 64, 1]`.
+    pub fn new(sizes: &[usize], seed: u64) -> Self {
+        assert!(sizes.len() >= 2, "need at least input and output sizes");
+        assert_eq!(*sizes.last().unwrap(), 1, "regression head must be 1");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let layers = sizes
+            .windows(2)
+            .map(|wnd| {
+                let (fan_in, fan_out) = (wnd[0], wnd[1]);
+                let bound = (6.0 / (fan_in + fan_out) as f32).sqrt();
+                let mut w = Mat::zeros(fan_out, fan_in);
+                for v in w.data_mut() {
+                    *v = rng.gen_range(-bound..bound);
+                }
+                Dense {
+                    w,
+                    b: vec![0.0; fan_out],
+                }
+            })
+            .collect();
+        Mlp {
+            sizes: sizes.to_vec(),
+            layers,
+        }
+    }
+
+    /// Convenience constructor from hidden sizes only.
+    pub fn with_hidden(inputs: usize, hidden: &[usize], seed: u64) -> Self {
+        let mut sizes = vec![inputs];
+        sizes.extend_from_slice(hidden);
+        sizes.push(1);
+        Mlp::new(&sizes, seed)
+    }
+
+    /// Total trainable parameters.
+    pub fn num_weights(&self) -> usize {
+        self.layers
+            .iter()
+            .map(|l| l.w.rows * l.w.cols + l.b.len())
+            .sum()
+    }
+
+    /// Forward pass for a batch; returns the activations of every layer
+    /// (index 0 is the input itself).
+    fn forward(&self, x: &Mat) -> Vec<Mat> {
+        let mut acts = Vec::with_capacity(self.layers.len() + 1);
+        acts.push(x.clone());
+        for (li, layer) in self.layers.iter().enumerate() {
+            let prev = acts.last().expect("input pushed above");
+            let mut z = Mat::zeros(prev.rows, layer.w.rows);
+            prev.mul_bt(&layer.w, &mut z);
+            let last = li + 1 == self.layers.len();
+            for r in 0..z.rows {
+                let row = z.row_mut(r);
+                for (v, b) in row.iter_mut().zip(&layer.b) {
+                    *v += b;
+                    if !last && *v < 0.0 {
+                        *v = 0.0; // ReLU
+                    }
+                }
+            }
+            acts.push(z);
+        }
+        acts
+    }
+
+    /// Predict a batch of rows.
+    pub fn predict_batch(&self, x: &Mat) -> Vec<f32> {
+        let acts = self.forward(x);
+        acts.last().expect("output layer").data().to_vec()
+    }
+
+    /// Predict one feature vector.
+    pub fn predict_one(&self, features: &[f32]) -> f32 {
+        let x = Mat::from_vec(1, features.len(), features.to_vec());
+        self.predict_batch(&x)[0]
+    }
+
+    /// Mean square error against targets.
+    pub fn mse(&self, data: &Dataset) -> f32 {
+        if data.is_empty() {
+            return 0.0;
+        }
+        // Evaluate in chunks to bound workspace memory.
+        let chunk = 1024;
+        let mut total = 0.0f64;
+        let mut r = 0;
+        while r < data.len() {
+            let hi = (r + chunk).min(data.len());
+            let rows: Vec<usize> = (r..hi).collect();
+            let sub = data.subset(&rows);
+            let pred = self.predict_batch(&sub.x);
+            for (p, y) in pred.iter().zip(&sub.y) {
+                let d = (p - y) as f64;
+                total += d * d;
+            }
+            r = hi;
+        }
+        (total / data.len() as f64) as f32
+    }
+
+    /// Train with mini-batch gradient descent; validation MSE is recorded
+    /// after each epoch.
+    pub fn train(&mut self, train: &Dataset, val: &Dataset, cfg: &TrainConfig) -> TrainReport {
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut opt = OptState::new(self, cfg.optimizer);
+        let mut order: Vec<usize> = (0..train.len()).collect();
+        let mut lr = cfg.lr;
+        let mut val_mse = Vec::with_capacity(cfg.epochs);
+        for _epoch in 0..cfg.epochs {
+            rand::seq::SliceRandom::shuffle(order.as_mut_slice(), &mut rng);
+            for chunk in order.chunks(cfg.batch) {
+                let batch = train.subset(chunk);
+                self.step(&batch, lr, &mut opt);
+            }
+            val_mse.push(self.mse(val));
+            lr *= cfg.lr_decay;
+        }
+        TrainReport {
+            val_mse,
+            train_mse: self.mse(train),
+        }
+    }
+
+    /// One gradient step on a batch.
+    fn step(&mut self, batch: &Dataset, lr: f32, opt: &mut OptState) {
+        let acts = self.forward(&batch.x);
+        let nb = batch.len() as f32;
+        // dz for the output layer: 2 (yhat - y) / B.
+        let out = acts.last().expect("output activations");
+        let mut dz = Mat::zeros(out.rows, 1);
+        for r in 0..out.rows {
+            dz.set(r, 0, 2.0 * (out.get(r, 0) - batch.y[r]) / nb);
+        }
+        // Walk layers backwards.
+        for li in (0..self.layers.len()).rev() {
+            let a_prev = &acts[li];
+            let mut dw = Mat::zeros(self.layers[li].w.rows, self.layers[li].w.cols);
+            dz.add_at_b(a_prev, &mut dw);
+            let mut db = vec![0.0f32; self.layers[li].b.len()];
+            for r in 0..dz.rows {
+                for (d, v) in db.iter_mut().zip(dz.row(r)) {
+                    *d += v;
+                }
+            }
+            if li > 0 {
+                // Propagate: da_prev = dz * W, masked by ReLU'.
+                let mut da = Mat::zeros(dz.rows, self.layers[li].w.cols);
+                dz.mul(&self.layers[li].w, &mut da);
+                let z_prev = &acts[li]; // post-ReLU activation of layer li
+                for r in 0..da.rows {
+                    let mask = z_prev.row(r);
+                    let row = da.row_mut(r);
+                    for (v, &m) in row.iter_mut().zip(mask) {
+                        if m <= 0.0 {
+                            *v = 0.0;
+                        }
+                    }
+                }
+                opt.update(li, &mut self.layers[li], &dw, &db, lr);
+                dz = da;
+            } else {
+                opt.update(li, &mut self.layers[li], &dw, &db, lr);
+            }
+        }
+    }
+}
+
+/// Per-layer optimizer state.
+struct OptState {
+    kind: Optimizer,
+    /// First-moment (or momentum) buffers per layer: (weights, biases).
+    m: Vec<(Mat, Vec<f32>)>,
+    /// Second-moment buffers (Adam only).
+    v: Vec<(Mat, Vec<f32>)>,
+    /// Step counter for Adam bias correction.
+    t: i32,
+}
+
+impl OptState {
+    fn new(mlp: &Mlp, kind: Optimizer) -> Self {
+        let zeros = |mlp: &Mlp| {
+            mlp.layers
+                .iter()
+                .map(|l| (Mat::zeros(l.w.rows, l.w.cols), vec![0.0; l.b.len()]))
+                .collect::<Vec<_>>()
+        };
+        OptState {
+            kind,
+            m: zeros(mlp),
+            v: zeros(mlp),
+            t: 0,
+        }
+    }
+
+    fn update(&mut self, li: usize, layer: &mut Dense, dw: &Mat, db: &[f32], lr: f32) {
+        match self.kind {
+            Optimizer::Sgd { momentum } => {
+                let (mw, mb) = &mut self.m[li];
+                for ((m, w), g) in mw
+                    .data_mut()
+                    .iter_mut()
+                    .zip(layer.w.data_mut())
+                    .zip(dw.data())
+                {
+                    *m = momentum * *m - lr * g;
+                    *w += *m;
+                }
+                for ((m, b), g) in mb.iter_mut().zip(&mut layer.b).zip(db) {
+                    *m = momentum * *m - lr * g;
+                    *b += *m;
+                }
+            }
+            Optimizer::Adam { beta1, beta2 } => {
+                if li == 0 {
+                    self.t += 1;
+                }
+                let t = self.t.max(1);
+                let bc1 = 1.0 - beta1.powi(t);
+                let bc2 = 1.0 - beta2.powi(t);
+                let eps = 1e-8;
+                let (mw, mb) = &mut self.m[li];
+                let (vw, vb) = &mut self.v[li];
+                for (((m, v), w), g) in mw
+                    .data_mut()
+                    .iter_mut()
+                    .zip(vw.data_mut())
+                    .zip(layer.w.data_mut())
+                    .zip(dw.data())
+                {
+                    *m = beta1 * *m + (1.0 - beta1) * g;
+                    *v = beta2 * *v + (1.0 - beta2) * g * g;
+                    *w -= lr * (*m / bc1) / ((*v / bc2).sqrt() + eps);
+                }
+                for (((m, v), b), g) in mb
+                    .iter_mut()
+                    .zip(vb.iter_mut())
+                    .zip(&mut layer.b)
+                    .zip(db)
+                {
+                    *m = beta1 * *m + (1.0 - beta1) * g;
+                    *v = beta2 * *v + (1.0 - beta2) * g * g;
+                    *b -= lr * (*m / bc1) / ((*v / bc2).sqrt() + eps);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_dataset(n: usize, f: impl Fn(f32, f32) -> f32) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut x = Mat::zeros(n, 2);
+        let mut y = Vec::with_capacity(n);
+        for r in 0..n {
+            let a: f32 = rng.gen_range(-1.0..1.0);
+            let b: f32 = rng.gen_range(-1.0..1.0);
+            x.set(r, 0, a);
+            x.set(r, 1, b);
+            y.push(f(a, b));
+        }
+        Dataset::new(x, y)
+    }
+
+    #[test]
+    fn gradient_check_small_network() {
+        // Numerical vs analytic gradient on a tiny net.
+        let data = toy_dataset(8, |a, b| a * 0.5 + b * b);
+        let mlp = Mlp::new(&[2, 5, 1], 3);
+        // Analytic gradient of the first layer's first weight, via a
+        // single step with lr so small we can recover dW from the delta.
+        let probe = |mlp: &Mlp| -> f32 { mlp.mse(&data) };
+        let eps = 1e-3f32;
+        // Numerical gradient wrt layers[0].w[0,0]:
+        let w00 = mlp.layers[0].w.get(0, 0);
+        let mut plus = mlp.clone();
+        plus.layers[0].w.set(0, 0, w00 + eps);
+        let mut minus = mlp.clone();
+        minus.layers[0].w.set(0, 0, w00 - eps);
+        let num_grad = (probe(&plus) - probe(&minus)) / (2.0 * eps);
+
+        // Analytic: run one SGD step (momentum 0, lr tiny) on the full
+        // batch and recover dW from the weight delta.
+        let mut stepped = mlp.clone();
+        let lr = 1e-6f32;
+        let mut opt = OptState::new(&stepped, Optimizer::Sgd { momentum: 0.0 });
+        stepped.step(&data, lr, &mut opt);
+        let analytic = (mlp.layers[0].w.get(0, 0) - stepped.layers[0].w.get(0, 0)) / lr;
+        assert!(
+            (num_grad - analytic).abs() < 2e-2_f32.max(num_grad.abs() * 0.05),
+            "numerical {num_grad} vs analytic {analytic}"
+        );
+    }
+
+    #[test]
+    fn learns_linear_function() {
+        let mut data = toy_dataset(512, |a, b| 3.0 * a - 2.0 * b + 0.5);
+        data.standardize();
+        let mut mlp = Mlp::new(&[2, 16, 1], 1);
+        let report = mlp.train(
+            &data,
+            &data,
+            &TrainConfig {
+                epochs: 80,
+                batch: 32,
+                lr: 5e-3,
+                ..Default::default()
+            },
+        );
+        assert!(
+            report.best_val_mse() < 5e-3,
+            "should fit a linear map, got {}",
+            report.best_val_mse()
+        );
+    }
+
+    #[test]
+    fn learns_max_with_relu() {
+        // The paper argues ReLU handles the max() structure of performance
+        // models; verify a small net can learn max(a, b).
+        let data = toy_dataset(2048, |a, b| a.max(b));
+        let mut mlp = Mlp::new(&[2, 32, 32, 1], 2);
+        let report = mlp.train(
+            &data,
+            &data,
+            &TrainConfig {
+                epochs: 60,
+                batch: 64,
+                lr: 3e-3,
+                ..Default::default()
+            },
+        );
+        assert!(
+            report.best_val_mse() < 5e-3,
+            "should fit max(), got {}",
+            report.best_val_mse()
+        );
+    }
+
+    #[test]
+    fn deeper_networks_fit_better() {
+        // Qualitative Table 2 check on a synthetic multiplicative task in
+        // log space.
+        let data = toy_dataset(3000, |a, b| (1.5 * a).max(0.3 * b) + 0.2 * a * b);
+        let cfg = TrainConfig {
+            epochs: 25,
+            batch: 64,
+            lr: 3e-3,
+            seed: 5,
+            ..Default::default()
+        };
+        let mut shallow = Mlp::new(&[2, 8, 1], 11);
+        let r_shallow = shallow.train(&data, &data, &cfg);
+        let mut deep = Mlp::new(&[2, 32, 64, 32, 1], 11);
+        let r_deep = deep.train(&data, &data, &cfg);
+        assert!(
+            r_deep.best_val_mse() < r_shallow.best_val_mse(),
+            "deep {} should beat shallow {}",
+            r_deep.best_val_mse(),
+            r_shallow.best_val_mse()
+        );
+    }
+
+    #[test]
+    fn sgd_and_adam_both_converge() {
+        let data = toy_dataset(512, |a, b| a + b);
+        for opt in [
+            Optimizer::Sgd { momentum: 0.9 },
+            Optimizer::Adam {
+                beta1: 0.9,
+                beta2: 0.999,
+            },
+        ] {
+            let mut mlp = Mlp::new(&[2, 8, 1], 4);
+            let report = mlp.train(
+                &data,
+                &data,
+                &TrainConfig {
+                    epochs: 30,
+                    batch: 32,
+                    lr: if matches!(opt, Optimizer::Sgd { .. }) {
+                        1e-2
+                    } else {
+                        3e-3
+                    },
+                    optimizer: opt,
+                    ..Default::default()
+                },
+            );
+            assert!(
+                report.best_val_mse() < 2e-2,
+                "{opt:?} failed to converge: {}",
+                report.best_val_mse()
+            );
+        }
+    }
+
+    #[test]
+    fn num_weights_counts_parameters() {
+        let mlp = Mlp::new(&[17, 64, 1], 0);
+        assert_eq!(mlp.num_weights(), 17 * 64 + 64 + 64 + 1);
+    }
+
+    #[test]
+    fn predict_one_matches_batch() {
+        let mlp = Mlp::new(&[3, 8, 1], 9);
+        let x = Mat::from_vec(2, 3, vec![0.1, 0.2, 0.3, -0.5, 0.4, 0.9]);
+        let batch = mlp.predict_batch(&x);
+        assert_eq!(mlp.predict_one(&[0.1, 0.2, 0.3]), batch[0]);
+        assert_eq!(mlp.predict_one(&[-0.5, 0.4, 0.9]), batch[1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "regression head")]
+    fn output_must_be_scalar() {
+        let _ = Mlp::new(&[3, 8, 2], 0);
+    }
+}

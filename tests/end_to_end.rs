@@ -1,0 +1,118 @@
+//! End-to-end integration: train tuners through the facade, tune inputs,
+//! execute the selected kernels on the functional VM, and check numerics
+//! against CPU references.
+
+use isaac::gen::reference;
+use isaac::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn quick(kind: OpKind) -> IsaacTuner {
+    IsaacTuner::train(
+        tesla_p100(),
+        kind,
+        TrainOptions {
+            samples: 4_000,
+            hidden: vec![32, 32],
+            epochs: 6,
+            ..Default::default()
+        },
+    )
+}
+
+fn rand_vec(len: usize, seed: u64) -> Vec<f32> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..len).map(|_| rng.gen_range(-1.0..1.0)).collect()
+}
+
+#[test]
+fn gemm_tune_and_execute_three_layouts() {
+    let mut tuner = quick(OpKind::Gemm);
+    for (ta, tb) in [("N", "N"), ("N", "T"), ("T", "N")] {
+        let shape = GemmShape::new(72, 56, 96, ta, tb, DType::F32);
+        let a = rand_vec(shape.a_len(), 1);
+        let b = rand_vec(shape.b_len(), 2);
+        let c = tuner
+            .gemm_f32(&shape, &a, &b)
+            .unwrap_or_else(|| panic!("execution failed for {ta}{tb}"));
+        let mut want = vec![0.0f32; shape.c_len()];
+        reference::gemm_f32(&shape, &a, &b, &mut want);
+        for (i, (g, w)) in c.iter().zip(&want).enumerate() {
+            assert!(
+                (g - w).abs() < 1e-3,
+                "{ta}{tb} mismatch at {i}: {g} vs {w}"
+            );
+        }
+    }
+}
+
+#[test]
+fn conv_tune_and_execute() {
+    let mut tuner = quick(OpKind::Conv);
+    let shape = ConvShape::from_output(4, 5, 6, 16, 8, 3, 3, DType::F32);
+    let input = rand_vec(shape.i_len(), 3);
+    let filters = rand_vec(shape.f_len(), 4);
+    let out = tuner.conv_f32(&shape, &input, &filters).expect("runs");
+    let mut want = vec![0.0f32; shape.o_len()];
+    reference::conv_f32(&shape, &input, &filters, &mut want);
+    for (i, (g, w)) in out.iter().zip(&want).enumerate() {
+        assert!((g - w).abs() < 1e-3, "mismatch at {i}: {g} vs {w}");
+    }
+}
+
+#[test]
+fn f64_gemm_through_facade() {
+    let mut tuner = IsaacTuner::train(
+        tesla_p100(),
+        OpKind::Gemm,
+        TrainOptions {
+            samples: 4_000,
+            hidden: vec![32, 32],
+            epochs: 6,
+            dtypes: vec![DType::F64],
+            ..Default::default()
+        },
+    );
+    let shape = GemmShape::new(48, 48, 64, "N", "T", DType::F64);
+    let a: Vec<f64> = rand_vec(shape.a_len(), 5).iter().map(|&x| x as f64).collect();
+    let b: Vec<f64> = rand_vec(shape.b_len(), 6).iter().map(|&x| x as f64).collect();
+    let c = tuner.gemm_f64(&shape, &a, &b).expect("runs");
+    let mut want = vec![0.0f64; shape.c_len()];
+    reference::gemm_f64(&shape, &a, &b, &mut want);
+    for (g, w) in c.iter().zip(&want) {
+        assert!((g - w).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn tuned_kernels_emit_valid_ptx() {
+    let mut tuner = quick(OpKind::Gemm);
+    let shape = GemmShape::new(2560, 16, 2560, "N", "N", DType::F32);
+    let choice = tuner.tune_gemm(&shape).expect("selects");
+    let built = isaac::gen::gemm::build_kernel(&choice.config, &shape);
+    let text = emit_ptx(&built.kernel, "sm_60");
+    let module = isaac::ir::ptx::parse_module(&text).expect("parses");
+    module.validate().expect("validates");
+    assert!(module.instrs.iter().any(|i| i.pred.is_some()), "predication present");
+}
+
+#[test]
+fn input_awareness_changes_selection() {
+    // The whole point of the paper: different inputs get different
+    // kernels from the same trained model.
+    let mut tuner = quick(OpKind::Gemm);
+    let square = tuner
+        .tune_gemm(&GemmShape::new(2048, 2048, 2048, "N", "T", DType::F32))
+        .expect("square");
+    let skinny = tuner
+        .tune_gemm(&GemmShape::new(2560, 16, 2560, "N", "N", DType::F32))
+        .expect("skinny");
+    let deep = tuner
+        .tune_gemm(&GemmShape::new(32, 32, 60000, "N", "T", DType::F32))
+        .expect("deep");
+    assert_ne!(square.config, skinny.config);
+    assert_ne!(square.config, deep.config);
+    // Skinny N must not get a wide-N tile; deep K must get grid splitting.
+    assert!(skinny.config.nl <= 32, "skinny NL = {}", skinny.config.nl);
+    assert!(deep.config.kg > 1, "deep KG = {}", deep.config.kg);
+}
