@@ -142,8 +142,8 @@ impl CublasLike {
     fn utilization(&self, config: &GemmConfig, shape: &GemmShape) -> f64 {
         let gm = shape.m.div_ceil(config.ml) as f64;
         let gn = shape.n.div_ceil(config.nl) as f64;
-        let pad = (shape.m as f64 * shape.n as f64)
-            / (gm * config.ml as f64 * gn * config.nl as f64);
+        let pad =
+            (shape.m as f64 * shape.n as f64) / (gm * config.ml as f64 * gn * config.nl as f64);
         let blocks = gm * gn * config.kg as f64;
         let occupancy = (blocks / (2.0 * self.spec.sm_count as f64)).min(1.0);
         pad * occupancy
@@ -183,10 +183,10 @@ impl CublasLike {
             }
         };
         let chosen = pool.into_iter().max_by(|a, b| {
-            let ua = self.utilization(a, shape) * (a.vec as f64).sqrt()
-                + (a.ml * a.nl) as f64 * 1e-9;
-            let ub = self.utilization(b, shape) * (b.vec as f64).sqrt()
-                + (b.ml * b.nl) as f64 * 1e-9;
+            let ua =
+                self.utilization(a, shape) * (a.vec as f64).sqrt() + (a.ml * a.nl) as f64 * 1e-9;
+            let ub =
+                self.utilization(b, shape) * (b.vec as f64).sqrt() + (b.ml * b.nl) as f64 * 1e-9;
             ua.total_cmp(&ub)
         })?;
         let config = *chosen;

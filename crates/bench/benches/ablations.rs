@@ -21,13 +21,29 @@ use std::hint::black_box;
 fn ablation_bounds(c: &mut Criterion) {
     let spec = tesla_p100();
     let shapes = [
-        ("LINPACK 2048 (exact tiles)", GemmShape::new(2048, 2048, 2048, "N", "T", DType::F32)),
-        ("ragged 1900^3", GemmShape::new(1900, 1900, 1900, "N", "T", DType::F32)),
-        ("DeepBench 2560x32", GemmShape::new(2560, 32, 2560, "N", "N", DType::F32)),
+        (
+            "LINPACK 2048 (exact tiles)",
+            GemmShape::new(2048, 2048, 2048, "N", "T", DType::F32),
+        ),
+        (
+            "ragged 1900^3",
+            GemmShape::new(1900, 1900, 1900, "N", "T", DType::F32),
+        ),
+        (
+            "DeepBench 2560x32",
+            GemmShape::new(2560, 32, 2560, "N", "N", DType::F32),
+        ),
     ];
     let mut t = Table::new(
         "Section 8.3 ablation: bounds-checking strategies (TFLOPS, Tesla P100)",
-        &["shape", "PTX predication", "CUDA-style", "padded", "CUDA loss", "paper"],
+        &[
+            "shape",
+            "PTX predication",
+            "CUDA-style",
+            "padded",
+            "CUDA loss",
+            "paper",
+        ],
     );
     for (label, shape) in shapes {
         let base = if shape.n < 64 {
@@ -237,15 +253,21 @@ fn ablation_energy(c: &mut Criterion) {
     use isaac_device::estimate_energy;
 
     let spec = tesla_p100();
-    let mut tuner = cached_tuner(&spec, OpKind::Gemm, &[DType::F16, DType::F32, DType::F64]);
+    let tuner = cached_tuner(&spec, OpKind::Gemm, &[DType::F16, DType::F32, DType::F64]);
     let cublas = CublasLike::new(spec.clone());
     let mut t = Table::new(
         "Energy model: ISAAC vs cuBLAS heuristics (Tesla P100)",
         &["shape", "system", "TFLOPS", "avg W", "GFLOPS/W"],
     );
     for (label, shape) in [
-        ("DeepBench 2560x32", GemmShape::new(2560, 32, 2560, "N", "N", DType::F32)),
-        ("LINPACK 2048", GemmShape::new(2048, 2048, 2048, "N", "T", DType::F32)),
+        (
+            "DeepBench 2560x32",
+            GemmShape::new(2560, 32, 2560, "N", "N", DType::F32),
+        ),
+        (
+            "LINPACK 2048",
+            GemmShape::new(2048, 2048, 2048, "N", "T", DType::F32),
+        ),
     ] {
         if let Some(choice) = tuner.tune_gemm(&shape) {
             if let Ok(p) = gemm_profile(&choice.config, &shape, &spec) {

@@ -17,11 +17,11 @@ use isaac_core::features::conv_features;
 use isaac_core::inference::enumerate_legal_conv;
 use isaac_core::OpKind;
 use isaac_device::specs::{gtx980ti, tesla_p100};
-use isaac_device::{DeviceSpec, DType};
+use isaac_device::{DType, DeviceSpec};
 use std::hint::black_box;
 
 fn run_conv_figure(title: &str, spec: &DeviceSpec, dtype: DType, dtypes: &[DType]) {
-    let mut tuner = cached_tuner(spec, OpKind::Conv, dtypes);
+    let tuner = cached_tuner(spec, OpKind::Conv, dtypes);
     let cudnn = CudnnLike::new(spec.clone());
     let mut table = Table::new(
         title,

@@ -20,7 +20,7 @@ use isaac_bench::workloads::{table4_f32, table4_mixed, GemmTask};
 use isaac_core::features::gemm_features;
 use isaac_core::{enumerate_legal_gemm, OpKind};
 use isaac_device::specs::{gtx980ti, tesla_p100};
-use isaac_device::{DeviceSpec, DType};
+use isaac_device::{DType, DeviceSpec};
 use std::hint::black_box;
 
 fn run_gemm_figure(
@@ -30,7 +30,7 @@ fn run_gemm_figure(
     dtypes: &[DType],
     with_best: bool,
 ) {
-    let mut tuner = cached_tuner(spec, OpKind::Gemm, dtypes);
+    let tuner = cached_tuner(spec, OpKind::Gemm, dtypes);
     let cublas = CublasLike::new(spec.clone());
     let mut headers = vec![
         "suite", "x", "dtype", "M", "N", "K", "layout", "ISAAC", "cuBLAS",
@@ -63,7 +63,9 @@ fn run_gemm_figure(
             fmt_tflops(h_tf),
         ];
         if with_best {
-            row.push(fmt_tflops(best.as_ref().map_or(0.0, |c| c.measurement.tflops)));
+            row.push(fmt_tflops(
+                best.as_ref().map_or(0.0, |c| c.measurement.tflops),
+            ));
         }
         row.push(if h_tf > 0.0 {
             fmt_speedup(i_tf / h_tf)
@@ -94,7 +96,12 @@ fn figure7(c: &mut Criterion) {
         &[DType::F16, DType::F32, DType::F64],
         true,
     );
-    bench_model_eval(c, "figure7", &tesla_p100(), &[DType::F16, DType::F32, DType::F64]);
+    bench_model_eval(
+        c,
+        "figure7",
+        &tesla_p100(),
+        &[DType::F16, DType::F32, DType::F64],
+    );
 }
 
 fn figure8(c: &mut Criterion) {

@@ -1,0 +1,203 @@
+//! Serving-path benchmark: tuning queries per second, cold vs. cached.
+//!
+//! Measures the three tiers of the query engine introduced by the
+//! parallel-inference PR:
+//!
+//! * **cold serial** -- the engine with the rayon fan-out disabled
+//!   (`infer_gemm_serial`), the pre-parallelism baseline;
+//! * **cold parallel** -- the full engine (`infer_gemm`): chunked
+//!   legality + in-place features + batched MLP across all cores;
+//! * **cached** -- repeated `IsaacTuner::tune_gemm` hits against the
+//!   shape-keyed tune cache.
+//!
+//! Results are printed as a table and written to `BENCH_inference.json`
+//! at the workspace root so successive PRs can track the serving-path
+//! trajectory. Honours `ISAAC_SAMPLES`/`ISAAC_EPOCHS` for tuner training
+//! size and `RAYON_NUM_THREADS` for the fan-out width.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use isaac_bench::harness::env_usize;
+use isaac_bench::report::Table;
+use isaac_core::inference::{infer_gemm, infer_gemm_serial};
+use isaac_core::{engine_stats, IsaacTuner, OpKind, TrainOptions};
+use isaac_device::specs::tesla_p100;
+use isaac_device::{DType, Profiler};
+use isaac_gen::shapes::GemmShape;
+use isaac_mlp::io::ModelBundle;
+use isaac_mlp::{Mlp, Standardizer};
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Query mix: square (LINPACK), skinny (DeepBench RNN), deep-reduction
+/// (ICA covariance) -- the paper's three GEMM regimes.
+fn query_shapes() -> Vec<GemmShape> {
+    vec![
+        GemmShape::new(1024, 1024, 1024, "N", "T", DType::F32),
+        GemmShape::new(2560, 16, 2560, "N", "N", DType::F32),
+        GemmShape::new(32, 32, 60000, "T", "N", DType::F32),
+    ]
+}
+
+/// Random-weight bundle: query-path cost is independent of model quality,
+/// so the cold-path benchmark skips training.
+fn random_bundle() -> ModelBundle {
+    let nfeat = isaac_core::features::GEMM_FEATURES;
+    ModelBundle {
+        mlp: Mlp::with_hidden(nfeat, &[64, 128, 64], 7),
+        standardizer: Standardizer {
+            mean: vec![0.5; nfeat],
+            std: vec![2.0; nfeat],
+        },
+        y_mean: 4.0,
+        y_std: 0.8,
+    }
+}
+
+fn secs_per_query(mut run: impl FnMut()) -> f64 {
+    // One warmup, then enough reps to spend ~1s or at least 3 reps.
+    run();
+    let start = Instant::now();
+    let mut reps = 0u32;
+    while reps < 3 || (start.elapsed().as_secs_f64() < 1.0 && reps < 1000) {
+        run();
+        reps += 1;
+    }
+    start.elapsed().as_secs_f64() / reps as f64
+}
+
+fn write_json(path: &std::path::Path, fields: &[(&str, String)]) {
+    let body: Vec<String> = fields
+        .iter()
+        .map(|(k, v)| format!("  \"{k}\": {v}"))
+        .collect();
+    let text = format!("{{\n{}\n}}\n", body.join(",\n"));
+    if let Err(e) = std::fs::write(path, text) {
+        eprintln!("warning: could not write {}: {e}", path.display());
+    }
+}
+
+fn inference_throughput(c: &mut Criterion) {
+    let bundle = random_bundle();
+    let profiler = Profiler::new(tesla_p100(), 0x15AAC);
+    let shapes = query_shapes();
+    let top_k = 50;
+
+    // Cold path: serial reference vs. parallel engine, averaged over the
+    // query mix.
+    let cold_serial: f64 = shapes
+        .iter()
+        .map(|s| {
+            secs_per_query(|| {
+                black_box(infer_gemm_serial(&bundle, s, &profiler, top_k, true));
+            })
+        })
+        .sum::<f64>()
+        / shapes.len() as f64;
+    let cold_parallel: f64 = shapes
+        .iter()
+        .map(|s| {
+            secs_per_query(|| {
+                black_box(infer_gemm(&bundle, s, &profiler, top_k, true));
+            })
+        })
+        .sum::<f64>()
+        / shapes.len() as f64;
+
+    // Cached path: a trained tuner serving repeat queries.
+    let tuner = IsaacTuner::train(
+        tesla_p100(),
+        OpKind::Gemm,
+        TrainOptions {
+            samples: env_usize("ISAAC_SAMPLES", 4_000),
+            epochs: env_usize("ISAAC_EPOCHS", 4),
+            hidden: vec![32, 32],
+            ..Default::default()
+        },
+    );
+    for s in &shapes {
+        tuner.tune_gemm(s); // populate the cache
+    }
+    let shape = shapes[0];
+    let cached = {
+        let start = Instant::now();
+        let reps = 200_000u32;
+        for _ in 0..reps {
+            black_box(tuner.tune_gemm(black_box(&shape)));
+        }
+        start.elapsed().as_secs_f64() / f64::from(reps)
+    };
+    let stats = tuner.cache_stats();
+    let engine = engine_stats();
+    let threads = rayon::current_num_threads();
+
+    let mut table = Table::new(
+        "tuning queries/sec (GEMM, P100 model)",
+        &["path", "s/query", "queries/s", "speedup"],
+    );
+    table.row(vec![
+        "cold serial".into(),
+        format!("{cold_serial:.4}"),
+        format!("{:.2}", 1.0 / cold_serial),
+        "1.00x".into(),
+    ]);
+    table.row(vec![
+        format!("cold parallel ({threads} threads)"),
+        format!("{cold_parallel:.4}"),
+        format!("{:.2}", 1.0 / cold_parallel),
+        format!("{:.2}x", cold_serial / cold_parallel),
+    ]);
+    table.row(vec![
+        "cached".into(),
+        format!("{cached:.9}"),
+        format!("{:.0}", 1.0 / cached),
+        format!("{:.0}x", cold_parallel / cached),
+    ]);
+    table.print();
+
+    let json = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_inference.json");
+    write_json(
+        &json,
+        &[
+            ("threads", threads.to_string()),
+            ("query_shapes", shapes.len().to_string()),
+            ("top_k", top_k.to_string()),
+            ("cold_serial_s_per_query", format!("{cold_serial:.6}")),
+            ("cold_parallel_s_per_query", format!("{cold_parallel:.6}")),
+            (
+                "parallel_speedup",
+                format!("{:.3}", cold_serial / cold_parallel),
+            ),
+            ("cached_s_per_query", format!("{cached:.9}")),
+            (
+                "cached_speedup_vs_cold",
+                format!("{:.1}", cold_parallel / cached),
+            ),
+            ("cache_hits", stats.hits.to_string()),
+            ("cache_misses", stats.misses.to_string()),
+            (
+                "engine_scratches_created",
+                engine.scratches_created.to_string(),
+            ),
+            ("engine_buffer_growths", engine.buffer_growths.to_string()),
+        ],
+    );
+    println!(
+        "wrote {} (parallel speedup {:.2}x, cached {:.0}x over cold)",
+        json.display(),
+        cold_serial / cold_parallel,
+        cold_parallel / cached
+    );
+
+    // Criterion entry so `cargo bench inference` shows a standard line.
+    let mut group = c.benchmark_group("inference");
+    group.sample_size(10);
+    group.bench_function("cached_tune_gemm", |b| {
+        b.iter(|| black_box(tuner.tune_gemm(black_box(&shape))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, inference_throughput);
+criterion_main!(benches);

@@ -118,5 +118,12 @@ fn enumeration(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, vm_execution, ptx_pipeline, simulator, samplers, enumeration);
+criterion_group!(
+    benches,
+    vm_execution,
+    ptx_pipeline,
+    simulator,
+    samplers,
+    enumeration
+);
 criterion_main!(benches);

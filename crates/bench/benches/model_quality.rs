@@ -46,12 +46,7 @@ fn gen_data(log_features: bool, samples: usize, seed: u64) -> Dataset {
     )
 }
 
-fn train_arch(
-    data: &Dataset,
-    hidden: &[usize],
-    epochs: usize,
-    seed: u64,
-) -> (usize, f32) {
+fn train_arch(data: &Dataset, hidden: &[usize], epochs: usize, seed: u64) -> (usize, f32) {
     let mut rng = StdRng::seed_from_u64(seed);
     let (mut train, mut val) = data.split(0.12, &mut rng);
     let (sx, ym, ys) = train.standardize();
@@ -139,7 +134,11 @@ fn figure5(c: &mut Criterion) {
         let last = *series.last().expect("nonempty");
         println!(
             "trend: MSE {}{} with more data (paper Figure 5 saturates near 150k samples)",
-            if last <= first { "decreases " } else { "INCREASES " },
+            if last <= first {
+                "decreases "
+            } else {
+                "INCREASES "
+            },
             format_args!("({first:.4} -> {last:.4})"),
         );
     }

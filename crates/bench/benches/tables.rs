@@ -13,8 +13,8 @@ use isaac_baselines::CublasLike;
 use isaac_bench::harness::cached_tuner;
 use isaac_bench::report::Table;
 use isaac_bench::workloads::table6_problems;
-use isaac_core::sampling::{acceptance_rate, raw_space, CategoricalSampler, UniformSampler};
 use isaac_core::dataset::{random_conv_shape, random_gemm_shape};
+use isaac_core::sampling::{acceptance_rate, raw_space, CategoricalSampler, UniformSampler};
 use isaac_core::OpKind;
 use isaac_device::specs::{gtx980ti, tesla_p100};
 use isaac_device::{simulate, DType};
@@ -22,31 +22,40 @@ use isaac_gen::profile::gemm_profile;
 use isaac_gen::GemmConfig;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::cell::RefCell;
 use std::hint::black_box;
 
 fn table1(c: &mut Criterion) {
     let spec = tesla_p100();
     let trials = isaac_bench::harness::env_usize("ISAAC_T1_TRIALS", 40_000);
 
-    // Joint (shape, config) legality: a fresh random shape per probe, as
-    // in dataset generation.
+    // Joint (shape, config) legality: a random shape per probe, seeded
+    // from a hash of the full config vector so the closure is `Sync`
+    // (the calibration phase fans out across threads) while distinct
+    // configs still draw effectively independent shapes.
+    fn cfg_seed(salt: u64, cfg: &GemmConfig) -> u64 {
+        let mut h = salt ^ 0x9E37_79B9_7F4A_7C15;
+        for v in cfg.as_vector() {
+            h = (h ^ v as u64).wrapping_mul(0x100_0000_01B3);
+            h ^= h >> 29;
+        }
+        h
+    }
     let gemm_legal = {
         let spec = spec.clone();
-        let rng = RefCell::new(StdRng::seed_from_u64(101));
         move |cfg: &GemmConfig| {
-            let shape = random_gemm_shape(&mut rng.borrow_mut(), &[DType::F32]);
+            let mut rng = StdRng::seed_from_u64(cfg_seed(101, cfg));
+            let shape = random_gemm_shape(&mut rng, &[DType::F32]);
             isaac_gen::legality::check_physical(cfg, &shape, &spec).is_ok()
         }
     };
     let conv_legal = {
         let spec = spec.clone();
-        let rng = RefCell::new(StdRng::seed_from_u64(102));
         move |cfg: &GemmConfig| {
-            let shape = random_conv_shape(&mut rng.borrow_mut(), &[DType::F32]);
+            let mut rng = StdRng::seed_from_u64(cfg_seed(102, cfg));
+            let shape = random_conv_shape(&mut rng, &[DType::F32]);
             let g = isaac_gen::conv::equivalent_gemm(&shape);
             isaac_gen::legality::check_physical(cfg, &g, &spec).is_ok()
-                && (cfg.vec == 1 || shape.n % cfg.vec == 0)
+                && (cfg.vec == 1 || shape.n.is_multiple_of(cfg.vec))
         }
     };
 
@@ -108,10 +117,12 @@ fn table3(c: &mut Criterion) {
 
 fn table6(c: &mut Criterion) {
     let spec = tesla_p100();
-    let mut tuner = cached_tuner(&spec, OpKind::Gemm, &[DType::F16, DType::F32, DType::F64]);
+    let tuner = cached_tuner(&spec, OpKind::Gemm, &[DType::F16, DType::F32, DType::F64]);
     let mut t = Table::new(
         "Table 6: parameterization choices of ISAAC (Tesla P100)",
-        &["problem", "Ms", "Ns", "ML", "NL", "U", "Ks", "KL", "KG", "vec", "TFLOPS"],
+        &[
+            "problem", "Ms", "Ns", "ML", "NL", "U", "Ks", "KL", "KG", "vec", "TFLOPS",
+        ],
     );
     for (label, shape) in table6_problems() {
         if let Some(choice) = tuner.tune_gemm(&shape) {
@@ -140,14 +151,16 @@ fn table7(c: &mut Criterion) {
     // 2560) on the Tesla P100.
     let spec = tesla_p100();
     let shape = isaac_gen::shapes::GemmShape::new(2560, 32, 2560, "N", "N", DType::F32);
-    let mut tuner = cached_tuner(&spec, OpKind::Gemm, &[DType::F16, DType::F32, DType::F64]);
+    let tuner = cached_tuner(&spec, OpKind::Gemm, &[DType::F16, DType::F32, DType::F64]);
     let cublas = CublasLike::new(spec.clone());
 
     let isaac_choice = tuner.tune_gemm(&shape).expect("ISAAC selects");
     let cublas_choice = cublas.best_kernel_gemm(&shape).expect("cuBLAS selects");
 
     let ip = gemm_profile(&isaac_choice.config, &shape, &spec).expect("legal");
-    let cp = cublas.profile(&cublas_choice.config, &shape).expect("legal");
+    let cp = cublas
+        .profile(&cublas_choice.config, &shape)
+        .expect("legal");
     let ir = simulate(&spec, &ip).expect("simulates");
     let cr = simulate(&spec, &cp).expect("simulates");
 
@@ -156,19 +169,47 @@ fn table7(c: &mut Criterion) {
         &["metric", "ISAAC", "cuBLAS (best kernel)"],
     );
     let rows: Vec<(&str, String, String)> = vec![
-        ("TFLOPS", format!("{:.2}", ir.tflops), format!("{:.2}", cr.tflops)),
+        (
+            "TFLOPS",
+            format!("{:.2}", ir.tflops),
+            format!("{:.2}", cr.tflops),
+        ),
         ("ML", ip.name.clone(), cp.name.clone()),
-        ("tile ML", isaac_choice.config.ml.to_string(), cublas_choice.config.ml.to_string()),
-        ("tile NL", isaac_choice.config.nl.to_string(), cublas_choice.config.nl.to_string()),
-        ("KL", isaac_choice.config.kl.to_string(), cublas_choice.config.kl.to_string()),
-        ("KG", isaac_choice.config.kg.to_string(), cublas_choice.config.kg.to_string()),
-        ("prefetch U", isaac_choice.config.u.to_string(), cublas_choice.config.u.to_string()),
+        (
+            "tile ML",
+            isaac_choice.config.ml.to_string(),
+            cublas_choice.config.ml.to_string(),
+        ),
+        (
+            "tile NL",
+            isaac_choice.config.nl.to_string(),
+            cublas_choice.config.nl.to_string(),
+        ),
+        (
+            "KL",
+            isaac_choice.config.kl.to_string(),
+            cublas_choice.config.kl.to_string(),
+        ),
+        (
+            "KG",
+            isaac_choice.config.kg.to_string(),
+            cublas_choice.config.kg.to_string(),
+        ),
+        (
+            "prefetch U",
+            isaac_choice.config.u.to_string(),
+            cublas_choice.config.u.to_string(),
+        ),
         (
             "shared memory",
             format!("{:.2} kB", ip.smem_per_block as f64 / 1024.0),
             format!("{:.2} kB", cp.smem_per_block as f64 / 1024.0),
         ),
-        ("registers", ip.regs_per_thread.to_string(), cp.regs_per_thread.to_string()),
+        (
+            "registers",
+            ip.regs_per_thread.to_string(),
+            cp.regs_per_thread.to_string(),
+        ),
         (
             "occupancy",
             format!("{:.0}%", 100.0 * ir.occupancy.fraction),
@@ -179,7 +220,11 @@ fn table7(c: &mut Criterion) {
             format!("{:.0}%", 100.0 * ir.l2_hit_rate),
             format!("{:.0}%", 100.0 * cr.l2_hit_rate),
         ),
-        ("bottleneck", ir.bottleneck.to_string(), cr.bottleneck.to_string()),
+        (
+            "bottleneck",
+            ir.bottleneck.to_string(),
+            cr.bottleneck.to_string(),
+        ),
     ];
     for (k, a, b) in rows {
         if k == "ML" {

@@ -101,7 +101,7 @@ mod tests {
 
     #[test]
     fn formatters() {
-        assert_eq!(fmt_tflops(3.14159), "3.14");
+        assert_eq!(fmt_tflops(1.2345), "1.23");
         assert_eq!(fmt_speedup(1.849), "1.85x");
     }
 }

@@ -17,7 +17,12 @@ pub struct GemmTask {
 /// The GEMM tasks of paper Table 4, in figure order, for a data type per
 /// suite chosen by the caller (Figures 6/7 use f32 everywhere; Figure 8
 /// uses f16 for LINPACK/DeepBench and f64 for ICA/SVD).
-pub fn table4(linpack_dt: DType, deepbench_dt: DType, ica_dt: DType, svd_dt: DType) -> Vec<GemmTask> {
+pub fn table4(
+    linpack_dt: DType,
+    deepbench_dt: DType,
+    ica_dt: DType,
+    svd_dt: DType,
+) -> Vec<GemmTask> {
     let mut tasks = Vec::new();
     for s in [512u32, 1024, 2048] {
         tasks.push(GemmTask {
@@ -108,16 +113,46 @@ pub fn table5(dtype: DType) -> Vec<ConvTask> {
 /// The Table 6 problem subset (parameterization-choice table).
 pub fn table6_problems() -> Vec<(String, GemmShape)> {
     vec![
-        ("LINPACK (512)".into(), GemmShape::new(512, 512, 512, "N", "T", DType::F32)),
-        ("LINPACK (2048)".into(), GemmShape::new(2048, 2048, 2048, "N", "T", DType::F32)),
-        ("DeepBench-F (16)".into(), GemmShape::new(2560, 16, 2560, "N", "N", DType::F32)),
-        ("DeepBench-F (128)".into(), GemmShape::new(2560, 128, 2560, "N", "N", DType::F32)),
-        ("DeepBench-B (16)".into(), GemmShape::new(2560, 16, 2560, "T", "N", DType::F32)),
-        ("DeepBench-B (128)".into(), GemmShape::new(2560, 128, 2560, "T", "N", DType::F32)),
-        ("ICA (32)".into(), GemmShape::new(32, 32, 60000, "N", "T", DType::F32)),
-        ("ICA (256)".into(), GemmShape::new(256, 256, 60000, "N", "T", DType::F32)),
-        ("LAPACK (896)".into(), GemmShape::new(896, 896, 32, "N", "T", DType::F32)),
-        ("LAPACK (4096)".into(), GemmShape::new(4096, 4096, 32, "N", "T", DType::F32)),
+        (
+            "LINPACK (512)".into(),
+            GemmShape::new(512, 512, 512, "N", "T", DType::F32),
+        ),
+        (
+            "LINPACK (2048)".into(),
+            GemmShape::new(2048, 2048, 2048, "N", "T", DType::F32),
+        ),
+        (
+            "DeepBench-F (16)".into(),
+            GemmShape::new(2560, 16, 2560, "N", "N", DType::F32),
+        ),
+        (
+            "DeepBench-F (128)".into(),
+            GemmShape::new(2560, 128, 2560, "N", "N", DType::F32),
+        ),
+        (
+            "DeepBench-B (16)".into(),
+            GemmShape::new(2560, 16, 2560, "T", "N", DType::F32),
+        ),
+        (
+            "DeepBench-B (128)".into(),
+            GemmShape::new(2560, 128, 2560, "T", "N", DType::F32),
+        ),
+        (
+            "ICA (32)".into(),
+            GemmShape::new(32, 32, 60000, "N", "T", DType::F32),
+        ),
+        (
+            "ICA (256)".into(),
+            GemmShape::new(256, 256, 60000, "N", "T", DType::F32),
+        ),
+        (
+            "LAPACK (896)".into(),
+            GemmShape::new(896, 896, 32, "N", "T", DType::F32),
+        ),
+        (
+            "LAPACK (4096)".into(),
+            GemmShape::new(4096, 4096, 32, "N", "T", DType::F32),
+        ),
     ]
 }
 
@@ -135,7 +170,7 @@ mod tests {
         let t = table5(DType::F32);
         assert_eq!(t.len(), 14);
         let c1 = &t[0].shape;
-        assert_eq!(c1.npq(), 431024 / 1); // 16*79*341
+        assert_eq!(c1.npq(), 431024); // 16*79*341
         assert_eq!(c1.crs(), 100);
         let c12 = &t[11].shape;
         assert_eq!(c12.npq(), 77824);
@@ -145,8 +180,14 @@ mod tests {
     #[test]
     fn figure8_precisions() {
         let t = table4_mixed();
-        assert!(t.iter().filter(|t| t.suite == "LINPACK").all(|t| t.shape.dtype == DType::F16));
-        assert!(t.iter().filter(|t| t.suite == "ICA").all(|t| t.shape.dtype == DType::F64));
+        assert!(t
+            .iter()
+            .filter(|t| t.suite == "LINPACK")
+            .all(|t| t.shape.dtype == DType::F16));
+        assert!(t
+            .iter()
+            .filter(|t| t.suite == "ICA")
+            .all(|t| t.shape.dtype == DType::F64));
     }
 
     #[test]

@@ -1,0 +1,253 @@
+//! A minimal, dependency-free stand-in for the `criterion` crate.
+//!
+//! The build environment has no network access to crates.io, so this
+//! workspace vendors the subset the bench harnesses use: `Criterion`,
+//! `benchmark_group` with `sample_size`/`throughput`, `bench_function`
+//! with `Bencher::iter`, the `criterion_group!`/`criterion_main!` macros
+//! and `black_box`.
+//!
+//! Statistics are intentionally simple -- a warmup iteration followed by a
+//! time-bounded measurement loop reporting mean and best time per
+//! iteration. The point of the bench targets in this repository is the
+//! *tables and JSON reports they print*, not criterion's estimator; see
+//! `crates/bench`.
+
+pub use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Measurement budget per benchmark (wall clock).
+const TIME_BUDGET: Duration = Duration::from_secs(2);
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // First free argument (if any) is a name filter, like criterion's.
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Criterion { filter }
+    }
+}
+
+impl Criterion {
+    /// Parse CLI options (accepted for API compatibility).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 20,
+            throughput: None,
+        }
+    }
+
+    /// Run a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<String>, f: F) {
+        let id = id.into();
+        run_bench(&id, self.filter.as_deref(), 20, None, f);
+    }
+}
+
+/// A group of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the target number of measured iterations.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Annotate throughput for per-element/byte rates.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl std::fmt::Display,
+        f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        run_bench(
+            &full,
+            self.criterion.filter.as_deref(),
+            self.sample_size,
+            self.throughput,
+            f,
+        );
+        self
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+/// Passed to benchmark closures; drives the measurement loop.
+pub struct Bencher {
+    sample_size: usize,
+    /// Mean seconds per iteration, populated by `iter`.
+    mean_s: f64,
+    /// Best seconds per iteration.
+    best_s: f64,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Measure `routine`: one warmup call, then up to `sample_size`
+    /// timed iterations within the time budget.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        black_box(routine());
+        let started = Instant::now();
+        let mut total = Duration::ZERO;
+        let mut best = Duration::MAX;
+        let mut iters = 0u64;
+        while iters < self.sample_size as u64 && started.elapsed() < TIME_BUDGET {
+            let t0 = Instant::now();
+            black_box(routine());
+            let dt = t0.elapsed();
+            total += dt;
+            best = best.min(dt);
+            iters += 1;
+        }
+        self.iters = iters.max(1);
+        self.mean_s = total.as_secs_f64() / self.iters as f64;
+        self.best_s = if best == Duration::MAX {
+            self.mean_s
+        } else {
+            best.as_secs_f64()
+        };
+    }
+}
+
+fn fmt_time(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.3} s")
+    } else if s >= 1e-3 {
+        format!("{:.3} ms", s * 1e3)
+    } else if s >= 1e-6 {
+        format!("{:.3} us", s * 1e6)
+    } else {
+        format!("{:.1} ns", s * 1e9)
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(
+    id: &str,
+    filter: Option<&str>,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
+    if let Some(pat) = filter {
+        if !id.contains(pat) {
+            return;
+        }
+    }
+    let mut b = Bencher {
+        sample_size,
+        mean_s: 0.0,
+        best_s: 0.0,
+        iters: 0,
+    };
+    f(&mut b);
+    let mut line = format!(
+        "{id:<48} mean {:>12}  best {:>12}  ({} iters)",
+        fmt_time(b.mean_s),
+        fmt_time(b.best_s),
+        b.iters
+    );
+    if let Some(tp) = throughput {
+        let (count, unit) = match tp {
+            Throughput::Elements(n) => (n, "elem/s"),
+            Throughput::Bytes(n) => (n, "B/s"),
+        };
+        if b.mean_s > 0.0 {
+            line.push_str(&format!("  {:.3e} {unit}", count as f64 / b.mean_s));
+        }
+    }
+    println!("{line}");
+}
+
+/// Group benchmark functions under a single callable, like criterion's.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generate `main` running the given groups, like criterion's.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut c = Criterion { filter: None };
+        let mut ran = 0u32;
+        c.bench_function("smoke", |b| {
+            b.iter(|| {
+                ran += 1;
+            })
+        });
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn group_filter_skips_nonmatching() {
+        let mut c = Criterion {
+            filter: Some("only-this".into()),
+        };
+        let mut g = c.benchmark_group("other");
+        let mut ran = false;
+        g.bench_function("case", |b| {
+            ran = true;
+            b.iter(|| {});
+        });
+        g.finish();
+        assert!(!ran);
+    }
+
+    #[test]
+    fn time_formatting_scales() {
+        assert!(fmt_time(2.0).ends_with(" s"));
+        assert!(fmt_time(2e-3).ends_with(" ms"));
+        assert!(fmt_time(2e-6).ends_with(" us"));
+        assert!(fmt_time(2e-9).ends_with(" ns"));
+    }
+}

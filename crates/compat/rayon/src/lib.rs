@@ -1,0 +1,249 @@
+//! A minimal, dependency-free stand-in for the `rayon` crate.
+//!
+//! The build environment has no network access to crates.io, so this
+//! workspace vendors the indexed-parallel-iterator subset the query engine
+//! uses: `into_par_iter()` over ranges, `par_iter()` over slices, `map`,
+//! and ordered `collect` into a `Vec`.
+//!
+//! Semantics match rayon where it matters for determinism: items are
+//! produced from an *indexed* source and collected **in index order**, so
+//! results are bit-identical regardless of how many worker threads run.
+//! Work is fanned out over `std::thread::scope` in contiguous index
+//! chunks; with one hardware thread (or `RAYON_NUM_THREADS=1`) everything
+//! runs inline on the caller's stack.
+
+use std::ops::Range;
+use std::sync::OnceLock;
+
+/// Number of worker threads used for fan-out. Honors `RAYON_NUM_THREADS`
+/// (like real rayon), defaulting to the host's available parallelism.
+pub fn current_num_threads() -> usize {
+    static N: OnceLock<usize> = OnceLock::new();
+    *N.get_or_init(|| {
+        std::env::var("RAYON_NUM_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            })
+    })
+}
+
+/// The glob-import module, mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::{
+        FromParallelIterator, IntoParallelIterator, IntoParallelRefIterator, ParallelIterator,
+    };
+}
+
+/// An indexed parallel iterator: a `Sync` source of `p_len()` items that
+/// can be produced independently at any index.
+pub trait ParallelIterator: Sync + Sized {
+    /// Item type.
+    type Item: Send;
+
+    /// Number of items.
+    fn p_len(&self) -> usize;
+
+    /// Produce the item at index `i`.
+    fn p_get(&self, i: usize) -> Self::Item;
+
+    /// Lazily map every item.
+    fn map<R, F>(self, f: F) -> Map<Self, F>
+    where
+        R: Send,
+        F: Fn(Self::Item) -> R + Sync,
+    {
+        Map { base: self, f }
+    }
+
+    /// Run the pipeline and collect items in index order.
+    fn collect<C: FromParallelIterator<Self::Item>>(self) -> C {
+        C::from_ordered_vec(run(&self))
+    }
+}
+
+/// Collection from an ordered item vector (the shim's `FromParallelIterator`).
+pub trait FromParallelIterator<T> {
+    /// Build the collection from items already in index order.
+    fn from_ordered_vec(items: Vec<T>) -> Self;
+}
+
+impl<T> FromParallelIterator<T> for Vec<T> {
+    fn from_ordered_vec(items: Vec<T>) -> Self {
+        items
+    }
+}
+
+/// Evaluate an indexed pipeline across threads, preserving index order.
+fn run<P: ParallelIterator>(p: &P) -> Vec<P::Item> {
+    let n = p.p_len();
+    let threads = current_num_threads().min(n.max(1));
+    if threads <= 1 {
+        return (0..n).map(|i| p.p_get(i)).collect();
+    }
+    let chunk = n.div_ceil(threads);
+    let mut parts: Vec<Vec<P::Item>> = Vec::with_capacity(threads);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                s.spawn(move || {
+                    let lo = t * chunk;
+                    let hi = ((t + 1) * chunk).min(n);
+                    (lo..hi).map(|i| p.p_get(i)).collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        for h in handles {
+            parts.push(h.join().expect("worker thread panicked"));
+        }
+    });
+    let mut out = Vec::with_capacity(n);
+    for part in parts {
+        out.extend(part);
+    }
+    out
+}
+
+/// Conversion into a parallel iterator (by value).
+pub trait IntoParallelIterator {
+    /// The iterator produced.
+    type Iter: ParallelIterator;
+    /// Convert.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+/// Conversion into a parallel iterator over references.
+pub trait IntoParallelRefIterator<'a> {
+    /// The iterator produced.
+    type Iter: ParallelIterator;
+    /// Borrowing conversion.
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+/// Parallel iterator over a `Range<usize>`.
+pub struct RangeIter {
+    start: usize,
+    end: usize,
+}
+
+impl ParallelIterator for RangeIter {
+    type Item = usize;
+
+    fn p_len(&self) -> usize {
+        self.end - self.start
+    }
+
+    fn p_get(&self, i: usize) -> usize {
+        self.start + i
+    }
+}
+
+impl IntoParallelIterator for Range<usize> {
+    type Iter = RangeIter;
+
+    fn into_par_iter(self) -> RangeIter {
+        RangeIter {
+            start: self.start,
+            end: self.end.max(self.start),
+        }
+    }
+}
+
+/// Parallel iterator over slice references.
+pub struct SliceIter<'a, T: Sync> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> ParallelIterator for SliceIter<'a, T> {
+    type Item = &'a T;
+
+    fn p_len(&self) -> usize {
+        self.slice.len()
+    }
+
+    fn p_get(&self, i: usize) -> &'a T {
+        &self.slice[i]
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Iter = SliceIter<'a, T>;
+
+    fn par_iter(&'a self) -> SliceIter<'a, T> {
+        SliceIter { slice: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Iter = SliceIter<'a, T>;
+
+    fn par_iter(&'a self) -> SliceIter<'a, T> {
+        SliceIter { slice: self }
+    }
+}
+
+/// Lazily mapped parallel iterator.
+pub struct Map<B, F> {
+    base: B,
+    f: F,
+}
+
+impl<B, R, F> ParallelIterator for Map<B, F>
+where
+    B: ParallelIterator,
+    R: Send,
+    F: Fn(B::Item) -> R + Sync,
+{
+    type Item = R;
+
+    fn p_len(&self) -> usize {
+        self.base.p_len()
+    }
+
+    fn p_get(&self, i: usize) -> R {
+        (self.f)(self.base.p_get(i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn range_map_collect_preserves_order() {
+        let out: Vec<usize> = (0..1000usize).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(out.len(), 1000);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, i * 2);
+        }
+    }
+
+    #[test]
+    fn slice_par_iter_matches_serial() {
+        let data: Vec<u64> = (0..5000).map(|i| i * 3 + 1).collect();
+        let par: Vec<u64> = data.par_iter().map(|&v| v.wrapping_mul(7)).collect();
+        let ser: Vec<u64> = data.iter().map(|&v| v.wrapping_mul(7)).collect();
+        assert_eq!(par, ser);
+    }
+
+    #[test]
+    fn empty_range_collects_empty() {
+        let out: Vec<usize> = (5..5usize).into_par_iter().map(|i| i).collect();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn nested_maps_compose() {
+        let out: Vec<String> = (0..10usize)
+            .into_par_iter()
+            .map(|i| i + 1)
+            .map(|i| format!("v{i}"))
+            .collect();
+        assert_eq!(out[0], "v1");
+        assert_eq!(out[9], "v10");
+    }
+}

@@ -8,7 +8,7 @@
 //! covering the paper's evaluation workloads (LINPACK squares through
 //! ICA's K = 60000 deep reductions).
 
-use crate::features::{conv_features, gemm_features};
+use crate::features::{conv_features_into, gemm_features_into, CONV_FEATURES, GEMM_FEATURES};
 use crate::sampling::CategoricalSampler;
 use isaac_device::{DType, Profiler};
 use isaac_gen::profile::{conv_profile, gemm_profile};
@@ -16,6 +16,7 @@ use isaac_gen::shapes::{ConvShape, GemmShape};
 use isaac_mlp::{Dataset, Mat};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
 
 /// Which operation a tuner instance covers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -89,44 +90,118 @@ pub fn random_gemm_shape(rng: &mut StdRng, dtypes: &[DType]) -> GemmShape {
 
 /// Random CONV shape covering the Table 5 ranges.
 pub fn random_conv_shape(rng: &mut StdRng, dtypes: &[DType]) -> ConvShape {
-    let r = *[1u32, 3, 5].get(rng.gen_range(0..3)).unwrap();
+    let r = *[1u32, 3, 5].get(rng.gen_range(0..3usize)).unwrap();
     let s = if rng.gen_bool(0.15) {
         // occasionally rectangular (DeepSpeech-style)
-        *[5u32, 10, 20].get(rng.gen_range(0..3)).unwrap()
+        *[5u32, 10, 20].get(rng.gen_range(0..3usize)).unwrap()
     } else {
         r
     };
     let p = log_uniform(rng, 4, 128).min(128);
     let q = log_uniform(rng, 4, 128).min(128);
     ConvShape::from_output(
-        1 << rng.gen_range(0..6),          // N in 1..32
+        1u32 << rng.gen_range(0..6u32), // N in 1..32
         p,
         q,
-        log_uniform(rng, 16, 2048),        // K filters
-        log_uniform(rng, 1, 1024),         // C channels
+        log_uniform(rng, 16, 2048), // K filters
+        log_uniform(rng, 1, 1024),  // C channels
         r,
         s,
         dtypes[rng.gen_range(0..dtypes.len())],
     )
 }
 
+/// Mix a base seed with a sample index into an independent per-sample
+/// stream seed (SplitMix64 finalizer). Per-sample seeding is what makes
+/// parallel dataset generation deterministic for any thread count.
+fn mix_seed(seed: u64, i: u64) -> u64 {
+    let mut z = seed ^ i.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Deterministic, `Sync`-friendly per-config probe seed for calibration:
+/// hashes the full parameter vector so distinct configs draw effectively
+/// independent calibration shapes.
+fn cfg_seed(salt: u64, cfg: &isaac_gen::GemmConfig) -> u64 {
+    let mut h = salt ^ 0x9E37_79B9_7F4A_7C15;
+    for v in cfg.as_vector() {
+        h = (h ^ v as u64).wrapping_mul(0x100_0000_01B3);
+        h ^= h >> 29;
+    }
+    h
+}
+
+/// Attempts per sample before giving up on it. The categorical sampler
+/// accepts a few percent of draws at worst, so the per-sample failure
+/// probability is negligible (~(1-p)^4096); failed slots are dropped.
+const SAMPLE_ATTEMPTS: usize = 4096;
+
+/// Samples generated per parallel work item.
+const GEN_CHUNK: usize = 256;
+
+/// Generate `samples` rows in parallel, each driven by its own seeded
+/// RNG: sample `i` draws (shape, config) pairs from stream `mix(seed, i)`
+/// until one survives legality + profiling + measurement, then writes its
+/// features in place. Chunks are concatenated in index order, so the
+/// dataset is identical for 1 thread and N threads.
+fn generate_rows(
+    samples: usize,
+    seed: u64,
+    nfeat: usize,
+    draw: impl Fn(&mut StdRng) -> Option<(Vec<f32>, f32)> + Sync,
+) -> Dataset {
+    let chunks = samples.div_ceil(GEN_CHUNK);
+    let parts: Vec<(Vec<f32>, Vec<f32>)> = (0..chunks)
+        .into_par_iter()
+        .map(|ci| {
+            let lo = ci * GEN_CHUNK;
+            let hi = ((ci + 1) * GEN_CHUNK).min(samples);
+            let mut flat = Vec::with_capacity((hi - lo) * nfeat);
+            let mut ys = Vec::with_capacity(hi - lo);
+            for i in lo..hi {
+                let mut rng = StdRng::seed_from_u64(mix_seed(seed, i as u64));
+                for _ in 0..SAMPLE_ATTEMPTS {
+                    if let Some((row, y)) = draw(&mut rng) {
+                        flat.extend_from_slice(&row);
+                        ys.push(y);
+                        break;
+                    }
+                }
+            }
+            (flat, ys)
+        })
+        .collect();
+    let total: usize = parts.iter().map(|(_, ys)| ys.len()).sum();
+    assert!(total > 0, "no legal samples generated");
+    let mut x = Mat::zeros(total, nfeat);
+    let mut y = Vec::with_capacity(total);
+    let mut r = 0usize;
+    for (flat, ys) in parts {
+        x.data_mut()[r * nfeat..r * nfeat + flat.len()].copy_from_slice(&flat);
+        r += ys.len();
+        y.extend(ys);
+    }
+    Dataset::new(x, y)
+}
+
 /// Generate a GEMM training dataset on the device behind `profiler`.
 ///
 /// Returns the raw (unstandardized) dataset; callers standardize with
-/// `Dataset::standardize` before training.
+/// `Dataset::standardize` before training. Generation fans out across
+/// cores (see [`generate_rows`]) and is deterministic in `opts.seed`.
 pub fn generate_gemm_dataset(profiler: &Profiler, opts: &DatasetOptions) -> Dataset {
     let spec = profiler.spec().clone();
-    let mut rng = StdRng::seed_from_u64(opts.seed);
     // Fit the generative model against a mixture of shapes, so the
     // acceptance function reflects the joint (input, tuning) legality.
-    let dtypes = opts.dtypes.clone();
     let cat = {
         let mut cal_rng = StdRng::seed_from_u64(opts.seed ^ 0xABCD);
         let spec = spec.clone();
-        let dtypes = dtypes.clone();
+        let dtypes = opts.dtypes.clone();
         CategoricalSampler::fit(
             move |cfg| {
-                let mut srng = StdRng::seed_from_u64(cfg.as_vector().iter().sum::<u32>() as u64);
+                let mut srng = StdRng::seed_from_u64(cfg_seed(0xABCD, cfg));
                 let shape = random_gemm_shape(&mut srng, &dtypes);
                 isaac_gen::legality::check(cfg, &shape, &spec).is_ok()
             },
@@ -136,37 +211,28 @@ pub fn generate_gemm_dataset(profiler: &Profiler, opts: &DatasetOptions) -> Data
         )
     };
 
-    let mut rows: Vec<Vec<f32>> = Vec::with_capacity(opts.samples);
-    let mut y = Vec::with_capacity(opts.samples);
-    let mut attempts = 0usize;
-    while rows.len() < opts.samples && attempts < opts.samples * 200 {
-        attempts += 1;
-        let shape = random_gemm_shape(&mut rng, &opts.dtypes);
-        let cfg = cat.sample(&mut rng);
-        let Ok(profile) = gemm_profile(&cfg, &shape, &spec) else {
-            continue;
-        };
-        let Ok(measurement) = profiler.measure(&profile) else {
-            continue;
-        };
-        rows.push(gemm_features(&shape, &cfg, opts.log_features));
-        y.push((measurement.tflops * 1e3).max(1e-6).ln() as f32); // ln GFLOPS
-    }
-    rows_to_dataset(rows, y)
+    generate_rows(opts.samples, opts.seed, GEMM_FEATURES, |rng| {
+        let shape = random_gemm_shape(rng, &opts.dtypes);
+        let cfg = cat.sample(rng);
+        let profile = gemm_profile(&cfg, &shape, &spec).ok()?;
+        let measurement = profiler.measure(&profile).ok()?;
+        let mut row = vec![0.0f32; GEMM_FEATURES];
+        gemm_features_into(&shape, &cfg, opts.log_features, &mut row);
+        Some((row, (measurement.tflops * 1e3).max(1e-6).ln() as f32)) // ln GFLOPS
+    })
 }
 
-/// Generate a CONV training dataset.
+/// Generate a CONV training dataset (parallel; see
+/// [`generate_gemm_dataset`]).
 pub fn generate_conv_dataset(profiler: &Profiler, opts: &DatasetOptions) -> Dataset {
     let spec = profiler.spec().clone();
-    let mut rng = StdRng::seed_from_u64(opts.seed);
-    let dtypes = opts.dtypes.clone();
     let cat = {
         let mut cal_rng = StdRng::seed_from_u64(opts.seed ^ 0xBEEF);
         let spec = spec.clone();
-        let dtypes = dtypes.clone();
+        let dtypes = opts.dtypes.clone();
         CategoricalSampler::fit(
             move |cfg| {
-                let mut srng = StdRng::seed_from_u64(cfg.as_vector().iter().sum::<u32>() as u64);
+                let mut srng = StdRng::seed_from_u64(cfg_seed(0xBEEF, cfg));
                 let shape = random_conv_shape(&mut srng, &dtypes);
                 isaac_gen::conv::check(cfg, &shape, &spec).is_ok()
             },
@@ -176,33 +242,15 @@ pub fn generate_conv_dataset(profiler: &Profiler, opts: &DatasetOptions) -> Data
         )
     };
 
-    let mut rows: Vec<Vec<f32>> = Vec::with_capacity(opts.samples);
-    let mut y = Vec::with_capacity(opts.samples);
-    let mut attempts = 0usize;
-    while rows.len() < opts.samples && attempts < opts.samples * 200 {
-        attempts += 1;
-        let shape = random_conv_shape(&mut rng, &opts.dtypes);
-        let cfg = cat.sample(&mut rng);
-        let Ok(profile) = conv_profile(&cfg, &shape, &spec) else {
-            continue;
-        };
-        let Ok(measurement) = profiler.measure(&profile) else {
-            continue;
-        };
-        rows.push(conv_features(&shape, &cfg, opts.log_features));
-        y.push((measurement.tflops * 1e3).max(1e-6).ln() as f32);
-    }
-    rows_to_dataset(rows, y)
-}
-
-fn rows_to_dataset(rows: Vec<Vec<f32>>, y: Vec<f32>) -> Dataset {
-    assert!(!rows.is_empty(), "no legal samples generated");
-    let cols = rows[0].len();
-    let mut x = Mat::zeros(rows.len(), cols);
-    for (r, row) in rows.iter().enumerate() {
-        x.row_mut(r).copy_from_slice(row);
-    }
-    Dataset::new(x, y)
+    generate_rows(opts.samples, opts.seed, CONV_FEATURES, |rng| {
+        let shape = random_conv_shape(rng, &opts.dtypes);
+        let cfg = cat.sample(rng);
+        let profile = conv_profile(&cfg, &shape, &spec).ok()?;
+        let measurement = profiler.measure(&profile).ok()?;
+        let mut row = vec![0.0f32; CONV_FEATURES];
+        conv_features_into(&shape, &cfg, opts.log_features, &mut row);
+        Some((row, (measurement.tflops * 1e3).max(1e-6).ln() as f32))
+    })
 }
 
 #[cfg(test)]

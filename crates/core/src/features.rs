@@ -33,38 +33,53 @@ fn enc(v: f64, log: bool) -> f32 {
     }
 }
 
-fn push_tuning(out: &mut Vec<f32>, cfg: &GemmConfig, log: bool) {
-    for v in cfg.as_vector() {
-        out.push(enc(v as f64, log));
+fn write_tuning(out: &mut [f32], cfg: &GemmConfig, log: bool) {
+    for (slot, v) in out.iter_mut().zip(cfg.as_vector()) {
+        *slot = enc(v as f64, log);
     }
+}
+
+/// Write the GEMM feature vector for a `(input, tuning)` pair into
+/// `out[..GEMM_FEATURES]` -- the allocation-free variant the query engine
+/// uses to fill flat candidate matrices in place.
+pub fn gemm_features_into(shape: &GemmShape, cfg: &GemmConfig, log: bool, out: &mut [f32]) {
+    assert_eq!(out.len(), GEMM_FEATURES, "feature slice length");
+    out[0] = enc(shape.m as f64, log);
+    out[1] = enc(shape.n as f64, log);
+    out[2] = enc(shape.k as f64, log);
+    out[3] = enc(shape.dtype.size_bytes() as f64, log);
+    // Layout flags are categorical; they stay 0/1 in both variants.
+    out[4] = shape.trans_a as u8 as f32;
+    out[5] = shape.trans_b as u8 as f32;
+    write_tuning(&mut out[GEMM_INPUT_FEATURES..], cfg, log);
 }
 
 /// Feature vector for a GEMM `(input, tuning)` pair.
 pub fn gemm_features(shape: &GemmShape, cfg: &GemmConfig, log: bool) -> Vec<f32> {
-    let mut out = Vec::with_capacity(GEMM_FEATURES);
-    out.push(enc(shape.m as f64, log));
-    out.push(enc(shape.n as f64, log));
-    out.push(enc(shape.k as f64, log));
-    out.push(enc(shape.dtype.size_bytes() as f64, log));
-    // Layout flags are categorical; they stay 0/1 in both variants.
-    out.push(shape.trans_a as u8 as f32);
-    out.push(shape.trans_b as u8 as f32);
-    push_tuning(&mut out, cfg, log);
+    let mut out = vec![0.0; GEMM_FEATURES];
+    gemm_features_into(shape, cfg, log, &mut out);
     out
+}
+
+/// Write the CONV feature vector into `out[..CONV_FEATURES]`; see
+/// [`gemm_features_into`].
+pub fn conv_features_into(shape: &ConvShape, cfg: &GemmConfig, log: bool, out: &mut [f32]) {
+    assert_eq!(out.len(), CONV_FEATURES, "feature slice length");
+    out[0] = enc(shape.k as f64, log);
+    out[1] = enc(shape.npq() as f64, log);
+    out[2] = enc(shape.crs() as f64, log);
+    out[3] = enc(shape.dtype.size_bytes() as f64, log);
+    out[4] = enc(shape.n as f64, log);
+    out[5] = enc((shape.r * shape.s) as f64, log);
+    write_tuning(&mut out[CONV_INPUT_FEATURES..], cfg, log);
 }
 
 /// Feature vector for a CONV `(input, tuning)` pair, built on the
 /// implicit-GEMM dimensions plus the convolution-specific structure
 /// (batch size and filter area) that shifts memory behaviour.
 pub fn conv_features(shape: &ConvShape, cfg: &GemmConfig, log: bool) -> Vec<f32> {
-    let mut out = Vec::with_capacity(CONV_FEATURES);
-    out.push(enc(shape.k as f64, log));
-    out.push(enc(shape.npq() as f64, log));
-    out.push(enc(shape.crs() as f64, log));
-    out.push(enc(shape.dtype.size_bytes() as f64, log));
-    out.push(enc(shape.n as f64, log));
-    out.push(enc((shape.r * shape.s) as f64, log));
-    push_tuning(&mut out, cfg, log);
+    let mut out = vec![0.0; CONV_FEATURES];
+    conv_features_into(shape, cfg, log, &mut out);
     out
 }
 

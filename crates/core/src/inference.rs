@@ -1,4 +1,5 @@
-//! Runtime kernel inference (paper Section 6).
+//! Runtime kernel inference (paper Section 6): the parallel,
+//! allocation-free tuning query engine.
 //!
 //! At runtime the input parameters are fixed, so the regression model can
 //! be optimized over tuning parameters alone. Following the paper we use
@@ -6,14 +7,55 @@
 //! space, is embarrassingly parallel, and makes it trivial to keep the
 //! top-k candidates for re-benchmarking on the "target device" to smooth
 //! out model noise.
+//!
+//! ## Engine structure
+//!
+//! A query walks the precomputed space table
+//! ([`isaac_gen::legality::space_table`]) in fixed-size index chunks. Each
+//! chunk is processed independently (rayon fan-out): legality filtering,
+//! in-place feature construction ([`crate::features::gemm_features_into`])
+//! into a flat row-major buffer, and a batched MLP forward pass inside a
+//! pooled [`ScratchSpace`]. Chunk results are concatenated **in index
+//! order**, the top-k candidates are selected with an O(n) partial
+//! selection (ties broken by index), and the finalists are re-benchmarked
+//! in parallel with a deterministic rank-ordered reduction.
+//!
+//! Determinism: every per-candidate computation is a pure function of the
+//! candidate index (the profiler's noise is seeded by kernel name and
+//! repetition, not by call order), reductions are index-ordered, and the
+//! MLP forward pass is row-independent -- so the result is bit-identical
+//! for 1 thread and N threads. [`infer_gemm_serial`] runs the identical
+//! arithmetic without the fan-out and is used by tests and the bench
+//! harness as the reference and the pre-parallelism baseline.
+//!
+//! Steady-state queries make **zero per-candidate allocations**: feature
+//! matrices, MLP activations and the candidate list live in a
+//! process-wide scratch pool that is reused across queries, and
+//! [`engine_stats`] exposes the pool counters so tests can prove the
+//! pooled buffers stop growing. What remains per query is O(#chunks)
+//! transient result buffers from the fan-out's `collect` (~124 small
+//! `Vec`s over the ~504k-config space), independent of the per-candidate
+//! work.
 
-use crate::features::{conv_features, gemm_features};
-use isaac_device::{DeviceSpec, Profiler};
-use isaac_gen::legality::SPACE;
+use crate::features::{conv_features_into, gemm_features_into, CONV_FEATURES, GEMM_FEATURES};
+use isaac_device::{DeviceSpec, Measurement, Profiler};
+use isaac_gen::legality::space_table;
 use isaac_gen::profile::{conv_profile, gemm_profile};
 use isaac_gen::shapes::{ConvShape, GemmShape};
 use isaac_gen::GemmConfig;
 use isaac_mlp::io::ModelBundle;
+use isaac_mlp::ScratchSpace;
+use rayon::prelude::*;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Candidates processed per parallel work item. Large enough to amortize
+/// scratch checkout and batched-GEMM efficiency, small enough to load
+/// balance across cores.
+const CHUNK: usize = 4096;
+
+/// Re-benchmark repetitions per finalist (best-of, like the paper).
+const RE_BENCH_REPS: u64 = 3;
 
 /// The outcome of tuning one input: the selected configuration, the
 /// model's prediction for it, and its (simulated) measurement.
@@ -29,43 +71,236 @@ pub struct TunedChoice {
     pub time_s: f64,
 }
 
-/// Iterate the full cartesian space X-hat (all 9-parameter combinations).
+/// Iterate the full cartesian space X-hat (all 9-parameter combinations),
+/// in table index order.
 pub fn space_iter() -> impl Iterator<Item = GemmConfig> {
-    let sizes: Vec<usize> = SPACE.iter().map(|p| p.values.len()).collect();
-    let total: usize = sizes.iter().product();
-    (0..total).map(move |mut idx| {
-        let mut v = [0u32; 9];
-        for (slot, (range, &size)) in v.iter_mut().zip(SPACE.iter().zip(&sizes)) {
-            *slot = range.values[idx % size];
-            idx /= size;
+    space_table().iter().copied()
+}
+
+/// All configurations legal for `shape` on `spec`, in space order.
+pub fn enumerate_legal_gemm(shape: &GemmShape, spec: &DeviceSpec) -> Vec<GemmConfig> {
+    enumerate_legal(|cfg| isaac_gen::legality::check(cfg, shape, spec).is_ok())
+}
+
+/// All configurations legal for a convolution, in space order.
+pub fn enumerate_legal_conv(shape: &ConvShape, spec: &DeviceSpec) -> Vec<GemmConfig> {
+    enumerate_legal(|cfg| isaac_gen::conv::check(cfg, shape, spec).is_ok())
+}
+
+/// Parallel legality filter over the space table, concatenated in index
+/// order (deterministic for any thread count).
+fn enumerate_legal(legal: impl Fn(&GemmConfig) -> bool + Sync) -> Vec<GemmConfig> {
+    let table = space_table();
+    let chunks = table.len().div_ceil(CHUNK);
+    (0..chunks)
+        .into_par_iter()
+        .map(|ci| {
+            let lo = ci * CHUNK;
+            let hi = ((ci + 1) * CHUNK).min(table.len());
+            table[lo..hi]
+                .iter()
+                .filter(|cfg| legal(cfg))
+                .copied()
+                .collect::<Vec<_>>()
+        })
+        .collect::<Vec<_>>()
+        .into_iter()
+        .flatten()
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Scratch pool
+// ---------------------------------------------------------------------------
+
+/// Per-worker reusable buffers for one chunk (or one whole query).
+struct EngineScratch {
+    /// MLP activations + flat feature input.
+    mlp: ScratchSpace,
+    /// Candidate `(space index, predicted score)` pairs.
+    cand: Vec<(u32, f32)>,
+    /// Legal indices within the current chunk.
+    idx: Vec<u32>,
+}
+
+/// Process-wide pool of engine scratches: checked out per work item,
+/// returned afterwards, so steady-state queries reuse warm buffers
+/// instead of allocating.
+static SCRATCH_POOL: Mutex<Vec<EngineScratch>> = Mutex::new(Vec::new());
+static SCRATCHES_CREATED: AtomicU64 = AtomicU64::new(0);
+static CAND_GROWTHS: AtomicU64 = AtomicU64::new(0);
+
+/// Allocation counters of the query engine's scratch pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Scratch workspaces ever created (bounded by peak concurrency).
+    pub scratches_created: u64,
+    /// Total buffer growths inside pooled scratches (MLP activations,
+    /// feature buffers, candidate lists). Constant across repeated
+    /// queries once warm: the zero-allocation steady state.
+    pub buffer_growths: u64,
+}
+
+/// Snapshot the scratch-pool counters. Call between queries (quiescent
+/// engine) to assert the steady-state query path stops allocating.
+pub fn engine_stats() -> EngineStats {
+    let pool = SCRATCH_POOL.lock().expect("scratch pool poisoned");
+    EngineStats {
+        scratches_created: SCRATCHES_CREATED.load(Ordering::Relaxed),
+        buffer_growths: CAND_GROWTHS.load(Ordering::Relaxed)
+            + pool.iter().map(|s| s.mlp.allocations()).sum::<u64>(),
+    }
+}
+
+fn with_scratch<R>(f: impl FnOnce(&mut EngineScratch) -> R) -> R {
+    let mut scratch = SCRATCH_POOL
+        .lock()
+        .expect("scratch pool poisoned")
+        .pop()
+        .unwrap_or_else(|| {
+            SCRATCHES_CREATED.fetch_add(1, Ordering::Relaxed);
+            EngineScratch {
+                mlp: ScratchSpace::new(),
+                cand: Vec::new(),
+                idx: Vec::new(),
+            }
+        });
+    let out = f(&mut scratch);
+    SCRATCH_POOL
+        .lock()
+        .expect("scratch pool poisoned")
+        .push(scratch);
+    out
+}
+
+/// Push extending `v`, counting capacity growths into the pool stats.
+fn extend_tracked(v: &mut Vec<(u32, f32)>, items: impl IntoIterator<Item = (u32, f32)>) {
+    let cap = v.capacity();
+    v.extend(items);
+    if v.capacity() > cap {
+        CAND_GROWTHS.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The engine
+// ---------------------------------------------------------------------------
+
+/// Candidate ranking order: higher score first, ties broken by the lower
+/// space index. Total order, hence a deterministic top-k.
+fn rank_cmp(a: &(u32, f32), b: &(u32, f32)) -> std::cmp::Ordering {
+    b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0))
+}
+
+/// Score every legal candidate of one space-table chunk. Returns
+/// `(space index, model score)` pairs in index order.
+fn score_chunk(
+    bundle: &ModelBundle,
+    nfeat: usize,
+    lo: usize,
+    hi: usize,
+    legal: &(impl Fn(&GemmConfig) -> bool + Sync),
+    fill: &(impl Fn(&GemmConfig, &mut [f32]) + Sync),
+) -> Vec<(u32, f32)> {
+    let table = space_table();
+    with_scratch(|scratch| {
+        scratch.idx.clear();
+        scratch
+            .idx
+            .extend((lo..hi).filter(|&i| legal(&table[i])).map(|i| i as u32));
+        if scratch.idx.is_empty() {
+            return Vec::new();
         }
-        GemmConfig::from_vector(v)
+        let n = scratch.idx.len();
+        let buf = scratch.mlp.input(n, nfeat);
+        for (r, &i) in scratch.idx.iter().enumerate() {
+            fill(&table[i as usize], &mut buf[r * nfeat..(r + 1) * nfeat]);
+        }
+        let scores = bundle.predict_scratch(&mut scratch.mlp);
+        scratch
+            .idx
+            .iter()
+            .zip(scores)
+            .map(|(&i, &s)| (i, s))
+            .collect()
     })
 }
 
-/// All configurations legal for `shape` on `spec`.
-pub fn enumerate_legal_gemm(shape: &GemmShape, spec: &DeviceSpec) -> Vec<GemmConfig> {
-    space_iter()
-        .filter(|cfg| isaac_gen::legality::check(cfg, shape, spec).is_ok())
-        .collect()
+/// Exhaustive model search + top-k re-benchmark, shared by the GEMM and
+/// CONV paths. `parallel` switches the rayon fan-out on or off; both
+/// modes run identical arithmetic in identical index order, so their
+/// results are bit-identical (asserted by tests/parallel_inference.rs).
+fn infer_engine(
+    bundle: &ModelBundle,
+    top_k: usize,
+    nfeat: usize,
+    legal: impl Fn(&GemmConfig) -> bool + Sync,
+    fill: impl Fn(&GemmConfig, &mut [f32]) + Sync,
+    bench: impl Fn(&GemmConfig) -> Option<Measurement> + Sync,
+    parallel: bool,
+) -> Option<TunedChoice> {
+    let table = space_table();
+    let chunks = table.len().div_ceil(CHUNK);
+    let score_one = |ci: usize| {
+        let lo = ci * CHUNK;
+        let hi = ((ci + 1) * CHUNK).min(table.len());
+        score_chunk(bundle, nfeat, lo, hi, &legal, &fill)
+    };
+
+    with_scratch(|query| {
+        // Stage 1+2: legality + feature construction + model scores.
+        query.cand.clear();
+        if parallel {
+            let parts: Vec<Vec<(u32, f32)>> = (0..chunks).into_par_iter().map(score_one).collect();
+            for part in parts {
+                extend_tracked(&mut query.cand, part);
+            }
+        } else {
+            for ci in 0..chunks {
+                extend_tracked(&mut query.cand, score_one(ci));
+            }
+        }
+        if query.cand.is_empty() {
+            return None;
+        }
+
+        // Stage 3: O(n) top-k selection, deterministic by (score, index).
+        let k = top_k.max(1).min(query.cand.len());
+        if k < query.cand.len() {
+            query.cand.select_nth_unstable_by(k - 1, rank_cmp);
+            query.cand.truncate(k);
+        }
+        query.cand.sort_unstable_by(rank_cmp);
+
+        // Stage 4: re-benchmark the finalists; rank-ordered reduction.
+        let ranked = &query.cand[..];
+        let bench_one = |r: usize| -> Option<(usize, f64, Measurement)> {
+            let (idx, score) = ranked[r];
+            let m = bench(&table[idx as usize])?;
+            Some((r, score as f64, m))
+        };
+        let measured: Vec<Option<(usize, f64, Measurement)>> = if parallel {
+            (0..ranked.len()).into_par_iter().map(bench_one).collect()
+        } else {
+            (0..ranked.len()).map(bench_one).collect()
+        };
+        let mut best: Option<TunedChoice> = None;
+        for (r, score, m) in measured.into_iter().flatten() {
+            if best.as_ref().is_none_or(|b| m.time_s < b.time_s) {
+                best = Some(TunedChoice {
+                    config: table[ranked[r].0 as usize],
+                    predicted_gflops: score.exp(),
+                    tflops: m.tflops,
+                    time_s: m.time_s,
+                });
+            }
+        }
+        best
+    })
 }
 
-/// All configurations legal for a convolution.
-pub fn enumerate_legal_conv(shape: &ConvShape, spec: &DeviceSpec) -> Vec<GemmConfig> {
-    space_iter()
-        .filter(|cfg| isaac_gen::conv::check(cfg, shape, spec).is_ok())
-        .collect()
-}
-
-/// Indices of the `k` largest values.
-fn top_k_indices(scores: &[f32], k: usize) -> Vec<usize> {
-    let mut idx: Vec<usize> = (0..scores.len()).collect();
-    idx.sort_unstable_by(|&a, &b| scores[b].total_cmp(&scores[a]));
-    idx.truncate(k);
-    idx
-}
-
-/// Exhaustive model search + top-k re-benchmark for GEMM.
+/// Exhaustive model search + top-k re-benchmark for GEMM, parallelized
+/// across cores with a deterministic reduction.
 pub fn infer_gemm(
     bundle: &ModelBundle,
     shape: &GemmShape,
@@ -73,38 +308,47 @@ pub fn infer_gemm(
     top_k: usize,
     log_features: bool,
 ) -> Option<TunedChoice> {
-    let spec = profiler.spec();
-    let candidates = enumerate_legal_gemm(shape, spec);
-    if candidates.is_empty() {
-        return None;
-    }
-    let rows: Vec<Vec<f32>> = candidates
-        .iter()
-        .map(|cfg| gemm_features(shape, cfg, log_features))
-        .collect();
-    let scores = bundle.predict_batch(&rows);
-    let mut best: Option<TunedChoice> = None;
-    for idx in top_k_indices(&scores, top_k) {
-        let cfg = candidates[idx];
-        let Ok(profile) = gemm_profile(&cfg, shape, spec) else {
-            continue;
-        };
-        let Ok(m) = profiler.measure_best_of(&profile, 3) else {
-            continue;
-        };
-        if best.as_ref().is_none_or(|b| m.time_s < b.time_s) {
-            best = Some(TunedChoice {
-                config: cfg,
-                predicted_gflops: (scores[idx] as f64).exp(),
-                tflops: m.tflops,
-                time_s: m.time_s,
-            });
-        }
-    }
-    best
+    infer_gemm_impl(bundle, shape, profiler, top_k, log_features, true)
 }
 
-/// Exhaustive model search + top-k re-benchmark for CONV.
+/// Serial reference for [`infer_gemm`]: identical arithmetic, no fan-out.
+/// Exists for the determinism property tests and as the pre-parallelism
+/// baseline in the queries/sec benchmark.
+pub fn infer_gemm_serial(
+    bundle: &ModelBundle,
+    shape: &GemmShape,
+    profiler: &Profiler,
+    top_k: usize,
+    log_features: bool,
+) -> Option<TunedChoice> {
+    infer_gemm_impl(bundle, shape, profiler, top_k, log_features, false)
+}
+
+fn infer_gemm_impl(
+    bundle: &ModelBundle,
+    shape: &GemmShape,
+    profiler: &Profiler,
+    top_k: usize,
+    log_features: bool,
+    parallel: bool,
+) -> Option<TunedChoice> {
+    let spec = profiler.spec();
+    infer_engine(
+        bundle,
+        top_k,
+        GEMM_FEATURES,
+        |cfg| isaac_gen::legality::check(cfg, shape, spec).is_ok(),
+        |cfg, out| gemm_features_into(shape, cfg, log_features, out),
+        |cfg| {
+            let profile = gemm_profile(cfg, shape, spec).ok()?;
+            profiler.measure_best_of(&profile, RE_BENCH_REPS).ok()
+        },
+        parallel,
+    )
+}
+
+/// Exhaustive model search + top-k re-benchmark for CONV, parallelized
+/// across cores with a deterministic reduction.
 pub fn infer_conv(
     bundle: &ModelBundle,
     shape: &ConvShape,
@@ -112,35 +356,59 @@ pub fn infer_conv(
     top_k: usize,
     log_features: bool,
 ) -> Option<TunedChoice> {
+    infer_conv_impl(bundle, shape, profiler, top_k, log_features, true)
+}
+
+/// Serial reference for [`infer_conv`]; see [`infer_gemm_serial`].
+pub fn infer_conv_serial(
+    bundle: &ModelBundle,
+    shape: &ConvShape,
+    profiler: &Profiler,
+    top_k: usize,
+    log_features: bool,
+) -> Option<TunedChoice> {
+    infer_conv_impl(bundle, shape, profiler, top_k, log_features, false)
+}
+
+fn infer_conv_impl(
+    bundle: &ModelBundle,
+    shape: &ConvShape,
+    profiler: &Profiler,
+    top_k: usize,
+    log_features: bool,
+    parallel: bool,
+) -> Option<TunedChoice> {
     let spec = profiler.spec();
-    let candidates = enumerate_legal_conv(shape, spec);
-    if candidates.is_empty() {
-        return None;
+    infer_engine(
+        bundle,
+        top_k,
+        CONV_FEATURES,
+        |cfg| isaac_gen::conv::check(cfg, shape, spec).is_ok(),
+        |cfg, out| conv_features_into(shape, cfg, log_features, out),
+        |cfg| {
+            let profile = conv_profile(cfg, shape, spec).ok()?;
+            profiler.measure_best_of(&profile, RE_BENCH_REPS).ok()
+        },
+        parallel,
+    )
+}
+
+/// Indices of the `k` largest values, best first, ties broken by the
+/// lower index. O(n + k log k) via partial selection rather than a full
+/// sort.
+pub fn top_k_indices(scores: &[f32], k: usize) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..scores.len()).collect();
+    let cmp = |&a: &usize, &b: &usize| scores[b].total_cmp(&scores[a]).then_with(|| a.cmp(&b));
+    let k = k.min(idx.len());
+    if k == 0 {
+        return Vec::new();
     }
-    let rows: Vec<Vec<f32>> = candidates
-        .iter()
-        .map(|cfg| conv_features(shape, cfg, log_features))
-        .collect();
-    let scores = bundle.predict_batch(&rows);
-    let mut best: Option<TunedChoice> = None;
-    for idx in top_k_indices(&scores, top_k) {
-        let cfg = candidates[idx];
-        let Ok(profile) = conv_profile(&cfg, shape, spec) else {
-            continue;
-        };
-        let Ok(m) = profiler.measure_best_of(&profile, 3) else {
-            continue;
-        };
-        if best.as_ref().is_none_or(|b| m.time_s < b.time_s) {
-            best = Some(TunedChoice {
-                config: cfg,
-                predicted_gflops: (scores[idx] as f64).exp(),
-                tflops: m.tflops,
-                time_s: m.time_s,
-            });
-        }
+    if k < idx.len() {
+        idx.select_nth_unstable_by(k - 1, cmp);
+        idx.truncate(k);
     }
-    best
+    idx.sort_unstable_by(cmp);
+    idx
 }
 
 /// Brute-force oracle: measure *every* legal configuration and return the
@@ -202,9 +470,45 @@ mod tests {
     }
 
     #[test]
+    fn enumerate_matches_serial_filter_order() {
+        let spec = tesla_p100();
+        let shape = GemmShape::new(384, 384, 384, "N", "T", DType::F32);
+        let parallel = enumerate_legal_gemm(&shape, &spec);
+        let serial: Vec<GemmConfig> = space_iter()
+            .filter(|cfg| isaac_gen::legality::check(cfg, &shape, &spec).is_ok())
+            .collect();
+        assert_eq!(parallel, serial);
+    }
+
+    #[test]
     fn top_k_selects_largest() {
         let scores = [0.1f32, 5.0, 3.0, 4.0, -1.0];
         assert_eq!(top_k_indices(&scores, 3), vec![1, 3, 2]);
+    }
+
+    #[test]
+    fn top_k_breaks_ties_by_index_and_handles_edges() {
+        let scores = [2.0f32, 7.0, 2.0, 7.0, 2.0];
+        assert_eq!(top_k_indices(&scores, 4), vec![1, 3, 0, 2]);
+        assert_eq!(top_k_indices(&scores, 0), Vec::<usize>::new());
+        assert_eq!(top_k_indices(&scores, 99).len(), 5);
+        assert_eq!(top_k_indices(&[], 3), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn top_k_matches_full_sort_on_random_data() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(42);
+        for n in [1usize, 7, 64, 1000] {
+            let scores: Vec<f32> = (0..n).map(|_| rng.gen_range(-5.0..5.0)).collect();
+            for k in [1usize, 3, n / 2 + 1] {
+                let mut want: Vec<usize> = (0..n).collect();
+                want.sort_by(|&a, &b| scores[b].total_cmp(&scores[a]).then_with(|| a.cmp(&b)));
+                want.truncate(k.min(n));
+                assert_eq!(top_k_indices(&scores, k), want, "n={n} k={k}");
+            }
+        }
     }
 
     #[test]

@@ -19,6 +19,20 @@
 //! [`tuner::IsaacTuner`] packages the whole loop behind a
 //! `train -> tune -> execute` API; see the crate examples at the
 //! repository root.
+//!
+//! ## The serving path
+//!
+//! Runtime queries are served by a parallel, allocation-free engine (see
+//! [`inference`]): the decoded tuning space is precomputed once per
+//! process, legality filtering / feature construction / model scoring
+//! fan out across cores with index-ordered (bit-deterministic)
+//! reductions, and feature matrices are built in place inside pooled
+//! scratch buffers. Decisions are memoized in a shape-keyed
+//! [`tuner::TuneCache`] behind an `RwLock`, so a trained tuner can serve
+//! repeated queries from many threads in O(1). Dataset generation
+//! ([`dataset`]) and sampler calibration ([`sampling`]) fan out the same
+//! way, with per-sample seeding that keeps results independent of the
+//! thread count.
 
 pub mod dataset;
 pub mod features;
@@ -28,7 +42,10 @@ pub mod sampling;
 pub mod tuner;
 
 pub use dataset::{generate_conv_dataset, generate_gemm_dataset, DatasetOptions, OpKind};
-pub use inference::{enumerate_legal_gemm, infer_conv, infer_gemm, TunedChoice};
+pub use inference::{
+    engine_stats, enumerate_legal_gemm, infer_conv, infer_conv_serial, infer_gemm,
+    infer_gemm_serial, EngineStats, TunedChoice,
+};
 pub use optimizers::{exhaustive, genetic, simulated_annealing, SearchResult};
 pub use sampling::{acceptance_rate, CategoricalSampler, UniformSampler};
-pub use tuner::{IsaacTuner, TrainOptions};
+pub use tuner::{CacheStats, IsaacTuner, ShapeKey, TrainOptions, TuneCache, TuneKey};

@@ -69,9 +69,7 @@ fn neighbor(cfg: &GemmConfig, rng: &mut StdRng) -> GemmConfig {
     let idx = value_index(p, v[p]);
     let new_idx = if idx == 0 {
         1
-    } else if idx + 1 == values.len() {
-        idx - 1
-    } else if rng.gen_bool(0.5) {
+    } else if idx + 1 == values.len() || rng.gen_bool(0.5) {
         idx - 1
     } else {
         idx + 1

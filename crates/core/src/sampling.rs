@@ -23,7 +23,9 @@
 
 use isaac_gen::legality::{ParamRange, SPACE};
 use isaac_gen::GemmConfig;
-use rand::Rng;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
 
 /// The Table 1 sampling space: every parameter a power of two in `[1, 16]`.
 pub fn raw_space() -> &'static [ParamRange] {
@@ -112,10 +114,21 @@ pub struct CategoricalSampler {
     pub calibration_acceptance: f64,
 }
 
+/// Per-trial stream seed for parallel calibration (SplitMix64 finalizer).
+fn mix_seed(seed: u64, i: u64) -> u64 {
+    let mut z = seed ^ i.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Calibration trials per parallel work item.
+const CAL_CHUNK: usize = 2048;
+
 impl CategoricalSampler {
     /// Fit over the curated search space; see [`CategoricalSampler::fit_over`].
     pub fn fit(
-        is_legal: impl Fn(&GemmConfig) -> bool,
+        is_legal: impl Fn(&GemmConfig) -> bool + Sync,
         rng: &mut impl Rng,
         trials: usize,
         alpha: f64,
@@ -127,32 +140,56 @@ impl CategoricalSampler {
     /// configurations, test them with `is_legal`, and set each parameter
     /// value's probability to its Dirichlet-smoothed share among accepted
     /// samples. `alpha` is the prior pseudo-count (the paper uses 100).
+    ///
+    /// Calibration fans out across cores: trial `i` draws from its own
+    /// seeded stream and per-chunk count tables are summed in index
+    /// order, so the fitted model is deterministic in `rng`'s state for
+    /// any thread count.
     pub fn fit_over(
         space: &'static [ParamRange],
-        is_legal: impl Fn(&GemmConfig) -> bool,
+        is_legal: impl Fn(&GemmConfig) -> bool + Sync,
         rng: &mut impl Rng,
         trials: usize,
         alpha: f64,
     ) -> Self {
         let uniform = UniformSampler::over(space);
-        let mut counts: Vec<Vec<f64>> = space
-            .iter()
-            .map(|p| vec![alpha; p.values.len()])
+        let base: u64 = rng.gen();
+        let chunks = trials.div_ceil(CAL_CHUNK);
+        let parts: Vec<(Vec<Vec<f64>>, usize)> = (0..chunks)
+            .into_par_iter()
+            .map(|ci| {
+                let lo = ci * CAL_CHUNK;
+                let hi = ((ci + 1) * CAL_CHUNK).min(trials);
+                let mut local: Vec<Vec<f64>> =
+                    space.iter().map(|p| vec![0.0; p.values.len()]).collect();
+                let mut accepted = 0usize;
+                for t in lo..hi {
+                    let mut trng = StdRng::seed_from_u64(mix_seed(base, t as u64));
+                    let cfg = uniform.sample(&mut trng);
+                    if is_legal(&cfg) {
+                        accepted += 1;
+                        for ((param_counts, range), value) in
+                            local.iter_mut().zip(space).zip(cfg.as_vector())
+                        {
+                            let idx = range
+                                .values
+                                .iter()
+                                .position(|&v| v == value)
+                                .expect("sampled value must be in its list");
+                            param_counts[idx] += 1.0;
+                        }
+                    }
+                }
+                (local, accepted)
+            })
             .collect();
+        let mut counts: Vec<Vec<f64>> = space.iter().map(|p| vec![alpha; p.values.len()]).collect();
         let mut accepted = 0usize;
-        for _ in 0..trials {
-            let cfg = uniform.sample(rng);
-            if is_legal(&cfg) {
-                accepted += 1;
-                for ((param_counts, range), value) in
-                    counts.iter_mut().zip(space).zip(cfg.as_vector())
-                {
-                    let idx = range
-                        .values
-                        .iter()
-                        .position(|&v| v == value)
-                        .expect("sampled value must be in its list");
-                    param_counts[idx] += 1.0;
+        for (local, acc) in parts {
+            accepted += acc;
+            for (total, part) in counts.iter_mut().zip(local) {
+                for (t, p) in total.iter_mut().zip(part) {
+                    *t += p;
                 }
             }
         }
@@ -225,8 +262,8 @@ mod tests {
     use super::*;
     use isaac_device::specs::tesla_p100;
     use isaac_device::DType;
-    use isaac_gen::shapes::GemmShape;
     use isaac_gen::legality;
+    use isaac_gen::shapes::GemmShape;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -286,8 +323,7 @@ mod tests {
         let shape = GemmShape::new(2048, 2048, 2048, "N", "T", DType::F32);
         let is_legal = raw_legal_for(shape);
         let mut rng = StdRng::seed_from_u64(21);
-        let cat =
-            CategoricalSampler::fit_over(raw_space(), &is_legal, &mut rng, 40_000, 100.0);
+        let cat = CategoricalSampler::fit_over(raw_space(), &is_legal, &mut rng, 40_000, 100.0);
         let uni_rate = acceptance_rate(
             |r| UniformSampler::over(raw_space()).sample(r),
             &is_legal,

@@ -9,6 +9,13 @@
 //! end to end. Trained models serialize to a plain-text format
 //! (`save`/`load`) which the benchmark harness uses to cache tuners under
 //! `target/isaac-cache/`.
+//!
+//! Tuning decisions live in a [`TuneCache`]: a shape-keyed
+//! (`(OpKind, DType, ShapeKey)`) map behind an `RwLock`, so repeated
+//! queries for the same input are O(1) shared-lock reads -- every tuning
+//! method takes `&self` and the tuner can be shared across serving
+//! threads. Hit/miss counters ([`IsaacTuner::cache_stats`]) feed the
+//! bench harness.
 
 use crate::dataset::{generate_conv_dataset, generate_gemm_dataset, DatasetOptions, OpKind};
 use crate::inference::{infer_conv, infer_gemm, TunedChoice};
@@ -21,6 +28,275 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::HashMap;
 use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::RwLock;
+
+/// The input-shape component of a tune-cache key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ShapeKey {
+    /// GEMM input parameters (everything but the dtype).
+    Gemm {
+        /// Rows of `op(A)`.
+        m: u32,
+        /// Columns of `op(B)`.
+        n: u32,
+        /// Reduction depth.
+        k: u32,
+        /// `A` transposed.
+        trans_a: bool,
+        /// `B` transposed.
+        trans_b: bool,
+    },
+    /// CONV input parameters (everything but the dtype).
+    Conv {
+        /// Batch size.
+        n: u32,
+        /// Input channels.
+        c: u32,
+        /// Input height.
+        h: u32,
+        /// Input width.
+        w: u32,
+        /// Output channels.
+        k: u32,
+        /// Filter height.
+        r: u32,
+        /// Filter width.
+        s: u32,
+    },
+}
+
+/// Key of one tuning decision: operation, data type and input shape.
+/// `Eq + Hash` over plain integers -- no strings on the hot lookup path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TuneKey {
+    /// Operation kind.
+    pub op: OpKind,
+    /// Element type.
+    pub dtype: DType,
+    /// Input shape.
+    pub shape: ShapeKey,
+}
+
+impl TuneKey {
+    /// Cache key for a GEMM input.
+    pub fn gemm(shape: &GemmShape) -> Self {
+        TuneKey {
+            op: OpKind::Gemm,
+            dtype: shape.dtype,
+            shape: ShapeKey::Gemm {
+                m: shape.m,
+                n: shape.n,
+                k: shape.k,
+                trans_a: shape.trans_a,
+                trans_b: shape.trans_b,
+            },
+        }
+    }
+
+    /// Cache key for a CONV input.
+    pub fn conv(shape: &ConvShape) -> Self {
+        TuneKey {
+            op: OpKind::Conv,
+            dtype: shape.dtype,
+            shape: ShapeKey::Conv {
+                n: shape.n,
+                c: shape.c,
+                h: shape.h,
+                w: shape.w,
+                k: shape.k,
+                r: shape.r,
+                s: shape.s,
+            },
+        }
+    }
+
+    /// The mangled shape name used by the on-disk cache format (same
+    /// strings as `GemmShape::name` / `ConvShape::name`).
+    pub fn name(&self) -> String {
+        match self.shape {
+            ShapeKey::Gemm {
+                m,
+                n,
+                k,
+                trans_a,
+                trans_b,
+            } => GemmShape {
+                m,
+                n,
+                k,
+                trans_a,
+                trans_b,
+                dtype: self.dtype,
+            }
+            .name(),
+            ShapeKey::Conv {
+                n,
+                c,
+                h,
+                w,
+                k,
+                r,
+                s,
+            } => ConvShape {
+                n,
+                c,
+                h,
+                w,
+                k,
+                r,
+                s,
+                dtype: self.dtype,
+            }
+            .name(),
+        }
+    }
+
+    /// Parse a mangled shape name back into a key (inverse of
+    /// [`TuneKey::name`], used when loading persisted caches).
+    pub fn parse(name: &str) -> Option<TuneKey> {
+        let dtype = DType::from_blas_prefix(name.get(..1)?)?;
+        let rest = name.get(1..)?;
+        if let Some(body) = rest.strip_prefix("gemm_") {
+            // "<layout>_<m>x<n>x<k>"
+            let (layout, dims) = body.split_once('_')?;
+            let mut lc = layout.chars();
+            let trans_a = lc.next()? == 't';
+            let trans_b = lc.next()? == 't';
+            let mut it = dims.split('x');
+            let m = it.next()?.parse().ok()?;
+            let n = it.next()?.parse().ok()?;
+            let k = it.next()?.parse().ok()?;
+            if it.next().is_some() {
+                return None;
+            }
+            Some(TuneKey {
+                op: OpKind::Gemm,
+                dtype,
+                shape: ShapeKey::Gemm {
+                    m,
+                    n,
+                    k,
+                    trans_a,
+                    trans_b,
+                },
+            })
+        } else if let Some(body) = rest.strip_prefix("conv_") {
+            // "n<n>_c<c>_k<k>_<p>x<q>_r<r>s<s>"
+            let mut it = body.split('_');
+            let n: u32 = it.next()?.strip_prefix('n')?.parse().ok()?;
+            let c: u32 = it.next()?.strip_prefix('c')?.parse().ok()?;
+            let k: u32 = it.next()?.strip_prefix('k')?.parse().ok()?;
+            let (p, q) = it.next()?.split_once('x')?;
+            let (p, q): (u32, u32) = (p.parse().ok()?, q.parse().ok()?);
+            let rs = it.next()?.strip_prefix('r')?;
+            let (r, s) = rs.split_once('s')?;
+            let (r, s): (u32, u32) = (r.parse().ok()?, s.parse().ok()?);
+            if it.next().is_some() {
+                return None;
+            }
+            Some(TuneKey {
+                op: OpKind::Conv,
+                dtype,
+                shape: ShapeKey::Conv {
+                    n,
+                    c,
+                    h: p + r - 1,
+                    w: q + s - 1,
+                    k,
+                    r,
+                    s,
+                },
+            })
+        } else {
+            None
+        }
+    }
+}
+
+/// Hit/miss counters of a [`TuneCache`], for the bench harness and
+/// capacity planning.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that fell through to the query engine.
+    pub misses: u64,
+}
+
+/// A concurrent, shape-keyed cache of tuning decisions.
+///
+/// Repeated queries for the same `(op, dtype, shape)` are O(1) reads
+/// under a shared [`RwLock`] -- many threads can serve hits concurrently
+/// while misses briefly take the write lock to publish their result.
+#[derive(Debug, Default)]
+pub struct TuneCache {
+    map: RwLock<HashMap<TuneKey, TunedChoice>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl TuneCache {
+    /// Empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Look up a decision, counting the hit or miss.
+    pub fn get(&self, key: &TuneKey) -> Option<TunedChoice> {
+        let hit = self
+            .map
+            .read()
+            .expect("tune cache poisoned")
+            .get(key)
+            .cloned();
+        match hit {
+            Some(choice) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(choice)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Publish a decision.
+    pub fn insert(&self, key: TuneKey, choice: TunedChoice) {
+        self.map
+            .write()
+            .expect("tune cache poisoned")
+            .insert(key, choice);
+    }
+
+    /// Number of cached decisions.
+    pub fn len(&self) -> usize {
+        self.map.read().expect("tune cache poisoned").len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Hit/miss counters since construction.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Snapshot of all entries, sorted by shape name (for persistence).
+    fn sorted_entries(&self) -> Vec<(TuneKey, TunedChoice)> {
+        let map = self.map.read().expect("tune cache poisoned");
+        let mut entries: Vec<(TuneKey, TunedChoice)> =
+            map.iter().map(|(k, v)| (*k, v.clone())).collect();
+        entries.sort_by_key(|(k, _)| k.name());
+        entries
+    }
+}
 
 /// Training options for a tuner instance.
 #[derive(Debug, Clone)]
@@ -66,7 +342,7 @@ pub struct IsaacTuner {
     opts: TrainOptions,
     /// Final validation MSE of the regression model (standardized scale).
     pub validation_mse: f32,
-    cache: HashMap<String, TunedChoice>,
+    cache: TuneCache,
 }
 
 impl IsaacTuner {
@@ -111,7 +387,7 @@ impl IsaacTuner {
             profiler,
             opts,
             validation_mse,
-            cache: HashMap::new(),
+            cache: TuneCache::new(),
         }
     }
 
@@ -136,12 +412,14 @@ impl IsaacTuner {
         &self.profiler
     }
 
-    /// Tune a GEMM input; results are cached per shape.
-    pub fn tune_gemm(&mut self, shape: &GemmShape) -> Option<TunedChoice> {
+    /// Tune a GEMM input. Decisions are cached per `(op, dtype, shape)`
+    /// key: repeated queries are O(1) lock-shared lookups, safe to serve
+    /// from many threads at once.
+    pub fn tune_gemm(&self, shape: &GemmShape) -> Option<TunedChoice> {
         assert_eq!(self.kind, OpKind::Gemm, "this tuner was trained for CONV");
-        let key = shape.name();
+        let key = TuneKey::gemm(shape);
         if let Some(hit) = self.cache.get(&key) {
-            return Some(hit.clone());
+            return Some(hit);
         }
         let choice = infer_gemm(
             &self.bundle,
@@ -154,12 +432,12 @@ impl IsaacTuner {
         Some(choice)
     }
 
-    /// Tune a CONV input; results are cached per shape.
-    pub fn tune_conv(&mut self, shape: &ConvShape) -> Option<TunedChoice> {
+    /// Tune a CONV input; see [`IsaacTuner::tune_gemm`] for caching.
+    pub fn tune_conv(&self, shape: &ConvShape) -> Option<TunedChoice> {
         assert_eq!(self.kind, OpKind::Conv, "this tuner was trained for GEMM");
-        let key = shape.name();
+        let key = TuneKey::conv(shape);
         if let Some(hit) = self.cache.get(&key) {
-            return Some(hit.clone());
+            return Some(hit);
         }
         let choice = infer_conv(
             &self.bundle,
@@ -174,26 +452,21 @@ impl IsaacTuner {
 
     /// Tune and *execute* a single-precision (or half-precision) GEMM on
     /// the functional VM.
-    pub fn gemm_f32(&mut self, shape: &GemmShape, a: &[f32], b: &[f32]) -> Option<Vec<f32>> {
+    pub fn gemm_f32(&self, shape: &GemmShape, a: &[f32], b: &[f32]) -> Option<Vec<f32>> {
         let choice = self.tune_gemm(shape)?;
         let (c, _) = gemm::run_f32(&choice.config, shape, a, b).ok()?;
         Some(c)
     }
 
     /// Tune and execute a double-precision GEMM on the VM.
-    pub fn gemm_f64(&mut self, shape: &GemmShape, a: &[f64], b: &[f64]) -> Option<Vec<f64>> {
+    pub fn gemm_f64(&self, shape: &GemmShape, a: &[f64], b: &[f64]) -> Option<Vec<f64>> {
         let choice = self.tune_gemm(shape)?;
         let (c, _) = gemm::run_f64(&choice.config, shape, a, b).ok()?;
         Some(c)
     }
 
     /// Tune and execute a convolution on the VM.
-    pub fn conv_f32(
-        &mut self,
-        shape: &ConvShape,
-        input: &[f32],
-        filters: &[f32],
-    ) -> Option<Vec<f32>> {
+    pub fn conv_f32(&self, shape: &ConvShape, input: &[f32], filters: &[f32]) -> Option<Vec<f32>> {
         let choice = self.tune_conv(shape)?;
         let (o, _) = conv::run_f32(&choice.config, shape, input, filters).ok()?;
         Some(o)
@@ -204,21 +477,34 @@ impl IsaacTuner {
         self.cache.len()
     }
 
+    /// Hit/miss counters of the tune cache.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
     /// Persist the tuning-decision cache ("the resulting predictions may
     /// be... cached on the filesystem", paper Section 6). One line per
     /// decision: shape key, the 9 tuning parameters, prediction and
     /// measurement.
     pub fn save_cache(&self, path: &Path) -> std::io::Result<()> {
         let mut text = String::from("isaac-kernel-cache v1\n");
-        let mut keys: Vec<&String> = self.cache.keys().collect();
-        keys.sort();
-        for key in keys {
-            let c = &self.cache[key];
+        for (key, c) in self.cache.sorted_entries() {
             let v = c.config.as_vector();
             text.push_str(&format!(
-                "{key} {} {} {} {} {} {} {} {} {} {:.6e} {:.6e} {:.6e}\n",
-                v[0], v[1], v[2], v[3], v[4], v[5], v[6], v[7], v[8],
-                c.predicted_gflops, c.tflops, c.time_s
+                "{} {} {} {} {} {} {} {} {} {} {:.6e} {:.6e} {:.6e}\n",
+                key.name(),
+                v[0],
+                v[1],
+                v[2],
+                v[3],
+                v[4],
+                v[5],
+                v[6],
+                v[7],
+                v[8],
+                c.predicted_gflops,
+                c.tflops,
+                c.time_s
             ));
         }
         std::fs::write(path, text)
@@ -259,8 +545,11 @@ impl IsaacTuner {
             if !ok {
                 continue;
             }
+            let Some(key) = TuneKey::parse(fields[0]) else {
+                continue;
+            };
             self.cache.insert(
-                fields[0].to_string(),
+                key,
                 TunedChoice {
                     config: isaac_gen::GemmConfig::from_vector(v),
                     predicted_gflops: pred,
@@ -324,7 +613,7 @@ impl IsaacTuner {
             bundle,
             opts,
             validation_mse: f32::NAN,
-            cache: HashMap::new(),
+            cache: TuneCache::new(),
         })
     }
 }
@@ -332,8 +621,8 @@ impl IsaacTuner {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use isaac_gen::reference;
     use isaac_device::specs::tesla_p100;
+    use isaac_gen::reference;
     use rand::Rng;
 
     fn quick_options() -> TrainOptions {
@@ -346,8 +635,47 @@ mod tests {
     }
 
     #[test]
+    fn tune_key_name_roundtrips() {
+        let gemm = GemmShape::new(2560, 16, 2560, "N", "T", DType::F32);
+        let key = TuneKey::gemm(&gemm);
+        assert_eq!(key.name(), gemm.name());
+        assert_eq!(TuneKey::parse(&key.name()), Some(key));
+
+        let conv = ConvShape::from_output(16, 14, 14, 48, 512, 5, 5, DType::F16);
+        let key = TuneKey::conv(&conv);
+        assert_eq!(key.name(), conv.name());
+        assert_eq!(TuneKey::parse(&key.name()), Some(key));
+
+        assert_eq!(TuneKey::parse("xgemm_nt_1x2x3"), None);
+        assert_eq!(TuneKey::parse("sgemm_nt_1x2"), None);
+        assert_eq!(TuneKey::parse("snonsense"), None);
+    }
+
+    #[test]
+    fn tune_cache_counts_hits_and_misses() {
+        let cache = TuneCache::new();
+        let key = TuneKey::gemm(&GemmShape::new(8, 8, 8, "N", "N", DType::F32));
+        assert_eq!(cache.get(&key), None);
+        let choice = TunedChoice {
+            config: isaac_gen::GemmConfig::default(),
+            predicted_gflops: 1.0,
+            tflops: 2.0,
+            time_s: 3.0,
+        };
+        cache.insert(key, choice.clone());
+        assert_eq!(cache.get(&key), Some(choice));
+        assert_eq!(
+            cache.stats(),
+            CacheStats { hits: 1, misses: 1 },
+            "one miss then one hit"
+        );
+        assert_eq!(cache.len(), 1);
+        assert!(!cache.is_empty());
+    }
+
+    #[test]
     fn end_to_end_gemm_tuning_and_execution() {
-        let mut tuner = IsaacTuner::train(tesla_p100(), OpKind::Gemm, quick_options());
+        let tuner = IsaacTuner::train(tesla_p100(), OpKind::Gemm, quick_options());
         assert!(
             tuner.validation_mse < 1.0,
             "regression should learn something: MSE {}",
@@ -358,8 +686,12 @@ mod tests {
         assert!(choice.tflops > 0.0);
         // Execute and verify numerically.
         let mut rng = StdRng::seed_from_u64(1);
-        let a: Vec<f32> = (0..shape.a_len()).map(|_| rng.gen_range(-1.0..1.0)).collect();
-        let b: Vec<f32> = (0..shape.b_len()).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let a: Vec<f32> = (0..shape.a_len())
+            .map(|_| rng.gen_range(-1.0..1.0))
+            .collect();
+        let b: Vec<f32> = (0..shape.b_len())
+            .map(|_| rng.gen_range(-1.0..1.0))
+            .collect();
         let c = tuner.gemm_f32(&shape, &a, &b).expect("kernel runs");
         let mut want = vec![0.0f32; shape.c_len()];
         reference::gemm_f32(&shape, &a, &b, &mut want);
@@ -370,7 +702,7 @@ mod tests {
 
     #[test]
     fn tuning_decisions_are_cached() {
-        let mut tuner = IsaacTuner::train(tesla_p100(), OpKind::Gemm, quick_options());
+        let tuner = IsaacTuner::train(tesla_p100(), OpKind::Gemm, quick_options());
         let shape = GemmShape::new(128, 128, 128, "N", "N", DType::F32);
         let first = tuner.tune_gemm(&shape).unwrap();
         assert_eq!(tuner.cache_len(), 1);
@@ -384,11 +716,11 @@ mod tests {
         let tuner = IsaacTuner::train(tesla_p100(), OpKind::Gemm, quick_options());
         let dir = std::env::temp_dir().join("isaac_test_model.txt");
         tuner.save(&dir).expect("save");
-        let mut loaded = IsaacTuner::load(&dir, tesla_p100(), OpKind::Gemm).expect("load");
+        let loaded = IsaacTuner::load(&dir, tesla_p100(), OpKind::Gemm).expect("load");
         let shape = GemmShape::new(256, 64, 512, "N", "T", DType::F32);
         // Same model -> same prediction-driven choice modulo identical
         // profiling noise (profiler seed is fixed in both paths).
-        let mut orig = tuner;
+        let orig = tuner;
         let a = orig.tune_gemm(&shape).unwrap();
         let b = loaded.tune_gemm(&shape).unwrap();
         assert_eq!(a.config, b.config);
@@ -406,7 +738,7 @@ mod tests {
 
     #[test]
     fn kernel_cache_roundtrips_through_disk() {
-        let mut tuner = IsaacTuner::train(tesla_p100(), OpKind::Gemm, quick_options());
+        let tuner = IsaacTuner::train(tesla_p100(), OpKind::Gemm, quick_options());
         let shapes = [
             GemmShape::new(96, 64, 48, "N", "T", DType::F32),
             GemmShape::new(2560, 16, 2560, "N", "N", DType::F32),
@@ -444,7 +776,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "trained for CONV")]
     fn wrong_operation_panics() {
-        let mut tuner = IsaacTuner::train(
+        let tuner = IsaacTuner::train(
             tesla_p100(),
             OpKind::Conv,
             TrainOptions {

@@ -49,9 +49,8 @@ pub fn estimate(spec: &DeviceSpec, report: &SimReport, useful_flops: f64) -> Ene
 
     let idle = IDLE_FRACTION * spec.tdp_w as f64;
     let dynamic_budget = spec.tdp_w as f64 - idle;
-    let power =
-        (idle + dynamic_budget * (CORE_POWER_SHARE * u_core + DRAM_POWER_SHARE * u_dram))
-            .min(spec.tdp_w as f64);
+    let power = (idle + dynamic_budget * (CORE_POWER_SHARE * u_core + DRAM_POWER_SHARE * u_dram))
+        .min(spec.tdp_w as f64);
     let energy = power * report.time_s;
     EnergyReport {
         power_w: power,

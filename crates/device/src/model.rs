@@ -169,7 +169,7 @@ pub fn simulate(spec: &DeviceSpec, profile: &KernelProfile) -> Result<SimReport,
     // cannot finish faster than one warp's chain.
     let ilp_eff = profile.ilp.clamp(1.0, spec.alu_latency.max(1.0));
     let mlp_eff = profile.mlp.clamp(1.0, 10.0);
-    let math_chain = i.math * spec.alu_latency / ilp_eff / m_ipc.min(1.0).max(0.25);
+    let math_chain = i.math * spec.alu_latency / ilp_eff / m_ipc.clamp(0.25, 1.0);
     let mem_chain = i.ldg * spec.mem_latency / (mlp_eff * resident_warps.max(1.0)).max(1.0);
     let smem_chain = (i.lds + i.sts) * spec.smem_latency / (ilp_eff * 4.0);
     // Barriers serialize warp skew within the block.
@@ -422,4 +422,3 @@ mod tests {
         assert!((0.0..=1.0).contains(&u), "bw utilization {u}");
     }
 }
-

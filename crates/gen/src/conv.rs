@@ -66,7 +66,7 @@ pub fn equivalent_gemm(shape: &ConvShape) -> GemmShape {
 pub fn check(cfg: &GemmConfig, shape: &ConvShape, spec: &DeviceSpec) -> Result<(), ConfigIssue> {
     let g = equivalent_gemm(shape);
     legality::check(cfg, &g, spec)?;
-    if cfg.vec > 1 && shape.n % cfg.vec != 0 {
+    if cfg.vec > 1 && !shape.n.is_multiple_of(cfg.vec) {
         return Err(ConfigIssue::Vectorization);
     }
     Ok(())
@@ -112,9 +112,9 @@ fn log2_size(ty: Ty) -> i64 {
 }
 
 fn frag_width(x: u32) -> u8 {
-    if x % 4 == 0 {
+    if x.is_multiple_of(4) {
         4
-    } else if x % 2 == 0 {
+    } else if x.is_multiple_of(2) {
         2
     } else {
         1

@@ -72,9 +72,9 @@ fn log2_size(ty: Ty) -> i64 {
 
 /// Largest vector width (<= 4) dividing `x`.
 fn frag_width(x: u32) -> u8 {
-    if x % 4 == 0 {
+    if x.is_multiple_of(4) {
         4
-    } else if x % 2 == 0 {
+    } else if x.is_multiple_of(2) {
         2
     } else {
         1
@@ -296,7 +296,14 @@ pub fn build_kernel(cfg: &GemmConfig, shape: &GemmShape) -> BuiltGemm {
             b.st_shared(stage[0], vec, target, load.smem_off, 0, None);
         } else {
             for (w, &reg) in stage.iter().enumerate() {
-                b.st_shared(reg, 1, target, load.smem_off, w as i64 * load.strided_step, None);
+                b.st_shared(
+                    reg,
+                    1,
+                    target,
+                    load.smem_off,
+                    w as i64 * load.strided_step,
+                    None,
+                );
             }
         }
         b.bin(BinOp::Add, load.addr, load.addr, load.step);
@@ -675,8 +682,14 @@ mod tests {
             ..Default::default()
         };
         let shape = GemmShape::new(32, 32, 64, "N", "T", DType::F64);
-        let a: Vec<f64> = rand_vec(shape.a_len(), 3).iter().map(|&x| x as f64).collect();
-        let b: Vec<f64> = rand_vec(shape.b_len(), 4).iter().map(|&x| x as f64).collect();
+        let a: Vec<f64> = rand_vec(shape.a_len(), 3)
+            .iter()
+            .map(|&x| x as f64)
+            .collect();
+        let b: Vec<f64> = rand_vec(shape.b_len(), 4)
+            .iter()
+            .map(|&x| x as f64)
+            .collect();
         let (got, _) = run_f64(&cfg, &shape, &a, &b).unwrap();
         let mut want = vec![0.0f64; shape.c_len()];
         reference::gemm_f64(&shape, &a, &b, &mut want);

@@ -12,7 +12,7 @@
 
 use crate::config::GemmConfig;
 use crate::shapes::GemmShape;
-use isaac_device::{DeviceSpec, DType, MicroArch};
+use isaac_device::{DType, DeviceSpec, MicroArch};
 
 /// Value lists for each tuning parameter: the possible space X-hat.
 #[derive(Debug, Clone)]
@@ -67,6 +67,34 @@ pub const SPACE: &[ParamRange] = &[
 /// Number of points in X-hat.
 pub fn space_size() -> u64 {
     SPACE.iter().map(|p| p.values.len() as u64).product()
+}
+
+/// Decode the configuration at a given index of the cartesian space
+/// (mixed-radix little-endian over [`SPACE`], first parameter fastest).
+fn decode(mut idx: usize) -> GemmConfig {
+    let mut v = [0u32; 9];
+    for (slot, range) in v.iter_mut().zip(SPACE.iter()) {
+        let size = range.values.len();
+        *slot = range.values[idx % size];
+        idx /= size;
+    }
+    GemmConfig::from_vector(v)
+}
+
+/// The full cartesian space X-hat, decoded **once** per process into a
+/// flat table in index order.
+///
+/// Runtime inference walks this space on every uncached query; decoding
+/// the mixed-radix index into a [`GemmConfig`] each time cost more than
+/// the legality checks themselves. The table is ~500k configs x 36 B and
+/// is shared by every thread of the parallel query engine (chunk `i`
+/// of a query always covers `table[i*C..(i+1)*C]`, which is what keeps
+/// parallel reductions index-ordered and deterministic).
+pub fn space_table() -> &'static [GemmConfig] {
+    static TABLE: std::sync::OnceLock<Vec<GemmConfig>> = std::sync::OnceLock::new();
+    TABLE
+        .get_or_init(|| (0..space_size() as usize).map(decode).collect())
+        .as_slice()
 }
 
 /// Why a configuration is illegal.
@@ -164,13 +192,13 @@ pub fn check_physical(
         return Err(ConfigIssue::TileMismatch);
     }
     let threads = cfg.threads();
-    if !(32..=1024).contains(&threads) || threads % 32 != 0 {
+    if !(32..=1024).contains(&threads) || !threads.is_multiple_of(32) {
         return Err(ConfigIssue::ThreadCount(threads));
     }
     let uk = cfg.uk();
     let per_round = threads * cfg.vec;
-    if (cfg.ml * uk) % per_round != 0
-        || (cfg.nl * uk) % per_round != 0
+    if !(cfg.ml * uk).is_multiple_of(per_round)
+        || !(cfg.nl * uk).is_multiple_of(per_round)
         || cfg.ml * uk < per_round
         || cfg.nl * uk < per_round
     {
@@ -179,24 +207,24 @@ pub fn check_physical(
     if cfg.vec > 1 {
         // A loads are contiguous along M (not transposed) or K (transposed).
         let a_ok = if shape.trans_a {
-            uk % cfg.vec == 0 && shape.k % cfg.vec == 0
+            uk.is_multiple_of(cfg.vec) && shape.k.is_multiple_of(cfg.vec)
         } else {
-            cfg.ml % cfg.vec == 0 && shape.m % cfg.vec == 0
+            cfg.ml.is_multiple_of(cfg.vec) && shape.m.is_multiple_of(cfg.vec)
         };
         // B loads are contiguous along K (not transposed) or N (transposed).
         let b_ok = if shape.trans_b {
-            cfg.nl % cfg.vec == 0 && shape.n % cfg.vec == 0
+            cfg.nl.is_multiple_of(cfg.vec) && shape.n.is_multiple_of(cfg.vec)
         } else {
-            uk % cfg.vec == 0 && shape.k % cfg.vec == 0
+            uk.is_multiple_of(cfg.vec) && shape.k.is_multiple_of(cfg.vec)
         };
         if !a_ok || !b_ok {
             return Err(ConfigIssue::Vectorization);
         }
     }
-    if cfg.ks > cfg.u || cfg.u % cfg.ks != 0 {
+    if cfg.ks > cfg.u || !cfg.u.is_multiple_of(cfg.ks) {
         return Err(ConfigIssue::SplitTooDeep);
     }
-    if shape.dtype == DType::F16 && cfg.ns % 2 != 0 {
+    if shape.dtype == DType::F16 && !cfg.ns.is_multiple_of(2) {
         return Err(ConfigIssue::HalfPacking);
     }
     if cfg.kg > 1 && shape.dtype == DType::F64 && spec.arch == MicroArch::Maxwell {
@@ -299,7 +327,7 @@ mod tests {
     #[test]
     fn vectorization_respects_input_shape() {
         let cfg = GemmConfig::default(); // vec = 4
-        // M = 30 not divisible by 4, A not transposed.
+                                         // M = 30 not divisible by 4, A not transposed.
         let shape = GemmShape::new(30, 64, 64, "N", "N", DType::F32);
         assert_eq!(
             check(&cfg, &shape, &tesla_p100()),
@@ -384,6 +412,18 @@ mod tests {
     #[test]
     fn space_size_is_large() {
         assert_eq!(space_size(), 5 * 5 * 4 * 4 * 5 * 3 * 4 * 7 * 3);
+    }
+
+    #[test]
+    fn space_table_is_complete_and_distinct() {
+        let table = space_table();
+        assert_eq!(table.len() as u64, space_size());
+        let set: std::collections::HashSet<[u32; 9]> =
+            table.iter().map(|c| c.as_vector()).collect();
+        assert_eq!(set.len(), table.len(), "decode must be a bijection");
+        for cfg in table.iter().step_by(9973) {
+            assert_eq!(in_space(cfg), Ok(()));
+        }
     }
 
     #[test]

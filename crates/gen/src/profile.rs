@@ -12,13 +12,13 @@ use crate::conv::equivalent_gemm;
 use crate::legality::{self, ConfigIssue};
 use crate::shapes::{ConvShape, GemmShape};
 use isaac_device::{
-    occupancy, DeviceSpec, DType, InstrMix, KernelProfile, Launch, MemoryFootprint,
+    occupancy, DType, DeviceSpec, InstrMix, KernelProfile, Launch, MemoryFootprint,
 };
 
 fn frag_width(x: u32) -> u32 {
-    if x % 4 == 0 {
+    if x.is_multiple_of(4) {
         4
-    } else if x % 2 == 0 {
+    } else if x.is_multiple_of(2) {
         2
     } else {
         1
@@ -107,7 +107,7 @@ fn build(
     let vec = cfg.vec as f64;
 
     // fp16x2 packing: two MACs per instruction along the NS axis.
-    let packed = g.dtype == DType::F16 && cfg.ns % 2 == 0;
+    let packed = g.dtype == DType::F16 && cfg.ns.is_multiple_of(2);
     let (math_per_iter, flops_per_math) = if packed {
         (u * ms * ns / 2.0, 4.0)
     } else {
@@ -183,8 +183,7 @@ fn build(
     let grid = cfg.grid(g);
     let blocks_xy = grid[0] as f64 * grid[1] as f64;
     let (ml, nl) = (cfg.ml as f64, cfg.nl as f64);
-    let mut read_bytes =
-        blocks_xy * cfg.kg as f64 * (ml + nl) * (iters * uk) * ds + lut_ldg * 0.0;
+    let mut read_bytes = blocks_xy * cfg.kg as f64 * (ml + nl) * (iters * uk) * ds + lut_ldg * 0.0;
     if matches!(kind, Kind::Conv) {
         // Table traffic: 4 bytes per slice entry per block column.
         read_bytes += blocks_xy * cfg.kg as f64 * (iters * uk) * 4.0;
@@ -257,8 +256,8 @@ fn build(
 mod tests {
     use super::*;
     use crate::{conv, gemm};
-    use isaac_device::specs::{gtx980ti, tesla_p100};
     use isaac_device::simulate;
+    use isaac_device::specs::{gtx980ti, tesla_p100};
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
 
@@ -308,10 +307,7 @@ mod tests {
             let per = stats.per_thread();
             let close = |got: f64, want: f64, what: &str, tol: f64| {
                 let rel = (got - want).abs() / want.max(1.0);
-                assert!(
-                    rel < tol,
-                    "{what}: analytic {want}, vm {got} (cfg {cfg:?})"
-                );
+                assert!(rel < tol, "{what}: analytic {want}, vm {got} (cfg {cfg:?})");
             };
             close(per.math, p.instr.math, "math", 0.15);
             close(per.ldg, p.instr.ldg, "ldg", 0.15);
@@ -340,9 +336,24 @@ mod tests {
         let (_, stats) = conv::run_f32(&cfg, &shape, &input, &filters).unwrap();
         let per = stats.per_thread();
         let rel = |got: f64, want: f64| (got - want).abs() / want.max(1.0);
-        assert!(rel(per.math, p.instr.math) < 0.15, "math {} vs {}", per.math, p.instr.math);
-        assert!(rel(per.ldg, p.instr.ldg) < 0.15, "ldg {} vs {}", per.ldg, p.instr.ldg);
-        assert!(rel(per.sts, p.instr.sts) < 0.15, "sts {} vs {}", per.sts, p.instr.sts);
+        assert!(
+            rel(per.math, p.instr.math) < 0.15,
+            "math {} vs {}",
+            per.math,
+            p.instr.math
+        );
+        assert!(
+            rel(per.ldg, p.instr.ldg) < 0.15,
+            "ldg {} vs {}",
+            per.ldg,
+            p.instr.ldg
+        );
+        assert!(
+            rel(per.sts, p.instr.sts) < 0.15,
+            "sts {} vs {}",
+            per.sts,
+            p.instr.sts
+        );
     }
 
     #[test]
@@ -412,10 +423,7 @@ mod tests {
             vec: 1,
             ..Default::default()
         };
-        let split = GemmConfig {
-            kg: 32,
-            ..no_split
-        };
+        let split = GemmConfig { kg: 32, ..no_split };
         let r0 = simulate(&spec, &gemm_profile(&no_split, &shape, &spec).unwrap()).unwrap();
         let r1 = simulate(&spec, &gemm_profile(&split, &shape, &spec).unwrap()).unwrap();
         assert!(

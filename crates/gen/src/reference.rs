@@ -100,7 +100,14 @@ pub fn gemm_f16(shape: &GemmShape, a: &[f32], b: &[f32], c: &mut [f32]) {
 /// index fastest.
 pub fn conv_f32(shape: &ConvShape, input: &[f32], filters: &[f32], out: &mut [f32]) {
     let ConvShape {
-        n, c, h, w, k, r, s, ..
+        n,
+        c,
+        h,
+        w,
+        k,
+        r,
+        s,
+        ..
     } = *shape;
     let (n, c, h, w, k, r, s) = (
         n as usize, c as usize, h as usize, w as usize, k as usize, r as usize, s as usize,
@@ -134,7 +141,14 @@ pub fn conv_f32(shape: &ConvShape, input: &[f32], filters: &[f32], out: &mut [f3
 /// Multi-channel convolution with f16 inputs and f32 accumulation.
 pub fn conv_f16(shape: &ConvShape, input: &[f32], filters: &[f32], out: &mut [f32]) {
     let ConvShape {
-        n, c, h, w, k, r, s, ..
+        n,
+        c,
+        h,
+        w,
+        k,
+        r,
+        s,
+        ..
     } = *shape;
     let (n, c, h, w, k, r, s) = (
         n as usize, c as usize, h as usize, w as usize, k as usize, r as usize, s as usize,

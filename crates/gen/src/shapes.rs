@@ -128,7 +128,17 @@ pub struct ConvShape {
 impl ConvShape {
     /// Construct from output dimensions `(N, P, Q, K, C, R, S)` as listed
     /// in paper Table 5 (input H/W derived for unit stride, no padding).
-    pub fn from_output(n: u32, p: u32, q: u32, k: u32, c: u32, r: u32, s: u32, dtype: DType) -> Self {
+    #[allow(clippy::too_many_arguments)] // mirrors the paper's Table 5 column order
+    pub fn from_output(
+        n: u32,
+        p: u32,
+        q: u32,
+        k: u32,
+        c: u32,
+        r: u32,
+        s: u32,
+        dtype: DType,
+    ) -> Self {
         ConvShape {
             n,
             c,

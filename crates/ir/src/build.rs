@@ -5,9 +5,7 @@
 //! helpers that fold constants where it is free to do so, and structured
 //! loops via closures.
 
-use crate::ir::{
-    BinOp, CmpOp, Kernel, Op, Operand, Param, RegDecl, RegId, SharedDecl, Sreg, Stmt,
-};
+use crate::ir::{BinOp, CmpOp, Kernel, Op, Operand, Param, RegDecl, RegId, SharedDecl, Sreg, Stmt};
 use crate::types::Ty;
 
 /// Builder for a [`Kernel`].
@@ -109,7 +107,13 @@ impl KernelBuilder {
     }
 
     /// Fresh register holding `a <op> b`.
-    pub fn bin_new(&mut self, op: BinOp, ty: Ty, a: impl Into<Operand>, b: impl Into<Operand>) -> RegId {
+    pub fn bin_new(
+        &mut self,
+        op: BinOp,
+        ty: Ty,
+        a: impl Into<Operand>,
+        b: impl Into<Operand>,
+    ) -> RegId {
         let dst = self.reg(ty);
         self.bin(op, dst, a, b);
         dst
@@ -177,13 +181,7 @@ impl KernelBuilder {
     }
 
     /// `dst = p ? a : b`.
-    pub fn selp(
-        &mut self,
-        dst: RegId,
-        a: impl Into<Operand>,
-        b: impl Into<Operand>,
-        p: RegId,
-    ) {
+    pub fn selp(&mut self, dst: RegId, a: impl Into<Operand>, b: impl Into<Operand>, p: RegId) {
         self.push(Op::Selp {
             dst,
             a: a.into(),

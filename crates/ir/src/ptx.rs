@@ -160,7 +160,10 @@ pub fn parse_module(text: &str) -> Result<PtxModule, PtxError> {
             continue;
         }
         if !in_body {
-            return Err(err(line_no, format!("unexpected text outside body: '{line}'")));
+            return Err(err(
+                line_no,
+                format!("unexpected text outside body: '{line}'"),
+            ));
         }
 
         if let Some(rest) = line.strip_prefix(".reg") {

@@ -146,9 +146,7 @@ impl GpuMemory {
     /// Allocate an f16 buffer from f32 data (quantizing each element).
     pub fn alloc_f16(&mut self, data: &[f32]) -> BufId {
         self.alloc(HostBuffer::F16(
-            data.iter()
-                .map(|&x| f16_to_f32(f16_from_f32(x)))
-                .collect(),
+            data.iter().map(|&x| f16_to_f32(f16_from_f32(x))).collect(),
         ))
     }
 
@@ -485,11 +483,7 @@ impl BlockCtx<'_> {
                     let v = if is_float {
                         Scalar::F(av.as_f() * bv.as_f() + cv.as_f())
                     } else {
-                        Scalar::I(
-                            av.as_i()
-                                .wrapping_mul(bv.as_i())
-                                .wrapping_add(cv.as_i()),
-                        )
+                        Scalar::I(av.as_i().wrapping_mul(bv.as_i()).wrapping_add(cv.as_i()))
                     };
                     self.write(*dst, t, v);
                 }
@@ -690,12 +684,7 @@ impl BlockCtx<'_> {
 
     /// Decode and bounds-check a global pointer; returns (buffer index,
     /// element index).
-    fn global_index(
-        &self,
-        ptr: i64,
-        width: u8,
-        what: &str,
-    ) -> Result<(usize, usize), GpuFault> {
+    fn global_index(&self, ptr: i64, width: u8, what: &str) -> Result<(usize, usize), GpuFault> {
         let (buf_idx, byte) = self.mem.decode_ptr(ptr);
         let Some(buf) = self.mem.bufs.get(buf_idx) else {
             return Err(GpuFault::OutOfBounds {
@@ -808,22 +797,18 @@ fn eval_cmp(op: CmpOp, a: Scalar, b: Scalar) -> Result<bool, GpuFault> {
     let ord = match (a, b) {
         (Scalar::I(x), Scalar::I(y)) => x.partial_cmp(&y),
         (Scalar::F(x), Scalar::F(y)) => x.partial_cmp(&y),
-        (a, b) => {
-            return Err(GpuFault::TypeError(format!(
-                "mixed compare {a:?} / {b:?}"
-            )))
-        }
+        (a, b) => return Err(GpuFault::TypeError(format!("mixed compare {a:?} / {b:?}"))),
     };
     use std::cmp::Ordering::*;
-    Ok(match (op, ord) {
-        (CmpOp::Lt, Some(Less)) => true,
-        (CmpOp::Le, Some(Less | Equal)) => true,
-        (CmpOp::Gt, Some(Greater)) => true,
-        (CmpOp::Ge, Some(Greater | Equal)) => true,
-        (CmpOp::Eq, Some(Equal)) => true,
-        (CmpOp::Ne, Some(Less | Greater)) => true,
-        _ => false,
-    })
+    Ok(matches!(
+        (op, ord),
+        (CmpOp::Lt, Some(Less))
+            | (CmpOp::Le, Some(Less | Equal))
+            | (CmpOp::Gt, Some(Greater))
+            | (CmpOp::Ge, Some(Greater | Equal))
+            | (CmpOp::Eq, Some(Equal))
+            | (CmpOp::Ne, Some(Less | Greater))
+    ))
 }
 
 #[cfg(test)]
@@ -869,11 +854,17 @@ mod tests {
         let vm = Vm::new();
         // 128 threads, 100 valid: predication guards the tail.
         let stats = vm
-            .launch(&k, [1, 1, 1], 128, &[Arg::Buf(bx), Arg::Buf(by), Arg::I32(100)], &mut mem)
+            .launch(
+                &k,
+                [1, 1, 1],
+                128,
+                &[Arg::Buf(bx), Arg::Buf(by), Arg::I32(100)],
+                &mut mem,
+            )
             .unwrap();
         let out = mem.read_f32(by);
-        for i in 0..100 {
-            assert_eq!(out[i], 2.5 * i as f32 + (i * 2) as f32);
+        for (i, v) in out.iter().enumerate().take(100) {
+            assert_eq!(*v, 2.5 * i as f32 + (i * 2) as f32);
         }
         assert_eq!(stats.threads, 128);
         assert!(stats.math > 0.0);

@@ -138,7 +138,11 @@ fn predicated_store_skips_memory() {
     Vm::new()
         .launch(&k, [1, 1, 1], 4, &[Arg::Buf(buf)], &mut mem)
         .unwrap();
-    assert_eq!(mem.read_f32(buf)[0], 42.0, "guarded-off store must not write");
+    assert_eq!(
+        mem.read_f32(buf)[0],
+        42.0,
+        "guarded-off store must not write"
+    );
 }
 
 #[test]

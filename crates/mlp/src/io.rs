@@ -41,6 +41,46 @@ impl ModelBundle {
         self.mlp.predict_one(&row) * self.y_std + self.y_mean
     }
 
+    /// Allocation-free batched prediction in the original target scale.
+    ///
+    /// `rows_flat` holds row-major feature rows of width `stride`;
+    /// standardization, the forward pass and denormalization all run
+    /// inside `scratch`, which the caller keeps across queries (one per
+    /// worker thread). Returns one prediction per row, borrowed from the
+    /// scratch. Results are bit-identical to [`ModelBundle::predict_batch`]
+    /// for any batch split.
+    pub fn predict_rows<'s>(
+        &self,
+        rows_flat: &[f32],
+        stride: usize,
+        scratch: &'s mut crate::mlp::ScratchSpace,
+    ) -> &'s [f32] {
+        assert_eq!(rows_flat.len() % stride.max(1), 0, "whole rows required");
+        let rows = rows_flat.len() / stride.max(1);
+        scratch.input(rows, stride).copy_from_slice(rows_flat);
+        self.predict_scratch(scratch)
+    }
+
+    /// Like [`ModelBundle::predict_rows`], but over raw feature rows the
+    /// caller already wrote into `scratch.input(rows, stride)` -- the
+    /// zero-copy entry used by the tuning query engine.
+    pub fn predict_scratch<'s>(&self, scratch: &'s mut crate::mlp::ScratchSpace) -> &'s [f32] {
+        let (rows, stride) = scratch.input_shape();
+        {
+            let buf = scratch.active_mut();
+            for r in 0..rows {
+                self.standardizer
+                    .apply_row(&mut buf[r * stride..(r + 1) * stride]);
+            }
+        }
+        self.mlp.predict_scratch(scratch);
+        let out = scratch.active_mut();
+        for v in out.iter_mut() {
+            *v = *v * self.y_std + self.y_mean;
+        }
+        &out[..rows]
+    }
+
     /// Predict a batch of raw feature rows in the original target scale.
     pub fn predict_batch(&self, rows: &[Vec<f32>]) -> Vec<f32> {
         if rows.is_empty() {
@@ -119,9 +159,21 @@ pub fn from_text(text: &str) -> Result<ModelBundle, String> {
                 }
             }
             Some("w") => {
-                let li: usize = it.next().ok_or("missing layer idx")?.parse().map_err(|e| format!("{e}"))?;
-                let rows: usize = it.next().ok_or("missing rows")?.parse().map_err(|e| format!("{e}"))?;
-                let cols: usize = it.next().ok_or("missing cols")?.parse().map_err(|e| format!("{e}"))?;
+                let li: usize = it
+                    .next()
+                    .ok_or("missing layer idx")?
+                    .parse()
+                    .map_err(|e| format!("{e}"))?;
+                let rows: usize = it
+                    .next()
+                    .ok_or("missing rows")?
+                    .parse()
+                    .map_err(|e| format!("{e}"))?;
+                let cols: usize = it
+                    .next()
+                    .ok_or("missing cols")?
+                    .parse()
+                    .map_err(|e| format!("{e}"))?;
                 let data: Vec<f32> = it
                     .map(|t| t.parse().map_err(|e| format!("line {ln}: {e}")))
                     .collect::<Result<_, _>>()?;
@@ -131,14 +183,22 @@ pub fn from_text(text: &str) -> Result<ModelBundle, String> {
                 weights.push((li, Mat::from_vec(rows, cols, data)));
             }
             Some("b") => {
-                let li: usize = it.next().ok_or("missing layer idx")?.parse().map_err(|e| format!("{e}"))?;
+                let li: usize = it
+                    .next()
+                    .ok_or("missing layer idx")?
+                    .parse()
+                    .map_err(|e| format!("{e}"))?;
                 let data: Vec<f32> = it
                     .map(|t| t.parse().map_err(|e| format!("line {ln}: {e}")))
                     .collect::<Result<_, _>>()?;
                 biases.push((li, data));
             }
             Some("std") => {
-                let n: usize = it.next().ok_or("missing std len")?.parse().map_err(|e| format!("{e}"))?;
+                let n: usize = it
+                    .next()
+                    .ok_or("missing std len")?
+                    .parse()
+                    .map_err(|e| format!("{e}"))?;
                 let vals: Vec<f32> = it
                     .map(|t| t.parse().map_err(|e| format!("line {ln}: {e}")))
                     .collect::<Result<_, _>>()?;
@@ -151,8 +211,16 @@ pub fn from_text(text: &str) -> Result<ModelBundle, String> {
                 });
             }
             Some("y") => {
-                let m: f32 = it.next().ok_or("missing y mean")?.parse().map_err(|e| format!("{e}"))?;
-                let s: f32 = it.next().ok_or("missing y std")?.parse().map_err(|e| format!("{e}"))?;
+                let m: f32 = it
+                    .next()
+                    .ok_or("missing y mean")?
+                    .parse()
+                    .map_err(|e| format!("{e}"))?;
+                let s: f32 = it
+                    .next()
+                    .ok_or("missing y std")?
+                    .parse()
+                    .map_err(|e| format!("{e}"))?;
                 y = Some((m, s));
             }
             Some(other) => return Err(format!("line {ln}: unknown record '{other}'")),
@@ -221,6 +289,25 @@ mod tests {
         let batch = b.predict_batch(&rows);
         assert!((batch[0] - b.predict(&rows[0])).abs() < 1e-5);
         assert!((batch[1] - b.predict(&rows[1])).abs() < 1e-5);
+    }
+
+    #[test]
+    fn predict_rows_matches_predict_batch_bitwise() {
+        let b = bundle();
+        let rows = vec![
+            vec![0.1f32, 0.2, 0.3],
+            vec![5.0, 4.0, 3.0],
+            vec![-1.0, 0.0, 2.5],
+        ];
+        let batch = b.predict_batch(&rows);
+        let flat: Vec<f32> = rows.iter().flatten().copied().collect();
+        let mut scratch = crate::mlp::ScratchSpace::new();
+        let fast = b.predict_rows(&flat, 3, &mut scratch);
+        assert_eq!(fast, batch.as_slice());
+        // Zero-copy entry: fill the scratch input directly.
+        scratch.input(3, 3).copy_from_slice(&flat);
+        let zero_copy = b.predict_scratch(&mut scratch);
+        assert_eq!(zero_copy, batch.as_slice());
     }
 
     #[test]

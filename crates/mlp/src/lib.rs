@@ -13,6 +13,20 @@
 //! * [`data`] -- feature standardization and train/validation splits,
 //! * [`io`] -- a plain-text serialization format for trained models (kept
 //!   dependency-free on purpose; see DESIGN.md).
+//!
+//! ## The hot inference path
+//!
+//! Runtime tuning evaluates the model over *every* legal configuration of
+//! an input, so the query path is built to be allocation-free:
+//! [`mlp::Mlp::predict_rows`] (and `io::ModelBundle::predict_rows`) take a
+//! flat row-major `&[f32]` buffer plus stride and run the whole forward
+//! pass inside a caller-held [`mlp::ScratchSpace`]. The scratch ping-pongs
+//! activations between two reusable matrices; after warmup to the largest
+//! batch, repeated queries perform zero heap allocations
+//! ([`mlp::ScratchSpace::allocations`] proves it). Results are
+//! bit-identical to the allocating `predict_batch` path for any batch
+//! split, which is what makes the parallel query engine in `isaac-core`
+//! deterministic.
 
 pub mod data;
 pub mod io;
@@ -21,4 +35,4 @@ pub mod mlp;
 
 pub use data::{Dataset, Standardizer};
 pub use matrix::Mat;
-pub use mlp::{Mlp, Optimizer, TrainConfig, TrainReport};
+pub use mlp::{Mlp, Optimizer, ScratchSpace, TrainConfig, TrainReport};

@@ -6,7 +6,7 @@
 //! below the simulator's cost anyway.
 
 /// A dense row-major matrix.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Mat {
     /// Number of rows.
     pub rows: usize,
@@ -29,6 +29,23 @@ impl Mat {
     pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
         assert_eq!(data.len(), rows * cols, "shape mismatch");
         Mat { rows, cols, data }
+    }
+
+    /// Reshape in place, reusing the existing allocation whenever its
+    /// capacity suffices. Contents after the call are unspecified (the
+    /// caller overwrites them). Returns `true` if the buffer had to grow --
+    /// the signal [`crate::mlp::ScratchSpace`] counts to prove the query
+    /// path stops allocating at steady state.
+    pub fn reset(&mut self, rows: usize, cols: usize) -> bool {
+        self.rows = rows;
+        self.cols = cols;
+        let needed = rows * cols;
+        let grew = needed > self.data.capacity();
+        // Truncate-then-resize keeps the operation O(delta) and never
+        // copies: Vec::resize over existing capacity only writes the fill.
+        self.data.clear();
+        self.data.resize(needed, 0.0);
+        grew
     }
 
     /// Flat data access.

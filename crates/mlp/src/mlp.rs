@@ -92,6 +92,57 @@ impl TrainReport {
     }
 }
 
+/// Reusable workspace for allocation-free batched inference.
+///
+/// The forward pass ping-pongs activations between two matrices whose
+/// backing buffers are reused across calls; after the first call with the
+/// largest batch size, [`Mlp::predict_rows`] performs **zero heap
+/// allocations**. Hold one `ScratchSpace` per worker thread and feed every
+/// query through it; [`ScratchSpace::allocations`] counts buffer growths
+/// so tests (and the bench harness) can assert steady-state reuse.
+#[derive(Debug, Clone, Default)]
+pub struct ScratchSpace {
+    a: Mat,
+    b: Mat,
+    allocations: u64,
+}
+
+impl ScratchSpace {
+    /// Fresh, empty workspace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of buffer growths since construction. Constant across calls
+    /// once the workspace has warmed up to the largest batch seen.
+    pub fn allocations(&self) -> u64 {
+        self.allocations
+    }
+
+    /// Reset the input buffer to `rows x cols` and expose it for the
+    /// caller to fill with features (row-major). This is the zero-copy
+    /// entry: build feature rows directly in place, then run
+    /// [`Mlp::predict_scratch`] / `ModelBundle::predict_scratch`.
+    pub fn input(&mut self, rows: usize, cols: usize) -> &mut [f32] {
+        if self.a.reset(rows, cols) {
+            self.allocations += 1;
+        }
+        self.a.data_mut()
+    }
+
+    /// The current input buffer dimensions `(rows, cols)`.
+    pub fn input_shape(&self) -> (usize, usize) {
+        (self.a.rows, self.a.cols)
+    }
+
+    /// Mutable view of the active buffer: the filled input before a
+    /// forward pass, the output after one (used by `ModelBundle` to
+    /// standardize and denormalize in place).
+    pub(crate) fn active_mut(&mut self) -> &mut [f32] {
+        self.a.data_mut()
+    }
+}
+
 /// The network.
 #[derive(Debug, Clone)]
 pub struct Mlp {
@@ -176,6 +227,54 @@ impl Mlp {
     pub fn predict_batch(&self, x: &Mat) -> Vec<f32> {
         let acts = self.forward(x);
         acts.last().expect("output layer").data().to_vec()
+    }
+
+    /// Allocation-free batched prediction over a flat row-major buffer.
+    ///
+    /// `x` holds `x.len() / stride` feature rows of width `stride` (which
+    /// must equal the input layer size). Activations live in `scratch`,
+    /// which is reused across calls; the returned slice (one prediction
+    /// per row, raw network output) borrows from it.
+    ///
+    /// The arithmetic is row-independent and performed in the same order
+    /// as [`Mlp::predict_batch`], so results are bit-identical to the
+    /// allocating path for any batch split.
+    pub fn predict_rows<'s>(
+        &self,
+        x: &[f32],
+        stride: usize,
+        scratch: &'s mut ScratchSpace,
+    ) -> &'s [f32] {
+        assert_eq!(stride, self.sizes[0], "stride must match the input layer");
+        assert_eq!(x.len() % stride, 0, "flat buffer must be whole rows");
+        let rows = x.len() / stride;
+        scratch.input(rows, stride).copy_from_slice(x);
+        self.predict_scratch(scratch)
+    }
+
+    /// Run the forward pass on feature rows already placed in
+    /// `scratch.input(..)`. See [`Mlp::predict_rows`].
+    pub fn predict_scratch<'s>(&self, scratch: &'s mut ScratchSpace) -> &'s [f32] {
+        let (rows, cols) = scratch.input_shape();
+        assert_eq!(cols, self.sizes[0], "scratch input width mismatch");
+        for (li, layer) in self.layers.iter().enumerate() {
+            if scratch.b.reset(rows, layer.w.rows) {
+                scratch.allocations += 1;
+            }
+            scratch.a.mul_bt(&layer.w, &mut scratch.b);
+            let last = li + 1 == self.layers.len();
+            for r in 0..rows {
+                let row = scratch.b.row_mut(r);
+                for (v, b) in row.iter_mut().zip(&layer.b) {
+                    *v += b;
+                    if !last && *v < 0.0 {
+                        *v = 0.0; // ReLU
+                    }
+                }
+            }
+            std::mem::swap(&mut scratch.a, &mut scratch.b);
+        }
+        scratch.a.data()
     }
 
     /// Predict one feature vector.
@@ -340,12 +439,7 @@ impl OptState {
                     *v = beta2 * *v + (1.0 - beta2) * g * g;
                     *w -= lr * (*m / bc1) / ((*v / bc2).sqrt() + eps);
                 }
-                for (((m, v), b), g) in mb
-                    .iter_mut()
-                    .zip(vb.iter_mut())
-                    .zip(&mut layer.b)
-                    .zip(db)
-                {
+                for (((m, v), b), g) in mb.iter_mut().zip(vb.iter_mut()).zip(&mut layer.b).zip(db) {
                     *m = beta1 * *m + (1.0 - beta1) * g;
                     *v = beta2 * *v + (1.0 - beta2) * g * g;
                     *b -= lr * (*m / bc1) / ((*v / bc2).sqrt() + eps);
@@ -390,10 +484,12 @@ mod tests {
         minus.layers[0].w.set(0, 0, w00 - eps);
         let num_grad = (probe(&plus) - probe(&minus)) / (2.0 * eps);
 
-        // Analytic: run one SGD step (momentum 0, lr tiny) on the full
-        // batch and recover dW from the weight delta.
+        // Analytic: run one SGD step (momentum 0, lr small) on the full
+        // batch and recover dW from the weight delta. The lr must be large
+        // enough that the delta is far from the f32 ULP of the weight
+        // (~6e-8 here), or the recovered gradient is pure quantization.
         let mut stepped = mlp.clone();
-        let lr = 1e-6f32;
+        let lr = 1e-3f32;
         let mut opt = OptState::new(&stepped, Optimizer::Sgd { momentum: 0.0 });
         stepped.step(&data, lr, &mut opt);
         let analytic = (mlp.layers[0].w.get(0, 0) - stepped.layers[0].w.get(0, 0)) / lr;
@@ -412,9 +508,10 @@ mod tests {
             &data,
             &data,
             &TrainConfig {
-                epochs: 80,
+                epochs: 120,
                 batch: 32,
                 lr: 5e-3,
+                lr_decay: 0.97,
                 ..Default::default()
             },
         );
@@ -525,5 +622,43 @@ mod tests {
     #[should_panic(expected = "regression head")]
     fn output_must_be_scalar() {
         let _ = Mlp::new(&[3, 8, 2], 0);
+    }
+
+    #[test]
+    fn predict_rows_matches_predict_batch_bitwise() {
+        let mlp = Mlp::new(&[5, 16, 8, 1], 13);
+        let mut rng = StdRng::seed_from_u64(77);
+        let rows = 37;
+        let flat: Vec<f32> = (0..rows * 5).map(|_| rng.gen_range(-2.0..2.0)).collect();
+        let batch = mlp.predict_batch(&Mat::from_vec(rows, 5, flat.clone()));
+        let mut scratch = ScratchSpace::new();
+        let fast = mlp.predict_rows(&flat, 5, &mut scratch);
+        assert_eq!(fast, batch.as_slice(), "flat path must be bit-identical");
+        // Splitting the batch arbitrarily must not change any bit either.
+        let mid = 17 * 5;
+        let head = mlp.predict_rows(&flat[..mid], 5, &mut scratch).to_vec();
+        let tail = mlp.predict_rows(&flat[mid..], 5, &mut scratch).to_vec();
+        let rejoined: Vec<f32> = head.into_iter().chain(tail).collect();
+        assert_eq!(rejoined, batch);
+    }
+
+    #[test]
+    fn scratch_stops_allocating_at_steady_state() {
+        let mlp = Mlp::new(&[4, 32, 32, 1], 3);
+        let mut scratch = ScratchSpace::new();
+        let big = vec![0.5f32; 256 * 4];
+        let small = vec![0.25f32; 64 * 4];
+        mlp.predict_rows(&big, 4, &mut scratch);
+        let warmed = scratch.allocations();
+        assert!(warmed > 0, "first call must size the buffers");
+        for _ in 0..50 {
+            mlp.predict_rows(&big, 4, &mut scratch);
+            mlp.predict_rows(&small, 4, &mut scratch); // shrinking is free
+        }
+        assert_eq!(
+            scratch.allocations(),
+            warmed,
+            "steady-state queries must not allocate"
+        );
     }
 }

@@ -10,7 +10,7 @@ use isaac::prelude::*;
 fn main() {
     let spec = tesla_p100();
     println!("== Blocked SVD panel updates (K = 32) on {} ==", spec.name);
-    let mut tuner = IsaacTuner::train(
+    let tuner = IsaacTuner::train(
         spec.clone(),
         OpKind::Gemm,
         TrainOptions {
@@ -41,12 +41,19 @@ fn main() {
     println!("\napplying a small rank-32 update on the functional VM...");
     let mn = 128u32;
     let shape = GemmShape::new(mn, mn, 32, "N", "T", DType::F32);
-    let u: Vec<f32> = (0..shape.a_len()).map(|i| (i as f32 * 0.013).sin() * 0.1).collect();
-    let v: Vec<f32> = (0..shape.b_len()).map(|i| (i as f32 * 0.017).cos() * 0.1).collect();
+    let u: Vec<f32> = (0..shape.a_len())
+        .map(|i| (i as f32 * 0.013).sin() * 0.1)
+        .collect();
+    let v: Vec<f32> = (0..shape.b_len())
+        .map(|i| (i as f32 * 0.017).cos() * 0.1)
+        .collect();
     let mut a: Vec<f32> = (0..shape.c_len()).map(|i| (i % 7) as f32).collect();
     let uv = tuner.gemm_f32(&shape, &u, &v).expect("runs");
     for (ai, d) in a.iter_mut().zip(&uv) {
         *ai -= d;
     }
-    println!("panel update applied; checksum = {:.4}", a.iter().sum::<f32>());
+    println!(
+        "panel update applied; checksum = {:.4}",
+        a.iter().sum::<f32>()
+    );
 }

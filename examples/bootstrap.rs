@@ -20,7 +20,7 @@ use isaac::prelude::*;
 fn main() {
     let spec = tesla_p100();
     println!("== Bootstrapping: tuning ISAAC's own MLP inference GEMMs ==");
-    let mut tuner = IsaacTuner::train(
+    let tuner = IsaacTuner::train(
         spec.clone(),
         OpKind::Gemm,
         TrainOptions {

@@ -9,7 +9,7 @@ fn main() {
     let spec = tesla_p100();
     println!("== CONV inference on {} ==", spec.name);
     println!("training the CONV tuner...");
-    let mut tuner = IsaacTuner::train(
+    let tuner = IsaacTuner::train(
         spec.clone(),
         OpKind::Conv,
         TrainOptions {
@@ -21,11 +21,26 @@ fn main() {
 
     // A few representative layers from Table 5.
     let layers = [
-        ("Conv3 (OCR)", ConvShape::from_output(16, 24, 240, 32, 16, 3, 3, DType::F32)),
-        ("Conv5 (Face)", ConvShape::from_output(8, 54, 54, 64, 64, 3, 3, DType::F32)),
-        ("Conv7 (deep CRS)", ConvShape::from_output(16, 14, 14, 48, 512, 5, 5, DType::F32)),
-        ("Conv8 (deep CRS)", ConvShape::from_output(16, 7, 7, 128, 832, 5, 5, DType::F32)),
-        ("Conv13 (ResNet)", ConvShape::from_output(16, 7, 7, 512, 512, 3, 3, DType::F32)),
+        (
+            "Conv3 (OCR)",
+            ConvShape::from_output(16, 24, 240, 32, 16, 3, 3, DType::F32),
+        ),
+        (
+            "Conv5 (Face)",
+            ConvShape::from_output(8, 54, 54, 64, 64, 3, 3, DType::F32),
+        ),
+        (
+            "Conv7 (deep CRS)",
+            ConvShape::from_output(16, 14, 14, 48, 512, 5, 5, DType::F32),
+        ),
+        (
+            "Conv8 (deep CRS)",
+            ConvShape::from_output(16, 7, 7, 128, 832, 5, 5, DType::F32),
+        ),
+        (
+            "Conv13 (ResNet)",
+            ConvShape::from_output(16, 7, 7, 512, 512, 3, 3, DType::F32),
+        ),
     ];
     println!(
         "\n{:<18} {:>7} {:>7} {:>13} {:>13} {:>9}",
@@ -48,8 +63,12 @@ fn main() {
     // Execute a small convolution end to end.
     println!("\nexecuting a small 3x3 convolution on the functional VM...");
     let small = ConvShape::from_output(4, 6, 6, 16, 8, 3, 3, DType::F32);
-    let input: Vec<f32> = (0..small.i_len()).map(|i| (i as f32 * 0.37).sin()).collect();
-    let filters: Vec<f32> = (0..small.f_len()).map(|i| (i as f32 * 0.21).cos()).collect();
+    let input: Vec<f32> = (0..small.i_len())
+        .map(|i| (i as f32 * 0.37).sin())
+        .collect();
+    let filters: Vec<f32> = (0..small.f_len())
+        .map(|i| (i as f32 * 0.21).cos())
+        .collect();
     let out = tuner.conv_f32(&small, &input, &filters).expect("runs");
     let mut want = vec![0.0f32; small.o_len()];
     isaac::gen::reference::conv_f32(&small, &input, &filters, &mut want);

@@ -13,7 +13,7 @@ fn main() {
     let spec = tesla_p100();
     println!("== DeepBench GEMM (M = K = 2560) on {} ==", spec.name);
     println!("training ISAAC...");
-    let mut tuner = IsaacTuner::train(
+    let tuner = IsaacTuner::train(
         spec.clone(),
         OpKind::Gemm,
         TrainOptions {

@@ -14,7 +14,7 @@ use isaac::prelude::*;
 fn main() {
     let spec = tesla_p100();
     println!("== ICA covariance GEMMs (K = 60000) on {} ==", spec.name);
-    let mut tuner = IsaacTuner::train(
+    let tuner = IsaacTuner::train(
         spec.clone(),
         OpKind::Gemm,
         TrainOptions {

@@ -11,7 +11,7 @@ fn main() {
     let t0 = Instant::now();
     println!("== ISAAC quickstart (Tesla P100 model) ==");
     println!("training the input-aware tuner (simulated benchmarking + MLP)...");
-    let mut tuner = IsaacTuner::train(
+    let tuner = IsaacTuner::train(
         tesla_p100(),
         OpKind::Gemm,
         TrainOptions {
@@ -28,11 +28,23 @@ fn main() {
 
     // Three inputs with very different optimal kernels.
     let shapes = [
-        ("LINPACK square", GemmShape::new(2048, 2048, 2048, "N", "T", DType::F32)),
-        ("DeepBench skinny", GemmShape::new(2560, 16, 2560, "N", "N", DType::F32)),
-        ("ICA deep-K", GemmShape::new(32, 32, 60000, "N", "T", DType::F32)),
+        (
+            "LINPACK square",
+            GemmShape::new(2048, 2048, 2048, "N", "T", DType::F32),
+        ),
+        (
+            "DeepBench skinny",
+            GemmShape::new(2560, 16, 2560, "N", "N", DType::F32),
+        ),
+        (
+            "ICA deep-K",
+            GemmShape::new(32, 32, 60000, "N", "T", DType::F32),
+        ),
     ];
-    println!("\n{:<18} {:>8} {:>22} {:>10}", "input", "TFLOPS", "tile (ML NL MS NS U)", "K-split");
+    println!(
+        "\n{:<18} {:>8} {:>22} {:>10}",
+        "input", "TFLOPS", "tile (ML NL MS NS U)", "K-split"
+    );
     for (label, shape) in &shapes {
         let t = Instant::now();
         let c = tuner.tune_gemm(shape).expect("tuning succeeds");
@@ -52,8 +64,12 @@ fn main() {
     // Execute a small tuned GEMM end to end on the functional VM.
     println!("\nexecuting a tuned 96x64x128 GEMM on the functional VM...");
     let small = GemmShape::new(96, 64, 128, "N", "T", DType::F32);
-    let a: Vec<f32> = (0..small.a_len()).map(|i| ((i % 17) as f32 - 8.0) * 0.1).collect();
-    let b: Vec<f32> = (0..small.b_len()).map(|i| ((i % 13) as f32 - 6.0) * 0.1).collect();
+    let a: Vec<f32> = (0..small.a_len())
+        .map(|i| ((i % 17) as f32 - 8.0) * 0.1)
+        .collect();
+    let b: Vec<f32> = (0..small.b_len())
+        .map(|i| ((i % 13) as f32 - 6.0) * 0.1)
+        .collect();
     let c = tuner.gemm_f32(&small, &a, &b).expect("kernel executes");
     let mut want = vec![0.0f32; small.c_len()];
     isaac::gen::reference::gemm_f32(&small, &a, &b, &mut want);

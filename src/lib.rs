@@ -17,7 +17,7 @@
 //! use isaac::prelude::*;
 //!
 //! // Train an input-aware GEMM tuner for the Tesla P100 model.
-//! let mut tuner = IsaacTuner::train(
+//! let tuner = IsaacTuner::train(
 //!     tesla_p100(),
 //!     OpKind::Gemm,
 //!     TrainOptions::default(),
@@ -40,6 +40,14 @@
 //! generators), [`mlp`] (regression), [`core`] (sampling, training,
 //! inference -- the paper's contribution), [`baselines`] (cuBLAS/cuDNN
 //! stand-ins).
+//!
+//! Runtime tuning queries run on a parallel, allocation-free engine:
+//! exhaustive model search fans out across cores with bit-deterministic
+//! reductions, feature batches are built in place inside pooled scratch
+//! buffers (`isaac_mlp::ScratchSpace`), and decisions are memoized in a
+//! shape-keyed, `RwLock`-guarded `isaac_core::TuneCache` -- so tuning
+//! methods take `&self` and a trained tuner can serve many threads.
+//! `cargo bench -p isaac-bench --bench inference` tracks queries/sec.
 
 pub use isaac_baselines as baselines;
 pub use isaac_core as core;

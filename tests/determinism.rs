@@ -28,8 +28,8 @@ fn tuning_decisions_are_deterministic() {
         GemmShape::new(512, 512, 512, "N", "T", DType::F32),
         GemmShape::new(32, 32, 60000, "N", "T", DType::F32),
     ];
-    let mut a = IsaacTuner::train(tesla_p100(), OpKind::Gemm, opts());
-    let mut b = IsaacTuner::train(tesla_p100(), OpKind::Gemm, opts());
+    let a = IsaacTuner::train(tesla_p100(), OpKind::Gemm, opts());
+    let b = IsaacTuner::train(tesla_p100(), OpKind::Gemm, opts());
     for s in &shapes {
         let ca = a.tune_gemm(s).expect("a tunes");
         let cb = b.tune_gemm(s).expect("b tunes");
@@ -40,8 +40,8 @@ fn tuning_decisions_are_deterministic() {
 
 #[test]
 fn different_seeds_change_the_model_not_the_physics() {
-    let mut a = IsaacTuner::train(tesla_p100(), OpKind::Gemm, opts());
-    let mut b = IsaacTuner::train(
+    let a = IsaacTuner::train(tesla_p100(), OpKind::Gemm, opts());
+    let b = IsaacTuner::train(
         tesla_p100(),
         OpKind::Gemm,
         TrainOptions {

@@ -27,7 +27,7 @@ fn rand_vec(len: usize, seed: u64) -> Vec<f32> {
 
 #[test]
 fn gemm_tune_and_execute_three_layouts() {
-    let mut tuner = quick(OpKind::Gemm);
+    let tuner = quick(OpKind::Gemm);
     for (ta, tb) in [("N", "N"), ("N", "T"), ("T", "N")] {
         let shape = GemmShape::new(72, 56, 96, ta, tb, DType::F32);
         let a = rand_vec(shape.a_len(), 1);
@@ -38,17 +38,14 @@ fn gemm_tune_and_execute_three_layouts() {
         let mut want = vec![0.0f32; shape.c_len()];
         reference::gemm_f32(&shape, &a, &b, &mut want);
         for (i, (g, w)) in c.iter().zip(&want).enumerate() {
-            assert!(
-                (g - w).abs() < 1e-3,
-                "{ta}{tb} mismatch at {i}: {g} vs {w}"
-            );
+            assert!((g - w).abs() < 1e-3, "{ta}{tb} mismatch at {i}: {g} vs {w}");
         }
     }
 }
 
 #[test]
 fn conv_tune_and_execute() {
-    let mut tuner = quick(OpKind::Conv);
+    let tuner = quick(OpKind::Conv);
     let shape = ConvShape::from_output(4, 5, 6, 16, 8, 3, 3, DType::F32);
     let input = rand_vec(shape.i_len(), 3);
     let filters = rand_vec(shape.f_len(), 4);
@@ -62,7 +59,7 @@ fn conv_tune_and_execute() {
 
 #[test]
 fn f64_gemm_through_facade() {
-    let mut tuner = IsaacTuner::train(
+    let tuner = IsaacTuner::train(
         tesla_p100(),
         OpKind::Gemm,
         TrainOptions {
@@ -74,8 +71,14 @@ fn f64_gemm_through_facade() {
         },
     );
     let shape = GemmShape::new(48, 48, 64, "N", "T", DType::F64);
-    let a: Vec<f64> = rand_vec(shape.a_len(), 5).iter().map(|&x| x as f64).collect();
-    let b: Vec<f64> = rand_vec(shape.b_len(), 6).iter().map(|&x| x as f64).collect();
+    let a: Vec<f64> = rand_vec(shape.a_len(), 5)
+        .iter()
+        .map(|&x| x as f64)
+        .collect();
+    let b: Vec<f64> = rand_vec(shape.b_len(), 6)
+        .iter()
+        .map(|&x| x as f64)
+        .collect();
     let c = tuner.gemm_f64(&shape, &a, &b).expect("runs");
     let mut want = vec![0.0f64; shape.c_len()];
     reference::gemm_f64(&shape, &a, &b, &mut want);
@@ -86,21 +89,24 @@ fn f64_gemm_through_facade() {
 
 #[test]
 fn tuned_kernels_emit_valid_ptx() {
-    let mut tuner = quick(OpKind::Gemm);
+    let tuner = quick(OpKind::Gemm);
     let shape = GemmShape::new(2560, 16, 2560, "N", "N", DType::F32);
     let choice = tuner.tune_gemm(&shape).expect("selects");
     let built = isaac::gen::gemm::build_kernel(&choice.config, &shape);
     let text = emit_ptx(&built.kernel, "sm_60");
     let module = isaac::ir::ptx::parse_module(&text).expect("parses");
     module.validate().expect("validates");
-    assert!(module.instrs.iter().any(|i| i.pred.is_some()), "predication present");
+    assert!(
+        module.instrs.iter().any(|i| i.pred.is_some()),
+        "predication present"
+    );
 }
 
 #[test]
 fn input_awareness_changes_selection() {
     // The whole point of the paper: different inputs get different
     // kernels from the same trained model.
-    let mut tuner = quick(OpKind::Gemm);
+    let tuner = quick(OpKind::Gemm);
     let square = tuner
         .tune_gemm(&GemmShape::new(2048, 2048, 2048, "N", "T", DType::F32))
         .expect("square");

@@ -129,8 +129,8 @@ fn claim_model_predictions_correlate_with_measurements() {
     // The regression model must rank kernels usefully: across a random
     // sample of legal configs, predicted and simulated log-performance
     // should correlate strongly.
-    use isaac::core::features::gemm_features;
     use isaac::core::enumerate_legal_gemm;
+    use isaac::core::features::gemm_features;
     use isaac::device::Profiler;
     use isaac::gen::profile::gemm_profile;
     let spec = tesla_p100();
@@ -142,8 +142,12 @@ fn claim_model_predictions_correlate_with_measurements() {
     let mut pred = Vec::new();
     let mut meas = Vec::new();
     for cfg in legal.iter().step_by(step) {
-        let Ok(p) = gemm_profile(cfg, &shape, &spec) else { continue };
-        let Ok(m) = profiler.measure(&p) else { continue };
+        let Ok(p) = gemm_profile(cfg, &shape, &spec) else {
+            continue;
+        };
+        let Ok(m) = profiler.measure(&p) else {
+            continue;
+        };
         pred.push(guard.model().predict(&gemm_features(&shape, cfg, true)));
         meas.push((m.tflops * 1e3).max(1e-9).ln() as f32);
     }
@@ -151,7 +155,11 @@ fn claim_model_predictions_correlate_with_measurements() {
     assert!(n > 50.0, "need a usable sample, got {n}");
     let mean = |v: &[f32]| v.iter().sum::<f32>() / v.len() as f32;
     let (mp, mm) = (mean(&pred), mean(&meas));
-    let cov: f32 = pred.iter().zip(&meas).map(|(a, b)| (a - mp) * (b - mm)).sum();
+    let cov: f32 = pred
+        .iter()
+        .zip(&meas)
+        .map(|(a, b)| (a - mp) * (b - mm))
+        .sum();
     let vp: f32 = pred.iter().map(|a| (a - mp) * (a - mp)).sum();
     let vm: f32 = meas.iter().map(|b| (b - mm) * (b - mm)).sum();
     let r = cov / (vp.sqrt() * vm.sqrt() + 1e-12);
