@@ -17,7 +17,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use isaac_bench::harness::env_usize;
-use isaac_bench::report::Table;
+use isaac_bench::report::{bench_json_path, write_json, Table};
 use isaac_core::inference::{infer_gemm, infer_gemm_serial};
 use isaac_core::{engine_stats, IsaacTuner, OpKind, TrainOptions};
 use isaac_device::specs::tesla_p100;
@@ -63,17 +63,6 @@ fn secs_per_query(mut run: impl FnMut()) -> f64 {
         reps += 1;
     }
     start.elapsed().as_secs_f64() / reps as f64
-}
-
-fn write_json(path: &std::path::Path, fields: &[(&str, String)]) {
-    let body: Vec<String> = fields
-        .iter()
-        .map(|(k, v)| format!("  \"{k}\": {v}"))
-        .collect();
-    let text = format!("{{\n{}\n}}\n", body.join(",\n"));
-    if let Err(e) = std::fs::write(path, text) {
-        eprintln!("warning: could not write {}: {e}", path.display());
-    }
 }
 
 fn inference_throughput(c: &mut Criterion) {
@@ -154,9 +143,7 @@ fn inference_throughput(c: &mut Criterion) {
     ]);
     table.print();
 
-    let json = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
-        .join("../..")
-        .join("BENCH_inference.json");
+    let json = bench_json_path("BENCH_inference.json");
     write_json(
         &json,
         &[

@@ -1,0 +1,214 @@
+//! Serving-layer benchmark: the sharded router under repeat traffic.
+//!
+//! Measures the three serving mechanisms introduced by the
+//! `isaac-serve` PR and writes `BENCH_serving.json` at the workspace
+//! root (schema in `crates/serve/README.md`):
+//!
+//! * **batched vs one-at-a-time throughput** -- the same cached query
+//!   mix pushed through `submit` one query at a time vs. through
+//!   `submit_batch` with in-batch dedup;
+//! * **dedup ratio** -- the fraction of queries absorbed by in-batch
+//!   dedup plus single-flight joins (a contended cold key is raced by
+//!   several threads to exercise the flight table);
+//! * **warm-start speedup** -- seeding a fresh shard from a neighbour's
+//!   decisions (one re-benchmark per entry) vs. cold-tuning the same
+//!   shapes from scratch.
+//!
+//! Honours `ISAAC_SAMPLES`/`ISAAC_EPOCHS` for tuner training size and
+//! `RAYON_NUM_THREADS` for fan-out width.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use isaac_bench::harness::env_usize;
+use isaac_bench::report::{bench_json_path, write_json, Table};
+use isaac_core::{IsaacTuner, OpKind, TrainOptions, TuneCache};
+use isaac_device::specs::tesla_p100;
+use isaac_device::DType;
+use isaac_gen::shapes::GemmShape;
+use isaac_serve::{Query, TunerRouter};
+use std::hint::black_box;
+use std::sync::Barrier;
+use std::time::Instant;
+
+/// Query mix: square (LINPACK), skinny (DeepBench RNN), deep-reduction
+/// (ICA covariance) -- the paper's three GEMM regimes.
+fn query_shapes() -> Vec<GemmShape> {
+    vec![
+        GemmShape::new(1024, 1024, 1024, "N", "T", DType::F32),
+        GemmShape::new(2560, 16, 2560, "N", "N", DType::F32),
+        GemmShape::new(32, 32, 60000, "T", "N", DType::F32),
+    ]
+}
+
+fn small_tuner() -> IsaacTuner {
+    IsaacTuner::train(
+        tesla_p100(),
+        OpKind::Gemm,
+        TrainOptions {
+            samples: env_usize("ISAAC_SAMPLES", 2_000),
+            epochs: env_usize("ISAAC_EPOCHS", 2),
+            hidden: vec![32, 32],
+            ..Default::default()
+        },
+    )
+}
+
+fn serving_throughput(c: &mut Criterion) {
+    let shapes = query_shapes();
+
+    // Two shards off one trained model: training cost is irrelevant to
+    // the serving path, so clone via the text serialization.
+    let model_path = std::env::temp_dir().join("isaac_bench_serving_model.txt");
+    let source = small_tuner();
+    source.save(&model_path).expect("save model");
+    let clone = IsaacTuner::load(&model_path, tesla_p100(), OpKind::Gemm).expect("load model");
+    let _ = std::fs::remove_file(&model_path);
+
+    let mut router = TunerRouter::new();
+    router.add_shard(0, source);
+    let _ = router.add_shard(1, clone);
+
+    // --- Cold tunes seed shard 0 (the warm-start baseline). ----------
+    let t0 = Instant::now();
+    for s in &shapes {
+        router.submit(&Query::gemm(0, *s));
+    }
+    let cold_tune_s = t0.elapsed().as_secs_f64();
+
+    // --- Warm-start shard 1 from shard 0, then serve the same mix. ---
+    let t0 = Instant::now();
+    let warm = router
+        .warm_start(1, 0, OpKind::Gemm, shapes.len())
+        .expect("both shards exist");
+    for s in &shapes {
+        router.submit(&Query::gemm(1, *s));
+    }
+    let warm_start_s = t0.elapsed().as_secs_f64();
+
+    // --- Single-flight: race one fresh cold key from several threads. -
+    let contended = Query::gemm(1, GemmShape::new(384, 384, 384, "N", "N", DType::F32));
+    let racers = 4;
+    let barrier = Barrier::new(racers);
+    std::thread::scope(|s| {
+        for _ in 0..racers {
+            s.spawn(|| {
+                barrier.wait();
+                black_box(router.submit(&contended));
+            });
+        }
+    });
+
+    // --- Cached throughput: one-at-a-time vs batched. ----------------
+    let mix: Vec<Query> = (0..64)
+        .map(|i| Query::gemm(0, shapes[i % shapes.len()]))
+        .collect();
+    let batch_size = mix.len();
+
+    let one_at_a_time_qps = {
+        let reps = 2_000u32;
+        let t0 = Instant::now();
+        for _ in 0..reps {
+            for q in &mix {
+                black_box(router.submit(black_box(q)));
+            }
+        }
+        f64::from(reps) * batch_size as f64 / t0.elapsed().as_secs_f64()
+    };
+    let batched_qps = {
+        let reps = 2_000u32;
+        let t0 = Instant::now();
+        for _ in 0..reps {
+            black_box(router.submit_batch(black_box(&mix)));
+        }
+        f64::from(reps) * batch_size as f64 / t0.elapsed().as_secs_f64()
+    };
+
+    // --- Bounded-LRU smoke: shard 0's decisions in a capacity-2 cache.
+    let bounded = TuneCache::with_capacity(2);
+    for (key, choice) in router
+        .shard_tuner(0, OpKind::Gemm)
+        .expect("shard 0")
+        .cache()
+        .entries()
+    {
+        bounded.insert(key, choice);
+    }
+    let cache_evictions = bounded.stats().evictions;
+
+    let stats = router.stats();
+    let flights = router.flight_stats();
+    let threads = rayon::current_num_threads();
+    let warm_start_speedup = cold_tune_s / warm_start_s;
+
+    let mut table = Table::new(
+        "serving front-end (GEMM, P100 model, 2 shards)",
+        &["metric", "value"],
+    );
+    table.row(vec![
+        "one-at-a-time qps".into(),
+        format!("{one_at_a_time_qps:.0}"),
+    ]);
+    table.row(vec!["batched qps".into(), format!("{batched_qps:.0}")]);
+    table.row(vec![
+        "batch speedup".into(),
+        format!("{:.2}x", batched_qps / one_at_a_time_qps),
+    ]);
+    table.row(vec![
+        "dedup ratio".into(),
+        format!("{:.4}", stats.dedup_ratio()),
+    ]);
+    table.row(vec![
+        "single-flight led/joined".into(),
+        format!("{}/{}", flights.led, flights.joined),
+    ]);
+    table.row(vec![
+        "warm-start speedup".into(),
+        format!("{warm_start_speedup:.1}x ({} seeded)", warm.seeded),
+    ]);
+    table.print();
+
+    let json = bench_json_path("BENCH_serving.json");
+    write_json(
+        &json,
+        &[
+            ("threads", threads.to_string()),
+            ("shards", router.devices().len().to_string()),
+            ("batch_size", batch_size.to_string()),
+            ("one_at_a_time_qps", format!("{one_at_a_time_qps:.1}")),
+            ("batched_qps", format!("{batched_qps:.1}")),
+            (
+                "batch_speedup",
+                format!("{:.3}", batched_qps / one_at_a_time_qps),
+            ),
+            ("dedup_ratio", format!("{:.4}", stats.dedup_ratio())),
+            ("single_flight_led", flights.led.to_string()),
+            ("single_flight_joined", flights.joined.to_string()),
+            ("cold_tune_s", format!("{cold_tune_s:.6}")),
+            ("warm_start_s", format!("{warm_start_s:.6}")),
+            ("warm_start_speedup", format!("{warm_start_speedup:.2}")),
+            ("warm_seeded", warm.seeded.to_string()),
+            ("cache_evictions", cache_evictions.to_string()),
+        ],
+    );
+    println!(
+        "wrote {} (batched {:.2}x over one-at-a-time, warm-start {:.1}x over cold, dedup {:.2})",
+        json.display(),
+        batched_qps / one_at_a_time_qps,
+        warm_start_speedup,
+        stats.dedup_ratio()
+    );
+
+    // Criterion entry so `cargo bench serving` shows a standard line.
+    let hot = Query::gemm(0, shapes[0]);
+    let mut group = c.benchmark_group("serving");
+    group.sample_size(10);
+    group.bench_function("cached_submit", |b| {
+        b.iter(|| black_box(router.submit(black_box(&hot))))
+    });
+    group.bench_function("cached_submit_batch_64", |b| {
+        b.iter(|| black_box(router.submit_batch(black_box(&mix))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, serving_throughput);
+criterion_main!(benches);

@@ -29,17 +29,10 @@ fn table1(c: &mut Criterion) {
     let trials = isaac_bench::harness::env_usize("ISAAC_T1_TRIALS", 40_000);
 
     // Joint (shape, config) legality: a random shape per probe, seeded
-    // from a hash of the full config vector so the closure is `Sync`
-    // (the calibration phase fans out across threads) while distinct
-    // configs still draw effectively independent shapes.
-    fn cfg_seed(salt: u64, cfg: &GemmConfig) -> u64 {
-        let mut h = salt ^ 0x9E37_79B9_7F4A_7C15;
-        for v in cfg.as_vector() {
-            h = (h ^ v as u64).wrapping_mul(0x100_0000_01B3);
-            h ^= h >> 29;
-        }
-        h
-    }
+    // from a hash of the full config vector (`isaac_core::cfg_seed`, the
+    // same stream derivation calibration uses) so the closure is `Sync`
+    // while distinct configs still draw effectively independent shapes.
+    use isaac_core::cfg_seed;
     let gemm_legal = {
         let spec = spec.clone();
         move |cfg: &GemmConfig| {

@@ -70,6 +70,28 @@ pub fn fmt_tflops(v: f64) -> String {
     format!("{v:.2}")
 }
 
+/// Write a flat JSON object of `(key, rendered value)` pairs -- the
+/// `BENCH_*.json` trajectory files the CI bench-smoke job validates and
+/// archives. Values are written verbatim (callers pass numbers already
+/// formatted as JSON literals).
+pub fn write_json(path: &std::path::Path, fields: &[(&str, String)]) {
+    let body: Vec<String> = fields
+        .iter()
+        .map(|(k, v)| format!("  \"{k}\": {v}"))
+        .collect();
+    let text = format!("{{\n{}\n}}\n", body.join(",\n"));
+    if let Err(e) = std::fs::write(path, text) {
+        eprintln!("warning: could not write {}: {e}", path.display());
+    }
+}
+
+/// `BENCH_*.json` files live at the workspace root, next to Cargo.toml.
+pub fn bench_json_path(file_name: &str) -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join(file_name)
+}
+
 /// Format a ratio as `1.85x`.
 pub fn fmt_speedup(v: f64) -> String {
     format!("{v:.2}x")

@@ -9,7 +9,9 @@
 //! ICA's K = 60000 deep reductions).
 
 use crate::features::{conv_features_into, gemm_features_into, CONV_FEATURES, GEMM_FEATURES};
-use crate::sampling::CategoricalSampler;
+// `mix_seed`/`cfg_seed` live in `sampling`: one copy shared with the
+// bench harness, so per-sample stream derivation cannot diverge.
+use crate::sampling::{cfg_seed, mix_seed, CategoricalSampler};
 use isaac_device::{DType, Profiler};
 use isaac_gen::profile::{conv_profile, gemm_profile};
 use isaac_gen::shapes::{ConvShape, GemmShape};
@@ -109,28 +111,6 @@ pub fn random_conv_shape(rng: &mut StdRng, dtypes: &[DType]) -> ConvShape {
         s,
         dtypes[rng.gen_range(0..dtypes.len())],
     )
-}
-
-/// Mix a base seed with a sample index into an independent per-sample
-/// stream seed (SplitMix64 finalizer). Per-sample seeding is what makes
-/// parallel dataset generation deterministic for any thread count.
-fn mix_seed(seed: u64, i: u64) -> u64 {
-    let mut z = seed ^ i.wrapping_mul(0x9E37_79B9_7F4A_7C15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
-}
-
-/// Deterministic, `Sync`-friendly per-config probe seed for calibration:
-/// hashes the full parameter vector so distinct configs draw effectively
-/// independent calibration shapes.
-fn cfg_seed(salt: u64, cfg: &isaac_gen::GemmConfig) -> u64 {
-    let mut h = salt ^ 0x9E37_79B9_7F4A_7C15;
-    for v in cfg.as_vector() {
-        h = (h ^ v as u64).wrapping_mul(0x100_0000_01B3);
-        h ^= h >> 29;
-    }
-    h
 }
 
 /// Attempts per sample before giving up on it. The categorical sampler

@@ -393,22 +393,34 @@ fn infer_conv_impl(
     )
 }
 
-/// Indices of the `k` largest values, best first, ties broken by the
-/// lower index. O(n + k log k) via partial selection rather than a full
-/// sort.
-pub fn top_k_indices(scores: &[f32], k: usize) -> Vec<usize> {
-    let mut idx: Vec<usize> = (0..scores.len()).collect();
-    let cmp = |&a: &usize, &b: &usize| scores[b].total_cmp(&scores[a]).then_with(|| a.cmp(&b));
-    let k = k.min(idx.len());
-    if k == 0 {
-        return Vec::new();
-    }
-    if k < idx.len() {
-        idx.select_nth_unstable_by(k - 1, cmp);
-        idx.truncate(k);
-    }
-    idx.sort_unstable_by(cmp);
-    idx
+/// Re-benchmark a single, already-chosen GEMM configuration on a device:
+/// legality check, analytical profile, then the same best-of measurement
+/// policy as the engine's finalist stage -- so results are directly
+/// comparable with cold-tuned [`TunedChoice`]s. This is the unit of work
+/// of cross-device warm-start (`IsaacTuner::warm_start`): seeding a
+/// shard from a neighbour's decision costs one of these instead of a
+/// full exhaustive-search cold tune.
+pub fn rebench_gemm(
+    cfg: &GemmConfig,
+    shape: &GemmShape,
+    profiler: &Profiler,
+) -> Option<Measurement> {
+    let spec = profiler.spec();
+    isaac_gen::legality::check(cfg, shape, spec).ok()?;
+    let profile = gemm_profile(cfg, shape, spec).ok()?;
+    profiler.measure_best_of(&profile, RE_BENCH_REPS).ok()
+}
+
+/// Re-benchmark a single CONV configuration; see [`rebench_gemm`].
+pub fn rebench_conv(
+    cfg: &GemmConfig,
+    shape: &ConvShape,
+    profiler: &Profiler,
+) -> Option<Measurement> {
+    let spec = profiler.spec();
+    isaac_gen::conv::check(cfg, shape, spec).ok()?;
+    let profile = conv_profile(cfg, shape, spec).ok()?;
+    profiler.measure_best_of(&profile, RE_BENCH_REPS).ok()
 }
 
 /// Brute-force oracle: measure *every* legal configuration and return the
@@ -478,37 +490,6 @@ mod tests {
             .filter(|cfg| isaac_gen::legality::check(cfg, &shape, &spec).is_ok())
             .collect();
         assert_eq!(parallel, serial);
-    }
-
-    #[test]
-    fn top_k_selects_largest() {
-        let scores = [0.1f32, 5.0, 3.0, 4.0, -1.0];
-        assert_eq!(top_k_indices(&scores, 3), vec![1, 3, 2]);
-    }
-
-    #[test]
-    fn top_k_breaks_ties_by_index_and_handles_edges() {
-        let scores = [2.0f32, 7.0, 2.0, 7.0, 2.0];
-        assert_eq!(top_k_indices(&scores, 4), vec![1, 3, 0, 2]);
-        assert_eq!(top_k_indices(&scores, 0), Vec::<usize>::new());
-        assert_eq!(top_k_indices(&scores, 99).len(), 5);
-        assert_eq!(top_k_indices(&[], 3), Vec::<usize>::new());
-    }
-
-    #[test]
-    fn top_k_matches_full_sort_on_random_data() {
-        use rand::rngs::StdRng;
-        use rand::{Rng, SeedableRng};
-        let mut rng = StdRng::seed_from_u64(42);
-        for n in [1usize, 7, 64, 1000] {
-            let scores: Vec<f32> = (0..n).map(|_| rng.gen_range(-5.0..5.0)).collect();
-            for k in [1usize, 3, n / 2 + 1] {
-                let mut want: Vec<usize> = (0..n).collect();
-                want.sort_by(|&a, &b| scores[b].total_cmp(&scores[a]).then_with(|| a.cmp(&b)));
-                want.truncate(k.min(n));
-                assert_eq!(top_k_indices(&scores, k), want, "n={n} k={k}");
-            }
-        }
     }
 
     #[test]

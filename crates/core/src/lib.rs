@@ -27,9 +27,11 @@
 //! process, legality filtering / feature construction / model scoring
 //! fan out across cores with index-ordered (bit-deterministic)
 //! reductions, and feature matrices are built in place inside pooled
-//! scratch buffers. Decisions are memoized in a shape-keyed
-//! [`tuner::TuneCache`] behind an `RwLock`, so a trained tuner can serve
-//! repeated queries from many threads in O(1). Dataset generation
+//! scratch buffers. Decisions are memoized in a shape-keyed, size-bounded
+//! LRU [`tuner::TuneCache`] behind an `RwLock`, so a trained tuner can
+//! serve repeated queries from many threads in O(1); the `isaac-serve`
+//! crate adds sharding, batching and single-flight coalescing on top.
+//! Dataset generation
 //! ([`dataset`]) and sampler calibration ([`sampling`]) fan out the same
 //! way, with per-sample seeding that keeps results independent of the
 //! thread count.
@@ -44,8 +46,11 @@ pub mod tuner;
 pub use dataset::{generate_conv_dataset, generate_gemm_dataset, DatasetOptions, OpKind};
 pub use inference::{
     engine_stats, enumerate_legal_gemm, infer_conv, infer_conv_serial, infer_gemm,
-    infer_gemm_serial, EngineStats, TunedChoice,
+    infer_gemm_serial, rebench_conv, rebench_gemm, EngineStats, TunedChoice,
 };
 pub use optimizers::{exhaustive, genetic, simulated_annealing, SearchResult};
-pub use sampling::{acceptance_rate, CategoricalSampler, UniformSampler};
-pub use tuner::{CacheStats, IsaacTuner, ShapeKey, TrainOptions, TuneCache, TuneKey};
+pub use sampling::{acceptance_rate, cfg_seed, mix_seed, CategoricalSampler, UniformSampler};
+pub use tuner::{
+    read_cache_file, CacheLoadReport, CacheStats, IsaacTuner, KeyShape, ShapeKey, TrainOptions,
+    TuneCache, TuneKey, WarmStartReport,
+};

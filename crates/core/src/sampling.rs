@@ -115,11 +115,29 @@ pub struct CategoricalSampler {
 }
 
 /// Per-trial stream seed for parallel calibration (SplitMix64 finalizer).
-fn mix_seed(seed: u64, i: u64) -> u64 {
+/// SplitMix64-style finalizer mixing a base seed with a stream index:
+/// the one place the workspace derives independent per-sample RNG
+/// streams (dataset generation, calibration and the bench harness all
+/// share it -- diverging copies would silently break the "independent
+/// per-sample streams" determinism guarantee).
+pub fn mix_seed(seed: u64, i: u64) -> u64 {
     let mut z = seed ^ i.wrapping_mul(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^ (z >> 31)
+}
+
+/// Deterministic, `Sync`-friendly per-config probe seed: FNV-style hash
+/// of the full parameter vector, so distinct configs draw effectively
+/// independent probe shapes. Shared by calibration and the Table 1
+/// bench for the same reason as [`mix_seed`].
+pub fn cfg_seed(salt: u64, cfg: &isaac_gen::GemmConfig) -> u64 {
+    let mut h = salt ^ 0x9E37_79B9_7F4A_7C15;
+    for v in cfg.as_vector() {
+        h = (h ^ v as u64).wrapping_mul(0x100_0000_01B3);
+        h ^= h >> 29;
+    }
+    h
 }
 
 /// Calibration trials per parallel work item.

@@ -10,15 +10,18 @@
 //! (`save`/`load`) which the benchmark harness uses to cache tuners under
 //! `target/isaac-cache/`.
 //!
-//! Tuning decisions live in a [`TuneCache`]: a shape-keyed
-//! (`(OpKind, DType, ShapeKey)`) map behind an `RwLock`, so repeated
+//! Tuning decisions live in a [`TuneCache`]: a size-bounded LRU keyed by
+//! `(device, OpKind, DType, ShapeKey)` behind an `RwLock`, so repeated
 //! queries for the same input are O(1) shared-lock reads -- every tuning
 //! method takes `&self` and the tuner can be shared across serving
-//! threads. Hit/miss counters ([`IsaacTuner::cache_stats`]) feed the
-//! bench harness.
+//! threads. Hit/miss/eviction counters ([`IsaacTuner::cache_stats`])
+//! feed the bench harness. Caches persist via `save_cache`/`load_cache`
+//! (device-tagged v2 text format, corrupt lines counted), and a fresh
+//! device can be [`IsaacTuner::warm_start`]ed from a neighbour's
+//! decisions by re-benchmarking them instead of cold-tuning.
 
 use crate::dataset::{generate_conv_dataset, generate_gemm_dataset, DatasetOptions, OpKind};
-use crate::inference::{infer_conv, infer_gemm, TunedChoice};
+use crate::inference::{infer_conv, infer_gemm, rebench_conv, rebench_gemm, TunedChoice};
 use isaac_device::{DType, DeviceSpec, Profiler};
 use isaac_gen::shapes::{ConvShape, GemmShape};
 use isaac_gen::{conv, gemm};
@@ -66,10 +69,19 @@ pub enum ShapeKey {
     },
 }
 
-/// Key of one tuning decision: operation, data type and input shape.
-/// `Eq + Hash` over plain integers -- no strings on the hot lookup path.
+/// Key of one tuning decision: device, operation, data type and input
+/// shape. `Eq + Hash` over plain integers -- no strings on the hot
+/// lookup path.
+///
+/// The device ordinal keeps decisions from different shards distinct
+/// when keys flow through shared structures (the serving router's
+/// single-flight table dedupes concurrent misses by `TuneKey`; two
+/// devices tuning the same shape must not coalesce).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct TuneKey {
+    /// Device ordinal this decision was made for (0 for standalone
+    /// tuners; assigned per shard by a serving router).
+    pub device: u16,
     /// Operation kind.
     pub op: OpKind,
     /// Element type.
@@ -79,9 +91,10 @@ pub struct TuneKey {
 }
 
 impl TuneKey {
-    /// Cache key for a GEMM input.
+    /// Cache key for a GEMM input (device 0).
     pub fn gemm(shape: &GemmShape) -> Self {
         TuneKey {
+            device: 0,
             op: OpKind::Gemm,
             dtype: shape.dtype,
             shape: ShapeKey::Gemm {
@@ -94,9 +107,10 @@ impl TuneKey {
         }
     }
 
-    /// Cache key for a CONV input.
+    /// Cache key for a CONV input (device 0).
     pub fn conv(shape: &ConvShape) -> Self {
         TuneKey {
+            device: 0,
             op: OpKind::Conv,
             dtype: shape.dtype,
             shape: ShapeKey::Conv {
@@ -108,6 +122,52 @@ impl TuneKey {
                 r: shape.r,
                 s: shape.s,
             },
+        }
+    }
+
+    /// The same key rebound to a device ordinal.
+    pub fn on_device(mut self, device: u16) -> Self {
+        self.device = device;
+        self
+    }
+
+    /// The input shape this key describes, reconstructed as a concrete
+    /// `GemmShape`/`ConvShape` (used by cross-device warm-start to
+    /// re-benchmark a neighbour's decision on a new device).
+    pub fn to_shape(&self) -> KeyShape {
+        match self.shape {
+            ShapeKey::Gemm {
+                m,
+                n,
+                k,
+                trans_a,
+                trans_b,
+            } => KeyShape::Gemm(GemmShape {
+                m,
+                n,
+                k,
+                trans_a,
+                trans_b,
+                dtype: self.dtype,
+            }),
+            ShapeKey::Conv {
+                n,
+                c,
+                h,
+                w,
+                k,
+                r,
+                s,
+            } => KeyShape::Conv(ConvShape {
+                n,
+                c,
+                h,
+                w,
+                k,
+                r,
+                s,
+                dtype: self.dtype,
+            }),
         }
     }
 
@@ -171,6 +231,7 @@ impl TuneKey {
                 return None;
             }
             Some(TuneKey {
+                device: 0,
                 op: OpKind::Gemm,
                 dtype,
                 shape: ShapeKey::Gemm {
@@ -196,6 +257,7 @@ impl TuneKey {
                 return None;
             }
             Some(TuneKey {
+                device: 0,
                 op: OpKind::Conv,
                 dtype,
                 shape: ShapeKey::Conv {
@@ -214,42 +276,110 @@ impl TuneKey {
     }
 }
 
-/// Hit/miss counters of a [`TuneCache`], for the bench harness and
-/// capacity planning.
+/// A concrete input shape reconstructed from a [`TuneKey`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KeyShape {
+    /// A GEMM input.
+    Gemm(GemmShape),
+    /// A CONV input.
+    Conv(ConvShape),
+}
+
+/// Hit/miss/eviction counters of a [`TuneCache`], for the bench harness
+/// and capacity planning.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
     /// Lookups answered from the cache.
     pub hits: u64,
     /// Lookups that fell through to the query engine.
     pub misses: u64,
+    /// Entries evicted to stay within the capacity bound.
+    pub evictions: u64,
 }
 
-/// A concurrent, shape-keyed cache of tuning decisions.
+/// One cached decision plus its last-recently-used stamp. The stamp is
+/// atomic so hits can refresh recency under the *shared* read lock.
+#[derive(Debug)]
+struct CacheSlot {
+    choice: TunedChoice,
+    stamp: AtomicU64,
+}
+
+/// A concurrent, size-bounded, shape-keyed LRU cache of tuning
+/// decisions.
 ///
-/// Repeated queries for the same `(op, dtype, shape)` are O(1) reads
-/// under a shared [`RwLock`] -- many threads can serve hits concurrently
-/// while misses briefly take the write lock to publish their result.
-#[derive(Debug, Default)]
+/// Repeated queries for the same `(device, op, dtype, shape)` are O(1)
+/// reads under a shared [`RwLock`] -- many threads can serve hits
+/// concurrently while misses briefly take the write lock to publish
+/// their result. Hits bump a per-entry recency stamp (an atomic, so the
+/// read lock suffices); when an insert would exceed the configured
+/// capacity, the least-recently-used entry is evicted and counted in
+/// [`CacheStats::evictions`]. Eviction scans the map (O(n)), which is
+/// fine at the capacities a tuning cache runs at -- lookups stay O(1).
+///
+/// The recency clock is one shared atomic, so every hit pays a
+/// fetch-add on the same cache line (~40ns on this host). That keeps
+/// LRU order exact and deterministic -- the property the eviction tests
+/// pin down -- at the cost of some cross-core contention under very hot
+/// hit traffic; sampling/approximate recency is a ROADMAP item if that
+/// ever dominates.
+#[derive(Debug)]
 pub struct TuneCache {
-    map: RwLock<HashMap<TuneKey, TunedChoice>>,
+    map: RwLock<HashMap<TuneKey, CacheSlot>>,
+    capacity: usize,
+    /// Monotonic recency clock; larger stamp == more recently used.
+    tick: AtomicU64,
     hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+/// An unbounded [`TuneCache`] (the default: a tuner's working set of
+/// distinct shapes is usually small; serving deployments bound it).
+impl Default for TuneCache {
+    fn default() -> Self {
+        Self::with_capacity(usize::MAX)
+    }
 }
 
 impl TuneCache {
-    /// Empty cache.
+    /// Empty, unbounded cache.
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// Look up a decision, counting the hit or miss.
+    /// Empty cache holding at most `capacity` decisions (clamped to at
+    /// least 1), evicting least-recently-used entries beyond that.
+    pub fn with_capacity(capacity: usize) -> Self {
+        TuneCache {
+            map: RwLock::new(HashMap::new()),
+            capacity: capacity.max(1),
+            tick: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Maximum number of decisions held (`usize::MAX` if unbounded).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    fn next_stamp(&self) -> u64 {
+        self.tick.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Look up a decision, counting the hit or miss and refreshing the
+    /// entry's LRU recency.
     pub fn get(&self, key: &TuneKey) -> Option<TunedChoice> {
-        let hit = self
-            .map
-            .read()
-            .expect("tune cache poisoned")
-            .get(key)
-            .cloned();
+        let hit = {
+            let map = self.map.read().expect("tune cache poisoned");
+            map.get(key).map(|slot| {
+                slot.stamp.store(self.next_stamp(), Ordering::Relaxed);
+                slot.choice.clone()
+            })
+        };
         match hit {
             Some(choice) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
@@ -262,12 +392,43 @@ impl TuneCache {
         }
     }
 
-    /// Publish a decision.
-    pub fn insert(&self, key: TuneKey, choice: TunedChoice) {
+    /// Look up a decision without touching the hit/miss counters or the
+    /// LRU order (for tests and cache introspection).
+    pub fn peek(&self, key: &TuneKey) -> Option<TunedChoice> {
         self.map
-            .write()
+            .read()
             .expect("tune cache poisoned")
-            .insert(key, choice);
+            .get(key)
+            .map(|slot| slot.choice.clone())
+    }
+
+    /// Publish a decision, evicting the least-recently-used entry if the
+    /// cache is at capacity.
+    pub fn insert(&self, key: TuneKey, choice: TunedChoice) {
+        let stamp = self.next_stamp();
+        let mut map = self.map.write().expect("tune cache poisoned");
+        if let Some(slot) = map.get_mut(&key) {
+            slot.choice = choice;
+            slot.stamp.store(stamp, Ordering::Relaxed);
+            return;
+        }
+        if map.len() >= self.capacity {
+            if let Some(victim) = map
+                .iter()
+                .min_by_key(|(_, slot)| slot.stamp.load(Ordering::Relaxed))
+                .map(|(k, _)| *k)
+            {
+                map.remove(&victim);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        map.insert(
+            key,
+            CacheSlot {
+                choice,
+                stamp: AtomicU64::new(stamp),
+            },
+        );
     }
 
     /// Number of cached decisions.
@@ -280,21 +441,52 @@ impl TuneCache {
         self.len() == 0
     }
 
-    /// Hit/miss counters since construction.
+    /// Hit/miss/eviction counters since construction.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
         }
     }
 
-    /// Snapshot of all entries, sorted by shape name (for persistence).
-    fn sorted_entries(&self) -> Vec<(TuneKey, TunedChoice)> {
+    /// Snapshot of all entries, sorted by shape name. Used for
+    /// persistence and as the source side of cross-device warm-start.
+    pub fn entries(&self) -> Vec<(TuneKey, TunedChoice)> {
         let map = self.map.read().expect("tune cache poisoned");
-        let mut entries: Vec<(TuneKey, TunedChoice)> =
-            map.iter().map(|(k, v)| (*k, v.clone())).collect();
-        entries.sort_by_key(|(k, _)| k.name());
+        let mut entries: Vec<(TuneKey, TunedChoice)> = map
+            .iter()
+            .map(|(k, slot)| (*k, slot.choice.clone()))
+            .collect();
+        entries.sort_by_cached_key(|(k, _)| k.name());
         entries
+    }
+
+    /// A copy of this cache with a new capacity and (optionally) every
+    /// key rebound to a device ordinal. Entries are replayed in recency
+    /// order, so LRU order survives and shrinking evicts the true
+    /// least-recently-used overflow; hit/miss/eviction counters carry
+    /// over (shrink evictions are added on top).
+    fn rebuilt(&self, capacity: usize, device: Option<u16>) -> TuneCache {
+        let mut stamped: Vec<(TuneKey, TunedChoice, u64)> = {
+            let map = self.map.read().expect("tune cache poisoned");
+            map.iter()
+                .map(|(k, slot)| (*k, slot.choice.clone(), slot.stamp.load(Ordering::Relaxed)))
+                .collect()
+        };
+        stamped.sort_by_key(|&(_, _, stamp)| stamp);
+        let rebuilt = TuneCache::with_capacity(capacity);
+        for (key, choice, _) in stamped {
+            let key = device.map_or(key, |d| key.on_device(d));
+            rebuilt.insert(key, choice);
+        }
+        let stats = self.stats();
+        rebuilt.hits.store(stats.hits, Ordering::Relaxed);
+        rebuilt.misses.store(stats.misses, Ordering::Relaxed);
+        rebuilt
+            .evictions
+            .fetch_add(stats.evictions, Ordering::Relaxed);
+        rebuilt
     }
 }
 
@@ -332,6 +524,32 @@ impl Default for TrainOptions {
     }
 }
 
+/// Outcome of [`IsaacTuner::load_cache`]: how many persisted decisions
+/// were merged and how many lines were dropped as malformed, so callers
+/// can log corruption instead of silently losing entries.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheLoadReport {
+    /// Entries merged into the in-memory cache.
+    pub loaded: usize,
+    /// Malformed lines skipped.
+    pub skipped: usize,
+}
+
+/// Outcome of [`IsaacTuner::warm_start`]: how many neighbour decisions
+/// were considered, seeded after re-benchmarking, and skipped (illegal
+/// on this device, or cached locally by a concurrent tune since the
+/// candidate ranking; wrong-operation and already-cached shapes are
+/// filtered out before the top-k cut and never become candidates).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WarmStartReport {
+    /// Neighbour entries considered (after the top-k cut).
+    pub candidates: usize,
+    /// Entries re-benchmarked and inserted into this tuner's cache.
+    pub seeded: usize,
+    /// Entries skipped.
+    pub skipped: usize,
+}
+
 /// A trained, input-aware auto-tuner for one device and one operation.
 #[derive(Debug)]
 pub struct IsaacTuner {
@@ -343,6 +561,9 @@ pub struct IsaacTuner {
     /// Final validation MSE of the regression model (standardized scale).
     pub validation_mse: f32,
     cache: TuneCache,
+    /// Device ordinal stamped into every cache key (0 standalone;
+    /// assigned per shard by a serving router).
+    device_id: u16,
 }
 
 impl IsaacTuner {
@@ -388,12 +609,53 @@ impl IsaacTuner {
             opts,
             validation_mse,
             cache: TuneCache::new(),
+            device_id: 0,
         }
     }
 
     /// Device this tuner was trained for.
     pub fn spec(&self) -> &DeviceSpec {
         &self.spec
+    }
+
+    /// Device ordinal stamped into this tuner's cache keys.
+    pub fn device_id(&self) -> u16 {
+        self.device_id
+    }
+
+    /// Assign the device ordinal (a serving router does this when the
+    /// tuner becomes a shard). Existing cache entries are re-keyed so
+    /// they keep serving hits; LRU order and counters are preserved.
+    pub fn set_device_id(&mut self, device_id: u16) {
+        if device_id == self.device_id {
+            return;
+        }
+        self.cache = self.cache.rebuilt(self.cache.capacity(), Some(device_id));
+        self.device_id = device_id;
+    }
+
+    /// Bound the decision cache to `capacity` entries (LRU eviction
+    /// beyond that). Existing entries, their recency order and the
+    /// hit/miss/eviction counters are preserved; shrinking below the
+    /// current size evicts the least recently used overflow (counted).
+    pub fn set_cache_capacity(&mut self, capacity: usize) {
+        self.cache = self.cache.rebuilt(capacity, None);
+    }
+
+    /// The decision cache (stats, entries, capacity). Mutating it
+    /// directly is possible but normally left to the tuning methods.
+    pub fn cache(&self) -> &TuneCache {
+        &self.cache
+    }
+
+    /// The cache key a GEMM query resolves to on this tuner.
+    pub fn key_gemm(&self, shape: &GemmShape) -> TuneKey {
+        TuneKey::gemm(shape).on_device(self.device_id)
+    }
+
+    /// The cache key a CONV query resolves to on this tuner.
+    pub fn key_conv(&self, shape: &ConvShape) -> TuneKey {
+        TuneKey::conv(shape).on_device(self.device_id)
     }
 
     /// Operation kind.
@@ -416,11 +678,19 @@ impl IsaacTuner {
     /// key: repeated queries are O(1) lock-shared lookups, safe to serve
     /// from many threads at once.
     pub fn tune_gemm(&self, shape: &GemmShape) -> Option<TunedChoice> {
-        assert_eq!(self.kind, OpKind::Gemm, "this tuner was trained for CONV");
-        let key = TuneKey::gemm(shape);
+        let key = self.key_gemm(shape);
         if let Some(hit) = self.cache.get(&key) {
             return Some(hit);
         }
+        self.tune_gemm_cold(shape)
+    }
+
+    /// Run the cold tune for `shape` and publish the decision, without
+    /// consulting the cache first. For callers (the serving router) that
+    /// have already taken a counted miss on [`IsaacTuner::cache`] --
+    /// going through [`IsaacTuner::tune_gemm`] would double-count it.
+    pub fn tune_gemm_cold(&self, shape: &GemmShape) -> Option<TunedChoice> {
+        assert_eq!(self.kind, OpKind::Gemm, "this tuner was trained for CONV");
         let choice = infer_gemm(
             &self.bundle,
             shape,
@@ -428,17 +698,23 @@ impl IsaacTuner {
             self.opts.top_k,
             self.opts.log_features,
         )?;
-        self.cache.insert(key, choice.clone());
+        self.cache.insert(self.key_gemm(shape), choice.clone());
         Some(choice)
     }
 
     /// Tune a CONV input; see [`IsaacTuner::tune_gemm`] for caching.
     pub fn tune_conv(&self, shape: &ConvShape) -> Option<TunedChoice> {
-        assert_eq!(self.kind, OpKind::Conv, "this tuner was trained for GEMM");
-        let key = TuneKey::conv(shape);
+        let key = self.key_conv(shape);
         if let Some(hit) = self.cache.get(&key) {
             return Some(hit);
         }
+        self.tune_conv_cold(shape)
+    }
+
+    /// Cold-tune a CONV input without the cache lookup; see
+    /// [`IsaacTuner::tune_gemm_cold`].
+    pub fn tune_conv_cold(&self, shape: &ConvShape) -> Option<TunedChoice> {
+        assert_eq!(self.kind, OpKind::Conv, "this tuner was trained for GEMM");
         let choice = infer_conv(
             &self.bundle,
             shape,
@@ -446,7 +722,7 @@ impl IsaacTuner {
             self.opts.top_k,
             self.opts.log_features,
         )?;
-        self.cache.insert(key, choice.clone());
+        self.cache.insert(self.key_conv(shape), choice.clone());
         Some(choice)
     }
 
@@ -485,10 +761,11 @@ impl IsaacTuner {
     /// Persist the tuning-decision cache ("the resulting predictions may
     /// be... cached on the filesystem", paper Section 6). One line per
     /// decision: shape key, the 9 tuning parameters, prediction and
-    /// measurement.
+    /// measurement. The header records the device ordinal the decisions
+    /// were made on (provenance for cross-device warm-start).
     pub fn save_cache(&self, path: &Path) -> std::io::Result<()> {
-        let mut text = String::from("isaac-kernel-cache v1\n");
-        for (key, c) in self.cache.sorted_entries() {
+        let mut text = format!("isaac-kernel-cache v2 device {}\n", self.device_id);
+        for (key, c) in self.cache.entries() {
             let v = c.config.as_vector();
             text.push_str(&format!(
                 "{} {} {} {} {} {} {} {} {} {} {:.6e} {:.6e} {:.6e}\n",
@@ -510,56 +787,102 @@ impl IsaacTuner {
         std::fs::write(path, text)
     }
 
-    /// Load a cache saved with [`IsaacTuner::save_cache`], merging it into
-    /// the in-memory cache. Returns the number of entries loaded.
-    pub fn load_cache(&mut self, path: &Path) -> std::io::Result<usize> {
-        let text = std::fs::read_to_string(path)?;
-        let mut lines = text.lines();
-        if lines.next() != Some("isaac-kernel-cache v1") {
-            return Err(std::io::Error::new(
-                std::io::ErrorKind::InvalidData,
-                "not an isaac kernel cache",
-            ));
-        }
+    /// Load a cache saved with [`IsaacTuner::save_cache`], merging it
+    /// into the in-memory cache under *this* tuner's device ordinal.
+    /// Malformed lines and entries for the wrong operation (a CONV
+    /// decision offered to a GEMM tuner could never be served, only
+    /// occupy LRU slots) are skipped and counted in the report so
+    /// callers can log corruption instead of losing entries silently.
+    pub fn load_cache(&self, path: &Path) -> std::io::Result<CacheLoadReport> {
+        let (entries, mut skipped) = read_cache_file(path)?;
         let mut loaded = 0usize;
-        for line in lines {
-            let fields: Vec<&str> = line.split_whitespace().collect();
-            if fields.len() != 13 {
+        for (key, choice) in entries {
+            if key.op != self.kind {
+                skipped += 1;
                 continue;
             }
-            let mut v = [0u32; 9];
-            let mut ok = true;
-            for (slot, f) in v.iter_mut().zip(&fields[1..10]) {
-                match f.parse() {
-                    Ok(val) => *slot = val,
-                    Err(_) => ok = false,
-                }
-            }
-            let (Ok(pred), Ok(tflops), Ok(time_s)) = (
-                fields[10].parse::<f64>(),
-                fields[11].parse::<f64>(),
-                fields[12].parse::<f64>(),
-            ) else {
-                continue;
-            };
-            if !ok {
-                continue;
-            }
-            let Some(key) = TuneKey::parse(fields[0]) else {
-                continue;
-            };
-            self.cache.insert(
-                key,
-                TunedChoice {
-                    config: isaac_gen::GemmConfig::from_vector(v),
-                    predicted_gflops: pred,
-                    tflops,
-                    time_s,
-                },
-            );
+            self.cache.insert(key.on_device(self.device_id), choice);
             loaded += 1;
         }
-        Ok(loaded)
+        Ok(CacheLoadReport { loaded, skipped })
+    }
+
+    /// Seed this tuner's cache from a neighbour device's decisions
+    /// (e.g. [`TuneCache::entries`] of another shard, or
+    /// [`read_cache_file`] of its persisted cache). The `top_k` best
+    /// neighbour decisions (by measured TFLOPS) are *re-benchmarked* on
+    /// this tuner's device -- one profile measurement per entry, the same
+    /// best-of policy as the engine's finalist stage -- instead of
+    /// running a full cold tune per shape. Wrong-operation entries,
+    /// configurations illegal on this device, and shapes already cached
+    /// locally are skipped.
+    pub fn warm_start(
+        &self,
+        neighbour: &[(TuneKey, TunedChoice)],
+        top_k: usize,
+    ) -> WarmStartReport {
+        // Rank by measured TFLOPS, ties broken by shape name (computed
+        // once per entry, not per comparison) for determinism. Shapes
+        // already cached locally are dropped *before* the top-k cut so
+        // they don't consume slots that transferable candidates ranked
+        // just below them would have used.
+        let mut ranked: Vec<(&TuneKey, &TunedChoice, String)> = neighbour
+            .iter()
+            .filter(|(key, _)| {
+                key.op == self.kind && self.cache.peek(&key.on_device(self.device_id)).is_none()
+            })
+            .map(|(key, choice)| (key, choice, key.name()))
+            .collect();
+        ranked.sort_by(|a, b| {
+            b.1.tflops
+                .total_cmp(&a.1.tflops)
+                .then_with(|| a.2.cmp(&b.2))
+        });
+        ranked.truncate(top_k);
+        let mut report = WarmStartReport {
+            candidates: ranked.len(),
+            ..Default::default()
+        };
+        for (key, choice, _) in ranked {
+            let local = key.on_device(self.device_id);
+            // Re-check: another thread may have tuned or seeded this
+            // shape since the ranking pass (the tuner is shared).
+            if self.cache.peek(&local).is_some() {
+                report.skipped += 1;
+                continue;
+            }
+            let measured = match local.to_shape() {
+                KeyShape::Gemm(shape) => rebench_gemm(&choice.config, &shape, &self.profiler),
+                KeyShape::Conv(shape) => rebench_conv(&choice.config, &shape, &self.profiler),
+            };
+            match measured {
+                Some(m) => {
+                    self.cache.insert(
+                        local,
+                        TunedChoice {
+                            config: choice.config,
+                            predicted_gflops: choice.predicted_gflops,
+                            tflops: m.tflops,
+                            time_s: m.time_s,
+                        },
+                    );
+                    report.seeded += 1;
+                }
+                None => report.skipped += 1,
+            }
+        }
+        report
+    }
+
+    /// [`IsaacTuner::warm_start`] reading the neighbour's decisions from
+    /// a cache file persisted with [`IsaacTuner::save_cache`].
+    pub fn warm_start_from_file(
+        &self,
+        path: &Path,
+        top_k: usize,
+    ) -> std::io::Result<WarmStartReport> {
+        let (entries, _skipped) = read_cache_file(path)?;
+        Ok(self.warm_start(&entries, top_k))
     }
 
     /// Serialize the trained model (not the cache) to a file.
@@ -614,8 +937,71 @@ impl IsaacTuner {
             opts,
             validation_mse: f32::NAN,
             cache: TuneCache::new(),
+            device_id: 0,
         })
     }
+}
+
+/// Parse a cache file persisted with [`IsaacTuner::save_cache`] into
+/// `(entries, skipped_lines)`. Accepts the v1 header (no device
+/// provenance) and v2 (`isaac-kernel-cache v2 device <id>`); entry keys
+/// carry the header's device ordinal (0 for v1).
+pub fn read_cache_file(path: &Path) -> std::io::Result<(Vec<(TuneKey, TunedChoice)>, usize)> {
+    let text = std::fs::read_to_string(path)?;
+    let mut lines = text.lines();
+    let header = lines.next().unwrap_or_default();
+    let device: u16 = if header == "isaac-kernel-cache v1" {
+        0
+    } else if let Some(rest) = header.strip_prefix("isaac-kernel-cache v2 device ") {
+        rest.trim().parse().map_err(|_| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                "bad device ordinal in cache header",
+            )
+        })?
+    } else {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            "not an isaac kernel cache",
+        ));
+    };
+    let mut entries = Vec::new();
+    let mut skipped = 0usize;
+    for line in lines {
+        if line.trim().is_empty() {
+            continue;
+        }
+        match parse_cache_line(line, device) {
+            Some(entry) => entries.push(entry),
+            None => skipped += 1,
+        }
+    }
+    Ok((entries, skipped))
+}
+
+/// One `save_cache` line -> `(key, choice)`, or `None` if malformed.
+fn parse_cache_line(line: &str, device: u16) -> Option<(TuneKey, TunedChoice)> {
+    let fields: Vec<&str> = line.split_whitespace().collect();
+    if fields.len() != 13 {
+        return None;
+    }
+    let mut v = [0u32; 9];
+    for (slot, f) in v.iter_mut().zip(&fields[1..10]) {
+        *slot = f.parse().ok()?;
+    }
+    let predicted_gflops = fields[10].parse::<f64>().ok()?;
+    let tflops = fields[11].parse::<f64>().ok()?;
+    let time_s = fields[12].parse::<f64>().ok()?;
+    let key = TuneKey::parse(fields[0])?.on_device(device);
+    Some((
+        key,
+        TunedChoice {
+            config: isaac_gen::GemmConfig::from_vector(v),
+            predicted_gflops,
+            tflops,
+            time_s,
+        },
+    ))
 }
 
 #[cfg(test)]
@@ -666,11 +1052,132 @@ mod tests {
         assert_eq!(cache.get(&key), Some(choice));
         assert_eq!(
             cache.stats(),
-            CacheStats { hits: 1, misses: 1 },
-            "one miss then one hit"
+            CacheStats {
+                hits: 1,
+                misses: 1,
+                evictions: 0
+            },
+            "one miss then one hit, nothing evicted"
         );
         assert_eq!(cache.len(), 1);
         assert!(!cache.is_empty());
+    }
+
+    /// A distinct dummy choice per `tag`, so eviction tests can tell
+    /// entries apart.
+    fn dummy_choice(tag: f64) -> TunedChoice {
+        TunedChoice {
+            config: isaac_gen::GemmConfig::default(),
+            predicted_gflops: tag,
+            tflops: tag,
+            time_s: tag,
+        }
+    }
+
+    fn gemm_key(m: u32) -> TuneKey {
+        TuneKey::gemm(&GemmShape::new(m, 8, 8, "N", "N", DType::F32))
+    }
+
+    #[test]
+    fn default_cache_is_unbounded_and_empty() {
+        let cache = TuneCache::default();
+        assert!(cache.is_empty());
+        assert_eq!(cache.capacity(), usize::MAX);
+        assert_eq!(cache.stats(), CacheStats::default());
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used_at_capacity() {
+        let cache = TuneCache::with_capacity(3);
+        assert_eq!(cache.capacity(), 3);
+        let (a, b, c, d, e) = (
+            gemm_key(1),
+            gemm_key(2),
+            gemm_key(3),
+            gemm_key(4),
+            gemm_key(5),
+        );
+        cache.insert(a, dummy_choice(1.0));
+        cache.insert(b, dummy_choice(2.0));
+        cache.insert(c, dummy_choice(3.0));
+        assert_eq!(cache.len(), 3);
+
+        // Touch `a`: `b` becomes the least recently used.
+        assert!(cache.get(&a).is_some());
+        cache.insert(d, dummy_choice(4.0));
+        assert_eq!(cache.len(), 3, "capacity bound holds");
+        assert!(cache.peek(&b).is_none(), "LRU entry b evicted");
+        assert!(cache.peek(&a).is_some() && cache.peek(&c).is_some() && cache.peek(&d).is_some());
+
+        // Next victim is `c` (a and d are fresher).
+        cache.insert(e, dummy_choice(5.0));
+        assert!(cache.peek(&c).is_none(), "LRU entry c evicted");
+        assert_eq!(cache.stats().evictions, 2);
+
+        // Re-inserting an existing key refreshes in place, no eviction.
+        cache.insert(a, dummy_choice(1.5));
+        assert_eq!(cache.len(), 3);
+        assert_eq!(cache.stats().evictions, 2);
+        assert_eq!(cache.peek(&a).unwrap().tflops, 1.5);
+    }
+
+    #[test]
+    fn peek_does_not_disturb_lru_order_or_stats() {
+        let cache = TuneCache::with_capacity(2);
+        let (a, b, c) = (gemm_key(1), gemm_key(2), gemm_key(3));
+        cache.insert(a, dummy_choice(1.0));
+        cache.insert(b, dummy_choice(2.0));
+        // Peeking `a` must not rescue it from eviction.
+        assert!(cache.peek(&a).is_some());
+        cache.insert(c, dummy_choice(3.0));
+        assert!(cache.peek(&a).is_none(), "peek must not refresh recency");
+        assert_eq!(cache.stats().hits, 0, "peek is uncounted");
+    }
+
+    #[test]
+    fn rebuilding_preserves_lru_order_counters_and_rebinds_devices() {
+        let cache = TuneCache::new();
+        // Insert in an order whose shape names sort *against* recency, so
+        // a name-ordered rebuild would keep the wrong entries.
+        let (a, b, c, d) = (gemm_key(9), gemm_key(5), gemm_key(7), gemm_key(1));
+        for (k, tag) in [(a, 1.0), (b, 2.0), (c, 3.0), (d, 4.0)] {
+            cache.insert(k, dummy_choice(tag));
+        }
+        // Refresh b: recency is now a (LRU), c, d, b (MRU).
+        assert!(cache.get(&b).is_some());
+        let stats_before = cache.stats();
+
+        // Shrink to 2: the true MRU survivors are d and b, regardless of
+        // how their names sort.
+        let shrunk = cache.rebuilt(2, Some(3));
+        assert_eq!(shrunk.len(), 2);
+        assert!(shrunk.peek(&d.on_device(3)).is_some(), "d survives");
+        assert!(shrunk.peek(&b.on_device(3)).is_some(), "b (MRU) survives");
+        assert!(shrunk.peek(&a.on_device(3)).is_none(), "LRU a evicted");
+        assert!(shrunk.peek(&b).is_none(), "old device keys are gone");
+
+        // Counters carry over; the 2 shrink evictions are added on top.
+        let stats = shrunk.stats();
+        assert_eq!(stats.hits, stats_before.hits);
+        assert_eq!(stats.misses, stats_before.misses);
+        assert_eq!(stats.evictions, stats_before.evictions + 2);
+
+        // LRU order survives the rebuild: inserting one more evicts d,
+        // not the more recently used b.
+        shrunk.insert(gemm_key(11).on_device(3), dummy_choice(5.0));
+        assert!(shrunk.peek(&d.on_device(3)).is_none(), "d was the LRU");
+        assert!(shrunk.peek(&b.on_device(3)).is_some());
+    }
+
+    #[test]
+    fn device_ordinal_distinguishes_keys() {
+        let cache = TuneCache::new();
+        let key = gemm_key(16);
+        cache.insert(key, dummy_choice(1.0));
+        assert!(cache.peek(&key.on_device(1)).is_none());
+        cache.insert(key.on_device(1), dummy_choice(2.0));
+        assert_eq!(cache.len(), 2);
+        assert_eq!(key.on_device(1).name(), key.name(), "name is device-free");
     }
 
     #[test]
@@ -749,10 +1256,16 @@ mod tests {
         let path = std::env::temp_dir().join("isaac_test_cache.txt");
         tuner.save_cache(&path).expect("save");
 
-        let mut fresh = IsaacTuner::train(tesla_p100(), OpKind::Gemm, quick_options());
+        let fresh = IsaacTuner::train(tesla_p100(), OpKind::Gemm, quick_options());
         assert_eq!(fresh.cache_len(), 0);
-        let loaded = fresh.load_cache(&path).expect("load");
-        assert_eq!(loaded, 2);
+        let report = fresh.load_cache(&path).expect("load");
+        assert_eq!(
+            report,
+            CacheLoadReport {
+                loaded: 2,
+                skipped: 0
+            }
+        );
         // Cached decisions are served without re-running inference.
         for s in &shapes {
             let orig = tuner.tune_gemm(s).unwrap();
@@ -765,12 +1278,102 @@ mod tests {
     }
 
     #[test]
-    fn corrupt_cache_is_rejected() {
+    fn corrupt_cache_is_rejected_and_bad_lines_are_counted() {
         let path = std::env::temp_dir().join("isaac_test_cache_bad.txt");
         std::fs::write(&path, "not a cache\n").unwrap();
-        let mut tuner = IsaacTuner::train(tesla_p100(), OpKind::Gemm, quick_options());
-        assert!(tuner.load_cache(&path).is_err());
+        let tuner = IsaacTuner::train(tesla_p100(), OpKind::Gemm, quick_options());
+        assert!(tuner.load_cache(&path).is_err(), "bad header is an error");
+
+        // A good header with a mix of valid and corrupt lines: the valid
+        // entries load, the rest are counted as skipped.
+        let good_line = {
+            let shapes = [GemmShape::new(96, 64, 48, "N", "T", DType::F32)];
+            tuner.tune_gemm(&shapes[0]);
+            tuner.save_cache(&path).unwrap();
+            let text = std::fs::read_to_string(&path).unwrap();
+            text.lines().nth(1).unwrap().to_string()
+        };
+        // A well-formed CONV line: wrong operation for a GEMM tuner, so
+        // it must be skipped rather than parked unservably in the cache.
+        let conv_line = format!(
+            "{} 1 1 1 1 1 1 1 1 1 1.0 2.0 3.0",
+            TuneKey::conv(&ConvShape::from_output(8, 7, 7, 64, 64, 3, 3, DType::F32)).name()
+        );
+        std::fs::write(
+            &path,
+            format!(
+                "isaac-kernel-cache v2 device 3\n{good_line}\ntruncated line\n\
+                 sgemm_nt_1x2x3 a b c d e f g h i 1.0 2.0 3.0\n{conv_line}\n"
+            ),
+        )
+        .unwrap();
+        let fresh = IsaacTuner::train(tesla_p100(), OpKind::Gemm, quick_options());
+        let report = fresh.load_cache(&path).expect("header is valid");
+        assert_eq!(
+            report,
+            CacheLoadReport {
+                loaded: 1,
+                skipped: 3
+            },
+            "valid entry loads; two corrupt lines and one wrong-op entry are counted"
+        );
+        // Loaded entries are rebound to *this* tuner's device ordinal.
+        assert_eq!(fresh.cache_len(), 1);
+        let (key, _) = fresh.cache().entries()[0];
+        assert_eq!(key.device, fresh.device_id());
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn warm_start_seeds_from_neighbour_without_cold_tunes() {
+        let neighbour = IsaacTuner::train(tesla_p100(), OpKind::Gemm, quick_options());
+        let shapes = [
+            GemmShape::new(96, 64, 48, "N", "T", DType::F32),
+            GemmShape::new(256, 64, 512, "N", "T", DType::F32),
+            GemmShape::new(128, 128, 128, "N", "N", DType::F32),
+        ];
+        for s in &shapes {
+            neighbour.tune_gemm(s).expect("neighbour tunes");
+        }
+
+        let mut fresh = IsaacTuner::load(
+            &{
+                let p = std::env::temp_dir().join("isaac_warm_model.txt");
+                neighbour.save(&p).unwrap();
+                p
+            },
+            isaac_device::specs::gtx980ti(),
+            OpKind::Gemm,
+        )
+        .expect("load model for the other device");
+        fresh.set_device_id(7);
+
+        // top_k = 2 limits warming to the 2 fastest neighbour decisions.
+        let report = fresh.warm_start(&neighbour.cache().entries(), 2);
+        assert_eq!(report.candidates, 2);
+        assert_eq!(report.seeded + report.skipped, 2);
+        assert!(report.seeded >= 1, "at least one decision transfers");
+        assert_eq!(fresh.cache_len(), report.seeded);
+        // Seeded keys carry the new device's ordinal and serve hits: the
+        // next query for a seeded shape must not cold-tune.
+        let misses_before = fresh.cache_stats().misses;
+        let mut hits = 0;
+        for s in &shapes {
+            let key = fresh.key_gemm(s);
+            assert_eq!(key.device, 7);
+            if let Some(seeded) = fresh.cache().peek(&key) {
+                let served = fresh.tune_gemm(s).expect("hit");
+                assert_eq!(served, seeded);
+                hits += 1;
+            }
+        }
+        assert_eq!(hits, report.seeded);
+        assert_eq!(
+            fresh.cache_stats().misses,
+            misses_before,
+            "warm-started shapes are served without cold tunes"
+        );
+        let _ = std::fs::remove_file(std::env::temp_dir().join("isaac_warm_model.txt"));
     }
 
     #[test]

@@ -41,8 +41,10 @@ impl Mat {
         self.cols = cols;
         let needed = rows * cols;
         let grew = needed > self.data.capacity();
-        // Truncate-then-resize keeps the operation O(delta) and never
-        // copies: Vec::resize over existing capacity only writes the fill.
+        // Truncate-then-resize never copies old contents; it does write
+        // `needed` fill zeros (memset-speed) that the caller immediately
+        // overwrites -- the safe-Rust price of handing out initialized
+        // slices without tracking init state.
         self.data.clear();
         self.data.resize(needed, 0.0);
         grew

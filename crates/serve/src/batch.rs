@@ -1,0 +1,177 @@
+//! Query/decision types of the serving front door, and in-batch
+//! deduplication.
+//!
+//! A [`Query`] names a device shard and an input shape; the router
+//! resolves it to a [`Decision`]. [`plan`] computes the dedup structure
+//! of a batch: duplicate queries (same [`TuneKey`], i.e. same device,
+//! operation, dtype and shape) are resolved once and fanned back out to
+//! every position, so a batch with heavy repetition costs one resolution
+//! per *unique* key.
+
+use isaac_core::{OpKind, TuneKey, TunedChoice};
+use isaac_gen::shapes::{ConvShape, GemmShape};
+use std::collections::HashMap;
+
+/// The input of one tuning query.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum QueryShape {
+    /// A GEMM input.
+    Gemm(GemmShape),
+    /// A CONV input.
+    Conv(ConvShape),
+}
+
+/// One tuning query addressed to a device shard.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Query {
+    /// Target device ordinal.
+    pub device: u16,
+    /// Input shape to tune.
+    pub shape: QueryShape,
+}
+
+impl Query {
+    /// A GEMM query for a device shard.
+    pub fn gemm(device: u16, shape: GemmShape) -> Self {
+        Query {
+            device,
+            shape: QueryShape::Gemm(shape),
+        }
+    }
+
+    /// A CONV query for a device shard.
+    pub fn conv(device: u16, shape: ConvShape) -> Self {
+        Query {
+            device,
+            shape: QueryShape::Conv(shape),
+        }
+    }
+
+    /// The cache/flight key this query resolves to.
+    pub fn key(&self) -> TuneKey {
+        match self.shape {
+            QueryShape::Gemm(ref s) => TuneKey::gemm(s).on_device(self.device),
+            QueryShape::Conv(ref s) => TuneKey::conv(s).on_device(self.device),
+        }
+    }
+
+    /// The operation this query needs a tuner for.
+    pub fn op(&self) -> OpKind {
+        match self.shape {
+            QueryShape::Gemm(_) => OpKind::Gemm,
+            QueryShape::Conv(_) => OpKind::Conv,
+        }
+    }
+}
+
+/// How a decision was served.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Served {
+    /// Answered from the shard's decision cache.
+    Cache,
+    /// This query ran the cold tune.
+    Tuned,
+    /// Coalesced onto a cold tune for the same key run by someone else:
+    /// a single-flight join, or an in-batch duplicate of a cold query.
+    Coalesced,
+    /// No shard is registered for the query's device/operation.
+    NoShard,
+}
+
+/// The outcome of one query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Decision {
+    /// The selected kernel, or `None` if unservable (no shard, or no
+    /// legal configuration).
+    pub choice: Option<TunedChoice>,
+    /// How the answer was produced.
+    pub served: Served,
+}
+
+/// The dedup structure of a batch: which positions are first occurrences
+/// of their key, and which unique resolution each position maps to.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchPlan {
+    /// Indices into the batch of the first occurrence of each unique
+    /// key, in batch order.
+    pub uniques: Vec<usize>,
+    /// The key of each unique (aligned with `uniques`), so the serving
+    /// hot path reuses the keys the dedup pass already derived.
+    pub keys: Vec<TuneKey>,
+    /// For every batch position, the index into `uniques` that resolves
+    /// it.
+    pub slot_of: Vec<usize>,
+}
+
+impl BatchPlan {
+    /// Queries absorbed by in-batch deduplication.
+    pub fn deduped(&self) -> usize {
+        self.slot_of.len() - self.uniques.len()
+    }
+}
+
+/// Group a batch by [`TuneKey`]; see [`BatchPlan`].
+pub fn plan(queries: &[Query]) -> BatchPlan {
+    let mut slot_by_key: HashMap<TuneKey, usize> = HashMap::new();
+    let mut uniques = Vec::new();
+    let mut keys = Vec::new();
+    let mut slot_of = Vec::with_capacity(queries.len());
+    for (i, q) in queries.iter().enumerate() {
+        let key = q.key();
+        let slot = *slot_by_key.entry(key).or_insert_with(|| {
+            uniques.push(i);
+            keys.push(key);
+            uniques.len() - 1
+        });
+        slot_of.push(slot);
+    }
+    BatchPlan {
+        uniques,
+        keys,
+        slot_of,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use isaac_device::DType;
+
+    fn q(device: u16, m: u32) -> Query {
+        Query::gemm(device, GemmShape::new(m, 64, 64, "N", "T", DType::F32))
+    }
+
+    #[test]
+    fn plan_dedupes_by_key_keeping_first_occurrences() {
+        let batch = [q(0, 128), q(0, 256), q(0, 128), q(1, 128), q(0, 256)];
+        let plan = plan(&batch);
+        assert_eq!(plan.uniques, vec![0, 1, 3], "device 1 is a distinct key");
+        assert_eq!(plan.slot_of, vec![0, 1, 0, 2, 1]);
+        assert_eq!(plan.deduped(), 2);
+    }
+
+    #[test]
+    fn plan_of_distinct_queries_is_identity() {
+        let batch = [q(0, 1), q(0, 2), q(0, 3)];
+        let plan = plan(&batch);
+        assert_eq!(plan.uniques, vec![0, 1, 2]);
+        assert_eq!(plan.slot_of, vec![0, 1, 2]);
+        assert_eq!(plan.deduped(), 0);
+    }
+
+    #[test]
+    fn plan_of_empty_batch_is_empty() {
+        let plan = plan(&[]);
+        assert!(plan.uniques.is_empty() && plan.slot_of.is_empty());
+        assert_eq!(plan.deduped(), 0);
+    }
+
+    #[test]
+    fn gemm_and_conv_queries_key_correctly() {
+        let g = q(3, 128);
+        assert_eq!(g.key().device, 3);
+        let c = Query::conv(5, ConvShape::from_output(8, 7, 7, 64, 64, 3, 3, DType::F32));
+        assert_eq!(c.key().device, 5);
+        assert_ne!(g.key(), c.key());
+    }
+}

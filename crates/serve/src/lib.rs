@@ -1,0 +1,32 @@
+//! Sharded serving front-end for ISAAC tuners.
+//!
+//! `isaac-core`'s query engine answers one tuning query on one tuner;
+//! this crate turns a set of trained tuners into a **service**:
+//!
+//! * [`TunerRouter`] shards tuners per device ordinal behind one front
+//!   door and routes queries by `(device, operation)`;
+//! * [`TunerRouter::submit_batch`] accepts batched submissions,
+//!   deduplicates identical queries inside the batch, and fans the
+//!   unique keys out across cores;
+//! * [`SingleFlight`] coalesces concurrent misses for the same
+//!   [`isaac_core::TuneKey`]: exactly one cold tune runs per contended
+//!   key, the losers block on the winner's result;
+//! * [`TunerRouter::warm_start`] seeds a fresh shard from a neighbour
+//!   shard's decisions, re-benchmarking only the top-k instead of
+//!   cold-tuning every shape.
+//!
+//! Decision caches are the size-bounded LRU [`isaac_core::TuneCache`]s
+//! owned by each tuner; `cargo bench -p isaac-bench --bench serving`
+//! tracks batched throughput, dedup ratio and warm-start speedup in
+//! `BENCH_serving.json`. See `crates/serve/README.md` for the
+//! architecture sketch.
+
+pub mod batch;
+pub mod router;
+pub mod single_flight;
+pub mod stats;
+
+pub use batch::{plan, BatchPlan, Decision, Query, QueryShape, Served};
+pub use router::TunerRouter;
+pub use single_flight::{FlightStats, Role, SingleFlight};
+pub use stats::RouterStats;

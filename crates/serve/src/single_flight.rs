@@ -1,0 +1,322 @@
+//! Single-flight request coalescing: concurrent computations for the
+//! same key collapse into one.
+//!
+//! The first caller to miss on a key becomes the **leader** and runs the
+//! (expensive) computation; callers arriving while it is in flight
+//! become **waiters** and block on the leader's result, which is handed
+//! to every waiter by value. No matter how many threads race a cold
+//! `TuneKey`, exactly one cold tune runs.
+//!
+//! A flight exists only while its computation is in flight -- this is
+//! *coalescing*, not memoization. Callers are expected to consult their
+//! cache first and again publish the result there; the flight table only
+//! bridges the window between the first miss and the cache insert.
+//!
+//! If a leader panics, its flight is marked aborted (via a drop guard),
+//! waiters wake up and race to become the new leader, and the panic
+//! propagates in the original leader's thread only.
+
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// How a [`SingleFlight::run`] call obtained its value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Role {
+    /// This caller ran the computation.
+    Led,
+    /// This caller joined an in-flight computation and got the leader's
+    /// result.
+    Joined,
+}
+
+/// Lead/join counters of a [`SingleFlight`] table.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FlightStats {
+    /// Computations actually run.
+    pub led: u64,
+    /// Calls that coalesced onto an in-flight computation.
+    pub joined: u64,
+}
+
+impl FlightStats {
+    /// Fraction of calls that were absorbed by coalescing.
+    pub fn dedup_ratio(&self) -> f64 {
+        let total = self.led + self.joined;
+        if total == 0 {
+            0.0
+        } else {
+            self.joined as f64 / total as f64
+        }
+    }
+}
+
+enum FlightState<V> {
+    Pending,
+    Done(V),
+    /// The leader panicked before publishing.
+    Aborted,
+}
+
+struct Flight<V> {
+    state: Mutex<FlightState<V>>,
+    cv: Condvar,
+}
+
+impl<V: Clone> Flight<V> {
+    fn new() -> Self {
+        Flight {
+            state: Mutex::new(FlightState::Pending),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn publish(&self, state: FlightState<V>) {
+        *self.state.lock().expect("flight poisoned") = state;
+        self.cv.notify_all();
+    }
+
+    /// Block until the leader publishes; `None` if the flight aborted.
+    fn wait(&self) -> Option<V> {
+        let mut state = self.state.lock().expect("flight poisoned");
+        loop {
+            match &*state {
+                FlightState::Pending => {
+                    state = self.cv.wait(state).expect("flight poisoned");
+                }
+                FlightState::Done(v) => return Some(v.clone()),
+                FlightState::Aborted => return None,
+            }
+        }
+    }
+}
+
+/// Marks the flight aborted and frees its table slot if the leader
+/// unwinds before publishing.
+struct LeaderGuard<'a, K: Eq + Hash + Clone, V: Clone> {
+    table: &'a SingleFlight<K, V>,
+    key: &'a K,
+    flight: &'a Arc<Flight<V>>,
+    armed: bool,
+}
+
+impl<K: Eq + Hash + Clone, V: Clone> Drop for LeaderGuard<'_, K, V> {
+    fn drop(&mut self) {
+        if self.armed {
+            self.flight.publish(FlightState::Aborted);
+            self.table.remove(self.key);
+        }
+    }
+}
+
+/// A table of in-flight computations keyed by `K`; see the module docs.
+pub struct SingleFlight<K, V> {
+    inflight: Mutex<HashMap<K, Arc<Flight<V>>>>,
+    led: AtomicU64,
+    joined: AtomicU64,
+}
+
+impl<K: Eq + Hash + Clone, V: Clone> Default for SingleFlight<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K, V> std::fmt::Debug for SingleFlight<K, V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SingleFlight")
+            .field("led", &self.led.load(Ordering::Relaxed))
+            .field("joined", &self.joined.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl<K: Eq + Hash + Clone, V: Clone> SingleFlight<K, V> {
+    /// Empty flight table.
+    pub fn new() -> Self {
+        SingleFlight {
+            inflight: Mutex::new(HashMap::new()),
+            led: AtomicU64::new(0),
+            joined: AtomicU64::new(0),
+        }
+    }
+
+    /// Compute `f()` for `key`, coalescing with any computation already
+    /// in flight for the same key: exactly one caller (the returned
+    /// [`Role::Led`]) runs `f`; everyone else blocks and receives the
+    /// leader's value.
+    pub fn run(&self, key: K, f: impl FnOnce() -> V) -> (V, Role) {
+        loop {
+            let ticket = {
+                let mut map = self.inflight.lock().expect("flight table poisoned");
+                match map.entry(key.clone()) {
+                    Entry::Occupied(e) => Err(Arc::clone(e.get())),
+                    Entry::Vacant(slot) => {
+                        let flight = Arc::new(Flight::new());
+                        slot.insert(Arc::clone(&flight));
+                        Ok(flight)
+                    }
+                }
+            };
+            match ticket {
+                Ok(flight) => {
+                    self.led.fetch_add(1, Ordering::Relaxed);
+                    let mut guard = LeaderGuard {
+                        table: self,
+                        key: &key,
+                        flight: &flight,
+                        armed: true,
+                    };
+                    let value = f();
+                    guard.armed = false;
+                    flight.publish(FlightState::Done(value.clone()));
+                    self.remove(&key);
+                    return (value, Role::Led);
+                }
+                Err(flight) => {
+                    self.joined.fetch_add(1, Ordering::Relaxed);
+                    match flight.wait() {
+                        Some(value) => return (value, Role::Joined),
+                        // Leader aborted: race for leadership again.
+                        None => continue,
+                    }
+                }
+            }
+        }
+    }
+
+    fn remove(&self, key: &K) {
+        self.inflight
+            .lock()
+            .expect("flight table poisoned")
+            .remove(key);
+    }
+
+    /// Number of computations currently in flight.
+    pub fn in_flight(&self) -> usize {
+        self.inflight.lock().expect("flight table poisoned").len()
+    }
+
+    /// Lead/join counters since construction.
+    pub fn stats(&self) -> FlightStats {
+        FlightStats {
+            led: self.led.load(Ordering::Relaxed),
+            joined: self.joined.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::Barrier;
+    use std::time::Duration;
+
+    #[test]
+    fn contended_key_computes_exactly_once() {
+        const THREADS: usize = 8;
+        let flights: SingleFlight<u32, u64> = SingleFlight::new();
+        let executions = AtomicUsize::new(0);
+        let barrier = Barrier::new(THREADS);
+        let results: Vec<(u64, Role)> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..THREADS)
+                .map(|_| {
+                    s.spawn(|| {
+                        barrier.wait();
+                        flights.run(42, || {
+                            executions.fetch_add(1, Ordering::SeqCst);
+                            // Hold the flight open until every other
+                            // thread has joined it (a fixed sleep would
+                            // let a descheduled straggler arrive after
+                            // completion and legitimately re-lead). The
+                            // timeout only bounds a broken test.
+                            let start = std::time::Instant::now();
+                            while flights.stats().joined < (THREADS - 1) as u64
+                                && start.elapsed() < Duration::from_secs(10)
+                            {
+                                std::thread::yield_now();
+                            }
+                            0xC0FFEE
+                        })
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert_eq!(
+            executions.load(Ordering::SeqCst),
+            1,
+            "exactly one cold computation"
+        );
+        assert!(results.iter().all(|(v, _)| *v == 0xC0FFEE));
+        let led = results.iter().filter(|(_, r)| *r == Role::Led).count();
+        assert_eq!(led, 1, "exactly one leader");
+        assert_eq!(
+            flights.stats(),
+            FlightStats {
+                led: 1,
+                joined: (THREADS - 1) as u64
+            }
+        );
+        assert_eq!(flights.in_flight(), 0, "flight slot is freed");
+    }
+
+    #[test]
+    fn distinct_keys_do_not_coalesce() {
+        let flights: SingleFlight<u32, u32> = SingleFlight::new();
+        let (a, _) = flights.run(1, || 10);
+        let (b, _) = flights.run(2, || 20);
+        assert_eq!((a, b), (10, 20));
+        assert_eq!(flights.stats().led, 2);
+        assert_eq!(flights.stats().joined, 0);
+    }
+
+    #[test]
+    fn sequential_runs_recompute() {
+        // Coalescing, not memoization: once a flight lands, the next
+        // call for the same key computes again.
+        let flights: SingleFlight<u32, u32> = SingleFlight::new();
+        let calls = AtomicUsize::new(0);
+        for _ in 0..3 {
+            let (v, role) = flights.run(7, || calls.fetch_add(1, Ordering::SeqCst) as u32);
+            assert_eq!(role, Role::Led);
+            let _ = v;
+        }
+        assert_eq!(calls.load(Ordering::SeqCst), 3);
+    }
+
+    #[test]
+    fn leader_panic_aborts_the_flight_and_a_waiter_takes_over() {
+        let flights: SingleFlight<u32, u32> = SingleFlight::new();
+        let barrier = Barrier::new(2);
+        let (value, role) = std::thread::scope(|s| {
+            let panicker = s.spawn(|| {
+                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    flights.run(9, || {
+                        barrier.wait();
+                        // Give the second thread time to join the flight
+                        // before unwinding.
+                        std::thread::sleep(Duration::from_millis(100));
+                        panic!("leader dies");
+                    })
+                }));
+                assert!(result.is_err(), "leader's panic propagates");
+            });
+            let survivor = s.spawn(|| {
+                barrier.wait();
+                std::thread::sleep(Duration::from_millis(20));
+                flights.run(9, || 5)
+            });
+            panicker.join().unwrap();
+            survivor.join().unwrap()
+        });
+        assert_eq!(value, 5, "survivor recomputes after the abort");
+        // The survivor either joined-then-led (raced while the leader was
+        // alive) or led outright (arrived after the abort).
+        assert_eq!(role, Role::Led);
+        assert_eq!(flights.in_flight(), 0);
+    }
+}

@@ -1,0 +1,83 @@
+//! Router-level serving counters.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Atomic counters bumped on the serving hot path.
+#[derive(Debug, Default)]
+pub(crate) struct Counters {
+    pub queries: AtomicU64,
+    pub batches: AtomicU64,
+    pub cache_hits: AtomicU64,
+    pub cold_tunes: AtomicU64,
+    pub coalesced: AtomicU64,
+    pub batch_deduped: AtomicU64,
+    pub no_shard: AtomicU64,
+}
+
+/// Relaxed add on a serving counter.
+pub(crate) fn bump(counter: &AtomicU64, n: u64) {
+    counter.fetch_add(n, Ordering::Relaxed);
+}
+
+impl Counters {
+    pub fn snapshot(&self) -> RouterStats {
+        RouterStats {
+            queries: self.queries.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cold_tunes: self.cold_tunes.load(Ordering::Relaxed),
+            coalesced: self.coalesced.load(Ordering::Relaxed),
+            batch_deduped: self.batch_deduped.load(Ordering::Relaxed),
+            no_shard: self.no_shard.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A snapshot of a router's serving counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RouterStats {
+    /// Queries submitted (single and batched).
+    pub queries: u64,
+    /// `submit_batch` calls.
+    pub batches: u64,
+    /// Queries answered from a shard's decision cache.
+    pub cache_hits: u64,
+    /// Cold tunes actually run.
+    pub cold_tunes: u64,
+    /// Queries coalesced onto a concurrent cold tune (single-flight
+    /// joins).
+    pub coalesced: u64,
+    /// Queries absorbed by in-batch deduplication.
+    pub batch_deduped: u64,
+    /// Queries addressed to an unregistered device/operation.
+    pub no_shard: u64,
+}
+
+impl RouterStats {
+    /// Fraction of all queries that did *not* need their own resolution:
+    /// in-batch duplicates plus single-flight joins.
+    pub fn dedup_ratio(&self) -> f64 {
+        if self.queries == 0 {
+            0.0
+        } else {
+            (self.batch_deduped + self.coalesced) as f64 / self.queries as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dedup_ratio_counts_joins_and_batch_dupes() {
+        let s = RouterStats {
+            queries: 10,
+            batch_deduped: 3,
+            coalesced: 2,
+            ..Default::default()
+        };
+        assert!((s.dedup_ratio() - 0.5).abs() < 1e-12);
+        assert_eq!(RouterStats::default().dedup_ratio(), 0.0);
+    }
+}

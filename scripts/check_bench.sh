@@ -1,0 +1,117 @@
+#!/usr/bin/env bash
+# Validate the BENCH_*.json trajectory files and guard the serving path
+# against performance regressions.
+#
+# Checks, in order:
+#   1. every expected BENCH_*.json exists, is non-empty, and is a flat
+#      JSON object containing its required numeric keys;
+#   2. the freshly-emitted BENCH_inference.json cached-hit cost is within
+#      TOLERANCE x the committed baseline (default 3x -- generous, since
+#      CI hosts differ; the goal is catching order-of-magnitude
+#      regressions on the O(1) serving path, not noise).
+#
+# Usage:
+#   scripts/check_bench.sh [--baseline <file>] [--tolerance <factor>]
+#
+# With no --baseline, the committed BENCH_inference.json is read from
+# git (HEAD), so the script works unchanged in CI and locally after
+# `cargo bench -p isaac-bench --bench inference --bench serving`.
+
+set -u
+
+cd "$(dirname "$0")/.."
+
+TOLERANCE=3
+BASELINE=""
+while [ $# -gt 0 ]; do
+    case "$1" in
+        --baseline) BASELINE="$2"; shift 2 ;;
+        --tolerance) TOLERANCE="$2"; shift 2 ;;
+        *) echo "usage: $0 [--baseline <file>] [--tolerance <factor>]" >&2; exit 2 ;;
+    esac
+done
+
+fail=0
+say() { echo "check_bench: $*"; }
+die() { say "FAIL: $*"; fail=1; }
+
+# json_num FILE KEY -> prints the numeric value of "KEY": <num>, or
+# nothing if the key is missing/non-numeric.
+json_num() {
+    sed -n "s/^[[:space:]]*\"$2\"[[:space:]]*:[[:space:]]*\(-\{0,1\}[0-9][0-9.eE+-]*\).*/\1/p" "$1" | head -n1
+}
+
+# validate FILE KEY... -> structural + per-key checks.
+validate() {
+    file="$1"; shift
+    if [ ! -s "$file" ]; then
+        die "$file is missing or empty"
+        return
+    fi
+    # A flat object: first line '{', last line '}'.
+    first=$(head -n1 "$file" | tr -d '[:space:]')
+    last=$(tail -n1 "$file" | tr -d '[:space:]')
+    if [ "$first" != "{" ] || [ "$last" != "}" ]; then
+        die "$file is not a JSON object (starts '$first', ends '$last')"
+        return
+    fi
+    for key in "$@"; do
+        val=$(json_num "$file" "$key")
+        if [ -z "$val" ]; then
+            die "$file: required numeric key \"$key\" missing or malformed"
+        fi
+    done
+    say "OK: $file has all required keys"
+}
+
+validate BENCH_inference.json \
+    threads cold_serial_s_per_query cold_parallel_s_per_query \
+    parallel_speedup cached_s_per_query cache_hits cache_misses
+
+validate BENCH_serving.json \
+    threads shards batch_size one_at_a_time_qps batched_qps \
+    batch_speedup dedup_ratio single_flight_led single_flight_joined \
+    cold_tune_s warm_start_s warm_start_speedup warm_seeded
+
+# ---- regression guard: cached-hit cost vs. the committed baseline ----
+# Baseline preference: origin's default branch (so a PR that commits a
+# regressed JSON cannot be its own baseline), falling back to HEAD for
+# local runs without a remote.
+if [ -z "$BASELINE" ]; then
+    BASELINE=$(mktemp)
+    trap 'rm -f "$BASELINE"' EXIT
+    found=""
+    for ref in origin/main origin/master HEAD; do
+        if git show "$ref:BENCH_inference.json" > "$BASELINE" 2>/dev/null; then
+            say "baseline: BENCH_inference.json from $ref"
+            found=1
+            break
+        fi
+    done
+    if [ -z "$found" ]; then
+        say "SKIP: no committed BENCH_inference.json baseline found"
+        BASELINE=""
+    fi
+fi
+
+if [ -n "$BASELINE" ] && [ "$fail" -eq 0 ]; then
+    fresh=$(json_num BENCH_inference.json cached_s_per_query)
+    base=$(json_num "$BASELINE" cached_s_per_query)
+    if [ -z "$base" ]; then
+        say "SKIP: baseline has no cached_s_per_query"
+    else
+        say "cached hit: fresh ${fresh}s vs baseline ${base}s (tolerance ${TOLERANCE}x)"
+        if ! awk -v f="$fresh" -v b="$base" -v t="$TOLERANCE" \
+                'BEGIN { exit !(f <= b * t) }'; then
+            die "cached-hit cost regressed: ${fresh}s > ${TOLERANCE} x ${base}s"
+        else
+            say "OK: cached-hit throughput within tolerance"
+        fi
+    fi
+fi
+
+if [ "$fail" -ne 0 ]; then
+    say "FAILED"
+    exit 1
+fi
+say "all checks passed"

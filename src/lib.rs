@@ -45,9 +45,15 @@
 //! exhaustive model search fans out across cores with bit-deterministic
 //! reductions, feature batches are built in place inside pooled scratch
 //! buffers (`isaac_mlp::ScratchSpace`), and decisions are memoized in a
-//! shape-keyed, `RwLock`-guarded `isaac_core::TuneCache` -- so tuning
-//! methods take `&self` and a trained tuner can serve many threads.
-//! `cargo bench -p isaac-bench --bench inference` tracks queries/sec.
+//! shape-keyed, `RwLock`-guarded `isaac_core::TuneCache` (a size-bounded
+//! LRU) -- so tuning methods take `&self` and a trained tuner can serve
+//! many threads. [`serve`] adds the deployment front door: a
+//! `TunerRouter` shards tuners per device, batches submissions with
+//! in-batch dedup, coalesces concurrent misses (single-flight), and
+//! warm-starts fresh shards from a neighbour's decisions.
+//! `cargo bench -p isaac-bench --bench inference` (queries/sec) and
+//! `--bench serving` (batched throughput, dedup, warm-start) track the
+//! trajectory.
 
 pub use isaac_baselines as baselines;
 pub use isaac_core as core;
@@ -55,6 +61,7 @@ pub use isaac_device as device;
 pub use isaac_gen as gen;
 pub use isaac_ir as ir;
 pub use isaac_mlp as mlp;
+pub use isaac_serve as serve;
 
 /// The most common imports, bundled.
 pub mod prelude {
@@ -65,4 +72,5 @@ pub mod prelude {
     pub use isaac_gen::shapes::{ConvShape, GemmShape};
     pub use isaac_gen::{BoundsMode, GemmConfig};
     pub use isaac_ir::emit_ptx;
+    pub use isaac_serve::{Query, TunerRouter};
 }
