@@ -18,8 +18,8 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use isaac_bench::harness::env_usize;
 use isaac_bench::report::{bench_json_path, write_json, Table};
-use isaac_core::inference::{infer_gemm, infer_gemm_serial};
-use isaac_core::{engine_stats, IsaacTuner, OpKind, TrainOptions};
+use isaac_core::inference::{infer_gemm, infer_gemm_serial, infer_gemm_staged, StageBreakdown};
+use isaac_core::{engine_stats, CascadeConfig, InferOptions, IsaacTuner, OpKind, TrainOptions};
 use isaac_device::specs::tesla_p100;
 use isaac_device::{DType, Profiler};
 use isaac_gen::shapes::GemmShape;
@@ -92,6 +92,58 @@ fn inference_throughput(c: &mut Criterion) {
         .sum::<f64>()
         / shapes.len() as f64;
 
+    // Stage breakdown of the serial cold path, averaged over the mix:
+    // where does cold-tune time go? (Same arithmetic as `cold serial`.)
+    let mut stages = StageBreakdown::default();
+    for s in &shapes {
+        let (_, bd) = infer_gemm_staged(&bundle, s, &profiler, top_k, true);
+        stages.legality_s += bd.legality_s;
+        stages.features_s += bd.features_s;
+        stages.predict_s += bd.predict_s;
+        stages.topk_s += bd.topk_s;
+        stages.rebench_s += bd.rebench_s;
+        stages.scored_full += bd.scored_full;
+    }
+    stages.legality_s /= shapes.len() as f64;
+    stages.features_s /= shapes.len() as f64;
+    stages.predict_s /= shapes.len() as f64;
+    stages.topk_s /= shapes.len() as f64;
+    stages.rebench_s /= shapes.len() as f64;
+    // Per-query average (sum over the mix divided once, no per-term
+    // truncation).
+    stages.scored_full /= shapes.len() as u64;
+
+    // Opt-in coarse-to-fine cascade: cold latency with the cheap pass
+    // pruning the candidate set, plus the quality guard -- the final
+    // re-benchmarked choice must match the exhaustive path on every
+    // shape in the mix.
+    let cascade_opts = InferOptions {
+        top_k,
+        log_features: true,
+        parallel: true,
+        cascade: Some(CascadeConfig::default()),
+    };
+    let mut cascade_matches = true;
+    for s in &shapes {
+        let exhaustive = infer_gemm(&bundle, s, &profiler, top_k, true);
+        let cascaded = isaac_core::infer_gemm_opts(&bundle, s, &profiler, &cascade_opts);
+        cascade_matches &= exhaustive == cascaded;
+    }
+    let cold_cascade: f64 = shapes
+        .iter()
+        .map(|s| {
+            secs_per_query(|| {
+                black_box(isaac_core::infer_gemm_opts(
+                    &bundle,
+                    s,
+                    &profiler,
+                    &cascade_opts,
+                ));
+            })
+        })
+        .sum::<f64>()
+        / shapes.len() as f64;
+
     // Cached path: a trained tuner serving repeat queries.
     let tuner = IsaacTuner::train(
         tesla_p100(),
@@ -136,12 +188,39 @@ fn inference_throughput(c: &mut Criterion) {
         format!("{:.2}x", cold_serial / cold_parallel),
     ]);
     table.row(vec![
+        format!("cold cascade (match={cascade_matches})"),
+        format!("{cold_cascade:.4}"),
+        format!("{:.2}", 1.0 / cold_cascade),
+        // vs. cold *parallel*: both run the fan-out, so the ratio
+        // isolates what the cheap-pass pruning buys.
+        format!("{:.2}x", cold_parallel / cold_cascade),
+    ]);
+    table.row(vec![
         "cached".into(),
         format!("{cached:.9}"),
         format!("{:.0}", 1.0 / cached),
         format!("{:.0}x", cold_parallel / cached),
     ]);
     table.print();
+
+    let mut stage_table = Table::new(
+        "cold-tune stage breakdown (serial, avg over mix)",
+        &["stage", "s/query", "share"],
+    );
+    for (name, s) in [
+        ("legality", stages.legality_s),
+        ("features", stages.features_s),
+        ("predict", stages.predict_s),
+        ("topk", stages.topk_s),
+        ("rebench", stages.rebench_s),
+    ] {
+        stage_table.row(vec![
+            name.into(),
+            format!("{s:.4}"),
+            format!("{:.1}%", 100.0 * s / stages.total_s()),
+        ]);
+    }
+    stage_table.print();
 
     let json = bench_json_path("BENCH_inference.json");
     write_json(
@@ -156,6 +235,21 @@ fn inference_throughput(c: &mut Criterion) {
                 "parallel_speedup",
                 format!("{:.3}", cold_serial / cold_parallel),
             ),
+            ("cold_cascade_s_per_query", format!("{cold_cascade:.6}")),
+            (
+                "cascade_speedup",
+                format!("{:.3}", cold_parallel / cold_cascade),
+            ),
+            (
+                "cascade_choice_matches",
+                format!("{}", u8::from(cascade_matches)),
+            ),
+            ("legality_s", format!("{:.6}", stages.legality_s)),
+            ("features_s", format!("{:.6}", stages.features_s)),
+            ("predict_s", format!("{:.6}", stages.predict_s)),
+            ("topk_s", format!("{:.6}", stages.topk_s)),
+            ("rebench_s", format!("{:.6}", stages.rebench_s)),
+            ("scored_full", stages.scored_full.to_string()),
             ("cached_s_per_query", format!("{cached:.9}")),
             (
                 "cached_speedup_vs_cold",

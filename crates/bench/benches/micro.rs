@@ -7,6 +7,7 @@
 //! benchmarking the paper spends.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use isaac_bench::report::{bench_json_path, write_json};
 use isaac_core::sampling::{CategoricalSampler, UniformSampler};
 use isaac_device::specs::tesla_p100;
 use isaac_device::{simulate, DType};
@@ -14,9 +15,11 @@ use isaac_gen::profile::gemm_profile;
 use isaac_gen::shapes::GemmShape;
 use isaac_gen::{gemm, GemmConfig};
 use isaac_ir::{emit_ptx, ptx};
+use isaac_mlp::Mat;
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 use std::hint::black_box;
+use std::time::Instant;
 
 fn small_cfg() -> GemmConfig {
     GemmConfig {
@@ -107,6 +110,80 @@ fn samplers(c: &mut Criterion) {
     group.finish();
 }
 
+/// Median-of-reps wall time of one call, in seconds.
+fn time_call(mut run: impl FnMut()) -> f64 {
+    run(); // warmup
+    let mut samples: Vec<f64> = (0..9)
+        .map(|_| {
+            let start = Instant::now();
+            run();
+            start.elapsed().as_secs_f64()
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+/// The MLP forward-pass GEMM micro-kernel vs. its scalar predecessor, on
+/// the matrix shapes the tuning query engine actually runs (a chunk of
+/// candidates against the model's widest hidden layer). Writes
+/// `BENCH_micro.json` so CI can archive the kernel's trajectory.
+fn mlp_matmul(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(0x11117);
+    let mut mat = |rows: usize, cols: usize| {
+        let data: Vec<f32> = (0..rows * cols).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        Mat::from_vec(rows, cols, data)
+    };
+    // One engine chunk's worth of activations x the widest hidden layer.
+    let (rows, k, cols) = (4096, 64, 128);
+    let a = mat(rows, k);
+    let b = mat(cols, k);
+    let mut out = Mat::zeros(rows, cols);
+    let flops = (2 * rows * k * cols) as f64;
+
+    let tiled_s = time_call(|| a.mul_bt(&b, black_box(&mut out)));
+    let naive_s = time_call(|| a.mul_bt_naive(&b, black_box(&mut out)));
+
+    let mut group = c.benchmark_group("mlp");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(flops as u64));
+    group.bench_function("mul_bt_tiled", |bch| {
+        bch.iter(|| a.mul_bt(&b, black_box(&mut out)))
+    });
+    group.bench_function("mul_bt_naive", |bch| {
+        bch.iter(|| a.mul_bt_naive(&b, black_box(&mut out)))
+    });
+    group.finish();
+
+    let json = bench_json_path("BENCH_micro.json");
+    write_json(
+        &json,
+        &[
+            ("matmul_rows", rows.to_string()),
+            ("matmul_k", k.to_string()),
+            ("matmul_cols", cols.to_string()),
+            ("mul_bt_naive_s", format!("{naive_s:.6}")),
+            ("mul_bt_tiled_s", format!("{tiled_s:.6}")),
+            (
+                "mul_bt_naive_gflops",
+                format!("{:.2}", flops / naive_s / 1e9),
+            ),
+            (
+                "mul_bt_tiled_gflops",
+                format!("{:.2}", flops / tiled_s / 1e9),
+            ),
+            ("mul_bt_tiled_speedup", format!("{:.3}", naive_s / tiled_s)),
+        ],
+    );
+    println!(
+        "wrote {} (tiled {:.2} GFLOP/s, naive {:.2} GFLOP/s, {:.2}x)",
+        json.display(),
+        flops / tiled_s / 1e9,
+        flops / naive_s / 1e9,
+        naive_s / tiled_s
+    );
+}
+
 fn enumeration(c: &mut Criterion) {
     let spec = tesla_p100();
     let shape = GemmShape::new(2560, 32, 2560, "N", "N", DType::F32);
@@ -124,6 +201,7 @@ criterion_group!(
     ptx_pipeline,
     simulator,
     samplers,
+    mlp_matmul,
     enumeration
 );
 criterion_main!(benches);

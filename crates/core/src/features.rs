@@ -39,11 +39,14 @@ fn write_tuning(out: &mut [f32], cfg: &GemmConfig, log: bool) {
     }
 }
 
-/// Write the GEMM feature vector for a `(input, tuning)` pair into
-/// `out[..GEMM_FEATURES]` -- the allocation-free variant the query engine
-/// uses to fill flat candidate matrices in place.
-pub fn gemm_features_into(shape: &GemmShape, cfg: &GemmConfig, log: bool, out: &mut [f32]) {
-    assert_eq!(out.len(), GEMM_FEATURES, "feature slice length");
+/// Write only the input-shape half of the GEMM feature vector into
+/// `out[..GEMM_INPUT_FEATURES]`. The shape half is constant across every
+/// candidate of a tuning query, so the engine builds it exactly once per
+/// query and folds it into the model's factored first layer
+/// (`ModelBundle::query_prefix`); candidates then carry only the tuning
+/// half.
+pub fn gemm_shape_features_into(shape: &GemmShape, log: bool, out: &mut [f32]) {
+    assert_eq!(out.len(), GEMM_INPUT_FEATURES, "shape-feature slice length");
     out[0] = enc(shape.m as f64, log);
     out[1] = enc(shape.n as f64, log);
     out[2] = enc(shape.k as f64, log);
@@ -51,6 +54,14 @@ pub fn gemm_features_into(shape: &GemmShape, cfg: &GemmConfig, log: bool, out: &
     // Layout flags are categorical; they stay 0/1 in both variants.
     out[4] = shape.trans_a as u8 as f32;
     out[5] = shape.trans_b as u8 as f32;
+}
+
+/// Write the GEMM feature vector for a `(input, tuning)` pair into
+/// `out[..GEMM_FEATURES]` -- the allocation-free variant dataset
+/// generation uses to fill flat candidate matrices in place.
+pub fn gemm_features_into(shape: &GemmShape, cfg: &GemmConfig, log: bool, out: &mut [f32]) {
+    assert_eq!(out.len(), GEMM_FEATURES, "feature slice length");
+    gemm_shape_features_into(shape, log, &mut out[..GEMM_INPUT_FEATURES]);
     write_tuning(&mut out[GEMM_INPUT_FEATURES..], cfg, log);
 }
 
@@ -61,16 +72,23 @@ pub fn gemm_features(shape: &GemmShape, cfg: &GemmConfig, log: bool) -> Vec<f32>
     out
 }
 
-/// Write the CONV feature vector into `out[..CONV_FEATURES]`; see
-/// [`gemm_features_into`].
-pub fn conv_features_into(shape: &ConvShape, cfg: &GemmConfig, log: bool, out: &mut [f32]) {
-    assert_eq!(out.len(), CONV_FEATURES, "feature slice length");
+/// Write only the input-shape half of the CONV feature vector; see
+/// [`gemm_shape_features_into`].
+pub fn conv_shape_features_into(shape: &ConvShape, log: bool, out: &mut [f32]) {
+    assert_eq!(out.len(), CONV_INPUT_FEATURES, "shape-feature slice length");
     out[0] = enc(shape.k as f64, log);
     out[1] = enc(shape.npq() as f64, log);
     out[2] = enc(shape.crs() as f64, log);
     out[3] = enc(shape.dtype.size_bytes() as f64, log);
     out[4] = enc(shape.n as f64, log);
     out[5] = enc((shape.r * shape.s) as f64, log);
+}
+
+/// Write the CONV feature vector into `out[..CONV_FEATURES]`; see
+/// [`gemm_features_into`].
+pub fn conv_features_into(shape: &ConvShape, cfg: &GemmConfig, log: bool, out: &mut [f32]) {
+    assert_eq!(out.len(), CONV_FEATURES, "feature slice length");
+    conv_shape_features_into(shape, log, &mut out[..CONV_INPUT_FEATURES]);
     write_tuning(&mut out[CONV_INPUT_FEATURES..], cfg, log);
 }
 
@@ -156,6 +174,51 @@ mod tests {
         assert_eq!(f[2], (12800f64).log2() as f32);
         assert_eq!(f[4], 4.0); // log2(16)
         assert_eq!(f[5], (25f64).log2() as f32);
+    }
+
+    /// The precomputed per-config feature rows the query engine copies
+    /// from (`isaac_gen::legality::space_feature_table`) must match
+    /// [`write_tuning`]'s encoding bit for bit -- otherwise the factored
+    /// hot path would diverge from the dataset/naive paths.
+    #[test]
+    fn space_feature_table_matches_write_tuning_bitwise() {
+        use isaac_gen::legality::{space_feature_table, space_table};
+        let shape = GemmShape::new(64, 64, 64, "N", "N", DType::F32);
+        for log in [true, false] {
+            let table = space_feature_table(log);
+            let configs = space_table();
+            assert_eq!(table.len(), configs.len());
+            for i in (0..configs.len()).step_by(7919) {
+                let full = gemm_features(&shape, &configs[i], log);
+                assert_eq!(
+                    &table[i][..],
+                    &full[GEMM_INPUT_FEATURES..],
+                    "config {i} (log={log})"
+                );
+            }
+        }
+    }
+
+    /// Shape-half writers must agree with the full writers on the prefix.
+    #[test]
+    fn shape_half_matches_full_prefix() {
+        let gshape = GemmShape::new(2048, 16, 4096, "N", "T", DType::F32);
+        let cshape = ConvShape::from_output(16, 14, 14, 48, 512, 5, 5, DType::F32);
+        let cfg = GemmConfig::default();
+        for log in [true, false] {
+            let mut half = vec![0.0; GEMM_INPUT_FEATURES];
+            gemm_shape_features_into(&gshape, log, &mut half);
+            assert_eq!(
+                half,
+                gemm_features(&gshape, &cfg, log)[..GEMM_INPUT_FEATURES]
+            );
+            let mut half = vec![0.0; CONV_INPUT_FEATURES];
+            conv_shape_features_into(&cshape, log, &mut half);
+            assert_eq!(
+                half,
+                conv_features(&cshape, &cfg, log)[..CONV_INPUT_FEATURES]
+            );
+        }
     }
 
     #[test]

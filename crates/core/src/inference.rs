@@ -8,46 +8,75 @@
 //! top-k candidates for re-benchmarking on the "target device" to smooth
 //! out model noise.
 //!
-//! ## Engine structure
+//! ## The staged pipeline
 //!
-//! A query walks the precomputed space table
-//! ([`isaac_gen::legality::space_table`]) in fixed-size index chunks. Each
-//! chunk is processed independently (rayon fan-out): legality filtering,
-//! in-place feature construction ([`crate::features::gemm_features_into`])
-//! into a flat row-major buffer, and a batched MLP forward pass inside a
-//! pooled [`ScratchSpace`]. Chunk results are concatenated **in index
-//! order**, the top-k candidates are selected with an O(n) partial
-//! selection (ties broken by index), and the finalists are re-benchmarked
-//! in parallel with a deterministic rank-ordered reduction.
+//! A cold tune runs five stages over the precomputed space table
+//! ([`isaac_gen::legality::space_table`]), in fixed-size index chunks:
+//!
+//! 1. **Legality**: filter each chunk down to the configurations that
+//!    compile and execute for this input on this device. The table is
+//!    in-space by construction, so only the *physical* rules run
+//!    ([`isaac_gen::legality::check_physical`]); the CONV path hoists its
+//!    implicit-GEMM view out of the loop too.
+//! 2. **Features**: each legal candidate's feature row is a 9-float copy
+//!    from the per-process encoded tuning table
+//!    ([`isaac_gen::legality::space_feature_table`]). The input-shape
+//!    half is *not* rebuilt per candidate: it is standardized once per
+//!    query and folded into the model's first layer
+//!    (`ModelBundle::query_prefix` -- the factored first layer), so per
+//!    candidate the engine touches only the columns that actually vary.
+//! 3. **(Optional) cheap pass**: with a [`CascadeConfig`], all legal
+//!    candidates are first scored by a collapsed-tail surrogate
+//!    (first layer + one dot product, ~10-20x cheaper than the full
+//!    network), and only a safety-margined top fraction survives to the
+//!    full model. Off by default: the default path is bit-identical to
+//!    the exhaustive engine, and the cascade-on path is guarded by tests
+//!    asserting the final [`TunedChoice`] matches the exhaustive one on
+//!    the benchmark shape suite.
+//! 4. **Full scores + top-k**: survivors (everything, when the cascade is
+//!    off) run through the factored full model inside pooled
+//!    [`ScratchSpace`]s; the top-k candidates are selected with an O(n)
+//!    partial selection (ties broken by index).
+//! 5. **Re-benchmark**: the finalists are measured on the device model
+//!    (best-of-[`RE_BENCH_REPS`]) and the fastest wins.
+//!
+//! [`StageBreakdown`] (from [`infer_gemm_staged`]) reports where a cold
+//! tune's time goes, stage by stage; the inference benchmark publishes it
+//! in `BENCH_inference.json`.
 //!
 //! Determinism: every per-candidate computation is a pure function of the
 //! candidate index (the profiler's noise is seeded by kernel name and
 //! repetition, not by call order), reductions are index-ordered, and the
 //! MLP forward pass is row-independent -- so the result is bit-identical
-//! for 1 thread and N threads. [`infer_gemm_serial`] runs the identical
-//! arithmetic without the fan-out and is used by tests and the bench
-//! harness as the reference and the pre-parallelism baseline.
+//! for 1 thread and N threads, with or without the cascade (the cascade's
+//! survivor cut is a total order over `(score, index)`).
+//! [`infer_gemm_serial`] runs the identical arithmetic without the
+//! fan-out and is used by tests and the bench harness as the reference
+//! and the pre-parallelism baseline.
 //!
 //! Steady-state queries make **zero per-candidate allocations**: feature
-//! matrices, MLP activations and the candidate list live in a
+//! matrices, MLP activations and the candidate lists live in a
 //! process-wide scratch pool that is reused across queries, and
 //! [`engine_stats`] exposes the pool counters so tests can prove the
 //! pooled buffers stop growing. What remains per query is O(#chunks)
-//! transient result buffers from the fan-out's `collect` (~124 small
-//! `Vec`s over the ~504k-config space), independent of the per-candidate
-//! work.
+//! transient result buffers from the fan-out's `collect`, independent of
+//! the per-candidate work.
 
-use crate::features::{conv_features_into, gemm_features_into, CONV_FEATURES, GEMM_FEATURES};
+use crate::features::{
+    conv_shape_features_into, gemm_shape_features_into, CONV_INPUT_FEATURES, GEMM_INPUT_FEATURES,
+    TUNING_FEATURES,
+};
 use isaac_device::{DeviceSpec, Measurement, Profiler};
-use isaac_gen::legality::space_table;
+use isaac_gen::legality::{space_feature_table, space_table};
 use isaac_gen::profile::{conv_profile, gemm_profile};
 use isaac_gen::shapes::{ConvShape, GemmShape};
 use isaac_gen::GemmConfig;
-use isaac_mlp::io::ModelBundle;
+use isaac_mlp::io::{ModelBundle, QueryPrefix};
 use isaac_mlp::ScratchSpace;
 use rayon::prelude::*;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
+use std::time::Instant;
 
 /// Candidates processed per parallel work item. Large enough to amortize
 /// scratch checkout and batched-GEMM efficiency, small enough to load
@@ -71,6 +100,88 @@ pub struct TunedChoice {
     pub time_s: f64,
 }
 
+/// Coarse-to-fine cascade tuning knobs (stage 3 of the pipeline).
+///
+/// The cheap surrogate ranks candidates well but not perfectly, so the
+/// survivor cut keeps a *safety margin*: at least `keep_frac` of the
+/// legal set and never fewer than `min_keep` candidates (nor fewer than
+/// the query's `top_k`). The defaults are deliberately generous -- the
+/// quality guard in `tests/cascade.rs` and the benchmark's
+/// `cascade_choice_matches` field check that the final re-benchmarked
+/// choice still matches the exhaustive path on the bench shape suite.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CascadeConfig {
+    /// Fraction of legal candidates surviving the cheap pass.
+    pub keep_frac: f64,
+    /// Survivor floor, shielding small legal sets from over-pruning.
+    pub min_keep: usize,
+}
+
+impl Default for CascadeConfig {
+    fn default() -> Self {
+        CascadeConfig {
+            keep_frac: 0.25,
+            min_keep: 2048,
+        }
+    }
+}
+
+impl CascadeConfig {
+    /// How many of `n` legal candidates survive the cheap pass for a
+    /// query re-benchmarking `top_k` finalists. Never zero for `n > 0`:
+    /// a degenerate config (zero/negative/NaN `keep_frac` with
+    /// `min_keep == 0` and `top_k == 0`) still keeps one candidate
+    /// rather than underflowing the survivor cut.
+    fn survivors(&self, n: usize, top_k: usize) -> usize {
+        let frac = (n as f64 * self.keep_frac).ceil() as usize;
+        frac.max(self.min_keep).max(top_k).max(1).min(n)
+    }
+}
+
+/// Per-stage wall-clock breakdown of one serial cold tune, from
+/// [`infer_gemm_staged`] / [`infer_conv_staged`]. Published in
+/// `BENCH_inference.json` (fields `features_s`, `predict_s`, `topk_s`,
+/// `rebench_s`, plus `legality_s`) so successive PRs can see *where*
+/// cold-tune time goes.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct StageBreakdown {
+    /// Legality filtering over the space table.
+    pub legality_s: f64,
+    /// Feature-row construction (tuning-table copies + standardization
+    /// happens inside the predict stage's scratch, so this is the copy).
+    pub features_s: f64,
+    /// MLP forward passes (cheap + full).
+    pub predict_s: f64,
+    /// Top-k selection (and the cascade's survivor cut, when on).
+    pub topk_s: f64,
+    /// Finalist re-benchmarking on the device model.
+    pub rebench_s: f64,
+    /// Candidates scored by the full model.
+    pub scored_full: u64,
+}
+
+impl StageBreakdown {
+    /// Sum of all stage timings (the instrumented part of the query).
+    pub fn total_s(&self) -> f64 {
+        self.legality_s + self.features_s + self.predict_s + self.topk_s + self.rebench_s
+    }
+}
+
+/// Everything that parameterizes one engine run besides the operation
+/// closures: re-bench width, feature encoding, fan-out and cascade.
+#[derive(Debug, Clone, Default)]
+pub struct InferOptions {
+    /// Finalists re-benchmarked after the model search.
+    pub top_k: usize,
+    /// Log-transform features (paper Section 5.2).
+    pub log_features: bool,
+    /// Rayon fan-out on or off (off == the serial reference).
+    pub parallel: bool,
+    /// Coarse-to-fine cascade; `None` (default) is the exhaustive,
+    /// bit-reproducible path.
+    pub cascade: Option<CascadeConfig>,
+}
+
 /// Iterate the full cartesian space X-hat (all 9-parameter combinations),
 /// in table index order.
 pub fn space_iter() -> impl Iterator<Item = GemmConfig> {
@@ -79,12 +190,13 @@ pub fn space_iter() -> impl Iterator<Item = GemmConfig> {
 
 /// All configurations legal for `shape` on `spec`, in space order.
 pub fn enumerate_legal_gemm(shape: &GemmShape, spec: &DeviceSpec) -> Vec<GemmConfig> {
-    enumerate_legal(|cfg| isaac_gen::legality::check(cfg, shape, spec).is_ok())
+    enumerate_legal(|cfg| isaac_gen::legality::check_physical(cfg, shape, spec).is_ok())
 }
 
 /// All configurations legal for a convolution, in space order.
 pub fn enumerate_legal_conv(shape: &ConvShape, spec: &DeviceSpec) -> Vec<GemmConfig> {
-    enumerate_legal(|cfg| isaac_gen::conv::check(cfg, shape, spec).is_ok())
+    let g = isaac_gen::conv::equivalent_gemm(shape);
+    enumerate_legal(|cfg| isaac_gen::conv::check_physical(cfg, &g, shape.n, spec).is_ok())
 }
 
 /// Parallel legality filter over the space table, concatenated in index
@@ -117,8 +229,11 @@ fn enumerate_legal(legal: impl Fn(&GemmConfig) -> bool + Sync) -> Vec<GemmConfig
 struct EngineScratch {
     /// MLP activations + flat feature input.
     mlp: ScratchSpace,
-    /// Candidate `(space index, predicted score)` pairs.
+    /// Candidate `(space index, score)` pairs (cheap scores in cascade
+    /// mode, full scores otherwise).
     cand: Vec<(u32, f32)>,
+    /// Full-model scores of cascade survivors.
+    full: Vec<(u32, f32)>,
     /// Legal indices within the current chunk.
     idx: Vec<u32>,
 }
@@ -162,6 +277,7 @@ fn with_scratch<R>(f: impl FnOnce(&mut EngineScratch) -> R) -> R {
             EngineScratch {
                 mlp: ScratchSpace::new(),
                 cand: Vec::new(),
+                full: Vec::new(),
                 idx: Vec::new(),
             }
         });
@@ -192,94 +308,220 @@ fn rank_cmp(a: &(u32, f32), b: &(u32, f32)) -> std::cmp::Ordering {
     b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0))
 }
 
-/// Score every legal candidate of one space-table chunk. Returns
-/// `(space index, model score)` pairs in index order.
+/// The per-query model context shared by every scoring call: the trained
+/// bundle, its precomputed factored prefix, and the encoded tuning-table
+/// rows for the query's feature encoding.
+struct ModelCtx<'a> {
+    bundle: &'a ModelBundle,
+    prefix: &'a QueryPrefix,
+    tfeat: &'static [[f32; TUNING_FEATURES]],
+}
+
+/// Score the candidate indices currently in `scratch.idx`: copy each
+/// candidate's precomputed tuning-feature row and run the factored model
+/// (cheap surrogate or full network). Returns `(index, score)` pairs in
+/// `scratch.idx` order.
+fn score_idx_list(
+    ctx: &ModelCtx<'_>,
+    cheap: bool,
+    scratch: &mut EngineScratch,
+    mut times: Option<&mut StageBreakdown>,
+) -> Vec<(u32, f32)> {
+    if scratch.idx.is_empty() {
+        return Vec::new();
+    }
+    let mut mark = Instant::now();
+    let n = scratch.idx.len();
+    let buf = scratch.mlp.input(n, TUNING_FEATURES);
+    for (r, &i) in scratch.idx.iter().enumerate() {
+        buf[r * TUNING_FEATURES..(r + 1) * TUNING_FEATURES].copy_from_slice(&ctx.tfeat[i as usize]);
+    }
+    if let Some(bd) = times.as_deref_mut() {
+        let now = Instant::now();
+        bd.features_s += (now - mark).as_secs_f64();
+        mark = now;
+    }
+    let scores = if cheap {
+        ctx.bundle.cheap_scores_suffix(ctx.prefix, &mut scratch.mlp)
+    } else {
+        ctx.bundle
+            .predict_scratch_suffix(ctx.prefix, &mut scratch.mlp)
+    };
+    let out: Vec<(u32, f32)> = scratch
+        .idx
+        .iter()
+        .zip(scores)
+        .map(|(&i, &s)| (i, s))
+        .collect();
+    if let Some(bd) = times {
+        bd.predict_s += mark.elapsed().as_secs_f64();
+        if !cheap {
+            bd.scored_full += n as u64;
+        }
+    }
+    out
+}
+
+/// Legality-filter one space-table chunk, then score the legal
+/// candidates. Returns `(space index, score)` pairs in index order.
 fn score_chunk(
-    bundle: &ModelBundle,
-    nfeat: usize,
+    ctx: &ModelCtx<'_>,
     lo: usize,
     hi: usize,
     legal: &(impl Fn(&GemmConfig) -> bool + Sync),
-    fill: &(impl Fn(&GemmConfig, &mut [f32]) + Sync),
+    cheap: bool,
+    mut times: Option<&mut StageBreakdown>,
 ) -> Vec<(u32, f32)> {
     let table = space_table();
     with_scratch(|scratch| {
+        let mark = Instant::now();
         scratch.idx.clear();
         scratch
             .idx
             .extend((lo..hi).filter(|&i| legal(&table[i])).map(|i| i as u32));
-        if scratch.idx.is_empty() {
-            return Vec::new();
+        if let Some(bd) = times.as_deref_mut() {
+            bd.legality_s += mark.elapsed().as_secs_f64();
         }
-        let n = scratch.idx.len();
-        let buf = scratch.mlp.input(n, nfeat);
-        for (r, &i) in scratch.idx.iter().enumerate() {
-            fill(&table[i as usize], &mut buf[r * nfeat..(r + 1) * nfeat]);
-        }
-        let scores = bundle.predict_scratch(&mut scratch.mlp);
-        scratch
-            .idx
-            .iter()
-            .zip(scores)
-            .map(|(&i, &s)| (i, s))
-            .collect()
+        score_idx_list(ctx, cheap, scratch, times)
+    })
+}
+
+/// Full-model scores for a slice of cascade survivors (already legal).
+fn score_survivors(
+    ctx: &ModelCtx<'_>,
+    survivors: &[(u32, f32)],
+    times: Option<&mut StageBreakdown>,
+) -> Vec<(u32, f32)> {
+    with_scratch(|scratch| {
+        scratch.idx.clear();
+        scratch.idx.extend(survivors.iter().map(|&(i, _)| i));
+        score_idx_list(ctx, false, scratch, times)
     })
 }
 
 /// Exhaustive model search + top-k re-benchmark, shared by the GEMM and
-/// CONV paths. `parallel` switches the rayon fan-out on or off; both
+/// CONV paths. `opts.parallel` switches the rayon fan-out on or off; both
 /// modes run identical arithmetic in identical index order, so their
 /// results are bit-identical (asserted by tests/parallel_inference.rs).
+/// With `opts.cascade`, stage 3 (the cheap pass) prunes the candidate set
+/// before the full model runs; the default (`None`) path never computes a
+/// cheap score and is bit-identical to the pre-cascade engine.
 fn infer_engine(
     bundle: &ModelBundle,
-    top_k: usize,
-    nfeat: usize,
+    shape_feats: &[f32],
+    opts: &InferOptions,
     legal: impl Fn(&GemmConfig) -> bool + Sync,
-    fill: impl Fn(&GemmConfig, &mut [f32]) + Sync,
     bench: impl Fn(&GemmConfig) -> Option<Measurement> + Sync,
-    parallel: bool,
+    mut stages: Option<&mut StageBreakdown>,
 ) -> Option<TunedChoice> {
     let table = space_table();
+    let tfeat = space_feature_table(opts.log_features);
+    let prefix = if opts.cascade.is_some() {
+        bundle.query_prefix_cascade(shape_feats)
+    } else {
+        bundle.query_prefix(shape_feats)
+    };
     let chunks = table.len().div_ceil(CHUNK);
-    let score_one = |ci: usize| {
-        let lo = ci * CHUNK;
-        let hi = ((ci + 1) * CHUNK).min(table.len());
-        score_chunk(bundle, nfeat, lo, hi, &legal, &fill)
+    let top_k = opts.top_k;
+    let ctx = ModelCtx {
+        bundle,
+        prefix: &prefix,
+        tfeat,
     };
 
     with_scratch(|query| {
-        // Stage 1+2: legality + feature construction + model scores.
+        // Stages 1-3: legality + features + scores for every legal
+        // candidate (cheap surrogate scores when the cascade is on).
+        let cheap = opts.cascade.is_some();
         query.cand.clear();
-        if parallel {
-            let parts: Vec<Vec<(u32, f32)>> = (0..chunks).into_par_iter().map(score_one).collect();
+        if opts.parallel {
+            let parts: Vec<Vec<(u32, f32)>> = (0..chunks)
+                .into_par_iter()
+                .map(|ci| {
+                    let lo = ci * CHUNK;
+                    let hi = ((ci + 1) * CHUNK).min(table.len());
+                    score_chunk(&ctx, lo, hi, &legal, cheap, None)
+                })
+                .collect();
             for part in parts {
                 extend_tracked(&mut query.cand, part);
             }
         } else {
             for ci in 0..chunks {
-                extend_tracked(&mut query.cand, score_one(ci));
+                let lo = ci * CHUNK;
+                let hi = ((ci + 1) * CHUNK).min(table.len());
+                let part = score_chunk(&ctx, lo, hi, &legal, cheap, stages.as_deref_mut());
+                extend_tracked(&mut query.cand, part);
             }
         }
         if query.cand.is_empty() {
             return None;
         }
 
-        // Stage 3: O(n) top-k selection, deterministic by (score, index).
-        let k = top_k.max(1).min(query.cand.len());
-        if k < query.cand.len() {
-            query.cand.select_nth_unstable_by(k - 1, rank_cmp);
-            query.cand.truncate(k);
-        }
-        query.cand.sort_unstable_by(rank_cmp);
+        // Stage 3b (cascade only): survivor cut + full model on survivors.
+        let ranked_list: &mut Vec<(u32, f32)> = if let Some(cascade) = &opts.cascade {
+            let mark = Instant::now();
+            let keep = cascade.survivors(query.cand.len(), top_k);
+            if keep < query.cand.len() {
+                query.cand.select_nth_unstable_by(keep - 1, rank_cmp);
+                query.cand.truncate(keep);
+            }
+            // Survivors go back to space order: deterministic, and the
+            // full pass walks the tuning table cache-friendly.
+            query.cand.sort_unstable_by_key(|&(i, _)| i);
+            if let Some(bd) = stages.as_deref_mut() {
+                bd.topk_s += mark.elapsed().as_secs_f64();
+            }
+            query.full.clear();
+            if opts.parallel {
+                let surv = &query.cand;
+                let sch = surv.len().div_ceil(CHUNK);
+                let parts: Vec<Vec<(u32, f32)>> = (0..sch)
+                    .into_par_iter()
+                    .map(|ci| {
+                        let lo = ci * CHUNK;
+                        let hi = ((ci + 1) * CHUNK).min(surv.len());
+                        score_survivors(&ctx, &surv[lo..hi], None)
+                    })
+                    .collect();
+                for part in parts {
+                    extend_tracked(&mut query.full, part);
+                }
+            } else {
+                let mut lo = 0;
+                while lo < query.cand.len() {
+                    let hi = (lo + CHUNK).min(query.cand.len());
+                    let part = score_survivors(&ctx, &query.cand[lo..hi], stages.as_deref_mut());
+                    extend_tracked(&mut query.full, part);
+                    lo = hi;
+                }
+            }
+            &mut query.full
+        } else {
+            &mut query.cand
+        };
 
-        // Stage 4: re-benchmark the finalists; rank-ordered reduction.
-        let ranked = &query.cand[..];
+        // Stage 4: O(n) top-k selection, deterministic by (score, index).
+        let mark = Instant::now();
+        let k = top_k.max(1).min(ranked_list.len());
+        if k < ranked_list.len() {
+            ranked_list.select_nth_unstable_by(k - 1, rank_cmp);
+            ranked_list.truncate(k);
+        }
+        ranked_list.sort_unstable_by(rank_cmp);
+        if let Some(bd) = stages.as_deref_mut() {
+            bd.topk_s += mark.elapsed().as_secs_f64();
+        }
+
+        // Stage 5: re-benchmark the finalists; rank-ordered reduction.
+        let mark = Instant::now();
+        let ranked = &ranked_list[..];
         let bench_one = |r: usize| -> Option<(usize, f64, Measurement)> {
             let (idx, score) = ranked[r];
             let m = bench(&table[idx as usize])?;
             Some((r, score as f64, m))
         };
-        let measured: Vec<Option<(usize, f64, Measurement)>> = if parallel {
+        let measured: Vec<Option<(usize, f64, Measurement)>> = if opts.parallel {
             (0..ranked.len()).into_par_iter().map(bench_one).collect()
         } else {
             (0..ranked.len()).map(bench_one).collect()
@@ -295,8 +537,47 @@ fn infer_engine(
                 });
             }
         }
+        if let Some(bd) = stages {
+            bd.rebench_s += mark.elapsed().as_secs_f64();
+        }
         best
     })
+}
+
+/// The fully parameterized GEMM entry point; the named wrappers below
+/// cover the common corners.
+pub fn infer_gemm_opts(
+    bundle: &ModelBundle,
+    shape: &GemmShape,
+    profiler: &Profiler,
+    opts: &InferOptions,
+) -> Option<TunedChoice> {
+    infer_gemm_engine(bundle, shape, profiler, opts, None)
+}
+
+fn infer_gemm_engine(
+    bundle: &ModelBundle,
+    shape: &GemmShape,
+    profiler: &Profiler,
+    opts: &InferOptions,
+    stages: Option<&mut StageBreakdown>,
+) -> Option<TunedChoice> {
+    let spec = profiler.spec();
+    let mut shape_feats = [0.0f32; GEMM_INPUT_FEATURES];
+    gemm_shape_features_into(shape, opts.log_features, &mut shape_feats);
+    infer_engine(
+        bundle,
+        &shape_feats,
+        opts,
+        // The space table is in-space by construction, so only the
+        // physical legality rules need to run per candidate.
+        |cfg| isaac_gen::legality::check_physical(cfg, shape, spec).is_ok(),
+        |cfg| {
+            let profile = gemm_profile(cfg, shape, spec).ok()?;
+            profiler.measure_best_of(&profile, RE_BENCH_REPS).ok()
+        },
+        stages,
+    )
 }
 
 /// Exhaustive model search + top-k re-benchmark for GEMM, parallelized
@@ -308,7 +589,17 @@ pub fn infer_gemm(
     top_k: usize,
     log_features: bool,
 ) -> Option<TunedChoice> {
-    infer_gemm_impl(bundle, shape, profiler, top_k, log_features, true)
+    infer_gemm_opts(
+        bundle,
+        shape,
+        profiler,
+        &InferOptions {
+            top_k,
+            log_features,
+            parallel: true,
+            cascade: None,
+        },
+    )
 }
 
 /// Serial reference for [`infer_gemm`]: identical arithmetic, no fan-out.
@@ -321,29 +612,78 @@ pub fn infer_gemm_serial(
     top_k: usize,
     log_features: bool,
 ) -> Option<TunedChoice> {
-    infer_gemm_impl(bundle, shape, profiler, top_k, log_features, false)
+    infer_gemm_opts(
+        bundle,
+        shape,
+        profiler,
+        &InferOptions {
+            top_k,
+            log_features,
+            parallel: false,
+            cascade: None,
+        },
+    )
 }
 
-fn infer_gemm_impl(
+/// [`infer_gemm_serial`] with per-stage wall-clock instrumentation:
+/// identical arithmetic and an identical result, plus a
+/// [`StageBreakdown`] saying where the time went.
+pub fn infer_gemm_staged(
     bundle: &ModelBundle,
     shape: &GemmShape,
     profiler: &Profiler,
     top_k: usize,
     log_features: bool,
-    parallel: bool,
+) -> (Option<TunedChoice>, StageBreakdown) {
+    let mut stages = StageBreakdown::default();
+    let choice = infer_gemm_engine(
+        bundle,
+        shape,
+        profiler,
+        &InferOptions {
+            top_k,
+            log_features,
+            parallel: false,
+            cascade: None,
+        },
+        Some(&mut stages),
+    );
+    (choice, stages)
+}
+
+/// The fully parameterized CONV entry point.
+pub fn infer_conv_opts(
+    bundle: &ModelBundle,
+    shape: &ConvShape,
+    profiler: &Profiler,
+    opts: &InferOptions,
+) -> Option<TunedChoice> {
+    infer_conv_engine(bundle, shape, profiler, opts, None)
+}
+
+fn infer_conv_engine(
+    bundle: &ModelBundle,
+    shape: &ConvShape,
+    profiler: &Profiler,
+    opts: &InferOptions,
+    stages: Option<&mut StageBreakdown>,
 ) -> Option<TunedChoice> {
     let spec = profiler.spec();
+    let mut shape_feats = [0.0f32; CONV_INPUT_FEATURES];
+    conv_shape_features_into(shape, opts.log_features, &mut shape_feats);
+    // The implicit-GEMM view depends only on the input shape: build it
+    // once instead of ~500k times.
+    let gemm_view = isaac_gen::conv::equivalent_gemm(shape);
     infer_engine(
         bundle,
-        top_k,
-        GEMM_FEATURES,
-        |cfg| isaac_gen::legality::check(cfg, shape, spec).is_ok(),
-        |cfg, out| gemm_features_into(shape, cfg, log_features, out),
+        &shape_feats,
+        opts,
+        |cfg| isaac_gen::conv::check_physical(cfg, &gemm_view, shape.n, spec).is_ok(),
         |cfg| {
-            let profile = gemm_profile(cfg, shape, spec).ok()?;
+            let profile = conv_profile(cfg, shape, spec).ok()?;
             profiler.measure_best_of(&profile, RE_BENCH_REPS).ok()
         },
-        parallel,
+        stages,
     )
 }
 
@@ -356,7 +696,17 @@ pub fn infer_conv(
     top_k: usize,
     log_features: bool,
 ) -> Option<TunedChoice> {
-    infer_conv_impl(bundle, shape, profiler, top_k, log_features, true)
+    infer_conv_opts(
+        bundle,
+        shape,
+        profiler,
+        &InferOptions {
+            top_k,
+            log_features,
+            parallel: true,
+            cascade: None,
+        },
+    )
 }
 
 /// Serial reference for [`infer_conv`]; see [`infer_gemm_serial`].
@@ -367,30 +717,42 @@ pub fn infer_conv_serial(
     top_k: usize,
     log_features: bool,
 ) -> Option<TunedChoice> {
-    infer_conv_impl(bundle, shape, profiler, top_k, log_features, false)
+    infer_conv_opts(
+        bundle,
+        shape,
+        profiler,
+        &InferOptions {
+            top_k,
+            log_features,
+            parallel: false,
+            cascade: None,
+        },
+    )
 }
 
-fn infer_conv_impl(
+/// [`infer_conv_serial`] with per-stage instrumentation; see
+/// [`infer_gemm_staged`].
+pub fn infer_conv_staged(
     bundle: &ModelBundle,
     shape: &ConvShape,
     profiler: &Profiler,
     top_k: usize,
     log_features: bool,
-    parallel: bool,
-) -> Option<TunedChoice> {
-    let spec = profiler.spec();
-    infer_engine(
+) -> (Option<TunedChoice>, StageBreakdown) {
+    let mut stages = StageBreakdown::default();
+    let choice = infer_conv_engine(
         bundle,
-        top_k,
-        CONV_FEATURES,
-        |cfg| isaac_gen::conv::check(cfg, shape, spec).is_ok(),
-        |cfg, out| conv_features_into(shape, cfg, log_features, out),
-        |cfg| {
-            let profile = conv_profile(cfg, shape, spec).ok()?;
-            profiler.measure_best_of(&profile, RE_BENCH_REPS).ok()
+        shape,
+        profiler,
+        &InferOptions {
+            top_k,
+            log_features,
+            parallel: false,
+            cascade: None,
         },
-        parallel,
-    )
+        Some(&mut stages),
+    );
+    (choice, stages)
 }
 
 /// Re-benchmark a single, already-chosen GEMM configuration on a device:
@@ -490,6 +852,56 @@ mod tests {
             .filter(|cfg| isaac_gen::legality::check(cfg, &shape, &spec).is_ok())
             .collect();
         assert_eq!(parallel, serial);
+    }
+
+    /// The engine's physical-only legality shortcut must agree with the
+    /// full check on every table entry (the table is in-space by
+    /// construction, so the two may only differ outside the table).
+    #[test]
+    fn physical_shortcut_matches_full_check_on_the_table() {
+        let spec = tesla_p100();
+        let shape = GemmShape::new(2560, 16, 2560, "N", "N", DType::F32);
+        for cfg in space_table().iter().step_by(997) {
+            assert_eq!(
+                isaac_gen::legality::check(cfg, &shape, &spec).is_ok(),
+                isaac_gen::legality::check_physical(cfg, &shape, &spec).is_ok(),
+            );
+        }
+    }
+
+    /// Same shortcut-equivalence guarantee for the CONV path: `check ==
+    /// in_space + check_physical(equivalent_gemm, n)` must keep holding
+    /// if either side grows a rule.
+    #[test]
+    fn conv_physical_shortcut_matches_full_check_on_the_table() {
+        let spec = tesla_p100();
+        let shape = ConvShape::from_output(16, 14, 14, 48, 512, 5, 5, DType::F32);
+        let g = isaac_gen::conv::equivalent_gemm(&shape);
+        for cfg in space_table().iter().step_by(997) {
+            assert_eq!(
+                isaac_gen::conv::check(cfg, &shape, &spec).is_ok(),
+                isaac_gen::conv::check_physical(cfg, &g, shape.n, &spec).is_ok(),
+            );
+        }
+    }
+
+    #[test]
+    fn cascade_survivor_cut_respects_floors() {
+        let c = CascadeConfig {
+            keep_frac: 0.1,
+            min_keep: 500,
+        };
+        assert_eq!(c.survivors(10_000, 50), 1000); // frac wins
+        assert_eq!(c.survivors(2_000, 50), 500); // floor wins
+        assert_eq!(c.survivors(300, 50), 300); // clamped to n
+        assert_eq!(c.survivors(4_000, 600), 600); // top_k wins
+
+        // A degenerate config must never produce an empty survivor set.
+        let degenerate = CascadeConfig {
+            keep_frac: 0.0,
+            min_keep: 0,
+        };
+        assert_eq!(degenerate.survivors(4_000, 0), 1);
     }
 
     #[test]

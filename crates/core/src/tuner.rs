@@ -21,7 +21,10 @@
 //! decisions by re-benchmarking them instead of cold-tuning.
 
 use crate::dataset::{generate_conv_dataset, generate_gemm_dataset, DatasetOptions, OpKind};
-use crate::inference::{infer_conv, infer_gemm, rebench_conv, rebench_gemm, TunedChoice};
+use crate::inference::{
+    infer_conv_opts, infer_gemm_opts, rebench_conv, rebench_gemm, CascadeConfig, InferOptions,
+    TunedChoice,
+};
 use isaac_device::{DType, DeviceSpec, Profiler};
 use isaac_gen::shapes::{ConvShape, GemmShape};
 use isaac_gen::{conv, gemm};
@@ -506,6 +509,12 @@ pub struct TrainOptions {
     pub log_features: bool,
     /// Candidates re-benchmarked after exhaustive model search.
     pub top_k: usize,
+    /// Coarse-to-fine cold-tune cascade (see
+    /// [`crate::inference::CascadeConfig`]). `None` (the default) keeps
+    /// cold tunes on the exhaustive, bit-reproducible path; `Some` scores
+    /// every candidate with the cheap surrogate first and runs the full
+    /// model only on the safety-margined survivors.
+    pub cascade: Option<CascadeConfig>,
     /// Seed for sampling, initialization and shuffling.
     pub seed: u64,
 }
@@ -519,6 +528,7 @@ impl Default for TrainOptions {
             dtypes: vec![DType::F32],
             log_features: true,
             top_k: 50,
+            cascade: None,
             seed: 0,
         }
     }
@@ -691,15 +701,19 @@ impl IsaacTuner {
     /// going through [`IsaacTuner::tune_gemm`] would double-count it.
     pub fn tune_gemm_cold(&self, shape: &GemmShape) -> Option<TunedChoice> {
         assert_eq!(self.kind, OpKind::Gemm, "this tuner was trained for CONV");
-        let choice = infer_gemm(
-            &self.bundle,
-            shape,
-            &self.profiler,
-            self.opts.top_k,
-            self.opts.log_features,
-        )?;
+        let choice = infer_gemm_opts(&self.bundle, shape, &self.profiler, &self.infer_options())?;
         self.cache.insert(self.key_gemm(shape), choice.clone());
         Some(choice)
+    }
+
+    /// The engine options this tuner's cold tunes run with.
+    fn infer_options(&self) -> InferOptions {
+        InferOptions {
+            top_k: self.opts.top_k,
+            log_features: self.opts.log_features,
+            parallel: true,
+            cascade: self.opts.cascade,
+        }
     }
 
     /// Tune a CONV input; see [`IsaacTuner::tune_gemm`] for caching.
@@ -715,13 +729,7 @@ impl IsaacTuner {
     /// [`IsaacTuner::tune_gemm_cold`].
     pub fn tune_conv_cold(&self, shape: &ConvShape) -> Option<TunedChoice> {
         assert_eq!(self.kind, OpKind::Conv, "this tuner was trained for GEMM");
-        let choice = infer_conv(
-            &self.bundle,
-            shape,
-            &self.profiler,
-            self.opts.top_k,
-            self.opts.log_features,
-        )?;
+        let choice = infer_conv_opts(&self.bundle, shape, &self.profiler, &self.infer_options())?;
         self.cache.insert(self.key_conv(shape), choice.clone());
         Some(choice)
     }

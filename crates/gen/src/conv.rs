@@ -72,6 +72,26 @@ pub fn check(cfg: &GemmConfig, shape: &ConvShape, spec: &DeviceSpec) -> Result<(
     Ok(())
 }
 
+/// The physical subset of [`check`] against a precomputed implicit-GEMM
+/// view: everything except membership in the curated value lists (and
+/// the `equivalent_gemm` conversion, which depends only on the shape).
+/// The runtime query engine walks the in-space decoded table, so it
+/// hoists both out of its ~500k-candidate loop;
+/// `check(cfg, shape, spec) == in_space(cfg).and(check_physical(cfg,
+/// &equivalent_gemm(shape), shape.n, spec))` by construction.
+pub fn check_physical(
+    cfg: &GemmConfig,
+    gemm_view: &GemmShape,
+    batch_n: u32,
+    spec: &DeviceSpec,
+) -> Result<(), ConfigIssue> {
+    legality::check_physical(cfg, gemm_view, spec)?;
+    if cfg.vec > 1 && !batch_n.is_multiple_of(cfg.vec) {
+        return Err(ConfigIssue::Vectorization);
+    }
+    Ok(())
+}
+
 /// Compute the indirection table: `d(kk) = ((c*H + r)*W + s) * N` for
 /// `kk = (c*R + r)*S + s`.
 pub fn indirection_table(shape: &ConvShape) -> Vec<i32> {

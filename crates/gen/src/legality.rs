@@ -97,6 +97,43 @@ pub fn space_table() -> &'static [GemmConfig] {
         .as_slice()
 }
 
+/// Tuning-parameter feature rows aligned with [`space_table`]: entry `i`
+/// holds the 9 parameter values of `space_table()[i]`, encoded exactly as
+/// `isaac_core::features` encodes tuning features (`log2` when `log`,
+/// raw otherwise; a test over there pins the bit-equality down).
+///
+/// The encodings depend only on the configuration -- never on the query's
+/// input shape -- so the tuning half of every candidate's feature row can
+/// be precomputed once per process. The runtime query engine turns its
+/// per-candidate feature construction into a 9-float copy from this
+/// table, dropping the `log2` calls that used to run ~500k times per
+/// cold tune.
+pub fn space_feature_table(log: bool) -> &'static [[f32; 9]] {
+    fn build(log: bool) -> Vec<[f32; 9]> {
+        space_table()
+            .iter()
+            .map(|cfg| {
+                let mut row = [0.0f32; 9];
+                for (slot, v) in row.iter_mut().zip(cfg.as_vector()) {
+                    *slot = if log {
+                        ((v as f64).max(1e-9)).log2() as f32
+                    } else {
+                        v as f32
+                    };
+                }
+                row
+            })
+            .collect()
+    }
+    static LOG: std::sync::OnceLock<Vec<[f32; 9]>> = std::sync::OnceLock::new();
+    static RAW: std::sync::OnceLock<Vec<[f32; 9]>> = std::sync::OnceLock::new();
+    if log {
+        LOG.get_or_init(|| build(true)).as_slice()
+    } else {
+        RAW.get_or_init(|| build(false)).as_slice()
+    }
+}
+
 /// Why a configuration is illegal.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ConfigIssue {

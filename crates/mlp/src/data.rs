@@ -69,6 +69,21 @@ impl Standardizer {
             *v = (*v - m) / s;
         }
     }
+
+    /// Standardize a partial feature row that starts at column `offset`
+    /// of the fitted feature space -- the suffix half of a factored
+    /// query, whose rows hold only the candidate-varying columns.
+    /// Element-wise identical to [`Standardizer::apply_row`] on a full
+    /// row, so factoring never changes a bit.
+    pub fn apply_row_from(&self, offset: usize, row: &mut [f32]) {
+        for ((v, m), s) in row
+            .iter_mut()
+            .zip(&self.mean[offset..])
+            .zip(&self.std[offset..])
+        {
+            *v = (*v - m) / s;
+        }
+    }
 }
 
 /// A supervised dataset: feature rows and scalar targets.

@@ -19,6 +19,24 @@ use crate::matrix::Mat;
 use crate::mlp::Mlp;
 use std::fmt::Write as _;
 
+/// The per-query precomputation of a factored forward pass: the
+/// standardized constant features folded into first-layer partial sums
+/// ([`crate::mlp::FirstLayerPrefix`]), plus -- for cascade queries -- the
+/// collapsed cheap tail. Built once per tuning query, reused across every
+/// candidate. See [`ModelBundle::query_prefix`].
+#[derive(Debug, Clone)]
+pub struct QueryPrefix {
+    first: crate::mlp::FirstLayerPrefix,
+    tail: Option<crate::mlp::CheapTail>,
+}
+
+impl QueryPrefix {
+    /// Number of leading feature columns folded into this prefix.
+    pub fn split(&self) -> usize {
+        self.first.split()
+    }
+}
+
 /// A trained model bundle: the network plus its input/target transforms.
 #[derive(Debug, Clone)]
 pub struct ModelBundle {
@@ -74,6 +92,87 @@ impl ModelBundle {
             }
         }
         self.mlp.predict_scratch(scratch);
+        self.denormalize(scratch, rows)
+    }
+
+    /// Precompute the per-query half of a factored forward pass: the
+    /// leading `raw_prefix.len()` features (a tuning query's input-shape
+    /// half) are standardized once and folded into first-layer partial
+    /// sums. Candidate rows then carry only the remaining columns --
+    /// [`ModelBundle::predict_scratch_suffix`] is bit-identical to
+    /// [`ModelBundle::predict_scratch`] on full rows, for ~`split/width`
+    /// less feature traffic and first-layer arithmetic per candidate.
+    pub fn query_prefix(&self, raw_prefix: &[f32]) -> QueryPrefix {
+        let mut p = raw_prefix.to_vec();
+        // `apply_row` zips, so a short row standardizes against the
+        // leading columns -- exactly the prefix statistics.
+        self.standardizer.apply_row(&mut p);
+        QueryPrefix {
+            first: self.mlp.prefix_first_layer(&p),
+            tail: None,
+        }
+    }
+
+    /// Like [`ModelBundle::query_prefix`], additionally collapsing the
+    /// network tail for the cascade's cheap pass
+    /// ([`ModelBundle::cheap_scores_suffix`]).
+    pub fn query_prefix_cascade(&self, raw_prefix: &[f32]) -> QueryPrefix {
+        let mut p = self.query_prefix(raw_prefix);
+        p.tail = Some(self.mlp.collapse_tail());
+        p
+    }
+
+    /// Full-model predictions over *suffix* feature rows the caller wrote
+    /// into `scratch.input(rows, width - split)`, in the original target
+    /// scale. Standardization of the suffix columns, the factored first
+    /// layer, the tail layers and denormalization all run in `scratch`.
+    pub fn predict_scratch_suffix<'s>(
+        &self,
+        prefix: &QueryPrefix,
+        scratch: &'s mut crate::mlp::ScratchSpace,
+    ) -> &'s [f32] {
+        let rows = self.standardize_suffix(prefix, scratch);
+        self.mlp.predict_scratch_suffix(&prefix.first, scratch);
+        self.denormalize(scratch, rows)
+    }
+
+    /// Cheap-surrogate scores (collapsed tail; see
+    /// [`crate::mlp::Mlp::collapse_tail`]) over suffix feature rows, in
+    /// the original target scale. Requires a prefix built with
+    /// [`ModelBundle::query_prefix_cascade`].
+    pub fn cheap_scores_suffix<'s>(
+        &self,
+        prefix: &QueryPrefix,
+        scratch: &'s mut crate::mlp::ScratchSpace,
+    ) -> &'s [f32] {
+        let tail = prefix
+            .tail
+            .as_ref()
+            .expect("prefix built without query_prefix_cascade");
+        let rows = self.standardize_suffix(prefix, scratch);
+        self.mlp.cheap_scratch_suffix(&prefix.first, tail, scratch);
+        self.denormalize(scratch, rows)
+    }
+
+    /// Standardize the suffix columns of every row in the scratch input;
+    /// returns the row count.
+    fn standardize_suffix(
+        &self,
+        prefix: &QueryPrefix,
+        scratch: &mut crate::mlp::ScratchSpace,
+    ) -> usize {
+        let (rows, stride) = scratch.input_shape();
+        let split = prefix.first.split();
+        let buf = scratch.active_mut();
+        for r in 0..rows {
+            self.standardizer
+                .apply_row_from(split, &mut buf[r * stride..(r + 1) * stride]);
+        }
+        rows
+    }
+
+    /// Rescale the scratch's output column to the original target scale.
+    fn denormalize<'s>(&self, scratch: &'s mut crate::mlp::ScratchSpace, rows: usize) -> &'s [f32] {
         let out = scratch.active_mut();
         for v in out.iter_mut() {
             *v = *v * self.y_std + self.y_mean;
@@ -308,6 +407,124 @@ mod tests {
         scratch.input(3, 3).copy_from_slice(&flat);
         let zero_copy = b.predict_scratch(&mut scratch);
         assert_eq!(zero_copy, batch.as_slice());
+    }
+
+    /// Satellite property test: the factored first layer against the
+    /// monolithic forward, bit for bit, on random bundles across every
+    /// split point and odd batch sizes.
+    #[test]
+    fn factored_suffix_matches_monolithic_bitwise() {
+        use crate::mlp::ScratchSpace;
+        for (seed, sizes) in [
+            (1u64, vec![7usize, 16, 8, 1]),
+            (2, vec![5, 12, 1]),
+            (3, vec![4, 1]), // single-layer edge case
+        ] {
+            let nfeat = sizes[0];
+            let bundle = ModelBundle {
+                mlp: Mlp::new(&sizes, seed),
+                standardizer: Standardizer {
+                    mean: (0..nfeat).map(|j| j as f32 * 0.3 - 0.5).collect(),
+                    std: (0..nfeat).map(|j| 0.5 + j as f32 * 0.25).collect(),
+                },
+                y_mean: 2.0 + seed as f32,
+                y_std: 0.75,
+            };
+            // Deterministic pseudo-random feature rows.
+            let rows = 13;
+            let flat: Vec<f32> = (0..rows * nfeat)
+                .map(|i| ((i * 37 + seed as usize * 11) % 41) as f32 / 10.0 - 2.0)
+                .collect();
+            let mut scratch = ScratchSpace::new();
+            let full = bundle.predict_rows(&flat, nfeat, &mut scratch).to_vec();
+            for split in 0..=nfeat {
+                let prefix = bundle.query_prefix(&flat[..split]);
+                // Every row shares the same prefix here; suffix rows are
+                // the remaining columns of each full row.
+                let sfx = nfeat - split;
+                let buf = scratch.input(rows, sfx);
+                for r in 0..rows {
+                    buf[r * sfx..(r + 1) * sfx]
+                        .copy_from_slice(&flat[r * nfeat + split..(r + 1) * nfeat]);
+                }
+                // Rows whose prefix differs from row 0's would differ; use
+                // row 0's prefix for all rows *and* compare against the
+                // monolithic pass on rows rebuilt with that prefix.
+                let rebuilt: Vec<f32> = (0..rows)
+                    .flat_map(|r| {
+                        flat[..split]
+                            .iter()
+                            .chain(&flat[r * nfeat + split..(r + 1) * nfeat])
+                            .copied()
+                            .collect::<Vec<_>>()
+                    })
+                    .collect();
+                let mut mono_scratch = ScratchSpace::new();
+                let mono = bundle
+                    .predict_rows(&rebuilt, nfeat, &mut mono_scratch)
+                    .to_vec();
+                let buf = scratch.input(rows, sfx);
+                for r in 0..rows {
+                    buf[r * sfx..(r + 1) * sfx]
+                        .copy_from_slice(&flat[r * nfeat + split..(r + 1) * nfeat]);
+                }
+                let fact = bundle.predict_scratch_suffix(&prefix, &mut scratch);
+                assert_eq!(
+                    fact,
+                    mono.as_slice(),
+                    "sizes {sizes:?} split {split}: factored must be bit-identical"
+                );
+                if split == 0 {
+                    assert_eq!(fact, full.as_slice(), "split 0 degenerates to full rows");
+                }
+            }
+        }
+    }
+
+    /// The collapsed cheap tail is *exact* for depth-2 networks (layers
+    /// `1..` is just the affine output layer), so the surrogate must
+    /// reproduce the full model bitwise there.
+    #[test]
+    fn cheap_tail_is_exact_for_two_layer_nets() {
+        use crate::mlp::ScratchSpace;
+        let nfeat = 6;
+        let bundle = ModelBundle {
+            mlp: Mlp::new(&[nfeat, 24, 1], 9),
+            standardizer: Standardizer {
+                mean: vec![0.1; nfeat],
+                std: vec![1.25; nfeat],
+            },
+            y_mean: -1.0,
+            y_std: 2.5,
+        };
+        let rows = 9;
+        let split = 2;
+        let sfx = nfeat - split;
+        let flat: Vec<f32> = (0..rows * nfeat)
+            .map(|i| ((i * 13) % 29) as f32 / 7.0 - 2.0)
+            .collect();
+        let prefix = bundle.query_prefix_cascade(&flat[..split]);
+        let mut scratch = ScratchSpace::new();
+        let fill = |scratch: &mut ScratchSpace| {
+            let buf = scratch.input(rows, sfx);
+            for r in 0..rows {
+                buf[r * sfx..(r + 1) * sfx]
+                    .copy_from_slice(&flat[r * nfeat + split..(r + 1) * nfeat]);
+            }
+        };
+        fill(&mut scratch);
+        let cheap = bundle.cheap_scores_suffix(&prefix, &mut scratch).to_vec();
+        fill(&mut scratch);
+        let full = bundle.predict_scratch_suffix(&prefix, &mut scratch);
+        // The surrogate's dot product reduces sequentially while the full
+        // model's output layer goes through the tiled kernel, so the two
+        // differ only by f32 summation order.
+        for (r, (c, f)) in cheap.iter().zip(full).enumerate() {
+            assert!(
+                (c - f).abs() <= 1e-4 * (1.0 + f.abs()),
+                "row {r}: cheap {c} vs full {f} (depth-2 collapse must be exact up to order)"
+            );
+        }
     }
 
     #[test]

@@ -17,16 +17,29 @@
 //! ## The hot inference path
 //!
 //! Runtime tuning evaluates the model over *every* legal configuration of
-//! an input, so the query path is built to be allocation-free:
-//! [`mlp::Mlp::predict_rows`] (and `io::ModelBundle::predict_rows`) take a
-//! flat row-major `&[f32]` buffer plus stride and run the whole forward
-//! pass inside a caller-held [`mlp::ScratchSpace`]. The scratch ping-pongs
-//! activations between two reusable matrices; after warmup to the largest
-//! batch, repeated queries perform zero heap allocations
-//! ([`mlp::ScratchSpace::allocations`] proves it). Results are
-//! bit-identical to the allocating `predict_batch` path for any batch
-//! split, which is what makes the parallel query engine in `isaac-core`
-//! deterministic.
+//! an input, so the query path is built to be allocation-free and
+//! compute-dense:
+//!
+//! * [`mlp::Mlp::predict_rows`] (and `io::ModelBundle::predict_rows`) take
+//!   a flat row-major `&[f32]` buffer plus stride and run the whole
+//!   forward pass inside a caller-held [`mlp::ScratchSpace`]. The scratch
+//!   ping-pongs activations between two high-water-mark matrices; after
+//!   warmup to the largest batch, repeated queries perform zero heap
+//!   allocations *and* zero redundant fills
+//!   ([`mlp::ScratchSpace::allocations`] / [`mlp::ScratchSpace::filled`]
+//!   prove it).
+//! * Hidden layers multiply through the register-blocked, lane-split
+//!   [`matrix::Mat::mul_bt`] micro-kernel; the first layer can be
+//!   *factored* ([`mlp::Mlp::prefix_first_layer`] +
+//!   `io::ModelBundle::predict_scratch_suffix`) so the constant half of a
+//!   query's features is multiplied in exactly once.
+//! * [`mlp::Mlp::collapse_tail`] folds layers `1..` into one affine map --
+//!   the cheap surrogate the coarse-to-fine cascade in `isaac-core` scores
+//!   every candidate with before spending the full network on survivors.
+//!
+//! Results are bit-identical to the allocating `predict_batch` path for
+//! any batch split and any prefix/suffix factoring, which is what makes
+//! the parallel query engine in `isaac-core` deterministic.
 
 pub mod data;
 pub mod io;
@@ -35,4 +48,6 @@ pub mod mlp;
 
 pub use data::{Dataset, Standardizer};
 pub use matrix::Mat;
-pub use mlp::{Mlp, Optimizer, ScratchSpace, TrainConfig, TrainReport};
+pub use mlp::{
+    CheapTail, FirstLayerPrefix, Mlp, Optimizer, ScratchSpace, TrainConfig, TrainReport,
+};

@@ -7,7 +7,7 @@
 //! Gaussian noise (Section 5.1).
 
 use crate::data::Dataset;
-use crate::matrix::Mat;
+use crate::matrix::{Mat, ResetReport};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -105,6 +105,7 @@ pub struct ScratchSpace {
     a: Mat,
     b: Mat,
     allocations: u64,
+    filled: u64,
 }
 
 impl ScratchSpace {
@@ -119,14 +120,28 @@ impl ScratchSpace {
         self.allocations
     }
 
+    /// Total elements fill-initialized by buffer reshapes since
+    /// construction. The backing buffers are high-water marks
+    /// ([`Mat::reset`]), so this too is constant at steady state: reusing
+    /// a warm scratch pays neither an allocation *nor* a memset for data
+    /// the forward pass immediately overwrites.
+    pub fn filled(&self) -> u64 {
+        self.filled
+    }
+
+    /// Fold one buffer-reshape outcome into the counters.
+    fn count(&mut self, rep: ResetReport) {
+        self.allocations += rep.grew as u64;
+        self.filled += rep.filled as u64;
+    }
+
     /// Reset the input buffer to `rows x cols` and expose it for the
     /// caller to fill with features (row-major). This is the zero-copy
     /// entry: build feature rows directly in place, then run
     /// [`Mlp::predict_scratch`] / `ModelBundle::predict_scratch`.
     pub fn input(&mut self, rows: usize, cols: usize) -> &mut [f32] {
-        if self.a.reset(rows, cols) {
-            self.allocations += 1;
-        }
+        let rep = self.a.reset(rows, cols);
+        self.count(rep);
         self.a.data_mut()
     }
 
@@ -201,22 +216,24 @@ impl Mlp {
 
     /// Forward pass for a batch; returns the activations of every layer
     /// (index 0 is the input itself).
+    ///
+    /// The first layer runs through the strictly sequential
+    /// [`dense0_seq`] kernel and the rest through the tiled
+    /// [`Mat::mul_bt`]; every prediction path (batch, scratch, factored)
+    /// composes the same two kernels in the same order, which is what
+    /// keeps them all bit-identical to each other.
     fn forward(&self, x: &Mat) -> Vec<Mat> {
         let mut acts = Vec::with_capacity(self.layers.len() + 1);
         acts.push(x.clone());
         for (li, layer) in self.layers.iter().enumerate() {
             let prev = acts.last().expect("input pushed above");
             let mut z = Mat::zeros(prev.rows, layer.w.rows);
-            prev.mul_bt(&layer.w, &mut z);
             let last = li + 1 == self.layers.len();
-            for r in 0..z.rows {
-                let row = z.row_mut(r);
-                for (v, b) in row.iter_mut().zip(&layer.b) {
-                    *v += b;
-                    if !last && *v < 0.0 {
-                        *v = 0.0; // ReLU
-                    }
-                }
+            if li == 0 {
+                dense0_seq(&layer.w, &layer.b, prev, &mut z, !last);
+            } else {
+                prev.mul_bt(&layer.w, &mut z);
+                bias_relu(&mut z, &layer.b, !last);
             }
             acts.push(z);
         }
@@ -257,22 +274,160 @@ impl Mlp {
     pub fn predict_scratch<'s>(&self, scratch: &'s mut ScratchSpace) -> &'s [f32] {
         let (rows, cols) = scratch.input_shape();
         assert_eq!(cols, self.sizes[0], "scratch input width mismatch");
-        for (li, layer) in self.layers.iter().enumerate() {
-            if scratch.b.reset(rows, layer.w.rows) {
-                scratch.allocations += 1;
-            }
+        let layer = &self.layers[0];
+        let rep = scratch.b.reset(rows, layer.w.rows);
+        scratch.count(rep);
+        let last = self.layers.len() == 1;
+        dense0_seq(&layer.w, &layer.b, &scratch.a, &mut scratch.b, !last);
+        std::mem::swap(&mut scratch.a, &mut scratch.b);
+        self.forward_tail(scratch, rows)
+    }
+
+    /// Layers `1..` of the forward pass over the activations currently in
+    /// `scratch.a`. Shared by the monolithic and factored entry points --
+    /// identical code, hence identical bits.
+    fn forward_tail<'s>(&self, scratch: &'s mut ScratchSpace, rows: usize) -> &'s [f32] {
+        for (li, layer) in self.layers.iter().enumerate().skip(1) {
+            let rep = scratch.b.reset(rows, layer.w.rows);
+            scratch.count(rep);
             scratch.a.mul_bt(&layer.w, &mut scratch.b);
-            let last = li + 1 == self.layers.len();
-            for r in 0..rows {
-                let row = scratch.b.row_mut(r);
-                for (v, b) in row.iter_mut().zip(&layer.b) {
-                    *v += b;
-                    if !last && *v < 0.0 {
-                        *v = 0.0; // ReLU
-                    }
+            bias_relu(&mut scratch.b, &layer.b, li + 1 != self.layers.len());
+            std::mem::swap(&mut scratch.a, &mut scratch.b);
+        }
+        scratch.a.data()
+    }
+
+    /// Precompute the constant half of the first layer for a query whose
+    /// leading `prefix.len()` features are fixed: per-hidden-unit partial
+    /// sums `acc[h] = sum_j w1[h][j] * prefix[j]`, accumulated strictly
+    /// left to right. `prefix` must already be standardized (the model
+    /// bundle's `query_prefix` handles that).
+    ///
+    /// [`Mlp::predict_scratch_suffix`] continues the same sum over the
+    /// remaining columns per candidate row, so
+    /// `factor + continue == dense0_seq` *bitwise* -- the factored first
+    /// layer changes the FLOP count, not a single output bit.
+    pub fn prefix_first_layer(&self, prefix: &[f32]) -> FirstLayerPrefix {
+        let w = &self.layers[0].w;
+        assert!(
+            prefix.len() <= self.sizes[0],
+            "prefix wider than the input layer"
+        );
+        let acc = (0..w.rows)
+            .map(|h| {
+                let mut s = 0.0f32;
+                for (wj, xj) in w.row(h).iter().zip(prefix) {
+                    s += wj * xj;
+                }
+                s
+            })
+            .collect();
+        FirstLayerPrefix {
+            acc,
+            split: prefix.len(),
+        }
+    }
+
+    /// Forward pass over candidate rows holding only the *suffix*
+    /// features (width `sizes[0] - prefix.split()`) in
+    /// `scratch.input(..)`, continuing the first-layer sums precomputed
+    /// by [`Mlp::prefix_first_layer`]. Bit-identical to running
+    /// [`Mlp::predict_scratch`] on the full feature rows.
+    pub fn predict_scratch_suffix<'s>(
+        &self,
+        prefix: &FirstLayerPrefix,
+        scratch: &'s mut ScratchSpace,
+    ) -> &'s [f32] {
+        let rows = scratch.a.rows;
+        self.first_layer_suffix(prefix, scratch);
+        std::mem::swap(&mut scratch.a, &mut scratch.b);
+        self.forward_tail(scratch, rows)
+    }
+
+    /// Factored first layer into `scratch.b`: continue `prefix.acc` over
+    /// the suffix columns in `scratch.a`, add bias, apply ReLU unless the
+    /// first layer is also the output.
+    fn first_layer_suffix(&self, prefix: &FirstLayerPrefix, scratch: &mut ScratchSpace) {
+        let (rows, cols) = scratch.input_shape();
+        assert_eq!(
+            prefix.split + cols,
+            self.sizes[0],
+            "prefix + suffix must cover the input layer"
+        );
+        let layer = &self.layers[0];
+        assert_eq!(prefix.acc.len(), layer.w.rows, "prefix/model mismatch");
+        let rep = scratch.b.reset(rows, layer.w.rows);
+        scratch.count(rep);
+        let relu = self.layers.len() > 1;
+        let (a, b) = (&scratch.a, &mut scratch.b);
+        for r in 0..rows {
+            let xr = a.row(r);
+            let orow = b.row_mut(r);
+            for (h, o) in orow.iter_mut().enumerate() {
+                let wrow = &layer.w.row(h)[prefix.split..];
+                let mut acc = prefix.acc[h];
+                for (wj, xj) in wrow.iter().zip(xr) {
+                    acc += wj * xj;
+                }
+                acc += layer.b[h];
+                *o = if relu && acc < 0.0 { 0.0 } else { acc };
+            }
+        }
+    }
+
+    /// Collapse layers `1..` into a single affine map by dropping their
+    /// ReLUs: the weight chain `W_L * ... * W_2` folded into one vector
+    /// over the first hidden layer plus a scalar bias. This is the
+    /// cascade's cheap surrogate (exact for depth <= 2 networks, a linear
+    /// proxy beyond); evaluating it costs one first-layer pass plus a dot
+    /// product instead of the full network.
+    pub fn collapse_tail(&self) -> CheapTail {
+        if self.layers.len() == 1 {
+            // The first layer *is* the output: the surrogate is identity.
+            return CheapTail {
+                v: vec![1.0],
+                b: 0.0,
+            };
+        }
+        let last = self.layers.last().expect("at least one layer");
+        let mut v: Vec<f32> = last.w.row(0).to_vec();
+        let mut b: f32 = last.b[0];
+        for layer in self.layers[1..self.layers.len() - 1].iter().rev() {
+            let mut nv = vec![0.0f32; layer.w.cols];
+            for (h, &vh) in v.iter().enumerate() {
+                b += vh * layer.b[h];
+                for (nj, wj) in nv.iter_mut().zip(layer.w.row(h)) {
+                    *nj += vh * wj;
                 }
             }
-            std::mem::swap(&mut scratch.a, &mut scratch.b);
+            v = nv;
+        }
+        CheapTail { v, b }
+    }
+
+    /// Cheap cascade scores over suffix rows in `scratch.input(..)`: the
+    /// factored first layer followed by the collapsed tail's dot product.
+    /// Returns one surrogate score per row (raw network scale), borrowed
+    /// from the scratch.
+    pub fn cheap_scratch_suffix<'s>(
+        &self,
+        prefix: &FirstLayerPrefix,
+        tail: &CheapTail,
+        scratch: &'s mut ScratchSpace,
+    ) -> &'s [f32] {
+        let rows = scratch.a.rows;
+        self.first_layer_suffix(prefix, scratch);
+        assert_eq!(tail.v.len(), self.layers[0].w.rows, "tail/model mismatch");
+        let rep = scratch.a.reset(rows, 1);
+        scratch.count(rep);
+        let (b, a) = (&scratch.b, &mut scratch.a);
+        for r in 0..rows {
+            let act = b.row(r);
+            let mut s = tail.b;
+            for (vh, ah) in tail.v.iter().zip(act) {
+                s += vh * ah;
+            }
+            a.set(r, 0, s);
         }
         scratch.a.data()
     }
@@ -368,6 +523,71 @@ impl Mlp {
                 dz = da;
             } else {
                 opt.update(li, &mut self.layers[li], &dw, &db, lr);
+            }
+        }
+    }
+}
+
+/// The precomputed constant half of a factored first layer: partial
+/// first-layer sums over a query's fixed leading features. Built by
+/// [`Mlp::prefix_first_layer`], consumed by
+/// [`Mlp::predict_scratch_suffix`] / [`Mlp::cheap_scratch_suffix`].
+#[derive(Debug, Clone)]
+pub struct FirstLayerPrefix {
+    /// Per-hidden-unit partial sums over the prefix columns.
+    acc: Vec<f32>,
+    /// Number of leading input columns folded into `acc`.
+    split: usize,
+}
+
+impl FirstLayerPrefix {
+    /// Number of leading input features folded into this prefix.
+    pub fn split(&self) -> usize {
+        self.split
+    }
+}
+
+/// Layers `1..` collapsed into one affine map (ReLUs dropped): the
+/// cascade's cheap surrogate. See [`Mlp::collapse_tail`].
+#[derive(Debug, Clone)]
+pub struct CheapTail {
+    /// Collapsed weight vector over the first hidden layer.
+    v: Vec<f32>,
+    /// Collapsed bias.
+    b: f32,
+}
+
+/// First-layer forward with strictly sequential per-output accumulation
+/// (`acc = w[0]*x[0] + w[1]*x[1] + ...`, then `+ bias`, then ReLU). The
+/// factored query path splits this sum after the prefix columns and
+/// continues it per candidate; keeping the monolithic path on the same
+/// order is what makes factored and monolithic forwards bit-identical.
+/// The first layer is a few percent of the network's FLOPs, so staying
+/// scalar here costs nothing measurable.
+fn dense0_seq(w: &Mat, bias: &[f32], x: &Mat, out: &mut Mat, relu: bool) {
+    for r in 0..x.rows {
+        let xr = x.row(r);
+        let orow = out.row_mut(r);
+        for (h, o) in orow.iter_mut().enumerate() {
+            let mut acc = 0.0f32;
+            for (wj, xj) in w.row(h).iter().zip(xr) {
+                acc += wj * xj;
+            }
+            acc += bias[h];
+            *o = if relu && acc < 0.0 { 0.0 } else { acc };
+        }
+    }
+}
+
+/// Add the bias row-wise and apply ReLU (unless `relu` is false, i.e. the
+/// output layer).
+fn bias_relu(z: &mut Mat, bias: &[f32], relu: bool) {
+    for r in 0..z.rows {
+        let row = z.row_mut(r);
+        for (v, b) in row.iter_mut().zip(bias) {
+            *v += b;
+            if relu && *v < 0.0 {
+                *v = 0.0;
             }
         }
     }
@@ -650,7 +870,9 @@ mod tests {
         let small = vec![0.25f32; 64 * 4];
         mlp.predict_rows(&big, 4, &mut scratch);
         let warmed = scratch.allocations();
+        let filled = scratch.filled();
         assert!(warmed > 0, "first call must size the buffers");
+        assert!(filled > 0, "first call must initialize the buffers");
         for _ in 0..50 {
             mlp.predict_rows(&big, 4, &mut scratch);
             mlp.predict_rows(&small, 4, &mut scratch); // shrinking is free
@@ -659,6 +881,11 @@ mod tests {
             scratch.allocations(),
             warmed,
             "steady-state queries must not allocate"
+        );
+        assert_eq!(
+            scratch.filled(),
+            filled,
+            "steady-state queries must not re-fill shrunken buffers"
         );
     }
 }

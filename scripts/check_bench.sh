@@ -8,26 +8,33 @@
 #   2. the freshly-emitted BENCH_inference.json cached-hit cost is within
 #      TOLERANCE x the committed baseline (default 3x -- generous, since
 #      CI hosts differ; the goal is catching order-of-magnitude
-#      regressions on the O(1) serving path, not noise).
+#      regressions on the O(1) serving path, not noise);
+#   3. the cold-tune cost (cold_serial_s_per_query) is within
+#      COLD_TOLERANCE x the committed baseline (default 5x -- extra
+#      generous: cold tunes are seconds-scale and noisy CI hosts swing
+#      wall-clock harder there than on the nanosecond cached path).
 #
 # Usage:
 #   scripts/check_bench.sh [--baseline <file>] [--tolerance <factor>]
+#                          [--cold-tolerance <factor>]
 #
 # With no --baseline, the committed BENCH_inference.json is read from
 # git (HEAD), so the script works unchanged in CI and locally after
-# `cargo bench -p isaac-bench --bench inference --bench serving`.
+# `cargo bench -p isaac-bench --bench inference --bench serving --bench micro`.
 
 set -u
 
 cd "$(dirname "$0")/.."
 
 TOLERANCE=3
+COLD_TOLERANCE=5
 BASELINE=""
 while [ $# -gt 0 ]; do
     case "$1" in
         --baseline) BASELINE="$2"; shift 2 ;;
         --tolerance) TOLERANCE="$2"; shift 2 ;;
-        *) echo "usage: $0 [--baseline <file>] [--tolerance <factor>]" >&2; exit 2 ;;
+        --cold-tolerance) COLD_TOLERANCE="$2"; shift 2 ;;
+        *) echo "usage: $0 [--baseline <file>] [--tolerance <factor>] [--cold-tolerance <factor>]" >&2; exit 2 ;;
     esac
 done
 
@@ -66,12 +73,25 @@ validate() {
 
 validate BENCH_inference.json \
     threads cold_serial_s_per_query cold_parallel_s_per_query \
-    parallel_speedup cached_s_per_query cache_hits cache_misses
+    parallel_speedup cached_s_per_query cache_hits cache_misses \
+    cold_cascade_s_per_query cascade_speedup cascade_choice_matches \
+    legality_s features_s predict_s topk_s rebench_s
 
 validate BENCH_serving.json \
     threads shards batch_size one_at_a_time_qps batched_qps \
     batch_speedup dedup_ratio single_flight_led single_flight_joined \
     cold_tune_s warm_start_s warm_start_speedup warm_seeded
+
+validate BENCH_micro.json \
+    mul_bt_naive_s mul_bt_tiled_s mul_bt_naive_gflops \
+    mul_bt_tiled_gflops mul_bt_tiled_speedup
+
+# The cascade quality guard is a correctness bit, not a timing: fail
+# outright if the benchmark saw the cascade change a tuning decision.
+cascade_ok=$(json_num BENCH_inference.json cascade_choice_matches)
+if [ "$cascade_ok" != "1" ]; then
+    die "cascade_choice_matches=$cascade_ok: the cascade changed a tuning decision"
+fi
 
 # ---- regression guard: cached-hit cost vs. the committed baseline ----
 # Baseline preference: origin's default branch (so a PR that commits a
@@ -94,20 +114,27 @@ if [ -z "$BASELINE" ]; then
     fi
 fi
 
-if [ -n "$BASELINE" ] && [ "$fail" -eq 0 ]; then
-    fresh=$(json_num BENCH_inference.json cached_s_per_query)
-    base=$(json_num "$BASELINE" cached_s_per_query)
+# guard KEY TOLERANCE LABEL -> compare fresh vs baseline for one key.
+guard() {
+    key="$1"; tol="$2"; label="$3"
+    fresh=$(json_num BENCH_inference.json "$key")
+    base=$(json_num "$BASELINE" "$key")
     if [ -z "$base" ]; then
-        say "SKIP: baseline has no cached_s_per_query"
-    else
-        say "cached hit: fresh ${fresh}s vs baseline ${base}s (tolerance ${TOLERANCE}x)"
-        if ! awk -v f="$fresh" -v b="$base" -v t="$TOLERANCE" \
-                'BEGIN { exit !(f <= b * t) }'; then
-            die "cached-hit cost regressed: ${fresh}s > ${TOLERANCE} x ${base}s"
-        else
-            say "OK: cached-hit throughput within tolerance"
-        fi
+        say "SKIP: baseline has no $key"
+        return
     fi
+    say "$label: fresh ${fresh}s vs baseline ${base}s (tolerance ${tol}x)"
+    if ! awk -v f="$fresh" -v b="$base" -v t="$tol" \
+            'BEGIN { exit !(f <= b * t) }'; then
+        die "$label cost regressed: ${fresh}s > ${tol} x ${base}s"
+    else
+        say "OK: $label within tolerance"
+    fi
+}
+
+if [ -n "$BASELINE" ] && [ "$fail" -eq 0 ]; then
+    guard cached_s_per_query "$TOLERANCE" "cached hit"
+    guard cold_serial_s_per_query "$COLD_TOLERANCE" "cold tune (serial)"
 fi
 
 if [ "$fail" -ne 0 ]; then
