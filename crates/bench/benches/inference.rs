@@ -113,10 +113,10 @@ fn inference_throughput(c: &mut Criterion) {
     // truncation).
     stages.scored_full /= shapes.len() as u64;
 
-    // Opt-in coarse-to-fine cascade: cold latency with the cheap pass
-    // pruning the candidate set, plus the quality guard -- the final
-    // re-benchmarked choice must match the exhaustive path on every
-    // shape in the mix.
+    // Coarse-to-fine cascade (the TrainOptions default since PR 4):
+    // cold latency with the cheap pass pruning the candidate set, plus
+    // the quality guard -- the final re-benchmarked choice must match
+    // the exhaustive path on every shape in the mix.
     let cascade_opts = InferOptions {
         top_k,
         log_features: true,

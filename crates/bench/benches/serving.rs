@@ -1,21 +1,27 @@
-//! Serving-layer benchmark: the sharded router under repeat traffic.
+//! Serving-layer benchmark: the sharded front door under repeat and
+//! concurrent traffic.
 //!
-//! Measures the three serving mechanisms introduced by the
-//! `isaac-serve` PR and writes `BENCH_serving.json` at the workspace
-//! root (schema in `crates/serve/README.md`):
+//! Measures the serving mechanisms of `isaac-serve` and writes
+//! `BENCH_serving.json` at the workspace root (schema in
+//! `crates/serve/README.md`):
 //!
 //! * **batched vs one-at-a-time throughput** -- the same cached query
-//!   mix pushed through `submit` one query at a time vs. through
-//!   `submit_batch` with in-batch dedup;
+//!   mix pushed through the blocking wrappers one query at a time vs.
+//!   through `submit_batch` with in-batch dedup;
 //! * **dedup ratio** -- the fraction of queries absorbed by in-batch
 //!   dedup plus single-flight joins (a contended cold key is raced by
 //!   several threads to exercise the flight table);
 //! * **warm-start speedup** -- seeding a fresh shard from a neighbour's
 //!   decisions (one re-benchmark per entry) vs. cold-tuning the same
-//!   shapes from scratch.
+//!   shapes from scratch;
+//! * **async front door** -- one OS thread submits a burst of cold
+//!   misses through `TuneService::submit` and multiplexes the pending
+//!   `TuneTicket`s while the worker pool drains the miss queue:
+//!   in-flight high-water mark, mean queue latency, wall time to drain,
+//!   and the ticket overhead on the cached path.
 //!
 //! Honours `ISAAC_SAMPLES`/`ISAAC_EPOCHS` for tuner training size and
-//! `RAYON_NUM_THREADS` for fan-out width.
+//! `RAYON_NUM_THREADS` for fan-out/worker-pool width.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use isaac_bench::harness::env_usize;
@@ -24,7 +30,7 @@ use isaac_core::{IsaacTuner, OpKind, TrainOptions, TuneCache};
 use isaac_device::specs::tesla_p100;
 use isaac_device::DType;
 use isaac_gen::shapes::GemmShape;
-use isaac_serve::{Query, TunerRouter};
+use isaac_serve::{Query, Served, TuneService, TunerRouter};
 use std::hint::black_box;
 use std::sync::Barrier;
 use std::time::Instant;
@@ -55,13 +61,12 @@ fn small_tuner() -> IsaacTuner {
 fn serving_throughput(c: &mut Criterion) {
     let shapes = query_shapes();
 
-    // Two shards off one trained model: training cost is irrelevant to
-    // the serving path, so clone via the text serialization.
+    // Several shards off one trained model: training cost is irrelevant
+    // to the serving path, so clone via the text serialization.
     let model_path = std::env::temp_dir().join("isaac_bench_serving_model.txt");
     let source = small_tuner();
     source.save(&model_path).expect("save model");
     let clone = IsaacTuner::load(&model_path, tesla_p100(), OpKind::Gemm).expect("load model");
-    let _ = std::fs::remove_file(&model_path);
 
     let mut router = TunerRouter::new();
     router.add_shard(0, source);
@@ -122,9 +127,64 @@ fn serving_throughput(c: &mut Criterion) {
         f64::from(reps) * batch_size as f64 / t0.elapsed().as_secs_f64()
     };
 
+    // --- Async front door: one thread multiplexes a cold burst. ------
+    // A fresh service + shard so every key in the burst is a genuine
+    // miss; 16 unique shapes x 4 duplicates = 64 tickets in flight off
+    // 16 cold tunes (the single-flight invariant, now waker-driven).
+    let (async_in_flight, async_unique_cold, async_cold_wall_s, async_queue_latency_s) = {
+        let service = TuneService::new();
+        let tuner = IsaacTuner::load(&model_path, tesla_p100(), OpKind::Gemm).expect("load model");
+        service.add_shard(0, tuner);
+        let unique = 16u32;
+        let burst: Vec<Query> = (0..unique * 4)
+            .map(|i| {
+                Query::gemm(
+                    0,
+                    GemmShape::new(96 + 16 * (i % unique), 48, 64, "N", "T", DType::F32),
+                )
+            })
+            .collect();
+        let t0 = Instant::now();
+        let tickets: Vec<_> = burst.iter().map(|q| service.submit(q)).collect();
+        let in_flight = service.service_stats().peak_open_tickets;
+        let decisions: Vec<_> = tickets.iter().map(|t| t.wait()).collect();
+        let wall_s = t0.elapsed().as_secs_f64();
+        assert!(
+            decisions.iter().all(|d| d.choice.is_some()),
+            "every ticket resolves"
+        );
+        let stats = service.stats();
+        assert_eq!(
+            stats.cold_tunes,
+            stats.queries - stats.coalesced - stats.cache_hits,
+            "one cold tune per unique key"
+        );
+        (
+            in_flight,
+            stats.cold_tunes,
+            wall_s,
+            service.service_stats().avg_queue_wait_s(),
+        )
+    };
+
+    // --- Ticket overhead on the cached path: submit(q).wait() through
+    //     the service vs the router wrapper's identical call above.
+    let async_cached_qps = {
+        let service = router.service();
+        let reps = 2_000u32;
+        let t0 = Instant::now();
+        for _ in 0..reps {
+            for q in &mix {
+                black_box(service.submit(black_box(q)).wait());
+            }
+        }
+        f64::from(reps) * batch_size as f64 / t0.elapsed().as_secs_f64()
+    };
+    let _ = std::fs::remove_file(&model_path);
+
     // --- Bounded-LRU smoke: shard 0's decisions in a capacity-2 cache.
     let bounded = TuneCache::with_capacity(2);
-    for (key, choice) in router
+    for (key, choice, _hits) in router
         .shard_tuner(0, OpKind::Gemm)
         .expect("shard 0")
         .cache()
@@ -164,6 +224,18 @@ fn serving_throughput(c: &mut Criterion) {
         "warm-start speedup".into(),
         format!("{warm_start_speedup:.1}x ({} seeded)", warm.seeded),
     ]);
+    table.row(vec![
+        "async in-flight peak".into(),
+        format!("{async_in_flight} tickets / {async_unique_cold} cold tunes"),
+    ]);
+    table.row(vec![
+        "async queue latency".into(),
+        format!("{async_queue_latency_s:.4}s avg"),
+    ]);
+    table.row(vec![
+        "async cached qps".into(),
+        format!("{async_cached_qps:.0}"),
+    ]);
     table.print();
 
     let json = bench_json_path("BENCH_serving.json");
@@ -182,22 +254,33 @@ fn serving_throughput(c: &mut Criterion) {
             ("dedup_ratio", format!("{:.4}", stats.dedup_ratio())),
             ("single_flight_led", flights.led.to_string()),
             ("single_flight_joined", flights.joined.to_string()),
+            ("leader_panics", flights.leader_panics.to_string()),
             ("cold_tune_s", format!("{cold_tune_s:.6}")),
             ("warm_start_s", format!("{warm_start_s:.6}")),
             ("warm_start_speedup", format!("{warm_start_speedup:.2}")),
             ("warm_seeded", warm.seeded.to_string()),
             ("cache_evictions", cache_evictions.to_string()),
+            ("async_in_flight", async_in_flight.to_string()),
+            ("async_unique_cold", async_unique_cold.to_string()),
+            ("async_cold_wall_s", format!("{async_cold_wall_s:.6}")),
+            (
+                "async_queue_latency_s",
+                format!("{async_queue_latency_s:.6}"),
+            ),
+            ("async_cached_qps", format!("{async_cached_qps:.1}")),
         ],
     );
     println!(
-        "wrote {} (batched {:.2}x over one-at-a-time, warm-start {:.1}x over cold, dedup {:.2})",
+        "wrote {} (batched {:.2}x over one-at-a-time, warm-start {:.1}x over cold, \
+         dedup {:.2}, async peak {} in flight)",
         json.display(),
         batched_qps / one_at_a_time_qps,
         warm_start_speedup,
-        stats.dedup_ratio()
+        stats.dedup_ratio(),
+        async_in_flight
     );
 
-    // Criterion entry so `cargo bench serving` shows a standard line.
+    // Criterion entries so `cargo bench serving` shows standard lines.
     let hot = Query::gemm(0, shapes[0]);
     let mut group = c.benchmark_group("serving");
     group.sample_size(10);
@@ -207,7 +290,14 @@ fn serving_throughput(c: &mut Criterion) {
     group.bench_function("cached_submit_batch_64", |b| {
         b.iter(|| black_box(router.submit_batch(black_box(&mix))))
     });
+    group.bench_function("cached_ticket_submit", |b| {
+        let service = router.service();
+        b.iter(|| black_box(service.submit(black_box(&hot)).wait()))
+    });
     group.finish();
+
+    // The cached path must never report a failure.
+    assert_eq!(router.submit(&hot).served, Served::Cache);
 }
 
 criterion_group!(benches, serving_throughput);

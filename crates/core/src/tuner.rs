@@ -300,12 +300,16 @@ pub struct CacheStats {
     pub evictions: u64,
 }
 
-/// One cached decision plus its last-recently-used stamp. The stamp is
-/// atomic so hits can refresh recency under the *shared* read lock.
+/// One cached decision plus its last-recently-used stamp and lifetime
+/// hit count. Both are atomic so hits can refresh them under the
+/// *shared* read lock. The per-entry hit count is groundwork for
+/// frequency-aware (LFU-hybrid) eviction: it survives the
+/// recency-preserving rebuild and is exposed by [`TuneCache::entries`].
 #[derive(Debug)]
 struct CacheSlot {
     choice: TunedChoice,
     stamp: AtomicU64,
+    hits: AtomicU64,
 }
 
 /// A concurrent, size-bounded, shape-keyed LRU cache of tuning
@@ -373,13 +377,14 @@ impl TuneCache {
         self.tick.fetch_add(1, Ordering::Relaxed) + 1
     }
 
-    /// Look up a decision, counting the hit or miss and refreshing the
-    /// entry's LRU recency.
+    /// Look up a decision, counting the hit or miss (globally and on
+    /// the entry) and refreshing the entry's LRU recency.
     pub fn get(&self, key: &TuneKey) -> Option<TunedChoice> {
         let hit = {
             let map = self.map.read().expect("tune cache poisoned");
             map.get(key).map(|slot| {
                 slot.stamp.store(self.next_stamp(), Ordering::Relaxed);
+                slot.hits.fetch_add(1, Ordering::Relaxed);
                 slot.choice.clone()
             })
         };
@@ -406,13 +411,21 @@ impl TuneCache {
     }
 
     /// Publish a decision, evicting the least-recently-used entry if the
-    /// cache is at capacity.
+    /// cache is at capacity. Re-inserting an existing key refreshes the
+    /// decision and recency but keeps the entry's accumulated hit count.
     pub fn insert(&self, key: TuneKey, choice: TunedChoice) {
+        self.insert_with_hits(key, choice, 0);
+    }
+
+    /// [`TuneCache::insert`] with an initial per-entry hit count, used
+    /// by the rebuild path to carry counts across re-keying/shrinking.
+    fn insert_with_hits(&self, key: TuneKey, choice: TunedChoice, hits: u64) {
         let stamp = self.next_stamp();
         let mut map = self.map.write().expect("tune cache poisoned");
         if let Some(slot) = map.get_mut(&key) {
             slot.choice = choice;
             slot.stamp.store(stamp, Ordering::Relaxed);
+            slot.hits.fetch_add(hits, Ordering::Relaxed);
             return;
         }
         if map.len() >= self.capacity {
@@ -430,6 +443,7 @@ impl TuneCache {
             CacheSlot {
                 choice,
                 stamp: AtomicU64::new(stamp),
+                hits: AtomicU64::new(hits),
             },
         );
     }
@@ -453,35 +467,45 @@ impl TuneCache {
         }
     }
 
-    /// Snapshot of all entries, sorted by shape name. Used for
-    /// persistence and as the source side of cross-device warm-start.
-    pub fn entries(&self) -> Vec<(TuneKey, TunedChoice)> {
+    /// Snapshot of all entries with their lifetime hit counts, sorted
+    /// by shape name. Used for persistence, as the source side of
+    /// cross-device warm-start, and as the signal for frequency-aware
+    /// eviction policies (hot entries cost more to lose).
+    pub fn entries(&self) -> Vec<(TuneKey, TunedChoice, u64)> {
         let map = self.map.read().expect("tune cache poisoned");
-        let mut entries: Vec<(TuneKey, TunedChoice)> = map
+        let mut entries: Vec<(TuneKey, TunedChoice, u64)> = map
             .iter()
-            .map(|(k, slot)| (*k, slot.choice.clone()))
+            .map(|(k, slot)| (*k, slot.choice.clone(), slot.hits.load(Ordering::Relaxed)))
             .collect();
-        entries.sort_by_cached_key(|(k, _)| k.name());
+        entries.sort_by_cached_key(|(k, _, _)| k.name());
         entries
     }
 
     /// A copy of this cache with a new capacity and (optionally) every
     /// key rebound to a device ordinal. Entries are replayed in recency
     /// order, so LRU order survives and shrinking evicts the true
-    /// least-recently-used overflow; hit/miss/eviction counters carry
-    /// over (shrink evictions are added on top).
+    /// least-recently-used overflow; per-entry hit counts and the
+    /// hit/miss/eviction counters carry over (shrink evictions are
+    /// added on top).
     fn rebuilt(&self, capacity: usize, device: Option<u16>) -> TuneCache {
-        let mut stamped: Vec<(TuneKey, TunedChoice, u64)> = {
+        let mut stamped: Vec<(TuneKey, TunedChoice, u64, u64)> = {
             let map = self.map.read().expect("tune cache poisoned");
             map.iter()
-                .map(|(k, slot)| (*k, slot.choice.clone(), slot.stamp.load(Ordering::Relaxed)))
+                .map(|(k, slot)| {
+                    (
+                        *k,
+                        slot.choice.clone(),
+                        slot.stamp.load(Ordering::Relaxed),
+                        slot.hits.load(Ordering::Relaxed),
+                    )
+                })
                 .collect()
         };
-        stamped.sort_by_key(|&(_, _, stamp)| stamp);
+        stamped.sort_by_key(|&(_, _, stamp, _)| stamp);
         let rebuilt = TuneCache::with_capacity(capacity);
-        for (key, choice, _) in stamped {
+        for (key, choice, _, hits) in stamped {
             let key = device.map_or(key, |d| key.on_device(d));
-            rebuilt.insert(key, choice);
+            rebuilt.insert_with_hits(key, choice, hits);
         }
         let stats = self.stats();
         rebuilt.hits.store(stats.hits, Ordering::Relaxed);
@@ -510,10 +534,14 @@ pub struct TrainOptions {
     /// Candidates re-benchmarked after exhaustive model search.
     pub top_k: usize,
     /// Coarse-to-fine cold-tune cascade (see
-    /// [`crate::inference::CascadeConfig`]). `None` (the default) keeps
-    /// cold tunes on the exhaustive, bit-reproducible path; `Some` scores
-    /// every candidate with the cheap surrogate first and runs the full
-    /// model only on the safety-margined survivors.
+    /// [`crate::inference::CascadeConfig`]). `Some` scores every
+    /// candidate with the cheap surrogate first and runs the full model
+    /// only on the safety-margined survivors; `None` is the exhaustive
+    /// path. The cascade is **on by default** (`CascadeConfig::default`)
+    /// since PR 4: the quality guard (`tests/cascade.rs` and CI's
+    /// `cascade_choice_matches`) soaked green through PR 3, and the
+    /// cascade roughly halves cold-tune latency. Set `cascade: None`
+    /// explicitly to get the exhaustive, surrogate-free search back.
     pub cascade: Option<CascadeConfig>,
     /// Seed for sampling, initialization and shuffling.
     pub seed: u64,
@@ -528,7 +556,7 @@ impl Default for TrainOptions {
             dtypes: vec![DType::F32],
             log_features: true,
             top_k: 50,
-            cascade: None,
+            cascade: Some(CascadeConfig::default()),
             seed: 0,
         }
     }
@@ -773,7 +801,7 @@ impl IsaacTuner {
     /// were made on (provenance for cross-device warm-start).
     pub fn save_cache(&self, path: &Path) -> std::io::Result<()> {
         let mut text = format!("isaac-kernel-cache v2 device {}\n", self.device_id);
-        for (key, c) in self.cache.entries() {
+        for (key, c, _hits) in self.cache.entries() {
             let v = c.config.as_vector();
             text.push_str(&format!(
                 "{} {} {} {} {} {} {} {} {} {} {:.6e} {:.6e} {:.6e}\n",
@@ -1178,6 +1206,44 @@ mod tests {
     }
 
     #[test]
+    fn per_entry_hit_counts_are_exposed_and_survive_rebuilds() {
+        let cache = TuneCache::new();
+        let (hot, cold) = (gemm_key(1), gemm_key(2));
+        cache.insert(hot, dummy_choice(1.0));
+        cache.insert(cold, dummy_choice(2.0));
+        for _ in 0..3 {
+            assert!(cache.get(&hot).is_some());
+        }
+        assert!(cache.peek(&cold).is_some(), "peek stays uncounted");
+
+        let by_key = |entries: &[(TuneKey, TunedChoice, u64)], key: TuneKey| {
+            entries
+                .iter()
+                .find(|(k, _, _)| *k == key)
+                .map(|&(_, _, hits)| hits)
+                .expect("entry present")
+        };
+        let entries = cache.entries();
+        assert_eq!(by_key(&entries, hot), 3, "every get is counted");
+        assert_eq!(by_key(&entries, cold), 0, "peeks are not hits");
+
+        // Re-inserting (a cold re-tune publishing a fresher decision)
+        // keeps the accumulated count.
+        cache.insert(hot, dummy_choice(1.5));
+        assert_eq!(by_key(&cache.entries(), hot), 3);
+
+        // The recency-preserving rebuild (device re-keying and capacity
+        // changes) carries the counts -- the LFU-hybrid eviction signal
+        // must not reset on shard registration.
+        let rebuilt = cache.rebuilt(8, Some(5));
+        let entries = rebuilt.entries();
+        assert_eq!(by_key(&entries, hot.on_device(5)), 3);
+        assert_eq!(by_key(&entries, cold.on_device(5)), 0);
+        assert!(rebuilt.get(&hot.on_device(5)).is_some());
+        assert_eq!(by_key(&rebuilt.entries(), hot.on_device(5)), 4);
+    }
+
+    #[test]
     fn device_ordinal_distinguishes_keys() {
         let cache = TuneCache::new();
         let key = gemm_key(16);
@@ -1327,7 +1393,7 @@ mod tests {
         );
         // Loaded entries are rebound to *this* tuner's device ordinal.
         assert_eq!(fresh.cache_len(), 1);
-        let (key, _) = fresh.cache().entries()[0];
+        let (key, _, _) = fresh.cache().entries()[0];
         assert_eq!(key.device, fresh.device_id());
         let _ = std::fs::remove_file(&path);
     }
@@ -1357,7 +1423,13 @@ mod tests {
         fresh.set_device_id(7);
 
         // top_k = 2 limits warming to the 2 fastest neighbour decisions.
-        let report = fresh.warm_start(&neighbour.cache().entries(), 2);
+        let neighbour_entries: Vec<_> = neighbour
+            .cache()
+            .entries()
+            .into_iter()
+            .map(|(k, c, _hits)| (k, c))
+            .collect();
+        let report = fresh.warm_start(&neighbour_entries, 2);
         assert_eq!(report.candidates, 2);
         assert_eq!(report.seeded + report.skipped, 2);
         assert!(report.seeded >= 1, "at least one decision transfers");

@@ -76,6 +76,11 @@ pub enum Served {
     Coalesced,
     /// No shard is registered for the query's device/operation.
     NoShard,
+    /// The query was accepted but never resolved to a decision: its
+    /// shard was removed or replaced while the tune was in flight, the
+    /// service shut down, or the cold tune kept panicking past the
+    /// retry budget. `choice` is always `None`.
+    Failed,
 }
 
 /// The outcome of one query.

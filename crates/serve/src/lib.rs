@@ -1,32 +1,46 @@
-//! Sharded serving front-end for ISAAC tuners.
+//! Sharded, async-first serving front-end for ISAAC tuners.
 //!
 //! `isaac-core`'s query engine answers one tuning query on one tuner;
 //! this crate turns a set of trained tuners into a **service**:
 //!
-//! * [`TunerRouter`] shards tuners per device ordinal behind one front
-//!   door and routes queries by `(device, operation)`;
-//! * [`TunerRouter::submit_batch`] accepts batched submissions,
-//!   deduplicates identical queries inside the batch, and fans the
-//!   unique keys out across cores;
+//! * [`TuneService`] is the front door: [`TuneService::submit`] returns
+//!   a [`TuneTicket`] immediately (hits resolve inline, misses enqueue
+//!   on a worker pool), and tickets are pollable -- `try_get`, blocking
+//!   `wait`, or a [`std::task::Waker`]-compatible `poll` / `Future`
+//!   impl, so one OS thread can multiplex many in-flight queries
+//!   without this crate depending on an executor;
 //! * [`SingleFlight`] coalesces concurrent misses for the same
-//!   [`isaac_core::TuneKey`]: exactly one cold tune runs per contended
-//!   key, the losers block on the winner's result;
-//! * [`TunerRouter::warm_start`] seeds a fresh shard from a neighbour
-//!   shard's decisions, re-benchmarking only the top-k instead of
-//!   cold-tuning every shape.
+//!   [`isaac_core::TuneKey`] by registering waker/callback waiters:
+//!   exactly one cold tune runs per contended key, and every ticket on
+//!   the key receives the identical decision;
+//! * shard lifecycle is part of the API: [`TuneService::add_shard`] /
+//!   [`TuneService::remove_shard`] / [`TuneService::replace_shard`]
+//!   hot-swap devices (a removed shard *fails* its pending tickets
+//!   rather than stranding them), [`TuneService::snapshot_all`] /
+//!   [`TuneService::restore_all`] persist and reload every shard's
+//!   decision cache, and [`TuneService::warm_start`] seeds a fresh
+//!   shard from a neighbour's decisions;
+//! * [`TunerRouter`] survives as the deprecated blocking facade from
+//!   PR 2 (`submit(q)` == `service.submit(q).wait()`), kept so existing
+//!   callers compile while they migrate.
 //!
 //! Decision caches are the size-bounded LRU [`isaac_core::TuneCache`]s
 //! owned by each tuner; `cargo bench -p isaac-bench --bench serving`
-//! tracks batched throughput, dedup ratio and warm-start speedup in
-//! `BENCH_serving.json`. See `crates/serve/README.md` for the
-//! architecture sketch.
+//! tracks batched throughput, in-flight multiplexing and queue latency
+//! in `BENCH_serving.json`. See `crates/serve/README.md` for the
+//! architecture sketch and the migration notes.
 
 pub mod batch;
 pub mod router;
+pub mod service;
 pub mod single_flight;
 pub mod stats;
+pub mod ticket;
+pub(crate) mod workers;
 
 pub use batch::{plan, BatchPlan, Decision, Query, QueryShape, Served};
 pub use router::TunerRouter;
-pub use single_flight::{FlightStats, Role, SingleFlight};
-pub use stats::RouterStats;
+pub use service::{parse_snapshot_file_name, snapshot_file_name, SnapshotReport, TuneService};
+pub use single_flight::{FlightId, FlightStats, Role, SingleFlight, Waiter};
+pub use stats::{RouterStats, ServiceStats};
+pub use ticket::TuneTicket;

@@ -1,61 +1,33 @@
-//! The sharded serving front door.
+//! The blocking compatibility facade over [`TuneService`].
 //!
-//! A [`TunerRouter`] owns one shard per device ordinal, each holding the
-//! trained [`IsaacTuner`]s (GEMM and/or CONV) for that device. Queries
-//! enter through [`TunerRouter::submit`] / [`TunerRouter::submit_batch`]
-//! and resolve in three tiers:
+//! `TunerRouter` was the PR 2 front door: `submit`/`submit_batch`
+//! blocked the calling thread until every decision landed, parking one
+//! OS thread per in-flight miss on a condvar. PR 4 replaced that model
+//! with the ticket-based [`TuneService`]; this type survives as a thin
+//! wrapper so existing callers keep compiling while they migrate.
 //!
-//! 1. **cache** -- the shard's [`TuneCache`] answers repeats in O(1)
-//!    under a shared lock;
-//! 2. **single-flight** -- concurrent misses for the same [`TuneKey`]
-//!    coalesce: one caller runs the cold tune, the rest block on its
-//!    result ([`crate::single_flight`]);
-//! 3. **cold tune** -- the winner runs the exhaustive-search engine and
-//!    publishes into the cache.
-//!
-//! Batches are additionally deduplicated *before* dispatch
-//! ([`crate::batch::plan`]): duplicate keys inside one batch cost a
-//! single resolution, and the unique keys fan out across cores.
-//!
-//! New shards can be **warm-started** from a neighbour
-//! ([`TunerRouter::warm_start`]): the neighbour's best decisions are
-//! re-benchmarked on the new device (one measurement each) instead of
-//! cold-tuned (an exhaustive model search each).
+//! **Deprecated:** new code should hold a [`TuneService`] and consume
+//! [`crate::TuneTicket`]s ([`TunerRouter::service`] exposes the inner
+//! service for incremental migration). The wrappers here are exactly
+//! `service.submit(q).wait()` -- same counters, same single-flight
+//! invariant, same decisions -- so migration is mechanical; see
+//! `crates/serve/README.md` for the mapping table. The `#[deprecated]`
+//! attribute is intentionally *not* applied: the PR 2 test suite (which
+//! pins the blocking semantics) compiles against this API, and the
+//! workspace lints deny warnings.
 
-use crate::batch::{plan, Decision, Query, QueryShape, Served};
-use crate::single_flight::{FlightStats, Role, SingleFlight};
-use crate::stats::{bump, Counters, RouterStats};
-use isaac_core::{IsaacTuner, OpKind, TuneKey, TunedChoice, WarmStartReport};
-use rayon::prelude::*;
-use std::collections::BTreeMap;
+use crate::batch::{Decision, Query};
+use crate::service::TuneService;
+use crate::single_flight::FlightStats;
+use crate::stats::RouterStats;
+use isaac_core::{IsaacTuner, OpKind, WarmStartReport};
 use std::sync::Arc;
 
-/// The tuners of one device.
-#[derive(Debug, Default)]
-struct Shard {
-    gemm: Option<Arc<IsaacTuner>>,
-    conv: Option<Arc<IsaacTuner>>,
-}
-
-impl Shard {
-    fn tuner(&self, op: OpKind) -> Option<&Arc<IsaacTuner>> {
-        match op {
-            OpKind::Gemm => self.gemm.as_ref(),
-            OpKind::Conv => self.conv.as_ref(),
-        }
-    }
-}
-
-/// One front door over per-device tuner shards; see the module docs.
-///
-/// Flight values carry `(choice, was_cold)`: a leader that finds the
-/// cache populated on entry (it raced a previous flight's completion)
-/// reports `was_cold = false` so the stats stay truthful.
+/// Blocking front door over per-device tuner shards; a compatibility
+/// wrapper around [`TuneService`] (see the module docs).
 #[derive(Debug, Default)]
 pub struct TunerRouter {
-    shards: BTreeMap<u16, Shard>,
-    flights: SingleFlight<TuneKey, (Option<TunedChoice>, bool)>,
-    counters: Counters,
+    service: TuneService,
 }
 
 impl TunerRouter {
@@ -64,159 +36,50 @@ impl TunerRouter {
         Self::default()
     }
 
+    /// The async service this router wraps, for incremental migration
+    /// (tickets, snapshot/restore, shard hot-swap, pause/resume).
+    pub fn service(&self) -> &TuneService {
+        &self.service
+    }
+
     /// Register a tuner as the shard for `device` (slotted by the
     /// tuner's operation kind, replacing any previous tuner for that
     /// slot). The tuner's cache keys are rebound to the shard's device
     /// ordinal; the returned `Arc` can be kept for direct access.
-    pub fn add_shard(&mut self, device: u16, mut tuner: IsaacTuner) -> Arc<IsaacTuner> {
-        tuner.set_device_id(device);
-        let tuner = Arc::new(tuner);
-        let shard = self.shards.entry(device).or_default();
-        match tuner.kind() {
-            OpKind::Gemm => shard.gemm = Some(Arc::clone(&tuner)),
-            OpKind::Conv => shard.conv = Some(Arc::clone(&tuner)),
-        }
-        tuner
+    pub fn add_shard(&mut self, device: u16, tuner: IsaacTuner) -> Arc<IsaacTuner> {
+        self.service.add_shard(device, tuner)
     }
 
     /// The tuner serving `(device, op)`, if registered.
-    pub fn shard_tuner(&self, device: u16, op: OpKind) -> Option<&Arc<IsaacTuner>> {
-        self.shards.get(&device)?.tuner(op)
+    pub fn shard_tuner(&self, device: u16, op: OpKind) -> Option<Arc<IsaacTuner>> {
+        self.service.shard_tuner(device, op)
     }
 
     /// Registered device ordinals, ascending.
     pub fn devices(&self) -> Vec<u16> {
-        self.shards.keys().copied().collect()
+        self.service.devices()
     }
 
-    /// Resolve one query through cache -> single-flight -> cold tune.
+    /// Resolve one query, blocking until the decision lands.
+    ///
+    /// Deprecated blocking wrapper: exactly
+    /// [`TuneService::submit`]`.wait()`.
     pub fn submit(&self, query: &Query) -> Decision {
-        bump(&self.counters.queries, 1);
-        self.resolve(query)
+        self.service.submit(query).wait()
     }
 
-    /// Resolve a batch. Duplicate keys inside the batch are resolved
-    /// once and fanned back out. Cache hits and shard misses are served
-    /// inline (a fan-out would cost more than the ~100ns lookups it
-    /// parallelizes); only the cold uniques are dispatched in parallel.
-    /// Decisions come back in query order.
+    /// Resolve a batch, blocking until every decision lands. Duplicate
+    /// keys inside the batch are resolved once and fanned back out;
+    /// decisions come back in query order.
+    ///
+    /// Deprecated blocking wrapper: exactly
+    /// [`TuneService::submit_batch`] followed by a `wait` per ticket.
     pub fn submit_batch(&self, queries: &[Query]) -> Vec<Decision> {
-        bump(&self.counters.queries, queries.len() as u64);
-        bump(&self.counters.batches, 1);
-        let plan = plan(queries);
-        bump(&self.counters.batch_deduped, plan.deduped() as u64);
-        let mut resolved: Vec<Option<Decision>> = plan
-            .uniques
+        self.service
+            .submit_batch(queries)
             .iter()
-            .zip(&plan.keys)
-            .map(|(&qi, key)| self.fast_path(&queries[qi], key))
-            .collect();
-        let cold: Vec<usize> = (0..resolved.len())
-            .filter(|&slot| resolved[slot].is_none())
-            .collect();
-        if !cold.is_empty() {
-            let tuned: Vec<Decision> = cold
-                .par_iter()
-                .map(|&slot| self.cold_path(&queries[plan.uniques[slot]], &plan.keys[slot]))
-                .collect();
-            for (slot, decision) in cold.into_iter().zip(tuned) {
-                resolved[slot] = Some(decision);
-            }
-        }
-        plan.slot_of
-            .iter()
-            .enumerate()
-            .map(|(i, &slot)| {
-                let decision = resolved[slot].clone().expect("all uniques resolved");
-                // A duplicate of a cold query did not run the tune itself
-                // -- it coalesced on the in-batch resolution. Cache and
-                // NoShard outcomes read truthfully for duplicates as-is.
-                if plan.uniques[slot] != i && decision.served == Served::Tuned {
-                    Decision {
-                        served: Served::Coalesced,
-                        ..decision
-                    }
-                } else {
-                    decision
-                }
-            })
+            .map(|ticket| ticket.wait())
             .collect()
-    }
-
-    fn resolve(&self, query: &Query) -> Decision {
-        let key = query.key();
-        match self.fast_path(query, &key) {
-            Some(decision) => decision,
-            None => self.cold_path(query, &key),
-        }
-    }
-
-    /// Serve a query from the shard map and cache alone: `Some` for a
-    /// counted cache hit or a missing shard, `None` for a counted miss
-    /// that needs [`TunerRouter::cold_path`]. `key` is the query's
-    /// [`Query::key`], derived once by the caller.
-    fn fast_path(&self, query: &Query, key: &TuneKey) -> Option<Decision> {
-        let Some(tuner) = self.shard_tuner(query.device, query.op()) else {
-            bump(&self.counters.no_shard, 1);
-            return Some(Decision {
-                choice: None,
-                served: Served::NoShard,
-            });
-        };
-        match tuner.cache().get(key) {
-            Some(hit) => {
-                bump(&self.counters.cache_hits, 1);
-                Some(Decision {
-                    choice: Some(hit),
-                    served: Served::Cache,
-                })
-            }
-            None => None,
-        }
-    }
-
-    /// Coalesce with (or lead) the flight for a key whose miss has
-    /// already been counted by [`TunerRouter::fast_path`].
-    fn cold_path(&self, query: &Query, key: &TuneKey) -> Decision {
-        let key = *key;
-        let tuner = self
-            .shard_tuner(query.device, query.op())
-            .expect("cold_path follows a fast_path miss, so the shard exists");
-        let ((choice, was_cold), role) = self.flights.run(key, || {
-            // Re-check under flight leadership: a thread that lost the
-            // race between its cache miss and the table lookup would
-            // otherwise lead a *second* flight for a key the previous
-            // leader has already published -- the uncounted peek keeps
-            // "exactly one cold tune per key" true across that window.
-            if let Some(hit) = tuner.cache().peek(&key) {
-                return (Some(hit), false);
-            }
-            // The `_cold` entry points skip the tuner's own (already
-            // counted) cache lookup. A `None` outcome (no legal
-            // configuration) is not cached: in the current tuning space
-            // every shape has legal configurations, so `None` signals an
-            // engine failure, not a steady state worth a tombstone.
-            let choice = match query.shape {
-                QueryShape::Gemm(ref s) => tuner.tune_gemm_cold(s),
-                QueryShape::Conv(ref s) => tuner.tune_conv_cold(s),
-            };
-            (choice, true)
-        });
-        let served = match role {
-            Role::Led if was_cold => {
-                bump(&self.counters.cold_tunes, 1);
-                Served::Tuned
-            }
-            Role::Led => {
-                bump(&self.counters.cache_hits, 1);
-                Served::Cache
-            }
-            Role::Joined => {
-                bump(&self.counters.coalesced, 1);
-                Served::Coalesced
-            }
-        };
-        Decision { choice, served }
     }
 
     /// Seed the `(target, op)` shard's cache from the `(source, op)`
@@ -230,18 +93,16 @@ impl TunerRouter {
         op: OpKind,
         top_k: usize,
     ) -> Option<WarmStartReport> {
-        let src = self.shard_tuner(source, op)?;
-        let dst = self.shard_tuner(target, op)?;
-        Some(dst.warm_start(&src.cache().entries(), top_k))
+        self.service.warm_start(target, source, op, top_k)
     }
 
     /// Serving counters.
     pub fn stats(&self) -> RouterStats {
-        self.counters.snapshot()
+        self.service.stats()
     }
 
-    /// Single-flight lead/join counters.
+    /// Single-flight lead/join/panic counters.
     pub fn flight_stats(&self) -> FlightStats {
-        self.flights.stats()
+        self.service.flight_stats()
     }
 }

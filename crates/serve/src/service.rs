@@ -1,0 +1,758 @@
+//! The async-first serving front door.
+//!
+//! [`TuneService`] is the poll/notify redesign of the blocking
+//! [`crate::TunerRouter`] API: [`TuneService::submit`] returns a
+//! [`TuneTicket`] *immediately* -- cache hits and shard refusals come
+//! back pre-resolved, misses enqueue a job on the worker pool and
+//! resolve through the waker-driven single-flight table -- so one OS
+//! thread can keep hundreds of heterogeneous shape queries in flight
+//! while the pool grinds through the cold tunes.
+//!
+//! ```text
+//!  submit/submit_batch ──► fast path (shard map + TuneCache) ──► Ready ticket
+//!           │ miss
+//!           ▼
+//!  SingleFlight::claim ── Led ──► MissQueue ──► WorkerPool ──► tune_*_cold
+//!           │ Joined                                   │
+//!           ▼                                          ▼
+//!   ticket waits (waker) ◄────── complete() fans out ──┘
+//! ```
+//!
+//! Shard lifecycle is part of the same design: [`TuneService::add_shard`],
+//! [`TuneService::remove_shard`] and [`TuneService::replace_shard`] may
+//! run at any time, and a removed/replaced shard **fails its pending
+//! tickets** (decision `Served::Failed`) instead of stranding them --
+//! completion semantics and shard semantics are one contract. Whole-fleet
+//! persistence rides on the same lifecycle: [`TuneService::snapshot_all`]
+//! writes every shard's decision cache as a device-tagged v2 cache file
+//! and [`TuneService::restore_all`] reloads them into a freshly built
+//! service, so a restart serves its old working set from cache instead of
+//! re-tuning it.
+
+use crate::batch::{plan, Decision, Query, QueryShape, Served};
+use crate::single_flight::{FlightStats, Role, SingleFlight, Waiter};
+use crate::stats::{bump, Counters, RouterStats, ServiceStats};
+use crate::ticket::{OpenTickets, TicketCell, TuneTicket};
+use crate::workers::{Job, MissQueue, WorkerPool};
+use isaac_core::{IsaacTuner, OpKind, TuneKey, TunedChoice, WarmStartReport};
+use std::collections::BTreeMap;
+use std::path::Path;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+use std::time::Instant;
+
+/// What a flight hands its waiters: the decision (if any) and whether
+/// the leader actually ran the cold tune (`false` == it found the cache
+/// populated on entry, i.e. it raced a previous flight's completion).
+type FlightResult = (Option<TunedChoice>, bool);
+
+/// A tune that panics is retried this many times in total before its
+/// flight is failed (the first attempt plus two retries).
+const MAX_TUNE_ATTEMPTS: u32 = 3;
+
+/// The tuners of one device.
+#[derive(Debug, Default)]
+struct Shard {
+    gemm: Option<Arc<IsaacTuner>>,
+    conv: Option<Arc<IsaacTuner>>,
+}
+
+impl Shard {
+    fn tuner(&self, op: OpKind) -> Option<&Arc<IsaacTuner>> {
+        match op {
+            OpKind::Gemm => self.gemm.as_ref(),
+            OpKind::Conv => self.conv.as_ref(),
+        }
+    }
+
+    fn slot_mut(&mut self, op: OpKind) -> &mut Option<Arc<IsaacTuner>> {
+        match op {
+            OpKind::Gemm => &mut self.gemm,
+            OpKind::Conv => &mut self.conv,
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        self.gemm.is_none() && self.conv.is_none()
+    }
+}
+
+/// Aggregate outcome of [`TuneService::snapshot_all`] /
+/// [`TuneService::restore_all`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SnapshotReport {
+    /// Cache files written (snapshot) or read (restore).
+    pub files: usize,
+    /// Decisions persisted (snapshot) or merged (restore).
+    pub entries: usize,
+    /// Malformed / wrong-operation lines skipped during restore.
+    pub skipped: usize,
+    /// Snapshot files whose `(device, op)` has no registered shard to
+    /// restore into (restore only).
+    pub unmatched: usize,
+}
+
+/// Gauges owned by the service core (the open-ticket gauge lives in
+/// [`OpenTickets`] so ticket cells can carry it).
+#[derive(Debug, Default)]
+struct Gauges {
+    jobs_run: AtomicU64,
+    jobs_cancelled: AtomicU64,
+    tune_retries: AtomicU64,
+    queue_wait_ns: AtomicU64,
+}
+
+/// Shared state behind the service front door; workers hold an `Arc` of
+/// this, so the core outlives any user-facing [`TuneService`] handle
+/// until the pool has drained.
+struct ServiceCore {
+    shards: RwLock<BTreeMap<u16, Shard>>,
+    flights: SingleFlight<TuneKey, FlightResult>,
+    counters: Counters,
+    queue: MissQueue,
+    gauges: Gauges,
+    tickets: Arc<OpenTickets>,
+    /// Fault injection for the leader-panic tests: each queued unit
+    /// makes the next tune attempt panic (see
+    /// [`TuneService::inject_tune_panics`]).
+    fail_tunes: AtomicU32,
+}
+
+impl std::fmt::Debug for ServiceCore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServiceCore")
+            .field("devices", &self.device_ids())
+            .field("flights", &self.flights)
+            .field("queue_depth", &self.queue.depth())
+            .finish()
+    }
+}
+
+/// Outcome of the lock-free-ish fast path: either the query is fully
+/// served, or we have the shard tuner in hand for the miss path.
+enum FastPath {
+    Done(Decision),
+    Miss(Arc<IsaacTuner>),
+}
+
+impl ServiceCore {
+    fn device_ids(&self) -> Vec<u16> {
+        self.shards
+            .read()
+            .expect("shard map poisoned")
+            .keys()
+            .copied()
+            .collect()
+    }
+
+    fn shard_tuner(&self, device: u16, op: OpKind) -> Option<Arc<IsaacTuner>> {
+        self.shards
+            .read()
+            .expect("shard map poisoned")
+            .get(&device)?
+            .tuner(op)
+            .cloned()
+    }
+
+    /// Serve a query from the shard map and cache alone, counting the
+    /// outcome; a `Miss` needs the flight/queue path.
+    fn fast_path(&self, query: &Query, key: &TuneKey) -> FastPath {
+        let Some(tuner) = self.shard_tuner(query.device, query.op()) else {
+            bump(&self.counters.no_shard, 1);
+            return FastPath::Done(Decision {
+                choice: None,
+                served: Served::NoShard,
+            });
+        };
+        match tuner.cache().get(key) {
+            Some(hit) => {
+                bump(&self.counters.cache_hits, 1);
+                FastPath::Done(Decision {
+                    choice: Some(hit),
+                    served: Served::Cache,
+                })
+            }
+            None => FastPath::Miss(tuner),
+        }
+    }
+
+    /// Build the flight waiter that resolves `cell` once the flight
+    /// lands. The role decides how the decision reads: the leader owns
+    /// the tune (`Tuned`, or `Cache` when the leader-side re-peek found
+    /// the key already published), joiners coalesced. A failed flight
+    /// (`None` outcome) counts itself *before* resolving the cell, so a
+    /// caller woken by the failure observes it in the stats.
+    fn ticket_waiter(
+        self: &Arc<Self>,
+        cell: Arc<TicketCell>,
+    ) -> impl FnOnce(Role) -> Waiter<FlightResult> {
+        let core = Arc::clone(self);
+        move |role| {
+            Box::new(move |outcome: Option<FlightResult>| {
+                let decision = match outcome {
+                    Some((choice, was_cold)) => Decision {
+                        choice,
+                        served: match role {
+                            Role::Led if was_cold => Served::Tuned,
+                            Role::Led => Served::Cache,
+                            Role::Joined => Served::Coalesced,
+                        },
+                    },
+                    None => {
+                        bump(&core.counters.failed, 1);
+                        Decision {
+                            choice: None,
+                            served: Served::Failed,
+                        }
+                    }
+                };
+                cell.resolve(decision);
+            })
+        }
+    }
+
+    /// Register a miss on the single-flight table. Returns the pending
+    /// ticket plus the job to enqueue if this claim opened the flight --
+    /// the caller pushes it (possibly after registering more waiters;
+    /// nothing can complete the flight before the job is queued).
+    /// `count_join` distinguishes genuinely concurrent joiners (counted
+    /// as `coalesced`) from in-batch duplicates (already counted as
+    /// `batch_deduped`).
+    fn register_miss(
+        self: &Arc<Self>,
+        tuner: Arc<IsaacTuner>,
+        shape: QueryShape,
+        key: TuneKey,
+        count_join: bool,
+    ) -> (TuneTicket, Option<Job>) {
+        let cell = Arc::new(TicketCell::new(Arc::clone(&self.tickets)));
+        let (role, flight) = self
+            .flights
+            .claim(key, self.ticket_waiter(Arc::clone(&cell)));
+        let job = match role {
+            Role::Led => Some(Job {
+                key,
+                flight,
+                tuner,
+                shape,
+                enqueued: Instant::now(),
+                attempts: 0,
+            }),
+            Role::Joined => {
+                if count_join {
+                    bump(&self.counters.coalesced, 1);
+                }
+                None
+            }
+        };
+        (TuneTicket::pending(cell), job)
+    }
+
+    /// Worker loop body: drain the queue until shutdown.
+    fn work(self: &Arc<Self>) {
+        while let Some(job) = self.queue.pop() {
+            self.run_job(job);
+        }
+    }
+
+    /// Execute one queued job: re-peek the cache under flight
+    /// leadership, cold-tune on a genuine miss, fan the result out to
+    /// every ticket. A panicking tune is caught (the worker survives),
+    /// counted, and retried up to [`MAX_TUNE_ATTEMPTS`]; past that the
+    /// flight fails its tickets.
+    ///
+    /// Completion always targets `(key, flight id)`, never the key
+    /// alone: keys recur (the same shape can miss again after a shard
+    /// swap re-opens it), so a stale job must not be able to complete a
+    /// *newer* flight with a decision computed on a replaced tuner.
+    fn run_job(self: &Arc<Self>, job: Job) {
+        if self.flights.pending_id(&job.key) != Some(job.flight) {
+            // This job's flight was cancelled (shard removal/
+            // replacement, shutdown) while the job sat queued; its
+            // tickets have already been failed. Any flight now pending
+            // under the key is a newer one with its own job.
+            self.gauges.jobs_cancelled.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        // The tuner captured at submission must still be the shard's
+        // current tuner: a submit that raced a remove/replace past the
+        // cancel sweep would otherwise serve a decision from hardware
+        // that was swapped out. Fail the flight like the sweep would
+        // have.
+        let current = self.shard_tuner(job.key.device, job.key.op);
+        if !current.is_some_and(|t| Arc::ptr_eq(&t, &job.tuner)) {
+            self.flights.cancel_if(&job.key, job.flight);
+            self.gauges.jobs_cancelled.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        let waited = job.enqueued.elapsed().as_nanos() as u64;
+        self.gauges
+            .queue_wait_ns
+            .fetch_add(waited, Ordering::Relaxed);
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            // Re-check under flight leadership: a submitter that lost
+            // the race between its cache miss and the flight claim would
+            // otherwise re-tune a key the previous flight has already
+            // published.
+            if let Some(hit) = job.tuner.cache().peek(&job.key) {
+                return (Some(hit), false);
+            }
+            if self
+                .fail_tunes
+                .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |n| n.checked_sub(1))
+                .is_ok()
+            {
+                panic!("injected tune panic (TuneService::inject_tune_panics)");
+            }
+            let choice = match job.shape {
+                QueryShape::Gemm(ref s) => job.tuner.tune_gemm_cold(s),
+                QueryShape::Conv(ref s) => job.tuner.tune_conv_cold(s),
+            };
+            (choice, true)
+        }));
+        match outcome {
+            Ok((choice, was_cold)) => {
+                if was_cold {
+                    bump(&self.counters.cold_tunes, 1);
+                } else {
+                    bump(&self.counters.cache_hits, 1);
+                }
+                self.gauges.jobs_run.fetch_add(1, Ordering::Relaxed);
+                self.flights
+                    .complete_if(&job.key, job.flight, (choice, was_cold));
+            }
+            Err(_) => {
+                // The flight entry (and its tickets) stays alive across
+                // the retry; only the panic is recorded.
+                self.flights.note_leader_panic();
+                let attempts = job.attempts + 1;
+                if attempts < MAX_TUNE_ATTEMPTS {
+                    self.gauges.tune_retries.fetch_add(1, Ordering::Relaxed);
+                    self.queue.push(Job {
+                        enqueued: Instant::now(),
+                        attempts,
+                        ..job
+                    });
+                } else {
+                    // The retry budget is spent: terminally fail the
+                    // tickets (each waiter counts itself into `failed`;
+                    // the crashes are already in `leader_panics`, so
+                    // this is not an administrative `cancelled`).
+                    self.flights.fail_if(&job.key, job.flight);
+                }
+            }
+        }
+    }
+
+    /// Cancel every pending flight matching `pred`, failing its tickets
+    /// (each ticket waiter counts itself into the `failed` stat).
+    fn fail_flights(&self, pred: impl Fn(&TuneKey) -> bool) -> usize {
+        self.flights.cancel_matching(pred)
+    }
+}
+
+/// The async-first serving front door; see the module docs.
+#[derive(Debug)]
+pub struct TuneService {
+    core: Arc<ServiceCore>,
+    pool: WorkerPool,
+}
+
+impl Default for TuneService {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TuneService {
+    /// A service with the default worker pool: one worker per rayon
+    /// thread (`RAYON_NUM_THREADS` honoured), capped at 8 -- cold tunes
+    /// already fan out internally, so the pool only needs enough width
+    /// to overlap distinct keys.
+    pub fn new() -> Self {
+        Self::with_workers(rayon::current_num_threads().clamp(1, 8))
+    }
+
+    /// A service with an explicit worker-pool width (clamped to >= 1).
+    pub fn with_workers(workers: usize) -> Self {
+        let core = Arc::new(ServiceCore {
+            shards: RwLock::new(BTreeMap::new()),
+            flights: SingleFlight::new(),
+            counters: Counters::default(),
+            queue: MissQueue::new(),
+            gauges: Gauges::default(),
+            tickets: Arc::new(OpenTickets::default()),
+            fail_tunes: AtomicU32::new(0),
+        });
+        let worker_core = Arc::clone(&core);
+        let pool = WorkerPool::spawn(workers, move || worker_core.work());
+        TuneService { core, pool }
+    }
+
+    /// Worker threads draining the miss queue.
+    pub fn workers(&self) -> usize {
+        self.pool.len()
+    }
+
+    // ---- shard lifecycle -------------------------------------------------
+
+    /// Register a tuner as the shard for `device` (slotted by the
+    /// tuner's operation kind). The tuner's cache keys are rebound to
+    /// the shard's device ordinal. If the slot was already occupied this
+    /// is a hot-swap: the previous tuner is replaced and its pending
+    /// flights fail their tickets (see [`TuneService::replace_shard`]).
+    pub fn add_shard(&self, device: u16, tuner: IsaacTuner) -> Arc<IsaacTuner> {
+        let (tuner, _old) = self.install_shard(device, tuner);
+        tuner
+    }
+
+    /// Hot-swap the shard for `device` / the tuner's op kind, returning
+    /// the replaced tuner (if any). Queries already in flight against
+    /// the old tuner are **failed** (`Served::Failed`), not silently
+    /// served from a device that no longer exists; queries submitted
+    /// after the swap tune on the new tuner.
+    pub fn replace_shard(&self, device: u16, tuner: IsaacTuner) -> Option<Arc<IsaacTuner>> {
+        self.install_shard(device, tuner).1
+    }
+
+    fn install_shard(
+        &self,
+        device: u16,
+        mut tuner: IsaacTuner,
+    ) -> (Arc<IsaacTuner>, Option<Arc<IsaacTuner>>) {
+        tuner.set_device_id(device);
+        let op = tuner.kind();
+        let tuner = Arc::new(tuner);
+        let old = {
+            let mut shards = self.core.shards.write().expect("shard map poisoned");
+            shards
+                .entry(device)
+                .or_default()
+                .slot_mut(op)
+                .replace(Arc::clone(&tuner))
+        };
+        if old.is_some() {
+            self.core
+                .fail_flights(|key| key.device == device && key.op == op);
+        }
+        (tuner, old)
+    }
+
+    /// Unregister the `(device, op)` shard, failing its pending tickets
+    /// (`Served::Failed`) rather than stranding them; queued jobs for
+    /// the shard are dropped when a worker reaches them. Returns the
+    /// removed tuner, whose cache can still be snapshotted or used to
+    /// warm-start a successor.
+    pub fn remove_shard(&self, device: u16, op: OpKind) -> Option<Arc<IsaacTuner>> {
+        let removed = {
+            let mut shards = self.core.shards.write().expect("shard map poisoned");
+            let shard = shards.get_mut(&device)?;
+            let removed = shard.slot_mut(op).take();
+            if shard.is_empty() {
+                shards.remove(&device);
+            }
+            removed
+        };
+        if removed.is_some() {
+            self.core
+                .fail_flights(|key| key.device == device && key.op == op);
+        }
+        removed
+    }
+
+    /// The tuner serving `(device, op)`, if registered.
+    pub fn shard_tuner(&self, device: u16, op: OpKind) -> Option<Arc<IsaacTuner>> {
+        self.core.shard_tuner(device, op)
+    }
+
+    /// Registered device ordinals, ascending.
+    pub fn devices(&self) -> Vec<u16> {
+        self.core.device_ids()
+    }
+
+    // ---- submission ------------------------------------------------------
+
+    /// Submit one query. Never blocks: a cache hit (or a refusal for an
+    /// unregistered shard) returns a pre-resolved ticket, a miss
+    /// enqueues the cold tune and returns a pending ticket that resolves
+    /// through the single-flight table -- concurrent submissions of the
+    /// same key share one tune no matter how many tickets watch it.
+    pub fn submit(&self, query: &Query) -> TuneTicket {
+        bump(&self.core.counters.queries, 1);
+        let key = query.key();
+        match self.core.fast_path(query, &key) {
+            FastPath::Done(decision) => TuneTicket::ready(decision),
+            FastPath::Miss(tuner) => {
+                let (ticket, job) = self.core.register_miss(tuner, query.shape, key, true);
+                if let Some(job) = job {
+                    self.core.queue.push(job);
+                }
+                ticket
+            }
+        }
+    }
+
+    /// Submit a batch, returning one ticket per query position.
+    /// Duplicate keys inside the batch are deduplicated: the first
+    /// occurrence of a cold key leads (or joins) the flight and its
+    /// duplicates register as waiters on the same flight, so the batch
+    /// costs one resolution per *unique* key. Duplicates of an inline
+    /// outcome (cache hit / no shard) read it truthfully; duplicates of
+    /// a cold tune read `Served::Coalesced`.
+    pub fn submit_batch(&self, queries: &[Query]) -> Vec<TuneTicket> {
+        bump(&self.core.counters.queries, queries.len() as u64);
+        bump(&self.core.counters.batches, 1);
+        let plan = plan(queries);
+        bump(&self.core.counters.batch_deduped, plan.deduped() as u64);
+
+        /// Per-unique outcome: an inline decision to clone into every
+        /// position, or the miss context duplicates join waiters on.
+        enum Unique {
+            Inline(Decision),
+            Pending {
+                ticket: Option<TuneTicket>,
+                tuner: Arc<IsaacTuner>,
+                shape: QueryShape,
+            },
+        }
+
+        // Resolve the uniques first, holding every Led job back until
+        // all in-batch waiters are registered: a flight cannot complete
+        // before its job is queued, so duplicates are guaranteed to join
+        // rather than accidentally re-lead.
+        let mut jobs = Vec::new();
+        let mut uniques: Vec<Unique> = plan
+            .uniques
+            .iter()
+            .zip(&plan.keys)
+            .map(|(&qi, key)| {
+                let query = &queries[qi];
+                match self.core.fast_path(query, key) {
+                    FastPath::Done(decision) => Unique::Inline(decision),
+                    FastPath::Miss(tuner) => {
+                        let (ticket, job) =
+                            self.core
+                                .register_miss(Arc::clone(&tuner), query.shape, *key, true);
+                        jobs.extend(job);
+                        Unique::Pending {
+                            ticket: Some(ticket),
+                            tuner,
+                            shape: query.shape,
+                        }
+                    }
+                }
+            })
+            .collect();
+
+        let tickets: Vec<TuneTicket> = plan
+            .slot_of
+            .iter()
+            .enumerate()
+            .map(|(i, &slot)| match &mut uniques[slot] {
+                Unique::Inline(decision) => TuneTicket::ready(decision.clone()),
+                Unique::Pending {
+                    ticket,
+                    tuner,
+                    shape,
+                } => {
+                    if plan.uniques[slot] == i {
+                        ticket.take().expect("first occurrence takes its ticket")
+                    } else {
+                        // In-batch duplicate: its own waiter on the same
+                        // flight (counted by `batch_deduped`, not
+                        // `coalesced`).
+                        let (ticket, job) = self.core.register_miss(
+                            Arc::clone(tuner),
+                            *shape,
+                            plan.keys[slot],
+                            false,
+                        );
+                        jobs.extend(job);
+                        ticket
+                    }
+                }
+            })
+            .collect();
+
+        for job in jobs {
+            self.core.queue.push(job);
+        }
+        tickets
+    }
+
+    // ---- snapshot / restore ----------------------------------------------
+
+    /// Persist every shard's decision cache under `dir` (created if
+    /// missing), one device-tagged v2 cache file per `(device, op)`
+    /// shard, named [`snapshot_file_name`]. Pair with
+    /// [`TuneService::restore_all`] on the next boot so the restarted
+    /// service serves its old working set from cache.
+    pub fn snapshot_all(&self, dir: &Path) -> std::io::Result<SnapshotReport> {
+        std::fs::create_dir_all(dir)?;
+        let shards: Vec<(u16, OpKind, Arc<IsaacTuner>)> = {
+            let map = self.core.shards.read().expect("shard map poisoned");
+            map.iter()
+                .flat_map(|(&device, shard)| {
+                    [OpKind::Gemm, OpKind::Conv]
+                        .into_iter()
+                        .filter_map(move |op| shard.tuner(op).map(|t| (device, op, Arc::clone(t))))
+                })
+                .collect()
+        };
+        let mut report = SnapshotReport::default();
+        for (device, op, tuner) in shards {
+            tuner.save_cache(&dir.join(snapshot_file_name(device, op)))?;
+            report.files += 1;
+            report.entries += tuner.cache_len();
+        }
+        Ok(report)
+    }
+
+    /// Load every snapshot file in `dir` (written by
+    /// [`TuneService::snapshot_all`]) into the matching registered
+    /// shard. Files for unregistered `(device, op)` pairs are counted in
+    /// [`SnapshotReport::unmatched`]; malformed lines inside a file are
+    /// counted in [`SnapshotReport::skipped`].
+    pub fn restore_all(&self, dir: &Path) -> std::io::Result<SnapshotReport> {
+        let mut report = SnapshotReport::default();
+        for entry in std::fs::read_dir(dir)? {
+            let entry = entry?;
+            let name = entry.file_name();
+            let Some((device, op)) = parse_snapshot_file_name(&name.to_string_lossy()) else {
+                continue;
+            };
+            match self.shard_tuner(device, op) {
+                Some(tuner) => {
+                    let loaded = tuner.load_cache(&entry.path())?;
+                    report.files += 1;
+                    report.entries += loaded.loaded;
+                    report.skipped += loaded.skipped;
+                }
+                None => report.unmatched += 1,
+            }
+        }
+        Ok(report)
+    }
+
+    // ---- warm start ------------------------------------------------------
+
+    /// Seed the `(target, op)` shard's cache from the `(source, op)`
+    /// shard's decisions; see `IsaacTuner::warm_start`. Returns `None`
+    /// if either shard is missing.
+    pub fn warm_start(
+        &self,
+        target: u16,
+        source: u16,
+        op: OpKind,
+        top_k: usize,
+    ) -> Option<WarmStartReport> {
+        let src = self.shard_tuner(source, op)?;
+        let dst = self.shard_tuner(target, op)?;
+        let neighbour: Vec<_> = src
+            .cache()
+            .entries()
+            .into_iter()
+            .map(|(key, choice, _hits)| (key, choice))
+            .collect();
+        Some(dst.warm_start(&neighbour, top_k))
+    }
+
+    // ---- control & introspection -----------------------------------------
+
+    /// Pause the worker pool: submissions keep queueing and tickets stay
+    /// pending, but no new cold tunes start (quiesce for maintenance /
+    /// deterministic tests). Resume with [`TuneService::resume`].
+    pub fn pause(&self) {
+        self.core.queue.set_paused(true);
+    }
+
+    /// Resume a paused worker pool.
+    pub fn resume(&self) {
+        self.core.queue.set_paused(false);
+    }
+
+    /// Serving counters (same schema as the deprecated router's).
+    pub fn stats(&self) -> RouterStats {
+        self.core.counters.snapshot()
+    }
+
+    /// Single-flight counters, including leader panics.
+    pub fn flight_stats(&self) -> FlightStats {
+        self.core.flights.stats()
+    }
+
+    /// Flights currently pending (unique keys being tuned or queued).
+    pub fn in_flight(&self) -> usize {
+        self.core.flights.in_flight()
+    }
+
+    /// Queue / ticket gauges of the async path.
+    pub fn service_stats(&self) -> ServiceStats {
+        ServiceStats {
+            open_tickets: self.core.tickets.open(),
+            peak_open_tickets: self.core.tickets.peak(),
+            queue_depth: self.core.queue.depth() as u64,
+            jobs_run: self.core.gauges.jobs_run.load(Ordering::Relaxed),
+            jobs_cancelled: self.core.gauges.jobs_cancelled.load(Ordering::Relaxed),
+            tune_retries: self.core.gauges.tune_retries.load(Ordering::Relaxed),
+            queue_wait_s_total: self.core.gauges.queue_wait_ns.load(Ordering::Relaxed) as f64 / 1e9,
+        }
+    }
+
+    /// Make the next `count` tune attempts panic inside the worker pool.
+    /// Fault injection for exercising the leader-panic/retry path at the
+    /// service level; not part of the serving API.
+    #[doc(hidden)]
+    pub fn inject_tune_panics(&self, count: u32) {
+        self.core.fail_tunes.store(count, Ordering::Relaxed);
+    }
+}
+
+impl Drop for TuneService {
+    fn drop(&mut self) {
+        // Stop the queue, then fail every still-pending flight so no
+        // ticket (held by another thread) blocks forever; the pool field
+        // joins the workers after this body returns. An in-flight tune
+        // finishing after the cancel publishes to the cache but finds no
+        // flight -- harmless.
+        let orphaned = self.core.queue.begin_shutdown();
+        drop(orphaned);
+        self.core.fail_flights(|_| true);
+    }
+}
+
+/// Snapshot file name for one `(device, op)` shard:
+/// `shard-<device>-<op>.cache`.
+pub fn snapshot_file_name(device: u16, op: OpKind) -> String {
+    format!("shard-{device}-{op}.cache")
+}
+
+/// Inverse of [`snapshot_file_name`]; `None` for foreign files.
+pub fn parse_snapshot_file_name(name: &str) -> Option<(u16, OpKind)> {
+    let rest = name.strip_prefix("shard-")?.strip_suffix(".cache")?;
+    let (device, op) = rest.split_once('-')?;
+    let device = device.parse().ok()?;
+    let op = match op {
+        "gemm" => OpKind::Gemm,
+        "conv" => OpKind::Conv,
+        _ => return None,
+    };
+    Some((device, op))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_file_names_roundtrip() {
+        for (device, op) in [(0, OpKind::Gemm), (7, OpKind::Conv), (65535, OpKind::Gemm)] {
+            let name = snapshot_file_name(device, op);
+            assert_eq!(parse_snapshot_file_name(&name), Some((device, op)));
+        }
+        assert_eq!(parse_snapshot_file_name("shard-1-gemm.txt"), None);
+        assert_eq!(parse_snapshot_file_name("shard-x-gemm.cache"), None);
+        assert_eq!(parse_snapshot_file_name("shard-1-sgemm.cache"), None);
+        assert_eq!(parse_snapshot_file_name("model.txt"), None);
+    }
+}

@@ -1,20 +1,33 @@
 //! Single-flight request coalescing: concurrent computations for the
 //! same key collapse into one.
 //!
-//! The first caller to miss on a key becomes the **leader** and runs the
-//! (expensive) computation; callers arriving while it is in flight
-//! become **waiters** and block on the leader's result, which is handed
-//! to every waiter by value. No matter how many threads race a cold
-//! `TuneKey`, exactly one cold tune runs.
+//! The first caller to claim a key becomes the **leader** and is
+//! responsible for making the (expensive) computation happen; callers
+//! arriving while it is in flight become **waiters**. Waiters do not
+//! block inside the table: every claim registers a *waiter callback*
+//! that is invoked with the leader's value when the flight completes
+//! (or with `None` if it aborts), so the same primitive backs both the
+//! blocking [`SingleFlight::run`] compatibility path and the
+//! poll/notify ticket front door ([`crate::TuneService`]) -- a ticket's
+//! callback stores the decision and wakes a [`std::task::Waker`], a
+//! blocking caller's callback fills a condvar cell.
 //!
 //! A flight exists only while its computation is in flight -- this is
 //! *coalescing*, not memoization. Callers are expected to consult their
 //! cache first and again publish the result there; the flight table only
 //! bridges the window between the first miss and the cache insert.
 //!
-//! If a leader panics, its flight is marked aborted (via a drop guard),
-//! waiters wake up and race to become the new leader, and the panic
-//! propagates in the original leader's thread only.
+//! Failure paths are explicit and counted in [`FlightStats`]:
+//!
+//! * a leader that panics mid-computation **aborts** the flight
+//!   ([`SingleFlight::abort`], `leader_panics` counter): waiters are
+//!   notified with `None` and may race to re-lead (the blocking `run`
+//!   path) or be retried centrally (the service's worker pool, which
+//!   keeps the entry alive across retries and only aborts after the
+//!   retry budget is spent);
+//! * an administrative **cancel** ([`SingleFlight::cancel`], e.g. the
+//!   flight's device shard was removed) also hands waiters `None`, but
+//!   is counted separately -- a hot-swap is not a crash.
 
 use std::collections::hash_map::Entry;
 use std::collections::HashMap;
@@ -22,23 +35,32 @@ use std::hash::Hash;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 
-/// How a [`SingleFlight::run`] call obtained its value.
+/// How a caller's claim on a flight was resolved.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Role {
-    /// This caller ran the computation.
+    /// This caller opened the flight and is responsible for its
+    /// completion (by computing inline, or by scheduling work that
+    /// eventually calls [`SingleFlight::complete`]).
     Led,
-    /// This caller joined an in-flight computation and got the leader's
-    /// result.
+    /// This caller joined an in-flight computation and will receive the
+    /// leader's result.
     Joined,
 }
 
-/// Lead/join counters of a [`SingleFlight`] table.
+/// Counters of a [`SingleFlight`] table.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct FlightStats {
-    /// Computations actually run.
+    /// Flights opened (computations made the caller's responsibility).
     pub led: u64,
     /// Calls that coalesced onto an in-flight computation.
     pub joined: u64,
+    /// Flights aborted because their leader panicked. Until PR 4 the
+    /// abort+retry dance was invisible in stats; now every leader panic
+    /// is recorded here even when a retry later succeeds.
+    pub leader_panics: u64,
+    /// Flights cancelled administratively (shard removal/replacement,
+    /// service shutdown) -- their waiters were failed, not retried.
+    pub cancelled: u64,
 }
 
 impl FlightStats {
@@ -53,72 +75,82 @@ impl FlightStats {
     }
 }
 
-enum FlightState<V> {
-    Pending,
-    Done(V),
-    /// The leader panicked before publishing.
-    Aborted,
+/// A waiter callback: invoked exactly once with `Some(value)` when the
+/// flight completes, or `None` when it aborts or is cancelled. Always
+/// invoked *outside* the table lock.
+pub type Waiter<V> = Box<dyn FnOnce(Option<V>) + Send>;
+
+/// Identity of one flight: keys recur (the same shape misses again
+/// after an eviction or a shard swap), flight ids never do. Completion
+/// paths that may act on *stale* context (a queued job whose shard was
+/// hot-swapped) target `(key, id)` so they can never touch a newer
+/// flight for the same key.
+pub type FlightId = u64;
+
+struct FlightEntry<V> {
+    id: FlightId,
+    waiters: Vec<Waiter<V>>,
 }
 
-struct Flight<V> {
-    state: Mutex<FlightState<V>>,
+/// Blocking wait cell used by the [`SingleFlight::run`] compatibility
+/// path: a waiter callback fills it, the joining thread sleeps on the
+/// condvar.
+struct WaitCell<V> {
+    slot: Mutex<Option<Option<V>>>,
     cv: Condvar,
 }
 
-impl<V: Clone> Flight<V> {
+impl<V> WaitCell<V> {
     fn new() -> Self {
-        Flight {
-            state: Mutex::new(FlightState::Pending),
+        WaitCell {
+            slot: Mutex::new(None),
             cv: Condvar::new(),
         }
     }
 
-    fn publish(&self, state: FlightState<V>) {
-        *self.state.lock().expect("flight poisoned") = state;
+    fn fill(&self, value: Option<V>) {
+        *self.slot.lock().expect("wait cell poisoned") = Some(value);
         self.cv.notify_all();
     }
 
-    /// Block until the leader publishes; `None` if the flight aborted.
     fn wait(&self) -> Option<V> {
-        let mut state = self.state.lock().expect("flight poisoned");
+        let mut slot = self.slot.lock().expect("wait cell poisoned");
         loop {
-            match &*state {
-                FlightState::Pending => {
-                    state = self.cv.wait(state).expect("flight poisoned");
-                }
-                FlightState::Done(v) => return Some(v.clone()),
-                FlightState::Aborted => return None,
+            if let Some(value) = slot.take() {
+                return value;
             }
+            slot = self.cv.wait(slot).expect("wait cell poisoned");
         }
     }
 }
 
-/// Marks the flight aborted and frees its table slot if the leader
+/// Aborts the flight (counting the leader panic) if an inline leader
 /// unwinds before publishing.
-struct LeaderGuard<'a, K: Eq + Hash + Clone, V: Clone> {
+struct LeaderGuard<'a, K: Eq + Hash + Clone, V: Clone + Send + 'static> {
     table: &'a SingleFlight<K, V>,
     key: &'a K,
-    flight: &'a Arc<Flight<V>>,
     armed: bool,
 }
 
-impl<K: Eq + Hash + Clone, V: Clone> Drop for LeaderGuard<'_, K, V> {
+impl<K: Eq + Hash + Clone, V: Clone + Send + 'static> Drop for LeaderGuard<'_, K, V> {
     fn drop(&mut self) {
         if self.armed {
-            self.flight.publish(FlightState::Aborted);
-            self.table.remove(self.key);
+            self.table.abort(self.key);
         }
     }
 }
 
 /// A table of in-flight computations keyed by `K`; see the module docs.
 pub struct SingleFlight<K, V> {
-    inflight: Mutex<HashMap<K, Arc<Flight<V>>>>,
+    inflight: Mutex<HashMap<K, FlightEntry<V>>>,
+    next_id: AtomicU64,
     led: AtomicU64,
     joined: AtomicU64,
+    leader_panics: AtomicU64,
+    cancelled: AtomicU64,
 }
 
-impl<K: Eq + Hash + Clone, V: Clone> Default for SingleFlight<K, V> {
+impl<K: Eq + Hash + Clone, V: Clone + Send + 'static> Default for SingleFlight<K, V> {
     fn default() -> Self {
         Self::new()
     }
@@ -129,69 +161,269 @@ impl<K, V> std::fmt::Debug for SingleFlight<K, V> {
         f.debug_struct("SingleFlight")
             .field("led", &self.led.load(Ordering::Relaxed))
             .field("joined", &self.joined.load(Ordering::Relaxed))
+            .field("leader_panics", &self.leader_panics.load(Ordering::Relaxed))
+            .field("cancelled", &self.cancelled.load(Ordering::Relaxed))
             .finish()
     }
 }
 
-impl<K: Eq + Hash + Clone, V: Clone> SingleFlight<K, V> {
+impl<K: Eq + Hash + Clone, V: Clone + Send + 'static> SingleFlight<K, V> {
     /// Empty flight table.
     pub fn new() -> Self {
         SingleFlight {
             inflight: Mutex::new(HashMap::new()),
+            next_id: AtomicU64::new(0),
             led: AtomicU64::new(0),
             joined: AtomicU64::new(0),
+            leader_panics: AtomicU64::new(0),
+            cancelled: AtomicU64::new(0),
         }
     }
 
-    /// Compute `f()` for `key`, coalescing with any computation already
-    /// in flight for the same key: exactly one caller (the returned
-    /// [`Role::Led`]) runs `f`; everyone else blocks and receives the
-    /// leader's value.
-    pub fn run(&self, key: K, f: impl FnOnce() -> V) -> (V, Role) {
-        loop {
-            let ticket = {
-                let mut map = self.inflight.lock().expect("flight table poisoned");
-                match map.entry(key.clone()) {
-                    Entry::Occupied(e) => Err(Arc::clone(e.get())),
-                    Entry::Vacant(slot) => {
-                        let flight = Arc::new(Flight::new());
-                        slot.insert(Arc::clone(&flight));
-                        Ok(flight)
-                    }
-                }
-            };
-            match ticket {
-                Ok(flight) => {
-                    self.led.fetch_add(1, Ordering::Relaxed);
-                    let mut guard = LeaderGuard {
-                        table: self,
-                        key: &key,
-                        flight: &flight,
-                        armed: true,
-                    };
-                    let value = f();
-                    guard.armed = false;
-                    flight.publish(FlightState::Done(value.clone()));
-                    self.remove(&key);
-                    return (value, Role::Led);
-                }
-                Err(flight) => {
-                    self.joined.fetch_add(1, Ordering::Relaxed);
-                    match flight.wait() {
-                        Some(value) => return (value, Role::Joined),
-                        // Leader aborted: race for leadership again.
-                        None => continue,
-                    }
-                }
+    fn fresh_id(&self) -> FlightId {
+        self.next_id.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Claim the flight for `key`, registering a waiter either way, and
+    /// return the flight's identity along with the role.
+    ///
+    /// `make` is invoked (under the table lock, so keep it cheap) with
+    /// the role the claim resolved to, and must return the waiter
+    /// callback that will receive the flight's outcome. A [`Role::Led`]
+    /// return makes the caller responsible for the flight's completion:
+    /// it must arrange for [`SingleFlight::complete_if`] (targeting the
+    /// returned id), [`SingleFlight::cancel`] or
+    /// [`SingleFlight::fail_if`] to eventually run, or every waiter
+    /// leaks.
+    pub fn claim(&self, key: K, make: impl FnOnce(Role) -> Waiter<V>) -> (Role, FlightId) {
+        let mut map = self.inflight.lock().expect("flight table poisoned");
+        match map.entry(key) {
+            Entry::Vacant(slot) => {
+                let id = self.fresh_id();
+                slot.insert(FlightEntry {
+                    id,
+                    waiters: vec![make(Role::Led)],
+                });
+                self.led.fetch_add(1, Ordering::Relaxed);
+                (Role::Led, id)
+            }
+            Entry::Occupied(mut entry) => {
+                entry.get_mut().waiters.push(make(Role::Joined));
+                self.joined.fetch_add(1, Ordering::Relaxed);
+                (Role::Joined, entry.get().id)
             }
         }
     }
 
-    fn remove(&self, key: &K) {
+    /// Complete the flight for `key`: every registered waiter receives a
+    /// clone of `value` (outside the table lock) and the slot is freed.
+    /// Returns the number of waiters served; 0 if no flight existed
+    /// (it was cancelled, or completed by someone else).
+    pub fn complete(&self, key: &K, value: V) -> usize {
+        match self.take(key) {
+            Some(entry) => {
+                let n = entry.waiters.len();
+                for waiter in entry.waiters {
+                    waiter(Some(value.clone()));
+                }
+                n
+            }
+            None => 0,
+        }
+    }
+
+    /// [`SingleFlight::complete`] targeting one specific flight: a
+    /// no-op (returning 0) unless the pending flight for `key` is
+    /// exactly `id`, so a completer holding stale context can never
+    /// resolve a newer flight that reuses the key.
+    pub fn complete_if(&self, key: &K, id: FlightId, value: V) -> usize {
+        match self.take_if(key, id) {
+            Some(entry) => {
+                let n = entry.waiters.len();
+                for waiter in entry.waiters {
+                    waiter(Some(value.clone()));
+                }
+                n
+            }
+            None => 0,
+        }
+    }
+
+    /// Abort the flight after a leader panic: waiters receive `None`,
+    /// the slot is freed, and the panic is counted in
+    /// [`FlightStats::leader_panics`]. Returns the number of waiters
+    /// notified.
+    pub fn abort(&self, key: &K) -> usize {
+        self.leader_panics.fetch_add(1, Ordering::Relaxed);
+        self.take(key).map_or(0, |entry| Self::fail_entry(entry))
+    }
+
+    /// Record a leader panic *without* tearing the flight down -- used
+    /// by the service's worker pool, which keeps the entry (and its
+    /// registered tickets) alive while it retries the computation.
+    pub fn note_leader_panic(&self) {
+        self.leader_panics.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Cancel the flight administratively (shard removal, shutdown):
+    /// waiters receive `None`, counted in [`FlightStats::cancelled`].
+    /// Returns the number of waiters notified; a cancel with no pending
+    /// flight is an uncounted no-op.
+    pub fn cancel(&self, key: &K) -> usize {
+        match self.take(key) {
+            Some(entry) => {
+                // Count before notifying: a waiter woken by this cancel
+                // must observe it in the stats.
+                self.cancelled.fetch_add(1, Ordering::Relaxed);
+                Self::fail_entry(entry)
+            }
+            None => 0,
+        }
+    }
+
+    /// [`SingleFlight::cancel`] targeting one specific flight (see
+    /// [`SingleFlight::complete_if`]); a no-op unless the pending flight
+    /// for `key` is exactly `id`.
+    pub fn cancel_if(&self, key: &K, id: FlightId) -> usize {
+        match self.take_if(key, id) {
+            Some(entry) => {
+                self.cancelled.fetch_add(1, Ordering::Relaxed);
+                Self::fail_entry(entry)
+            }
+            None => 0,
+        }
+    }
+
+    /// Terminally fail one specific flight *without* the administrative
+    /// `cancelled` count: the retry-budget-exhausted path, whose crashes
+    /// are already recorded in [`FlightStats::leader_panics`] (a repeat
+    /// panic is not a hot-swap). Waiters receive `None`.
+    pub fn fail_if(&self, key: &K, id: FlightId) -> usize {
+        match self.take_if(key, id) {
+            Some(entry) => Self::fail_entry(entry),
+            None => 0,
+        }
+    }
+
+    /// The id of the pending flight for `key`, if any.
+    pub fn pending_id(&self, key: &K) -> Option<FlightId> {
         self.inflight
             .lock()
             .expect("flight table poisoned")
-            .remove(key);
+            .get(key)
+            .map(|entry| entry.id)
+    }
+
+    /// Cancel every pending flight whose key matches `pred` (e.g. all
+    /// flights addressed to a removed device shard). Returns the total
+    /// number of waiters notified across the cancelled flights.
+    pub fn cancel_matching(&self, pred: impl Fn(&K) -> bool) -> usize {
+        let doomed: Vec<(K, FlightEntry<V>)> = {
+            let mut map = self.inflight.lock().expect("flight table poisoned");
+            let keys: Vec<K> = map.keys().filter(|k| pred(k)).cloned().collect();
+            keys.into_iter()
+                .filter_map(|k| map.remove(&k).map(|e| (k, e)))
+                .collect()
+        };
+        let mut notified = 0;
+        for (_, entry) in doomed {
+            self.cancelled.fetch_add(1, Ordering::Relaxed);
+            notified += entry.waiters.len();
+            for waiter in entry.waiters {
+                waiter(None);
+            }
+        }
+        notified
+    }
+
+    /// Remove the flight entry, if pending.
+    fn take(&self, key: &K) -> Option<FlightEntry<V>> {
+        self.inflight
+            .lock()
+            .expect("flight table poisoned")
+            .remove(key)
+    }
+
+    /// Remove the flight entry only if it is the flight `id`.
+    fn take_if(&self, key: &K, id: FlightId) -> Option<FlightEntry<V>> {
+        let mut map = self.inflight.lock().expect("flight table poisoned");
+        if map.get(key).is_some_and(|entry| entry.id == id) {
+            map.remove(key)
+        } else {
+            None
+        }
+    }
+
+    /// Hand every waiter of a removed entry `None`.
+    fn fail_entry(entry: FlightEntry<V>) -> usize {
+        let n = entry.waiters.len();
+        for waiter in entry.waiters {
+            waiter(None);
+        }
+        n
+    }
+
+    /// Whether a flight is currently pending for `key`.
+    pub fn contains(&self, key: &K) -> bool {
+        self.inflight
+            .lock()
+            .expect("flight table poisoned")
+            .contains_key(key)
+    }
+
+    /// Compute `f()` for `key`, coalescing with any computation already
+    /// in flight for the same key: exactly one caller (the returned
+    /// [`Role::Led`]) runs `f` inline; everyone else blocks and receives
+    /// the leader's value. The blocking compatibility path over the
+    /// callback primitives above -- if the leader panics, blocked
+    /// waiters wake and race to become the new leader.
+    pub fn run(&self, key: K, f: impl FnOnce() -> V) -> (V, Role) {
+        loop {
+            let wait_cell = {
+                let mut map = self.inflight.lock().expect("flight table poisoned");
+                match map.entry(key.clone()) {
+                    Entry::Vacant(slot) => {
+                        // Lead without a self-waiter: the value comes
+                        // straight back from `f`.
+                        let id = self.fresh_id();
+                        slot.insert(FlightEntry {
+                            id,
+                            waiters: Vec::new(),
+                        });
+                        self.led.fetch_add(1, Ordering::Relaxed);
+                        None
+                    }
+                    Entry::Occupied(mut entry) => {
+                        let cell = Arc::new(WaitCell::new());
+                        let filler = Arc::clone(&cell);
+                        entry
+                            .get_mut()
+                            .waiters
+                            .push(Box::new(move |v| filler.fill(v)));
+                        self.joined.fetch_add(1, Ordering::Relaxed);
+                        Some(cell)
+                    }
+                }
+            };
+            match wait_cell {
+                None => {
+                    let mut guard = LeaderGuard {
+                        table: self,
+                        key: &key,
+                        armed: true,
+                    };
+                    let value = f();
+                    guard.armed = false;
+                    self.complete(&key, value.clone());
+                    return (value, Role::Led);
+                }
+                Some(cell) => match cell.wait() {
+                    Some(value) => return (value, Role::Joined),
+                    // Leader aborted: race for leadership again.
+                    None => continue,
+                },
+            }
+        }
     }
 
     /// Number of computations currently in flight.
@@ -199,11 +431,13 @@ impl<K: Eq + Hash + Clone, V: Clone> SingleFlight<K, V> {
         self.inflight.lock().expect("flight table poisoned").len()
     }
 
-    /// Lead/join counters since construction.
+    /// Counters since construction.
     pub fn stats(&self) -> FlightStats {
         FlightStats {
             led: self.led.load(Ordering::Relaxed),
             joined: self.joined.load(Ordering::Relaxed),
+            leader_panics: self.leader_panics.load(Ordering::Relaxed),
+            cancelled: self.cancelled.load(Ordering::Relaxed),
         }
     }
 }
@@ -258,7 +492,8 @@ mod tests {
             flights.stats(),
             FlightStats {
                 led: 1,
-                joined: (THREADS - 1) as u64
+                joined: (THREADS - 1) as u64,
+                ..Default::default()
             }
         );
         assert_eq!(flights.in_flight(), 0, "flight slot is freed");
@@ -318,5 +553,92 @@ mod tests {
         // alive) or led outright (arrived after the abort).
         assert_eq!(role, Role::Led);
         assert_eq!(flights.in_flight(), 0);
+        assert_eq!(
+            flights.stats().leader_panics,
+            1,
+            "the abort is visible in stats even though the retry succeeded"
+        );
+    }
+
+    #[test]
+    fn claim_registers_waiters_and_complete_fans_out() {
+        let flights: SingleFlight<u32, u32> = SingleFlight::new();
+        let hits = Arc::new(AtomicUsize::new(0));
+        let waiter = |hits: &Arc<AtomicUsize>| -> Waiter<u32> {
+            let hits = Arc::clone(hits);
+            Box::new(move |v| {
+                assert_eq!(v, Some(99));
+                hits.fetch_add(1, Ordering::SeqCst);
+            })
+        };
+        let (role, id) = flights.claim(5, |_| waiter(&hits));
+        assert_eq!(role, Role::Led);
+        let (role, joined_id) = flights.claim(5, |_| waiter(&hits));
+        assert_eq!(role, Role::Joined);
+        assert_eq!(joined_id, id, "joiners see the leader's flight id");
+        assert_eq!(flights.claim(5, |_| waiter(&hits)).0, Role::Joined);
+        assert!(flights.contains(&5));
+        assert_eq!(flights.pending_id(&5), Some(id));
+        assert_eq!(flights.complete(&5, 99), 3, "all three waiters served");
+        assert_eq!(hits.load(Ordering::SeqCst), 3);
+        assert_eq!(flights.in_flight(), 0);
+        assert_eq!(flights.complete(&5, 99), 0, "second complete is a no-op");
+        let stats = flights.stats();
+        assert_eq!((stats.led, stats.joined), (1, 2));
+    }
+
+    #[test]
+    fn stale_flight_ids_cannot_touch_newer_flights() {
+        let flights: SingleFlight<u32, u32> = SingleFlight::new();
+        let got = Arc::new(Mutex::new(Vec::new()));
+        let waiter = |got: &Arc<Mutex<Vec<Option<u32>>>>| -> Waiter<u32> {
+            let got = Arc::clone(got);
+            Box::new(move |v| got.lock().unwrap().push(v))
+        };
+
+        // Flight A opens, is cancelled, and the key re-opens as flight B
+        // (the shard hot-swap shape).
+        let (_, a) = flights.claim(1, |_| waiter(&got));
+        assert_eq!(flights.cancel(&1), 1);
+        let (_, b) = flights.claim(1, |_| waiter(&got));
+        assert_ne!(a, b, "flight ids never recur");
+
+        // A's stale completer must not resolve B...
+        assert_eq!(flights.complete_if(&1, a, 7), 0);
+        assert_eq!(flights.cancel_if(&1, a), 0);
+        assert_eq!(flights.fail_if(&1, a), 0);
+        assert_eq!(flights.pending_id(&1), Some(b), "B still pending");
+        // ...while B's own completer does.
+        assert_eq!(flights.complete_if(&1, b, 9), 1);
+        assert_eq!(*got.lock().unwrap(), vec![None, Some(9)]);
+
+        // fail_if is terminal but not administrative: no `cancelled`.
+        let (_, c) = flights.claim(2, |_| waiter(&got));
+        assert_eq!(flights.fail_if(&2, c), 1);
+        let stats = flights.stats();
+        assert_eq!(stats.cancelled, 1, "only the explicit cancel counted");
+    }
+
+    #[test]
+    fn cancel_fails_waiters_and_counts_separately_from_panics() {
+        let flights: SingleFlight<u32, u32> = SingleFlight::new();
+        let outcomes = Arc::new(Mutex::new(Vec::new()));
+        for key in [1u32, 2, 3] {
+            let sink = Arc::clone(&outcomes);
+            flights.claim(key, |_| {
+                Box::new(move |v| sink.lock().unwrap().push((key, v)))
+            });
+        }
+        // Cancel keys > 1 (a "shard removal"), leaving key 1 in flight.
+        assert_eq!(flights.cancel_matching(|k| *k > 1), 2);
+        assert_eq!(flights.in_flight(), 1);
+        assert!(flights.contains(&1));
+        let got = outcomes.lock().unwrap().clone();
+        assert!(got.contains(&(2, None)) && got.contains(&(3, None)));
+        let stats = flights.stats();
+        assert_eq!(stats.cancelled, 2);
+        assert_eq!(stats.leader_panics, 0, "cancels are not crashes");
+        flights.complete(&1, 7);
+        assert_eq!(*outcomes.lock().unwrap().last().unwrap(), (1, Some(7)));
     }
 }

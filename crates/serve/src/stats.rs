@@ -1,4 +1,4 @@
-//! Router-level serving counters.
+//! Router- and service-level serving counters.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -12,6 +12,7 @@ pub(crate) struct Counters {
     pub coalesced: AtomicU64,
     pub batch_deduped: AtomicU64,
     pub no_shard: AtomicU64,
+    pub failed: AtomicU64,
 }
 
 /// Relaxed add on a serving counter.
@@ -29,11 +30,13 @@ impl Counters {
             coalesced: self.coalesced.load(Ordering::Relaxed),
             batch_deduped: self.batch_deduped.load(Ordering::Relaxed),
             no_shard: self.no_shard.load(Ordering::Relaxed),
+            failed: self.failed.load(Ordering::Relaxed),
         }
     }
 }
 
-/// A snapshot of a router's serving counters.
+/// A snapshot of the serving counters ([`crate::TuneService::stats`],
+/// mirrored by the deprecated [`crate::TunerRouter::stats`]).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct RouterStats {
     /// Queries submitted (single and batched).
@@ -51,6 +54,10 @@ pub struct RouterStats {
     pub batch_deduped: u64,
     /// Queries addressed to an unregistered device/operation.
     pub no_shard: u64,
+    /// Tickets failed without a decision: their shard was removed or
+    /// replaced while the query was in flight, or the cold tune kept
+    /// panicking past the retry budget.
+    pub failed: u64,
 }
 
 impl RouterStats {
@@ -61,6 +68,41 @@ impl RouterStats {
             0.0
         } else {
             (self.batch_deduped + self.coalesced) as f64 / self.queries as f64
+        }
+    }
+}
+
+/// A snapshot of the async front door's queue and ticket gauges
+/// ([`crate::TuneService::service_stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ServiceStats {
+    /// Submitted misses whose tickets have not resolved yet.
+    pub open_tickets: u64,
+    /// High-water mark of `open_tickets` -- the most in-flight misses
+    /// the service has multiplexed at once.
+    pub peak_open_tickets: u64,
+    /// Jobs waiting in the miss queue right now.
+    pub queue_depth: u64,
+    /// Jobs the worker pool has completed (cold tunes plus leader-side
+    /// cache re-peek hits).
+    pub jobs_run: u64,
+    /// Jobs dropped because their flight was cancelled (shard removal /
+    /// replacement / shutdown) before a worker picked them up.
+    pub jobs_cancelled: u64,
+    /// Jobs re-queued after a tune panicked (see
+    /// [`crate::FlightStats::leader_panics`]).
+    pub tune_retries: u64,
+    /// Total seconds jobs spent queued before a worker picked them up.
+    pub queue_wait_s_total: f64,
+}
+
+impl ServiceStats {
+    /// Mean queue latency per executed job (0 when nothing ran).
+    pub fn avg_queue_wait_s(&self) -> f64 {
+        if self.jobs_run == 0 {
+            0.0
+        } else {
+            self.queue_wait_s_total / self.jobs_run as f64
         }
     }
 }
@@ -79,5 +121,16 @@ mod tests {
         };
         assert!((s.dedup_ratio() - 0.5).abs() < 1e-12);
         assert_eq!(RouterStats::default().dedup_ratio(), 0.0);
+    }
+
+    #[test]
+    fn avg_queue_wait_handles_idle_pools() {
+        assert_eq!(ServiceStats::default().avg_queue_wait_s(), 0.0);
+        let s = ServiceStats {
+            jobs_run: 4,
+            queue_wait_s_total: 2.0,
+            ..Default::default()
+        };
+        assert!((s.avg_queue_wait_s() - 0.5).abs() < 1e-12);
     }
 }

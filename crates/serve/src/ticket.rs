@@ -1,0 +1,230 @@
+//! Pollable tuning tickets: the non-blocking half of the serving API.
+//!
+//! [`crate::TuneService::submit`] returns a [`TuneTicket`] immediately:
+//! cache hits (and refusals) come back pre-resolved, misses resolve when
+//! the worker pool completes (or fails) the key's single-flight. A
+//! ticket can be consumed three ways, freely mixed:
+//!
+//! * [`TuneTicket::try_get`] -- non-blocking peek;
+//! * [`TuneTicket::wait`] -- block the calling thread (what the
+//!   deprecated [`crate::TunerRouter`] wrappers do);
+//! * [`TuneTicket::poll_decision`] / the [`Future`] impl -- register a
+//!   [`std::task::Waker`] and get woken on completion, so one OS thread
+//!   can multiplex arbitrarily many in-flight queries, and a ticket can
+//!   back a real `Future` under any executor without this crate taking
+//!   an executor dependency.
+//!
+//! Dropping an unresolved ticket is safe and cheap: the flight it
+//! joined keeps running for the other waiters (and still publishes into
+//! the decision cache), the ticket's registered waker is discarded
+//! *without being woken*, and the shared completion cell is freed once
+//! the flight fans out.
+
+use crate::batch::Decision;
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::task::{Context, Poll, Waker};
+
+/// Open-ticket gauge shared with the service: how many submitted misses
+/// have not resolved yet, plus the high-water mark. `open` increments at
+/// submission, decrements exactly once when the ticket's cell resolves
+/// (even if the user-facing handle was dropped earlier).
+#[derive(Debug, Default)]
+pub(crate) struct OpenTickets {
+    open: AtomicU64,
+    peak: AtomicU64,
+}
+
+impl OpenTickets {
+    fn opened(&self) {
+        let now = self.open.fetch_add(1, Ordering::Relaxed) + 1;
+        self.peak.fetch_max(now, Ordering::Relaxed);
+    }
+
+    fn resolved(&self) {
+        self.open.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    pub fn open(&self) -> u64 {
+        self.open.load(Ordering::Relaxed)
+    }
+
+    pub fn peak(&self) -> u64 {
+        self.peak.load(Ordering::Relaxed)
+    }
+}
+
+struct CellState {
+    decision: Option<Decision>,
+    waker: Option<Waker>,
+}
+
+/// The shared completion slot behind a pending ticket: the flight's
+/// waiter callback resolves it, the ticket handle polls/waits on it.
+pub(crate) struct TicketCell {
+    state: Mutex<CellState>,
+    cv: Condvar,
+    gauge: Arc<OpenTickets>,
+}
+
+impl TicketCell {
+    pub fn new(gauge: Arc<OpenTickets>) -> Self {
+        gauge.opened();
+        TicketCell {
+            state: Mutex::new(CellState {
+                decision: None,
+                waker: None,
+            }),
+            cv: Condvar::new(),
+            gauge,
+        }
+    }
+
+    /// Publish the decision: first resolution wins, later calls are
+    /// no-ops. The open-ticket gauge is decremented *before* the
+    /// decision becomes observable (a waiter woken by this resolution
+    /// must not read a stale gauge); the registered waker fires after
+    /// the state lock is released.
+    pub fn resolve(&self, decision: Decision) {
+        let waker = {
+            let mut state = self.state.lock().expect("ticket poisoned");
+            if state.decision.is_some() {
+                return;
+            }
+            self.gauge.resolved();
+            state.decision = Some(decision);
+            self.cv.notify_all();
+            state.waker.take()
+        };
+        if let Some(waker) = waker {
+            waker.wake();
+        }
+    }
+}
+
+enum Repr {
+    /// Resolved at submission (cache hit, missing shard): no shared
+    /// state, no allocation beyond the decision itself -- the cached-hit
+    /// path stays O(1) and lock-free at the ticket layer.
+    Ready(Decision),
+    Pending(Arc<TicketCell>),
+}
+
+/// A claim on one tuning decision; see the module docs.
+///
+/// The ticket is single-owner (not `Clone`): each submitted query
+/// position gets its own ticket, and concurrent submissions for the
+/// same key coalesce *behind* the tickets in the single-flight table,
+/// so N tickets on one contended key still cost exactly one cold tune.
+pub struct TuneTicket {
+    repr: Repr,
+}
+
+impl std::fmt::Debug for TuneTicket {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.repr {
+            Repr::Ready(d) => f.debug_struct("TuneTicket").field("ready", d).finish(),
+            Repr::Pending(_) => f.debug_struct("TuneTicket").field("ready", &false).finish(),
+        }
+    }
+}
+
+impl TuneTicket {
+    /// A ticket resolved at submission time.
+    pub(crate) fn ready(decision: Decision) -> Self {
+        TuneTicket {
+            repr: Repr::Ready(decision),
+        }
+    }
+
+    /// A ticket backed by a shared completion cell.
+    pub(crate) fn pending(cell: Arc<TicketCell>) -> Self {
+        TuneTicket {
+            repr: Repr::Pending(cell),
+        }
+    }
+
+    /// The decision, if the query has resolved. Never blocks.
+    pub fn try_get(&self) -> Option<Decision> {
+        match &self.repr {
+            Repr::Ready(d) => Some(d.clone()),
+            Repr::Pending(cell) => cell.state.lock().expect("ticket poisoned").decision.clone(),
+        }
+    }
+
+    /// Whether the query has resolved. Never blocks.
+    pub fn is_ready(&self) -> bool {
+        match &self.repr {
+            Repr::Ready(_) => true,
+            Repr::Pending(cell) => cell
+                .state
+                .lock()
+                .expect("ticket poisoned")
+                .decision
+                .is_some(),
+        }
+    }
+
+    /// Block the calling thread until the decision lands. This is the
+    /// migration shim for pre-ticket callers (`submit(q).wait()` is the
+    /// old blocking `submit`); new code should poll.
+    pub fn wait(&self) -> Decision {
+        match &self.repr {
+            Repr::Ready(d) => d.clone(),
+            Repr::Pending(cell) => {
+                let mut state = cell.state.lock().expect("ticket poisoned");
+                loop {
+                    if let Some(d) = &state.decision {
+                        return d.clone();
+                    }
+                    state = cell.cv.wait(state).expect("ticket poisoned");
+                }
+            }
+        }
+    }
+
+    /// Poll for the decision, registering `cx`'s waker to be woken on
+    /// completion if it is not ready yet. The waker-compatible core of
+    /// the [`Future`] impl, exposed separately so executor-less callers
+    /// (a hand-rolled poll loop multiplexing many tickets on one OS
+    /// thread) don't need `Pin`.
+    pub fn poll_decision(&self, cx: &mut Context<'_>) -> Poll<Decision> {
+        match &self.repr {
+            Repr::Ready(d) => Poll::Ready(d.clone()),
+            Repr::Pending(cell) => {
+                let mut state = cell.state.lock().expect("ticket poisoned");
+                if let Some(d) = &state.decision {
+                    return Poll::Ready(d.clone());
+                }
+                // Keep one registered waker: the latest poll wins, as
+                // futures contract requires.
+                match &state.waker {
+                    Some(w) if w.will_wake(cx.waker()) => {}
+                    _ => state.waker = Some(cx.waker().clone()),
+                }
+                Poll::Pending
+            }
+        }
+    }
+}
+
+impl Future for TuneTicket {
+    type Output = Decision;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Decision> {
+        self.poll_decision(cx)
+    }
+}
+
+impl Drop for TuneTicket {
+    fn drop(&mut self) {
+        // A dropped ticket must not wake a dead task: discard the waker
+        // we registered. The flight still resolves the cell (keeping the
+        // open-ticket gauge truthful); it just has no one left to wake.
+        if let Repr::Pending(cell) = &self.repr {
+            cell.state.lock().expect("ticket poisoned").waker = None;
+        }
+    }
+}

@@ -1,0 +1,158 @@
+//! The miss queue and its worker pool.
+//!
+//! [`crate::TuneService::submit`] never tunes on the caller's thread:
+//! a miss that wins its single-flight enqueues a [`Job`] here, and a
+//! small pool of worker threads drains the queue, runs the cold tunes
+//! (each of which still fans out internally through the rayon shim) and
+//! fans the results back to every registered ticket. The pool is sized
+//! from `rayon::current_num_threads()` by default, so `RAYON_NUM_THREADS`
+//! governs both layers of parallelism.
+//!
+//! The queue supports **pause/resume** (quiesce the tuning backend while
+//! hot-swapping shards without rejecting submissions; tickets simply
+//! stay pending) and an idempotent **shutdown** that drains queued jobs
+//! so `Drop` can fail their flights instead of stranding tickets.
+
+use isaac_core::{IsaacTuner, TuneKey};
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+
+use crate::batch::QueryShape;
+use crate::single_flight::FlightId;
+
+/// One queued cold-tune: everything a worker needs, captured at
+/// submission time so a later shard swap cannot redirect the work.
+pub(crate) struct Job {
+    pub key: TuneKey,
+    /// The flight this job was enqueued for: completion targets
+    /// `(key, flight)`, never the key alone, so a stale job can't
+    /// resolve a newer flight that reuses the key.
+    pub flight: FlightId,
+    pub tuner: Arc<IsaacTuner>,
+    pub shape: QueryShape,
+    /// When the job (re-)entered the queue, for the queue-latency gauge.
+    pub enqueued: Instant,
+    /// Tune attempts so far (0 on first submission; bumped on
+    /// panic-retry).
+    pub attempts: u32,
+}
+
+struct QueueState {
+    jobs: VecDeque<Job>,
+    paused: bool,
+    shutdown: bool,
+}
+
+/// The shared miss queue: a mutex-guarded deque plus a condvar workers
+/// sleep on.
+pub(crate) struct MissQueue {
+    state: Mutex<QueueState>,
+    cv: Condvar,
+}
+
+impl MissQueue {
+    pub fn new() -> Self {
+        MissQueue {
+            state: Mutex::new(QueueState {
+                jobs: VecDeque::new(),
+                paused: false,
+                shutdown: false,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Enqueue a job and wake one worker. Jobs pushed after shutdown are
+    /// dropped (their flights get cancelled by the service teardown).
+    pub fn push(&self, job: Job) {
+        let mut state = self.state.lock().expect("miss queue poisoned");
+        if state.shutdown {
+            return;
+        }
+        state.jobs.push_back(job);
+        drop(state);
+        self.cv.notify_one();
+    }
+
+    /// Block until a job is available (and the queue is unpaused), or
+    /// return `None` on shutdown.
+    pub fn pop(&self) -> Option<Job> {
+        let mut state = self.state.lock().expect("miss queue poisoned");
+        loop {
+            if state.shutdown {
+                return None;
+            }
+            if !state.paused {
+                if let Some(job) = state.jobs.pop_front() {
+                    return Some(job);
+                }
+            }
+            state = self.cv.wait(state).expect("miss queue poisoned");
+        }
+    }
+
+    /// Pause or resume job dispatch. Paused workers finish their current
+    /// job and then sleep; submissions keep queueing.
+    pub fn set_paused(&self, paused: bool) {
+        let mut state = self.state.lock().expect("miss queue poisoned");
+        state.paused = paused;
+        drop(state);
+        self.cv.notify_all();
+    }
+
+    /// Jobs currently queued.
+    pub fn depth(&self) -> usize {
+        self.state.lock().expect("miss queue poisoned").jobs.len()
+    }
+
+    /// Flip the queue into shutdown mode and return every undrained job
+    /// so the caller can fail their flights. Idempotent.
+    pub fn begin_shutdown(&self) -> Vec<Job> {
+        let mut state = self.state.lock().expect("miss queue poisoned");
+        state.shutdown = true;
+        let drained = state.jobs.drain(..).collect();
+        drop(state);
+        self.cv.notify_all();
+        drained
+    }
+}
+
+/// Owns the worker threads; joining happens on drop, *after* the
+/// service has signalled shutdown (see `TuneService::drop`).
+#[derive(Debug)]
+pub(crate) struct WorkerPool {
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Spawn `workers` threads running `work` until the queue shuts
+    /// down. `work` is the service core's job loop.
+    pub fn spawn(workers: usize, work: impl Fn() + Send + Sync + 'static) -> Self {
+        let work = Arc::new(work);
+        let handles = (0..workers.max(1))
+            .map(|i| {
+                let work = Arc::clone(&work);
+                std::thread::Builder::new()
+                    .name(format!("isaac-serve-worker-{i}"))
+                    .spawn(move || work())
+                    .expect("spawn serve worker")
+            })
+            .collect();
+        WorkerPool { handles }
+    }
+
+    pub fn len(&self) -> usize {
+        self.handles.len()
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        for handle in self.handles.drain(..) {
+            // A worker that panicked outside the catch_unwind perimeter
+            // already aborted its flight; don't double-panic the drop.
+            let _ = handle.join();
+        }
+    }
+}

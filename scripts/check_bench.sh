@@ -12,14 +12,20 @@
 #   3. the cold-tune cost (cold_serial_s_per_query) is within
 #      COLD_TOLERANCE x the committed baseline (default 5x -- extra
 #      generous: cold tunes are seconds-scale and noisy CI hosts swing
-#      wall-clock harder there than on the nanosecond cached path).
+#      wall-clock harder there than on the nanosecond cached path);
+#   4. the batched serving throughput (batched_qps, which now flows
+#      through the TuneService ticket path) stays within TOLERANCE of
+#      the committed BENCH_serving.json baseline -- qps is
+#      higher-is-better, so the guard is fresh >= baseline / tolerance.
 #
 # Usage:
-#   scripts/check_bench.sh [--baseline <file>] [--tolerance <factor>]
-#                          [--cold-tolerance <factor>]
+#   scripts/check_bench.sh [--baseline <file>] [--serving-baseline <file>]
+#                          [--tolerance <factor>] [--cold-tolerance <factor>]
 #
-# With no --baseline, the committed BENCH_inference.json is read from
-# git (HEAD), so the script works unchanged in CI and locally after
+# With no --baseline/--serving-baseline, the committed
+# BENCH_inference.json / BENCH_serving.json are read from git (origin's
+# default branch, falling back to HEAD), so the script works unchanged
+# in CI and locally after
 # `cargo bench -p isaac-bench --bench inference --bench serving --bench micro`.
 
 set -u
@@ -29,12 +35,14 @@ cd "$(dirname "$0")/.."
 TOLERANCE=3
 COLD_TOLERANCE=5
 BASELINE=""
+SERVING_BASELINE=""
 while [ $# -gt 0 ]; do
     case "$1" in
         --baseline) BASELINE="$2"; shift 2 ;;
+        --serving-baseline) SERVING_BASELINE="$2"; shift 2 ;;
         --tolerance) TOLERANCE="$2"; shift 2 ;;
         --cold-tolerance) COLD_TOLERANCE="$2"; shift 2 ;;
-        *) echo "usage: $0 [--baseline <file>] [--tolerance <factor>] [--cold-tolerance <factor>]" >&2; exit 2 ;;
+        *) echo "usage: $0 [--baseline <file>] [--serving-baseline <file>] [--tolerance <factor>] [--cold-tolerance <factor>]" >&2; exit 2 ;;
     esac
 done
 
@@ -80,7 +88,9 @@ validate BENCH_inference.json \
 validate BENCH_serving.json \
     threads shards batch_size one_at_a_time_qps batched_qps \
     batch_speedup dedup_ratio single_flight_led single_flight_joined \
-    cold_tune_s warm_start_s warm_start_speedup warm_seeded
+    leader_panics cold_tune_s warm_start_s warm_start_speedup warm_seeded \
+    async_in_flight async_unique_cold async_cold_wall_s \
+    async_queue_latency_s async_cached_qps
 
 validate BENCH_micro.json \
     mul_bt_naive_s mul_bt_tiled_s mul_bt_naive_gflops \
@@ -88,9 +98,25 @@ validate BENCH_micro.json \
 
 # The cascade quality guard is a correctness bit, not a timing: fail
 # outright if the benchmark saw the cascade change a tuning decision.
+# (The cascade is on by default in TrainOptions since PR 4, so this
+# guard now covers the production path, not an opt-in.)
 cascade_ok=$(json_num BENCH_inference.json cascade_choice_matches)
 if [ "$cascade_ok" != "1" ]; then
     die "cascade_choice_matches=$cascade_ok: the cascade changed a tuning decision"
+fi
+
+# The async front door must actually multiplex: the in-flight ticket
+# high-water mark has to exceed the number of unique cold keys (64
+# tickets over 16 keys; submission is microseconds, tunes are
+# milliseconds, so a healthy run peaks near the full burst).
+async_peak=$(json_num BENCH_serving.json async_in_flight)
+async_unique=$(json_num BENCH_serving.json async_unique_cold)
+if [ -n "$async_peak" ] && [ -n "$async_unique" ]; then
+    if ! awk -v p="$async_peak" -v u="$async_unique" 'BEGIN { exit !(p > u) }'; then
+        die "async_in_flight=$async_peak did not exceed async_unique_cold=$async_unique: tickets are not multiplexing"
+    else
+        say "OK: async front door multiplexed $async_peak tickets over $async_unique cold keys"
+    fi
 fi
 
 # ---- regression guard: cached-hit cost vs. the committed baseline ----
@@ -98,8 +124,9 @@ fi
 # regressed JSON cannot be its own baseline), falling back to HEAD for
 # local runs without a remote.
 if [ -z "$BASELINE" ]; then
-    BASELINE=$(mktemp)
-    trap 'rm -f "$BASELINE"' EXIT
+    BASELINE_TMP=$(mktemp)
+    BASELINE="$BASELINE_TMP"
+    trap 'rm -f "${BASELINE_TMP:-}" "${SERVING_TMP:-}"' EXIT
     found=""
     for ref in origin/main origin/master HEAD; do
         if git show "$ref:BENCH_inference.json" > "$BASELINE" 2>/dev/null; then
@@ -135,6 +162,48 @@ guard() {
 if [ -n "$BASELINE" ] && [ "$fail" -eq 0 ]; then
     guard cached_s_per_query "$TOLERANCE" "cached hit"
     guard cold_serial_s_per_query "$COLD_TOLERANCE" "cold tune (serial)"
+fi
+
+# ---- regression guard: batched serving throughput (higher is better) --
+if [ -z "$SERVING_BASELINE" ]; then
+    SERVING_TMP=$(mktemp)
+    SERVING_BASELINE="$SERVING_TMP"
+    trap 'rm -f "${BASELINE_TMP:-}" "${SERVING_TMP:-}"' EXIT
+    found=""
+    for ref in origin/main origin/master HEAD; do
+        if git show "$ref:BENCH_serving.json" > "$SERVING_BASELINE" 2>/dev/null; then
+            say "serving baseline: BENCH_serving.json from $ref"
+            found=1
+            break
+        fi
+    done
+    if [ -z "$found" ]; then
+        say "SKIP: no committed BENCH_serving.json baseline found"
+        SERVING_BASELINE=""
+    fi
+fi
+
+# guard_qps KEY TOLERANCE LABEL -> throughput guard: fresh must stay
+# within 1/tolerance of the baseline (fresh >= base / tol).
+guard_qps() {
+    key="$1"; tol="$2"; label="$3"
+    fresh=$(json_num BENCH_serving.json "$key")
+    base=$(json_num "$SERVING_BASELINE" "$key")
+    if [ -z "$base" ]; then
+        say "SKIP: serving baseline has no $key"
+        return
+    fi
+    say "$label: fresh ${fresh} qps vs baseline ${base} qps (tolerance ${tol}x)"
+    if ! awk -v f="$fresh" -v b="$base" -v t="$tol" \
+            'BEGIN { exit !(f * t >= b) }'; then
+        die "$label throughput regressed: ${fresh} < ${base} / ${tol}"
+    else
+        say "OK: $label within tolerance"
+    fi
+}
+
+if [ -n "$SERVING_BASELINE" ] && [ "$fail" -eq 0 ]; then
+    guard_qps batched_qps "$TOLERANCE" "batched serving"
 fi
 
 if [ "$fail" -ne 0 ]; then

@@ -42,18 +42,23 @@
 //! stand-ins).
 //!
 //! Runtime tuning queries run on a parallel, allocation-free engine:
-//! exhaustive model search fans out across cores with bit-deterministic
-//! reductions, feature batches are built in place inside pooled scratch
-//! buffers (`isaac_mlp::ScratchSpace`), and decisions are memoized in a
-//! shape-keyed, `RwLock`-guarded `isaac_core::TuneCache` (a size-bounded
-//! LRU) -- so tuning methods take `&self` and a trained tuner can serve
-//! many threads. [`serve`] adds the deployment front door: a
-//! `TunerRouter` shards tuners per device, batches submissions with
-//! in-batch dedup, coalesces concurrent misses (single-flight), and
-//! warm-starts fresh shards from a neighbour's decisions.
-//! `cargo bench -p isaac-bench --bench inference` (queries/sec) and
-//! `--bench serving` (batched throughput, dedup, warm-start) track the
-//! trajectory.
+//! model search fans out across cores with bit-deterministic
+//! reductions (a coarse-to-fine surrogate cascade prunes the candidate
+//! set by default; set `TrainOptions::cascade = None` for the
+//! exhaustive path), feature batches are built in place inside pooled
+//! scratch buffers (`isaac_mlp::ScratchSpace`), and decisions are
+//! memoized in a shape-keyed, `RwLock`-guarded `isaac_core::TuneCache`
+//! (a size-bounded LRU with per-entry hit counts) -- so tuning methods
+//! take `&self` and a trained tuner can serve many threads. [`serve`]
+//! adds the deployment front door: a `TuneService` shards tuners per
+//! device and answers `submit` with pollable `TuneTicket`s (hits
+//! resolve inline, misses coalesce through a waker-driven single-flight
+//! and drain on a worker pool, so one OS thread multiplexes many
+//! in-flight queries), hot-swaps shards at runtime, snapshots/restores
+//! every shard's decisions, and warm-starts fresh shards from a
+//! neighbour. `cargo bench -p isaac-bench --bench inference`
+//! (queries/sec) and `--bench serving` (batched throughput, in-flight
+//! multiplexing, queue latency, warm-start) track the trajectory.
 
 pub use isaac_baselines as baselines;
 pub use isaac_core as core;
@@ -72,5 +77,5 @@ pub mod prelude {
     pub use isaac_gen::shapes::{ConvShape, GemmShape};
     pub use isaac_gen::{BoundsMode, GemmConfig};
     pub use isaac_ir::emit_ptx;
-    pub use isaac_serve::{Query, TunerRouter};
+    pub use isaac_serve::{Query, TuneService, TuneTicket, TunerRouter};
 }

@@ -3,8 +3,10 @@
 //! decision, and the cascade must stay deterministic across thread
 //! counts.
 //!
-//! 1. cascade **off** is the default and bit-identical to the
-//!    pre-cascade engine (covered by tests/parallel_inference.rs);
+//! 1. cascade **off** (`InferOptions::default`, and reachable through
+//!    `TrainOptions { cascade: None, .. }` now that trained tuners
+//!    cascade by default) is bit-identical to the pre-cascade engine
+//!    (covered by tests/parallel_inference.rs);
 //! 2. cascade **on** re-benchmarks the same winner as the exhaustive
 //!    path on the benchmark shape suite (the safety-margined survivor
 //!    cut is what buys this);
