@@ -26,14 +26,16 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use isaac_bench::harness::env_usize;
 use isaac_bench::report::{bench_json_path, write_json, Table};
-use isaac_core::{IsaacTuner, OpKind, TrainOptions, TuneCache};
+use isaac_core::{
+    EvictionPolicy, IsaacTuner, OpKind, TrainOptions, TuneCache, TuneKey, TunedChoice,
+};
 use isaac_device::specs::tesla_p100;
 use isaac_device::DType;
 use isaac_gen::shapes::GemmShape;
-use isaac_serve::{Query, Served, TuneService, TunerRouter};
+use isaac_serve::{Query, Served, SubmitOptions, TuneService, TunerRouter};
 use std::hint::black_box;
 use std::sync::Barrier;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Query mix: square (LINPACK), skinny (DeepBench RNN), deep-reduction
 /// (ICA covariance) -- the paper's three GEMM regimes.
@@ -43,6 +45,69 @@ fn query_shapes() -> Vec<GemmShape> {
         GemmShape::new(2560, 16, 2560, "N", "N", DType::F32),
         GemmShape::new(32, 32, 60000, "T", "N", DType::F32),
     ]
+}
+
+/// Replay a skewed workload against a capacity-bounded decision cache
+/// under one eviction policy and report `(evictions,
+/// post-eviction hit rate)`.
+///
+/// The trace models the paper's serving economics under pressure: a
+/// small set of **hot, expensive** keys (deep-reduction GEMMs, hit on
+/// every cycle) interleaved with a rotating **scan** of cheap one-off
+/// shapes that overflows the capacity each cycle. The trace is
+/// identical for both policies, and the hit rate is measured after a
+/// warmup (once evictions have begun), so the difference is purely the
+/// victim choice: LRU lets every scan flush the hot set; cost-aware
+/// eviction sheds the scan instead.
+fn eviction_pressure(policy: EvictionPolicy) -> (u64, f64) {
+    const CAPACITY: usize = 8;
+    const HOT: u32 = 4;
+    const SCAN_LEN: usize = 12;
+    const COLD_POOL: usize = 64;
+    const CYCLES: usize = 50;
+    const WARMUP_CYCLES: usize = 2;
+
+    let cache = TuneCache::with_policy(CAPACITY, policy);
+    let hot: Vec<TuneKey> = (0..HOT)
+        .map(|i| TuneKey::gemm(&GemmShape::new(32 + i, 32, 60_000, "T", "N", DType::F32)))
+        .collect();
+    let cold: Vec<TuneKey> = (0..COLD_POOL as u32)
+        .map(|i| TuneKey::gemm(&GemmShape::new(16 + i, 8, 8, "N", "N", DType::F32)))
+        .collect();
+    let choice = TunedChoice {
+        config: isaac_gen::GemmConfig::default(),
+        predicted_gflops: 1.0,
+        tflops: 1.0,
+        time_s: 1.0,
+    };
+
+    let (mut accesses, mut hits) = (0u64, 0u64);
+    let mut scan_at = 0usize;
+    for cycle in 0..CYCLES {
+        if cycle == WARMUP_CYCLES {
+            (accesses, hits) = (0, 0);
+        }
+        let mut access = |key: &TuneKey| {
+            accesses += 1;
+            if cache.get(key).is_some() {
+                hits += 1;
+            } else {
+                cache.insert(*key, choice.clone());
+            }
+        };
+        // Two rounds over the hot set, then a scan burst longer than
+        // the capacity.
+        for _ in 0..2 {
+            for key in &hot {
+                access(key);
+            }
+        }
+        for _ in 0..SCAN_LEN {
+            access(&cold[scan_at % COLD_POOL]);
+            scan_at += 1;
+        }
+    }
+    (cache.stats().evictions, hits as f64 / accesses as f64)
 }
 
 fn small_tuner() -> IsaacTuner {
@@ -180,19 +245,69 @@ fn serving_throughput(c: &mut Criterion) {
         }
         f64::from(reps) * batch_size as f64 / t0.elapsed().as_secs_f64()
     };
-    let _ = std::fs::remove_file(&model_path);
+    // --- Eviction under pressure: CostAware vs the LRU reference. ----
+    let (evictions, post_evict_hit_rate) = eviction_pressure(EvictionPolicy::CostAware);
+    let (_, post_evict_hit_rate_lru) = eviction_pressure(EvictionPolicy::Lru);
 
-    // --- Bounded-LRU smoke: shard 0's decisions in a capacity-2 cache.
-    let bounded = TuneCache::with_capacity(2);
-    for (key, choice, _hits) in router
-        .shard_tuner(0, OpKind::Gemm)
-        .expect("shard 0")
-        .cache()
-        .entries()
-    {
-        bounded.insert(key, choice);
-    }
-    let cache_evictions = bounded.stats().evictions;
+    // --- Background snapshotter: crash after the interval fires, ----
+    //     restart, and serve the snapshotted working set cold-free.
+    let (snapshot_files, snapshot_entries, restored_cold_tunes) = {
+        let dir = std::env::temp_dir().join("isaac_bench_snapshot");
+        let _ = std::fs::remove_dir_all(&dir);
+        let service = TuneService::new();
+        let tuner = IsaacTuner::load(&model_path, tesla_p100(), OpKind::Gemm).expect("load model");
+        service.add_shard(0, tuner);
+        service.enable_snapshots(&dir, Duration::from_millis(10));
+        for s in &shapes {
+            assert!(service.submit(&Query::gemm(0, *s)).wait().choice.is_some());
+        }
+        let deadline = Instant::now() + Duration::from_secs(60);
+        while service
+            .last_snapshot()
+            .is_none_or(|r| r.entries != shapes.len())
+        {
+            assert!(Instant::now() < deadline, "snapshot interval never fired");
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let report = service.last_snapshot().expect("background snapshot ran");
+        // Crash simulation: stop the snapshotter so the drop below does
+        // NOT flush -- only what the interval persisted survives.
+        service.disable_snapshots();
+        drop(service);
+
+        let restored = TuneService::new();
+        let tuner = IsaacTuner::load(&model_path, tesla_p100(), OpKind::Gemm).expect("load model");
+        restored.add_shard(0, tuner);
+        restored.restore_all(&dir).expect("restore snapshots");
+        for s in &shapes {
+            assert_eq!(
+                restored.submit(&Query::gemm(0, *s)).wait().served,
+                Served::Cache,
+                "a restored key must be served from cache"
+            );
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+        (report.files, report.entries, restored.stats().cold_tunes)
+    };
+
+    // --- Ticket deadline: a bounded waiter on a stalled tune times ----
+    //     out without poisoning the flight.
+    let deadline_timed_out = {
+        let service = TuneService::new();
+        let tuner = IsaacTuner::load(&model_path, tesla_p100(), OpKind::Gemm).expect("load model");
+        service.add_shard(0, tuner);
+        service.pause();
+        let cold = Query::gemm(0, GemmShape::new(640, 64, 96, "N", "T", DType::F32));
+        let ticket = service.submit_with(
+            &cold,
+            &SubmitOptions {
+                deadline: Some(Duration::from_millis(5)),
+            },
+        );
+        assert_eq!(ticket.wait().served, Served::TimedOut);
+        service.service_stats().timed_out
+    };
+    let _ = std::fs::remove_file(&model_path);
 
     let stats = router.stats();
     let flights = router.flight_stats();
@@ -236,6 +351,18 @@ fn serving_throughput(c: &mut Criterion) {
         "async cached qps".into(),
         format!("{async_cached_qps:.0}"),
     ]);
+    table.row(vec![
+        "post-evict hit rate (CostAware/Lru)".into(),
+        format!("{post_evict_hit_rate:.3}/{post_evict_hit_rate_lru:.3}"),
+    ]);
+    table.row(vec![
+        "snapshot restore".into(),
+        format!("{snapshot_entries} entries, {restored_cold_tunes} cold tunes after restart"),
+    ]);
+    table.row(vec![
+        "deadline timeouts".into(),
+        format!("{deadline_timed_out}"),
+    ]);
     table.print();
 
     let json = bench_json_path("BENCH_serving.json");
@@ -259,7 +386,16 @@ fn serving_throughput(c: &mut Criterion) {
             ("warm_start_s", format!("{warm_start_s:.6}")),
             ("warm_start_speedup", format!("{warm_start_speedup:.2}")),
             ("warm_seeded", warm.seeded.to_string()),
-            ("cache_evictions", cache_evictions.to_string()),
+            ("evictions", evictions.to_string()),
+            ("post_evict_hit_rate", format!("{post_evict_hit_rate:.4}")),
+            (
+                "post_evict_hit_rate_lru",
+                format!("{post_evict_hit_rate_lru:.4}"),
+            ),
+            ("snapshot_files", snapshot_files.to_string()),
+            ("snapshot_entries", snapshot_entries.to_string()),
+            ("restored_cold_tunes", restored_cold_tunes.to_string()),
+            ("deadline_timed_out", deadline_timed_out.to_string()),
             ("async_in_flight", async_in_flight.to_string()),
             ("async_unique_cold", async_unique_cold.to_string()),
             ("async_cold_wall_s", format!("{async_cold_wall_s:.6}")),

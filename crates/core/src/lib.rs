@@ -53,6 +53,6 @@ pub use inference::{
 pub use optimizers::{exhaustive, genetic, simulated_annealing, SearchResult};
 pub use sampling::{acceptance_rate, cfg_seed, mix_seed, CategoricalSampler, UniformSampler};
 pub use tuner::{
-    read_cache_file, CacheLoadReport, CacheStats, IsaacTuner, KeyShape, ShapeKey, TrainOptions,
-    TuneCache, TuneKey, WarmStartReport,
+    read_cache_file, CacheLoadReport, CacheStats, EvictionPolicy, IsaacTuner, KeyShape, ShapeKey,
+    TrainOptions, TuneCache, TuneKey, WarmStartReport,
 };

@@ -10,15 +10,23 @@
 //! (`save`/`load`) which the benchmark harness uses to cache tuners under
 //! `target/isaac-cache/`.
 //!
-//! Tuning decisions live in a [`TuneCache`]: a size-bounded LRU keyed by
-//! `(device, OpKind, DType, ShapeKey)` behind an `RwLock`, so repeated
-//! queries for the same input are O(1) shared-lock reads -- every tuning
-//! method takes `&self` and the tuner can be shared across serving
-//! threads. Hit/miss/eviction counters ([`IsaacTuner::cache_stats`])
-//! feed the bench harness. Caches persist via `save_cache`/`load_cache`
-//! (device-tagged v2 text format, corrupt lines counted), and a fresh
-//! device can be [`IsaacTuner::warm_start`]ed from a neighbour's
-//! decisions by re-benchmarking them instead of cold-tuning.
+//! Tuning decisions live in a [`TuneCache`]: a size-bounded,
+//! shape-keyed cache behind an `RwLock` keyed by
+//! `(device, OpKind, DType, ShapeKey)`, so repeated queries for the
+//! same input are O(1) shared-lock reads -- every tuning method takes
+//! `&self` and the tuner can be shared across serving threads. Victim
+//! choice under capacity pressure is pluggable ([`EvictionPolicy`]):
+//! the default [`EvictionPolicy::CostAware`] weighs recency, per-entry
+//! hit counts and the shape-derived re-tune cost
+//! ([`TuneKey::retune_cost`]) so hot or expensive decisions outlive
+//! cold, cheap ones; exact LRU remains as the reference policy.
+//! Hit/miss/eviction counters ([`IsaacTuner::cache_stats`]) feed the
+//! bench harness. Caches persist via `save_cache`/`load_cache`
+//! (device-tagged v2 text format, corrupt lines counted; a dirty bit
+//! lets the serving layer's background snapshotter skip clean shards),
+//! and a fresh device can be [`IsaacTuner::warm_start`]ed from a
+//! neighbour's decisions by re-benchmarking them instead of
+//! cold-tuning.
 
 use crate::dataset::{generate_conv_dataset, generate_gemm_dataset, DatasetOptions, OpKind};
 use crate::inference::{
@@ -34,7 +42,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::HashMap;
 use std::path::Path;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::RwLock;
 
 /// The input-shape component of a tune-cache key.
@@ -174,6 +182,47 @@ impl TuneKey {
         }
     }
 
+    /// Estimated cost of re-acquiring this key's tuning decision if it
+    /// were evicted, in arbitrary but mutually comparable units.
+    ///
+    /// A cold tune's wall time is dominated by work that scales with
+    /// the kernel's arithmetic volume (finalist re-benchmarking runs
+    /// the candidate kernels; legality and scoring are
+    /// shape-independent), so the estimate is `log2(1 + flops)`: the
+    /// log compresses the ~6-decade flops range into single-digit
+    /// scores that combine stably with hit frequencies in
+    /// [`EvictionPolicy::CostAware`]. A deep-reduction GEMM
+    /// (`32x32x60000`, ~1.2e8 flops, score ~27) is therefore much more
+    /// expensive to lose than a small square (`8x8x8`, ~1e3 flops,
+    /// score ~10), which is exactly the asymmetry the ROADMAP calls
+    /// out.
+    pub fn retune_cost(&self) -> f64 {
+        let flops = match self.shape {
+            ShapeKey::Gemm { m, n, k, .. } => 2.0 * f64::from(m) * f64::from(n) * f64::from(k),
+            ShapeKey::Conv {
+                n,
+                c,
+                h,
+                w,
+                k,
+                r,
+                s,
+            } => {
+                // Implicit-GEMM view: output pixels x filter volume.
+                let p = f64::from(h.saturating_sub(r) + 1);
+                let q = f64::from(w.saturating_sub(s) + 1);
+                2.0 * f64::from(n)
+                    * f64::from(k)
+                    * f64::from(c)
+                    * f64::from(r)
+                    * f64::from(s)
+                    * p
+                    * q
+            }
+        };
+        (1.0 + flops).log2()
+    }
+
     /// The mangled shape name used by the on-disk cache format (same
     /// strings as `GemmShape::name` / `ConvShape::name`).
     pub fn name(&self) -> String {
@@ -298,18 +347,76 @@ pub struct CacheStats {
     pub misses: u64,
     /// Entries evicted to stay within the capacity bound.
     pub evictions: u64,
+    /// Accumulated per-entry hit counts of everything evicted: the
+    /// traffic the cache *lost* to eviction. A good eviction policy
+    /// keeps this low relative to `evictions` (it sheds one-hit
+    /// wonders, not hot entries).
+    pub evicted_hits: u64,
+    /// Accumulated [`TuneKey::retune_cost`] of everything evicted: the
+    /// estimated re-acquisition cost the eviction policy chose to risk,
+    /// rounded to whole cost units. Cost-aware eviction keeps this low
+    /// relative to `evictions` by preferring cheap-to-re-tune victims.
+    pub evicted_cost: u64,
 }
 
-/// One cached decision plus its last-recently-used stamp and lifetime
-/// hit count. Both are atomic so hits can refresh them under the
-/// *shared* read lock. The per-entry hit count is groundwork for
-/// frequency-aware (LFU-hybrid) eviction: it survives the
-/// recency-preserving rebuild and is exposed by [`TuneCache::entries`].
+/// How a [`TuneCache`] chooses its eviction victim once the capacity
+/// bound is hit.
+///
+/// Both policies are exact and deterministic (the eviction tests pin
+/// victim order bit-for-bit); they differ in *what* they protect:
+///
+/// * [`EvictionPolicy::Lru`] -- the PR 2 reference policy: evict the
+///   least-recently-used entry, full stop. Simple, but a burst of
+///   one-off shapes (a scan) flushes the whole working set, including
+///   entries that are hit constantly and were expensive to acquire.
+/// * [`EvictionPolicy::CostAware`] -- the default since PR 5: a
+///   GreedyDual-style policy (cf. GDSF) that scores every entry as
+///   `clock + frequency x retune_cost` and evicts the minimum. The
+///   `clock` ratchets up to the evicted entry's score, which ages idle
+///   entries without per-access bookkeeping; `frequency` is the entry's
+///   lifetime hit count (+1 for the insert); `retune_cost` is the
+///   shape-derived estimate of what re-acquiring the decision costs
+///   ([`TuneKey::retune_cost`] -- a deep-reduction GEMM costs far more
+///   to re-tune than a small square). Hot or expensive entries
+///   therefore outlive cold, cheap ones under pressure.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum EvictionPolicy {
+    /// Exact least-recently-used (the reference policy).
+    Lru,
+    /// Cost- and frequency-weighted GreedyDual eviction (the default).
+    #[default]
+    CostAware,
+}
+
+/// One cached decision plus its last-recently-used stamp, lifetime hit
+/// count and eviction score. All three are atomic so hits can refresh
+/// them under the *shared* read lock. The per-entry hit count survives
+/// the recency-preserving rebuild, is exposed by
+/// [`TuneCache::entries`], and (since PR 5) feeds the
+/// [`EvictionPolicy::CostAware`] score together with the key's
+/// estimated re-tune cost.
 #[derive(Debug)]
 struct CacheSlot {
     choice: TunedChoice,
     stamp: AtomicU64,
     hits: AtomicU64,
+    /// [`TuneKey::retune_cost`] of this entry's key, computed once at
+    /// insertion (the key never changes in place).
+    cost: f64,
+    /// GreedyDual eviction score (`f64` bits): `clock_at_last_touch +
+    /// (hits + 1) x cost`. Only consulted by
+    /// [`EvictionPolicy::CostAware`]; kept fresh on every hit.
+    score: AtomicU64,
+}
+
+impl CacheSlot {
+    fn score(&self) -> f64 {
+        f64::from_bits(self.score.load(Ordering::Relaxed))
+    }
+
+    fn set_score(&self, score: f64) {
+        self.score.store(score.to_bits(), Ordering::Relaxed);
+    }
 }
 
 /// A concurrent, size-bounded, shape-keyed LRU cache of tuning
@@ -329,16 +436,37 @@ struct CacheSlot {
 /// LRU order exact and deterministic -- the property the eviction tests
 /// pin down -- at the cost of some cross-core contention under very hot
 /// hit traffic; sampling/approximate recency is a ROADMAP item if that
-/// ever dominates.
+/// ever dominates. [`TuneCache::peek`] deliberately touches *neither*
+/// the clock nor the per-entry counters, so introspection (snapshot
+/// scans, leader-side re-peeks) is contention-free and cannot perturb
+/// eviction order -- pinned by a regression test.
+///
+/// The victim choice is pluggable via [`EvictionPolicy`]
+/// ([`EvictionPolicy::CostAware`] by default since PR 5); the cache
+/// also carries a **dirty bit** (set by every insert, cleared by
+/// [`IsaacTuner::save_cache`]) so a background snapshotter can skip
+/// shards whose persisted state is already current.
 #[derive(Debug)]
 pub struct TuneCache {
     map: RwLock<HashMap<TuneKey, CacheSlot>>,
     capacity: usize,
+    policy: EvictionPolicy,
     /// Monotonic recency clock; larger stamp == more recently used.
     tick: AtomicU64,
+    /// GreedyDual aging clock (`f64` bits): ratchets up to the evicted
+    /// entry's score on every cost-aware eviction, so long-idle entries
+    /// eventually lose to fresh ones regardless of cost. Only mutated
+    /// under the write lock.
+    clock: AtomicU64,
+    /// Set on every insert, cleared when the cache is persisted.
+    dirty: AtomicBool,
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
+    evicted_hits: AtomicU64,
+    /// Accumulated retune cost of evicted entries, in millicost units
+    /// (kept integral so [`CacheStats`] stays `Eq`).
+    evicted_cost_milli: AtomicU64,
 }
 
 /// An unbounded [`TuneCache`] (the default: a tuner's working set of
@@ -356,15 +484,26 @@ impl TuneCache {
     }
 
     /// Empty cache holding at most `capacity` decisions (clamped to at
-    /// least 1), evicting least-recently-used entries beyond that.
+    /// least 1), evicting by the default [`EvictionPolicy::CostAware`]
+    /// beyond that.
     pub fn with_capacity(capacity: usize) -> Self {
+        Self::with_policy(capacity, EvictionPolicy::default())
+    }
+
+    /// Empty cache with an explicit capacity and eviction policy.
+    pub fn with_policy(capacity: usize, policy: EvictionPolicy) -> Self {
         TuneCache {
             map: RwLock::new(HashMap::new()),
             capacity: capacity.max(1),
+            policy,
             tick: AtomicU64::new(0),
+            clock: AtomicU64::new(0f64.to_bits()),
+            dirty: AtomicBool::new(false),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            evicted_hits: AtomicU64::new(0),
+            evicted_cost_milli: AtomicU64::new(0),
         }
     }
 
@@ -373,18 +512,57 @@ impl TuneCache {
         self.capacity
     }
 
+    /// The eviction policy victims are chosen by.
+    pub fn policy(&self) -> EvictionPolicy {
+        self.policy
+    }
+
+    /// Whether the cache has been mutated since it was last persisted
+    /// ([`IsaacTuner::save_cache`] clears this). The background
+    /// snapshotter in `isaac-serve` uses it to skip clean shards.
+    pub fn is_dirty(&self) -> bool {
+        self.dirty.load(Ordering::Acquire)
+    }
+
+    /// Mark the cache as persisted (see [`TuneCache::is_dirty`]).
+    pub fn mark_clean(&self) {
+        self.dirty.store(false, Ordering::Release);
+    }
+
+    fn mark_dirty(&self) {
+        self.dirty.store(true, Ordering::Release);
+    }
+
     fn next_stamp(&self) -> u64 {
         self.tick.fetch_add(1, Ordering::Relaxed) + 1
     }
 
+    fn clock_value(&self) -> f64 {
+        f64::from_bits(self.clock.load(Ordering::Relaxed))
+    }
+
+    /// GreedyDual score of an entry with `hits` lifetime hits and the
+    /// given retune cost, touched at the current clock: the insert
+    /// counts as one use, every hit adds one.
+    fn greedy_dual_score(&self, hits: u64, cost: f64) -> f64 {
+        self.clock_value() + (hits + 1) as f64 * cost
+    }
+
     /// Look up a decision, counting the hit or miss (globally and on
-    /// the entry) and refreshing the entry's LRU recency.
+    /// the entry), refreshing the entry's LRU recency and -- under
+    /// [`EvictionPolicy::CostAware`] -- its eviction score.
     pub fn get(&self, key: &TuneKey) -> Option<TunedChoice> {
         let hit = {
             let map = self.map.read().expect("tune cache poisoned");
             map.get(key).map(|slot| {
                 slot.stamp.store(self.next_stamp(), Ordering::Relaxed);
-                slot.hits.fetch_add(1, Ordering::Relaxed);
+                let hits = slot.hits.fetch_add(1, Ordering::Relaxed) + 1;
+                // An unbounded cache never evicts, so the score would
+                // never be read: skip the refresh and keep the
+                // hot-hit path at two atomics.
+                if self.policy == EvictionPolicy::CostAware && self.capacity != usize::MAX {
+                    slot.set_score(self.greedy_dual_score(hits, slot.cost));
+                }
                 slot.choice.clone()
             })
         };
@@ -400,8 +578,11 @@ impl TuneCache {
         }
     }
 
-    /// Look up a decision without touching the hit/miss counters or the
-    /// LRU order (for tests and cache introspection).
+    /// Look up a decision without touching the hit/miss counters, the
+    /// recency clock, the per-entry hit count or the eviction score
+    /// (for tests, cache introspection and snapshot scans). Peeking is
+    /// guaranteed side-effect-free: it can never rescue an entry from
+    /// eviction nor pay the shared recency-clock fetch-add.
     pub fn peek(&self, key: &TuneKey) -> Option<TunedChoice> {
         self.map
             .read()
@@ -410,9 +591,10 @@ impl TuneCache {
             .map(|slot| slot.choice.clone())
     }
 
-    /// Publish a decision, evicting the least-recently-used entry if the
-    /// cache is at capacity. Re-inserting an existing key refreshes the
-    /// decision and recency but keeps the entry's accumulated hit count.
+    /// Publish a decision, evicting one entry by the configured
+    /// [`EvictionPolicy`] if the cache is at capacity. Re-inserting an
+    /// existing key refreshes the decision and recency but keeps the
+    /// entry's accumulated hit count.
     pub fn insert(&self, key: TuneKey, choice: TunedChoice) {
         self.insert_with_hits(key, choice, 0);
     }
@@ -425,27 +607,75 @@ impl TuneCache {
         if let Some(slot) = map.get_mut(&key) {
             slot.choice = choice;
             slot.stamp.store(stamp, Ordering::Relaxed);
-            slot.hits.fetch_add(hits, Ordering::Relaxed);
-            return;
+            let total = slot.hits.fetch_add(hits, Ordering::Relaxed) + hits;
+            slot.set_score(self.greedy_dual_score(total, slot.cost));
+        } else {
+            if map.len() >= self.capacity {
+                self.evict_one(&mut map);
+            }
+            let cost = key.retune_cost();
+            map.insert(
+                key,
+                CacheSlot {
+                    choice,
+                    stamp: AtomicU64::new(stamp),
+                    hits: AtomicU64::new(hits),
+                    cost,
+                    score: AtomicU64::new(self.greedy_dual_score(hits, cost).to_bits()),
+                },
+            );
         }
-        if map.len() >= self.capacity {
-            if let Some(victim) = map
+        // Dirty only once the entry is in the map, while still holding
+        // the write lock: a concurrent `save_cache` either reads its
+        // entries after this insert (its `mark_clean` is then correct)
+        // or cleared the bit before we set it here, in which case this
+        // re-dirty guarantees the next snapshot picks the entry up.
+        // Marking *before* taking the lock would let that save clear
+        // the bit, read the map without the entry, and leave an
+        // unpersisted decision on a "clean" cache.
+        self.mark_dirty();
+    }
+
+    /// Remove one victim according to the policy (called at capacity,
+    /// under the write lock) and account for what was lost.
+    fn evict_one(&self, map: &mut HashMap<TuneKey, CacheSlot>) {
+        let victim = match self.policy {
+            // Exact LRU: smallest recency stamp. Stamps are unique, so
+            // the choice is deterministic.
+            EvictionPolicy::Lru => map
                 .iter()
                 .min_by_key(|(_, slot)| slot.stamp.load(Ordering::Relaxed))
-                .map(|(k, _)| *k)
-            {
-                map.remove(&victim);
+                .map(|(k, _)| *k),
+            // GreedyDual: smallest score; stamp breaks (rare, e.g.
+            // equal-cost zero-hit) ties deterministically towards LRU.
+            EvictionPolicy::CostAware => map
+                .iter()
+                .min_by(|(_, a), (_, b)| {
+                    a.score().total_cmp(&b.score()).then_with(|| {
+                        a.stamp
+                            .load(Ordering::Relaxed)
+                            .cmp(&b.stamp.load(Ordering::Relaxed))
+                    })
+                })
+                .map(|(k, _)| *k),
+        };
+        if let Some(victim) = victim {
+            if let Some(slot) = map.remove(&victim) {
                 self.evictions.fetch_add(1, Ordering::Relaxed);
+                self.evicted_hits
+                    .fetch_add(slot.hits.load(Ordering::Relaxed), Ordering::Relaxed);
+                self.evicted_cost_milli
+                    .fetch_add((slot.cost * 1e3) as u64, Ordering::Relaxed);
+                if self.policy == EvictionPolicy::CostAware {
+                    // Age the cache: everything inserted or touched from
+                    // now on outranks entries idle since before this
+                    // eviction, bounding how long a once-hot entry can
+                    // squat.
+                    let clock = self.clock_value().max(slot.score());
+                    self.clock.store(clock.to_bits(), Ordering::Relaxed);
+                }
             }
         }
-        map.insert(
-            key,
-            CacheSlot {
-                choice,
-                stamp: AtomicU64::new(stamp),
-                hits: AtomicU64::new(hits),
-            },
-        );
     }
 
     /// Number of cached decisions.
@@ -464,6 +694,8 @@ impl TuneCache {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
+            evicted_hits: self.evicted_hits.load(Ordering::Relaxed),
+            evicted_cost: self.evicted_cost_milli.load(Ordering::Relaxed) / 1_000,
         }
     }
 
@@ -482,12 +714,24 @@ impl TuneCache {
     }
 
     /// A copy of this cache with a new capacity and (optionally) every
-    /// key rebound to a device ordinal. Entries are replayed in recency
-    /// order, so LRU order survives and shrinking evicts the true
-    /// least-recently-used overflow; per-entry hit counts and the
-    /// hit/miss/eviction counters carry over (shrink evictions are
-    /// added on top).
+    /// key rebound to a device ordinal; the eviction policy is
+    /// preserved. Entries are replayed in recency order, so LRU order
+    /// survives and shrinking evicts the overflow the policy would have
+    /// chosen; per-entry hit counts and the hit/miss/eviction counters
+    /// carry over (shrink evictions are added on top).
     fn rebuilt(&self, capacity: usize, device: Option<u16>) -> TuneCache {
+        self.rebuilt_with(capacity, self.policy, device)
+    }
+
+    /// [`TuneCache::rebuilt`] with an explicit eviction policy for the
+    /// copy (how a live cache switches policies without losing its
+    /// contents or counters).
+    fn rebuilt_with(
+        &self,
+        capacity: usize,
+        policy: EvictionPolicy,
+        device: Option<u16>,
+    ) -> TuneCache {
         let mut stamped: Vec<(TuneKey, TunedChoice, u64, u64)> = {
             let map = self.map.read().expect("tune cache poisoned");
             map.iter()
@@ -502,7 +746,7 @@ impl TuneCache {
                 .collect()
         };
         stamped.sort_by_key(|&(_, _, stamp, _)| stamp);
-        let rebuilt = TuneCache::with_capacity(capacity);
+        let rebuilt = TuneCache::with_policy(capacity, policy);
         for (key, choice, _, hits) in stamped {
             let key = device.map_or(key, |d| key.on_device(d));
             rebuilt.insert_with_hits(key, choice, hits);
@@ -513,6 +757,18 @@ impl TuneCache {
         rebuilt
             .evictions
             .fetch_add(stats.evictions, Ordering::Relaxed);
+        rebuilt
+            .evicted_hits
+            .fetch_add(stats.evicted_hits, Ordering::Relaxed);
+        rebuilt.evicted_cost_milli.fetch_add(
+            self.evicted_cost_milli.load(Ordering::Relaxed),
+            Ordering::Relaxed,
+        );
+        // The copy is dirty if the source had unsnapshotted decisions
+        // or the rebuild itself changed content (re-keying, shrink
+        // evictions); a same-shape copy of a clean cache stays clean.
+        let dirty = self.is_dirty() || device.is_some() || rebuilt.len() != self.len();
+        rebuilt.dirty.store(dirty, Ordering::Release);
         rebuilt
     }
 }
@@ -672,12 +928,21 @@ impl IsaacTuner {
         self.device_id = device_id;
     }
 
-    /// Bound the decision cache to `capacity` entries (LRU eviction
-    /// beyond that). Existing entries, their recency order and the
-    /// hit/miss/eviction counters are preserved; shrinking below the
-    /// current size evicts the least recently used overflow (counted).
+    /// Bound the decision cache to `capacity` entries (victims chosen
+    /// by the cache's [`EvictionPolicy`] beyond that). Existing
+    /// entries, their recency order and the hit/miss/eviction counters
+    /// are preserved; shrinking below the current size evicts the
+    /// overflow the policy would have chosen (counted).
     pub fn set_cache_capacity(&mut self, capacity: usize) {
         self.cache = self.cache.rebuilt(capacity, None);
+    }
+
+    /// Switch the decision cache's [`EvictionPolicy`] in place
+    /// (entries, recency order, hit counts and counters are preserved).
+    /// [`EvictionPolicy::CostAware`] is the default; `Lru` is the
+    /// reference policy kept for comparison benchmarks.
+    pub fn set_eviction_policy(&mut self, policy: EvictionPolicy) {
+        self.cache = self.cache.rebuilt_with(self.cache.capacity(), policy, None);
     }
 
     /// The decision cache (stats, entries, capacity). Mutating it
@@ -799,7 +1064,14 @@ impl IsaacTuner {
     /// decision: shape key, the 9 tuning parameters, prediction and
     /// measurement. The header records the device ordinal the decisions
     /// were made on (provenance for cross-device warm-start).
+    ///
+    /// A successful save clears the cache's dirty bit (see
+    /// [`TuneCache::is_dirty`]). The bit is cleared *before* the
+    /// entries are read, so a decision published concurrently with the
+    /// write re-dirties the cache and is picked up by the next
+    /// snapshot instead of being lost.
     pub fn save_cache(&self, path: &Path) -> std::io::Result<()> {
+        self.cache.mark_clean();
         let mut text = format!("isaac-kernel-cache v2 device {}\n", self.device_id);
         for (key, c, _hits) in self.cache.entries() {
             let v = c.config.as_vector();
@@ -820,7 +1092,7 @@ impl IsaacTuner {
                 c.time_s
             ));
         }
-        std::fs::write(path, text)
+        std::fs::write(path, text).inspect_err(|_| self.cache.mark_dirty())
     }
 
     /// Load a cache saved with [`IsaacTuner::save_cache`], merging it
@@ -1091,7 +1363,7 @@ mod tests {
             CacheStats {
                 hits: 1,
                 misses: 1,
-                evictions: 0
+                ..Default::default()
             },
             "one miss then one hit, nothing evicted"
         );
@@ -1124,8 +1396,9 @@ mod tests {
 
     #[test]
     fn lru_evicts_least_recently_used_at_capacity() {
-        let cache = TuneCache::with_capacity(3);
+        let cache = TuneCache::with_policy(3, EvictionPolicy::Lru);
         assert_eq!(cache.capacity(), 3);
+        assert_eq!(cache.policy(), EvictionPolicy::Lru);
         let (a, b, c, d, e) = (
             gemm_key(1),
             gemm_key(2),
@@ -1159,7 +1432,7 @@ mod tests {
 
     #[test]
     fn peek_does_not_disturb_lru_order_or_stats() {
-        let cache = TuneCache::with_capacity(2);
+        let cache = TuneCache::with_policy(2, EvictionPolicy::Lru);
         let (a, b, c) = (gemm_key(1), gemm_key(2), gemm_key(3));
         cache.insert(a, dummy_choice(1.0));
         cache.insert(b, dummy_choice(2.0));
@@ -1170,9 +1443,193 @@ mod tests {
         assert_eq!(cache.stats().hits, 0, "peek is uncounted");
     }
 
+    /// A cheap small-square key and an expensive deep-reduction key
+    /// (the ROADMAP's canonical asymmetry).
+    fn cheap_key(m: u32) -> TuneKey {
+        gemm_key(m)
+    }
+
+    fn expensive_key() -> TuneKey {
+        TuneKey::gemm(&GemmShape::new(32, 32, 60_000, "T", "N", DType::F32))
+    }
+
+    #[test]
+    fn retune_cost_ranks_deep_reductions_above_small_squares() {
+        let deep = expensive_key().retune_cost();
+        let small = cheap_key(8).retune_cost();
+        assert!(
+            deep > 2.0 * small,
+            "deep-reduction GEMM ({deep:.1}) must dwarf a small square ({small:.1})"
+        );
+        let conv = TuneKey::conv(&ConvShape::from_output(
+            16,
+            14,
+            14,
+            48,
+            512,
+            5,
+            5,
+            DType::F32,
+        ));
+        assert!(conv.retune_cost() > small, "a real conv beats a toy gemm");
+        assert!(conv.retune_cost().is_finite() && deep.is_finite());
+    }
+
+    #[test]
+    fn cost_aware_keeps_hot_and_expensive_entries_under_pressure() {
+        // Identical trace on both policies: an expensive, frequently-hit
+        // entry followed by a scan of cheap one-off keys that overflows
+        // the capacity.
+        let trace = |cache: &TuneCache| {
+            cache.insert(expensive_key(), dummy_choice(9.0));
+            for _ in 0..3 {
+                assert!(cache.get(&expensive_key()).is_some());
+            }
+            for m in 1..=4 {
+                cache.insert(cheap_key(m), dummy_choice(f64::from(m)));
+            }
+        };
+
+        let cost_aware = TuneCache::with_capacity(3); // CostAware default
+        assert_eq!(cost_aware.policy(), EvictionPolicy::CostAware);
+        trace(&cost_aware);
+        assert!(
+            cost_aware.peek(&expensive_key()).is_some(),
+            "hot/expensive entry outlives the scan"
+        );
+        let stats = cost_aware.stats();
+        assert_eq!(stats.evictions, 2, "the scan overflowed by two");
+        assert_eq!(
+            stats.evicted_hits, 0,
+            "only zero-hit scan entries were shed"
+        );
+        assert!(
+            stats.evicted_cost < 2 * expensive_key().retune_cost() as u64,
+            "the evicted re-tune cost stays cheap"
+        );
+
+        // Plain LRU on the same trace flushes the hot expensive entry:
+        // the scan is younger, recency is all LRU sees.
+        let lru = TuneCache::with_policy(3, EvictionPolicy::Lru);
+        trace(&lru);
+        assert!(
+            lru.peek(&expensive_key()).is_none(),
+            "LRU loses the hot/expensive entry to the scan"
+        );
+        assert!(lru.stats().evicted_hits >= 3, "LRU threw away hot traffic");
+    }
+
+    #[test]
+    fn cost_aware_frequency_outweighs_raw_cost() {
+        // A hot cheap entry must be able to beat a cold expensive one:
+        // cost alone is not a squatter's permit.
+        let cache = TuneCache::with_capacity(2);
+        let hot_cheap = cheap_key(64);
+        cache.insert(expensive_key(), dummy_choice(1.0));
+        cache.insert(hot_cheap, dummy_choice(2.0));
+        for _ in 0..8 {
+            assert!(cache.get(&hot_cheap).is_some());
+        }
+        cache.insert(cheap_key(65), dummy_choice(3.0));
+        assert!(
+            cache.peek(&hot_cheap).is_some(),
+            "the frequently-hit cheap entry survives"
+        );
+        assert!(
+            cache.peek(&expensive_key()).is_none(),
+            "the never-hit expensive entry is the victim"
+        );
+    }
+
+    #[test]
+    fn cost_aware_clock_ages_idle_expensive_entries() {
+        // The GreedyDual clock ratchets on eviction, so an idle
+        // expensive entry cannot squat forever against a stream of
+        // moderately reused cheaper keys.
+        let cache = TuneCache::with_capacity(2);
+        cache.insert(expensive_key(), dummy_choice(1.0));
+        let mut evicted_at = None;
+        for round in 0..64u32 {
+            let key = cheap_key(1 + round);
+            cache.insert(key, dummy_choice(2.0));
+            // One reuse per scan key: far too little frequency to beat
+            // the expensive entry's score on its own -- only the clock
+            // ratcheting up on each eviction can close the gap.
+            let _ = cache.get(&key);
+            if cache.peek(&expensive_key()).is_none() {
+                evicted_at = Some(round);
+                break;
+            }
+        }
+        assert!(
+            evicted_at.is_some(),
+            "the idle expensive entry must eventually age out"
+        );
+        assert!(
+            evicted_at.unwrap() >= 1,
+            "but not before the clock has advanced at all"
+        );
+    }
+
+    #[test]
+    fn peek_leaves_recency_hit_counts_and_scores_unchanged() {
+        // Regression for the PR 5 eviction rebuild: `peek` must touch
+        // neither the shared recency clock, the per-entry hit count,
+        // nor the cost-aware score -- under *either* policy, a peeked
+        // entry is exactly as evictable as an untouched one.
+        for policy in [EvictionPolicy::Lru, EvictionPolicy::CostAware] {
+            let cache = TuneCache::with_policy(2, policy);
+            let (a, b) = (cheap_key(1), cheap_key(1000));
+            cache.insert(a, dummy_choice(1.0));
+            cache.insert(b, dummy_choice(2.0));
+            for _ in 0..16 {
+                assert!(cache.peek(&a).is_some(), "peek sees the entry");
+            }
+            let hits_of = |key: TuneKey| {
+                cache
+                    .entries()
+                    .iter()
+                    .find(|(k, _, _)| *k == key)
+                    .map(|&(_, _, h)| h)
+            };
+            assert_eq!(hits_of(a), Some(0), "peeks never count as hits");
+            assert_eq!(cache.stats().hits, 0, "peek bypasses the counters");
+            // `a` is older/cheaper than `b` under both policies; the 16
+            // peeks must not have rescued it.
+            cache.insert(cheap_key(2000), dummy_choice(3.0));
+            assert!(
+                cache.peek(&a).is_none(),
+                "{policy:?}: peeked entry is still the eviction victim"
+            );
+            assert!(cache.peek(&b).is_some());
+        }
+    }
+
+    #[test]
+    fn dirty_bit_tracks_unpersisted_mutations() {
+        let cache = TuneCache::new();
+        assert!(!cache.is_dirty(), "a fresh cache has nothing to persist");
+        cache.insert(cheap_key(1), dummy_choice(1.0));
+        assert!(cache.is_dirty(), "inserts dirty the cache");
+        let _ = cache.get(&cheap_key(1));
+        cache.mark_clean();
+        assert!(!cache.is_dirty());
+        let _ = cache.get(&cheap_key(1));
+        let _ = cache.peek(&cheap_key(1));
+        assert!(!cache.is_dirty(), "reads never dirty the cache");
+        cache.insert(cheap_key(1), dummy_choice(1.5));
+        assert!(cache.is_dirty(), "refreshing a decision re-dirties");
+
+        // Rebuilds: a clean same-shape copy stays clean; re-keying or
+        // shrinking makes the copy dirty (its snapshot is stale).
+        cache.mark_clean();
+        assert!(!cache.rebuilt(8, None).is_dirty());
+        assert!(cache.rebuilt(8, Some(3)).is_dirty(), "re-keying dirties");
+    }
+
     #[test]
     fn rebuilding_preserves_lru_order_counters_and_rebinds_devices() {
-        let cache = TuneCache::new();
+        let cache = TuneCache::with_policy(usize::MAX, EvictionPolicy::Lru);
         // Insert in an order whose shape names sort *against* recency, so
         // a name-ordered rebuild would keep the wrong entries.
         let (a, b, c, d) = (gemm_key(9), gemm_key(5), gemm_key(7), gemm_key(1));

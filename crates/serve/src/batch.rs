@@ -81,6 +81,12 @@ pub enum Served {
     /// service shut down, or the cold tune kept panicking past the
     /// retry budget. `choice` is always `None`.
     Failed,
+    /// The caller's deadline expired before the decision landed
+    /// ([`crate::TuneTicket::wait_timeout`], or a deadline baked in via
+    /// [`crate::TuneService::submit_with`]). Only *this* ticket gives
+    /// up: the flight keeps running for its other waiters and still
+    /// publishes into the decision cache. `choice` is always `None`.
+    TimedOut,
 }
 
 /// The outcome of one query.

@@ -20,6 +20,14 @@
 //!   [`TuneService::restore_all`] persist and reload every shard's
 //!   decision cache, and [`TuneService::warm_start`] seeds a fresh
 //!   shard from a neighbour's decisions;
+//! * the fleet maintains its own cache lifecycle:
+//!   [`TuneService::enable_snapshots`] persists dirty shards on an
+//!   interval (plus a final flush on shutdown),
+//!   [`TuneService::submit_with`] bounds a ticket with a deadline
+//!   ([`Served::TimedOut`]), fully-dropped pre-start tickets cancel
+//!   their queued job, and shard caches evict cost-aware
+//!   ([`isaac_core::EvictionPolicy`]) so expensive-to-re-tune
+//!   decisions survive capacity pressure;
 //! * [`TunerRouter`] survives as the deprecated blocking facade from
 //!   PR 2 (`submit(q)` == `service.submit(q).wait()`), kept so existing
 //!   callers compile while they migrate.
@@ -40,7 +48,9 @@ pub(crate) mod workers;
 
 pub use batch::{plan, BatchPlan, Decision, Query, QueryShape, Served};
 pub use router::TunerRouter;
-pub use service::{parse_snapshot_file_name, snapshot_file_name, SnapshotReport, TuneService};
+pub use service::{
+    parse_snapshot_file_name, snapshot_file_name, SnapshotReport, SubmitOptions, TuneService,
+};
 pub use single_flight::{FlightId, FlightStats, Role, SingleFlight, Waiter};
 pub use stats::{RouterStats, ServiceStats};
 pub use ticket::TuneTicket;

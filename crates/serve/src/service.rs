@@ -28,18 +28,37 @@
 //! and [`TuneService::restore_all`] reloads them into a freshly built
 //! service, so a restart serves its old working set from cache instead of
 //! re-tuning it.
+//!
+//! Since PR 5 the fleet is **self-maintaining** across that lifecycle:
+//!
+//! * [`TuneService::enable_snapshots`] runs an interval snapshotter on
+//!   the existing worker pool -- dirty shards are persisted in the
+//!   queue's idle gaps and once more on shutdown, so a crash loses at
+//!   most one interval of tuning work (progress in
+//!   [`RouterStats::snapshots`] and [`TuneService::last_snapshot`]);
+//! * [`TuneService::submit_with`] bakes a **deadline** into the ticket:
+//!   a bounded waiter resolves to [`Served::TimedOut`] without
+//!   poisoning the flight for its other waiters;
+//! * a flight whose tickets are **all dropped** before its job starts
+//!   is cancelled through the `(key, FlightId)` path and its queued
+//!   job is discarded -- nobody tunes for an audience of zero;
+//! * each shard's decision cache evicts by
+//!   [`isaac_core::EvictionPolicy::CostAware`] (hot or
+//!   expensive-to-re-tune entries outlive cold, cheap ones under
+//!   capacity pressure; plain LRU remains available as the reference
+//!   policy).
 
 use crate::batch::{plan, Decision, Query, QueryShape, Served};
 use crate::single_flight::{FlightStats, Role, SingleFlight, Waiter};
 use crate::stats::{bump, Counters, RouterStats, ServiceStats};
 use crate::ticket::{OpenTickets, TicketCell, TuneTicket};
-use crate::workers::{Job, MissQueue, WorkerPool};
+use crate::workers::{Job, MissQueue, Popped, WorkerPool};
 use isaac_core::{IsaacTuner, OpKind, TuneKey, TunedChoice, WarmStartReport};
 use std::collections::BTreeMap;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
-use std::sync::{Arc, RwLock};
-use std::time::Instant;
+use std::sync::{Arc, Mutex, RwLock};
+use std::time::{Duration, Instant};
 
 /// What a flight hands its waiters: the decision (if any) and whether
 /// the leader actually ran the cold tune (`false` == it found the cache
@@ -77,6 +96,28 @@ impl Shard {
     }
 }
 
+/// Per-query submission options for [`TuneService::submit_with`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SubmitOptions {
+    /// Latency bound baked into the returned ticket: consuming the
+    /// ticket past this duration (measured from submission) yields
+    /// [`Served::TimedOut`] instead of blocking longer. `None` (the
+    /// default) waits unboundedly. The bound is ticket-local -- the
+    /// underlying flight keeps running for other waiters and still
+    /// publishes its decision to the cache.
+    pub deadline: Option<Duration>,
+}
+
+/// Schedule of the background snapshotter (see
+/// [`TuneService::enable_snapshots`]).
+#[derive(Debug)]
+struct SnapshotSchedule {
+    dir: PathBuf,
+    interval: Duration,
+    next_due: Instant,
+    last: Option<SnapshotReport>,
+}
+
 /// Aggregate outcome of [`TuneService::snapshot_all`] /
 /// [`TuneService::restore_all`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -112,6 +153,9 @@ struct ServiceCore {
     queue: MissQueue,
     gauges: Gauges,
     tickets: Arc<OpenTickets>,
+    /// Background snapshotter schedule; `None` until
+    /// [`TuneService::enable_snapshots`].
+    snapshots: Mutex<Option<SnapshotSchedule>>,
     /// Fault injection for the leader-panic tests: each queued unit
     /// makes the next tune attempt panic (see
     /// [`TuneService::inject_tune_panics`]).
@@ -217,13 +261,17 @@ impl ServiceCore {
     /// nothing can complete the flight before the job is queued).
     /// `count_join` distinguishes genuinely concurrent joiners (counted
     /// as `coalesced`) from in-batch duplicates (already counted as
-    /// `batch_deduped`).
+    /// `batch_deduped`). A `deadline` is baked into the ticket (see
+    /// [`SubmitOptions`]); either way the ticket carries an abandon
+    /// hook, so a flight all of whose tickets are dropped before its
+    /// job starts is cancelled instead of tuning for nobody.
     fn register_miss(
         self: &Arc<Self>,
         tuner: Arc<IsaacTuner>,
         shape: QueryShape,
         key: TuneKey,
         count_join: bool,
+        deadline: Option<Instant>,
     ) -> (TuneTicket, Option<Job>) {
         let cell = Arc::new(TicketCell::new(Arc::clone(&self.tickets)));
         let (role, flight) = self
@@ -245,14 +293,98 @@ impl ServiceCore {
                 None
             }
         };
-        (TuneTicket::pending(cell), job)
+        let abandon: crate::ticket::AbandonHook = {
+            let core = Arc::clone(self);
+            Box::new(move || {
+                core.flights.abandon(&key, flight);
+            })
+        };
+        (TuneTicket::pending(cell, deadline, Some(abandon)), job)
     }
 
-    /// Worker loop body: drain the queue until shutdown.
+    /// Worker loop body: drain the queue until shutdown, running the
+    /// background snapshotter in the idle gaps when one is scheduled.
     fn work(self: &Arc<Self>) {
-        while let Some(job) = self.queue.pop() {
-            self.run_job(job);
+        loop {
+            match self.queue.pop_until(|| self.snapshot_deadline()) {
+                Popped::Job(job) => self.run_job(*job),
+                Popped::Deadline => self.run_due_snapshot(),
+                Popped::Shutdown => return,
+            }
         }
+    }
+
+    /// The next instant the snapshotter wants a worker to wake, if
+    /// scheduled.
+    fn snapshot_deadline(&self) -> Option<Instant> {
+        self.snapshots
+            .lock()
+            .expect("snapshot schedule poisoned")
+            .as_ref()
+            .map(|s| s.next_due)
+    }
+
+    /// Run the interval snapshot if it is due. Exactly one worker wins
+    /// the race: the schedule's `next_due` is advanced *before* the
+    /// (lock-free) disk write, so everyone else sees a future deadline
+    /// and goes back to sleep.
+    fn run_due_snapshot(self: &Arc<Self>) {
+        let dir = {
+            let mut schedule = self.snapshots.lock().expect("snapshot schedule poisoned");
+            match schedule.as_mut() {
+                Some(s) if Instant::now() >= s.next_due => {
+                    s.next_due = Instant::now() + s.interval;
+                    s.dir.clone()
+                }
+                _ => return,
+            }
+        };
+        match self.snapshot_shards(&dir, true) {
+            // An all-clean fleet writes no files and counts no
+            // snapshot: the interval tick is free while nothing tunes.
+            Ok(report) if report.files == 0 => {}
+            Ok(report) => {
+                bump(&self.counters.snapshots, 1);
+                bump(&self.counters.snapshot_entries, report.entries as u64);
+                let mut schedule = self.snapshots.lock().expect("snapshot schedule poisoned");
+                if let Some(s) = schedule.as_mut() {
+                    s.last = Some(report);
+                }
+            }
+            Err(_) => bump(&self.counters.snapshot_errors, 1),
+        }
+    }
+
+    /// Every registered `(device, op, tuner)` triple, snapshotted under
+    /// the shard read lock.
+    fn shard_list(&self) -> Vec<(u16, OpKind, Arc<IsaacTuner>)> {
+        let map = self.shards.read().expect("shard map poisoned");
+        map.iter()
+            .flat_map(|(&device, shard)| {
+                [OpKind::Gemm, OpKind::Conv]
+                    .into_iter()
+                    .filter_map(move |op| shard.tuner(op).map(|t| (device, op, Arc::clone(t))))
+            })
+            .collect()
+    }
+
+    /// Persist shard caches under `dir` (created if missing), one
+    /// device-tagged v2 cache file per `(device, op)` shard. With
+    /// `only_dirty`, shards whose caches are unchanged since their last
+    /// save are skipped -- their file on disk is already current -- so
+    /// an idle fleet's snapshot interval costs nothing.
+    fn snapshot_shards(&self, dir: &Path, only_dirty: bool) -> std::io::Result<SnapshotReport> {
+        std::fs::create_dir_all(dir)?;
+        let mut report = SnapshotReport::default();
+        for (device, op, tuner) in self.shard_list() {
+            if only_dirty && !tuner.cache().is_dirty() {
+                continue;
+            }
+            tuner.save_cache(&dir.join(snapshot_file_name(device, op)))?;
+            report.files += 1;
+            report.entries += tuner.cache_len();
+        }
+        Ok(report)
     }
 
     /// Execute one queued job: re-peek the cache under flight
@@ -289,6 +421,10 @@ impl ServiceCore {
         self.gauges
             .queue_wait_ns
             .fetch_add(waited, Ordering::Relaxed);
+        // From here the flight is *started*: tickets dropped during the
+        // tune no longer cancel it (the work is running anyway and its
+        // decision still warms the cache).
+        self.flights.mark_started(&job.key, job.flight);
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             // Re-check under flight leadership: a submitter that lost
             // the race between its cache miss and the flight claim would
@@ -382,6 +518,7 @@ impl TuneService {
             queue: MissQueue::new(),
             gauges: Gauges::default(),
             tickets: Arc::new(OpenTickets::default()),
+            snapshots: Mutex::new(None),
             fail_tunes: AtomicU32::new(0),
         });
         let worker_core = Arc::clone(&core);
@@ -477,13 +614,64 @@ impl TuneService {
     /// enqueues the cold tune and returns a pending ticket that resolves
     /// through the single-flight table -- concurrent submissions of the
     /// same key share one tune no matter how many tickets watch it.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use isaac_core::{IsaacTuner, OpKind, TrainOptions};
+    /// use isaac_device::specs::tesla_p100;
+    /// use isaac_device::DType;
+    /// use isaac_gen::shapes::GemmShape;
+    /// use isaac_serve::{Query, Served, TuneService};
+    ///
+    /// // A deliberately tiny tuner so the example trains in well under
+    /// // a second; deployments use `TrainOptions::default()`.
+    /// let tuner = IsaacTuner::train(
+    ///     tesla_p100(),
+    ///     OpKind::Gemm,
+    ///     TrainOptions {
+    ///         samples: 500,
+    ///         hidden: vec![8],
+    ///         epochs: 1,
+    ///         top_k: 4,
+    ///         ..Default::default()
+    ///     },
+    /// );
+    /// let service = TuneService::new();
+    /// service.add_shard(0, tuner);
+    ///
+    /// let query = Query::gemm(0, GemmShape::new(96, 64, 48, "N", "T", DType::F32));
+    /// // First sight of the shape: the ticket resolves once the worker
+    /// // pool finishes the cold tune.
+    /// let first = service.submit(&query).wait();
+    /// assert_eq!(first.served, Served::Tuned);
+    /// assert!(first.choice.is_some(), "a kernel was selected");
+    ///
+    /// // Every repeat is an O(1) cache hit, pre-resolved at submission.
+    /// let repeat = service.submit(&query);
+    /// assert!(repeat.is_ready());
+    /// assert_eq!(repeat.wait().served, Served::Cache);
+    /// ```
     pub fn submit(&self, query: &Query) -> TuneTicket {
+        self.submit_with(query, &SubmitOptions::default())
+    }
+
+    /// [`TuneService::submit`] with per-query [`SubmitOptions`] -- most
+    /// importantly a **deadline** baked into the returned ticket:
+    /// consuming the ticket past the deadline yields
+    /// [`Served::TimedOut`] rather than blocking longer, while the
+    /// flight itself keeps running for any other waiters (and still
+    /// publishes the decision to the cache for the next query).
+    pub fn submit_with(&self, query: &Query, opts: &SubmitOptions) -> TuneTicket {
         bump(&self.core.counters.queries, 1);
         let key = query.key();
         match self.core.fast_path(query, &key) {
             FastPath::Done(decision) => TuneTicket::ready(decision),
             FastPath::Miss(tuner) => {
-                let (ticket, job) = self.core.register_miss(tuner, query.shape, key, true);
+                let deadline = opts.deadline.map(|d| Instant::now() + d);
+                let (ticket, job) =
+                    self.core
+                        .register_miss(tuner, query.shape, key, true, deadline);
                 if let Some(job) = job {
                     self.core.queue.push(job);
                 }
@@ -530,9 +718,13 @@ impl TuneService {
                 match self.core.fast_path(query, key) {
                     FastPath::Done(decision) => Unique::Inline(decision),
                     FastPath::Miss(tuner) => {
-                        let (ticket, job) =
-                            self.core
-                                .register_miss(Arc::clone(&tuner), query.shape, *key, true);
+                        let (ticket, job) = self.core.register_miss(
+                            Arc::clone(&tuner),
+                            query.shape,
+                            *key,
+                            true,
+                            None,
+                        );
                         jobs.extend(job);
                         Unique::Pending {
                             ticket: Some(ticket),
@@ -566,6 +758,7 @@ impl TuneService {
                             *shape,
                             plan.keys[slot],
                             false,
+                            None,
                         );
                         jobs.extend(job);
                         ticket
@@ -586,26 +779,69 @@ impl TuneService {
     /// missing), one device-tagged v2 cache file per `(device, op)`
     /// shard, named [`snapshot_file_name`]. Pair with
     /// [`TuneService::restore_all`] on the next boot so the restarted
-    /// service serves its old working set from cache.
+    /// service serves its old working set from cache. For hands-off
+    /// periodic persistence, see [`TuneService::enable_snapshots`].
     pub fn snapshot_all(&self, dir: &Path) -> std::io::Result<SnapshotReport> {
-        std::fs::create_dir_all(dir)?;
-        let shards: Vec<(u16, OpKind, Arc<IsaacTuner>)> = {
-            let map = self.core.shards.read().expect("shard map poisoned");
-            map.iter()
-                .flat_map(|(&device, shard)| {
-                    [OpKind::Gemm, OpKind::Conv]
-                        .into_iter()
-                        .filter_map(move |op| shard.tuner(op).map(|t| (device, op, Arc::clone(t))))
-                })
-                .collect()
-        };
-        let mut report = SnapshotReport::default();
-        for (device, op, tuner) in shards {
-            tuner.save_cache(&dir.join(snapshot_file_name(device, op)))?;
-            report.files += 1;
-            report.entries += tuner.cache_len();
+        self.core.snapshot_shards(dir, false)
+    }
+
+    /// Start (or reschedule) the **background snapshotter**: every
+    /// `interval`, a worker from the miss-queue pool persists the
+    /// caches of *dirty* shards under `dir` -- shards untouched since
+    /// their last save are skipped, so an idle fleet writes nothing.
+    /// Dropping the service runs one final flush of whatever is still
+    /// dirty, so a clean shutdown loses no tuning work and a crash
+    /// loses at most one interval's worth.
+    ///
+    /// Snapshots ride on the existing worker pool (no extra thread): a
+    /// worker that finds the queue idle past the deadline runs the
+    /// snapshot; under sustained load the write happens between jobs.
+    /// Progress is visible in [`RouterStats::snapshots`] /
+    /// [`RouterStats::snapshot_entries`] /
+    /// [`RouterStats::snapshot_errors`] and
+    /// [`TuneService::last_snapshot`].
+    pub fn enable_snapshots(&self, dir: impl Into<PathBuf>, interval: Duration) {
+        {
+            let mut schedule = self
+                .core
+                .snapshots
+                .lock()
+                .expect("snapshot schedule poisoned");
+            *schedule = Some(SnapshotSchedule {
+                dir: dir.into(),
+                interval,
+                next_due: Instant::now() + interval,
+                last: None,
+            });
         }
-        Ok(report)
+        // Wake the pool so sleeping workers pick up the new deadline.
+        self.core.queue.kick();
+    }
+
+    /// Stop the background snapshotter **without** a final flush --
+    /// anything dirty stays unpersisted (this is how the crash tests
+    /// simulate losing the tail interval). Returns the last completed
+    /// background report, if any. A clean shutdown does not need this:
+    /// dropping the service flushes by itself.
+    pub fn disable_snapshots(&self) -> Option<SnapshotReport> {
+        self.core
+            .snapshots
+            .lock()
+            .expect("snapshot schedule poisoned")
+            .take()
+            .and_then(|s| s.last)
+    }
+
+    /// The report of the most recent completed background snapshot
+    /// (`None` until the first interval fires or if snapshots are
+    /// disabled).
+    pub fn last_snapshot(&self) -> Option<SnapshotReport> {
+        self.core
+            .snapshots
+            .lock()
+            .expect("snapshot schedule poisoned")
+            .as_ref()
+            .and_then(|s| s.last)
     }
 
     /// Load every snapshot file in `dir` (written by
@@ -695,6 +931,7 @@ impl TuneService {
             jobs_run: self.core.gauges.jobs_run.load(Ordering::Relaxed),
             jobs_cancelled: self.core.gauges.jobs_cancelled.load(Ordering::Relaxed),
             tune_retries: self.core.gauges.tune_retries.load(Ordering::Relaxed),
+            timed_out: self.core.tickets.timeouts(),
             queue_wait_s_total: self.core.gauges.queue_wait_ns.load(Ordering::Relaxed) as f64 / 1e9,
         }
     }
@@ -711,13 +948,36 @@ impl TuneService {
 impl Drop for TuneService {
     fn drop(&mut self) {
         // Stop the queue, then fail every still-pending flight so no
-        // ticket (held by another thread) blocks forever; the pool field
-        // joins the workers after this body returns. An in-flight tune
-        // finishing after the cancel publishes to the cache but finds no
-        // flight -- harmless.
+        // ticket (held by another thread) blocks forever. An in-flight
+        // tune finishing after the cancel publishes to the cache but
+        // finds no flight -- harmless.
         let orphaned = self.core.queue.begin_shutdown();
         drop(orphaned);
         self.core.fail_flights(|_| true);
+        // Join the workers *now* (drop would too, but later), so the
+        // final snapshot flush below cannot miss a decision published
+        // by a still-running tune.
+        self.pool.join();
+        let snapshot_dir = self
+            .core
+            .snapshots
+            .lock()
+            .expect("snapshot schedule poisoned")
+            .as_ref()
+            .map(|s| s.dir.clone());
+        if let Some(dir) = snapshot_dir {
+            // Snapshot-on-shutdown: flush whatever the last interval
+            // left dirty. Errors are counted (the stats are about to
+            // die with us, but the counter keeps the path honest).
+            match self.core.snapshot_shards(&dir, true) {
+                Ok(report) if report.files == 0 => {}
+                Ok(report) => {
+                    bump(&self.core.counters.snapshots, 1);
+                    bump(&self.core.counters.snapshot_entries, report.entries as u64);
+                }
+                Err(_) => bump(&self.core.counters.snapshot_errors, 1),
+            }
+        }
     }
 }
 

@@ -90,6 +90,27 @@ pub type FlightId = u64;
 struct FlightEntry<V> {
     id: FlightId,
     waiters: Vec<Waiter<V>>,
+    /// Waiters whose callers have given up (their tickets were
+    /// dropped). When *every* waiter of a not-yet-started flight is
+    /// abandoned, the flight is cancelled -- nobody is listening, so
+    /// the queued job should never run.
+    abandoned: usize,
+    /// Set by the executor once the computation is actually running
+    /// ([`SingleFlight::mark_started`]): from then on abandonment no
+    /// longer cancels (the work is being paid for anyway and its result
+    /// still feeds the cache).
+    started: bool,
+}
+
+impl<V> FlightEntry<V> {
+    fn new(id: FlightId, waiters: Vec<Waiter<V>>) -> Self {
+        FlightEntry {
+            id,
+            waiters,
+            abandoned: 0,
+            started: false,
+        }
+    }
 }
 
 /// Blocking wait cell used by the [`SingleFlight::run`] compatibility
@@ -200,10 +221,7 @@ impl<K: Eq + Hash + Clone, V: Clone + Send + 'static> SingleFlight<K, V> {
         match map.entry(key) {
             Entry::Vacant(slot) => {
                 let id = self.fresh_id();
-                slot.insert(FlightEntry {
-                    id,
-                    waiters: vec![make(Role::Led)],
-                });
+                slot.insert(FlightEntry::new(id, vec![make(Role::Led)]));
                 self.led.fetch_add(1, Ordering::Relaxed);
                 (Role::Led, id)
             }
@@ -305,6 +323,54 @@ impl<K: Eq + Hash + Clone, V: Clone + Send + 'static> SingleFlight<K, V> {
         }
     }
 
+    /// Mark one specific flight as *started*: its computation is
+    /// actually running (not merely queued). A started flight is never
+    /// cancelled by waiter abandonment -- see [`SingleFlight::abandon`].
+    /// A no-op unless the pending flight for `key` is exactly `id`.
+    pub fn mark_started(&self, key: &K, id: FlightId) {
+        let mut map = self.inflight.lock().expect("flight table poisoned");
+        if let Some(entry) = map.get_mut(key) {
+            if entry.id == id {
+                entry.started = true;
+            }
+        }
+    }
+
+    /// Record that one waiter of a flight has given up (its ticket was
+    /// dropped before resolution). When every registered waiter of a
+    /// **not-yet-started** flight is abandoned, the flight is cancelled
+    /// exactly like [`SingleFlight::cancel_if`] -- counted in
+    /// [`FlightStats::cancelled`], waiters notified with `None` (they
+    /// resolve dead tickets' cells, keeping gauges truthful, and wake
+    /// nobody) -- so the queued job is dropped by the `(key, id)` check
+    /// when a worker reaches it. Abandoning a started flight only
+    /// records the disinterest: the computation finishes and still
+    /// publishes its result. Returns the number of waiters notified (0
+    /// unless this abandonment cancelled the flight).
+    pub fn abandon(&self, key: &K, id: FlightId) -> usize {
+        let doomed = {
+            let mut map = self.inflight.lock().expect("flight table poisoned");
+            match map.get_mut(key) {
+                Some(entry) if entry.id == id => {
+                    entry.abandoned += 1;
+                    if !entry.started && entry.abandoned >= entry.waiters.len() {
+                        map.remove(key)
+                    } else {
+                        None
+                    }
+                }
+                _ => return 0,
+            }
+        };
+        match doomed {
+            Some(entry) => {
+                self.cancelled.fetch_add(1, Ordering::Relaxed);
+                Self::fail_entry(entry)
+            }
+            None => 0,
+        }
+    }
+
     /// The id of the pending flight for `key`, if any.
     pub fn pending_id(&self, key: &K) -> Option<FlightId> {
         self.inflight
@@ -386,10 +452,7 @@ impl<K: Eq + Hash + Clone, V: Clone + Send + 'static> SingleFlight<K, V> {
                         // Lead without a self-waiter: the value comes
                         // straight back from `f`.
                         let id = self.fresh_id();
-                        slot.insert(FlightEntry {
-                            id,
-                            waiters: Vec::new(),
-                        });
+                        slot.insert(FlightEntry::new(id, Vec::new()));
                         self.led.fetch_add(1, Ordering::Relaxed);
                         None
                     }
@@ -617,6 +680,53 @@ mod tests {
         assert_eq!(flights.fail_if(&2, c), 1);
         let stats = flights.stats();
         assert_eq!(stats.cancelled, 1, "only the explicit cancel counted");
+    }
+
+    #[test]
+    fn abandoning_every_waiter_cancels_an_unstarted_flight() {
+        let flights: SingleFlight<u32, u32> = SingleFlight::new();
+        let outcomes = Arc::new(Mutex::new(Vec::new()));
+        let waiter = |sink: &Arc<Mutex<Vec<Option<u32>>>>| -> Waiter<u32> {
+            let sink = Arc::clone(sink);
+            Box::new(move |v| sink.lock().unwrap().push(v))
+        };
+        let (_, id) = flights.claim(1, |_| waiter(&outcomes));
+        let (role, joined) = flights.claim(1, |_| waiter(&outcomes));
+        assert_eq!((role, joined), (Role::Joined, id));
+
+        // One of two waiters gives up: the flight lives on.
+        assert_eq!(flights.abandon(&1, id), 0);
+        assert!(flights.contains(&1));
+        // The last waiter gives up: the flight is cancelled, both
+        // (dead) waiters are notified with `None`, and the cancel is
+        // counted.
+        assert_eq!(flights.abandon(&1, id), 2);
+        assert!(!flights.contains(&1));
+        assert_eq!(*outcomes.lock().unwrap(), vec![None, None]);
+        assert_eq!(flights.stats().cancelled, 1);
+
+        // A stale abandon (wrong id) never touches a newer flight.
+        let (_, newer) = flights.claim(1, |_| waiter(&outcomes));
+        assert_eq!(flights.abandon(&1, id), 0);
+        assert!(flights.contains(&1));
+        assert_eq!(flights.complete_if(&1, newer, 5), 1);
+    }
+
+    #[test]
+    fn abandonment_never_cancels_a_started_flight() {
+        let flights: SingleFlight<u32, u32> = SingleFlight::new();
+        let got = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&got);
+        let (_, id) = flights.claim(9, |_| Box::new(move |v| sink.lock().unwrap().push(v)));
+        flights.mark_started(&9, id);
+        // Every waiter abandons, but the computation is already
+        // running: the flight survives and completes normally (its
+        // result still feeds the cache).
+        assert_eq!(flights.abandon(&9, id), 0);
+        assert!(flights.contains(&9));
+        assert_eq!(flights.complete_if(&9, id, 7), 1);
+        assert_eq!(*got.lock().unwrap(), vec![Some(7)]);
+        assert_eq!(flights.stats().cancelled, 0, "no cancel was counted");
     }
 
     #[test]

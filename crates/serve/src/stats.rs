@@ -13,6 +13,9 @@ pub(crate) struct Counters {
     pub batch_deduped: AtomicU64,
     pub no_shard: AtomicU64,
     pub failed: AtomicU64,
+    pub snapshots: AtomicU64,
+    pub snapshot_entries: AtomicU64,
+    pub snapshot_errors: AtomicU64,
 }
 
 /// Relaxed add on a serving counter.
@@ -31,6 +34,9 @@ impl Counters {
             batch_deduped: self.batch_deduped.load(Ordering::Relaxed),
             no_shard: self.no_shard.load(Ordering::Relaxed),
             failed: self.failed.load(Ordering::Relaxed),
+            snapshots: self.snapshots.load(Ordering::Relaxed),
+            snapshot_entries: self.snapshot_entries.load(Ordering::Relaxed),
+            snapshot_errors: self.snapshot_errors.load(Ordering::Relaxed),
         }
     }
 }
@@ -55,9 +61,21 @@ pub struct RouterStats {
     /// Queries addressed to an unregistered device/operation.
     pub no_shard: u64,
     /// Tickets failed without a decision: their shard was removed or
-    /// replaced while the query was in flight, or the cold tune kept
-    /// panicking past the retry budget.
+    /// replaced while the query was in flight, the cold tune kept
+    /// panicking past the retry budget, or every holder of the key's
+    /// tickets dropped before the job started (the flight is cancelled
+    /// and its already-dead tickets resolve as failed).
     pub failed: u64,
+    /// Background snapshots completed by the interval snapshotter
+    /// (including the final snapshot-on-shutdown flush). Each snapshot
+    /// persists only *dirty* shards, so an idle service stops writing.
+    pub snapshots: u64,
+    /// Decisions persisted across all background snapshots (the
+    /// cumulative [`crate::SnapshotReport::entries`]).
+    pub snapshot_entries: u64,
+    /// Background snapshot attempts that failed with an I/O error (the
+    /// shards stay dirty and are retried next interval).
+    pub snapshot_errors: u64,
 }
 
 impl RouterStats {
@@ -92,6 +110,10 @@ pub struct ServiceStats {
     /// Jobs re-queued after a tune panicked (see
     /// [`crate::FlightStats::leader_panics`]).
     pub tune_retries: u64,
+    /// Tickets that resolved [`crate::Served::TimedOut`]: their
+    /// deadline expired before the flight landed. The flight itself
+    /// keeps running for its other waiters.
+    pub timed_out: u64,
     /// Total seconds jobs spent queued before a worker picked them up.
     pub queue_wait_s_total: f64,
 }

@@ -38,6 +38,17 @@ pub(crate) struct Job {
     pub attempts: u32,
 }
 
+/// Outcome of one [`MissQueue::pop_until`] call.
+pub(crate) enum Popped {
+    /// A job to run (boxed: the deadline arm keeps the enum small).
+    Job(Box<Job>),
+    /// The deadline passed with the queue idle -- time for periodic
+    /// work (the background snapshotter).
+    Deadline,
+    /// The queue is shutting down; the worker should exit.
+    Shutdown,
+}
+
 struct QueueState {
     jobs: VecDeque<Job>,
     paused: bool,
@@ -75,21 +86,50 @@ impl MissQueue {
         self.cv.notify_one();
     }
 
-    /// Block until a job is available (and the queue is unpaused), or
-    /// return `None` on shutdown.
-    pub fn pop(&self) -> Option<Job> {
+    /// Block until a job is available (and the queue is unpaused), the
+    /// optional deadline passes, or the queue shuts down. Jobs win over
+    /// an already-expired deadline, so a busy queue drains at full
+    /// speed and the deadline only fires in the gaps -- which is
+    /// exactly what the interval snapshotter wants.
+    ///
+    /// `deadline_of` is re-evaluated on **every** wakeup, not captured
+    /// once: a worker parked before the snapshotter was scheduled (or
+    /// rescheduled) picks the new deadline up as soon as
+    /// [`MissQueue::kick`] wakes it, instead of sleeping towards a
+    /// stale one forever.
+    pub fn pop_until(&self, deadline_of: impl Fn() -> Option<Instant>) -> Popped {
         let mut state = self.state.lock().expect("miss queue poisoned");
         loop {
             if state.shutdown {
-                return None;
+                return Popped::Shutdown;
             }
             if !state.paused {
                 if let Some(job) = state.jobs.pop_front() {
-                    return Some(job);
+                    return Popped::Job(Box::new(job));
                 }
             }
-            state = self.cv.wait(state).expect("miss queue poisoned");
+            match deadline_of() {
+                None => state = self.cv.wait(state).expect("miss queue poisoned"),
+                Some(d) => {
+                    let now = Instant::now();
+                    if now >= d {
+                        return Popped::Deadline;
+                    }
+                    let (guard, _) = self
+                        .cv
+                        .wait_timeout(state, d - now)
+                        .expect("miss queue poisoned");
+                    state = guard;
+                }
+            }
         }
+    }
+
+    /// Wake every worker so they re-read their deadlines via
+    /// `pop_until`'s `deadline_of` (used when the snapshot schedule
+    /// changes).
+    pub fn kick(&self) {
+        self.cv.notify_all();
     }
 
     /// Pause or resume job dispatch. Paused workers finish their current
@@ -145,14 +185,22 @@ impl WorkerPool {
     pub fn len(&self) -> usize {
         self.handles.len()
     }
-}
 
-impl Drop for WorkerPool {
-    fn drop(&mut self) {
+    /// Join every worker now (idempotent; `drop` joins whatever is
+    /// left). The service's `Drop` calls this *before* its final
+    /// snapshot flush so no worker can publish a decision after the
+    /// flush read the caches.
+    pub fn join(&mut self) {
         for handle in self.handles.drain(..) {
             // A worker that panicked outside the catch_unwind perimeter
             // already aborted its flight; don't double-panic the drop.
             let _ = handle.join();
         }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.join();
     }
 }

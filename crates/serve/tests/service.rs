@@ -16,11 +16,11 @@
 //! 5. **ticket hygiene** -- dropping a ticket before completion leaks
 //!    no flight entry and never wakes the dead ticket's waker.
 
-use isaac_core::{IsaacTuner, OpKind, TrainOptions};
+use isaac_core::{EvictionPolicy, IsaacTuner, OpKind, TrainOptions};
 use isaac_device::specs::{gtx980ti, tesla_p100};
 use isaac_device::{DType, DeviceSpec};
 use isaac_gen::shapes::GemmShape;
-use isaac_serve::{Decision, Query, Served, SnapshotReport, TuneService};
+use isaac_serve::{Decision, Query, Served, SnapshotReport, SubmitOptions, TuneService};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
@@ -440,6 +440,297 @@ fn contended_key_resolves_every_ticket_bit_identically() {
         service.stats().cold_tunes,
         1,
         "one cold tune for 64 tickets"
+    );
+}
+
+#[test]
+fn timed_out_waiter_does_not_poison_the_flight_for_others() {
+    // The PR 5 acceptance shape: a deadline-bounded waiter gives up,
+    // but a concurrent unbounded waiter on the same key still receives
+    // the tuned decision, and the decision still reaches the cache.
+    let service = TuneService::with_workers(1);
+    service.add_shard(0, fresh_tuner(tesla_p100()));
+    service.pause();
+
+    let query = gemm_query(0, 352, 64, 96);
+    let bounded = service.submit_with(
+        &query,
+        &SubmitOptions {
+            deadline: Some(Duration::from_millis(20)),
+        },
+    );
+    let unbounded = service.submit(&query);
+
+    // The pool is paused, so the deadline expires first.
+    let d = bounded.wait();
+    assert_eq!(d.served, Served::TimedOut);
+    assert_eq!(d.choice, None);
+    assert_eq!(service.service_stats().timed_out, 1);
+    // Expiry is sticky and ticket-local: this ticket stays timed out
+    // even after the flight lands.
+    assert_eq!(bounded.try_get().map(|d| d.served), Some(Served::TimedOut));
+
+    service.resume();
+    let d = unbounded.wait();
+    assert_eq!(
+        d.served,
+        Served::Coalesced,
+        "the unbounded waiter joined the bounded leader's flight"
+    );
+    assert!(d.choice.is_some(), "the tune still landed for it");
+    assert_eq!(service.stats().cold_tunes, 1, "exactly one tune ran");
+    assert_eq!(bounded.wait().served, Served::TimedOut, "still sticky");
+
+    // The flight was not poisoned: the decision is in the cache now.
+    assert_eq!(service.submit(&query).wait().served, Served::Cache);
+    // `failed` counts real failures, not deadline expiries.
+    assert_eq!(service.stats().failed, 0);
+}
+
+#[test]
+fn wait_timeout_bounds_a_ticket_without_a_baked_in_deadline() {
+    let service = TuneService::with_workers(1);
+    service.add_shard(0, fresh_tuner(tesla_p100()));
+    service.pause();
+
+    let ticket = service.submit(&gemm_query(0, 416, 64, 96));
+    let t0 = Instant::now();
+    let d = ticket.wait_timeout(Duration::from_millis(15));
+    assert!(t0.elapsed() >= Duration::from_millis(15));
+    assert_eq!(d.served, Served::TimedOut);
+    assert_eq!(service.service_stats().timed_out, 1);
+    service.resume();
+
+    // A ticket that resolves in time is unaffected by the bound.
+    let quick = service.submit(&gemm_query(0, 448, 64, 96));
+    let d = quick.wait_timeout(Duration::from_secs(60));
+    assert_eq!(d.served, Served::Tuned);
+    assert!(d.choice.is_some());
+    assert_eq!(service.service_stats().timed_out, 1, "no spurious expiry");
+}
+
+#[test]
+fn fully_dropped_prestart_tickets_cancel_the_queued_job() {
+    let service = TuneService::with_workers(1);
+    service.add_shard(0, fresh_tuner(tesla_p100()));
+    service.pause();
+
+    let query = gemm_query(0, 480, 64, 96);
+    let leader = service.submit(&query);
+    let joiner = service.submit(&query);
+    assert_eq!(service.in_flight(), 1);
+
+    // One holder gives up: the flight lives (the other still waits).
+    drop(leader);
+    assert_eq!(service.flight_stats().cancelled, 0);
+    assert_eq!(service.in_flight(), 1);
+
+    // The last holder gives up pre-start: the flight is cancelled
+    // through the (key, FlightId) path and the queued job never tunes.
+    drop(joiner);
+    assert_eq!(service.flight_stats().cancelled, 1);
+    assert_eq!(service.in_flight(), 0);
+
+    service.resume();
+    wait_until("the orphaned job to be dropped", || {
+        service.service_stats().jobs_cancelled == 1
+    });
+    assert_eq!(service.stats().cold_tunes, 0, "nobody tuned for nobody");
+    let tuner = service.shard_tuner(0, OpKind::Gemm).expect("shard");
+    assert_eq!(tuner.cache_len(), 0);
+    // The gauge stayed truthful: both dead tickets' cells resolved.
+    assert_eq!(service.service_stats().open_tickets, 0);
+
+    // The key is not poisoned: a live submission tunes normally.
+    let d = service.submit(&query).wait();
+    assert_eq!(d.served, Served::Tuned);
+    assert!(d.choice.is_some());
+}
+
+#[test]
+fn tickets_dropped_after_the_tune_starts_do_not_cancel_it() {
+    let service = TuneService::with_workers(1);
+    service.add_shard(0, fresh_tuner(tesla_p100()));
+
+    // Submit unpaused and give the worker a moment to pick the job up,
+    // then drop the only ticket mid-tune: the flight must complete and
+    // publish (the work is paid for either way).
+    let query = gemm_query(0, 544, 64, 96);
+    let ticket = service.submit(&query);
+    wait_until("the job to leave the queue", || {
+        service.service_stats().queue_depth == 0
+    });
+    drop(ticket);
+    wait_until("the tune to land in the cache", || {
+        service
+            .shard_tuner(0, OpKind::Gemm)
+            .is_some_and(|t| t.cache_len() == 1)
+    });
+    assert_eq!(service.stats().cold_tunes, 1);
+    assert_eq!(service.submit(&query).wait().served, Served::Cache);
+}
+
+#[test]
+fn background_snapshotter_persists_dirty_shards_and_restores_after_a_crash() {
+    let dir = std::env::temp_dir().join("isaac_service_bg_snapshot_test");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let service = TuneService::new();
+    service.add_shard(0, fresh_tuner(tesla_p100()));
+    service.enable_snapshots(&dir, Duration::from_millis(20));
+
+    // Two decisions land; the next idle interval persists them.
+    let persisted = [gemm_query(0, 96, 64, 48), gemm_query(0, 256, 64, 512)];
+    for q in &persisted {
+        assert!(service.submit(q).wait().choice.is_some());
+    }
+    // An early interval may catch the cache between the two tunes (and
+    // report one entry); the shard re-dirties, so a later interval is
+    // guaranteed to persist both.
+    wait_until("the interval snapshot to cover both decisions", || {
+        service.last_snapshot().is_some_and(|r| r.entries == 2)
+    });
+    let last = service.last_snapshot().expect("a background report");
+    assert_eq!(last.files, 1, "one dirty shard was written");
+    assert!(service.stats().snapshots >= 1);
+    assert_eq!(service.stats().snapshot_errors, 0);
+
+    // Quiescence: with nothing dirty, further intervals write nothing.
+    let settled = service.stats().snapshots;
+    std::thread::sleep(Duration::from_millis(80));
+    assert_eq!(
+        service.stats().snapshots,
+        settled,
+        "clean shards are skipped, not rewritten every interval"
+    );
+
+    // Simulate a crash: stop the snapshotter (no final flush), then
+    // tune one more shape -- the tail of work since the last interval.
+    service.disable_snapshots();
+    let lost = gemm_query(0, 128, 128, 128);
+    assert!(service.submit(&lost).wait().choice.is_some());
+    drop(service);
+
+    // The restarted fleet serves everything up to the last snapshot
+    // interval with zero cold tunes; only the tail is gone.
+    let restored = TuneService::new();
+    restored.add_shard(0, fresh_tuner(tesla_p100()));
+    let report = restored.restore_all(&dir).expect("restore");
+    assert_eq!(report.entries, 2);
+    for q in &persisted {
+        assert_eq!(restored.submit(q).wait().served, Served::Cache);
+    }
+    assert_eq!(restored.stats().cold_tunes, 0);
+    assert_eq!(
+        restored.submit(&lost).wait().served,
+        Served::Tuned,
+        "at most one interval of work is lost"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn snapshotter_enabled_after_workers_parked_still_fires() {
+    // Regression: `pop_until` must re-read the snapshot deadline on
+    // every wakeup. Workers park with no schedule (deadline = None)
+    // while the shard is made dirty; enabling snapshots afterwards --
+    // with NO further traffic to cycle the worker loop -- must still
+    // produce a snapshot via the kick.
+    let dir = std::env::temp_dir().join("isaac_service_late_enable_test");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let service = TuneService::new();
+    service.add_shard(0, fresh_tuner(tesla_p100()));
+    let query = gemm_query(0, 96, 64, 48);
+    assert!(service.submit(&query).wait().choice.is_some());
+    // Workers are now idle, parked on the condvar with no deadline.
+    std::thread::sleep(Duration::from_millis(10));
+
+    service.enable_snapshots(&dir, Duration::from_millis(15));
+    wait_until("the late-enabled snapshotter to fire", || {
+        service.stats().snapshots >= 1
+    });
+    assert_eq!(service.last_snapshot().map(|r| r.entries), Some(1));
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn shutdown_flushes_the_last_interval_of_tuning_work() {
+    let dir = std::env::temp_dir().join("isaac_service_shutdown_flush_test");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let service = TuneService::new();
+    service.add_shard(0, fresh_tuner(tesla_p100()));
+    // An interval so long it never fires: only the snapshot-on-drop
+    // flush can persist anything.
+    service.enable_snapshots(&dir, Duration::from_secs(3600));
+    let query = gemm_query(0, 96, 64, 48);
+    assert!(service.submit(&query).wait().choice.is_some());
+    assert_eq!(service.stats().snapshots, 0, "interval never fired");
+    drop(service);
+
+    let restored = TuneService::new();
+    restored.add_shard(0, fresh_tuner(tesla_p100()));
+    let report = restored.restore_all(&dir).expect("restore");
+    assert_eq!(report.entries, 1, "the drop flush persisted the work");
+    assert_eq!(restored.submit(&query).wait().served, Served::Cache);
+    assert_eq!(restored.stats().cold_tunes, 0);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn cost_aware_shards_keep_hot_expensive_decisions_under_pressure() {
+    // Router-level acceptance for PR 5's eviction tentpole: on a
+    // capacity-bounded shard, a hot deep-reduction decision (expensive
+    // to re-acquire) survives a scan of cheap one-off shapes under the
+    // default CostAware policy -- and demonstrably does NOT under the
+    // LRU reference policy on an identical trace.
+    let run_trace = |policy: EvictionPolicy| -> (TuneService, Query) {
+        let mut tuner = fresh_tuner(tesla_p100());
+        tuner.set_eviction_policy(policy);
+        tuner.set_cache_capacity(3);
+        let service = TuneService::with_workers(1);
+        service.add_shard(0, tuner);
+
+        // One expensive deep-reduction key, hit repeatedly...
+        let deep = Query::gemm(0, GemmShape::new(32, 32, 60_000, "N", "T", DType::F32));
+        assert_eq!(service.submit(&deep).wait().served, Served::Tuned);
+        for _ in 0..4 {
+            assert_eq!(service.submit(&deep).wait().served, Served::Cache);
+        }
+        // ...then a scan of cheap one-off shapes that overflows the
+        // 3-entry cache.
+        for i in 0..4u32 {
+            let q = gemm_query(0, 96 + 16 * i, 48, 64);
+            assert_eq!(service.submit(&q).wait().served, Served::Tuned);
+        }
+        (service, deep)
+    };
+
+    let (service, deep) = run_trace(EvictionPolicy::CostAware);
+    let tuner = service.shard_tuner(0, OpKind::Gemm).expect("shard");
+    let stats = tuner.cache_stats();
+    assert_eq!(stats.evictions, 2, "the scan overflowed by two");
+    assert_eq!(stats.evicted_hits, 0, "only cold scan entries were shed");
+    assert_eq!(
+        service.submit(&deep).wait().served,
+        Served::Cache,
+        "the hot, expensive decision survived the scan"
+    );
+
+    let (service, deep) = run_trace(EvictionPolicy::Lru);
+    assert_eq!(
+        service.submit(&deep).wait().served,
+        Served::Tuned,
+        "plain LRU lost the hot decision to the scan and must re-tune"
+    );
+    let tuner = service.shard_tuner(0, OpKind::Gemm).expect("shard");
+    assert!(
+        tuner.cache_stats().evicted_hits >= 4,
+        "LRU threw away hot traffic"
     );
 }
 

@@ -2,6 +2,9 @@
 # Validate the BENCH_*.json trajectory files and guard the serving path
 # against performance regressions.
 #
+# The authoritative field-by-field schema for all three files (and the
+# list of invariants enforced here) is docs/BENCH_SCHEMA.md.
+#
 # Checks, in order:
 #   1. every expected BENCH_*.json exists, is non-empty, and is a flat
 #      JSON object containing its required numeric keys;
@@ -89,6 +92,8 @@ validate BENCH_serving.json \
     threads shards batch_size one_at_a_time_qps batched_qps \
     batch_speedup dedup_ratio single_flight_led single_flight_joined \
     leader_panics cold_tune_s warm_start_s warm_start_speedup warm_seeded \
+    evictions post_evict_hit_rate post_evict_hit_rate_lru \
+    snapshot_files snapshot_entries restored_cold_tunes deadline_timed_out \
     async_in_flight async_unique_cold async_cold_wall_s \
     async_queue_latency_s async_cached_qps
 
@@ -117,6 +122,39 @@ if [ -n "$async_peak" ] && [ -n "$async_unique" ]; then
     else
         say "OK: async front door multiplexed $async_peak tickets over $async_unique cold keys"
     fi
+fi
+
+# The eviction-pressure section replays an identical skewed trace under
+# both policies, so this is a deterministic quality bar, not a timing:
+# the CostAware default must retain at least the hit rate of plain LRU.
+ca_rate=$(json_num BENCH_serving.json post_evict_hit_rate)
+lru_rate=$(json_num BENCH_serving.json post_evict_hit_rate_lru)
+if [ -n "$ca_rate" ] && [ -n "$lru_rate" ]; then
+    if ! awk -v c="$ca_rate" -v l="$lru_rate" 'BEGIN { exit !(c >= l) }'; then
+        die "CostAware post-eviction hit rate $ca_rate fell below LRU's $lru_rate"
+    else
+        say "OK: CostAware hit rate $ca_rate >= LRU $lru_rate under pressure"
+    fi
+fi
+evc=$(json_num BENCH_serving.json evictions)
+if [ -n "$evc" ] && ! awk -v e="$evc" 'BEGIN { exit !(e > 0) }'; then
+    die "evictions=$evc: the pressure workload did not overflow the cache"
+fi
+
+# A killed-and-restarted service must serve everything up to the last
+# snapshot interval from cache: zero cold tunes after restore.
+restored_cold=$(json_num BENCH_serving.json restored_cold_tunes)
+if [ "$restored_cold" != "0" ]; then
+    die "restored_cold_tunes=$restored_cold: the restored fleet re-tuned snapshotted keys"
+else
+    say "OK: restored fleet served its snapshot with zero cold tunes"
+fi
+
+# The deadline path must have fired: a bounded waiter on a stalled tune
+# resolves to TimedOut.
+timeouts=$(json_num BENCH_serving.json deadline_timed_out)
+if [ -n "$timeouts" ] && ! awk -v t="$timeouts" 'BEGIN { exit !(t >= 1) }'; then
+    die "deadline_timed_out=$timeouts: the ticket-deadline section never expired"
 fi
 
 # ---- regression guard: cached-hit cost vs. the committed baseline ----

@@ -7,9 +7,10 @@
 //! to tuning parameters, fitted with an MLP on benchmarking data.
 //!
 //! Since no NVIDIA GPU is attached, execution and timing are substituted
-//! (see `DESIGN.md`): generated kernels run on a functional lock-step SIMT
-//! VM for correctness, and are timed by a calibrated analytical model of
-//! the paper's two test devices (GTX 980 Ti / Tesla P100).
+//! (see `docs/ARCHITECTURE.md`): generated kernels run on a functional
+//! lock-step SIMT VM for correctness, and are timed by a calibrated
+//! analytical model of the paper's two test devices (GTX 980 Ti /
+//! Tesla P100).
 //!
 //! ## Quickstart
 //!
