@@ -290,6 +290,87 @@ fn serving_throughput(c: &mut Criterion) {
         (report.files, report.entries, restored.stats().cold_tunes)
     };
 
+    // --- Write-ahead durability: the per-interval journal cost vs ----
+    //     rewriting the whole cache file, then crash-without-flush and
+    //     WAL replay on a fresh fleet.
+    let (
+        wal_full_rewrite_bytes,
+        wal_bytes_per_interval,
+        wal_compactions,
+        wal_records_replayed,
+        wal_recovery_s,
+        wal_restored_cold_tunes,
+    ) = {
+        let dir = std::env::temp_dir().join("isaac_bench_wal");
+        let _ = std::fs::remove_dir_all(&dir);
+        let service = TuneService::new();
+        let tuner = IsaacTuner::load(&model_path, tesla_p100(), OpKind::Gemm).expect("load model");
+        let tuner = service.add_shard(0, tuner);
+        // Interval far beyond the bench: every compaction is explicit.
+        service.enable_durability(&dir, Duration::from_secs(3_600));
+
+        // A mature working set (64 decisions, published synthetically --
+        // the journal cost is per record, not per tune) compacted into
+        // the base file: this is what interval persistence would
+        // rewrite wholesale.
+        let publish = |m: u32| {
+            let shape = GemmShape::new(m, 32, 64, "N", "T", DType::F32);
+            tuner.cache().insert(
+                TuneKey::gemm(&shape),
+                TunedChoice {
+                    config: isaac_gen::GemmConfig::default(),
+                    predicted_gflops: f64::from(m),
+                    tflops: f64::from(m) * 2.0,
+                    time_s: 1.0 / f64::from(m),
+                },
+            );
+        };
+        for m in 1..=64 {
+            publish(m);
+        }
+        service.compact_now().expect("compact the working set");
+        let base = dir.join(isaac_serve::snapshot_file_name(0, OpKind::Gemm));
+        let full_rewrite_bytes = std::fs::metadata(&base).expect("base file").len();
+
+        // One interval's worth of fresh decisions: the WAL carries only
+        // these records -- the durability cost per interval.
+        for m in 65..=68 {
+            publish(m);
+        }
+        let wal = dir.join(isaac_serve::wal_file_name(0, OpKind::Gemm));
+        let bytes_per_interval = std::fs::metadata(&wal).expect("wal file").len();
+        let compactions = service.stats().compactions;
+        // Crash: no shutdown flush -- the tail interval lives only in
+        // the base + WAL.
+        service.disable_snapshots();
+        drop(service);
+
+        let restored = TuneService::new();
+        let tuner = IsaacTuner::load(&model_path, tesla_p100(), OpKind::Gemm).expect("load model");
+        restored.add_shard(0, tuner);
+        let t0 = Instant::now();
+        let report = restored.recover_all(&dir).expect("recover from WAL");
+        let recovery_s = t0.elapsed().as_secs_f64();
+        assert_eq!(report.entries + report.replayed, 68, "nothing lost");
+        for m in 1..=68 {
+            let q = Query::gemm(0, GemmShape::new(m, 32, 64, "N", "T", DType::F32));
+            assert_eq!(
+                restored.submit(&q).wait().served,
+                Served::Cache,
+                "a WAL-recovered key must be served from cache"
+            );
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+        (
+            full_rewrite_bytes,
+            bytes_per_interval,
+            compactions,
+            report.replayed,
+            recovery_s,
+            restored.stats().cold_tunes,
+        )
+    };
+
     // --- Ticket deadline: a bounded waiter on a stalled tune times ----
     //     out without poisoning the flight.
     let deadline_timed_out = {
@@ -360,6 +441,17 @@ fn serving_throughput(c: &mut Criterion) {
         format!("{snapshot_entries} entries, {restored_cold_tunes} cold tunes after restart"),
     ]);
     table.row(vec![
+        "wal bytes/interval vs full rewrite".into(),
+        format!("{wal_bytes_per_interval} vs {wal_full_rewrite_bytes}"),
+    ]);
+    table.row(vec![
+        "wal recovery".into(),
+        format!(
+            "{wal_records_replayed} replayed in {wal_recovery_s:.4}s, \
+             {wal_restored_cold_tunes} cold tunes after crash"
+        ),
+    ]);
+    table.row(vec![
         "deadline timeouts".into(),
         format!("{deadline_timed_out}"),
     ]);
@@ -395,6 +487,15 @@ fn serving_throughput(c: &mut Criterion) {
             ("snapshot_files", snapshot_files.to_string()),
             ("snapshot_entries", snapshot_entries.to_string()),
             ("restored_cold_tunes", restored_cold_tunes.to_string()),
+            ("wal_full_rewrite_bytes", wal_full_rewrite_bytes.to_string()),
+            ("wal_bytes_per_interval", wal_bytes_per_interval.to_string()),
+            ("wal_compactions", wal_compactions.to_string()),
+            ("wal_records_replayed", wal_records_replayed.to_string()),
+            ("wal_recovery_s", format!("{wal_recovery_s:.6}")),
+            (
+                "wal_restored_cold_tunes",
+                wal_restored_cold_tunes.to_string(),
+            ),
             ("deadline_timed_out", deadline_timed_out.to_string()),
             ("async_in_flight", async_in_flight.to_string()),
             ("async_unique_cold", async_unique_cold.to_string()),

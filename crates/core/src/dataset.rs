@@ -170,7 +170,7 @@ fn generate_rows(
 ///
 /// Returns the raw (unstandardized) dataset; callers standardize with
 /// `Dataset::standardize` before training. Generation fans out across
-/// cores (see [`generate_rows`]) and is deterministic in `opts.seed`.
+/// cores (see `generate_rows`) and is deterministic in `opts.seed`.
 pub fn generate_gemm_dataset(profiler: &Profiler, opts: &DatasetOptions) -> Dataset {
     let spec = profiler.spec().clone();
     // Fit the generative model against a mixture of shapes, so the

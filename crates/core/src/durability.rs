@@ -1,0 +1,721 @@
+//! Crash-safe durability primitives for tuning-decision caches.
+//!
+//! Three pieces live here, shared by `isaac-core`'s cache persistence
+//! and `isaac-serve`'s per-shard write-ahead log:
+//!
+//! * **CRC32-framed WAL records** ([`WalRecord`], [`encode_record`],
+//!   [`decode_wal`]): every cache mutation (insert or evict) encodes as
+//!   one newline-terminated text record carrying a CRC32 of its body.
+//!   Decoding stops at the first record that fails its CRC, is
+//!   malformed, or is missing its terminator -- the torn-write
+//!   contract: a crash mid-append leaves a tail that is *truncated and
+//!   counted*, never replayed as garbage.
+//! * **The [`CacheJournal`] observer**: a [`crate::TuneCache`] with a
+//!   journal attached reports every insert and eviction *in mutation
+//!   order* (the callback runs under the cache's write lock), which is
+//!   what makes log replay reproduce the cache state exactly.
+//! * **The [`DurabilityIo`] fault layer**: all durability I/O is
+//!   routed through this trait so tests can inject real failure modes
+//!   deterministically -- [`StdIo`] is the production implementation,
+//!   [`FaultIo`] simulates error-on-nth-write flaky disks, short
+//!   (torn) appends, and process death at named crash points.
+
+use crate::inference::TunedChoice;
+use crate::tuner::{format_cache_line, parse_cache_line, TuneKey};
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+// ---------------------------------------------------------------------------
+// CRC32
+// ---------------------------------------------------------------------------
+
+/// CRC-32 (IEEE 802.3, the zlib/PNG polynomial), table-driven.
+///
+/// Vendored because the build environment has no registry access; the
+/// standard test vector (`crc32(b"123456789") == 0xCBF43926`) is pinned
+/// in this module's tests.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    let table = TABLE.get_or_init(|| {
+        let mut table = [0u32; 256];
+        let mut i = 0usize;
+        while i < 256 {
+            let mut crc = i as u32;
+            let mut bit = 0;
+            while bit < 8 {
+                crc = if crc & 1 != 0 {
+                    (crc >> 1) ^ 0xEDB8_8320
+                } else {
+                    crc >> 1
+                };
+                bit += 1;
+            }
+            table[i] = crc;
+            i += 1;
+        }
+        table
+    });
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ table[((crc ^ u32::from(b)) & 0xFF) as usize];
+    }
+    !crc
+}
+
+// ---------------------------------------------------------------------------
+// WAL records
+// ---------------------------------------------------------------------------
+
+/// One logged cache mutation. The WAL is a sequence of these; replaying
+/// them in order over the base snapshot reproduces the cache exactly
+/// (evictions included -- a bounded cache's recorded history never
+/// overflows its capacity on replay, so replay triggers no policy
+/// evictions of its own).
+#[derive(Debug, Clone, PartialEq)]
+pub enum WalRecord {
+    /// A decision was published (fresh insert or in-place refresh).
+    Insert {
+        /// The cache key the decision was published under.
+        key: TuneKey,
+        /// The published decision.
+        choice: TunedChoice,
+    },
+    /// An entry was evicted by the cache's [`crate::EvictionPolicy`].
+    Evict {
+        /// The evicted key.
+        key: TuneKey,
+    },
+}
+
+impl WalRecord {
+    /// The key this record mutates.
+    pub fn key(&self) -> &TuneKey {
+        match self {
+            WalRecord::Insert { key, .. } | WalRecord::Evict { key } => key,
+        }
+    }
+}
+
+/// Encode one record as its framed on-disk line:
+/// `<crc32:08x> <body>\n`, where the CRC covers exactly the body bytes.
+/// Insert bodies reuse the v2 cache-file line format (shape name, nine
+/// tuning parameters, prediction, measurement); evict bodies carry the
+/// opcode and the shape name.
+pub fn encode_record(record: &WalRecord) -> Vec<u8> {
+    let body = match record {
+        WalRecord::Insert { key, choice } => format!("I {}", format_cache_line(key, choice)),
+        WalRecord::Evict { key } => format!("E {}", key.name()),
+    };
+    let mut line = format!("{:08x} {}", crc32(body.as_bytes()), body);
+    line.push('\n');
+    line.into_bytes()
+}
+
+/// Outcome of decoding a WAL byte stream; see [`decode_wal`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct WalDecode {
+    /// Records decoded, in log order.
+    pub records: Vec<WalRecord>,
+    /// Byte offset one past the last good record: the length the file
+    /// should be truncated to if anything beyond it was torn.
+    pub valid_len: usize,
+    /// Line-shaped chunks dropped after the first bad record, plus one
+    /// for an unterminated trailing fragment. Zero on a clean log.
+    pub torn_records: usize,
+}
+
+/// Decode a WAL byte stream with **truncate-on-first-bad-record**
+/// semantics: records are accepted in order until one fails its CRC,
+/// fails to parse, or is missing its `\n` terminator (a torn append);
+/// everything from the first bad record on is dropped and counted --
+/// once an append tore, nothing after it can be trusted. Keys are
+/// stamped with `device` (the WAL file name carries the shard's device
+/// ordinal, like the `.cache` header does).
+pub fn decode_wal(bytes: &[u8], device: u16) -> WalDecode {
+    let mut decode = WalDecode {
+        records: Vec::new(),
+        valid_len: 0,
+        torn_records: 0,
+    };
+    let mut offset = 0usize;
+    while offset < bytes.len() {
+        let Some(nl) = bytes[offset..].iter().position(|&b| b == b'\n') else {
+            // Unterminated tail: a torn append.
+            decode.torn_records += 1;
+            return decode;
+        };
+        let line = &bytes[offset..offset + nl];
+        match decode_line(line, device) {
+            Some(record) => {
+                decode.records.push(record);
+                offset += nl + 1;
+                decode.valid_len = offset;
+            }
+            None => break,
+        }
+    }
+    // Count what the first bad record poisons: every remaining
+    // line-shaped chunk plus any unterminated fragment.
+    let tail = &bytes[decode.valid_len..];
+    if !tail.is_empty() {
+        decode.torn_records += tail.iter().filter(|&&b| b == b'\n').count();
+        if tail.last() != Some(&b'\n') {
+            decode.torn_records += 1;
+        }
+    }
+    decode
+}
+
+/// Decode one framed line (without its `\n`); `None` if the CRC or the
+/// body is bad.
+fn decode_line(line: &[u8], device: u16) -> Option<WalRecord> {
+    let line = std::str::from_utf8(line).ok()?;
+    let (crc_hex, body) = line.split_once(' ')?;
+    if crc_hex.len() != 8 || u32::from_str_radix(crc_hex, 16).ok()? != crc32(body.as_bytes()) {
+        return None;
+    }
+    let (op, payload) = body.split_once(' ')?;
+    match op {
+        "I" => {
+            let (key, choice) = parse_cache_line(payload, device)?;
+            Some(WalRecord::Insert { key, choice })
+        }
+        "E" => {
+            let key = TuneKey::parse(payload)?.on_device(device);
+            Some(WalRecord::Evict { key })
+        }
+        _ => None,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Cache journal
+// ---------------------------------------------------------------------------
+
+/// Observer of cache mutations, attached via
+/// [`crate::TuneCache::set_journal`]. Callbacks run **under the cache's
+/// write lock**, in mutation order -- the property WAL replay relies
+/// on. Implementations must therefore be quick (one buffered append)
+/// and must never call back into the cache.
+pub trait CacheJournal: Send + Sync + std::fmt::Debug {
+    /// One mutation, in the order it was applied.
+    fn record(&self, record: &WalRecord);
+}
+
+// ---------------------------------------------------------------------------
+// DurabilityIo: the injectable fault layer
+// ---------------------------------------------------------------------------
+
+/// Every filesystem operation the durability layer performs, behind one
+/// object so tests can inject failures deterministically. Production
+/// code uses [`StdIo`]; the chaos suite uses [`FaultIo`].
+pub trait DurabilityIo: Send + Sync + std::fmt::Debug {
+    /// Read a whole file.
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>>;
+    /// Append bytes to a file, creating it if missing.
+    fn append(&self, path: &Path, bytes: &[u8]) -> io::Result<()>;
+    /// Write a whole file (truncating any previous content).
+    fn write_file(&self, path: &Path, bytes: &[u8]) -> io::Result<()>;
+    /// Atomically replace `to` with `from` (same directory).
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()>;
+    /// Truncate a file to `len` bytes.
+    fn truncate(&self, path: &Path, len: u64) -> io::Result<()>;
+    /// Delete a file.
+    fn remove_file(&self, path: &Path) -> io::Result<()>;
+    /// Create a directory and its parents.
+    fn create_dir_all(&self, path: &Path) -> io::Result<()>;
+    /// Size of a file in bytes (`Err` if it does not exist).
+    fn file_len(&self, path: &Path) -> io::Result<u64>;
+    /// File names (not paths) inside a directory.
+    fn read_dir(&self, dir: &Path) -> io::Result<Vec<String>>;
+    /// A declared crash point: production I/O ignores these ([`StdIo`]
+    /// returns `Ok`), the fault layer can "kill the process" here. The
+    /// durability code calls this at every moment a real crash would be
+    /// interesting -- see `docs/DURABILITY.md` for the catalog.
+    fn crash_point(&self, _name: &str) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+/// The production [`DurabilityIo`]: plain `std::fs`.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct StdIo;
+
+impl DurabilityIo for StdIo {
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        std::fs::read(path)
+    }
+
+    fn append(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        use std::io::Write;
+        let mut file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)?;
+        file.write_all(bytes)
+    }
+
+    fn write_file(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        std::fs::write(path, bytes)
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        std::fs::rename(from, to)
+    }
+
+    fn truncate(&self, path: &Path, len: u64) -> io::Result<()> {
+        let file = std::fs::OpenOptions::new().write(true).open(path)?;
+        file.set_len(len)
+    }
+
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        std::fs::remove_file(path)
+    }
+
+    fn create_dir_all(&self, path: &Path) -> io::Result<()> {
+        std::fs::create_dir_all(path)
+    }
+
+    fn file_len(&self, path: &Path) -> io::Result<u64> {
+        Ok(std::fs::metadata(path)?.len())
+    }
+
+    fn read_dir(&self, dir: &Path) -> io::Result<Vec<String>> {
+        let mut names = Vec::new();
+        for entry in std::fs::read_dir(dir)? {
+            names.push(entry?.file_name().to_string_lossy().into_owned());
+        }
+        names.sort();
+        Ok(names)
+    }
+}
+
+/// Deterministic fault plan for [`FaultIo`]. All counts are 1-based
+/// occurrence indices; `None` disables that fault.
+#[derive(Debug, Default, Clone)]
+pub struct FaultPlan {
+    /// The nth `append` call returns an I/O error *without* killing the
+    /// process -- a flaky disk. The bytes are not written; serving
+    /// continues; the error must surface in stats, not vanish.
+    pub fail_append: Option<u64>,
+    /// The nth `append` writes only the given number of bytes, then the
+    /// process dies -- a torn record, the classic crash-mid-append.
+    pub short_append: Option<(u64, usize)>,
+    /// The process dies cleanly right after the nth `append` completes
+    /// (everything appended so far is durable).
+    pub die_after_append: Option<u64>,
+    /// The process dies when the named [`DurabilityIo::crash_point`] is
+    /// reached for the nth time.
+    pub crash_at: Option<(String, u64)>,
+}
+
+/// A [`DurabilityIo`] wrapper that injects the faults described by a
+/// [`FaultPlan`], deterministically. Once a fault "kills the process",
+/// every subsequent operation fails with [`FaultIo::CRASHED`] -- the
+/// harness then drops the service (simulating the process dying with
+/// its in-memory state) and recovers from the on-disk remains with a
+/// clean [`StdIo`].
+#[derive(Debug)]
+pub struct FaultIo {
+    inner: StdIo,
+    plan: FaultPlan,
+    appends: AtomicU64,
+    crash_points: Mutex<Vec<(String, u64)>>,
+    dead: AtomicBool,
+}
+
+impl FaultIo {
+    /// Error message every post-crash operation fails with.
+    pub const CRASHED: &'static str = "simulated crash (FaultIo)";
+
+    /// A fault layer over the real filesystem executing `plan`.
+    pub fn new(plan: FaultPlan) -> Self {
+        FaultIo {
+            inner: StdIo,
+            plan,
+            appends: AtomicU64::new(0),
+            crash_points: Mutex::new(Vec::new()),
+            dead: AtomicBool::new(false),
+        }
+    }
+
+    /// Whether an injected fault has "killed the process".
+    pub fn is_dead(&self) -> bool {
+        self.dead.load(Ordering::Acquire)
+    }
+
+    /// Appends attempted so far (including the failing one).
+    pub fn appends(&self) -> u64 {
+        self.appends.load(Ordering::Relaxed)
+    }
+
+    fn die(&self) -> io::Error {
+        self.dead.store(true, Ordering::Release);
+        io::Error::other(Self::CRASHED)
+    }
+
+    fn alive(&self) -> io::Result<()> {
+        if self.is_dead() {
+            Err(io::Error::other(Self::CRASHED))
+        } else {
+            Ok(())
+        }
+    }
+}
+
+impl DurabilityIo for FaultIo {
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        self.alive()?;
+        self.inner.read(path)
+    }
+
+    fn append(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        self.alive()?;
+        let nth = self.appends.fetch_add(1, Ordering::Relaxed) + 1;
+        if self.plan.fail_append == Some(nth) {
+            return Err(io::Error::other("injected append failure (FaultIo)"));
+        }
+        if let Some((at, keep)) = &self.plan.short_append {
+            if *at == nth {
+                // The torn write: part of the record reaches the disk,
+                // then the process is gone.
+                self.inner
+                    .append(path, &bytes[..(*keep).min(bytes.len())])?;
+                return Err(self.die());
+            }
+        }
+        self.inner.append(path, bytes)?;
+        if self.plan.die_after_append == Some(nth) {
+            return Err(self.die());
+        }
+        Ok(())
+    }
+
+    fn write_file(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        self.alive()?;
+        self.inner.write_file(path, bytes)
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        self.alive()?;
+        self.inner.rename(from, to)
+    }
+
+    fn truncate(&self, path: &Path, len: u64) -> io::Result<()> {
+        self.alive()?;
+        self.inner.truncate(path, len)
+    }
+
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        self.alive()?;
+        self.inner.remove_file(path)
+    }
+
+    fn create_dir_all(&self, path: &Path) -> io::Result<()> {
+        self.alive()?;
+        self.inner.create_dir_all(path)
+    }
+
+    fn file_len(&self, path: &Path) -> io::Result<u64> {
+        self.alive()?;
+        self.inner.file_len(path)
+    }
+
+    fn read_dir(&self, dir: &Path) -> io::Result<Vec<String>> {
+        self.alive()?;
+        self.inner.read_dir(dir)
+    }
+
+    fn crash_point(&self, name: &str) -> io::Result<()> {
+        self.alive()?;
+        if let Some((at, nth)) = &self.plan.crash_at {
+            if at == name {
+                let mut counts = self.crash_points.lock().expect("crash points poisoned");
+                let hit = match counts.iter_mut().find(|(n, _)| n == name) {
+                    Some((_, c)) => {
+                        *c += 1;
+                        *c
+                    }
+                    None => {
+                        counts.push((name.to_string(), 1));
+                        1
+                    }
+                };
+                if hit == *nth {
+                    return Err(self.die());
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A [`CacheJournal`] that encodes every mutation as a framed record
+/// and appends it to one WAL file through a [`DurabilityIo`]. Appends
+/// are serialized by an internal mutex which compaction also takes
+/// while it swaps the log out -- an append can never land between
+/// "compaction read the log" and "compaction truncated the log" and be
+/// lost. Append *errors* never fail the cache mutation (serving must
+/// survive a flaky disk); they are counted so stats surface them.
+#[derive(Debug)]
+pub struct WalWriter {
+    io: std::sync::Arc<dyn DurabilityIo>,
+    path: PathBuf,
+    /// Serializes appends against compaction's read-and-truncate.
+    lock: Mutex<()>,
+    appends: AtomicU64,
+    bytes: AtomicU64,
+    errors: AtomicU64,
+}
+
+impl WalWriter {
+    /// A writer appending framed records to `path` through `io`.
+    pub fn new(io: std::sync::Arc<dyn DurabilityIo>, path: PathBuf) -> Self {
+        WalWriter {
+            io,
+            path,
+            lock: Mutex::new(()),
+            appends: AtomicU64::new(0),
+            bytes: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+        }
+    }
+
+    /// The WAL file this writer appends to.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// `(appends, bytes_appended, append_errors)` so far.
+    pub fn counters(&self) -> (u64, u64, u64) {
+        (
+            self.appends.load(Ordering::Relaxed),
+            self.bytes.load(Ordering::Relaxed),
+            self.errors.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Run `f` with appends excluded (compaction's read-swap-truncate
+    /// window). `f` must not touch the cache this writer journals for
+    /// (an insert would deadlock against its own journal append).
+    pub fn with_appends_excluded<R>(&self, f: impl FnOnce() -> R) -> R {
+        let _guard = self.lock.lock().expect("wal writer poisoned");
+        f()
+    }
+}
+
+impl CacheJournal for WalWriter {
+    fn record(&self, record: &WalRecord) {
+        let line = encode_record(record);
+        let _guard = self.lock.lock().expect("wal writer poisoned");
+        match self.io.append(&self.path, &line) {
+            Ok(()) => {
+                self.appends.fetch_add(1, Ordering::Relaxed);
+                self.bytes.fetch_add(line.len() as u64, Ordering::Relaxed);
+            }
+            Err(_) => {
+                self.errors.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::OpKind;
+    use crate::tuner::ShapeKey;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn key(m: u32) -> TuneKey {
+        TuneKey {
+            device: 0,
+            op: OpKind::Gemm,
+            dtype: isaac_device::DType::F32,
+            shape: ShapeKey::Gemm {
+                m,
+                n: 32,
+                k: 64,
+                trans_a: false,
+                trans_b: true,
+            },
+        }
+    }
+
+    fn choice(tag: f64) -> TunedChoice {
+        TunedChoice {
+            config: isaac_gen::GemmConfig::default(),
+            predicted_gflops: tag,
+            tflops: tag * 2.0,
+            time_s: tag * 3.0,
+        }
+    }
+
+    #[test]
+    fn crc32_matches_the_standard_test_vector() {
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn records_roundtrip_through_the_framed_encoding() {
+        let records = vec![
+            WalRecord::Insert {
+                key: key(8),
+                choice: choice(1.0),
+            },
+            WalRecord::Evict { key: key(8) },
+            WalRecord::Insert {
+                key: key(16),
+                choice: choice(2.5),
+            },
+        ];
+        let mut bytes = Vec::new();
+        for r in &records {
+            bytes.extend_from_slice(&encode_record(r));
+        }
+        let decode = decode_wal(&bytes, 0);
+        assert_eq!(decode.records, records);
+        assert_eq!(decode.valid_len, bytes.len());
+        assert_eq!(decode.torn_records, 0);
+    }
+
+    #[test]
+    fn decoding_stamps_the_device_ordinal() {
+        let bytes = encode_record(&WalRecord::Insert {
+            key: key(8),
+            choice: choice(1.0),
+        });
+        let decode = decode_wal(&bytes, 7);
+        assert_eq!(decode.records[0].key().device, 7);
+    }
+
+    #[test]
+    fn a_torn_tail_is_dropped_and_counted() {
+        let good = encode_record(&WalRecord::Insert {
+            key: key(8),
+            choice: choice(1.0),
+        });
+        let torn = encode_record(&WalRecord::Insert {
+            key: key(16),
+            choice: choice(2.0),
+        });
+        // Crash mid-append: only half the second record landed.
+        let mut bytes = good.clone();
+        bytes.extend_from_slice(&torn[..torn.len() / 2]);
+        let decode = decode_wal(&bytes, 0);
+        assert_eq!(decode.records.len(), 1);
+        assert_eq!(decode.valid_len, good.len());
+        assert_eq!(decode.torn_records, 1);
+    }
+
+    #[test]
+    fn a_corrupt_record_poisons_everything_after_it() {
+        let records: Vec<Vec<u8>> = (0..4)
+            .map(|i| {
+                encode_record(&WalRecord::Insert {
+                    key: key(8 + i),
+                    choice: choice(f64::from(i)),
+                })
+            })
+            .collect();
+        let mut bytes: Vec<u8> = records.concat();
+        // Flip one payload byte inside record 1: its CRC now fails, and
+        // records 2..3 must NOT be replayed even though they are intact
+        // (a bad record means the log's tail cannot be trusted).
+        let corrupt_at = records[0].len() + records[1].len() - 2;
+        bytes[corrupt_at] ^= 0x01;
+        let decode = decode_wal(&bytes, 0);
+        assert_eq!(decode.records.len(), 1);
+        assert_eq!(decode.valid_len, records[0].len());
+        assert_eq!(
+            decode.torn_records, 3,
+            "the bad record plus two intact ones"
+        );
+    }
+
+    /// The property the recovery path stands on: decoding **any byte
+    /// prefix** of a WAL yields exactly a prefix of the full record
+    /// sequence -- never a partial record, never a record out of order,
+    /// never garbage.
+    #[test]
+    fn any_byte_prefix_decodes_to_a_record_prefix() {
+        let mut rng = StdRng::seed_from_u64(0x0001_5AAC_0006);
+        let records: Vec<WalRecord> = (0..40)
+            .map(|i| {
+                if rng.gen_range(0..4) == 0 {
+                    WalRecord::Evict {
+                        key: key(8 + (i % 7)),
+                    }
+                } else {
+                    WalRecord::Insert {
+                        key: key(8 + (i % 7)),
+                        choice: choice(rng.gen_range(1..100) as f64 / 4.0),
+                    }
+                }
+            })
+            .collect();
+        let bytes: Vec<u8> = records.iter().flat_map(encode_record).collect();
+        for cut in 0..=bytes.len() {
+            let decode = decode_wal(&bytes[..cut], 0);
+            assert!(
+                decode.records.len() <= records.len(),
+                "prefix decoded more records than were written"
+            );
+            assert_eq!(
+                decode.records.as_slice(),
+                &records[..decode.records.len()],
+                "byte prefix of len {cut} decoded a non-prefix record sequence"
+            );
+            assert!(decode.valid_len <= cut);
+            if cut < bytes.len() {
+                // Whatever was cut off is accounted for: either the cut
+                // fell exactly on a record boundary (no torn records)
+                // or the partial record is counted.
+                let clean_cut = decode.valid_len == cut;
+                assert_eq!(
+                    decode.torn_records == 0,
+                    clean_cut,
+                    "torn accounting at cut {cut}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fault_io_short_append_then_dead() {
+        let dir = std::env::temp_dir().join("isaac_core_faultio_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("x.wal");
+        let io = FaultIo::new(FaultPlan {
+            short_append: Some((2, 3)),
+            ..Default::default()
+        });
+        io.append(&path, b"first\n").unwrap();
+        let err = io.append(&path, b"second\n").unwrap_err();
+        assert_eq!(err.to_string(), FaultIo::CRASHED);
+        assert!(io.is_dead());
+        // The torn bytes landed; nothing works after death.
+        assert_eq!(std::fs::read(&path).unwrap(), b"first\nsec");
+        assert!(io.read(&path).is_err());
+        assert!(io.append(&path, b"more").is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fault_io_crash_point_fires_on_the_nth_visit() {
+        let io = FaultIo::new(FaultPlan {
+            crash_at: Some(("compact.pre_truncate".into(), 2)),
+            ..Default::default()
+        });
+        assert!(io.crash_point("compact.pre_truncate").is_ok());
+        assert!(io.crash_point("compact.rename").is_ok());
+        assert!(io.crash_point("compact.pre_truncate").is_err());
+        assert!(io.is_dead());
+        assert!(io.crash_point("anything").is_err());
+    }
+}

@@ -38,7 +38,7 @@
 //!    [`ScratchSpace`]s; the top-k candidates are selected with an O(n)
 //!    partial selection (ties broken by index).
 //! 5. **Re-benchmark**: the finalists are measured on the device model
-//!    (best-of-[`RE_BENCH_REPS`]) and the fastest wins.
+//!    (best-of-`RE_BENCH_REPS`) and the fastest wins.
 //!
 //! [`StageBreakdown`] (from [`infer_gemm_staged`]) reports where a cold
 //! tune's time goes, stage by stage; the inference benchmark publishes it

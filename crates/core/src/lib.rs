@@ -37,6 +37,7 @@
 //! thread count.
 
 pub mod dataset;
+pub mod durability;
 pub mod features;
 pub mod inference;
 pub mod optimizers;
@@ -44,6 +45,10 @@ pub mod sampling;
 pub mod tuner;
 
 pub use dataset::{generate_conv_dataset, generate_gemm_dataset, DatasetOptions, OpKind};
+pub use durability::{
+    crc32, decode_wal, encode_record, CacheJournal, DurabilityIo, FaultIo, FaultPlan, StdIo,
+    WalDecode, WalRecord, WalWriter,
+};
 pub use inference::{
     engine_stats, enumerate_legal_conv, enumerate_legal_gemm, infer_conv, infer_conv_opts,
     infer_conv_serial, infer_conv_staged, infer_gemm, infer_gemm_opts, infer_gemm_serial,
@@ -53,6 +58,6 @@ pub use inference::{
 pub use optimizers::{exhaustive, genetic, simulated_annealing, SearchResult};
 pub use sampling::{acceptance_rate, cfg_seed, mix_seed, CategoricalSampler, UniformSampler};
 pub use tuner::{
-    read_cache_file, CacheLoadReport, CacheStats, EvictionPolicy, IsaacTuner, KeyShape, ShapeKey,
-    TrainOptions, TuneCache, TuneKey, WarmStartReport,
+    read_cache_file, read_cache_text, CacheLoadReport, CacheStats, EvictionPolicy, IsaacTuner,
+    KeyShape, ShapeKey, TrainOptions, TuneCache, TuneKey, WarmStartReport,
 };

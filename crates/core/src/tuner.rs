@@ -29,6 +29,7 @@
 //! cold-tuning.
 
 use crate::dataset::{generate_conv_dataset, generate_gemm_dataset, DatasetOptions, OpKind};
+use crate::durability::{CacheJournal, WalRecord};
 use crate::inference::{
     infer_conv_opts, infer_gemm_opts, rebench_conv, rebench_gemm, CascadeConfig, InferOptions,
     TunedChoice,
@@ -43,7 +44,7 @@ use rand::SeedableRng;
 use std::collections::HashMap;
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::RwLock;
+use std::sync::{Arc, RwLock};
 
 /// The input-shape component of a tune-cache key.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -467,6 +468,10 @@ pub struct TuneCache {
     /// Accumulated retune cost of evicted entries, in millicost units
     /// (kept integral so [`CacheStats`] stays `Eq`).
     evicted_cost_milli: AtomicU64,
+    /// Durability journal: when attached, every insert and policy
+    /// eviction is reported in mutation order, under the write lock
+    /// (see [`crate::durability::CacheJournal`]).
+    journal: RwLock<Option<Arc<dyn CacheJournal>>>,
 }
 
 /// An unbounded [`TuneCache`] (the default: a tuner's working set of
@@ -504,7 +509,23 @@ impl TuneCache {
             evictions: AtomicU64::new(0),
             evicted_hits: AtomicU64::new(0),
             evicted_cost_milli: AtomicU64::new(0),
+            journal: RwLock::new(None),
         }
+    }
+
+    /// Attach (or, with `None`, detach) a durability journal. From then
+    /// on every [`TuneCache::insert`] and policy eviction is reported
+    /// to it in mutation order. Mutations performed *before* attaching
+    /// (a recovery replay, a snapshot load) are not journaled -- which
+    /// is exactly what recovery wants: replaying a log must not
+    /// re-append the log.
+    pub fn set_journal(&self, journal: Option<Arc<dyn CacheJournal>>) {
+        *self.journal.write().expect("tune cache poisoned") = journal;
+    }
+
+    /// The attached durability journal, if any.
+    pub fn journal(&self) -> Option<Arc<dyn CacheJournal>> {
+        self.journal.read().expect("tune cache poisoned").clone()
     }
 
     /// Maximum number of decisions held (`usize::MAX` if unbounded).
@@ -529,7 +550,11 @@ impl TuneCache {
         self.dirty.store(false, Ordering::Release);
     }
 
-    fn mark_dirty(&self) {
+    /// Mark the cache as having unpersisted mutations. Inserts and
+    /// removals do this themselves; the serving layer's compactor also
+    /// calls it when a persistence attempt fails after it already
+    /// cleared the bit (so the shard is retried next interval).
+    pub fn mark_dirty(&self) {
         self.dirty.store(true, Ordering::Release);
     }
 
@@ -602,6 +627,10 @@ impl TuneCache {
     /// [`TuneCache::insert`] with an initial per-entry hit count, used
     /// by the rebuild path to carry counts across re-keying/shrinking.
     fn insert_with_hits(&self, key: TuneKey, choice: TunedChoice, hits: u64) {
+        let journal = self.journal();
+        // Clone for the journal before the choice moves into the map;
+        // journal-free caches skip the clone entirely.
+        let logged = journal.as_ref().map(|_| choice.clone());
         let stamp = self.next_stamp();
         let mut map = self.map.write().expect("tune cache poisoned");
         if let Some(slot) = map.get_mut(&key) {
@@ -611,7 +640,7 @@ impl TuneCache {
             slot.set_score(self.greedy_dual_score(total, slot.cost));
         } else {
             if map.len() >= self.capacity {
-                self.evict_one(&mut map);
+                self.evict_one(&mut map, journal.as_deref());
             }
             let cost = key.retune_cost();
             map.insert(
@@ -625,6 +654,13 @@ impl TuneCache {
                 },
             );
         }
+        // Journal the publish while still holding the write lock: the
+        // log must list mutations in the order they were applied (the
+        // eviction above, if any, preceded this insert), or replay
+        // would reconstruct a different cache.
+        if let (Some(journal), Some(choice)) = (&journal, logged) {
+            journal.record(&WalRecord::Insert { key, choice });
+        }
         // Dirty only once the entry is in the map, while still holding
         // the write lock: a concurrent `save_cache` either reads its
         // entries after this insert (its `mark_clean` is then correct)
@@ -636,9 +672,70 @@ impl TuneCache {
         self.mark_dirty();
     }
 
+    /// Apply one replayed WAL record with exact put/delete semantics:
+    /// an `Insert` publishes unconditionally **without** consulting the
+    /// eviction policy, an `Evict` removes the key. Never journaled.
+    ///
+    /// Replay must mirror the recorded history verbatim. The historical
+    /// live set never exceeded capacity (every at-capacity insert's
+    /// eviction is in the log, *before* it), so replaying a log over
+    /// the base it extends stays within bounds on its own -- but a
+    /// crash between compaction's base rewrite and its log truncation
+    /// leaves a log whose effects the base already includes, and
+    /// re-replaying it can transiently exceed capacity. A policy
+    /// eviction fired at that moment could victimize an entry the log
+    /// never evicted; with put/delete semantics the replay is instead
+    /// idempotent (each key ends at its last-record state) and the
+    /// final size is the base's, within capacity.
+    pub fn apply(&self, record: &WalRecord) {
+        match record {
+            WalRecord::Insert { key, choice } => {
+                let stamp = self.next_stamp();
+                let mut map = self.map.write().expect("tune cache poisoned");
+                if let Some(slot) = map.get_mut(key) {
+                    slot.choice = choice.clone();
+                    slot.stamp.store(stamp, Ordering::Relaxed);
+                } else {
+                    let cost = key.retune_cost();
+                    map.insert(
+                        *key,
+                        CacheSlot {
+                            choice: choice.clone(),
+                            stamp: AtomicU64::new(stamp),
+                            hits: AtomicU64::new(0),
+                            cost,
+                            score: AtomicU64::new(self.greedy_dual_score(0, cost).to_bits()),
+                        },
+                    );
+                }
+                drop(map);
+                self.mark_dirty();
+            }
+            WalRecord::Evict { key } => {
+                self.remove(key);
+            }
+        }
+    }
+
+    /// Remove an entry directly: no policy accounting, no journaling.
+    /// This is the *replay* side of a journaled eviction (recovery
+    /// applies `Evict` records with it), so it must not feed back into
+    /// the journal or the eviction counters. Returns whether the key
+    /// was present; a removal marks the cache dirty.
+    pub fn remove(&self, key: &TuneKey) -> bool {
+        let removed = {
+            let mut map = self.map.write().expect("tune cache poisoned");
+            map.remove(key).is_some()
+        };
+        if removed {
+            self.mark_dirty();
+        }
+        removed
+    }
+
     /// Remove one victim according to the policy (called at capacity,
     /// under the write lock) and account for what was lost.
-    fn evict_one(&self, map: &mut HashMap<TuneKey, CacheSlot>) {
+    fn evict_one(&self, map: &mut HashMap<TuneKey, CacheSlot>, journal: Option<&dyn CacheJournal>) {
         let victim = match self.policy {
             // Exact LRU: smallest recency stamp. Stamps are unique, so
             // the choice is deterministic.
@@ -661,6 +758,9 @@ impl TuneCache {
         };
         if let Some(victim) = victim {
             if let Some(slot) = map.remove(&victim) {
+                if let Some(journal) = journal {
+                    journal.record(&WalRecord::Evict { key: victim });
+                }
                 self.evictions.fetch_add(1, Ordering::Relaxed);
                 self.evicted_hits
                     .fetch_add(slot.hits.load(Ordering::Relaxed), Ordering::Relaxed);
@@ -764,6 +864,12 @@ impl TuneCache {
             self.evicted_cost_milli.load(Ordering::Relaxed),
             Ordering::Relaxed,
         );
+        // The copy inherits the journal only *after* the replay above:
+        // rebuild inserts re-key state the log already records, and
+        // re-journaling them would duplicate every record. The next
+        // compaction persists the rebuilt shape.
+        *rebuilt.journal.write().expect("tune cache poisoned") =
+            self.journal.read().expect("tune cache poisoned").clone();
         // The copy is dirty if the source had unsnapshotted decisions
         // or the rebuild itself changed content (re-keying, shrink
         // evictions); a same-shape copy of a clean cache stays clean.
@@ -1072,27 +1178,21 @@ impl IsaacTuner {
     /// snapshot instead of being lost.
     pub fn save_cache(&self, path: &Path) -> std::io::Result<()> {
         self.cache.mark_clean();
+        std::fs::write(path, self.cache_text()).inspect_err(|_| self.cache.mark_dirty())
+    }
+
+    /// The cache's persisted form as in-memory text: the v2 header plus
+    /// one `format_cache_line` row per entry. A pure snapshot -- the
+    /// dirty bit is untouched; [`IsaacTuner::save_cache`] and the
+    /// serving layer's WAL compactor (which routes the write through
+    /// its injectable I/O) both build their bytes here.
+    pub fn cache_text(&self) -> String {
         let mut text = format!("isaac-kernel-cache v2 device {}\n", self.device_id);
         for (key, c, _hits) in self.cache.entries() {
-            let v = c.config.as_vector();
-            text.push_str(&format!(
-                "{} {} {} {} {} {} {} {} {} {} {:.6e} {:.6e} {:.6e}\n",
-                key.name(),
-                v[0],
-                v[1],
-                v[2],
-                v[3],
-                v[4],
-                v[5],
-                v[6],
-                v[7],
-                v[8],
-                c.predicted_gflops,
-                c.tflops,
-                c.time_s
-            ));
+            text.push_str(&format_cache_line(&key, &c));
+            text.push('\n');
         }
-        std::fs::write(path, text).inspect_err(|_| self.cache.mark_dirty())
+        text
     }
 
     /// Load a cache saved with [`IsaacTuner::save_cache`], merging it
@@ -1102,7 +1202,14 @@ impl IsaacTuner {
     /// occupy LRU slots) are skipped and counted in the report so
     /// callers can log corruption instead of losing entries silently.
     pub fn load_cache(&self, path: &Path) -> std::io::Result<CacheLoadReport> {
-        let (entries, mut skipped) = read_cache_file(path)?;
+        self.load_cache_text(&std::fs::read_to_string(path)?)
+    }
+
+    /// [`IsaacTuner::load_cache`] over already-read text. The serving
+    /// layer's recovery path reads the file through its injectable I/O
+    /// first, then merges here.
+    pub fn load_cache_text(&self, text: &str) -> std::io::Result<CacheLoadReport> {
+        let (entries, mut skipped) = read_cache_text(text)?;
         let mut loaded = 0usize;
         for (key, choice) in entries {
             if key.op != self.kind {
@@ -1255,7 +1362,11 @@ impl IsaacTuner {
 /// provenance) and v2 (`isaac-kernel-cache v2 device <id>`); entry keys
 /// carry the header's device ordinal (0 for v1).
 pub fn read_cache_file(path: &Path) -> std::io::Result<(Vec<(TuneKey, TunedChoice)>, usize)> {
-    let text = std::fs::read_to_string(path)?;
+    read_cache_text(&std::fs::read_to_string(path)?)
+}
+
+/// [`read_cache_file`] over already-read text.
+pub fn read_cache_text(text: &str) -> std::io::Result<(Vec<(TuneKey, TunedChoice)>, usize)> {
     let mut lines = text.lines();
     let header = lines.next().unwrap_or_default();
     let device: u16 = if header == "isaac-kernel-cache v1" {
@@ -1287,8 +1398,32 @@ pub fn read_cache_file(path: &Path) -> std::io::Result<(Vec<(TuneKey, TunedChoic
     Ok((entries, skipped))
 }
 
+/// One persisted cache line (no trailing newline): shape name, the
+/// nine tuning parameters, prediction and measurements. Shared by
+/// [`IsaacTuner::save_cache`] and the WAL's insert-record payload
+/// (`crate::durability`), so the two on-disk formats cannot drift.
+pub(crate) fn format_cache_line(key: &TuneKey, c: &TunedChoice) -> String {
+    let v = c.config.as_vector();
+    format!(
+        "{} {} {} {} {} {} {} {} {} {} {:.6e} {:.6e} {:.6e}",
+        key.name(),
+        v[0],
+        v[1],
+        v[2],
+        v[3],
+        v[4],
+        v[5],
+        v[6],
+        v[7],
+        v[8],
+        c.predicted_gflops,
+        c.tflops,
+        c.time_s
+    )
+}
+
 /// One `save_cache` line -> `(key, choice)`, or `None` if malformed.
-fn parse_cache_line(line: &str, device: u16) -> Option<(TuneKey, TunedChoice)> {
+pub(crate) fn parse_cache_line(line: &str, device: u16) -> Option<(TuneKey, TunedChoice)> {
     let fields: Vec<&str> = line.split_whitespace().collect();
     if fields.len() != 13 {
         return None;

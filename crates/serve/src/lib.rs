@@ -39,6 +39,7 @@
 //! architecture sketch and the migration notes.
 
 pub mod batch;
+pub mod durability;
 pub mod router;
 pub mod service;
 pub mod single_flight;
@@ -47,9 +48,11 @@ pub mod ticket;
 pub(crate) mod workers;
 
 pub use batch::{plan, BatchPlan, Decision, Query, QueryShape, Served};
+pub use durability::{parse_wal_file_name, wal_file_name};
 pub use router::TunerRouter;
 pub use service::{
-    parse_snapshot_file_name, snapshot_file_name, SnapshotReport, SubmitOptions, TuneService,
+    parse_snapshot_file_name, snapshot_file_name, RetryPolicy, SnapshotReport, SubmitOptions,
+    TuneService,
 };
 pub use single_flight::{FlightId, FlightStats, Role, SingleFlight, Waiter};
 pub use stats::{RouterStats, ServiceStats};

@@ -49,12 +49,14 @@
 //!   policy).
 
 use crate::batch::{plan, Decision, Query, QueryShape, Served};
+use crate::durability::{compact_shard, gc_orphans, recover_shard, wal_file_name};
 use crate::single_flight::{FlightStats, Role, SingleFlight, Waiter};
 use crate::stats::{bump, Counters, RouterStats, ServiceStats};
 use crate::ticket::{OpenTickets, TicketCell, TuneTicket};
 use crate::workers::{Job, MissQueue, Popped, WorkerPool};
+use isaac_core::durability::{DurabilityIo, StdIo, WalWriter};
 use isaac_core::{IsaacTuner, OpKind, TuneKey, TunedChoice, WarmStartReport};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
@@ -65,9 +67,33 @@ use std::time::{Duration, Instant};
 /// populated on entry, i.e. it raced a previous flight's completion).
 type FlightResult = (Option<TunedChoice>, bool);
 
-/// A tune that panics is retried this many times in total before its
-/// flight is failed (the first attempt plus two retries).
+/// Default total attempts for a panicking tune (the first attempt plus
+/// two retries); see [`RetryPolicy`].
 const MAX_TUNE_ATTEMPTS: u32 = 3;
+
+/// How the worker pool retries a cold tune whose attempt panicked
+/// ([`TuneService::set_retry_policy`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts per flight, the first one included (clamped to at
+    /// least 1). Past the budget the flight terminally fails its
+    /// tickets and counts into [`ServiceStats::retry_exhausted`].
+    pub max_attempts: u32,
+    /// Pause before each re-queued retry, on the worker that caught the
+    /// panic. Zero (the default) re-queues immediately; a non-zero
+    /// backoff gives a transiently sick device room to recover instead
+    /// of burning the whole attempt budget in microseconds.
+    pub backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: MAX_TUNE_ATTEMPTS,
+            backoff: Duration::ZERO,
+        }
+    }
+}
 
 /// The tuners of one device.
 #[derive(Debug, Default)]
@@ -116,21 +142,47 @@ struct SnapshotSchedule {
     interval: Duration,
     next_due: Instant,
     last: Option<SnapshotReport>,
+    /// `true`: the interval work is WAL compaction
+    /// ([`TuneService::enable_durability`]); `false`: the PR 5
+    /// whole-file dirty-shard snapshot.
+    wal: bool,
+}
+
+/// Live write-ahead durability state
+/// ([`TuneService::enable_durability`]): the directory, the I/O layer
+/// every durability operation routes through, and one journal writer
+/// per registered `(device, op)` shard.
+struct WalState {
+    dir: PathBuf,
+    io: Arc<dyn DurabilityIo>,
+    writers: HashMap<(u16, OpKind), Arc<WalWriter>>,
 }
 
 /// Aggregate outcome of [`TuneService::snapshot_all`] /
 /// [`TuneService::restore_all`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SnapshotReport {
-    /// Cache files written (snapshot) or read (restore).
+    /// Cache files written (snapshot/compaction) or read
+    /// (restore/recovery).
     pub files: usize,
-    /// Decisions persisted (snapshot) or merged (restore).
+    /// Decisions persisted (snapshot) or merged from base files
+    /// (restore/recovery).
     pub entries: usize,
-    /// Malformed / wrong-operation lines skipped during restore.
+    /// Malformed / wrong-operation lines or records skipped during
+    /// restore/recovery -- silent cache shrinkage made visible.
     pub skipped: usize,
-    /// Snapshot files whose `(device, op)` has no registered shard to
-    /// restore into (restore only).
+    /// Files whose `(device, op)` has no registered shard to restore
+    /// into (restore/recovery only).
     pub unmatched: usize,
+    /// WAL records replayed on top of base files (recovery only).
+    pub replayed: usize,
+    /// Torn or corrupt trailing WAL records truncated away instead of
+    /// being replayed (recovery only).
+    pub torn_records: usize,
+    /// Stale persistence files deleted: orphans of unregistered shards
+    /// and `.tmp` leftovers of crashed compactions (compaction sweeps),
+    /// or the files of a removed/replaced shard.
+    pub gc_removed: usize,
 }
 
 /// Gauges owned by the service core (the open-ticket gauge lives in
@@ -140,6 +192,7 @@ struct Gauges {
     jobs_run: AtomicU64,
     jobs_cancelled: AtomicU64,
     tune_retries: AtomicU64,
+    retry_exhausted: AtomicU64,
     queue_wait_ns: AtomicU64,
 }
 
@@ -154,8 +207,18 @@ struct ServiceCore {
     gauges: Gauges,
     tickets: Arc<OpenTickets>,
     /// Background snapshotter schedule; `None` until
-    /// [`TuneService::enable_snapshots`].
+    /// [`TuneService::enable_snapshots`] /
+    /// [`TuneService::enable_durability`].
     snapshots: Mutex<Option<SnapshotSchedule>>,
+    /// Write-ahead durability state; `None` until
+    /// [`TuneService::enable_durability`].
+    wal: Mutex<Option<WalState>>,
+    /// Report of the most recent [`TuneService::recover_all`], so
+    /// recovery corruption counts stay inspectable
+    /// ([`TuneService::last_snapshot`] falls back to it).
+    last_recovery: Mutex<Option<SnapshotReport>>,
+    /// How panicking tunes are retried; see [`RetryPolicy`].
+    retry: RwLock<RetryPolicy>,
     /// Fault injection for the leader-panic tests: each queued unit
     /// makes the next tune attempt panic (see
     /// [`TuneService::inject_tune_panics`]).
@@ -329,17 +392,22 @@ impl ServiceCore {
     /// (lock-free) disk write, so everyone else sees a future deadline
     /// and goes back to sleep.
     fn run_due_snapshot(self: &Arc<Self>) {
-        let dir = {
+        let (dir, wal_mode) = {
             let mut schedule = self.snapshots.lock().expect("snapshot schedule poisoned");
             match schedule.as_mut() {
                 Some(s) if Instant::now() >= s.next_due => {
                     s.next_due = Instant::now() + s.interval;
-                    s.dir.clone()
+                    (s.dir.clone(), s.wal)
                 }
                 _ => return,
             }
         };
-        match self.snapshot_shards(&dir, true) {
+        let outcome = if wal_mode {
+            self.run_compaction_sweep(&dir)
+        } else {
+            self.snapshot_shards(&dir, true)
+        };
+        match outcome {
             // An all-clean fleet writes no files and counts no
             // snapshot: the interval tick is free while nothing tunes.
             Ok(report) if report.files == 0 => {}
@@ -384,6 +452,94 @@ impl ServiceCore {
             report.files += 1;
             report.entries += tuner.cache_len();
         }
+        Ok(report)
+    }
+
+    /// The I/O layer durability routes through, when enabled.
+    fn wal_io(&self) -> Option<Arc<dyn DurabilityIo>> {
+        self.wal
+            .lock()
+            .expect("wal state poisoned")
+            .as_ref()
+            .map(|s| Arc::clone(&s.io))
+    }
+
+    /// The shard's WAL writer, created on first use (durability mode
+    /// only).
+    fn wal_writer(&self, device: u16, op: OpKind) -> Option<Arc<WalWriter>> {
+        let mut wal = self.wal.lock().expect("wal state poisoned");
+        let state = wal.as_mut()?;
+        Some(Arc::clone(
+            state.writers.entry((device, op)).or_insert_with(|| {
+                Arc::new(WalWriter::new(
+                    Arc::clone(&state.io),
+                    state.dir.join(wal_file_name(device, op)),
+                ))
+            }),
+        ))
+    }
+
+    /// Attach the shard's WAL writer as its cache journal (no-op until
+    /// durability is enabled). Every publish and policy eviction from
+    /// here on appends one framed record.
+    fn attach_journal(&self, device: u16, op: OpKind, tuner: &IsaacTuner) {
+        if let Some(writer) = self.wal_writer(device, op) {
+            tuner.cache().set_journal(Some(writer));
+        }
+    }
+
+    /// Durability-mode shard teardown: detach the outgoing tuner's
+    /// journal (so a straggling publish cannot recreate the file
+    /// mid-delete), drop the writer, and delete the shard's base and
+    /// WAL files -- a removed or replaced shard must not leave stale
+    /// state for the next recovery to resurrect. Deletions count into
+    /// [`RouterStats::gc_removed`].
+    fn gc_shard_files(&self, device: u16, op: OpKind, old: Option<&IsaacTuner>) {
+        if let Some(old) = old {
+            old.cache().set_journal(None);
+        }
+        let removed = {
+            let mut wal = self.wal.lock().expect("wal state poisoned");
+            let Some(state) = wal.as_mut() else { return };
+            state.writers.remove(&(device, op));
+            [snapshot_file_name(device, op), wal_file_name(device, op)]
+                .iter()
+                .filter(|name| state.io.remove_file(&state.dir.join(name.as_str())).is_ok())
+                .count()
+        };
+        bump(&self.counters.gc_removed, removed as u64);
+    }
+
+    /// One durability interval: compact every shard whose state moved
+    /// (dirty cache or non-empty WAL) into a fresh base file, then
+    /// sweep the directory for orphans of unregistered shards and
+    /// `.tmp` leftovers of crashed compactions.
+    fn run_compaction_sweep(&self, dir: &Path) -> std::io::Result<SnapshotReport> {
+        let Some(io) = self.wal_io() else {
+            return Ok(SnapshotReport::default());
+        };
+        io.create_dir_all(dir)?;
+        let mut report = SnapshotReport::default();
+        let shards = self.shard_list();
+        for (device, op, tuner) in &shards {
+            let Some(writer) = self.wal_writer(*device, *op) else {
+                continue;
+            };
+            let wal_len = io
+                .file_len(&dir.join(wal_file_name(*device, *op)))
+                .unwrap_or(0);
+            if !tuner.cache().is_dirty() && wal_len == 0 {
+                continue;
+            }
+            let entries = compact_shard(io.as_ref(), dir, *device, *op, tuner, &writer)?;
+            report.files += 1;
+            report.entries += entries;
+            bump(&self.counters.compactions, 1);
+        }
+        report.gc_removed = gc_orphans(io.as_ref(), dir, |device, op| {
+            shards.iter().any(|(d, o, _)| *d == device && *o == op)
+        });
+        bump(&self.counters.gc_removed, report.gc_removed as u64);
         Ok(report)
     }
 
@@ -461,9 +617,17 @@ impl ServiceCore {
                 // The flight entry (and its tickets) stays alive across
                 // the retry; only the panic is recorded.
                 self.flights.note_leader_panic();
+                let policy = *self.retry.read().expect("retry policy poisoned");
                 let attempts = job.attempts + 1;
-                if attempts < MAX_TUNE_ATTEMPTS {
+                if attempts < policy.max_attempts.max(1) {
                     self.gauges.tune_retries.fetch_add(1, Ordering::Relaxed);
+                    // Backoff on the worker that caught the panic: the
+                    // job re-queues after the pause, so a transiently
+                    // sick device is not hammered with the whole
+                    // attempt budget back to back.
+                    if !policy.backoff.is_zero() {
+                        std::thread::sleep(policy.backoff);
+                    }
                     self.queue.push(Job {
                         enqueued: Instant::now(),
                         attempts,
@@ -473,7 +637,10 @@ impl ServiceCore {
                     // The retry budget is spent: terminally fail the
                     // tickets (each waiter counts itself into `failed`;
                     // the crashes are already in `leader_panics`, so
-                    // this is not an administrative `cancelled`).
+                    // this is not an administrative `cancelled` --
+                    // and `retry_exhausted` records the exhaustion
+                    // distinctly from the per-attempt panic count).
+                    self.gauges.retry_exhausted.fetch_add(1, Ordering::Relaxed);
                     self.flights.fail_if(&job.key, job.flight);
                 }
             }
@@ -519,6 +686,9 @@ impl TuneService {
             gauges: Gauges::default(),
             tickets: Arc::new(OpenTickets::default()),
             snapshots: Mutex::new(None),
+            wal: Mutex::new(None),
+            last_recovery: Mutex::new(None),
+            retry: RwLock::new(RetryPolicy::default()),
             fail_tunes: AtomicU32::new(0),
         });
         let worker_core = Arc::clone(&core);
@@ -568,10 +738,15 @@ impl TuneService {
                 .slot_mut(op)
                 .replace(Arc::clone(&tuner))
         };
-        if old.is_some() {
+        if let Some(old) = &old {
             self.core
                 .fail_flights(|key| key.device == device && key.op == op);
+            // A hot-swap invalidates the outgoing tuner's persisted
+            // state: recovery must never resurrect decisions tuned for
+            // hardware that was swapped out.
+            self.core.gc_shard_files(device, op, Some(old));
         }
+        self.core.attach_journal(device, op, &tuner);
         (tuner, old)
     }
 
@@ -590,9 +765,10 @@ impl TuneService {
             }
             removed
         };
-        if removed.is_some() {
+        if let Some(removed) = &removed {
             self.core
                 .fail_flights(|key| key.device == device && key.op == op);
+            self.core.gc_shard_files(device, op, Some(removed));
         }
         removed
     }
@@ -812,10 +988,165 @@ impl TuneService {
                 interval,
                 next_due: Instant::now() + interval,
                 last: None,
+                wal: false,
             });
         }
         // Wake the pool so sleeping workers pick up the new deadline.
         self.core.queue.kick();
+    }
+
+    /// Switch the fleet to **write-ahead durability**: every shard's
+    /// cache journals each publish and policy eviction as a CRC32-framed
+    /// record appended to `shard-<dev>-<op>.wal` under `dir` *at the
+    /// moment it happens*, and the interval work becomes **compaction**
+    /// -- folding the log into the shard's base cache file and
+    /// truncating it -- instead of a whole-file rewrite. A crash
+    /// therefore loses at most the one record being appended (whose
+    /// ticket never resolved), not a full interval of decisions; boot
+    /// the next process with [`TuneService::recover_all`].
+    ///
+    /// Appends are on the publish path but *off* the query path: a hit
+    /// touches no I/O, and an append failure (flaky disk) never fails
+    /// the publish -- it is counted in
+    /// [`RouterStats::wal_append_errors`] and the decision stays
+    /// served from memory until a later compaction persists it.
+    ///
+    /// Compaction rides the worker pool exactly like
+    /// [`TuneService::enable_snapshots`] (whose schedule this
+    /// replaces), and the shutdown flush compacts one final time.
+    pub fn enable_durability(&self, dir: impl Into<PathBuf>, interval: Duration) {
+        self.enable_durability_with(dir, interval, Arc::new(StdIo));
+    }
+
+    /// [`TuneService::enable_durability`] with an explicit
+    /// [`DurabilityIo`] -- the fault-injection seam: every read, append,
+    /// write, rename, truncate and crash point of the durability layer
+    /// routes through `io` (see `isaac_core::durability::FaultIo`).
+    pub fn enable_durability_with(
+        &self,
+        dir: impl Into<PathBuf>,
+        interval: Duration,
+        io: Arc<dyn DurabilityIo>,
+    ) {
+        let dir = dir.into();
+        // Best-effort: appends create files on demand, but the
+        // directory must exist before the first one.
+        let _ = io.create_dir_all(&dir);
+        {
+            let mut wal = self.core.wal.lock().expect("wal state poisoned");
+            *wal = Some(WalState {
+                dir: dir.clone(),
+                io,
+                writers: HashMap::new(),
+            });
+        }
+        for (device, op, tuner) in self.core.shard_list() {
+            self.core.attach_journal(device, op, &tuner);
+        }
+        {
+            let mut schedule = self
+                .core
+                .snapshots
+                .lock()
+                .expect("snapshot schedule poisoned");
+            *schedule = Some(SnapshotSchedule {
+                dir,
+                interval,
+                next_due: Instant::now() + interval,
+                last: None,
+                wal: true,
+            });
+        }
+        self.core.queue.kick();
+    }
+
+    /// Run one compaction sweep synchronously (durability mode only):
+    /// every shard with a dirty cache or a non-empty WAL gets a fresh
+    /// base file and a truncated log, and orphaned persistence files
+    /// are GC'd. What the background interval does, on demand.
+    pub fn compact_now(&self) -> std::io::Result<SnapshotReport> {
+        let dir = self
+            .core
+            .wal
+            .lock()
+            .expect("wal state poisoned")
+            .as_ref()
+            .map(|s| s.dir.clone())
+            .ok_or_else(|| std::io::Error::other("durability is not enabled"))?;
+        let report = self.core.run_compaction_sweep(&dir)?;
+        let mut schedule = self
+            .core
+            .snapshots
+            .lock()
+            .expect("snapshot schedule poisoned");
+        if let Some(s) = schedule.as_mut() {
+            s.last = Some(report);
+        }
+        Ok(report)
+    }
+
+    /// Recover every registered shard from the WAL layout under `dir`:
+    /// merge the shard's base cache file, truncate its WAL at the first
+    /// torn or corrupt record (dropped records are *counted*, never
+    /// replayed as garbage), and replay the surviving records in order.
+    /// Files for unregistered `(device, op)` pairs count as
+    /// [`SnapshotReport::unmatched`]. Corruption totals also land in
+    /// [`RouterStats::recovery_torn_records`] /
+    /// [`RouterStats::recovery_skipped_records`], so a flaky disk shows
+    /// up in stats instead of as silent cache shrinkage.
+    ///
+    /// Call before [`TuneService::enable_durability`]: shards must not
+    /// be journaling while their own log is replayed into them.
+    pub fn recover_all(&self, dir: &Path) -> std::io::Result<SnapshotReport> {
+        self.recover_all_with(dir, &StdIo)
+    }
+
+    /// [`TuneService::recover_all`] through an explicit
+    /// [`DurabilityIo`] (the fault-injection seam).
+    pub fn recover_all_with(
+        &self,
+        dir: &Path,
+        io: &dyn DurabilityIo,
+    ) -> std::io::Result<SnapshotReport> {
+        let mut report = SnapshotReport::default();
+        let shards = self.core.shard_list();
+        for (device, op, tuner) in &shards {
+            let recovery = recover_shard(io, dir, *device, *op, tuner)?;
+            if recovery.loaded > 0 || recovery.replayed > 0 {
+                report.files += 1;
+            }
+            report.entries += recovery.loaded;
+            report.replayed += recovery.replayed;
+            report.torn_records += recovery.torn_records;
+            report.skipped += recovery.skipped;
+        }
+        for name in io.read_dir(dir).unwrap_or_default() {
+            let owner = parse_snapshot_file_name(&name)
+                .or_else(|| crate::durability::parse_wal_file_name(&name));
+            if let Some((device, op)) = owner {
+                if !shards.iter().any(|(d, o, _)| *d == device && *o == op) {
+                    report.unmatched += 1;
+                }
+            }
+        }
+        bump(
+            &self.core.counters.recovery_replayed,
+            report.replayed as u64,
+        );
+        bump(
+            &self.core.counters.recovery_torn_records,
+            report.torn_records as u64,
+        );
+        bump(
+            &self.core.counters.recovery_skipped_records,
+            report.skipped as u64,
+        );
+        *self
+            .core
+            .last_recovery
+            .lock()
+            .expect("recovery report poisoned") = Some(report);
+        Ok(report)
     }
 
     /// Stop the background snapshotter **without** a final flush --
@@ -832,9 +1163,11 @@ impl TuneService {
             .and_then(|s| s.last)
     }
 
-    /// The report of the most recent completed background snapshot
-    /// (`None` until the first interval fires or if snapshots are
-    /// disabled).
+    /// The report of the most recent completed background snapshot or
+    /// compaction sweep, falling back to the most recent
+    /// [`TuneService::recover_all`] report (so recovery's corruption
+    /// counts stay inspectable after boot). `None` until one of them
+    /// has run.
     pub fn last_snapshot(&self) -> Option<SnapshotReport> {
         self.core
             .snapshots
@@ -842,6 +1175,13 @@ impl TuneService {
             .expect("snapshot schedule poisoned")
             .as_ref()
             .and_then(|s| s.last)
+            .or_else(|| {
+                *self
+                    .core
+                    .last_recovery
+                    .lock()
+                    .expect("recovery report poisoned")
+            })
     }
 
     /// Load every snapshot file in `dir` (written by
@@ -907,9 +1247,20 @@ impl TuneService {
         self.core.queue.set_paused(false);
     }
 
-    /// Serving counters (same schema as the deprecated router's).
+    /// Serving counters (same schema as the deprecated router's). In
+    /// durability mode the WAL append totals are read live from the
+    /// per-shard journal writers.
     pub fn stats(&self) -> RouterStats {
-        self.core.counters.snapshot()
+        let mut stats = self.core.counters.snapshot();
+        if let Some(state) = self.core.wal.lock().expect("wal state poisoned").as_ref() {
+            for writer in state.writers.values() {
+                let (appends, bytes, errors) = writer.counters();
+                stats.wal_appends += appends;
+                stats.wal_bytes += bytes;
+                stats.wal_append_errors += errors;
+            }
+        }
+        stats
     }
 
     /// Single-flight counters, including leader panics.
@@ -931,9 +1282,22 @@ impl TuneService {
             jobs_run: self.core.gauges.jobs_run.load(Ordering::Relaxed),
             jobs_cancelled: self.core.gauges.jobs_cancelled.load(Ordering::Relaxed),
             tune_retries: self.core.gauges.tune_retries.load(Ordering::Relaxed),
+            retry_exhausted: self.core.gauges.retry_exhausted.load(Ordering::Relaxed),
             timed_out: self.core.tickets.timeouts(),
             queue_wait_s_total: self.core.gauges.queue_wait_ns.load(Ordering::Relaxed) as f64 / 1e9,
         }
+    }
+
+    /// Replace the worker pool's tune-retry policy; see [`RetryPolicy`].
+    /// Takes effect for the next caught panic (jobs already re-queued
+    /// keep their accumulated attempt count).
+    pub fn set_retry_policy(&self, policy: RetryPolicy) {
+        *self.core.retry.write().expect("retry policy poisoned") = policy;
+    }
+
+    /// The current tune-retry policy.
+    pub fn retry_policy(&self) -> RetryPolicy {
+        *self.core.retry.read().expect("retry policy poisoned")
     }
 
     /// Make the next `count` tune attempts panic inside the worker pool.
@@ -964,12 +1328,19 @@ impl Drop for TuneService {
             .lock()
             .expect("snapshot schedule poisoned")
             .as_ref()
-            .map(|s| s.dir.clone());
-        if let Some(dir) = snapshot_dir {
-            // Snapshot-on-shutdown: flush whatever the last interval
-            // left dirty. Errors are counted (the stats are about to
-            // die with us, but the counter keeps the path honest).
-            match self.core.snapshot_shards(&dir, true) {
+            .map(|s| (s.dir.clone(), s.wal));
+        if let Some((dir, wal_mode)) = snapshot_dir {
+            // Flush-on-shutdown: snapshot whatever the last interval
+            // left dirty, or (durability mode) compact the logs one
+            // final time so the next boot replays nothing. Errors are
+            // counted (the stats are about to die with us, but the
+            // counter keeps the path honest).
+            let outcome = if wal_mode {
+                self.core.run_compaction_sweep(&dir)
+            } else {
+                self.core.snapshot_shards(&dir, true)
+            };
+            match outcome {
                 Ok(report) if report.files == 0 => {}
                 Ok(report) => {
                     bump(&self.core.counters.snapshots, 1);

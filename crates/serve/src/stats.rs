@@ -16,6 +16,11 @@ pub(crate) struct Counters {
     pub snapshots: AtomicU64,
     pub snapshot_entries: AtomicU64,
     pub snapshot_errors: AtomicU64,
+    pub compactions: AtomicU64,
+    pub gc_removed: AtomicU64,
+    pub recovery_replayed: AtomicU64,
+    pub recovery_torn_records: AtomicU64,
+    pub recovery_skipped_records: AtomicU64,
 }
 
 /// Relaxed add on a serving counter.
@@ -37,6 +42,16 @@ impl Counters {
             snapshots: self.snapshots.load(Ordering::Relaxed),
             snapshot_entries: self.snapshot_entries.load(Ordering::Relaxed),
             snapshot_errors: self.snapshot_errors.load(Ordering::Relaxed),
+            compactions: self.compactions.load(Ordering::Relaxed),
+            gc_removed: self.gc_removed.load(Ordering::Relaxed),
+            recovery_replayed: self.recovery_replayed.load(Ordering::Relaxed),
+            recovery_torn_records: self.recovery_torn_records.load(Ordering::Relaxed),
+            recovery_skipped_records: self.recovery_skipped_records.load(Ordering::Relaxed),
+            // Read live from the per-shard journal writers by
+            // `TuneService::stats`; zero through any other entry point.
+            wal_appends: 0,
+            wal_bytes: 0,
+            wal_append_errors: 0,
         }
     }
 }
@@ -76,6 +91,31 @@ pub struct RouterStats {
     /// Background snapshot attempts that failed with an I/O error (the
     /// shards stay dirty and are retried next interval).
     pub snapshot_errors: u64,
+    /// Shard compactions completed in durability mode: WAL folded into
+    /// the base cache file and truncated
+    /// ([`crate::TuneService::enable_durability`]).
+    pub compactions: u64,
+    /// Stale persistence files deleted: orphans and crashed-compaction
+    /// leftovers swept by compaction, plus the files of removed or
+    /// replaced shards.
+    pub gc_removed: u64,
+    /// WAL records replayed by [`crate::TuneService::recover_all`].
+    pub recovery_replayed: u64,
+    /// Torn or corrupt trailing WAL records truncated (and counted,
+    /// never replayed) during recovery.
+    pub recovery_torn_records: u64,
+    /// Malformed or wrong-operation entries skipped during recovery --
+    /// a flaky disk surfaces here instead of as silent cache shrinkage.
+    pub recovery_skipped_records: u64,
+    /// WAL records appended by the shard journals (durability mode).
+    pub wal_appends: u64,
+    /// Bytes those appends wrote -- the durability cost per interval,
+    /// versus rewriting whole cache files.
+    pub wal_bytes: u64,
+    /// Journal appends that failed with an I/O error. The publish
+    /// itself never fails: the decision stays served from memory and a
+    /// later compaction persists it.
+    pub wal_append_errors: u64,
 }
 
 impl RouterStats {
@@ -110,6 +150,10 @@ pub struct ServiceStats {
     /// Jobs re-queued after a tune panicked (see
     /// [`crate::FlightStats::leader_panics`]).
     pub tune_retries: u64,
+    /// Flights that spent their whole [`crate::RetryPolicy`] attempt
+    /// budget and terminally failed -- distinct from the per-attempt
+    /// panic count in [`crate::FlightStats::leader_panics`].
+    pub retry_exhausted: u64,
     /// Tickets that resolved [`crate::Served::TimedOut`]: their
     /// deadline expired before the flight landed. The flight itself
     /// keeps running for its other waiters.

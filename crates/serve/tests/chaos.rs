@@ -1,0 +1,473 @@
+//! Deterministic fault-injection ("chaos") suite for the durability
+//! layer: every declared crash point is exercised with seeded random
+//! workloads, the fleet is killed and rebuilt, and recovery is held to
+//! two invariants:
+//!
+//! * **no lost acknowledgements** -- every decision whose WAL append
+//!   completed before the crash is served from cache after recovery
+//!   (`restored cold tunes == 0` for clean kills);
+//! * **byte-exact equivalence** -- the recovered cache serializes to
+//!   exactly the bytes of a shadow cache that applied the same
+//!   mutations in the same order (`IsaacTuner::cache_text`, whose
+//!   entry order is sorted and whose `%.e` formatting round-trips).
+//!
+//! Seeds come from `ISAAC_CHAOS_SEEDS` (space-separated integers,
+//! default `11 42 1802`), so CI pins a reproducible set and a failure
+//! message names the seed to replay.
+
+use isaac_core::durability::{FaultIo, FaultPlan};
+use isaac_core::ShapeKey;
+use isaac_core::{EvictionPolicy, IsaacTuner, OpKind, TrainOptions, TuneKey, TunedChoice};
+use isaac_device::specs::tesla_p100;
+use isaac_device::{DType, DeviceSpec};
+use isaac_gen::shapes::GemmShape;
+use isaac_serve::{wal_file_name, Query, Served, TuneService};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::Duration;
+
+fn shared_model_path() -> &'static Path {
+    static PATH: OnceLock<PathBuf> = OnceLock::new();
+    PATH.get_or_init(|| {
+        let tuner = IsaacTuner::train(
+            tesla_p100(),
+            OpKind::Gemm,
+            TrainOptions {
+                samples: 1_500,
+                hidden: vec![16, 16],
+                epochs: 2,
+                top_k: 10,
+                ..Default::default()
+            },
+        );
+        let path = std::env::temp_dir().join("isaac_chaos_shared_model.txt");
+        tuner.save(&path).expect("save shared model");
+        path
+    })
+}
+
+fn fresh_tuner(spec: DeviceSpec) -> IsaacTuner {
+    IsaacTuner::load(shared_model_path(), spec, OpKind::Gemm).expect("load shared model")
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    static SEQ: AtomicU32 = AtomicU32::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "isaac_chaos_{tag}_{}_{}",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create test dir");
+    dir
+}
+
+/// The seed set under test: `ISAAC_CHAOS_SEEDS` or the pinned default.
+fn seeds() -> Vec<u64> {
+    let raw = std::env::var("ISAAC_CHAOS_SEEDS").unwrap_or_else(|_| "11 42 1802".into());
+    let seeds: Vec<u64> = raw
+        .split_whitespace()
+        .map(|s| s.parse().expect("ISAAC_CHAOS_SEEDS: integers only"))
+        .collect();
+    assert!(!seeds.is_empty(), "ISAAC_CHAOS_SEEDS is empty");
+    seeds
+}
+
+fn synth_key(device: u16, m: u32) -> TuneKey {
+    TuneKey {
+        device,
+        op: OpKind::Gemm,
+        dtype: DType::F32,
+        shape: ShapeKey::Gemm {
+            m,
+            n: 32,
+            k: 64,
+            trans_a: false,
+            trans_b: true,
+        },
+    }
+}
+
+fn synth_choice(tag: f64) -> TunedChoice {
+    TunedChoice {
+        config: isaac_gen::GemmConfig::default(),
+        predicted_gflops: tag,
+        tflops: tag * 2.0,
+        time_s: tag * 3.0,
+    }
+}
+
+const NEVER: Duration = Duration::from_secs(3_600);
+
+/// A seeded random mutation stream: mostly fresh keys, some
+/// overwrites, through a bounded cache so the journal carries eviction
+/// records too. Applied identically to the shard under test and to the
+/// shadow (same insert order on the same capacity and policy produces
+/// the same evictions -- the reference state for byte-exact checks).
+fn workload(rng: &mut StdRng, n: usize) -> Vec<(TuneKey, TunedChoice)> {
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        let m = if i > 0 && rng.gen_range(0..4) == 0 {
+            // Revisit an earlier shape: an overwrite, not a new entry.
+            1 + rng.gen_range(0..i as u32)
+        } else {
+            1 + i as u32
+        };
+        out.push((synth_key(0, m), synth_choice(f64::from(m) + 0.125)));
+    }
+    out
+}
+
+fn shadow(policy: EvictionPolicy, capacity: usize) -> IsaacTuner {
+    let mut t = fresh_tuner(tesla_p100());
+    t.set_cache_capacity(capacity);
+    t.set_eviction_policy(policy);
+    t
+}
+
+fn policy_for(seed: u64) -> EvictionPolicy {
+    if seed.is_multiple_of(2) {
+        EvictionPolicy::Lru
+    } else {
+        EvictionPolicy::CostAware
+    }
+}
+
+/// Run one crash scenario: apply `mutations[..first]`, `compact_now`
+/// once (establishing a base + a live tail), apply the rest, then
+/// trigger the fault via a second compaction (ignored if it fails) and
+/// drop the service while "dead". Returns nothing -- the caller
+/// recovers and checks.
+fn run_crashing_fleet(
+    dir: &Path,
+    io: Arc<FaultIo>,
+    policy: EvictionPolicy,
+    capacity: usize,
+    mutations: &[(TuneKey, TunedChoice)],
+    first: usize,
+) {
+    let service = TuneService::with_workers(1);
+    let mut shard = fresh_tuner(tesla_p100());
+    shard.set_cache_capacity(capacity);
+    shard.set_eviction_policy(policy);
+    let tuner = service.add_shard(0, shard);
+    service.enable_durability_with(dir, NEVER, io.clone());
+    for (key, choice) in &mutations[..first] {
+        tuner.cache().insert(*key, choice.clone());
+    }
+    service.compact_now().expect("first compaction is clean");
+    for (key, choice) in &mutations[first..] {
+        tuner.cache().insert(*key, choice.clone());
+    }
+    // The faulted sweep: a crash point fires here (or the io is
+    // already dead from an append fault). Either way the "process" is
+    // gone -- disable the schedule so drop does not flush.
+    let _ = service.compact_now();
+    service.disable_snapshots();
+}
+
+/// Recover into a fresh fleet and assert byte-exact equivalence with
+/// `expected` (a shadow tuner that applied the reference history).
+fn recover_and_compare(
+    dir: &Path,
+    policy: EvictionPolicy,
+    capacity: usize,
+    expected: &IsaacTuner,
+    label: &str,
+) {
+    let service = TuneService::with_workers(1);
+    let mut shard = fresh_tuner(tesla_p100());
+    shard.set_cache_capacity(capacity);
+    shard.set_eviction_policy(policy);
+    let tuner = service.add_shard(0, shard);
+    service.recover_all(dir).expect("recovery never errors");
+    assert_eq!(
+        tuner.cache_text(),
+        expected.cache_text(),
+        "{label}: recovered cache must be byte-exact"
+    );
+}
+
+/// Crash points inside compaction: the sweep dies mid-write, mid-rename
+/// or after the rename but before the WAL shrink. In every case the
+/// full pre-crash state (base + intact log) must replay exactly --
+/// including the pre-truncate case, where the *whole* log is replayed
+/// over the *new* base and only idempotent put/delete semantics keep
+/// that convergent.
+#[test]
+fn compaction_crash_points_recover_byte_exact() {
+    for &seed in &seeds() {
+        for point in ["compact.write", "compact.rename", "compact.pre_truncate"] {
+            let mut rng = StdRng::seed_from_u64(seed ^ 0xC0117AC7);
+            let policy = policy_for(seed);
+            let capacity = 4 + rng.gen_range(0..4) as usize;
+            let n = 12 + rng.gen_range(0..8) as usize;
+            let first = n / 2;
+            let mutations = workload(&mut rng, n);
+            let dir = temp_dir(&format!("cp_{seed}_{}", point.replace('.', "_")));
+            let io = Arc::new(FaultIo::new(FaultPlan {
+                // The first sweep is clean; the second hits the point.
+                crash_at: Some((point.into(), 2)),
+                ..Default::default()
+            }));
+            run_crashing_fleet(&dir, io.clone(), policy, capacity, &mutations, first);
+            assert!(io.is_dead(), "seed {seed}: {point} must have fired");
+
+            // Every mutation was acknowledged (its append completed
+            // before the crash), so the shadow applies all of them.
+            let expected = shadow(policy, capacity);
+            for (key, choice) in &mutations {
+                expected.cache().insert(*key, choice.clone());
+            }
+            recover_and_compare(
+                &dir,
+                policy,
+                capacity,
+                &expected,
+                &format!("seed {seed} {point}"),
+            );
+        }
+    }
+}
+
+/// A clean kill between appends: everything acknowledged so far is on
+/// disk; recovery restores exactly that prefix.
+#[test]
+fn clean_kill_after_nth_append_restores_the_prefix() {
+    for &seed in &seeds() {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xDEAD);
+        let n = 10 + rng.gen_range(0..10) as usize;
+        // Unbounded cache: one append per insert, so "die after the
+        // k-th append" is exactly "the first k inserts are durable".
+        let capacity = 1_000;
+        let policy = policy_for(seed);
+        let k = 1 + rng.gen_range(0..n as u32) as u64;
+        let mutations = workload(&mut rng, n);
+        let dir = temp_dir(&format!("kill_{seed}"));
+        let io = Arc::new(FaultIo::new(FaultPlan {
+            die_after_append: Some(k),
+            ..Default::default()
+        }));
+
+        let service = TuneService::with_workers(1);
+        let mut shard = fresh_tuner(tesla_p100());
+        shard.set_cache_capacity(capacity);
+        let tuner = service.add_shard(0, shard);
+        service.enable_durability_with(&dir, NEVER, io.clone());
+        let mut durable = 0usize;
+        for (key, choice) in &mutations {
+            if io.is_dead() {
+                break;
+            }
+            tuner.cache().insert(*key, choice.clone());
+            if !io.is_dead() {
+                durable += 1;
+            }
+        }
+        // die_after_append kills *after* the write lands: the k-th
+        // record itself is durable.
+        durable = durable.max(k as usize);
+        service.disable_snapshots();
+        drop(service);
+
+        let expected = shadow(policy, capacity);
+        for (key, choice) in &mutations[..durable] {
+            expected.cache().insert(*key, choice.clone());
+        }
+        recover_and_compare(
+            &dir,
+            policy,
+            capacity,
+            &expected,
+            &format!("seed {seed} kill@{k}"),
+        );
+    }
+}
+
+/// A torn append: the record is cut mid-byte and the process dies.
+/// Recovery truncates the torn tail (counted), and everything *before*
+/// it is intact.
+#[test]
+fn torn_append_truncates_to_the_acknowledged_prefix() {
+    for &seed in &seeds() {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x7047);
+        let n = 8 + rng.gen_range(0..8) as usize;
+        let capacity = 1_000;
+        let policy = policy_for(seed);
+        let k = 2 + rng.gen_range(0..n as u32 - 1) as u64;
+        let cut = 1 + rng.gen_range(0..8) as usize;
+        let mutations = workload(&mut rng, n);
+        let dir = temp_dir(&format!("torn_{seed}"));
+        let io = Arc::new(FaultIo::new(FaultPlan {
+            short_append: Some((k, cut)),
+            ..Default::default()
+        }));
+
+        let service = TuneService::with_workers(1);
+        let mut shard = fresh_tuner(tesla_p100());
+        shard.set_cache_capacity(capacity);
+        let tuner = service.add_shard(0, shard);
+        service.enable_durability_with(&dir, NEVER, io.clone());
+        for (key, choice) in &mutations {
+            if io.is_dead() {
+                break;
+            }
+            tuner.cache().insert(*key, choice.clone());
+        }
+        assert!(io.is_dead(), "seed {seed}: torn append must kill the io");
+        service.disable_snapshots();
+        drop(service);
+
+        // Durable prefix: the k-th append tore, so k-1 records hold.
+        let expected = shadow(policy, capacity);
+        for (key, choice) in &mutations[..k as usize - 1] {
+            expected.cache().insert(*key, choice.clone());
+        }
+
+        let bench = TuneService::with_workers(1);
+        let mut shard = fresh_tuner(tesla_p100());
+        shard.set_cache_capacity(capacity);
+        let tuner = bench.add_shard(0, shard);
+        let report = bench.recover_all(&dir).expect("recover");
+        assert_eq!(
+            report.torn_records, 1,
+            "seed {seed}: exactly the cut record is torn"
+        );
+        assert_eq!(
+            tuner.cache_text(),
+            expected.cache_text(),
+            "seed {seed}: prefix before the torn record is intact"
+        );
+        // The disk log was truncated: a second recovery sees no tear.
+        let fresh = TuneService::with_workers(1);
+        fresh.add_shard(0, fresh_tuner(tesla_p100()));
+        let report = fresh.recover_all(&dir).expect("re-recover");
+        assert_eq!(report.torn_records, 0, "seed {seed}: tail gone on disk");
+    }
+}
+
+/// A flaky disk (one failed append, process survives): the service
+/// keeps serving, the error is counted, and the next compaction heals
+/// the hole so recovery is complete anyway.
+#[test]
+fn flaky_appends_heal_through_compaction() {
+    for &seed in &seeds() {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xF1A2);
+        let n = 6 + rng.gen_range(0..6) as usize;
+        let capacity = 1_000;
+        let policy = policy_for(seed);
+        let mutations = workload(&mut rng, n);
+        let dir = temp_dir(&format!("flaky_{seed}"));
+        let io = Arc::new(FaultIo::new(FaultPlan {
+            fail_append: Some(1 + rng.gen_range(0..n as u32) as u64),
+            ..Default::default()
+        }));
+
+        {
+            let service = TuneService::with_workers(1);
+            let mut shard = fresh_tuner(tesla_p100());
+            shard.set_cache_capacity(capacity);
+            let tuner = service.add_shard(0, shard);
+            service.enable_durability_with(&dir, NEVER, io.clone());
+            for (key, choice) in &mutations {
+                tuner.cache().insert(*key, choice.clone());
+            }
+            assert!(!io.is_dead(), "seed {seed}: flaky is not fatal");
+            assert_eq!(service.stats().wal_append_errors, 1, "seed {seed}");
+            assert_eq!(tuner.cache().len(), {
+                let probe = shadow(policy, capacity);
+                for (key, choice) in &mutations {
+                    probe.cache().insert(*key, choice.clone());
+                }
+                probe.cache().len()
+            });
+            service.compact_now().expect("healing compaction");
+            service.disable_snapshots();
+        }
+
+        let expected = shadow(policy, capacity);
+        for (key, choice) in &mutations {
+            expected.cache().insert(*key, choice.clone());
+        }
+        recover_and_compare(
+            &dir,
+            policy,
+            capacity,
+            &expected,
+            &format!("seed {seed} flaky"),
+        );
+    }
+}
+
+/// End-to-end through the real serving path: cold tunes published under
+/// durability, fleet killed without a flush, fresh fleet recovered --
+/// the whole working set is cache hits, zero restored cold tunes, even
+/// with an injected worker panic mid-workload (the retried tune still
+/// journals its decision).
+#[test]
+fn recovered_fleet_serves_the_working_set_with_zero_cold_tunes() {
+    for &seed in &seeds() {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5E17E);
+        let shapes: Vec<(u32, u32, u32)> = (0..6)
+            .map(|_| {
+                (
+                    16 * (2 + rng.gen_range(0..40u32)),
+                    16 * (2 + rng.gen_range(0..10u32)),
+                    16 * (1 + rng.gen_range(0..6u32)),
+                )
+            })
+            .collect();
+        let dir = temp_dir(&format!("fleet_{seed}"));
+        {
+            let service = TuneService::with_workers(2);
+            service.add_shard(0, fresh_tuner(tesla_p100()));
+            service.enable_durability(&dir, NEVER);
+            // One injected worker panic somewhere in the stream: the
+            // default retry budget rides it out and the decision must
+            // still reach the journal.
+            service.inject_tune_panics(1);
+            for &(m, n, k) in &shapes {
+                let d = service
+                    .submit(&Query::gemm(
+                        0,
+                        GemmShape::new(m, n, k, "N", "T", DType::F32),
+                    ))
+                    .wait();
+                assert!(d.choice.is_some(), "seed {seed}: publish must land");
+            }
+            assert!(
+                std::fs::metadata(dir.join(wal_file_name(0, OpKind::Gemm)))
+                    .map(|m| m.len() > 0)
+                    .unwrap_or(false),
+                "seed {seed}: decisions journaled before any compaction"
+            );
+            service.disable_snapshots(); // crash: no shutdown flush
+        }
+
+        let service = TuneService::with_workers(2);
+        service.add_shard(0, fresh_tuner(tesla_p100()));
+        let report = service.recover_all(&dir).expect("recover");
+        assert!(report.replayed > 0, "seed {seed}: WAL-only state replayed");
+        for &(m, n, k) in &shapes {
+            let d = service
+                .submit(&Query::gemm(
+                    0,
+                    GemmShape::new(m, n, k, "N", "T", DType::F32),
+                ))
+                .wait();
+            assert_eq!(
+                d.served,
+                Served::Cache,
+                "seed {seed}: {m}x{n}x{k} must be restored"
+            );
+        }
+        assert_eq!(
+            service.stats().cold_tunes,
+            0,
+            "seed {seed}: restored_cold_tunes == 0"
+        );
+    }
+}

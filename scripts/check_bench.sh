@@ -94,6 +94,8 @@ validate BENCH_serving.json \
     leader_panics cold_tune_s warm_start_s warm_start_speedup warm_seeded \
     evictions post_evict_hit_rate post_evict_hit_rate_lru \
     snapshot_files snapshot_entries restored_cold_tunes deadline_timed_out \
+    wal_full_rewrite_bytes wal_bytes_per_interval wal_compactions \
+    wal_records_replayed wal_recovery_s wal_restored_cold_tunes \
     async_in_flight async_unique_cold async_cold_wall_s \
     async_queue_latency_s async_cached_qps
 
@@ -148,6 +150,32 @@ if [ "$restored_cold" != "0" ]; then
     die "restored_cold_tunes=$restored_cold: the restored fleet re-tuned snapshotted keys"
 else
     say "OK: restored fleet served its snapshot with zero cold tunes"
+fi
+
+# The WAL-recovered fleet is held to the same bar: every decision that
+# reached the journal before the crash is a cache hit on the rebuilt
+# service -- zero cold tunes.
+wal_restored_cold=$(json_num BENCH_serving.json wal_restored_cold_tunes)
+if [ "$wal_restored_cold" != "0" ]; then
+    die "wal_restored_cold_tunes=$wal_restored_cold: the WAL-recovered fleet re-tuned journaled keys"
+else
+    say "OK: WAL-recovered fleet served its journal with zero cold tunes"
+fi
+
+# The point of the WAL: an interval's durability cost is a handful of
+# appended records, strictly below rewriting the whole cache file.
+wal_interval=$(json_num BENCH_serving.json wal_bytes_per_interval)
+wal_rewrite=$(json_num BENCH_serving.json wal_full_rewrite_bytes)
+if [ -n "$wal_interval" ] && [ -n "$wal_rewrite" ]; then
+    if ! awk -v w="$wal_interval" -v r="$wal_rewrite" 'BEGIN { exit !(w < r) }'; then
+        die "wal_bytes_per_interval=$wal_interval not below full_rewrite_bytes=$wal_rewrite: the journal is not cheaper than a rewrite"
+    else
+        say "OK: WAL interval cost ${wal_interval}B < whole-file rewrite ${wal_rewrite}B"
+    fi
+fi
+wal_replayed=$(json_num BENCH_serving.json wal_records_replayed)
+if [ -n "$wal_replayed" ] && ! awk -v n="$wal_replayed" 'BEGIN { exit !(n > 0) }'; then
+    die "wal_records_replayed=$wal_replayed: recovery never exercised the log replay path"
 fi
 
 # The deadline path must have fired: a bounded waiter on a stalled tune
