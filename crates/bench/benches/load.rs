@@ -1,0 +1,224 @@
+//! Trace-driven load benchmark: the SLO-aware serving front door under
+//! a deterministic multi-tenant workload.
+//!
+//! Replays a seeded trace (`isaac_serve::load`) -- Zipfian key
+//! popularity, diurnal rate with bursts, a sliding hot window with
+//! per-device lag -- against a fresh two-shard `TuneService` and writes
+//! `BENCH_load.json` at the workspace root (schema in
+//! `docs/BENCH_SCHEMA.md`): overall and per-tenant p50/p99/p999 plus
+//! hit/timeout/shed/reject rates.
+//!
+//! Seeds come from `ISAAC_LOAD_SEEDS` (space-separated u64s, like the
+//! chaos suite's `ISAAC_CHAOS_SEEDS`); every seed is replayed and must
+//! exercise both defenses (`shed > 0`, `rejected > 0`), but only the
+//! first seed's report lands in the JSON so CI diffs stay stable.
+//! Honours `ISAAC_SAMPLES`/`ISAAC_EPOCHS` for tuner training size.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use isaac_bench::harness::env_usize;
+use isaac_bench::report::{bench_json_path, write_json, Table};
+use isaac_core::{IsaacTuner, OpKind, TrainOptions};
+use isaac_device::specs::tesla_p100;
+use isaac_serve::load::{generate, replay, LoadReport, ReplayOptions, TraceConfig};
+use isaac_serve::TuneService;
+use std::hint::black_box;
+use std::path::{Path, PathBuf};
+
+fn seeds() -> Vec<u64> {
+    std::env::var("ISAAC_LOAD_SEEDS")
+        .ok()
+        .map(|s| {
+            s.split_whitespace()
+                .map(|t| t.parse().expect("ISAAC_LOAD_SEEDS must be u64s"))
+                .collect()
+        })
+        .unwrap_or_else(|| vec![1802])
+}
+
+/// The benchmark trace: busier than the test fixtures so the rates in
+/// the JSON are measured over thousands of requests, but still seconds
+/// of wall time in release mode.
+fn bench_config(seed: u64) -> TraceConfig {
+    TraceConfig {
+        seed,
+        keyspace: 32,
+        tenants: 3,
+        devices: 2,
+        steps: 6,
+        base_rate: 400,
+        drift_per_step: 3,
+        bursts: 2,
+        tight_frac: 0.08,
+        ..TraceConfig::default()
+    }
+}
+
+/// Quota per tenant per step; small enough that bursts overflow it.
+const QUOTA: u64 = 4;
+/// Entries this hot on one shard get prewarmed into lagging shards.
+const PREWARM_MIN_HITS: u64 = 2;
+
+fn train_model() -> PathBuf {
+    let tuner = IsaacTuner::train(
+        tesla_p100(),
+        OpKind::Gemm,
+        TrainOptions {
+            samples: env_usize("ISAAC_SAMPLES", 2_000),
+            epochs: env_usize("ISAAC_EPOCHS", 2),
+            hidden: vec![32, 32],
+            top_k: 10,
+            ..Default::default()
+        },
+    );
+    let path =
+        std::env::temp_dir().join(format!("isaac_bench_load_model_{}.txt", std::process::id()));
+    tuner.save(&path).expect("save load-bench model");
+    path
+}
+
+fn fresh_service(model: &Path, devices: u16) -> TuneService {
+    let service = TuneService::new();
+    for device in 0..devices {
+        let tuner =
+            IsaacTuner::load(model, tesla_p100(), OpKind::Gemm).expect("load load-bench model");
+        service.add_shard(device, tuner);
+    }
+    service
+}
+
+fn run_seed(model: &Path, seed: u64) -> LoadReport {
+    let cfg = bench_config(seed);
+    let trace = generate(&cfg);
+    let opts = ReplayOptions {
+        quota: Some(QUOTA),
+        prewarm_min_hits: Some(PREWARM_MIN_HITS),
+        ..ReplayOptions::default()
+    };
+    let report = replay(&fresh_service(model, cfg.devices), &trace, &opts);
+
+    // The load gate is only meaningful if both SLO defenses fired; a
+    // pinned seed that never sheds or rejects guards nothing.
+    assert!(report.shed > 0, "seed {seed}: trace must trigger shedding");
+    assert!(
+        report.rejected > 0,
+        "seed {seed}: trace must overflow the tenant quota"
+    );
+    assert_eq!(report.failed, 0, "seed {seed}: healthy replay never fails");
+    report
+}
+
+fn load_gate(c: &mut Criterion) {
+    let model = train_model();
+    let all_seeds = seeds();
+
+    let mut first: Option<(u64, LoadReport)> = None;
+    for &seed in &all_seeds {
+        let report = run_seed(&model, seed);
+
+        let mut table = Table::new(
+            format!("trace-driven load (seed {seed}, 2 shards)"),
+            &["metric", "value"],
+        );
+        table.row(vec!["requests".into(), report.requests.to_string()]);
+        table.row(vec!["qps".into(), format!("{:.0}", report.qps)]);
+        table.row(vec![
+            "p50/p99/p999".into(),
+            format!(
+                "{:.4}s / {:.4}s / {:.4}s",
+                report.p50_s, report.p99_s, report.p999_s
+            ),
+        ]);
+        table.row(vec!["hit rate".into(), format!("{:.4}", report.hit_rate)]);
+        table.row(vec![
+            "shed/reject/timeout".into(),
+            format!(
+                "{} / {} / {} ({:.4} / {:.4} / {:.4})",
+                report.shed,
+                report.rejected,
+                report.timed_out,
+                report.shed_rate,
+                report.reject_rate,
+                report.timeout_rate
+            ),
+        ]);
+        table.row(vec!["prewarmed".into(), report.prewarmed.to_string()]);
+        for t in &report.tenants {
+            table.row(vec![
+                format!("tenant {} p50/p99/p999", t.tenant),
+                format!("{:.4}s / {:.4}s / {:.4}s", t.p50_s, t.p99_s, t.p999_s),
+            ]);
+        }
+        table.print();
+
+        if first.is_none() {
+            first = Some((seed, report));
+        }
+    }
+
+    let (seed, report) = first.expect("at least one seed");
+    let mut fields: Vec<(&str, String)> = vec![
+        ("load_seed", seed.to_string()),
+        ("load_requests", report.requests.to_string()),
+        ("load_steps", bench_config(seed).steps.to_string()),
+        ("load_tenants", report.tenants.len().to_string()),
+        ("load_keyspace", bench_config(seed).keyspace.to_string()),
+        ("load_qps", format!("{:.1}", report.qps)),
+        ("load_wall_s", format!("{:.4}", report.wall_s)),
+        ("load_p50_s", format!("{:.6}", report.p50_s)),
+        ("load_p99_s", format!("{:.6}", report.p99_s)),
+        ("load_p999_s", format!("{:.6}", report.p999_s)),
+        ("load_hit_rate", format!("{:.4}", report.hit_rate)),
+        ("load_timeout_rate", format!("{:.4}", report.timeout_rate)),
+        ("load_shed_rate", format!("{:.4}", report.shed_rate)),
+        ("load_reject_rate", format!("{:.4}", report.reject_rate)),
+        ("load_shed", report.shed.to_string()),
+        ("load_rejected", report.rejected.to_string()),
+        ("load_timed_out", report.timed_out.to_string()),
+        ("load_prewarmed", report.prewarmed.to_string()),
+    ];
+    let tenant_keys: Vec<[String; 3]> = report
+        .tenants
+        .iter()
+        .map(|t| {
+            [
+                format!("tenant{}_p50_s", t.tenant),
+                format!("tenant{}_p99_s", t.tenant),
+                format!("tenant{}_p999_s", t.tenant),
+            ]
+        })
+        .collect();
+    for (t, keys) in report.tenants.iter().zip(&tenant_keys) {
+        fields.push((&keys[0], format!("{:.6}", t.p50_s)));
+        fields.push((&keys[1], format!("{:.6}", t.p99_s)));
+        fields.push((&keys[2], format!("{:.6}", t.p999_s)));
+    }
+
+    let json = bench_json_path("BENCH_load.json");
+    write_json(&json, &fields);
+    println!(
+        "wrote {} (seed {seed}: {} requests at {:.0} qps, p99 {:.4}s, \
+         shed {} / rejected {} / prewarmed {})",
+        json.display(),
+        report.requests,
+        report.qps,
+        report.p99_s,
+        report.shed,
+        report.rejected,
+        report.prewarmed
+    );
+    let _ = std::fs::remove_file(&model);
+
+    // Criterion entry so `cargo bench load` shows a standard line:
+    // trace generation is pure CPU and deterministic, a good canary for
+    // regressions in the generator itself.
+    let cfg = bench_config(seed);
+    let mut group = c.benchmark_group("load");
+    group.sample_size(10);
+    group.bench_function("generate_trace", |b| {
+        b.iter(|| black_box(generate(black_box(&cfg))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, load_gate);
+criterion_main!(benches);

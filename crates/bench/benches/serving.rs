@@ -383,6 +383,7 @@ fn serving_throughput(c: &mut Criterion) {
             &cold,
             &SubmitOptions {
                 deadline: Some(Duration::from_millis(5)),
+                ..SubmitOptions::default()
             },
         );
         assert_eq!(ticket.wait().served, Served::TimedOut);

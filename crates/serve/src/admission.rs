@@ -1,0 +1,218 @@
+//! Per-tenant admission control for the async front door.
+//!
+//! Every miss that reaches the single-flight path is first offered to
+//! the [`Admission`] table under the submitting tenant
+//! ([`crate::SubmitOptions::tenant`]). A tenant's *in-flight* count --
+//! pending tickets whose cells have not resolved yet -- is bounded by
+//! its quota: an over-quota submit resolves immediately to
+//! [`crate::Served::Rejected`] **without touching the key's flight**,
+//! so a within-quota waiter for the same key still leads or joins the
+//! tune normally. Cache hits never consult admission: quotas guard the
+//! expensive tuning backend, not the O(1) cached path.
+//!
+//! The in-flight count is released exactly once per admitted ticket,
+//! when its completion cell resolves -- by decision, failure, *or*
+//! deadline expiry -- so a tenant that keeps abandoning slow queries
+//! gets its quota back as fast as its deadlines fire, not when the
+//! tunes eventually land.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A snapshot of one tenant's admission counters
+/// ([`crate::TuneService::tenant_stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TenantStats {
+    /// The tenant these counters belong to.
+    pub tenant: u16,
+    /// Misses offered to admission under this tenant (cache hits and
+    /// shard refusals are served before admission and not counted).
+    pub submitted: u64,
+    /// Misses admitted: a pending ticket was issued and the tenant's
+    /// in-flight count charged.
+    pub admitted: u64,
+    /// Misses rejected over quota ([`crate::Served::Rejected`]).
+    pub rejected: u64,
+    /// Admitted tickets that resolved [`crate::Served::TimedOut`].
+    pub timed_out: u64,
+    /// Admitted tickets still unresolved right now.
+    pub in_flight: u64,
+}
+
+/// One tenant's live counters. Ticket cells hold an `Arc` of this and
+/// release the in-flight charge when they resolve.
+#[derive(Debug, Default)]
+pub(crate) struct TenantSlot {
+    tenant: u16,
+    submitted: AtomicU64,
+    admitted: AtomicU64,
+    rejected: AtomicU64,
+    timed_out: AtomicU64,
+    in_flight: AtomicU64,
+}
+
+impl TenantSlot {
+    /// Release the in-flight charge of one admitted ticket (called
+    /// exactly once, when its cell resolves).
+    pub fn release(&self) {
+        self.in_flight.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Count a deadline expiry of one of this tenant's tickets.
+    pub fn note_timeout(&self) {
+        self.timed_out.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn stats(&self) -> TenantStats {
+        TenantStats {
+            tenant: self.tenant,
+            submitted: self.submitted.load(Ordering::Relaxed),
+            admitted: self.admitted.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            timed_out: self.timed_out.load(Ordering::Relaxed),
+            in_flight: self.in_flight.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct AdmissionState {
+    /// In-flight bound applied to tenants without an override; `None`
+    /// (the default) admits everything.
+    default_quota: Option<u64>,
+    /// Per-tenant overrides of the default quota.
+    overrides: HashMap<u16, u64>,
+    /// Lazily created per-tenant counters (BTreeMap so stats snapshots
+    /// come out in tenant order).
+    tenants: BTreeMap<u16, Arc<TenantSlot>>,
+}
+
+/// The admission table; see the module docs.
+#[derive(Debug, Default)]
+pub(crate) struct Admission {
+    state: Mutex<AdmissionState>,
+    rejected_total: AtomicU64,
+}
+
+impl Admission {
+    /// Set the in-flight quota applied to every tenant without an
+    /// override; `None` admits everything (the default).
+    pub fn set_default_quota(&self, quota: Option<u64>) {
+        self.state.lock().expect("admission poisoned").default_quota = quota;
+    }
+
+    /// Override (or, with `None`, clear the override of) one tenant's
+    /// quota.
+    pub fn set_tenant_quota(&self, tenant: u16, quota: Option<u64>) {
+        let mut state = self.state.lock().expect("admission poisoned");
+        match quota {
+            Some(q) => {
+                state.overrides.insert(tenant, q);
+            }
+            None => {
+                state.overrides.remove(&tenant);
+            }
+        }
+    }
+
+    /// Offer one miss to admission: charge the tenant's in-flight count
+    /// and hand back its slot (released when the ticket's cell
+    /// resolves), or reject over quota. The check-and-charge runs under
+    /// the table lock, so concurrent submits can never overshoot the
+    /// quota; releases are lock-free atomics and only ever free slots.
+    pub fn admit(&self, tenant: u16) -> Result<Arc<TenantSlot>, ()> {
+        let mut state = self.state.lock().expect("admission poisoned");
+        let quota = state
+            .overrides
+            .get(&tenant)
+            .copied()
+            .or(state.default_quota);
+        let slot = Arc::clone(state.tenants.entry(tenant).or_insert_with(|| {
+            Arc::new(TenantSlot {
+                tenant,
+                ..TenantSlot::default()
+            })
+        }));
+        // Check-and-charge stays under the table lock (concurrent
+        // releases only free slots, so holding it here is what makes
+        // the quota an upper bound under concurrent submits).
+        slot.submitted.fetch_add(1, Ordering::Relaxed);
+        if quota.is_some_and(|q| slot.in_flight.load(Ordering::Relaxed) >= q) {
+            slot.rejected.fetch_add(1, Ordering::Relaxed);
+            self.rejected_total.fetch_add(1, Ordering::Relaxed);
+            return Err(());
+        }
+        slot.in_flight.fetch_add(1, Ordering::Relaxed);
+        slot.admitted.fetch_add(1, Ordering::Relaxed);
+        Ok(slot)
+    }
+
+    /// Total over-quota rejections across all tenants.
+    pub fn rejected_total(&self) -> u64 {
+        self.rejected_total.load(Ordering::Relaxed)
+    }
+
+    /// Counters of every tenant seen so far, in tenant order.
+    pub fn stats(&self) -> Vec<TenantStats> {
+        self.state
+            .lock()
+            .expect("admission poisoned")
+            .tenants
+            .values()
+            .map(|slot| slot.stats())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_by_default_and_charges_in_flight() {
+        let adm = Admission::default();
+        let a = adm.admit(3).expect("no quota set");
+        let b = adm.admit(3).expect("no quota set");
+        assert_eq!(a.stats().in_flight, 2);
+        a.release();
+        b.release();
+        let stats = adm.stats();
+        assert_eq!(stats.len(), 1);
+        assert_eq!(
+            stats[0],
+            TenantStats {
+                tenant: 3,
+                submitted: 2,
+                admitted: 2,
+                in_flight: 0,
+                ..Default::default()
+            }
+        );
+    }
+
+    #[test]
+    fn quota_rejects_and_release_reopens() {
+        let adm = Admission::default();
+        adm.set_default_quota(Some(1));
+        let slot = adm.admit(0).expect("first admit fits");
+        assert!(adm.admit(0).is_err(), "over quota");
+        assert_eq!(adm.rejected_total(), 1);
+        slot.release();
+        assert!(adm.admit(0).is_ok(), "released slot reopens the quota");
+    }
+
+    #[test]
+    fn overrides_beat_the_default_and_clear_back() {
+        let adm = Admission::default();
+        adm.set_default_quota(Some(0));
+        assert!(adm.admit(1).is_err(), "default quota 0 rejects");
+        adm.set_tenant_quota(1, Some(2));
+        assert!(adm.admit(1).is_ok(), "override admits");
+        adm.set_tenant_quota(1, None);
+        assert!(adm.admit(1).is_err(), "cleared override falls back");
+        // Other tenants were never affected by tenant 1's override.
+        adm.set_default_quota(None);
+        assert!(adm.admit(2).is_ok());
+    }
+}

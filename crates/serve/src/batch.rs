@@ -87,6 +87,13 @@ pub enum Served {
     /// up: the flight keeps running for its other waiters and still
     /// publishes into the decision cache. `choice` is always `None`.
     TimedOut,
+    /// Admission control refused the miss: the submitting tenant
+    /// ([`crate::SubmitOptions::tenant`]) was already at its in-flight
+    /// quota. The key's single-flight is untouched -- a within-quota
+    /// waiter for the same key still receives the decision -- and the
+    /// rejection is counted in [`crate::ServiceStats::rejected`].
+    /// `choice` is always `None`.
+    Rejected,
 }
 
 /// The outcome of one query.

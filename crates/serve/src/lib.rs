@@ -28,6 +28,14 @@
 //!   their queued job, and shard caches evict cost-aware
 //!   ([`isaac_core::EvictionPolicy`]) so expensive-to-re-tune
 //!   decisions survive capacity pressure;
+//! * the front door is **SLO-aware**: per-tenant admission quotas
+//!   ([`TuneService::set_admission_quota`], [`SubmitOptions::tenant`],
+//!   [`Served::Rejected`]) bound each tenant's misses in flight,
+//!   queued tunes whose waiters all timed out are shed to a
+//!   lower-priority background lane, and
+//!   [`TuneService::prewarm_hot`] pre-seeds neighbour shards with
+//!   trending-hot decisions; the [`load`] module replays deterministic
+//!   multi-tenant traces against all of it;
 //! * [`TunerRouter`] survives as the deprecated blocking facade from
 //!   PR 2 (`submit(q)` == `service.submit(q).wait()`), kept so existing
 //!   callers compile while they migrate.
@@ -38,8 +46,10 @@
 //! in `BENCH_serving.json`. See `crates/serve/README.md` for the
 //! architecture sketch and the migration notes.
 
+pub(crate) mod admission;
 pub mod batch;
 pub mod durability;
+pub mod load;
 pub mod router;
 pub mod service;
 pub mod single_flight;
@@ -47,8 +57,10 @@ pub mod stats;
 pub mod ticket;
 pub(crate) mod workers;
 
+pub use admission::TenantStats;
 pub use batch::{plan, BatchPlan, Decision, Query, QueryShape, Served};
 pub use durability::{parse_wal_file_name, wal_file_name};
+pub use load::{LoadReport, LoadRequest, ReplayOptions, TenantLoad, Trace, TraceConfig};
 pub use router::TunerRouter;
 pub use service::{
     parse_snapshot_file_name, snapshot_file_name, RetryPolicy, SnapshotReport, SubmitOptions,

@@ -1,0 +1,589 @@
+//! Deterministic trace-driven load harness for the serving front door.
+//!
+//! [`generate`] expands a seeded [`TraceConfig`] into a multi-tenant
+//! request [`Trace`]: per-tenant Zipfian shape popularity, a diurnal
+//! rate shape, burst steps with a raised tight-deadline fraction, and a
+//! **sliding hot window** -- each step introduces a few new hot shapes
+//! and retires old ones, and lagged tenants (pinned to other devices)
+//! see the same shapes one step later, which is exactly the pattern
+//! predictive prewarming ([`crate::TuneService::prewarm_hot`]) exists
+//! for.
+//!
+//! [`replay`] runs a trace against a [`TuneService`] and reports
+//! per-tenant latency percentiles plus hit / timeout / shed / reject
+//! rates ([`LoadReport`]). Replay is **deterministic in its outcome
+//! counts**: the same seed produces the identical request sequence and
+//! the identical hit/miss/shed/reject/timeout counts on every run. The
+//! protocol that guarantees this:
+//!
+//! 1. each step submits with the service **paused**, single-threaded,
+//!    so admission decisions depend only on submission order;
+//! 2. tight requests carry a zero deadline and are consumed *before*
+//!    resume, so they deterministically resolve `Cache`, `Rejected` or
+//!    `TimedOut` -- and a flight whose waiters were all tight is
+//!    deterministically sheddable when a worker reaches it;
+//! 3. after every step the service is **drained** -- foreground queue,
+//!    background lane, pending flights and enqueued prewarms all at
+//!    zero -- so the cache state each step starts from is a pure
+//!    function of the trace prefix.
+//!
+//! Wall-clock figures (`qps`, the percentiles) naturally vary run to
+//! run; the committed gates in `scripts/check_bench.sh` guard them with
+//! tolerances while the outcome counts are guarded exactly.
+
+use crate::batch::{Query, Served};
+use crate::service::{SubmitOptions, TuneService};
+use isaac_device::DType;
+use isaac_gen::shapes::GemmShape;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
+
+/// Parameters of a synthetic serving trace; see [`generate`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceConfig {
+    /// Seed of every random draw in the trace. Same seed, same trace.
+    pub seed: u64,
+    /// Hot-window size: how many shapes are live for a tenant at once.
+    pub keyspace: usize,
+    /// Tenants submitting; tenant `t` is pinned to device
+    /// `t % devices`.
+    pub tenants: u16,
+    /// Device shards the trace addresses (`0..devices`).
+    pub devices: u16,
+    /// Trace steps (one diurnal cycle spans the whole trace).
+    pub steps: usize,
+    /// Mean requests per step before diurnal/burst scaling.
+    pub base_rate: usize,
+    /// Zipf popularity exponent over the hot window (rank 0 hottest).
+    pub zipf_exponent: f64,
+    /// Diurnal modulation: rate scales by `1 + a*sin(2*pi*step/steps)`.
+    pub diurnal_amplitude: f64,
+    /// New hot shapes introduced (and old ones retired) per step -- the
+    /// sliding-window drift that keeps misses flowing all trace long.
+    pub drift_per_step: usize,
+    /// Steps by which the hot window of a tenant on device `d` trails
+    /// device `d-1`'s. Must exceed 1 for prewarming to matter: a shape
+    /// only accumulates cache hits the step *after* it was cold-tuned,
+    /// so with a lag of 1 the trailing device has always caught up by
+    /// the time the shape qualifies as hot.
+    pub lag_steps: usize,
+    /// Number of burst steps (chosen by the seed from `1..steps`).
+    pub bursts: usize,
+    /// Rate multiplier on burst steps.
+    pub burst_factor: f64,
+    /// Fraction of requests carrying a tight (zero) deadline.
+    pub tight_frac: f64,
+    /// Tight fraction on burst steps (bursts are latency-panicked).
+    pub burst_tight_frac: f64,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        TraceConfig {
+            seed: 7,
+            keyspace: 40,
+            tenants: 3,
+            devices: 2,
+            steps: 8,
+            base_rate: 600,
+            zipf_exponent: 1.1,
+            diurnal_amplitude: 0.5,
+            drift_per_step: 3,
+            lag_steps: 2,
+            bursts: 2,
+            burst_factor: 4.0,
+            tight_frac: 0.05,
+            burst_tight_frac: 0.5,
+        }
+    }
+}
+
+/// One request of a generated trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LoadRequest {
+    /// The step this request belongs to.
+    pub step: usize,
+    /// Submitting tenant ([`SubmitOptions::tenant`]).
+    pub tenant: u16,
+    /// Target device shard (`tenant % devices`).
+    pub device: u16,
+    /// Index into the global shape sequence; see [`Trace::shape_of`].
+    pub shape_id: usize,
+    /// Whether the request carries a zero deadline (consumed before the
+    /// step's tunes run, so a miss deterministically times out).
+    pub tight: bool,
+}
+
+/// A generated request trace: the config it came from plus the request
+/// sequence of every step.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Trace {
+    /// The config the trace was generated from.
+    pub config: TraceConfig,
+    /// Per-step request sequences, submitted in order.
+    pub steps: Vec<Vec<LoadRequest>>,
+    /// Which steps are bursts (diagnostics; already baked into the
+    /// request sequences).
+    pub burst_steps: Vec<usize>,
+}
+
+impl Trace {
+    /// Total requests across all steps.
+    pub fn requests(&self) -> usize {
+        self.steps.iter().map(Vec::len).sum()
+    }
+
+    /// The GEMM shape behind a [`LoadRequest::shape_id`]. Injective in
+    /// `id` (distinct ids are distinct tune keys).
+    pub fn shape_of(id: usize) -> GemmShape {
+        GemmShape::new(96 + 8 * id as u32, 48, 64, "N", "T", DType::F32)
+    }
+}
+
+/// Inverse-CDF Zipf sampler over ranks `0..n` (rank 0 hottest).
+struct Zipf {
+    cumulative: Vec<f64>,
+}
+
+impl Zipf {
+    fn new(n: usize, exponent: f64) -> Self {
+        let mut cumulative = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for rank in 0..n {
+            total += 1.0 / ((rank + 1) as f64).powf(exponent);
+            cumulative.push(total);
+        }
+        Zipf { cumulative }
+    }
+
+    fn sample(&self, rng: &mut StdRng) -> usize {
+        let total = *self.cumulative.last().expect("empty keyspace");
+        let u: f64 = rng.gen_range(0.0..total);
+        self.cumulative.partition_point(|&c| c <= u)
+    }
+}
+
+/// Expand a [`TraceConfig`] into its deterministic request [`Trace`].
+pub fn generate(config: &TraceConfig) -> Trace {
+    assert!(config.keyspace > 0 && config.steps > 0, "degenerate trace");
+    assert!(config.tenants > 0 && config.devices > 0, "degenerate trace");
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let zipf = Zipf::new(config.keyspace, config.zipf_exponent);
+
+    // Burst steps: distinct draws from 1..steps (step 0 is always a
+    // plain warm-up step).
+    let mut burst_steps: Vec<usize> = Vec::new();
+    if config.steps > 1 {
+        while burst_steps.len() < config.bursts.min(config.steps - 1) {
+            let s = rng.gen_range(1..config.steps);
+            if !burst_steps.contains(&s) {
+                burst_steps.push(s);
+            }
+        }
+        burst_steps.sort_unstable();
+    }
+
+    let steps = (0..config.steps)
+        .map(|step| {
+            let burst = burst_steps.contains(&step);
+            let phase = 2.0 * std::f64::consts::PI * step as f64 / config.steps as f64;
+            let mut rate = config.base_rate as f64 * (1.0 + config.diurnal_amplitude * phase.sin());
+            if burst {
+                rate *= config.burst_factor;
+            }
+            let tight_frac = if burst {
+                config.burst_tight_frac
+            } else {
+                config.tight_frac
+            };
+            let count = rate.round().max(1.0) as usize;
+            (0..count)
+                .map(|_| {
+                    let tenant = rng.gen_range(0..config.tenants as u32) as u16;
+                    let device = tenant % config.devices;
+                    // A lagged tenant replays the leader's hot window a
+                    // few steps late: same shapes, different device --
+                    // prewarm fodder.
+                    let effective_step = step.saturating_sub(config.lag_steps * (device as usize));
+                    let rank = zipf.sample(&mut rng);
+                    // Rank 0 (hottest) maps to the *newest* shape of the
+                    // window, so every step's drift mints new hot keys.
+                    let shape_id =
+                        effective_step * config.drift_per_step + (config.keyspace - 1 - rank);
+                    let tight = rng.gen_bool(tight_frac);
+                    LoadRequest {
+                        step,
+                        tenant,
+                        device,
+                        shape_id,
+                        tight,
+                    }
+                })
+                .collect()
+        })
+        .collect();
+
+    Trace {
+        config: config.clone(),
+        steps,
+        burst_steps,
+    }
+}
+
+/// Replay knobs orthogonal to the trace itself.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplayOptions {
+    /// Default per-tenant admission quota installed before the replay
+    /// ([`TuneService::set_admission_quota`]); `None` leaves the
+    /// service's current quotas alone.
+    pub quota: Option<u64>,
+    /// When set, run [`TuneService::prewarm_hot`] with this hit floor
+    /// after each step's drain, and wait for the prewarms to finish
+    /// before the next step -- the lagged tenants' misses become hits.
+    pub prewarm_min_hits: Option<u64>,
+    /// How long the per-step drain may take before the replay panics
+    /// (a stuck queue should fail loudly, not hang CI).
+    pub drain_timeout: Duration,
+}
+
+impl Default for ReplayOptions {
+    fn default() -> Self {
+        ReplayOptions {
+            quota: None,
+            prewarm_min_hits: None,
+            drain_timeout: Duration::from_secs(60),
+        }
+    }
+}
+
+/// One tenant's replay outcome.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct TenantLoad {
+    /// The tenant these figures belong to.
+    pub tenant: u16,
+    /// Requests the tenant submitted.
+    pub submitted: u64,
+    /// Requests answered from cache.
+    pub hits: u64,
+    /// Requests that led their own cold tune.
+    pub tuned: u64,
+    /// Requests coalesced onto another waiter's tune.
+    pub coalesced: u64,
+    /// Requests rejected by admission control.
+    pub rejected: u64,
+    /// Requests whose deadline expired unresolved.
+    pub timed_out: u64,
+    /// p50 ticket latency over the tenant's successful requests, in
+    /// seconds.
+    pub p50_s: f64,
+    /// p99 ticket latency, seconds.
+    pub p99_s: f64,
+    /// p999 ticket latency, seconds.
+    pub p999_s: f64,
+}
+
+/// Aggregate outcome of one [`replay`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LoadReport {
+    /// Requests replayed.
+    pub requests: u64,
+    /// Wall-clock seconds the replay took.
+    pub wall_s: f64,
+    /// `requests / wall_s`.
+    pub qps: f64,
+    /// Fraction of requests answered from cache.
+    pub hit_rate: f64,
+    /// Fraction of requests that timed out.
+    pub timeout_rate: f64,
+    /// Sheds per request (sheds are per *flight*, so this is a rate,
+    /// not a fraction of requests).
+    pub shed_rate: f64,
+    /// Fraction of requests rejected by admission.
+    pub reject_rate: f64,
+    /// Flights demoted to the background lane during the replay.
+    pub shed: u64,
+    /// Requests rejected by admission.
+    pub rejected: u64,
+    /// Requests that timed out.
+    pub timed_out: u64,
+    /// Requests that failed (shard swap / shutdown; 0 in a healthy
+    /// replay).
+    pub failed: u64,
+    /// Cache entries seeded by prewarms during the replay.
+    pub prewarmed: u64,
+    /// p50 ticket latency over all successful requests, seconds.
+    pub p50_s: f64,
+    /// p99 ticket latency, seconds.
+    pub p99_s: f64,
+    /// p999 ticket latency, seconds.
+    pub p999_s: f64,
+    /// Per-tenant breakdown, in tenant order.
+    pub tenants: Vec<TenantLoad>,
+}
+
+#[derive(Default)]
+struct TenantAcc {
+    submitted: u64,
+    hits: u64,
+    tuned: u64,
+    coalesced: u64,
+    rejected: u64,
+    timed_out: u64,
+    failed: u64,
+    latencies: Vec<f64>,
+}
+
+/// `p`-th percentile (0..=1) of `sorted` ascending latencies; 0 when
+/// empty.
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((p * sorted.len() as f64).ceil() as usize)
+        .saturating_sub(1)
+        .min(sorted.len() - 1);
+    sorted[idx]
+}
+
+/// Spin until the service is fully quiescent: empty foreground queue,
+/// empty background lane, no pending flights, and every enqueued
+/// prewarm processed. Panics past `timeout`.
+fn drain(service: &TuneService, expected_prewarm_jobs: u64, timeout: Duration) {
+    let deadline = Instant::now() + timeout;
+    loop {
+        let stats = service.service_stats();
+        if stats.queue_depth == 0
+            && stats.background_depth == 0
+            && service.in_flight() == 0
+            && stats.prewarm_jobs >= expected_prewarm_jobs
+        {
+            return;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "drain timed out: queue_depth={} background_depth={} in_flight={} \
+             prewarm_jobs={}/{}",
+            stats.queue_depth,
+            stats.background_depth,
+            service.in_flight(),
+            stats.prewarm_jobs,
+            expected_prewarm_jobs,
+        );
+        std::thread::sleep(Duration::from_millis(1));
+    }
+}
+
+/// Replay a [`Trace`] against `service`; see the module docs for the
+/// determinism protocol. The service's shards must already cover the
+/// trace's devices.
+pub fn replay(service: &TuneService, trace: &Trace, opts: &ReplayOptions) -> LoadReport {
+    if let Some(quota) = opts.quota {
+        service.set_admission_quota(Some(quota));
+    }
+    let before = service.service_stats();
+    let mut tenants: BTreeMap<u16, TenantAcc> = BTreeMap::new();
+    let mut all_latencies: Vec<f64> = Vec::new();
+    let mut expected_prewarm_jobs = before.prewarm_jobs;
+    let started = Instant::now();
+
+    for step in &trace.steps {
+        // Paused single-threaded submission: admission and flight
+        // structure depend only on the request order.
+        service.pause();
+        let mut tight = Vec::new();
+        let mut open = Vec::new();
+        for req in step {
+            let query = Query::gemm(req.device, Trace::shape_of(req.shape_id));
+            let submit = SubmitOptions {
+                deadline: req.tight.then_some(Duration::ZERO),
+                tenant: req.tenant,
+            };
+            let t0 = Instant::now();
+            let ticket = service.submit_with(&query, &submit);
+            if req.tight {
+                tight.push((req.tenant, t0, ticket));
+            } else {
+                open.push((req.tenant, t0, ticket));
+            }
+        }
+        // Consume tight tickets before any tune can run: each resolves
+        // Cache (fast path), Rejected (admission) or TimedOut (its zero
+        // deadline is already behind it) -- never a race with a worker.
+        for (tenant, t0, ticket) in tight {
+            let decision = ticket.wait();
+            record(
+                &mut tenants,
+                &mut all_latencies,
+                tenant,
+                t0,
+                decision.served,
+            );
+        }
+        service.resume();
+        for (tenant, t0, ticket) in open {
+            let decision = ticket.wait();
+            record(
+                &mut tenants,
+                &mut all_latencies,
+                tenant,
+                t0,
+                decision.served,
+            );
+        }
+        // Full drain (demoted tunes included): the next step's cache
+        // state is a pure function of the trace prefix.
+        drain(service, expected_prewarm_jobs, opts.drain_timeout);
+        if let Some(min_hits) = opts.prewarm_min_hits {
+            expected_prewarm_jobs += service.prewarm_hot(min_hits) as u64;
+            drain(service, expected_prewarm_jobs, opts.drain_timeout);
+        }
+    }
+
+    let wall_s = started.elapsed().as_secs_f64().max(1e-9);
+    let after = service.service_stats();
+    let requests = trace.requests() as u64;
+    all_latencies.sort_by(|a, b| a.total_cmp(b));
+    let tenants: Vec<TenantLoad> = tenants
+        .into_iter()
+        .map(|(tenant, mut acc)| {
+            acc.latencies.sort_by(|a, b| a.total_cmp(b));
+            TenantLoad {
+                tenant,
+                submitted: acc.submitted,
+                hits: acc.hits,
+                tuned: acc.tuned,
+                coalesced: acc.coalesced,
+                rejected: acc.rejected,
+                timed_out: acc.timed_out,
+                p50_s: percentile(&acc.latencies, 0.50),
+                p99_s: percentile(&acc.latencies, 0.99),
+                p999_s: percentile(&acc.latencies, 0.999),
+            }
+        })
+        .collect();
+    let total = |f: fn(&TenantLoad) -> u64| tenants.iter().map(f).sum::<u64>();
+    let rejected = total(|t| t.rejected);
+    let timed_out = total(|t| t.timed_out);
+    let shed = after.shed - before.shed;
+    let denom = requests.max(1) as f64;
+    LoadReport {
+        requests,
+        wall_s,
+        qps: requests as f64 / wall_s,
+        hit_rate: total(|t| t.hits) as f64 / denom,
+        timeout_rate: timed_out as f64 / denom,
+        shed_rate: shed as f64 / denom,
+        reject_rate: rejected as f64 / denom,
+        shed,
+        rejected,
+        timed_out,
+        failed: tenants.iter().map(|t| t.submitted).sum::<u64>()
+            - total(|t| t.hits + t.tuned + t.coalesced + t.rejected + t.timed_out),
+        prewarmed: after.prewarmed - before.prewarmed,
+        p50_s: percentile(&all_latencies, 0.50),
+        p99_s: percentile(&all_latencies, 0.99),
+        p999_s: percentile(&all_latencies, 0.999),
+        tenants,
+    }
+}
+
+fn record(
+    tenants: &mut BTreeMap<u16, TenantAcc>,
+    all_latencies: &mut Vec<f64>,
+    tenant: u16,
+    t0: Instant,
+    served: Served,
+) {
+    let acc = tenants.entry(tenant).or_default();
+    acc.submitted += 1;
+    match served {
+        Served::Cache | Served::Tuned | Served::Coalesced => {
+            let s = t0.elapsed().as_secs_f64();
+            acc.latencies.push(s);
+            all_latencies.push(s);
+            match served {
+                Served::Cache => acc.hits += 1,
+                Served::Tuned => acc.tuned += 1,
+                _ => acc.coalesced += 1,
+            }
+        }
+        Served::Rejected => acc.rejected += 1,
+        Served::TimedOut => acc.timed_out += 1,
+        Served::NoShard | Served::Failed => acc.failed += 1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> TraceConfig {
+        TraceConfig {
+            seed: 11,
+            keyspace: 6,
+            tenants: 2,
+            devices: 1,
+            steps: 3,
+            base_rate: 20,
+            drift_per_step: 1,
+            bursts: 1,
+            ..TraceConfig::default()
+        }
+    }
+
+    #[test]
+    fn same_seed_same_trace() {
+        let a = generate(&tiny());
+        let b = generate(&tiny());
+        assert_eq!(a, b, "trace generation must be a pure function of the seed");
+        let c = generate(&TraceConfig { seed: 12, ..tiny() });
+        assert_ne!(a.steps, c.steps, "different seeds diverge");
+    }
+
+    #[test]
+    fn trace_respects_its_config() {
+        let cfg = tiny();
+        let trace = generate(&cfg);
+        assert_eq!(trace.steps.len(), cfg.steps);
+        assert_eq!(trace.burst_steps.len(), cfg.bursts);
+        for (step, reqs) in trace.steps.iter().enumerate() {
+            assert!(!reqs.is_empty());
+            for req in reqs {
+                assert_eq!(req.step, step);
+                assert!(req.tenant < cfg.tenants);
+                assert_eq!(req.device, req.tenant % cfg.devices);
+            }
+        }
+        // Burst steps are visibly bigger than their plain neighbours.
+        let burst = trace.burst_steps[0];
+        let plain = (0..cfg.steps)
+            .find(|s| !trace.burst_steps.contains(s))
+            .unwrap();
+        assert!(trace.steps[burst].len() > trace.steps[plain].len());
+    }
+
+    #[test]
+    fn zipf_prefers_low_ranks_and_shapes_are_injective() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let zipf = Zipf::new(10, 1.1);
+        let mut counts = [0usize; 10];
+        for _ in 0..4000 {
+            counts[zipf.sample(&mut rng)] += 1;
+        }
+        assert!(
+            counts[0] > counts[9] * 3,
+            "rank 0 should dominate: {counts:?}"
+        );
+        assert_ne!(Trace::shape_of(0), Trace::shape_of(1));
+    }
+
+    #[test]
+    fn percentile_indexing_is_sane() {
+        let v = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&v, 0.50), 2.0);
+        assert_eq!(percentile(&v, 0.99), 4.0);
+        assert_eq!(percentile(&[], 0.5), 0.0);
+    }
+}

@@ -47,13 +47,31 @@
 //!   expensive-to-re-tune entries outlive cold, cheap ones under
 //!   capacity pressure; plain LRU remains available as the reference
 //!   policy).
+//!
+//! PR 7 adds the **SLO leg** of the front door:
+//!
+//! * per-tenant **admission quotas**
+//!   ([`TuneService::set_admission_quota`], [`SubmitOptions::tenant`]):
+//!   a tenant over its in-flight miss bound gets [`Served::Rejected`]
+//!   immediately instead of piling onto the tuning backend -- the key's
+//!   single-flight is untouched, so within-quota waiters still share
+//!   the tune;
+//! * **deadline-driven shedding**: a queued job whose live waiters have
+//!   all passed their deadlines is demoted to a strictly lower-priority
+//!   background lane ([`ServiceStats::shed`]) -- it still runs and
+//!   warms the cache, but never ahead of a job someone is waiting on;
+//! * **predictive warm-starts** ([`TuneService::prewarm_hot`]):
+//!   trending-hot decisions are re-benched into neighbour shards on the
+//!   same background lane, so the next tenant to migrate a hot shape
+//!   across devices hits cache instead of a cold tune.
 
+use crate::admission::{Admission, TenantSlot, TenantStats};
 use crate::batch::{plan, Decision, Query, QueryShape, Served};
 use crate::durability::{compact_shard, gc_orphans, recover_shard, wal_file_name};
 use crate::single_flight::{FlightStats, Role, SingleFlight, Waiter};
 use crate::stats::{bump, Counters, RouterStats, ServiceStats};
 use crate::ticket::{OpenTickets, TicketCell, TuneTicket};
-use crate::workers::{Job, MissQueue, Popped, WorkerPool};
+use crate::workers::{BgJob, Job, MissQueue, Popped, WorkerPool};
 use isaac_core::durability::{DurabilityIo, StdIo, WalWriter};
 use isaac_core::{IsaacTuner, OpKind, TuneKey, TunedChoice, WarmStartReport};
 use std::collections::{BTreeMap, HashMap};
@@ -132,6 +150,12 @@ pub struct SubmitOptions {
     /// underlying flight keeps running for other waiters and still
     /// publishes its decision to the cache.
     pub deadline: Option<Duration>,
+    /// The submitting tenant, for per-tenant admission quotas
+    /// ([`TuneService::set_admission_quota`]). Tenant `0` (the default)
+    /// is a tenant like any other. Quotas bound *misses in flight*:
+    /// cache hits and shard refusals are served before admission and
+    /// never rejected.
+    pub tenant: u16,
 }
 
 /// Schedule of the background snapshotter (see
@@ -194,6 +218,9 @@ struct Gauges {
     tune_retries: AtomicU64,
     retry_exhausted: AtomicU64,
     queue_wait_ns: AtomicU64,
+    shed: AtomicU64,
+    prewarmed: AtomicU64,
+    prewarm_jobs: AtomicU64,
 }
 
 /// Shared state behind the service front door; workers hold an `Arc` of
@@ -206,6 +233,8 @@ struct ServiceCore {
     queue: MissQueue,
     gauges: Gauges,
     tickets: Arc<OpenTickets>,
+    /// Per-tenant admission quotas; see [`crate::TenantStats`].
+    admission: Admission,
     /// Background snapshotter schedule; `None` until
     /// [`TuneService::enable_snapshots`] /
     /// [`TuneService::enable_durability`].
@@ -335,11 +364,12 @@ impl ServiceCore {
         key: TuneKey,
         count_join: bool,
         deadline: Option<Instant>,
+        tenant: Option<Arc<TenantSlot>>,
     ) -> (TuneTicket, Option<Job>) {
-        let cell = Arc::new(TicketCell::new(Arc::clone(&self.tickets)));
-        let (role, flight) = self
-            .flights
-            .claim(key, self.ticket_waiter(Arc::clone(&cell)));
+        let cell = Arc::new(TicketCell::new(Arc::clone(&self.tickets), tenant));
+        let (role, flight) =
+            self.flights
+                .claim(key, deadline, self.ticket_waiter(Arc::clone(&cell)));
         let job = match role {
             Role::Led => Some(Job {
                 key,
@@ -348,6 +378,7 @@ impl ServiceCore {
                 shape,
                 enqueued: Instant::now(),
                 attempts: 0,
+                demoted: false,
             }),
             Role::Joined => {
                 if count_join {
@@ -358,8 +389,9 @@ impl ServiceCore {
         };
         let abandon: crate::ticket::AbandonHook = {
             let core = Arc::clone(self);
+            let bounded = deadline.is_some();
             Box::new(move || {
-                core.flights.abandon(&key, flight);
+                core.flights.abandon(&key, flight, bounded);
             })
         };
         (TuneTicket::pending(cell, deadline, Some(abandon)), job)
@@ -371,6 +403,7 @@ impl ServiceCore {
         loop {
             match self.queue.pop_until(|| self.snapshot_deadline()) {
                 Popped::Job(job) => self.run_job(*job),
+                Popped::Background(bg) => self.run_background(bg),
                 Popped::Deadline => self.run_due_snapshot(),
                 Popped::Shutdown => return,
             }
@@ -573,6 +606,20 @@ impl ServiceCore {
             self.gauges.jobs_cancelled.fetch_add(1, Ordering::Relaxed);
             return;
         }
+        // Deadline-driven shedding: if every live waiter's deadline has
+        // already passed, nobody can consume this tune's decision in
+        // time -- demote it to the background lane so jobs with live
+        // waiters don't queue behind it. The demoted job still runs
+        // (completing its flight and warming the cache), just at
+        // strictly lower priority; its flag stops it re-shedding.
+        if !job.demoted && self.flights.sheddable(&job.key, job.flight, Instant::now()) {
+            self.gauges.shed.fetch_add(1, Ordering::Relaxed);
+            self.queue.push_background(BgJob::Demoted(Box::new(Job {
+                demoted: true,
+                ..job
+            })));
+            return;
+        }
         let waited = job.enqueued.elapsed().as_nanos() as u64;
         self.gauges
             .queue_wait_ns
@@ -647,6 +694,28 @@ impl ServiceCore {
         }
     }
 
+    /// Execute one background-lane item: a demoted cold tune runs like
+    /// any job (its `demoted` flag stops it re-shedding), and a prewarm
+    /// re-benches one neighbour decision into the target shard's cache
+    /// -- skipped (but still counted as processed) when the target was
+    /// swapped out since the prewarm was enqueued; `warm_start` itself
+    /// skips keys the target already holds.
+    fn run_background(self: &Arc<Self>, bg: BgJob) {
+        match bg {
+            BgJob::Demoted(job) => self.run_job(*job),
+            BgJob::Prewarm { target, source } => {
+                let current = self.shard_tuner(target.device_id(), target.kind());
+                if current.is_some_and(|t| Arc::ptr_eq(&t, &target)) {
+                    let report = target.warm_start(std::slice::from_ref(&*source), 1);
+                    self.gauges
+                        .prewarmed
+                        .fetch_add(report.seeded as u64, Ordering::Relaxed);
+                }
+                self.gauges.prewarm_jobs.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
     /// Cancel every pending flight matching `pred`, failing its tickets
     /// (each ticket waiter counts itself into the `failed` stat).
     fn fail_flights(&self, pred: impl Fn(&TuneKey) -> bool) -> usize {
@@ -685,6 +754,7 @@ impl TuneService {
             queue: MissQueue::new(),
             gauges: Gauges::default(),
             tickets: Arc::new(OpenTickets::default()),
+            admission: Admission::default(),
             snapshots: Mutex::new(None),
             wal: Mutex::new(None),
             last_recovery: Mutex::new(None),
@@ -844,10 +914,18 @@ impl TuneService {
         match self.core.fast_path(query, &key) {
             FastPath::Done(decision) => TuneTicket::ready(decision),
             FastPath::Miss(tuner) => {
+                // Admission runs only on the miss path: quotas guard
+                // the expensive tuning backend, not the O(1) cache.
+                let Ok(slot) = self.core.admission.admit(opts.tenant) else {
+                    return TuneTicket::ready(Decision {
+                        choice: None,
+                        served: Served::Rejected,
+                    });
+                };
                 let deadline = opts.deadline.map(|d| Instant::now() + d);
                 let (ticket, job) =
                     self.core
-                        .register_miss(tuner, query.shape, key, true, deadline);
+                        .register_miss(tuner, query.shape, key, true, deadline, Some(slot));
                 if let Some(job) = job {
                     self.core.queue.push(job);
                 }
@@ -863,6 +941,11 @@ impl TuneService {
     /// costs one resolution per *unique* key. Duplicates of an inline
     /// outcome (cache hit / no shard) read it truthfully; duplicates of
     /// a cold tune read `Served::Coalesced`.
+    ///
+    /// Batch misses are admitted under tenant `0`, one in-flight charge
+    /// per unique key (in-batch duplicates ride the first occurrence's
+    /// charge); an over-quota unique resolves the whole duplicate group
+    /// to [`Served::Rejected`].
     pub fn submit_batch(&self, queries: &[Query]) -> Vec<TuneTicket> {
         bump(&self.core.counters.queries, queries.len() as u64);
         bump(&self.core.counters.batches, 1);
@@ -893,21 +976,28 @@ impl TuneService {
                 let query = &queries[qi];
                 match self.core.fast_path(query, key) {
                     FastPath::Done(decision) => Unique::Inline(decision),
-                    FastPath::Miss(tuner) => {
-                        let (ticket, job) = self.core.register_miss(
-                            Arc::clone(&tuner),
-                            query.shape,
-                            *key,
-                            true,
-                            None,
-                        );
-                        jobs.extend(job);
-                        Unique::Pending {
-                            ticket: Some(ticket),
-                            tuner,
-                            shape: query.shape,
+                    FastPath::Miss(tuner) => match self.core.admission.admit(0) {
+                        Err(()) => Unique::Inline(Decision {
+                            choice: None,
+                            served: Served::Rejected,
+                        }),
+                        Ok(slot) => {
+                            let (ticket, job) = self.core.register_miss(
+                                Arc::clone(&tuner),
+                                query.shape,
+                                *key,
+                                true,
+                                None,
+                                Some(slot),
+                            );
+                            jobs.extend(job);
+                            Unique::Pending {
+                                ticket: Some(ticket),
+                                tuner,
+                                shape: query.shape,
+                            }
                         }
-                    }
+                    },
                 }
             })
             .collect();
@@ -928,12 +1018,14 @@ impl TuneService {
                     } else {
                         // In-batch duplicate: its own waiter on the same
                         // flight (counted by `batch_deduped`, not
-                        // `coalesced`).
+                        // `coalesced`; the first occurrence carries the
+                        // group's admission charge).
                         let (ticket, job) = self.core.register_miss(
                             Arc::clone(tuner),
                             *shape,
                             plan.keys[slot],
                             false,
+                            None,
                             None,
                         );
                         jobs.extend(job);
@@ -1233,6 +1325,74 @@ impl TuneService {
         Some(dst.warm_start(&neighbour, top_k))
     }
 
+    // ---- admission & SLO -------------------------------------------------
+
+    /// Bound every tenant's misses in flight: a submit whose tenant
+    /// ([`SubmitOptions::tenant`]) already has `quota` unresolved
+    /// pending tickets resolves immediately to [`Served::Rejected`]
+    /// instead of reaching the tuning backend. `None` (the default)
+    /// admits everything. Per-tenant overrides
+    /// ([`TuneService::set_tenant_quota`]) beat this default. The
+    /// charge is released when the ticket's cell resolves -- by
+    /// decision, failure, *or* deadline expiry -- so abandoning slow
+    /// queries under a deadline frees quota immediately.
+    pub fn set_admission_quota(&self, quota: Option<u64>) {
+        self.core.admission.set_default_quota(quota);
+    }
+
+    /// Override one tenant's admission quota; `None` clears the
+    /// override back to the [`TuneService::set_admission_quota`]
+    /// default.
+    pub fn set_tenant_quota(&self, tenant: u16, quota: Option<u64>) {
+        self.core.admission.set_tenant_quota(tenant, quota);
+    }
+
+    /// Admission counters of every tenant seen so far, in tenant order.
+    pub fn tenant_stats(&self) -> Vec<TenantStats> {
+        self.core.admission.stats()
+    }
+
+    /// Predictive warm-start for trending-hot keys: every cached
+    /// decision with at least `min_hits` hits is offered to every
+    /// *other* same-op shard that does not hold the key yet, as one
+    /// background-lane job per `(decision, target)` pair -- the
+    /// `warm_start` rebench path, orders of magnitude cheaper than a
+    /// cold tune, running strictly behind foreground work. Returns the
+    /// number of prewarm jobs enqueued; completions land in
+    /// [`ServiceStats::prewarmed`] / [`ServiceStats::prewarm_jobs`].
+    pub fn prewarm_hot(&self, min_hits: u64) -> usize {
+        let shards = self.core.shard_list();
+        let mut enqueued = 0;
+        for (device, op, tuner) in &shards {
+            let hot: Vec<(TuneKey, TunedChoice)> = tuner
+                .cache()
+                .entries()
+                .into_iter()
+                .filter(|&(_, _, hits)| hits >= min_hits)
+                .map(|(key, choice, _hits)| (key, choice))
+                .collect();
+            if hot.is_empty() {
+                continue;
+            }
+            for (other_device, other_op, target) in &shards {
+                if other_op != op || other_device == device {
+                    continue;
+                }
+                for (key, choice) in &hot {
+                    if target.cache().peek(&key.on_device(*other_device)).is_some() {
+                        continue;
+                    }
+                    self.core.queue.push_background(BgJob::Prewarm {
+                        target: Arc::clone(target),
+                        source: Box::new((*key, choice.clone())),
+                    });
+                    enqueued += 1;
+                }
+            }
+        }
+        enqueued
+    }
+
     // ---- control & introspection -----------------------------------------
 
     /// Pause the worker pool: submissions keep queueing and tickets stay
@@ -1285,6 +1445,11 @@ impl TuneService {
             retry_exhausted: self.core.gauges.retry_exhausted.load(Ordering::Relaxed),
             timed_out: self.core.tickets.timeouts(),
             queue_wait_s_total: self.core.gauges.queue_wait_ns.load(Ordering::Relaxed) as f64 / 1e9,
+            rejected: self.core.admission.rejected_total(),
+            shed: self.core.gauges.shed.load(Ordering::Relaxed),
+            background_depth: self.core.queue.background_depth() as u64,
+            prewarmed: self.core.gauges.prewarmed.load(Ordering::Relaxed),
+            prewarm_jobs: self.core.gauges.prewarm_jobs.load(Ordering::Relaxed),
         }
     }
 

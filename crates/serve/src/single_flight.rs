@@ -34,6 +34,7 @@ use std::collections::HashMap;
 use std::hash::Hash;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
 
 /// How a caller's claim on a flight was resolved.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -95,6 +96,14 @@ struct FlightEntry<V> {
     /// abandoned, the flight is cancelled -- nobody is listening, so
     /// the queued job should never run.
     abandoned: usize,
+    /// Live waiters registered *without* a deadline. While this is
+    /// non-zero someone is willing to wait unboundedly, so the flight
+    /// is never sheddable.
+    unbounded: usize,
+    /// Latest deadline across the bounded waiters (never reduced on
+    /// abandonment -- conservatively, a flight only becomes sheddable
+    /// once every deadline anyone ever registered has passed).
+    latest_deadline: Option<Instant>,
     /// Set by the executor once the computation is actually running
     /// ([`SingleFlight::mark_started`]): from then on abandonment no
     /// longer cancels (the work is being paid for anyway and its result
@@ -103,12 +112,26 @@ struct FlightEntry<V> {
 }
 
 impl<V> FlightEntry<V> {
-    fn new(id: FlightId, waiters: Vec<Waiter<V>>) -> Self {
+    fn new(id: FlightId) -> Self {
         FlightEntry {
             id,
-            waiters,
+            waiters: Vec::new(),
             abandoned: 0,
+            unbounded: 0,
+            latest_deadline: None,
             started: false,
+        }
+    }
+
+    /// Add one waiter, tracking its deadline class for the sheddability
+    /// probe ([`SingleFlight::sheddable`]).
+    fn register(&mut self, waiter: Waiter<V>, deadline: Option<Instant>) {
+        self.waiters.push(waiter);
+        match deadline {
+            None => self.unbounded += 1,
+            Some(d) => {
+                self.latest_deadline = Some(self.latest_deadline.map_or(d, |cur| cur.max(d)));
+            }
         }
     }
 }
@@ -216,20 +239,52 @@ impl<K: Eq + Hash + Clone, V: Clone + Send + 'static> SingleFlight<K, V> {
     /// returned id), [`SingleFlight::cancel`] or
     /// [`SingleFlight::fail_if`] to eventually run, or every waiter
     /// leaks.
-    pub fn claim(&self, key: K, make: impl FnOnce(Role) -> Waiter<V>) -> (Role, FlightId) {
+    ///
+    /// `deadline` is the waiter's latency bound, if any: it does not
+    /// bound the flight itself, but feeds the sheddability probe
+    /// ([`SingleFlight::sheddable`]) -- a queued flight all of whose
+    /// waiters' deadlines have passed can be demoted instead of burning
+    /// a foreground worker.
+    pub fn claim(
+        &self,
+        key: K,
+        deadline: Option<Instant>,
+        make: impl FnOnce(Role) -> Waiter<V>,
+    ) -> (Role, FlightId) {
         let mut map = self.inflight.lock().expect("flight table poisoned");
         match map.entry(key) {
             Entry::Vacant(slot) => {
                 let id = self.fresh_id();
-                slot.insert(FlightEntry::new(id, vec![make(Role::Led)]));
+                let entry = slot.insert(FlightEntry::new(id));
+                entry.register(make(Role::Led), deadline);
                 self.led.fetch_add(1, Ordering::Relaxed);
                 (Role::Led, id)
             }
             Entry::Occupied(mut entry) => {
-                entry.get_mut().waiters.push(make(Role::Joined));
+                let entry = entry.get_mut();
+                entry.register(make(Role::Joined), deadline);
                 self.joined.fetch_add(1, Ordering::Relaxed);
-                (Role::Joined, entry.get().id)
+                (Role::Joined, entry.id)
             }
+        }
+    }
+
+    /// Whether the not-yet-started flight `(key, id)` has at least one
+    /// live waiter but nobody left who can still receive its result in
+    /// time: every live waiter registered a deadline and the latest of
+    /// those deadlines has passed. The worker pool demotes such jobs to
+    /// the background lane ([`crate::ServiceStats::shed`]) -- the tune
+    /// still runs eventually and warms the cache, but it stops
+    /// competing with flights someone is actually waiting on.
+    pub fn sheddable(&self, key: &K, id: FlightId, now: Instant) -> bool {
+        let map = self.inflight.lock().expect("flight table poisoned");
+        match map.get(key) {
+            Some(e) if e.id == id && !e.started => {
+                e.abandoned < e.waiters.len()
+                    && e.unbounded == 0
+                    && e.latest_deadline.is_some_and(|d| now >= d)
+            }
+            _ => false,
         }
     }
 
@@ -345,14 +400,19 @@ impl<K: Eq + Hash + Clone, V: Clone + Send + 'static> SingleFlight<K, V> {
     /// nobody) -- so the queued job is dropped by the `(key, id)` check
     /// when a worker reaches it. Abandoning a started flight only
     /// records the disinterest: the computation finishes and still
-    /// publishes its result. Returns the number of waiters notified (0
-    /// unless this abandonment cancelled the flight).
-    pub fn abandon(&self, key: &K, id: FlightId) -> usize {
+    /// publishes its result. `bounded` says whether the lost waiter had
+    /// registered a deadline, so the sheddability bookkeeping stays
+    /// truthful. Returns the number of waiters notified (0 unless this
+    /// abandonment cancelled the flight).
+    pub fn abandon(&self, key: &K, id: FlightId, bounded: bool) -> usize {
         let doomed = {
             let mut map = self.inflight.lock().expect("flight table poisoned");
             match map.get_mut(key) {
                 Some(entry) if entry.id == id => {
                     entry.abandoned += 1;
+                    if !bounded {
+                        entry.unbounded = entry.unbounded.saturating_sub(1);
+                    }
                     if !entry.started && entry.abandoned >= entry.waiters.len() {
                         map.remove(key)
                     } else {
@@ -452,7 +512,7 @@ impl<K: Eq + Hash + Clone, V: Clone + Send + 'static> SingleFlight<K, V> {
                         // Lead without a self-waiter: the value comes
                         // straight back from `f`.
                         let id = self.fresh_id();
-                        slot.insert(FlightEntry::new(id, Vec::new()));
+                        slot.insert(FlightEntry::new(id));
                         self.led.fetch_add(1, Ordering::Relaxed);
                         None
                     }
@@ -461,8 +521,7 @@ impl<K: Eq + Hash + Clone, V: Clone + Send + 'static> SingleFlight<K, V> {
                         let filler = Arc::clone(&cell);
                         entry
                             .get_mut()
-                            .waiters
-                            .push(Box::new(move |v| filler.fill(v)));
+                            .register(Box::new(move |v| filler.fill(v)), None);
                         self.joined.fetch_add(1, Ordering::Relaxed);
                         Some(cell)
                     }
@@ -634,12 +693,12 @@ mod tests {
                 hits.fetch_add(1, Ordering::SeqCst);
             })
         };
-        let (role, id) = flights.claim(5, |_| waiter(&hits));
+        let (role, id) = flights.claim(5, None, |_| waiter(&hits));
         assert_eq!(role, Role::Led);
-        let (role, joined_id) = flights.claim(5, |_| waiter(&hits));
+        let (role, joined_id) = flights.claim(5, None, |_| waiter(&hits));
         assert_eq!(role, Role::Joined);
         assert_eq!(joined_id, id, "joiners see the leader's flight id");
-        assert_eq!(flights.claim(5, |_| waiter(&hits)).0, Role::Joined);
+        assert_eq!(flights.claim(5, None, |_| waiter(&hits)).0, Role::Joined);
         assert!(flights.contains(&5));
         assert_eq!(flights.pending_id(&5), Some(id));
         assert_eq!(flights.complete(&5, 99), 3, "all three waiters served");
@@ -661,9 +720,9 @@ mod tests {
 
         // Flight A opens, is cancelled, and the key re-opens as flight B
         // (the shard hot-swap shape).
-        let (_, a) = flights.claim(1, |_| waiter(&got));
+        let (_, a) = flights.claim(1, None, |_| waiter(&got));
         assert_eq!(flights.cancel(&1), 1);
-        let (_, b) = flights.claim(1, |_| waiter(&got));
+        let (_, b) = flights.claim(1, None, |_| waiter(&got));
         assert_ne!(a, b, "flight ids never recur");
 
         // A's stale completer must not resolve B...
@@ -676,7 +735,7 @@ mod tests {
         assert_eq!(*got.lock().unwrap(), vec![None, Some(9)]);
 
         // fail_if is terminal but not administrative: no `cancelled`.
-        let (_, c) = flights.claim(2, |_| waiter(&got));
+        let (_, c) = flights.claim(2, None, |_| waiter(&got));
         assert_eq!(flights.fail_if(&2, c), 1);
         let stats = flights.stats();
         assert_eq!(stats.cancelled, 1, "only the explicit cancel counted");
@@ -690,24 +749,24 @@ mod tests {
             let sink = Arc::clone(sink);
             Box::new(move |v| sink.lock().unwrap().push(v))
         };
-        let (_, id) = flights.claim(1, |_| waiter(&outcomes));
-        let (role, joined) = flights.claim(1, |_| waiter(&outcomes));
+        let (_, id) = flights.claim(1, None, |_| waiter(&outcomes));
+        let (role, joined) = flights.claim(1, None, |_| waiter(&outcomes));
         assert_eq!((role, joined), (Role::Joined, id));
 
         // One of two waiters gives up: the flight lives on.
-        assert_eq!(flights.abandon(&1, id), 0);
+        assert_eq!(flights.abandon(&1, id, false), 0);
         assert!(flights.contains(&1));
         // The last waiter gives up: the flight is cancelled, both
         // (dead) waiters are notified with `None`, and the cancel is
         // counted.
-        assert_eq!(flights.abandon(&1, id), 2);
+        assert_eq!(flights.abandon(&1, id, false), 2);
         assert!(!flights.contains(&1));
         assert_eq!(*outcomes.lock().unwrap(), vec![None, None]);
         assert_eq!(flights.stats().cancelled, 1);
 
         // A stale abandon (wrong id) never touches a newer flight.
-        let (_, newer) = flights.claim(1, |_| waiter(&outcomes));
-        assert_eq!(flights.abandon(&1, id), 0);
+        let (_, newer) = flights.claim(1, None, |_| waiter(&outcomes));
+        assert_eq!(flights.abandon(&1, id, false), 0);
         assert!(flights.contains(&1));
         assert_eq!(flights.complete_if(&1, newer, 5), 1);
     }
@@ -717,16 +776,52 @@ mod tests {
         let flights: SingleFlight<u32, u32> = SingleFlight::new();
         let got = Arc::new(Mutex::new(Vec::new()));
         let sink = Arc::clone(&got);
-        let (_, id) = flights.claim(9, |_| Box::new(move |v| sink.lock().unwrap().push(v)));
+        let (_, id) = flights.claim(9, None, |_| Box::new(move |v| sink.lock().unwrap().push(v)));
         flights.mark_started(&9, id);
         // Every waiter abandons, but the computation is already
         // running: the flight survives and completes normally (its
         // result still feeds the cache).
-        assert_eq!(flights.abandon(&9, id), 0);
+        assert_eq!(flights.abandon(&9, id, false), 0);
         assert!(flights.contains(&9));
         assert_eq!(flights.complete_if(&9, id, 7), 1);
         assert_eq!(*got.lock().unwrap(), vec![Some(7)]);
         assert_eq!(flights.stats().cancelled, 0, "no cancel was counted");
+    }
+
+    #[test]
+    fn sheddable_requires_every_live_waiter_past_its_deadline() {
+        let flights: SingleFlight<u32, u32> = SingleFlight::new();
+        let drop_it = || -> Waiter<u32> { Box::new(|_| {}) };
+        let past = Instant::now() - Duration::from_millis(1);
+        let future = Instant::now() + Duration::from_secs(3600);
+        let now = Instant::now();
+
+        // All-bounded flight whose latest deadline has passed: sheddable.
+        let (_, a) = flights.claim(1, Some(past), |_| drop_it());
+        assert!(flights.sheddable(&1, a, now));
+        // A stale id never matches.
+        assert!(!flights.sheddable(&1, a + 1, now));
+        // A joiner with a *future* deadline un-sheds it until that
+        // deadline passes too.
+        flights.claim(1, Some(future), |_| drop_it());
+        assert!(!flights.sheddable(&1, a, now));
+        assert!(flights.sheddable(&1, a, future + Duration::from_millis(1)));
+
+        // An unbounded waiter pins the flight in the foreground...
+        let (_, b) = flights.claim(2, Some(past), |_| drop_it());
+        flights.claim(2, None, |_| drop_it());
+        assert!(!flights.sheddable(&2, b, now));
+        // ...until it abandons (bounded=false restores the count).
+        flights.abandon(&2, b, false);
+        assert!(flights.sheddable(&2, b, now));
+
+        // A started flight is never shed, and neither is one with no
+        // live waiters left (abandonment cancel handles that case).
+        flights.mark_started(&2, b);
+        assert!(!flights.sheddable(&2, b, now));
+        let (_, c) = flights.claim(3, Some(past), |_| drop_it());
+        flights.abandon(&3, c, true);
+        assert!(!flights.sheddable(&3, c, now), "flight was cancelled");
     }
 
     #[test]
@@ -735,7 +830,7 @@ mod tests {
         let outcomes = Arc::new(Mutex::new(Vec::new()));
         for key in [1u32, 2, 3] {
             let sink = Arc::clone(&outcomes);
-            flights.claim(key, |_| {
+            flights.claim(key, None, |_| {
                 Box::new(move |v| sink.lock().unwrap().push((key, v)))
             });
         }

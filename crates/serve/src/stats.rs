@@ -160,6 +160,25 @@ pub struct ServiceStats {
     pub timed_out: u64,
     /// Total seconds jobs spent queued before a worker picked them up.
     pub queue_wait_s_total: f64,
+    /// Misses refused by per-tenant admission control
+    /// ([`crate::Served::Rejected`]). Rejected submits never charge the
+    /// queue or the single-flight table.
+    pub rejected: u64,
+    /// Foreground jobs shed to the background lane because every live
+    /// waiter's deadline had already passed when a worker reached them.
+    /// Shed jobs still run (and warm the cache) -- just behind all
+    /// foreground work.
+    pub shed: u64,
+    /// Best-effort jobs (demoted tunes + prewarms) waiting in the
+    /// background lane right now.
+    pub background_depth: u64,
+    /// Cache entries seeded by predictive warm-starts
+    /// ([`crate::TuneService::prewarm_hot`]).
+    pub prewarmed: u64,
+    /// Prewarm jobs processed, whether or not they seeded anything (a
+    /// stale-shard or already-cached prewarm counts here but not in
+    /// `prewarmed`).
+    pub prewarm_jobs: u64,
 }
 
 impl ServiceStats {

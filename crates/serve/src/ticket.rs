@@ -43,6 +43,7 @@
 //! [`crate::FlightStats::cancelled`]) and the queued job is dropped by
 //! the worker pool instead of tuning for an audience of zero.
 
+use crate::admission::TenantSlot;
 use crate::batch::{Decision, Served};
 use std::future::Future;
 use std::pin::Pin;
@@ -101,10 +102,13 @@ pub(crate) struct TicketCell {
     state: Mutex<CellState>,
     cv: Condvar,
     gauge: Arc<OpenTickets>,
+    /// Admission charge to release when this cell resolves (misses that
+    /// went through [`crate::admission::Admission::admit`]).
+    tenant: Option<Arc<TenantSlot>>,
 }
 
 impl TicketCell {
-    pub fn new(gauge: Arc<OpenTickets>) -> Self {
+    pub fn new(gauge: Arc<OpenTickets>, tenant: Option<Arc<TenantSlot>>) -> Self {
         gauge.opened();
         TicketCell {
             state: Mutex::new(CellState {
@@ -113,6 +117,7 @@ impl TicketCell {
             }),
             cv: Condvar::new(),
             gauge,
+            tenant,
         }
     }
 
@@ -129,6 +134,11 @@ impl TicketCell {
                 return false;
             }
             self.gauge.resolved();
+            // The tenant's in-flight quota slot frees with the ticket,
+            // whatever it resolved to (decision, failure, or expiry).
+            if let Some(tenant) = &self.tenant {
+                tenant.release();
+            }
             state.decision = Some(decision);
             self.cv.notify_all();
             state.waker.take()
@@ -149,6 +159,9 @@ impl TicketCell {
         };
         if self.resolve(timed_out.clone()) {
             self.gauge.note_timeout();
+            if let Some(tenant) = &self.tenant {
+                tenant.note_timeout();
+            }
             timed_out
         } else {
             self.state

@@ -12,8 +12,17 @@
 //! hot-swapping shards without rejecting submissions; tickets simply
 //! stay pending) and an idempotent **shutdown** that drains queued jobs
 //! so `Drop` can fail their flights instead of stranding tickets.
+//!
+//! Since PR 7 the queue is **two lanes**: the foreground deque holds
+//! jobs someone is waiting on, and a strictly-lower-priority background
+//! deque holds work nobody is waiting for *right now* -- cold tunes
+//! whose waiters have all timed out ([`BgJob::Demoted`]) and predictive
+//! warm-starts for keys trending hot on a neighbour shard
+//! ([`BgJob::Prewarm`]). Workers only pop the background lane when the
+//! foreground lane is empty, so SLO traffic never queues behind
+//! best-effort cache warming.
 
-use isaac_core::{IsaacTuner, TuneKey};
+use isaac_core::{IsaacTuner, TuneKey, TunedChoice};
 use std::collections::VecDeque;
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
@@ -36,12 +45,34 @@ pub(crate) struct Job {
     /// Tune attempts so far (0 on first submission; bumped on
     /// panic-retry).
     pub attempts: u32,
+    /// Set once the job has been shed to the background lane, so a
+    /// demoted job runs when popped instead of re-demoting forever.
+    pub demoted: bool,
+}
+
+/// Best-effort work on the background lane; see the module docs.
+pub(crate) enum BgJob {
+    /// A foreground cold tune demoted because every live waiter's
+    /// deadline passed before a worker reached it. It still completes
+    /// its flight and warms the cache -- just without competing with
+    /// jobs someone is waiting on.
+    Demoted(Box<Job>),
+    /// Predictive warm-start: re-benchmark one neighbour decision into
+    /// `target`'s cache (the `IsaacTuner::warm_start` rebench path,
+    /// orders of magnitude cheaper than a cold tune).
+    Prewarm {
+        target: Arc<IsaacTuner>,
+        source: Box<(TuneKey, TunedChoice)>,
+    },
 }
 
 /// Outcome of one [`MissQueue::pop_until`] call.
 pub(crate) enum Popped {
-    /// A job to run (boxed: the deadline arm keeps the enum small).
+    /// A foreground job to run (boxed: the deadline arm keeps the enum
+    /// small).
     Job(Box<Job>),
+    /// Background work: the foreground lane was empty.
+    Background(BgJob),
     /// The deadline passed with the queue idle -- time for periodic
     /// work (the background snapshotter).
     Deadline,
@@ -51,6 +82,7 @@ pub(crate) enum Popped {
 
 struct QueueState {
     jobs: VecDeque<Job>,
+    background: VecDeque<BgJob>,
     paused: bool,
     shutdown: bool,
 }
@@ -67,6 +99,7 @@ impl MissQueue {
         MissQueue {
             state: Mutex::new(QueueState {
                 jobs: VecDeque::new(),
+                background: VecDeque::new(),
                 paused: false,
                 shutdown: false,
             }),
@@ -82,6 +115,20 @@ impl MissQueue {
             return;
         }
         state.jobs.push_back(job);
+        drop(state);
+        self.cv.notify_one();
+    }
+
+    /// Enqueue best-effort work on the background lane and wake one
+    /// worker. Dropped after shutdown, like [`MissQueue::push`] (a
+    /// demoted job's flight is failed by the service teardown; a
+    /// prewarm is pure opportunism).
+    pub fn push_background(&self, job: BgJob) {
+        let mut state = self.state.lock().expect("miss queue poisoned");
+        if state.shutdown {
+            return;
+        }
+        state.background.push_back(job);
         drop(state);
         self.cv.notify_one();
     }
@@ -106,6 +153,11 @@ impl MissQueue {
             if !state.paused {
                 if let Some(job) = state.jobs.pop_front() {
                     return Popped::Job(Box::new(job));
+                }
+                // Strict priority: background work only runs while the
+                // foreground lane is empty.
+                if let Some(bg) = state.background.pop_front() {
+                    return Popped::Background(bg);
                 }
             }
             match deadline_of() {
@@ -141,16 +193,29 @@ impl MissQueue {
         self.cv.notify_all();
     }
 
-    /// Jobs currently queued.
+    /// Foreground jobs currently queued.
     pub fn depth(&self) -> usize {
         self.state.lock().expect("miss queue poisoned").jobs.len()
     }
 
-    /// Flip the queue into shutdown mode and return every undrained job
-    /// so the caller can fail their flights. Idempotent.
+    /// Background jobs currently queued.
+    pub fn background_depth(&self) -> usize {
+        self.state
+            .lock()
+            .expect("miss queue poisoned")
+            .background
+            .len()
+    }
+
+    /// Flip the queue into shutdown mode and return every undrained
+    /// foreground job so the caller can fail their flights. Undrained
+    /// background work is simply dropped: a demoted job's waiters are
+    /// covered by the same flight-failing sweep, and prewarms are
+    /// best-effort. Idempotent.
     pub fn begin_shutdown(&self) -> Vec<Job> {
         let mut state = self.state.lock().expect("miss queue poisoned");
         state.shutdown = true;
+        state.background.clear();
         let drained = state.jobs.drain(..).collect();
         drop(state);
         self.cv.notify_all();

@@ -1,0 +1,196 @@
+//! Determinism of the trace-driven load harness
+//! (`isaac_serve::load`): the same seed must produce the identical
+//! request sequence AND the identical outcome counts -- hits, tunes,
+//! coalesces, sheds, rejections, timeouts, prewarms -- on every replay,
+//! because `scripts/check_bench.sh` gates on them in CI.
+//!
+//! Seeds come from `ISAAC_LOAD_SEEDS` (space-separated, like the chaos
+//! suite's `ISAAC_CHAOS_SEEDS`) so CI pins them and local runs can
+//! explore.
+
+use isaac_core::{IsaacTuner, OpKind, TrainOptions};
+use isaac_device::specs::tesla_p100;
+use isaac_serve::load::{generate, replay, ReplayOptions, Trace, TraceConfig};
+use isaac_serve::{LoadReport, TuneService};
+use std::path::{Path, PathBuf};
+use std::sync::OnceLock;
+
+fn shared_model_path() -> &'static Path {
+    static PATH: OnceLock<PathBuf> = OnceLock::new();
+    PATH.get_or_init(|| {
+        let tuner = IsaacTuner::train(
+            tesla_p100(),
+            OpKind::Gemm,
+            TrainOptions {
+                samples: 1_500,
+                hidden: vec![16, 16],
+                epochs: 2,
+                top_k: 10,
+                ..Default::default()
+            },
+        );
+        let path = std::env::temp_dir().join("isaac_load_shared_model.txt");
+        tuner.save(&path).expect("save shared model");
+        path
+    })
+}
+
+fn seeds() -> Vec<u64> {
+    std::env::var("ISAAC_LOAD_SEEDS")
+        .ok()
+        .map(|s| {
+            s.split_whitespace()
+                .map(|t| t.parse().expect("ISAAC_LOAD_SEEDS must be u64s"))
+                .collect()
+        })
+        .unwrap_or_else(|| vec![7, 303])
+}
+
+/// A trace small enough to replay twice per seed in a debug test run,
+/// but busy enough to exercise admission, shedding and prewarming.
+fn tiny_config(seed: u64, devices: u16) -> TraceConfig {
+    TraceConfig {
+        seed,
+        keyspace: 6,
+        tenants: 2,
+        devices,
+        steps: 3,
+        base_rate: 30,
+        drift_per_step: 1,
+        bursts: 1,
+        tight_frac: 0.1,
+        ..TraceConfig::default()
+    }
+}
+
+fn fresh_service(devices: u16) -> TuneService {
+    let service = TuneService::with_workers(2);
+    for device in 0..devices {
+        let tuner = IsaacTuner::load(shared_model_path(), tesla_p100(), OpKind::Gemm)
+            .expect("load shared model");
+        service.add_shard(device, tuner);
+    }
+    service
+}
+
+/// Everything in a [`LoadReport`] that must be bit-identical across
+/// replays of the same trace (wall-clock figures excluded).
+fn outcome_counts(report: &LoadReport) -> Vec<u64> {
+    let mut counts = vec![
+        report.requests,
+        report.shed,
+        report.rejected,
+        report.timed_out,
+        report.failed,
+        report.prewarmed,
+    ];
+    for t in &report.tenants {
+        counts.extend([
+            t.tenant as u64,
+            t.submitted,
+            t.hits,
+            t.tuned,
+            t.coalesced,
+            t.rejected,
+            t.timed_out,
+        ]);
+    }
+    counts
+}
+
+#[test]
+fn same_seed_generates_the_identical_trace() {
+    for seed in seeds() {
+        let cfg = tiny_config(seed, 1);
+        assert_eq!(generate(&cfg), generate(&cfg), "seed {seed}");
+        let other = generate(&TraceConfig {
+            seed: seed.wrapping_add(1),
+            ..cfg
+        });
+        assert_ne!(generate(&cfg).steps, other.steps, "seed {seed}+1 diverges");
+    }
+}
+
+#[test]
+fn replay_outcome_counts_are_deterministic_across_fresh_services() {
+    for seed in seeds() {
+        let trace = generate(&tiny_config(seed, 1));
+        let opts = ReplayOptions {
+            quota: Some(2),
+            ..ReplayOptions::default()
+        };
+        let first = replay(&fresh_service(1), &trace, &opts);
+        let second = replay(&fresh_service(1), &trace, &opts);
+        assert_eq!(
+            outcome_counts(&first),
+            outcome_counts(&second),
+            "seed {seed}: replay outcomes must not depend on scheduling"
+        );
+        assert_eq!(first.requests, trace.requests() as u64);
+        assert!(
+            first.rejected > 0,
+            "seed {seed}: quota 2 under a paused step must reject"
+        );
+        assert!(first.failed == 0, "seed {seed}: healthy replay never fails");
+        assert!(first.hit_rate > 0.0, "seed {seed}: repeats must hit cache");
+    }
+}
+
+#[test]
+fn prewarming_replays_deterministically_and_seeds_the_lagged_device() {
+    let seed = seeds()[0];
+    // A longer, narrower trace than `tiny_config`: with a 4-key hot
+    // window, 5 steps, and a min-hits threshold of 1, every seed gives
+    // device 0 a hot decision that device 1 (lagging 2 steps behind the
+    // window) has not tuned yet when the prewarm scan runs.
+    let trace = generate(&TraceConfig {
+        seed,
+        keyspace: 4,
+        tenants: 2,
+        devices: 2,
+        steps: 5,
+        base_rate: 60,
+        drift_per_step: 1,
+        bursts: 1,
+        tight_frac: 0.05,
+        ..TraceConfig::default()
+    });
+    let opts = ReplayOptions {
+        prewarm_min_hits: Some(1),
+        ..ReplayOptions::default()
+    };
+    let first = replay(&fresh_service(2), &trace, &opts);
+    let second = replay(&fresh_service(2), &trace, &opts);
+    assert_eq!(
+        outcome_counts(&first),
+        outcome_counts(&second),
+        "prewarm scheduling must not leak into the counts"
+    );
+    assert!(
+        first.prewarmed > 0,
+        "hot decisions on device 0 must prewarm device 1"
+    );
+}
+
+#[test]
+fn shape_ids_slide_with_the_hot_window() {
+    let trace = generate(&tiny_config(seeds()[0], 1));
+    // Later steps must introduce shape ids no earlier step could have
+    // produced -- that drift is what keeps misses (and sheds) flowing.
+    let max_of = |step: usize| {
+        trace.steps[step]
+            .iter()
+            .map(|r| r.shape_id)
+            .max()
+            .expect("non-empty step")
+    };
+    assert!(max_of(trace.steps.len() - 1) > max_of(0));
+    // And every id maps to a distinct, valid shape.
+    let ids: std::collections::BTreeSet<_> =
+        trace.steps.iter().flatten().map(|r| r.shape_id).collect();
+    let shapes: std::collections::BTreeSet<_> = ids
+        .iter()
+        .map(|&id| format!("{:?}", Trace::shape_of(id)))
+        .collect();
+    assert_eq!(ids.len(), shapes.len(), "shape_of must be injective");
+}

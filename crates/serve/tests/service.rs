@@ -457,6 +457,7 @@ fn timed_out_waiter_does_not_poison_the_flight_for_others() {
         &query,
         &SubmitOptions {
             deadline: Some(Duration::from_millis(20)),
+            ..SubmitOptions::default()
         },
     );
     let unbounded = service.submit(&query);

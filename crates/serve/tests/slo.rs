@@ -1,0 +1,223 @@
+//! SLO behaviour of the serving front door:
+//!
+//! 1. **admission never poisons single-flight** -- an over-quota submit
+//!    resolves `Served::Rejected` immediately while a within-quota
+//!    waiter on the same key still receives the tuned decision;
+//! 2. **deadline shedding** -- a queued job whose only waiter timed out
+//!    is demoted to the background lane (counted in
+//!    `ServiceStats::shed`), still runs there, and warms the cache;
+//! 3. **per-tenant stats stay truthful under concurrent submits** --
+//!    the quota is an exact upper bound on in-flight misses no matter
+//!    how many threads race it;
+//! 4. **predictive prewarm** -- a hot decision on one shard is
+//!    re-benched into a neighbour shard in the background, turning the
+//!    neighbour's next miss into a cache hit.
+
+use isaac_core::{IsaacTuner, OpKind, TrainOptions};
+use isaac_device::specs::tesla_p100;
+use isaac_device::{DType, DeviceSpec};
+use isaac_gen::shapes::GemmShape;
+use isaac_serve::{Query, Served, SubmitOptions, TuneService};
+use std::path::{Path, PathBuf};
+use std::sync::OnceLock;
+use std::time::{Duration, Instant};
+
+/// Train one small GEMM model, once per process, and hand out cheap
+/// clones via the text serialization.
+fn shared_model_path() -> &'static Path {
+    static PATH: OnceLock<PathBuf> = OnceLock::new();
+    PATH.get_or_init(|| {
+        let tuner = IsaacTuner::train(
+            tesla_p100(),
+            OpKind::Gemm,
+            TrainOptions {
+                samples: 1_500,
+                hidden: vec![16, 16],
+                epochs: 2,
+                top_k: 10,
+                ..Default::default()
+            },
+        );
+        let path = std::env::temp_dir().join("isaac_slo_shared_model.txt");
+        tuner.save(&path).expect("save shared model");
+        path
+    })
+}
+
+fn fresh_tuner(spec: DeviceSpec) -> IsaacTuner {
+    IsaacTuner::load(shared_model_path(), spec, OpKind::Gemm).expect("load shared model")
+}
+
+fn gemm_query(device: u16, m: u32, n: u32, k: u32) -> Query {
+    Query::gemm(device, GemmShape::new(m, n, k, "N", "T", DType::F32))
+}
+
+/// Spin (with a timeout) until an asynchronous gauge settles.
+fn wait_until(what: &str, cond: impl Fn() -> bool) {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while !cond() {
+        assert!(Instant::now() < deadline, "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+}
+
+#[test]
+fn over_quota_submit_rejects_without_poisoning_the_flight() {
+    let service = TuneService::with_workers(2);
+    service.add_shard(0, fresh_tuner(tesla_p100()));
+    service.set_tenant_quota(5, Some(1));
+    service.pause();
+
+    let query = gemm_query(0, 128, 64, 96);
+    let opts = SubmitOptions {
+        tenant: 5,
+        ..SubmitOptions::default()
+    };
+    let admitted = service.submit_with(&query, &opts);
+    assert!(!admitted.is_ready(), "first miss is admitted and pending");
+
+    // Same tenant, same key, over quota: rejected instantly, and the
+    // pending flight is untouched.
+    let rejected = service.submit_with(&query, &opts);
+    let decision = rejected.try_get().expect("rejection resolves inline");
+    assert_eq!(decision.served, Served::Rejected);
+    assert!(decision.choice.is_none());
+    assert_eq!(service.service_stats().rejected, 1);
+
+    service.resume();
+    let decision = admitted.wait();
+    assert_eq!(
+        decision.served,
+        Served::Tuned,
+        "the admitted waiter still owns the tune"
+    );
+    assert!(decision.choice.is_some());
+
+    let stats = service
+        .tenant_stats()
+        .into_iter()
+        .find(|t| t.tenant == 5)
+        .expect("tenant 5 was seen");
+    assert_eq!((stats.submitted, stats.admitted, stats.rejected), (2, 1, 1));
+    assert_eq!(stats.in_flight, 0, "the charge freed with the ticket");
+
+    // The published decision is served from cache -- no admission
+    // involved, even though the tenant just got rejected.
+    assert_eq!(
+        service.submit_with(&query, &opts).wait().served,
+        Served::Cache
+    );
+}
+
+#[test]
+fn job_with_only_timed_out_waiters_is_shed_to_background_and_still_tunes() {
+    let service = TuneService::with_workers(2);
+    service.add_shard(0, fresh_tuner(tesla_p100()));
+    service.pause();
+
+    let query = gemm_query(0, 160, 64, 96);
+    let ticket = service.submit_with(
+        &query,
+        &SubmitOptions {
+            deadline: Some(Duration::ZERO),
+            ..SubmitOptions::default()
+        },
+    );
+    // Consume the expiry while the queue is paused: when a worker
+    // reaches the job, its only waiter is already past its deadline.
+    assert_eq!(ticket.wait().served, Served::TimedOut);
+    drop(ticket);
+
+    service.resume();
+    wait_until("the job to be shed and run in the background", || {
+        let stats = service.service_stats();
+        stats.shed >= 1 && stats.queue_depth == 0 && stats.background_depth == 0
+    });
+    wait_until("the demoted flight to complete", || {
+        service.in_flight() == 0
+    });
+
+    // The demoted tune still published its decision.
+    assert_eq!(service.submit(&query).wait().served, Served::Cache);
+    assert_eq!(service.service_stats().shed, 1);
+}
+
+#[test]
+fn tenant_stats_stay_truthful_under_concurrent_submits() {
+    let service = std::sync::Arc::new(TuneService::with_workers(2));
+    service.add_shard(0, fresh_tuner(tesla_p100()));
+    service.set_tenant_quota(9, Some(2));
+    service.pause();
+
+    // Eight threads race distinct keys under one tenant: exactly two
+    // may be in flight, whatever the interleaving.
+    let tickets: Vec<_> = (0..8u32)
+        .map(|i| {
+            let service = std::sync::Arc::clone(&service);
+            std::thread::spawn(move || {
+                service.submit_with(
+                    &gemm_query(0, 192 + 8 * i, 64, 96),
+                    &SubmitOptions {
+                        tenant: 9,
+                        ..SubmitOptions::default()
+                    },
+                )
+            })
+        })
+        .map(|h| h.join().expect("submitter panicked"))
+        .collect();
+
+    let stats = service
+        .tenant_stats()
+        .into_iter()
+        .find(|t| t.tenant == 9)
+        .expect("tenant 9 was seen");
+    assert_eq!(stats.submitted, 8);
+    assert_eq!(stats.admitted, 2, "quota is an exact bound");
+    assert_eq!(stats.rejected, 6);
+    assert_eq!(stats.in_flight, 2);
+    assert_eq!(service.service_stats().rejected, 6);
+
+    service.resume();
+    let mut served = Vec::new();
+    for ticket in tickets {
+        served.push(ticket.wait().served);
+    }
+    assert_eq!(served.iter().filter(|s| **s == Served::Tuned).count(), 2);
+    assert_eq!(served.iter().filter(|s| **s == Served::Rejected).count(), 6);
+
+    let stats = service
+        .tenant_stats()
+        .into_iter()
+        .find(|t| t.tenant == 9)
+        .expect("tenant 9 was seen");
+    assert_eq!(stats.in_flight, 0, "both charges freed on resolution");
+}
+
+#[test]
+fn prewarm_hot_seeds_a_neighbour_shard_in_the_background() {
+    let service = TuneService::with_workers(2);
+    service.add_shard(0, fresh_tuner(tesla_p100()));
+    service.add_shard(1, fresh_tuner(tesla_p100()));
+
+    // Make one decision hot on shard 0: tune it, then hit it.
+    let on_dev0 = gemm_query(0, 224, 64, 96);
+    assert_eq!(service.submit(&on_dev0).wait().served, Served::Tuned);
+    assert_eq!(service.submit(&on_dev0).wait().served, Served::Cache);
+
+    let enqueued = service.prewarm_hot(1);
+    assert_eq!(enqueued, 1, "one hot decision, one uncovered neighbour");
+    wait_until("the prewarm to run", || {
+        service.service_stats().prewarm_jobs >= 1
+    });
+    let stats = service.service_stats();
+    assert_eq!(stats.prewarmed, 1, "the neighbour cache was seeded");
+
+    // The lagged tenant's first query on shard 1 is now a hit, not a
+    // cold tune.
+    let on_dev1 = gemm_query(1, 224, 64, 96);
+    assert_eq!(service.submit(&on_dev1).wait().served, Served::Cache);
+
+    // Re-running finds everything covered: nothing to enqueue.
+    assert_eq!(service.prewarm_hot(1), 0);
+}

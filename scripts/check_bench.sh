@@ -19,17 +19,22 @@
 #   4. the batched serving throughput (batched_qps, which now flows
 #      through the TuneService ticket path) stays within TOLERANCE of
 #      the committed BENCH_serving.json baseline -- qps is
-#      higher-is-better, so the guard is fresh >= baseline / tolerance.
+#      higher-is-better, so the guard is fresh >= baseline / tolerance;
+#   5. the trace-driven load gate: BENCH_load.json must show the SLO
+#      defenses firing (shed_rate > 0), timeouts bounded, ordered
+#      percentiles (p50 <= p99 <= p999), and load_qps within TOLERANCE
+#      of the committed baseline.
 #
 # Usage:
 #   scripts/check_bench.sh [--baseline <file>] [--serving-baseline <file>]
+#                          [--load-baseline <file>]
 #                          [--tolerance <factor>] [--cold-tolerance <factor>]
 #
-# With no --baseline/--serving-baseline, the committed
-# BENCH_inference.json / BENCH_serving.json are read from git (origin's
-# default branch, falling back to HEAD), so the script works unchanged
-# in CI and locally after
-# `cargo bench -p isaac-bench --bench inference --bench serving --bench micro`.
+# With no --baseline/--serving-baseline/--load-baseline, the committed
+# BENCH_inference.json / BENCH_serving.json / BENCH_load.json are read
+# from git (origin's default branch, falling back to HEAD), so the
+# script works unchanged in CI and locally after
+# `cargo bench -p isaac-bench --bench inference --bench serving --bench micro --bench load`.
 
 set -u
 
@@ -39,19 +44,52 @@ TOLERANCE=3
 COLD_TOLERANCE=5
 BASELINE=""
 SERVING_BASELINE=""
+LOAD_BASELINE=""
 while [ $# -gt 0 ]; do
     case "$1" in
         --baseline) BASELINE="$2"; shift 2 ;;
         --serving-baseline) SERVING_BASELINE="$2"; shift 2 ;;
+        --load-baseline) LOAD_BASELINE="$2"; shift 2 ;;
         --tolerance) TOLERANCE="$2"; shift 2 ;;
         --cold-tolerance) COLD_TOLERANCE="$2"; shift 2 ;;
-        *) echo "usage: $0 [--baseline <file>] [--serving-baseline <file>] [--tolerance <factor>] [--cold-tolerance <factor>]" >&2; exit 2 ;;
+        *) echo "usage: $0 [--baseline <file>] [--serving-baseline <file>] [--load-baseline <file>] [--tolerance <factor>] [--cold-tolerance <factor>]" >&2; exit 2 ;;
     esac
 done
 
 fail=0
 say() { echo "check_bench: $*"; }
 die() { say "FAIL: $*"; fail=1; }
+
+# All temp files funnel through one cleanup registered ONCE: a second
+# `trap ... EXIT` silently replaces the first (the old bug here left
+# whichever baseline registered first to leak when the other's trap
+# won), so baselines append to a plain string instead of re-trapping.
+# (A string, not an array: empty-array expansion trips `set -u` on
+# bash < 4.4.)
+TMP_FILES=""
+cleanup() {
+    # shellcheck disable=SC2086 -- mktemp paths contain no spaces.
+    [ -n "$TMP_FILES" ] && rm -f $TMP_FILES
+}
+trap cleanup EXIT
+
+# tmp_baseline -> prints a fresh temp path tracked for cleanup.
+tmp_baseline() {
+    t=$(mktemp)
+    TMP_FILES="$TMP_FILES $t"
+    echo "$t"
+}
+
+# fetch_baseline NAME DEST -> git-show NAME into DEST from the first ref
+# that has it; prints the ref, or nothing if none do.
+fetch_baseline() {
+    for ref in origin/main origin/master HEAD; do
+        if git show "$ref:$1" > "$2" 2>/dev/null; then
+            echo "$ref"
+            return
+        fi
+    done
+}
 
 # json_num FILE KEY -> prints the numeric value of "KEY": <num>, or
 # nothing if the key is missing/non-numeric.
@@ -102,6 +140,10 @@ validate BENCH_serving.json \
 validate BENCH_micro.json \
     mul_bt_naive_s mul_bt_tiled_s mul_bt_naive_gflops \
     mul_bt_tiled_gflops mul_bt_tiled_speedup
+
+validate BENCH_load.json \
+    load_p50_s load_p99_s load_p999_s load_hit_rate \
+    load_timeout_rate load_shed_rate load_tenants load_qps
 
 # The cascade quality guard is a correctness bit, not a timing: fail
 # outright if the benchmark saw the cascade change a tuning decision.
@@ -185,23 +227,52 @@ if [ -n "$timeouts" ] && ! awk -v t="$timeouts" 'BEGIN { exit !(t >= 1) }'; then
     die "deadline_timed_out=$timeouts: the ticket-deadline section never expired"
 fi
 
+# ---- the trace-driven load gate (BENCH_load.json) --------------------
+# The replay is deterministic per seed (outcome counts are exact), so
+# these are hard floors, not noisy timings.
+load_shed_rate=$(json_num BENCH_load.json load_shed_rate)
+if [ -n "$load_shed_rate" ]; then
+    # Shedding must have fired: a trace that never demotes an
+    # all-timed-out job to the background lane guards nothing.
+    if ! awk -v s="$load_shed_rate" 'BEGIN { exit !(s > 0) }'; then
+        die "load_shed_rate=$load_shed_rate: the load trace never exercised deadline shedding"
+    else
+        say "OK: load trace shed at rate $load_shed_rate"
+    fi
+fi
+load_timeout_rate=$(json_num BENCH_load.json load_timeout_rate)
+if [ -n "$load_timeout_rate" ]; then
+    # Timeouts are expected (tight deadlines are part of the trace) but
+    # bounded: past 50% the service is failing its SLO, not shedding
+    # gracefully.
+    if ! awk -v t="$load_timeout_rate" 'BEGIN { exit !(t <= 0.5) }'; then
+        die "load_timeout_rate=$load_timeout_rate exceeds 0.5: the service is drowning, not shedding"
+    else
+        say "OK: load timeout rate $load_timeout_rate bounded"
+    fi
+fi
+lp50=$(json_num BENCH_load.json load_p50_s)
+lp99=$(json_num BENCH_load.json load_p99_s)
+lp999=$(json_num BENCH_load.json load_p999_s)
+if [ -n "$lp50" ] && [ -n "$lp99" ] && [ -n "$lp999" ]; then
+    if ! awk -v a="$lp50" -v b="$lp99" -v c="$lp999" \
+            'BEGIN { exit !(a <= b && b <= c) }'; then
+        die "load percentiles out of order: p50=$lp50 p99=$lp99 p999=$lp999"
+    else
+        say "OK: load percentiles ordered (p50 $lp50 <= p99 $lp99 <= p999 $lp999)"
+    fi
+fi
+
 # ---- regression guard: cached-hit cost vs. the committed baseline ----
 # Baseline preference: origin's default branch (so a PR that commits a
 # regressed JSON cannot be its own baseline), falling back to HEAD for
 # local runs without a remote.
 if [ -z "$BASELINE" ]; then
-    BASELINE_TMP=$(mktemp)
-    BASELINE="$BASELINE_TMP"
-    trap 'rm -f "${BASELINE_TMP:-}" "${SERVING_TMP:-}"' EXIT
-    found=""
-    for ref in origin/main origin/master HEAD; do
-        if git show "$ref:BENCH_inference.json" > "$BASELINE" 2>/dev/null; then
-            say "baseline: BENCH_inference.json from $ref"
-            found=1
-            break
-        fi
-    done
-    if [ -z "$found" ]; then
+    BASELINE=$(tmp_baseline)
+    ref=$(fetch_baseline BENCH_inference.json "$BASELINE")
+    if [ -n "$ref" ]; then
+        say "baseline: BENCH_inference.json from $ref"
+    else
         say "SKIP: no committed BENCH_inference.json baseline found"
         BASELINE=""
     fi
@@ -232,31 +303,24 @@ fi
 
 # ---- regression guard: batched serving throughput (higher is better) --
 if [ -z "$SERVING_BASELINE" ]; then
-    SERVING_TMP=$(mktemp)
-    SERVING_BASELINE="$SERVING_TMP"
-    trap 'rm -f "${BASELINE_TMP:-}" "${SERVING_TMP:-}"' EXIT
-    found=""
-    for ref in origin/main origin/master HEAD; do
-        if git show "$ref:BENCH_serving.json" > "$SERVING_BASELINE" 2>/dev/null; then
-            say "serving baseline: BENCH_serving.json from $ref"
-            found=1
-            break
-        fi
-    done
-    if [ -z "$found" ]; then
+    SERVING_BASELINE=$(tmp_baseline)
+    ref=$(fetch_baseline BENCH_serving.json "$SERVING_BASELINE")
+    if [ -n "$ref" ]; then
+        say "serving baseline: BENCH_serving.json from $ref"
+    else
         say "SKIP: no committed BENCH_serving.json baseline found"
         SERVING_BASELINE=""
     fi
 fi
 
-# guard_qps KEY TOLERANCE LABEL -> throughput guard: fresh must stay
-# within 1/tolerance of the baseline (fresh >= base / tol).
+# guard_qps FILE BASELINE KEY TOLERANCE LABEL -> throughput guard: fresh
+# must stay within 1/tolerance of the baseline (fresh >= base / tol).
 guard_qps() {
-    key="$1"; tol="$2"; label="$3"
-    fresh=$(json_num BENCH_serving.json "$key")
-    base=$(json_num "$SERVING_BASELINE" "$key")
+    file="$1"; baseline="$2"; key="$3"; tol="$4"; label="$5"
+    fresh=$(json_num "$file" "$key")
+    base=$(json_num "$baseline" "$key")
     if [ -z "$base" ]; then
-        say "SKIP: serving baseline has no $key"
+        say "SKIP: baseline has no $key"
         return
     fi
     say "$label: fresh ${fresh} qps vs baseline ${base} qps (tolerance ${tol}x)"
@@ -269,7 +333,23 @@ guard_qps() {
 }
 
 if [ -n "$SERVING_BASELINE" ] && [ "$fail" -eq 0 ]; then
-    guard_qps batched_qps "$TOLERANCE" "batched serving"
+    guard_qps BENCH_serving.json "$SERVING_BASELINE" batched_qps "$TOLERANCE" "batched serving"
+fi
+
+# ---- regression guard: trace-driven load throughput ------------------
+if [ -z "$LOAD_BASELINE" ]; then
+    LOAD_BASELINE=$(tmp_baseline)
+    ref=$(fetch_baseline BENCH_load.json "$LOAD_BASELINE")
+    if [ -n "$ref" ]; then
+        say "load baseline: BENCH_load.json from $ref"
+    else
+        say "SKIP: no committed BENCH_load.json baseline found"
+        LOAD_BASELINE=""
+    fi
+fi
+
+if [ -n "$LOAD_BASELINE" ] && [ "$fail" -eq 0 ]; then
+    guard_qps BENCH_load.json "$LOAD_BASELINE" load_qps "$TOLERANCE" "trace-driven load"
 fi
 
 if [ "$fail" -ne 0 ]; then
