@@ -222,6 +222,94 @@ fn enumerate_legal(legal: impl Fn(&GemmConfig) -> bool + Sync) -> Vec<GemmConfig
 }
 
 // ---------------------------------------------------------------------------
+// Model-free heuristic fallback (degraded mode)
+// ---------------------------------------------------------------------------
+
+/// Model-free fallback choice for a GEMM shape: the largest-legal-tile
+/// rule over the legality table. No MLP, no re-benchmarking -- just the
+/// classic static heuristic the paper's input-aware model is measured
+/// against, kept around so a sick serving shard can always answer.
+///
+/// Deterministic: the candidate sweep is a fixed preference order
+/// (largest macro-tile area first, then the widest micro-tile / unroll /
+/// vector width), so the same shape on the same device always yields the
+/// same configuration. Returns `None` only when *no* configuration in
+/// the space is legal for the shape.
+///
+/// The returned [`TunedChoice`] carries zeroed model/measurement fields
+/// (`predicted_gflops == tflops == 0.0`): it is a placeholder decision,
+/// not an authoritative tune, and callers (the serving layer's degraded
+/// mode) must not persist it as one.
+pub fn heuristic_gemm(shape: &GemmShape, spec: &DeviceSpec) -> Option<TunedChoice> {
+    heuristic_choice(|cfg| isaac_gen::legality::check(cfg, shape, spec).is_ok())
+}
+
+/// Model-free fallback choice for a convolution, via its implicit-GEMM
+/// view. Same largest-legal-tile rule and determinism as
+/// [`heuristic_gemm`].
+pub fn heuristic_conv(shape: &ConvShape, spec: &DeviceSpec) -> Option<TunedChoice> {
+    heuristic_choice(|cfg| isaac_gen::conv::check(cfg, shape, spec).is_ok())
+}
+
+/// Shared sweep for the heuristic fallback: try a small, preference-
+/// ordered candidate list (big tiles first), then fall back to a full
+/// space-table scan in index order if none of the preferred shapes are
+/// legal. The bounded sweep keeps the degraded path O(hundreds) of
+/// legality checks instead of a half-million-config table walk.
+fn heuristic_choice(legal: impl Fn(&GemmConfig) -> bool) -> Option<TunedChoice> {
+    // Macro-tile pairs from {128,64,32,16}^2, largest area first (ties:
+    // taller `ml` first -- row-major access favors the M dimension).
+    let lengths = [128u32, 64, 32, 16];
+    let mut tiles: Vec<(u32, u32)> = Vec::with_capacity(16);
+    for &ml in &lengths {
+        for &nl in &lengths {
+            tiles.push((ml, nl));
+        }
+    }
+    tiles.sort_by_key(|&(ml, nl)| (std::cmp::Reverse(ml * nl), std::cmp::Reverse(ml)));
+
+    for (ml, nl) in tiles {
+        for (ms, ns) in [(8u32, 8u32), (4, 4), (2, 2), (1, 1)] {
+            for u in [8u32, 4, 2, 1] {
+                for vec in [4u32, 2, 1] {
+                    let cfg = GemmConfig {
+                        ms,
+                        ns,
+                        ml,
+                        nl,
+                        u,
+                        ks: 1,
+                        kl: 1,
+                        kg: 1,
+                        vec,
+                        ..GemmConfig::default()
+                    };
+                    if legal(&cfg) {
+                        return Some(fallback_choice(cfg));
+                    }
+                }
+            }
+        }
+    }
+    // Degenerate shapes (tiny or oddly-aligned inputs) can reject every
+    // preferred candidate: scan the whole space in index order so the
+    // fallback is total whenever *any* legal configuration exists.
+    space_table()
+        .iter()
+        .find(|cfg| legal(cfg))
+        .map(|cfg| fallback_choice(*cfg))
+}
+
+fn fallback_choice(config: GemmConfig) -> TunedChoice {
+    TunedChoice {
+        config,
+        predicted_gflops: 0.0,
+        tflops: 0.0,
+        time_s: 0.0,
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Scratch pool
 // ---------------------------------------------------------------------------
 
@@ -883,6 +971,50 @@ mod tests {
                 isaac_gen::conv::check_physical(cfg, &g, shape.n, &spec).is_ok(),
             );
         }
+    }
+
+    /// The degraded-mode heuristic is deterministic, legal, and marked
+    /// as a non-authoritative placeholder (zeroed measurement fields).
+    #[test]
+    fn heuristic_fallback_is_legal_deterministic_and_unmeasured() {
+        let spec = tesla_p100();
+        for (m, n, k) in [(512, 512, 512), (2560, 16, 2560), (32, 32, 60000)] {
+            let shape = GemmShape::new(m, n, k, "N", "T", DType::F32);
+            let a = heuristic_gemm(&shape, &spec).expect("fallback must exist");
+            let b = heuristic_gemm(&shape, &spec).expect("fallback must exist");
+            assert_eq!(a, b, "({m},{n},{k}) heuristic must be deterministic");
+            assert!(
+                isaac_gen::legality::check(&a.config, &shape, &spec).is_ok(),
+                "({m},{n},{k}) heuristic config must be legal"
+            );
+            assert_eq!(a.predicted_gflops, 0.0);
+            assert_eq!(a.tflops, 0.0);
+        }
+    }
+
+    /// The heuristic prefers big macro-tiles: on a large square GEMM it
+    /// must pick the biggest tile any legal config in the space uses.
+    #[test]
+    fn heuristic_prefers_the_largest_legal_tile() {
+        let spec = tesla_p100();
+        let shape = GemmShape::new(2048, 2048, 2048, "N", "T", DType::F32);
+        let choice = heuristic_gemm(&shape, &spec).expect("fallback must exist");
+        let max_area = enumerate_legal_gemm(&shape, &spec)
+            .iter()
+            .map(|c| c.ml * c.nl)
+            .max()
+            .expect("legal set nonempty");
+        assert_eq!(choice.config.ml * choice.config.nl, max_area);
+    }
+
+    /// CONV heuristic: legal for the conv shape and deterministic.
+    #[test]
+    fn heuristic_conv_fallback_is_legal() {
+        let spec = tesla_p100();
+        let shape = ConvShape::from_output(16, 14, 14, 48, 512, 5, 5, DType::F32);
+        let choice = heuristic_conv(&shape, &spec).expect("fallback must exist");
+        assert!(isaac_gen::conv::check(&choice.config, &shape, &spec).is_ok());
+        assert_eq!(choice, heuristic_conv(&shape, &spec).unwrap());
     }
 
     #[test]

@@ -50,10 +50,10 @@ pub use durability::{
     WalDecode, WalRecord, WalWriter,
 };
 pub use inference::{
-    engine_stats, enumerate_legal_conv, enumerate_legal_gemm, infer_conv, infer_conv_opts,
-    infer_conv_serial, infer_conv_staged, infer_gemm, infer_gemm_opts, infer_gemm_serial,
-    infer_gemm_staged, rebench_conv, rebench_gemm, CascadeConfig, EngineStats, InferOptions,
-    StageBreakdown, TunedChoice,
+    engine_stats, enumerate_legal_conv, enumerate_legal_gemm, heuristic_conv, heuristic_gemm,
+    infer_conv, infer_conv_opts, infer_conv_serial, infer_conv_staged, infer_gemm, infer_gemm_opts,
+    infer_gemm_serial, infer_gemm_staged, rebench_conv, rebench_gemm, CascadeConfig, EngineStats,
+    InferOptions, StageBreakdown, TunedChoice,
 };
 pub use optimizers::{exhaustive, genetic, simulated_annealing, SearchResult};
 pub use sampling::{acceptance_rate, cfg_seed, mix_seed, CategoricalSampler, UniformSampler};

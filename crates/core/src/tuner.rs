@@ -1133,6 +1133,22 @@ impl IsaacTuner {
         Some(choice)
     }
 
+    /// Model-free heuristic choice for a GEMM shape on this tuner's
+    /// device: the largest-legal-tile rule
+    /// ([`crate::inference::heuristic_gemm`]). Never touches the MLP,
+    /// the profiler, or the cache -- the serving layer's degraded mode
+    /// uses it when the tuned path is unhealthy, and must not publish
+    /// the result as an authoritative decision.
+    pub fn heuristic_gemm(&self, shape: &GemmShape) -> Option<TunedChoice> {
+        crate::inference::heuristic_gemm(shape, &self.spec)
+    }
+
+    /// Model-free heuristic choice for a convolution; see
+    /// [`IsaacTuner::heuristic_gemm`].
+    pub fn heuristic_conv(&self, shape: &ConvShape) -> Option<TunedChoice> {
+        crate::inference::heuristic_conv(shape, &self.spec)
+    }
+
     /// Tune and *execute* a single-precision (or half-precision) GEMM on
     /// the functional VM.
     pub fn gemm_f32(&self, shape: &GemmShape, a: &[f32], b: &[f32]) -> Option<Vec<f32>> {

@@ -77,10 +77,19 @@ pub enum Served {
     /// No shard is registered for the query's device/operation.
     NoShard,
     /// The query was accepted but never resolved to a decision: its
-    /// shard was removed or replaced while the tune was in flight, the
-    /// service shut down, or the cold tune kept panicking past the
-    /// retry budget. `choice` is always `None`.
+    /// shard was removed or replaced while the tune was in flight, or
+    /// the service shut down. `choice` is always `None`.
     Failed,
+    /// Served by the model-free heuristic fallback
+    /// ([`isaac_core::heuristic_gemm`]) because the tuned path is
+    /// unhealthy: the shard's circuit breaker is open, the key is
+    /// quarantined after repeated tune faults, or this flight exhausted
+    /// its retry budget. `choice` carries the heuristic configuration
+    /// (zeroed measurement fields) unless no configuration is legal at
+    /// all; the decision is *not* published to the cache -- a
+    /// background repair job re-tunes the key and upgrades it once the
+    /// shard is healthy (see `docs/RESILIENCE.md`).
+    Degraded,
     /// The caller's deadline expired before the decision landed
     /// ([`crate::TuneTicket::wait_timeout`], or a deadline baked in via
     /// [`crate::TuneService::submit_with`]). Only *this* ticket gives

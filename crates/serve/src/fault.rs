@@ -1,0 +1,273 @@
+//! Deterministic fault injection for the *tuning* path.
+//!
+//! PR 6 gave durability a seeded fault seam ([`isaac_core::durability`]'s
+//! `DurabilityIo`/`FaultIo`); this module is the same idea one layer up:
+//! a [`TuneFault`] installed via
+//! [`crate::TuneService::set_tune_fault`] intercepts every cold-tune
+//! attempt *before* the real engine runs and can make it panic, error,
+//! stall, or hit the wrong device. The serving chaos suite
+//! (`tests/chaos_serve.rs`) drives the whole self-healing stack --
+//! retries, circuit breakers, quarantine, degraded mode, repair --
+//! through this one seam, with scripts derived from `ISAAC_CHAOS_SEEDS`.
+//!
+//! ## Determinism
+//!
+//! A [`FaultTuner`] script is consumed in *attempt order per key*: the
+//! single-flight table guarantees at most one in-flight tune per
+//! [`TuneKey`], so per-key scripts replay identically regardless of
+//! worker count or scheduling. Global scripts ([`FaultTuner::fault_next`])
+//! are consumed in whatever order attempts reach the seam -- fine for
+//! single-key tests, racy for multi-key ones; the chaos suite uses
+//! per-key scripts exclusively.
+//!
+//! ## Fault catalog
+//!
+//! | Fault | Models | Serving-side symptom |
+//! |---|---|---|
+//! | [`FaultKind::Panic`] | compiler/driver crash mid-tune | leader panic, retried, breaker unhealthy |
+//! | [`FaultKind::Error`] | tune returns no decision | retried, breaker unhealthy |
+//! | [`FaultKind::Slow`] | driver stall / thermal throttle | success, but counted unhealthy when past the breaker's latency SLO |
+//! | [`FaultKind::WrongDevice`] | stale shard handle after hot-swap | treated as an error: no decision published |
+
+use isaac_core::TuneKey;
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// One injected tuning fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The tune panics mid-flight (a worker catches it, notes a leader
+    /// panic, and retries under the [`crate::RetryPolicy`]).
+    Panic,
+    /// The tune completes but yields no decision (as if no legal
+    /// configuration existed). Retried like a panic.
+    Error,
+    /// The tune succeeds after an extra injected delay -- exercising
+    /// latency-window health tracking without failing the flight.
+    Slow(Duration),
+    /// The tune ran against a stale/mismatched device handle: the
+    /// result is untrustworthy and discarded. Retried like a panic.
+    WrongDevice,
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultKind::Panic => write!(f, "panic"),
+            FaultKind::Error => write!(f, "error"),
+            FaultKind::Slow(d) => write!(f, "slow({d:?})"),
+            FaultKind::WrongDevice => write!(f, "wrong-device"),
+        }
+    }
+}
+
+/// The tuning-path fault seam. Installed on a [`crate::TuneService`]
+/// via [`crate::TuneService::set_tune_fault`]; consulted once per
+/// cold-tune attempt (foreground, demoted, and repair jobs alike).
+///
+/// `attempt` is the flight's zero-based attempt number, so a seam can
+/// fault the first attempt and let the retry through.
+pub trait TuneFault: Send + Sync + fmt::Debug {
+    /// Decide the fate of one tune attempt. `None` lets the real tune
+    /// run.
+    fn intercept(&self, key: &TuneKey, attempt: u32) -> Option<FaultKind>;
+}
+
+/// Per-key fault script.
+#[derive(Debug, Default)]
+struct KeyPlan {
+    /// Faults consumed front-to-back, one per attempt.
+    faults: VecDeque<FaultKind>,
+    /// After `faults` drains, keep injecting this forever (a poisoned
+    /// key that never heals until [`FaultTuner::heal`]).
+    poisoned: Option<FaultKind>,
+}
+
+#[derive(Debug, Default)]
+struct FaultState {
+    /// Global script: `(remaining count, kind)` pairs consumed in
+    /// arrival order by attempts with no per-key plan.
+    global: VecDeque<(u64, FaultKind)>,
+    per_key: HashMap<TuneKey, KeyPlan>,
+    /// Attempts seen per key (faulted or not) -- the chaos suite's
+    /// retry-budget ledger.
+    attempts: HashMap<TuneKey, u32>,
+    /// Total attempts intercepted (faulted or not).
+    total_attempts: u64,
+    /// Total faults injected.
+    injected: u64,
+}
+
+/// A scripted, deterministic [`TuneFault`]: faults are declared up
+/// front (per key or globally) and consumed one per tune attempt.
+/// Cloneless and lock-cheap -- one mutex acquisition per cold tune,
+/// which only matters on the (already expensive) miss path.
+#[derive(Debug, Default)]
+pub struct FaultTuner {
+    state: Mutex<FaultState>,
+}
+
+impl FaultTuner {
+    /// An empty seam: injects nothing until scripted.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inject `kind` into the next `count` attempts that have no
+    /// per-key script (queued after any prior global script).
+    pub fn fault_next(&self, count: u64, kind: FaultKind) {
+        if count == 0 {
+            return;
+        }
+        self.state.lock().unwrap().global.push_back((count, kind));
+    }
+
+    /// Append a fault script for one key: attempt `i` of `key` suffers
+    /// `faults[i]` until the script drains, then tunes run clean.
+    pub fn fault_key(&self, key: TuneKey, faults: &[FaultKind]) {
+        let mut st = self.state.lock().unwrap();
+        st.per_key.entry(key).or_default().faults.extend(faults);
+    }
+
+    /// Poison a key: every attempt faults with `kind`, forever, until
+    /// [`FaultTuner::heal`]. Queued per-key scripts run first.
+    pub fn poison_key(&self, key: TuneKey, kind: FaultKind) {
+        let mut st = self.state.lock().unwrap();
+        st.per_key.entry(key).or_default().poisoned = Some(kind);
+    }
+
+    /// Drop all scripts for `key` (poisoned or queued): subsequent
+    /// attempts run clean.
+    pub fn heal(&self, key: &TuneKey) {
+        self.state.lock().unwrap().per_key.remove(key);
+    }
+
+    /// Drop every script, global and per-key. Attempt counters survive.
+    pub fn clear(&self) {
+        let mut st = self.state.lock().unwrap();
+        st.global.clear();
+        st.per_key.clear();
+    }
+
+    /// Tune attempts seen for `key` since construction (faulted or
+    /// clean). The chaos suite asserts a quarantined key never exceeds
+    /// its retry budget again with this.
+    pub fn attempts(&self, key: &TuneKey) -> u32 {
+        *self.state.lock().unwrap().attempts.get(key).unwrap_or(&0)
+    }
+
+    /// Total faults injected so far.
+    pub fn injected(&self) -> u64 {
+        self.state.lock().unwrap().injected
+    }
+
+    /// Total tune attempts intercepted so far (faulted or clean).
+    pub fn total_attempts(&self) -> u64 {
+        self.state.lock().unwrap().total_attempts
+    }
+}
+
+impl TuneFault for FaultTuner {
+    fn intercept(&self, key: &TuneKey, _attempt: u32) -> Option<FaultKind> {
+        let mut st = self.state.lock().unwrap();
+        st.total_attempts += 1;
+        *st.attempts.entry(*key).or_insert(0) += 1;
+
+        // Per-key scripts win over the global queue.
+        let planned = match st.per_key.get_mut(key) {
+            Some(plan) => {
+                let fault = plan.faults.pop_front().or(plan.poisoned);
+                if plan.faults.is_empty() && plan.poisoned.is_none() {
+                    st.per_key.remove(key);
+                }
+                fault
+            }
+            None => match st.global.front_mut() {
+                Some((count, kind)) => {
+                    let kind = *kind;
+                    *count -= 1;
+                    if *count == 0 {
+                        st.global.pop_front();
+                    }
+                    Some(kind)
+                }
+                None => None,
+            },
+        };
+        if planned.is_some() {
+            st.injected += 1;
+        }
+        planned
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use isaac_device::DType;
+    use isaac_gen::shapes::GemmShape;
+
+    fn key(m: u32) -> TuneKey {
+        TuneKey::gemm(&GemmShape::new(m, 64, 64, "N", "T", DType::F32))
+    }
+
+    #[test]
+    fn per_key_scripts_replay_in_attempt_order_then_run_clean() {
+        let seam = FaultTuner::new();
+        seam.fault_key(key(1), &[FaultKind::Panic, FaultKind::Error]);
+        assert_eq!(seam.intercept(&key(1), 0), Some(FaultKind::Panic));
+        assert_eq!(seam.intercept(&key(1), 1), Some(FaultKind::Error));
+        assert_eq!(seam.intercept(&key(1), 2), None);
+        assert_eq!(seam.attempts(&key(1)), 3);
+        assert_eq!(seam.injected(), 2);
+    }
+
+    #[test]
+    fn poisoned_keys_fault_forever_until_healed() {
+        let seam = FaultTuner::new();
+        seam.poison_key(key(2), FaultKind::Panic);
+        for attempt in 0..10 {
+            assert_eq!(seam.intercept(&key(2), attempt), Some(FaultKind::Panic));
+        }
+        seam.heal(&key(2));
+        assert_eq!(seam.intercept(&key(2), 10), None);
+    }
+
+    #[test]
+    fn queued_script_runs_before_the_poison() {
+        let seam = FaultTuner::new();
+        seam.fault_key(key(3), &[FaultKind::Slow(Duration::from_millis(1))]);
+        seam.poison_key(key(3), FaultKind::Error);
+        assert_eq!(
+            seam.intercept(&key(3), 0),
+            Some(FaultKind::Slow(Duration::from_millis(1)))
+        );
+        assert_eq!(seam.intercept(&key(3), 1), Some(FaultKind::Error));
+    }
+
+    #[test]
+    fn global_script_is_a_counted_queue_skipped_by_per_key_plans() {
+        let seam = FaultTuner::new();
+        seam.fault_next(2, FaultKind::Panic);
+        seam.fault_next(1, FaultKind::Error);
+        seam.fault_key(key(4), &[FaultKind::WrongDevice]);
+        // The per-key plan consumes its own script, not the global one.
+        assert_eq!(seam.intercept(&key(4), 0), Some(FaultKind::WrongDevice));
+        assert_eq!(seam.intercept(&key(5), 0), Some(FaultKind::Panic));
+        assert_eq!(seam.intercept(&key(6), 0), Some(FaultKind::Panic));
+        assert_eq!(seam.intercept(&key(5), 1), Some(FaultKind::Error));
+        assert_eq!(seam.intercept(&key(5), 2), None);
+    }
+
+    #[test]
+    fn clear_drops_scripts_but_keeps_attempt_counters() {
+        let seam = FaultTuner::new();
+        seam.poison_key(key(7), FaultKind::Panic);
+        seam.intercept(&key(7), 0);
+        seam.clear();
+        assert_eq!(seam.intercept(&key(7), 1), None);
+        assert_eq!(seam.attempts(&key(7)), 2);
+    }
+}

@@ -1,0 +1,590 @@
+//! Per-shard health tracking and the poison-key quarantine ledger.
+//!
+//! Two independent defenses keep a sick fleet answering:
+//!
+//! * **[`ShardHealth`]** -- a circuit breaker per `(device, op)` shard.
+//!   Every cold-tune outcome (success/failure, latency vs. an optional
+//!   SLO) lands in a rolling window; too many failures trip the breaker
+//!   `Closed -> Open`, and while open every *new* miss on that shard is
+//!   served by the model-free heuristic ([`crate::Served::Degraded`])
+//!   instead of queueing behind a broken tuner. After an exponentially
+//!   backed-off TTL the breaker goes `HalfOpen` and lets exactly one
+//!   probe flight through; a healthy probe re-closes it, a failed probe
+//!   re-opens it with a doubled TTL.
+//!
+//! * **`DegradedLedger`** -- per-key quarantine. A key whose flight
+//!   exhausts its [`crate::RetryPolicy`] is *poisoned*: subsequent
+//!   submits answer `Degraded` instantly (memoized heuristic, no queue,
+//!   no retry burn), while a background repair job re-probes the key on
+//!   an exponential schedule and upgrades the cache entry once a tune
+//!   finally lands. Breaker-driven degrades use the same ledger with
+//!   `poisoned == false`, purely to memoize the heuristic and dedupe
+//!   repair scheduling.
+//!
+//! The state machines live here, pure and lock-small, so they unit-test
+//! without a service; `service.rs` wires them to the worker loop and
+//! `tests/chaos_serve.rs` drives them through seeded fault scripts.
+
+use isaac_core::{TuneKey, TunedChoice};
+use std::collections::{HashMap, VecDeque};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+// ---------------------------------------------------------------------------
+// Circuit breaker
+// ---------------------------------------------------------------------------
+
+/// One shard breaker's position in the `Closed -> Open -> HalfOpen`
+/// state machine ([`crate::TuneService::breaker_state`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BreakerState {
+    /// Healthy: misses flow to the tuner; outcomes fill the window.
+    #[default]
+    Closed,
+    /// Tripped: new misses on this shard serve degraded until the TTL
+    /// expires.
+    Open,
+    /// TTL expired: exactly one probe flight is allowed through; its
+    /// outcome decides re-close vs re-open (with a doubled TTL).
+    HalfOpen,
+}
+
+/// Circuit-breaker tuning knobs, per service
+/// ([`crate::TuneService::set_breaker_config`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BreakerConfig {
+    /// Rolling outcome-window length (cold-tune attempts).
+    pub window: usize,
+    /// Unhealthy outcomes within the window that trip the breaker.
+    pub failure_threshold: u32,
+    /// Open TTL after the first trip; doubles per consecutive re-open.
+    pub open_ttl: Duration,
+    /// Ceiling for the exponential open TTL.
+    pub max_open_ttl: Duration,
+    /// When set, a *successful* tune slower than this still counts as
+    /// unhealthy (a stalling shard degrades before it fails outright).
+    /// `None` disables latency accounting: only hard failures count.
+    pub latency_slo: Option<Duration>,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            window: 8,
+            failure_threshold: 3,
+            open_ttl: Duration::from_millis(250),
+            max_open_ttl: Duration::from_secs(8),
+            latency_slo: None,
+        }
+    }
+}
+
+impl BreakerConfig {
+    /// Open TTL after `streak` consecutive trips: `open_ttl * 2^(streak-1)`
+    /// capped at `max_open_ttl` (streak is 1-based; 0 is treated as 1).
+    fn ttl_for(&self, streak: u32) -> Duration {
+        let doublings = streak.saturating_sub(1).min(20);
+        self.open_ttl
+            .saturating_mul(1u32 << doublings)
+            .min(self.max_open_ttl)
+    }
+}
+
+/// What the breaker says about a new miss on its shard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Gate {
+    /// Let the miss through to the real tuner. `probe` marks the one
+    /// half-open probe flight whose outcome decides re-close vs re-open.
+    Pass {
+        /// This miss is the half-open probe.
+        probe: bool,
+    },
+    /// Serve degraded; the shard is not taking tunes until `retry_at`.
+    Degrade {
+        /// Earliest instant a repair/probe for this miss makes sense.
+        retry_at: Instant,
+    },
+}
+
+/// A breaker state transition worth counting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerEvent {
+    /// Tripped into `Open` (from `Closed`, or a failed half-open probe).
+    Opened,
+    /// Re-closed after a healthy outcome while `Open`/`HalfOpen`.
+    Closed,
+}
+
+#[derive(Debug)]
+struct HealthInner {
+    state: BreakerState,
+    /// Rolling cold-tune outcomes, `true` == healthy; bounded at
+    /// `BreakerConfig::window`.
+    window: VecDeque<bool>,
+    /// When `Open` expires into `HalfOpen`.
+    until: Instant,
+    /// Consecutive trips without a re-close (drives the TTL doubling).
+    reopen_streak: u32,
+    /// When the current half-open probe was let through; a probe older
+    /// than `max_open_ttl` is presumed lost and a new one is allowed.
+    probe_since: Option<Instant>,
+}
+
+/// One shard's health: the rolling outcome window plus the breaker
+/// state machine. All methods take `now` explicitly so the transitions
+/// unit-test without sleeping.
+#[derive(Debug)]
+pub struct ShardHealth {
+    inner: Mutex<HealthInner>,
+}
+
+impl ShardHealth {
+    pub(crate) fn new(now: Instant) -> Self {
+        ShardHealth {
+            inner: Mutex::new(HealthInner {
+                state: BreakerState::Closed,
+                window: VecDeque::new(),
+                until: now,
+                reopen_streak: 0,
+                probe_since: None,
+            }),
+        }
+    }
+
+    /// Current breaker state (as last transitioned -- an expired `Open`
+    /// reports `Open` until a miss actually claims the probe).
+    pub(crate) fn state(&self) -> BreakerState {
+        self.inner.lock().unwrap().state
+    }
+
+    /// Gate one new miss: pass it to the tuner, or degrade it.
+    pub(crate) fn gate(&self, cfg: &BreakerConfig, now: Instant) -> Gate {
+        let mut inner = self.inner.lock().unwrap();
+        match inner.state {
+            BreakerState::Closed => Gate::Pass { probe: false },
+            BreakerState::Open => {
+                if now >= inner.until {
+                    inner.state = BreakerState::HalfOpen;
+                    inner.probe_since = Some(now);
+                    Gate::Pass { probe: true }
+                } else {
+                    Gate::Degrade {
+                        retry_at: inner.until,
+                    }
+                }
+            }
+            BreakerState::HalfOpen => {
+                let stale = inner
+                    .probe_since
+                    .is_none_or(|since| now.duration_since(since) >= cfg.max_open_ttl);
+                if stale {
+                    inner.probe_since = Some(now);
+                    Gate::Pass { probe: true }
+                } else {
+                    Gate::Degrade {
+                        retry_at: now + cfg.open_ttl,
+                    }
+                }
+            }
+        }
+    }
+
+    /// Record one cold-tune outcome; returns a transition to count.
+    pub(crate) fn on_outcome(
+        &self,
+        cfg: &BreakerConfig,
+        healthy: bool,
+        now: Instant,
+    ) -> Option<BreakerEvent> {
+        let mut inner = self.inner.lock().unwrap();
+        match inner.state {
+            BreakerState::Closed => {
+                inner.window.push_back(healthy);
+                while inner.window.len() > cfg.window.max(1) {
+                    inner.window.pop_front();
+                }
+                let failures = inner.window.iter().filter(|h| !**h).count() as u32;
+                if failures >= cfg.failure_threshold.max(1) {
+                    inner.window.clear();
+                    inner.state = BreakerState::Open;
+                    inner.reopen_streak += 1;
+                    inner.until = now + cfg.ttl_for(inner.reopen_streak);
+                    inner.probe_since = None;
+                    Some(BreakerEvent::Opened)
+                } else {
+                    None
+                }
+            }
+            BreakerState::Open | BreakerState::HalfOpen => {
+                if healthy {
+                    inner.state = BreakerState::Closed;
+                    inner.window.clear();
+                    inner.reopen_streak = 0;
+                    inner.probe_since = None;
+                    Some(BreakerEvent::Closed)
+                } else if inner.state == BreakerState::HalfOpen {
+                    // Failed probe: re-open with a doubled TTL.
+                    inner.state = BreakerState::Open;
+                    inner.reopen_streak += 1;
+                    inner.until = now + cfg.ttl_for(inner.reopen_streak);
+                    inner.probe_since = None;
+                    Some(BreakerEvent::Opened)
+                } else {
+                    // A straggler flight (started before the trip)
+                    // failing while open: extend, don't double-count.
+                    inner.until = inner.until.max(now + cfg.ttl_for(inner.reopen_streak));
+                    None
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Poison-key quarantine / degraded ledger
+// ---------------------------------------------------------------------------
+
+/// Quarantine tuning knobs
+/// ([`crate::TuneService::set_quarantine_config`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QuarantineConfig {
+    /// Delay before the first background repair probe of a poisoned
+    /// key; doubles per failed repair.
+    pub ttl: Duration,
+    /// Ceiling for the exponential repair backoff.
+    pub max_ttl: Duration,
+}
+
+impl Default for QuarantineConfig {
+    fn default() -> Self {
+        QuarantineConfig {
+            ttl: Duration::from_millis(250),
+            max_ttl: Duration::from_secs(8),
+        }
+    }
+}
+
+impl QuarantineConfig {
+    fn backoff(&self, level: u32) -> Duration {
+        self.ttl
+            .saturating_mul(1u32 << level.min(20))
+            .min(self.max_ttl)
+    }
+}
+
+#[derive(Debug)]
+struct DegradedEntry {
+    /// `true`: retry-budget exhaustion put this key here (submits gate
+    /// on it). `false`: breaker-driven degrade (memoization only).
+    poisoned: bool,
+    /// Failed repair probes so far (drives the backoff doubling).
+    level: u32,
+    /// Memoized heuristic decision (`Some(None)` == heuristic itself
+    /// found no legal config), computed at most once per quarantine.
+    choice: Option<Option<TunedChoice>>,
+    /// A background repair job is scheduled or running for this key.
+    repair_pending: bool,
+}
+
+/// The quarantine/degraded ledger: every key currently answered by the
+/// heuristic, with its repair bookkeeping. Keys leave the ledger only
+/// via [`DegradedLedger::discharge`] (repair published a real tune, or
+/// the cache already had one) or [`DegradedLedger::purge`] (its shard
+/// left the fleet).
+#[derive(Debug, Default)]
+pub(crate) struct DegradedLedger {
+    map: Mutex<HashMap<TuneKey, DegradedEntry>>,
+}
+
+impl DegradedLedger {
+    /// Poison `key` after retry exhaustion. Returns `(newly_poisoned,
+    /// first repair not-before)`: an already-poisoned key keeps its
+    /// backoff level.
+    pub(crate) fn poison(
+        &self,
+        key: TuneKey,
+        cfg: &QuarantineConfig,
+        now: Instant,
+    ) -> (bool, Instant) {
+        let mut map = self.map.lock().unwrap();
+        let entry = map.entry(key).or_insert(DegradedEntry {
+            poisoned: false,
+            level: 0,
+            choice: None,
+            repair_pending: false,
+        });
+        let newly = !entry.poisoned;
+        entry.poisoned = true;
+        (newly, now + cfg.backoff(entry.level))
+    }
+
+    /// Track a breaker-driven degrade (no-op if `key` is already
+    /// ledgered, poisoned or not).
+    pub(crate) fn note_degraded(&self, key: TuneKey) {
+        self.map
+            .lock()
+            .unwrap()
+            .entry(key)
+            .or_insert(DegradedEntry {
+                poisoned: false,
+                level: 0,
+                choice: None,
+                repair_pending: false,
+            });
+    }
+
+    /// Is `key` quarantined (poisoned)? Breaker-driven entries don't
+    /// gate submits, only memoize.
+    pub(crate) fn is_poisoned(&self, key: &TuneKey) -> bool {
+        self.map
+            .lock()
+            .unwrap()
+            .get(key)
+            .map(|e| e.poisoned)
+            .unwrap_or(false)
+    }
+
+    /// The memoized heuristic decision for a ledgered key, computing it
+    /// (at most once per quarantine) on first use. Returns the computed
+    /// value even if `key` is not ledgered (then without memoizing).
+    pub(crate) fn degraded_choice(
+        &self,
+        key: &TuneKey,
+        compute: impl FnOnce() -> Option<TunedChoice>,
+    ) -> Option<TunedChoice> {
+        let mut map = self.map.lock().unwrap();
+        match map.get_mut(key) {
+            Some(entry) => {
+                if entry.choice.is_none() {
+                    entry.choice = Some(compute());
+                }
+                entry.choice.clone().unwrap()
+            }
+            None => compute(),
+        }
+    }
+
+    /// Claim the right to schedule a repair job for `key`; `false` if
+    /// one is already pending (or the key is not ledgered).
+    pub(crate) fn claim_repair(&self, key: &TuneKey) -> bool {
+        let mut map = self.map.lock().unwrap();
+        match map.get_mut(key) {
+            Some(entry) if !entry.repair_pending => {
+                entry.repair_pending = true;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// A repair probe failed: escalate the backoff, keep the claim.
+    /// Returns the next probe's not-before.
+    pub(crate) fn repair_failed(
+        &self,
+        key: &TuneKey,
+        cfg: &QuarantineConfig,
+        now: Instant,
+    ) -> Instant {
+        let mut map = self.map.lock().unwrap();
+        match map.get_mut(key) {
+            Some(entry) => {
+                entry.level = entry.level.saturating_add(1);
+                now + cfg.backoff(entry.level)
+            }
+            None => now + cfg.ttl,
+        }
+    }
+
+    /// Remove `key` from the ledger (an authoritative decision now
+    /// backs it). Returns `true` if it was ledgered.
+    pub(crate) fn discharge(&self, key: &TuneKey) -> bool {
+        self.map.lock().unwrap().remove(key).is_some()
+    }
+
+    /// Drop every entry whose key matches `pred` (shard removal /
+    /// replacement: the ledger must not outlive the tuner it indicts).
+    pub(crate) fn purge(&self, pred: impl Fn(&TuneKey) -> bool) {
+        self.map.lock().unwrap().retain(|key, _| !pred(key));
+    }
+
+    /// Poisoned keys currently quarantined.
+    pub(crate) fn poisoned_count(&self) -> usize {
+        self.map
+            .lock()
+            .unwrap()
+            .values()
+            .filter(|e| e.poisoned)
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use isaac_device::DType;
+    use isaac_gen::shapes::GemmShape;
+
+    fn cfg() -> BreakerConfig {
+        BreakerConfig {
+            window: 4,
+            failure_threshold: 2,
+            open_ttl: Duration::from_millis(100),
+            max_open_ttl: Duration::from_secs(2),
+            latency_slo: None,
+        }
+    }
+
+    fn key(m: u32) -> TuneKey {
+        TuneKey::gemm(&GemmShape::new(m, 64, 64, "N", "T", DType::F32))
+    }
+
+    #[test]
+    fn breaker_trips_after_threshold_failures_in_window() {
+        let t0 = Instant::now();
+        let h = ShardHealth::new(t0);
+        assert_eq!(h.on_outcome(&cfg(), false, t0), None);
+        assert_eq!(h.on_outcome(&cfg(), true, t0), None);
+        assert_eq!(h.on_outcome(&cfg(), false, t0), Some(BreakerEvent::Opened));
+        assert_eq!(h.state(), BreakerState::Open);
+        // While open (TTL not expired) every miss degrades.
+        assert!(matches!(h.gate(&cfg(), t0), Gate::Degrade { .. }));
+    }
+
+    #[test]
+    fn window_is_rolling_old_failures_age_out() {
+        let t0 = Instant::now();
+        let h = ShardHealth::new(t0);
+        h.on_outcome(&cfg(), false, t0);
+        // Three healthy outcomes push the failure out of the window=4.
+        for _ in 0..3 {
+            h.on_outcome(&cfg(), true, t0);
+        }
+        assert_eq!(h.on_outcome(&cfg(), false, t0), None);
+        assert_eq!(h.state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn open_expires_to_one_halfopen_probe_then_recloses_on_success() {
+        let t0 = Instant::now();
+        let c = cfg();
+        let h = ShardHealth::new(t0);
+        h.on_outcome(&c, false, t0);
+        h.on_outcome(&c, false, t0);
+        assert_eq!(h.state(), BreakerState::Open);
+
+        let after = t0 + c.open_ttl;
+        // First miss past the TTL is the probe; the next one degrades.
+        assert_eq!(h.gate(&c, after), Gate::Pass { probe: true });
+        assert_eq!(h.state(), BreakerState::HalfOpen);
+        assert!(matches!(h.gate(&c, after), Gate::Degrade { .. }));
+
+        assert_eq!(h.on_outcome(&c, true, after), Some(BreakerEvent::Closed));
+        assert_eq!(h.state(), BreakerState::Closed);
+        assert_eq!(h.gate(&c, after), Gate::Pass { probe: false });
+    }
+
+    #[test]
+    fn failed_probe_reopens_with_doubled_ttl() {
+        let t0 = Instant::now();
+        let c = cfg();
+        let h = ShardHealth::new(t0);
+        h.on_outcome(&c, false, t0);
+        h.on_outcome(&c, false, t0);
+        let after = t0 + c.open_ttl;
+        assert_eq!(h.gate(&c, after), Gate::Pass { probe: true });
+        assert_eq!(h.on_outcome(&c, false, after), Some(BreakerEvent::Opened));
+        // Second open TTL is doubled: one open_ttl past `after` is
+        // still inside it.
+        assert!(matches!(
+            h.gate(&c, after + c.open_ttl),
+            Gate::Degrade { .. }
+        ));
+        // ...but two are not.
+        assert_eq!(
+            h.gate(&c, after + c.open_ttl * 2),
+            Gate::Pass { probe: true }
+        );
+    }
+
+    #[test]
+    fn ttl_backoff_is_capped() {
+        let c = cfg();
+        assert_eq!(c.ttl_for(1), c.open_ttl);
+        assert_eq!(c.ttl_for(2), c.open_ttl * 2);
+        assert_eq!(c.ttl_for(60), c.max_open_ttl);
+    }
+
+    #[test]
+    fn slow_success_counts_unhealthy_only_under_an_slo() {
+        // The SLO comparison itself lives in service.rs (it has the
+        // measured latency); here we pin the config default: no SLO.
+        assert_eq!(BreakerConfig::default().latency_slo, None);
+    }
+
+    #[test]
+    fn ledger_poison_memoize_discharge_roundtrip() {
+        let q = QuarantineConfig {
+            ttl: Duration::from_millis(10),
+            max_ttl: Duration::from_millis(80),
+        };
+        let ledger = DegradedLedger::default();
+        let now = Instant::now();
+
+        let (newly, first) = ledger.poison(key(1), &q, now);
+        assert!(newly);
+        assert_eq!(first, now + q.ttl);
+        assert!(ledger.is_poisoned(&key(1)));
+        let (again, _) = ledger.poison(key(1), &q, now);
+        assert!(!again);
+
+        // Heuristic computed exactly once per quarantine.
+        let mut calls = 0;
+        let c1 = ledger.degraded_choice(&key(1), || {
+            calls += 1;
+            None
+        });
+        let c2 = ledger.degraded_choice(&key(1), || {
+            calls += 1;
+            None
+        });
+        assert_eq!((c1, c2, calls), (None, None, 1));
+
+        // One repair claim at a time; failures escalate the backoff.
+        assert!(ledger.claim_repair(&key(1)));
+        assert!(!ledger.claim_repair(&key(1)));
+        assert_eq!(ledger.repair_failed(&key(1), &q, now), now + q.ttl * 2);
+        assert_eq!(ledger.repair_failed(&key(1), &q, now), now + q.ttl * 4);
+        // Backoff caps at max_ttl.
+        for _ in 0..10 {
+            ledger.repair_failed(&key(1), &q, now);
+        }
+        assert_eq!(ledger.repair_failed(&key(1), &q, now), now + q.max_ttl);
+
+        assert!(ledger.discharge(&key(1)));
+        assert!(!ledger.discharge(&key(1)));
+        assert!(!ledger.is_poisoned(&key(1)));
+    }
+
+    #[test]
+    fn breaker_entries_memoize_but_do_not_gate() {
+        let ledger = DegradedLedger::default();
+        ledger.note_degraded(key(2));
+        assert!(!ledger.is_poisoned(&key(2)));
+        assert_eq!(ledger.poisoned_count(), 0);
+        assert!(ledger.claim_repair(&key(2)));
+        // Unledgered keys can't claim repairs.
+        assert!(!ledger.claim_repair(&key(3)));
+    }
+
+    #[test]
+    fn purge_drops_matching_keys() {
+        let q = QuarantineConfig::default();
+        let ledger = DegradedLedger::default();
+        let now = Instant::now();
+        ledger.poison(key(4).on_device(0), &q, now);
+        ledger.poison(key(4).on_device(1), &q, now);
+        ledger.purge(|k| k.device == 0);
+        assert!(!ledger.is_poisoned(&key(4).on_device(0)));
+        assert!(ledger.is_poisoned(&key(4).on_device(1)));
+    }
+}

@@ -36,6 +36,15 @@
 //!   [`TuneService::prewarm_hot`] pre-seeds neighbour shards with
 //!   trending-hot decisions; the [`load`] module replays deterministic
 //!   multi-tenant traces against all of it;
+//! * the fleet **self-heals**: a circuit breaker per shard
+//!   ([`TuneService::breaker_state`], [`BreakerConfig`]) and a
+//!   poison-key quarantine ([`TuneService::is_quarantined`],
+//!   [`QuarantineConfig`]) keep a sick fleet answering with a
+//!   model-free heuristic ([`Served::Degraded`] -- never cached or
+//!   journaled) while background repairs upgrade each degraded key to
+//!   a real tuned decision; faults inject deterministically through
+//!   the [`TuneFault`] seam ([`FaultTuner`]) for the seeded serving
+//!   chaos suite;
 //! * [`TunerRouter`] survives as the deprecated blocking facade from
 //!   PR 2 (`submit(q)` == `service.submit(q).wait()`), kept so existing
 //!   callers compile while they migrate.
@@ -49,6 +58,8 @@
 pub(crate) mod admission;
 pub mod batch;
 pub mod durability;
+pub mod fault;
+pub mod health;
 pub mod load;
 pub mod router;
 pub mod service;
@@ -60,6 +71,8 @@ pub(crate) mod workers;
 pub use admission::TenantStats;
 pub use batch::{plan, BatchPlan, Decision, Query, QueryShape, Served};
 pub use durability::{parse_wal_file_name, wal_file_name};
+pub use fault::{FaultKind, FaultTuner, TuneFault};
+pub use health::{BreakerConfig, BreakerState, QuarantineConfig};
 pub use load::{LoadReport, LoadRequest, ReplayOptions, TenantLoad, Trace, TraceConfig};
 pub use router::TunerRouter;
 pub use service::{

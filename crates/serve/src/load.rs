@@ -511,7 +511,10 @@ fn record(
         }
         Served::Rejected => acc.rejected += 1,
         Served::TimedOut => acc.timed_out += 1,
-        Served::NoShard | Served::Failed => acc.failed += 1,
+        // Degraded answers carry a usable heuristic choice but are not
+        // the tuned path; the load report's SLO buckets treat them like
+        // failures so a sick fleet can't hide behind its fallback.
+        Served::NoShard | Served::Failed | Served::Degraded => acc.failed += 1,
     }
 }
 

@@ -64,10 +64,35 @@
 //!   trending-hot decisions are re-benched into neighbour shards on the
 //!   same background lane, so the next tenant to migrate a hot shape
 //!   across devices hits cache instead of a cold tune.
+//!
+//! PR 8 makes the front door **self-healing** (see `docs/RESILIENCE.md`):
+//!
+//! * every cold-tune outcome feeds a per-shard **circuit breaker**
+//!   (`Closed -> Open -> HalfOpen`, [`TuneService::breaker_state`]);
+//!   while a breaker is open, new misses on that shard serve the
+//!   model-free heuristic ([`Served::Degraded`]) instead of queueing
+//!   behind a broken tuner, and a half-open probe decides when to
+//!   re-close;
+//! * a flight that exhausts its [`RetryPolicy`] **quarantines its key**
+//!   ([`TuneService::is_quarantined`]): subsequent submits answer
+//!   `Degraded` instantly from a memoized heuristic while a background
+//!   **repair job** re-probes the key on an exponential backoff and
+//!   upgrades the cache entry once a tune finally lands
+//!   ([`RouterStats::repair_upgrades`]). Degraded decisions are never
+//!   cached or journaled as authoritative;
+//! * fault injection for all of it goes through the [`crate::TuneFault`]
+//!   seam ([`TuneService::set_tune_fault`]) -- panic, error, slow-tune
+//!   and wrong-device faults, scripted deterministically by
+//!   [`crate::FaultTuner`] and driven by the seeded `tests/chaos_serve.rs`
+//!   suite.
 
 use crate::admission::{Admission, TenantSlot, TenantStats};
 use crate::batch::{plan, Decision, Query, QueryShape, Served};
 use crate::durability::{compact_shard, gc_orphans, recover_shard, wal_file_name};
+use crate::fault::{FaultKind, TuneFault};
+use crate::health::{
+    BreakerConfig, BreakerEvent, BreakerState, DegradedLedger, Gate, QuarantineConfig, ShardHealth,
+};
 use crate::single_flight::{FlightStats, Role, SingleFlight, Waiter};
 use crate::stats::{bump, Counters, RouterStats, ServiceStats};
 use crate::ticket::{OpenTickets, TicketCell, TuneTicket};
@@ -76,14 +101,23 @@ use isaac_core::durability::{DurabilityIo, StdIo, WalWriter};
 use isaac_core::{IsaacTuner, OpKind, TuneKey, TunedChoice, WarmStartReport};
 use std::collections::{BTreeMap, HashMap};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 use std::time::{Duration, Instant};
 
-/// What a flight hands its waiters: the decision (if any) and whether
-/// the leader actually ran the cold tune (`false` == it found the cache
-/// populated on entry, i.e. it raced a previous flight's completion).
-type FlightResult = (Option<TunedChoice>, bool);
+/// What a flight hands its waiters.
+#[derive(Debug, Clone)]
+enum FlightOutcome {
+    /// The leader ran the cold tune (`None` == no legal configuration).
+    Cold(Option<TunedChoice>),
+    /// The leader's re-peek found the key already published by an
+    /// earlier flight: an authoritative decision, but nobody tuned.
+    Rehit(TunedChoice),
+    /// The tuned path is unhealthy; this is the model-free heuristic
+    /// stand-in (`None` == not even the heuristic found a legal
+    /// configuration). Never published to the cache.
+    Degraded(Option<TunedChoice>),
+}
 
 /// Default total attempts for a panicking tune (the first attempt plus
 /// two retries); see [`RetryPolicy`].
@@ -94,8 +128,9 @@ const MAX_TUNE_ATTEMPTS: u32 = 3;
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RetryPolicy {
     /// Total attempts per flight, the first one included (clamped to at
-    /// least 1). Past the budget the flight terminally fails its
-    /// tickets and counts into [`ServiceStats::retry_exhausted`].
+    /// least 1). Past the budget the key is quarantined, the flight
+    /// resolves [`Served::Degraded`], and the exhaustion counts into
+    /// [`ServiceStats::retry_exhausted`].
     pub max_attempts: u32,
     /// Pause before each re-queued retry, on the worker that caught the
     /// panic. Zero (the default) re-queues immediately; a non-zero
@@ -221,6 +256,7 @@ struct Gauges {
     shed: AtomicU64,
     prewarmed: AtomicU64,
     prewarm_jobs: AtomicU64,
+    repair_jobs: AtomicU64,
 }
 
 /// Shared state behind the service front door; workers hold an `Arc` of
@@ -228,7 +264,7 @@ struct Gauges {
 /// until the pool has drained.
 struct ServiceCore {
     shards: RwLock<BTreeMap<u16, Shard>>,
-    flights: SingleFlight<TuneKey, FlightResult>,
+    flights: SingleFlight<TuneKey, FlightOutcome>,
     counters: Counters,
     queue: MissQueue,
     gauges: Gauges,
@@ -248,10 +284,19 @@ struct ServiceCore {
     last_recovery: Mutex<Option<SnapshotReport>>,
     /// How panicking tunes are retried; see [`RetryPolicy`].
     retry: RwLock<RetryPolicy>,
-    /// Fault injection for the leader-panic tests: each queued unit
-    /// makes the next tune attempt panic (see
-    /// [`TuneService::inject_tune_panics`]).
-    fail_tunes: AtomicU32,
+    /// The tuning-path fault seam ([`TuneService::set_tune_fault`]):
+    /// consulted before every cold-tune attempt, `None` in production.
+    fault: RwLock<Option<Arc<dyn TuneFault>>>,
+    /// Per-`(device, op)` circuit breakers, created on first outcome or
+    /// gate check; reset when the shard leaves the fleet.
+    health: RwLock<HashMap<(u16, OpKind), Arc<ShardHealth>>>,
+    /// Breaker tuning knobs ([`TuneService::set_breaker_config`]).
+    breaker_cfg: RwLock<BreakerConfig>,
+    /// Quarantine backoff knobs
+    /// ([`TuneService::set_quarantine_config`]).
+    quarantine_cfg: RwLock<QuarantineConfig>,
+    /// Poison-key quarantine + degraded-key memoization/repair ledger.
+    ledger: DegradedLedger,
 }
 
 impl std::fmt::Debug for ServiceCore {
@@ -312,6 +357,127 @@ impl ServiceCore {
         }
     }
 
+    // ---- self-healing ---------------------------------------------------
+
+    /// The `(device, op)` shard's health tracker, created on first use
+    /// (a fresh tracker is `Closed`).
+    fn shard_health(&self, device: u16, op: OpKind) -> Arc<ShardHealth> {
+        if let Some(health) = self
+            .health
+            .read()
+            .expect("health map poisoned")
+            .get(&(device, op))
+        {
+            return Arc::clone(health);
+        }
+        let mut map = self.health.write().expect("health map poisoned");
+        Arc::clone(
+            map.entry((device, op))
+                .or_insert_with(|| Arc::new(ShardHealth::new(Instant::now()))),
+        )
+    }
+
+    /// Feed one cold-tune outcome into the shard's breaker, counting
+    /// any state transition.
+    fn record_tune_outcome(&self, device: u16, op: OpKind, healthy: bool) {
+        let cfg = *self.breaker_cfg.read().expect("breaker config poisoned");
+        match self
+            .shard_health(device, op)
+            .on_outcome(&cfg, healthy, Instant::now())
+        {
+            Some(BreakerEvent::Opened) => bump(&self.counters.breaker_opens, 1),
+            Some(BreakerEvent::Closed) => bump(&self.counters.breaker_closes, 1),
+            None => {}
+        }
+    }
+
+    /// Was a successful tune that took `elapsed` healthy under the
+    /// breaker's latency SLO (if one is set)?
+    fn within_slo(&self, elapsed: Duration) -> bool {
+        self.breaker_cfg
+            .read()
+            .expect("breaker config poisoned")
+            .latency_slo
+            .is_none_or(|slo| elapsed <= slo)
+    }
+
+    /// The model-free heuristic stand-in for one shape.
+    fn heuristic_for(tuner: &IsaacTuner, shape: &QueryShape) -> Option<TunedChoice> {
+        match shape {
+            QueryShape::Gemm(s) => tuner.heuristic_gemm(s),
+            QueryShape::Conv(s) => tuner.heuristic_conv(s),
+        }
+    }
+
+    /// Schedule a background repair for a ledgered key, unless one is
+    /// already pending.
+    fn ensure_repair(
+        &self,
+        key: &TuneKey,
+        tuner: &Arc<IsaacTuner>,
+        shape: &QueryShape,
+        not_before: Instant,
+    ) {
+        if self.ledger.claim_repair(key) {
+            self.queue.push_background(BgJob::Repair {
+                key: *key,
+                tuner: Arc::clone(tuner),
+                shape: *shape,
+                not_before,
+            });
+        }
+    }
+
+    /// Degrade a miss instead of queueing it, when the self-healing
+    /// layer says the tuned path is not worth trying: the key is
+    /// quarantined (instant answer, no retry burn), or the shard's
+    /// breaker is open. `None` lets the miss proceed to the flight
+    /// path (including the one half-open probe per open breaker).
+    fn try_degrade(
+        &self,
+        key: &TuneKey,
+        tuner: &Arc<IsaacTuner>,
+        shape: &QueryShape,
+    ) -> Option<Decision> {
+        if self.ledger.is_poisoned(key) {
+            let choice = self
+                .ledger
+                .degraded_choice(key, || Self::heuristic_for(tuner, shape));
+            // The poisoning flight scheduled the repair; re-arm it here
+            // only if that claim was lost (e.g. dropped at shutdown).
+            let ttl = self
+                .quarantine_cfg
+                .read()
+                .expect("quarantine config poisoned")
+                .ttl;
+            self.ensure_repair(key, tuner, shape, Instant::now() + ttl);
+            bump(&self.counters.degraded, 1);
+            return Some(Decision {
+                choice,
+                served: Served::Degraded,
+            });
+        }
+        let cfg = *self.breaker_cfg.read().expect("breaker config poisoned");
+        match self
+            .shard_health(key.device, key.op)
+            .gate(&cfg, Instant::now())
+        {
+            Gate::Pass { .. } => None,
+            Gate::Degrade { retry_at } => {
+                self.ledger.note_degraded(*key);
+                let choice = self
+                    .ledger
+                    .degraded_choice(key, || Self::heuristic_for(tuner, shape));
+                self.ensure_repair(key, tuner, shape, retry_at);
+                bump(&self.counters.degraded, 1);
+                Some(Decision {
+                    choice,
+                    served: Served::Degraded,
+                })
+            }
+        }
+    }
+
     /// Build the flight waiter that resolves `cell` once the flight
     /// lands. The role decides how the decision reads: the leader owns
     /// the tune (`Tuned`, or `Cache` when the leader-side re-peek found
@@ -321,19 +487,35 @@ impl ServiceCore {
     fn ticket_waiter(
         self: &Arc<Self>,
         cell: Arc<TicketCell>,
-    ) -> impl FnOnce(Role) -> Waiter<FlightResult> {
+    ) -> impl FnOnce(Role) -> Waiter<FlightOutcome> {
         let core = Arc::clone(self);
         move |role| {
-            Box::new(move |outcome: Option<FlightResult>| {
+            Box::new(move |outcome: Option<FlightOutcome>| {
                 let decision = match outcome {
-                    Some((choice, was_cold)) => Decision {
+                    Some(FlightOutcome::Cold(choice)) => Decision {
                         choice,
                         served: match role {
-                            Role::Led if was_cold => Served::Tuned,
+                            Role::Led => Served::Tuned,
+                            Role::Joined => Served::Coalesced,
+                        },
+                    },
+                    Some(FlightOutcome::Rehit(choice)) => Decision {
+                        choice: Some(choice),
+                        served: match role {
                             Role::Led => Served::Cache,
                             Role::Joined => Served::Coalesced,
                         },
                     },
+                    // Retry exhaustion degrades every waiter, leader
+                    // and joiners alike: all of them get the heuristic
+                    // stand-in, honestly labelled.
+                    Some(FlightOutcome::Degraded(choice)) => {
+                        bump(&core.counters.degraded, 1);
+                        Decision {
+                            choice,
+                            served: Served::Degraded,
+                        }
+                    }
                     None => {
                         bump(&core.counters.failed, 1);
                         Decision {
@@ -578,9 +760,12 @@ impl ServiceCore {
 
     /// Execute one queued job: re-peek the cache under flight
     /// leadership, cold-tune on a genuine miss, fan the result out to
-    /// every ticket. A panicking tune is caught (the worker survives),
-    /// counted, and retried up to [`MAX_TUNE_ATTEMPTS`]; past that the
-    /// flight fails its tickets.
+    /// every ticket. A panicking (or injected-fault) tune is caught
+    /// (the worker survives), counted, and retried up to
+    /// [`MAX_TUNE_ATTEMPTS`]; past that the key is quarantined and the
+    /// flight resolves [`Served::Degraded`] with the heuristic
+    /// stand-in. Every attempt's outcome also feeds the shard's
+    /// circuit breaker.
     ///
     /// Completion always targets `(key, flight id)`, never the key
     /// alone: keys recur (the same shape can miss again after a shard
@@ -628,78 +813,126 @@ impl ServiceCore {
         // tune no longer cancel it (the work is running anyway and its
         // decision still warms the cache).
         self.flights.mark_started(&job.key, job.flight);
+
+        /// What one guarded tune attempt produced.
+        enum Attempt {
+            Rehit(TunedChoice),
+            Cold(Option<TunedChoice>),
+            /// An injected non-panic fault ([`FaultKind::Error`] /
+            /// [`FaultKind::WrongDevice`]): no decision, no unwind.
+            Faulted,
+        }
+
+        let fault = self.fault.read().expect("fault seam poisoned").clone();
+        let started = Instant::now();
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             // Re-check under flight leadership: a submitter that lost
             // the race between its cache miss and the flight claim would
             // otherwise re-tune a key the previous flight has already
             // published.
             if let Some(hit) = job.tuner.cache().peek(&job.key) {
-                return (Some(hit), false);
+                return Attempt::Rehit(hit);
             }
-            if self
-                .fail_tunes
-                .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |n| n.checked_sub(1))
-                .is_ok()
+            if let Some(kind) = fault
+                .as_ref()
+                .and_then(|f| f.intercept(&job.key, job.attempts))
             {
-                panic!("injected tune panic (TuneService::inject_tune_panics)");
+                match kind {
+                    FaultKind::Panic => panic!("injected tune panic (TuneFault)"),
+                    FaultKind::Error | FaultKind::WrongDevice => return Attempt::Faulted,
+                    FaultKind::Slow(delay) => std::thread::sleep(delay),
+                }
             }
             let choice = match job.shape {
                 QueryShape::Gemm(ref s) => job.tuner.tune_gemm_cold(s),
                 QueryShape::Conv(ref s) => job.tuner.tune_conv_cold(s),
             };
-            (choice, true)
+            Attempt::Cold(choice)
         }));
         match outcome {
-            Ok((choice, was_cold)) => {
-                if was_cold {
-                    bump(&self.counters.cold_tunes, 1);
-                } else {
-                    bump(&self.counters.cache_hits, 1);
-                }
+            Ok(Attempt::Rehit(hit)) => {
+                // Not a tune: no health signal either way.
+                bump(&self.counters.cache_hits, 1);
                 self.gauges.jobs_run.fetch_add(1, Ordering::Relaxed);
                 self.flights
-                    .complete_if(&job.key, job.flight, (choice, was_cold));
+                    .complete_if(&job.key, job.flight, FlightOutcome::Rehit(hit));
+                return;
             }
+            Ok(Attempt::Cold(choice)) => {
+                bump(&self.counters.cold_tunes, 1);
+                self.gauges.jobs_run.fetch_add(1, Ordering::Relaxed);
+                // A completed tune is healthy unless it blew the
+                // breaker's latency SLO; either way the flight lands.
+                self.record_tune_outcome(
+                    job.key.device,
+                    job.key.op,
+                    self.within_slo(started.elapsed()),
+                );
+                // The cache entry (if any) is authoritative now: a
+                // breaker-era ledger entry for this key is obsolete.
+                self.ledger.discharge(&job.key);
+                self.flights
+                    .complete_if(&job.key, job.flight, FlightOutcome::Cold(choice));
+                return;
+            }
+            Ok(Attempt::Faulted) => {}
             Err(_) => {
                 // The flight entry (and its tickets) stays alive across
                 // the retry; only the panic is recorded.
                 self.flights.note_leader_panic();
-                let policy = *self.retry.read().expect("retry policy poisoned");
-                let attempts = job.attempts + 1;
-                if attempts < policy.max_attempts.max(1) {
-                    self.gauges.tune_retries.fetch_add(1, Ordering::Relaxed);
-                    // Backoff on the worker that caught the panic: the
-                    // job re-queues after the pause, so a transiently
-                    // sick device is not hammered with the whole
-                    // attempt budget back to back.
-                    if !policy.backoff.is_zero() {
-                        std::thread::sleep(policy.backoff);
-                    }
-                    self.queue.push(Job {
-                        enqueued: Instant::now(),
-                        attempts,
-                        ..job
-                    });
-                } else {
-                    // The retry budget is spent: terminally fail the
-                    // tickets (each waiter counts itself into `failed`;
-                    // the crashes are already in `leader_panics`, so
-                    // this is not an administrative `cancelled` --
-                    // and `retry_exhausted` records the exhaustion
-                    // distinctly from the per-attempt panic count).
-                    self.gauges.retry_exhausted.fetch_add(1, Ordering::Relaxed);
-                    self.flights.fail_if(&job.key, job.flight);
-                }
             }
+        }
+        // Failure path, shared by injected errors and caught panics.
+        self.record_tune_outcome(job.key.device, job.key.op, false);
+        let policy = *self.retry.read().expect("retry policy poisoned");
+        let attempts = job.attempts + 1;
+        if attempts < policy.max_attempts.max(1) {
+            self.gauges.tune_retries.fetch_add(1, Ordering::Relaxed);
+            // Backoff on the worker that caught the panic: the job
+            // re-queues after the pause, so a transiently sick device
+            // is not hammered with the whole attempt budget back to
+            // back.
+            if !policy.backoff.is_zero() {
+                std::thread::sleep(policy.backoff);
+            }
+            self.queue.push(Job {
+                enqueued: Instant::now(),
+                attempts,
+                ..job
+            });
+        } else {
+            // The retry budget is spent: quarantine the key and serve
+            // every waiter the heuristic stand-in instead of failing
+            // them outright. The memoized heuristic answers subsequent
+            // submits instantly (no more retry burn), and a background
+            // repair re-probes the key on an exponential backoff
+            // (`retry_exhausted` records the exhaustion distinctly
+            // from the per-attempt panic count in `leader_panics`).
+            self.gauges.retry_exhausted.fetch_add(1, Ordering::Relaxed);
+            let quarantine = *self
+                .quarantine_cfg
+                .read()
+                .expect("quarantine config poisoned");
+            let (newly, not_before) = self.ledger.poison(job.key, &quarantine, Instant::now());
+            if newly {
+                bump(&self.counters.quarantines, 1);
+            }
+            let choice = self
+                .ledger
+                .degraded_choice(&job.key, || Self::heuristic_for(&job.tuner, &job.shape));
+            self.ensure_repair(&job.key, &job.tuner, &job.shape, not_before);
+            self.flights
+                .complete_if(&job.key, job.flight, FlightOutcome::Degraded(choice));
         }
     }
 
     /// Execute one background-lane item: a demoted cold tune runs like
-    /// any job (its `demoted` flag stops it re-shedding), and a prewarm
+    /// any job (its `demoted` flag stops it re-shedding), a prewarm
     /// re-benches one neighbour decision into the target shard's cache
     /// -- skipped (but still counted as processed) when the target was
     /// swapped out since the prewarm was enqueued; `warm_start` itself
-    /// skips keys the target already holds.
+    /// skips keys the target already holds -- and a repair re-probes
+    /// one degraded/quarantined key ([`ServiceCore::run_repair`]).
     fn run_background(self: &Arc<Self>, bg: BgJob) {
         match bg {
             BgJob::Demoted(job) => self.run_job(*job),
@@ -713,6 +946,93 @@ impl ServiceCore {
                 }
                 self.gauges.prewarm_jobs.fetch_add(1, Ordering::Relaxed);
             }
+            BgJob::Repair {
+                key,
+                tuner,
+                shape,
+                not_before: _,
+            } => self.run_repair(key, tuner, shape),
+        }
+    }
+
+    /// One background repair probe for a degraded/quarantined key: a
+    /// single tune attempt (no retry burn -- failure re-schedules on
+    /// the quarantine's exponential backoff), upgrading the ledger
+    /// entry to an authoritative cache entry on success.
+    fn run_repair(self: &Arc<Self>, key: TuneKey, tuner: Arc<IsaacTuner>, shape: QueryShape) {
+        self.gauges.repair_jobs.fetch_add(1, Ordering::Relaxed);
+        // The shard was removed or replaced since this repair was
+        // scheduled: its ledger entries are already purged, and the
+        // successor shard starts with a clean bill of health.
+        let current = self.shard_tuner(key.device, key.op);
+        if !current.is_some_and(|t| Arc::ptr_eq(&t, &tuner)) {
+            return;
+        }
+        // Already authoritative (a probe flight or a restore beat us):
+        // nothing to repair.
+        if tuner.cache().peek(&key).is_some() {
+            if self.ledger.discharge(&key) {
+                bump(&self.counters.repair_upgrades, 1);
+            }
+            return;
+        }
+
+        /// Outcome of the single repair attempt.
+        enum Probe {
+            /// The tune ran clean (`None` == no legal configuration,
+            /// which no amount of repair will fix).
+            Done(Option<TunedChoice>),
+            /// An injected non-panic fault.
+            Faulted,
+        }
+
+        let fault = self.fault.read().expect("fault seam poisoned").clone();
+        let started = Instant::now();
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            if let Some(kind) = fault.as_ref().and_then(|f| f.intercept(&key, 0)) {
+                match kind {
+                    FaultKind::Panic => panic!("injected tune panic (TuneFault)"),
+                    FaultKind::Error | FaultKind::WrongDevice => return Probe::Faulted,
+                    FaultKind::Slow(delay) => std::thread::sleep(delay),
+                }
+            }
+            Probe::Done(match shape {
+                QueryShape::Gemm(ref s) => tuner.tune_gemm_cold(s),
+                QueryShape::Conv(ref s) => tuner.tune_conv_cold(s),
+            })
+        }));
+        match outcome {
+            Ok(Probe::Done(choice)) => {
+                // The tuned path works again (even a no-legal-config
+                // answer is the tuner speaking, not a fault): feed the
+                // breaker and release the quarantine. Only a published
+                // decision counts as an *upgrade*.
+                bump(&self.counters.cold_tunes, 1);
+                self.record_tune_outcome(key.device, key.op, self.within_slo(started.elapsed()));
+                let upgraded = choice.is_some() && self.ledger.discharge(&key);
+                if upgraded {
+                    bump(&self.counters.repair_upgrades, 1);
+                } else if choice.is_none() {
+                    self.ledger.discharge(&key);
+                }
+            }
+            Ok(Probe::Faulted) | Err(_) => {
+                // Still sick: escalate the backoff and try again later.
+                // Repair probes are not flight leaders, so a panic here
+                // does not count into `leader_panics`.
+                self.record_tune_outcome(key.device, key.op, false);
+                let quarantine = *self
+                    .quarantine_cfg
+                    .read()
+                    .expect("quarantine config poisoned");
+                let next = self.ledger.repair_failed(&key, &quarantine, Instant::now());
+                self.queue.push_background(BgJob::Repair {
+                    key,
+                    tuner,
+                    shape,
+                    not_before: next,
+                });
+            }
         }
     }
 
@@ -720,6 +1040,20 @@ impl ServiceCore {
     /// (each ticket waiter counts itself into the `failed` stat).
     fn fail_flights(&self, pred: impl Fn(&TuneKey) -> bool) -> usize {
         self.flights.cancel_matching(pred)
+    }
+
+    /// Shard-lifecycle health teardown: drop the `(device, op)` breaker
+    /// and purge its keys from the quarantine ledger -- health verdicts
+    /// indict hardware, and this hardware just left the fleet. Any
+    /// still-queued repair job for the old tuner no-ops on its
+    /// `Arc::ptr_eq` staleness check.
+    fn reset_shard_health(&self, device: u16, op: OpKind) {
+        self.health
+            .write()
+            .expect("health map poisoned")
+            .remove(&(device, op));
+        self.ledger
+            .purge(|key| key.device == device && key.op == op);
     }
 }
 
@@ -759,7 +1093,11 @@ impl TuneService {
             wal: Mutex::new(None),
             last_recovery: Mutex::new(None),
             retry: RwLock::new(RetryPolicy::default()),
-            fail_tunes: AtomicU32::new(0),
+            fault: RwLock::new(None),
+            health: RwLock::new(HashMap::new()),
+            breaker_cfg: RwLock::new(BreakerConfig::default()),
+            quarantine_cfg: RwLock::new(QuarantineConfig::default()),
+            ledger: DegradedLedger::default(),
         });
         let worker_core = Arc::clone(&core);
         let pool = WorkerPool::spawn(workers, move || worker_core.work());
@@ -815,6 +1153,9 @@ impl TuneService {
             // state: recovery must never resurrect decisions tuned for
             // hardware that was swapped out.
             self.core.gc_shard_files(device, op, Some(old));
+            // ...and its health record: quarantines indicted the old
+            // hardware, and the successor starts with a closed breaker.
+            self.core.reset_shard_health(device, op);
         }
         self.core.attach_journal(device, op, &tuner);
         (tuner, old)
@@ -839,6 +1180,7 @@ impl TuneService {
             self.core
                 .fail_flights(|key| key.device == device && key.op == op);
             self.core.gc_shard_files(device, op, Some(removed));
+            self.core.reset_shard_health(device, op);
         }
         removed
     }
@@ -914,6 +1256,13 @@ impl TuneService {
         match self.core.fast_path(query, &key) {
             FastPath::Done(decision) => TuneTicket::ready(decision),
             FastPath::Miss(tuner) => {
+                // Self-healing gate: a quarantined key or an open
+                // breaker answers the heuristic immediately -- before
+                // admission, since a degraded answer never charges the
+                // tuning backend.
+                if let Some(decision) = self.core.try_degrade(&key, &tuner, &query.shape) {
+                    return TuneTicket::ready(decision);
+                }
                 // Admission runs only on the miss path: quotas guard
                 // the expensive tuning backend, not the O(1) cache.
                 let Ok(slot) = self.core.admission.admit(opts.tenant) else {
@@ -976,28 +1325,38 @@ impl TuneService {
                 let query = &queries[qi];
                 match self.core.fast_path(query, key) {
                     FastPath::Done(decision) => Unique::Inline(decision),
-                    FastPath::Miss(tuner) => match self.core.admission.admit(0) {
-                        Err(()) => Unique::Inline(Decision {
-                            choice: None,
-                            served: Served::Rejected,
-                        }),
-                        Ok(slot) => {
-                            let (ticket, job) = self.core.register_miss(
-                                Arc::clone(&tuner),
-                                query.shape,
-                                *key,
-                                true,
-                                None,
-                                Some(slot),
-                            );
-                            jobs.extend(job);
-                            Unique::Pending {
-                                ticket: Some(ticket),
-                                tuner,
-                                shape: query.shape,
+                    FastPath::Miss(tuner) => {
+                        // Self-healing gate, like `submit_with`:
+                        // degraded uniques resolve inline (their
+                        // duplicates read the same decision) and never
+                        // charge admission.
+                        if let Some(decision) = self.core.try_degrade(key, &tuner, &query.shape) {
+                            Unique::Inline(decision)
+                        } else {
+                            match self.core.admission.admit(0) {
+                                Err(()) => Unique::Inline(Decision {
+                                    choice: None,
+                                    served: Served::Rejected,
+                                }),
+                                Ok(slot) => {
+                                    let (ticket, job) = self.core.register_miss(
+                                        Arc::clone(&tuner),
+                                        query.shape,
+                                        *key,
+                                        true,
+                                        None,
+                                        Some(slot),
+                                    );
+                                    jobs.extend(job);
+                                    Unique::Pending {
+                                        ticket: Some(ticket),
+                                        tuner,
+                                        shape: query.shape,
+                                    }
+                                }
                             }
                         }
-                    },
+                    }
                 }
             })
             .collect();
@@ -1433,7 +1792,10 @@ impl TuneService {
         self.core.flights.in_flight()
     }
 
-    /// Queue / ticket gauges of the async path.
+    /// Queue / ticket gauges of the async path. One relaxed load per
+    /// field: cheap, but counters written concurrently by different
+    /// workers can be observed torn relative to each other -- use
+    /// [`ServiceStats::snapshot`] when cross-counter invariants matter.
     pub fn service_stats(&self) -> ServiceStats {
         ServiceStats {
             open_tickets: self.core.tickets.open(),
@@ -1450,6 +1812,7 @@ impl TuneService {
             background_depth: self.core.queue.background_depth() as u64,
             prewarmed: self.core.gauges.prewarmed.load(Ordering::Relaxed),
             prewarm_jobs: self.core.gauges.prewarm_jobs.load(Ordering::Relaxed),
+            repair_jobs: self.core.gauges.repair_jobs.load(Ordering::Relaxed),
         }
     }
 
@@ -1465,12 +1828,90 @@ impl TuneService {
         *self.core.retry.read().expect("retry policy poisoned")
     }
 
-    /// Make the next `count` tune attempts panic inside the worker pool.
-    /// Fault injection for exercising the leader-panic/retry path at the
-    /// service level; not part of the serving API.
-    #[doc(hidden)]
-    pub fn inject_tune_panics(&self, count: u32) {
-        self.core.fail_tunes.store(count, Ordering::Relaxed);
+    // ---- self-healing controls ----
+
+    /// Install (or clear, with `None`) the tuning-path fault seam.
+    /// Every subsequent cold-tune attempt -- foreground, demoted, and
+    /// repair jobs alike -- consults it before running; see
+    /// [`crate::fault`]. Replaces the old `inject_tune_panics` hook.
+    pub fn set_tune_fault(&self, fault: Option<Arc<dyn TuneFault>>) {
+        *self.core.fault.write().expect("fault seam poisoned") = fault;
+    }
+
+    /// Replace the per-shard circuit-breaker tuning. Takes effect for
+    /// the next recorded tune outcome; existing breaker state (windows,
+    /// open timers) is kept.
+    pub fn set_breaker_config(&self, cfg: BreakerConfig) {
+        *self.core.breaker_cfg.write().expect("breaker cfg poisoned") = cfg;
+    }
+
+    /// The current circuit-breaker configuration.
+    pub fn breaker_config(&self) -> BreakerConfig {
+        *self.core.breaker_cfg.read().expect("breaker cfg poisoned")
+    }
+
+    /// Replace the poison-key quarantine tuning (TTL and backoff cap).
+    pub fn set_quarantine_config(&self, cfg: QuarantineConfig) {
+        *self
+            .core
+            .quarantine_cfg
+            .write()
+            .expect("quarantine cfg poisoned") = cfg;
+    }
+
+    /// The current quarantine configuration.
+    pub fn quarantine_config(&self) -> QuarantineConfig {
+        *self
+            .core
+            .quarantine_cfg
+            .read()
+            .expect("quarantine cfg poisoned")
+    }
+
+    /// The circuit-breaker state of one shard's tuning path. A shard
+    /// that has never recorded an outcome (or isn't registered) reports
+    /// [`BreakerState::Closed`].
+    pub fn breaker_state(&self, device: u16, op: OpKind) -> BreakerState {
+        self.core
+            .health
+            .read()
+            .expect("health map poisoned")
+            .get(&(device, op))
+            .map(|h| h.state())
+            .unwrap_or(BreakerState::Closed)
+    }
+
+    /// Whether `key` is currently quarantined (exhausted its retry
+    /// budget and is serving instant [`Served::Degraded`] answers while
+    /// background repair backs off).
+    pub fn is_quarantined(&self, key: &TuneKey) -> bool {
+        self.core.ledger.is_poisoned(key)
+    }
+
+    /// Number of keys currently quarantined.
+    pub fn quarantined_keys(&self) -> usize {
+        self.core.ledger.poisoned_count()
+    }
+}
+
+impl ServiceStats {
+    /// A *consistent* gauge read: [`TuneService::service_stats`] loads
+    /// each counter independently, so a snapshot taken while workers
+    /// run can be torn across fields (e.g. `jobs_run` bumped but its
+    /// `queue_wait_s_total` not yet). This re-samples until two
+    /// consecutive reads agree -- on a quiescent service that's two
+    /// cheap passes; under churn it returns the last sample after a
+    /// bounded number of tries, which is no worse than the single read.
+    pub fn snapshot(service: &TuneService) -> ServiceStats {
+        let mut prev = service.service_stats();
+        for _ in 0..8 {
+            let next = service.service_stats();
+            if next == prev {
+                return next;
+            }
+            prev = next;
+        }
+        prev
     }
 }
 

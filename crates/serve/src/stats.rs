@@ -21,6 +21,11 @@ pub(crate) struct Counters {
     pub recovery_replayed: AtomicU64,
     pub recovery_torn_records: AtomicU64,
     pub recovery_skipped_records: AtomicU64,
+    pub degraded: AtomicU64,
+    pub breaker_opens: AtomicU64,
+    pub breaker_closes: AtomicU64,
+    pub quarantines: AtomicU64,
+    pub repair_upgrades: AtomicU64,
 }
 
 /// Relaxed add on a serving counter.
@@ -47,6 +52,11 @@ impl Counters {
             recovery_replayed: self.recovery_replayed.load(Ordering::Relaxed),
             recovery_torn_records: self.recovery_torn_records.load(Ordering::Relaxed),
             recovery_skipped_records: self.recovery_skipped_records.load(Ordering::Relaxed),
+            degraded: self.degraded.load(Ordering::Relaxed),
+            breaker_opens: self.breaker_opens.load(Ordering::Relaxed),
+            breaker_closes: self.breaker_closes.load(Ordering::Relaxed),
+            quarantines: self.quarantines.load(Ordering::Relaxed),
+            repair_upgrades: self.repair_upgrades.load(Ordering::Relaxed),
             // Read live from the per-shard journal writers by
             // `TuneService::stats`; zero through any other entry point.
             wal_appends: 0,
@@ -76,10 +86,11 @@ pub struct RouterStats {
     /// Queries addressed to an unregistered device/operation.
     pub no_shard: u64,
     /// Tickets failed without a decision: their shard was removed or
-    /// replaced while the query was in flight, the cold tune kept
-    /// panicking past the retry budget, or every holder of the key's
-    /// tickets dropped before the job started (the flight is cancelled
-    /// and its already-dead tickets resolve as failed).
+    /// replaced while the query was in flight, or every holder of the
+    /// key's tickets dropped before the job started (the flight is
+    /// cancelled and its already-dead tickets resolve as failed).
+    /// Retry-budget exhaustion no longer lands here -- it quarantines
+    /// the key and serves [`crate::Served::Degraded`].
     pub failed: u64,
     /// Background snapshots completed by the interval snapshotter
     /// (including the final snapshot-on-shutdown flush). Each snapshot
@@ -107,6 +118,21 @@ pub struct RouterStats {
     /// Malformed or wrong-operation entries skipped during recovery --
     /// a flaky disk surfaces here instead of as silent cache shrinkage.
     pub recovery_skipped_records: u64,
+    /// Queries answered [`crate::Served::Degraded`]: the model-free
+    /// heuristic stood in because the shard's breaker was open, the key
+    /// was quarantined, or a flight exhausted its retry budget. Zero in
+    /// steady state (`check_bench.sh` guards the no-fault bench run).
+    pub degraded: u64,
+    /// Circuit-breaker trips into `Open` (including failed half-open
+    /// probes re-opening).
+    pub breaker_opens: u64,
+    /// Breakers re-closed after a healthy outcome.
+    pub breaker_closes: u64,
+    /// Keys newly quarantined after exhausting their retry budget.
+    pub quarantines: u64,
+    /// Degraded/quarantined keys upgraded to an authoritative cache
+    /// entry by a background repair tune.
+    pub repair_upgrades: u64,
     /// WAL records appended by the shard journals (durability mode).
     pub wal_appends: u64,
     /// Bytes those appends wrote -- the durability cost per interval,
@@ -151,8 +177,9 @@ pub struct ServiceStats {
     /// [`crate::FlightStats::leader_panics`]).
     pub tune_retries: u64,
     /// Flights that spent their whole [`crate::RetryPolicy`] attempt
-    /// budget and terminally failed -- distinct from the per-attempt
-    /// panic count in [`crate::FlightStats::leader_panics`].
+    /// budget -- distinct from the per-attempt panic count in
+    /// [`crate::FlightStats::leader_panics`]. An exhausted flight
+    /// quarantines its key and resolves [`crate::Served::Degraded`].
     pub retry_exhausted: u64,
     /// Tickets that resolved [`crate::Served::TimedOut`]: their
     /// deadline expired before the flight landed. The flight itself
@@ -179,6 +206,10 @@ pub struct ServiceStats {
     /// stale-shard or already-cached prewarm counts here but not in
     /// `prewarmed`).
     pub prewarm_jobs: u64,
+    /// Background repair jobs processed: re-tunes of degraded or
+    /// quarantined keys, whether or not they upgraded anything (an
+    /// upgrade also counts in [`RouterStats::repair_upgrades`]).
+    pub repair_jobs: u64,
 }
 
 impl ServiceStats {

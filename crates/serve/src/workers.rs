@@ -64,6 +64,27 @@ pub(crate) enum BgJob {
         target: Arc<IsaacTuner>,
         source: Box<(TuneKey, TunedChoice)>,
     },
+    /// Re-tune one degraded/quarantined key once its backoff expires
+    /// and upgrade the cache entry if the tune lands (the self-healing
+    /// repair path; see `health.rs`). Not popped before `not_before`:
+    /// the lane's scheduling honours the quarantine's exponential
+    /// backoff, so a poisoned key never burns retries early.
+    Repair {
+        key: TuneKey,
+        tuner: Arc<IsaacTuner>,
+        shape: QueryShape,
+        not_before: Instant,
+    },
+}
+
+impl BgJob {
+    /// Earliest instant this job may run (`None` == immediately).
+    fn ready_at(&self) -> Option<Instant> {
+        match self {
+            BgJob::Repair { not_before, .. } => Some(*not_before),
+            BgJob::Demoted(_) | BgJob::Prewarm { .. } => None,
+        }
+    }
 }
 
 /// Outcome of one [`MissQueue::pop_until`] call.
@@ -150,22 +171,47 @@ impl MissQueue {
             if state.shutdown {
                 return Popped::Shutdown;
             }
+            // Earliest not-yet-due background job (repairs waiting out
+            // their backoff); folded into the sleep below.
+            let mut next_bg: Option<Instant> = None;
             if !state.paused {
                 if let Some(job) = state.jobs.pop_front() {
                     return Popped::Job(Box::new(job));
                 }
                 // Strict priority: background work only runs while the
-                // foreground lane is empty.
-                if let Some(bg) = state.background.pop_front() {
-                    return Popped::Background(bg);
+                // foreground lane is empty. FIFO among *ready* jobs --
+                // a deferred repair must not head-of-line-block the
+                // prewarms and demoted tunes behind it.
+                let now = Instant::now();
+                if let Some(pos) = state
+                    .background
+                    .iter()
+                    .position(|bg| bg.ready_at().is_none_or(|t| t <= now))
+                {
+                    if let Some(bg) = state.background.remove(pos) {
+                        return Popped::Background(bg);
+                    }
+                }
+                next_bg = state.background.iter().filter_map(|bg| bg.ready_at()).min();
+            }
+            let snapshot = deadline_of();
+            if let Some(d) = snapshot {
+                if Instant::now() >= d {
+                    return Popped::Deadline;
                 }
             }
-            match deadline_of() {
+            let wake = match (snapshot, next_bg) {
+                (Some(a), Some(b)) => Some(a.min(b)),
+                (a, b) => a.or(b),
+            };
+            match wake {
                 None => state = self.cv.wait(state).expect("miss queue poisoned"),
                 Some(d) => {
                     let now = Instant::now();
                     if now >= d {
-                        return Popped::Deadline;
+                        // A deferred background job just came due:
+                        // loop around and pop it.
+                        continue;
                     }
                     let (guard, _) = self
                         .cv
@@ -210,8 +256,8 @@ impl MissQueue {
     /// Flip the queue into shutdown mode and return every undrained
     /// foreground job so the caller can fail their flights. Undrained
     /// background work is simply dropped: a demoted job's waiters are
-    /// covered by the same flight-failing sweep, and prewarms are
-    /// best-effort. Idempotent.
+    /// covered by the same flight-failing sweep, and prewarms and
+    /// repairs are best-effort. Idempotent.
     pub fn begin_shutdown(&self) -> Vec<Job> {
         let mut state = self.state.lock().expect("miss queue poisoned");
         state.shutdown = true;

@@ -21,7 +21,7 @@ use isaac_core::{EvictionPolicy, IsaacTuner, OpKind, TrainOptions, TuneKey, Tune
 use isaac_device::specs::tesla_p100;
 use isaac_device::{DType, DeviceSpec};
 use isaac_gen::shapes::GemmShape;
-use isaac_serve::{wal_file_name, Query, Served, TuneService};
+use isaac_serve::{wal_file_name, FaultKind, FaultTuner, Query, Served, TuneService};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::path::{Path, PathBuf};
@@ -427,8 +427,11 @@ fn recovered_fleet_serves_the_working_set_with_zero_cold_tunes() {
             service.enable_durability(&dir, NEVER);
             // One injected worker panic somewhere in the stream: the
             // default retry budget rides it out and the decision must
-            // still reach the journal.
-            service.inject_tune_panics(1);
+            // still reach the journal. (A global script is fine here:
+            // the stream is sequential, one key in flight at a time.)
+            let fault = Arc::new(FaultTuner::new());
+            fault.fault_next(1, FaultKind::Panic);
+            service.set_tune_fault(Some(fault));
             for &(m, n, k) in &shapes {
                 let d = service
                     .submit(&Query::gemm(

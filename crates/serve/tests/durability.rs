@@ -15,8 +15,9 @@
 //! 5. **GC** -- removing or replacing a shard deletes its persistence
 //!    files, and compaction sweeps orphans and `.tmp` leftovers;
 //! 6. **retry policy** -- a configurable attempt budget: exhausting it
-//!    is counted distinctly from the per-attempt panic count, and a
-//!    flaky WAL append never fails the publish itself.
+//!    quarantines the key and serves `Served::Degraded` (counted
+//!    distinctly from the per-attempt panic count), and a flaky WAL
+//!    append never fails the publish itself.
 
 use isaac_core::durability::{decode_wal, FaultIo, FaultPlan, WalRecord};
 use isaac_core::{EvictionPolicy, IsaacTuner, OpKind, TrainOptions, TuneKey, TunedChoice};
@@ -24,7 +25,10 @@ use isaac_core::{ShapeKey, StdIo};
 use isaac_device::specs::tesla_p100;
 use isaac_device::{DType, DeviceSpec};
 use isaac_gen::shapes::GemmShape;
-use isaac_serve::{snapshot_file_name, wal_file_name, Query, RetryPolicy, Served, TuneService};
+use isaac_serve::{
+    snapshot_file_name, wal_file_name, FaultKind, FaultTuner, Query, RetryPolicy, Served,
+    TuneService,
+};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::{Arc, OnceLock};
@@ -400,25 +404,35 @@ fn removing_and_replacing_shards_gcs_their_files() {
 fn retry_policy_bounds_attempts_and_counts_exhaustion() {
     let service = TuneService::with_workers(1);
     service.add_shard(0, fresh_tuner(tesla_p100()));
+    let fault = Arc::new(FaultTuner::new());
+    service.set_tune_fault(Some(fault.clone()));
 
-    // Budget of one: the first panic is terminal -- no retries.
+    // Budget of one: the first panic is terminal -- no retries. The
+    // exhausted key is quarantined and served by the heuristic.
     service.set_retry_policy(RetryPolicy {
         max_attempts: 1,
         backoff: Duration::ZERO,
     });
     assert_eq!(service.retry_policy().max_attempts, 1);
-    service.inject_tune_panics(1);
-    let d = service.submit(&gemm_query(0, 96, 64, 32)).wait();
-    assert_eq!(d.served, Served::Failed);
+    let doomed = gemm_query(0, 96, 64, 32);
+    fault.fault_key(doomed.key(), &[FaultKind::Panic]);
+    let d = service.submit(&doomed).wait();
+    assert_eq!(d.served, Served::Degraded);
+    assert!(
+        d.choice.is_some(),
+        "heuristic stand-in, not a dropped query"
+    );
+    assert!(service.is_quarantined(&doomed.key()));
     let stats = service.service_stats();
     assert_eq!(stats.tune_retries, 0, "budget of 1 never re-queues");
-    assert_eq!(stats.retry_exhausted, 1, "terminal failure counted");
+    assert_eq!(stats.retry_exhausted, 1, "terminal exhaustion counted");
     assert_eq!(service.flight_stats().leader_panics, 1);
 
     // Default budget: two panics are absorbed, the third attempt lands.
     service.set_retry_policy(RetryPolicy::default());
-    service.inject_tune_panics(2);
-    let d = service.submit(&gemm_query(0, 128, 64, 32)).wait();
+    let bumpy = gemm_query(0, 128, 64, 32);
+    fault.fault_key(bumpy.key(), &[FaultKind::Panic, FaultKind::Panic]);
+    let d = service.submit(&bumpy).wait();
     assert_eq!(d.served, Served::Tuned, "retries rode out the panics");
     let stats = service.service_stats();
     assert_eq!(stats.tune_retries, 2);
@@ -430,8 +444,9 @@ fn retry_policy_bounds_attempts_and_counts_exhaustion() {
         max_attempts: 2,
         backoff: Duration::from_millis(5),
     });
-    service.inject_tune_panics(1);
-    let d = service.submit(&gemm_query(0, 160, 64, 32)).wait();
+    let slow = gemm_query(0, 160, 64, 32);
+    fault.fault_key(slow.key(), &[FaultKind::Panic]);
+    let d = service.submit(&slow).wait();
     assert_eq!(d.served, Served::Tuned);
     assert_eq!(service.service_stats().tune_retries, 3);
 }

@@ -10,9 +10,11 @@
 //! 3. **shard lifecycle** -- removing or replacing a shard fails its
 //!    pending tickets (`Served::Failed`) instead of stranding them, and
 //!    drops its queued jobs;
-//! 4. **leader panics** -- a panicking tune is retried and recorded in
-//!    `FlightStats::leader_panics`; past the retry budget the flight
-//!    fails its tickets;
+//! 4. **leader panics** -- a panicking tune (injected through the
+//!    `TuneFault` seam) is retried and recorded in
+//!    `FlightStats::leader_panics`; past the retry budget the key is
+//!    quarantined and the flight resolves `Served::Degraded`, healing
+//!    via background repair;
 //! 5. **ticket hygiene** -- dropping a ticket before completion leaks
 //!    no flight entry and never wakes the dead ticket's waker.
 
@@ -20,7 +22,10 @@ use isaac_core::{EvictionPolicy, IsaacTuner, OpKind, TrainOptions};
 use isaac_device::specs::{gtx980ti, tesla_p100};
 use isaac_device::{DType, DeviceSpec};
 use isaac_gen::shapes::GemmShape;
-use isaac_serve::{Decision, Query, Served, SnapshotReport, SubmitOptions, TuneService};
+use isaac_serve::{
+    Decision, FaultKind, FaultTuner, QuarantineConfig, Query, Served, SnapshotReport,
+    SubmitOptions, TuneService,
+};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
@@ -345,16 +350,23 @@ fn stale_jobs_from_a_swapped_shard_never_serve_the_new_flight() {
 }
 
 #[test]
-fn tune_panics_are_retried_recorded_and_eventually_fail_the_flight() {
+fn tune_panics_are_retried_recorded_and_eventually_degrade_the_flight() {
     let service = TuneService::with_workers(1);
     service.add_shard(0, fresh_tuner(tesla_p100()));
+    // Fast repair backoff so the quarantined key heals within the test.
+    service.set_quarantine_config(QuarantineConfig {
+        ttl: Duration::from_millis(10),
+        max_ttl: Duration::from_millis(100),
+    });
+    let fault = Arc::new(FaultTuner::new());
+    service.set_tune_fault(Some(fault.clone()));
 
     // One injected panic: the retry lands the tune, every ticket
     // resolves, and the panic is visible in the flight stats (the
     // abort+retry used to be invisible there).
     service.pause();
-    service.inject_tune_panics(1);
     let query = gemm_query(0, 192, 64, 96);
+    fault.fault_key(query.key(), &[FaultKind::Panic]);
     let leader = service.submit(&query);
     let joiner = service.submit(&query);
     service.resume();
@@ -367,20 +379,39 @@ fn tune_panics_are_retried_recorded_and_eventually_fail_the_flight() {
     assert_eq!(service.service_stats().tune_retries, 1);
     assert_eq!(service.stats().cold_tunes, 1);
 
-    // A tune that never stops panicking exhausts the retry budget and
-    // fails its tickets rather than looping forever.
-    service.inject_tune_panics(u32::MAX);
-    let doomed = service.submit(&gemm_query(0, 224, 64, 96));
+    // A tune that never stops panicking exhausts the retry budget; the
+    // key is quarantined and the flight resolves with the model-free
+    // heuristic instead of failing its tickets.
+    let doomed_query = gemm_query(0, 224, 64, 96);
+    fault.poison_key(doomed_query.key(), FaultKind::Panic);
+    let doomed = service.submit(&doomed_query);
     let d = doomed.wait();
-    assert_eq!(d.served, Served::Failed);
-    assert_eq!(d.choice, None);
+    assert_eq!(d.served, Served::Degraded);
+    assert!(d.choice.is_some(), "the heuristic stood in");
     assert_eq!(service.flight_stats().leader_panics, 1 + 3, "3 attempts");
-    assert_eq!(service.stats().failed, 1);
+    assert_eq!(service.service_stats().retry_exhausted, 1);
+    assert_eq!(service.stats().failed, 0, "degraded is not failed");
+    assert_eq!(service.stats().quarantines, 1);
+    assert!(service.is_quarantined(&doomed_query.key()));
 
-    // Clearing the injection heals the key on the next submission.
-    service.inject_tune_panics(0);
-    let healed = service.submit(&gemm_query(0, 224, 64, 96)).wait();
-    assert_eq!(healed.served, Served::Tuned);
+    // While quarantined, resubmits answer instantly from the ledger --
+    // same heuristic choice, no retry burn.
+    let attempts_before = fault.attempts(&doomed_query.key());
+    let parked = service.submit(&doomed_query).wait();
+    assert_eq!(parked.served, Served::Degraded);
+    assert_eq!(parked.choice, d.choice, "memoized heuristic");
+    assert_eq!(fault.attempts(&doomed_query.key()), attempts_before);
+
+    // Healing the seam lets the background repair land a real tune and
+    // discharge the quarantine; the key then serves from the cache.
+    fault.heal(&doomed_query.key());
+    wait_until("the repair to upgrade the cache", || {
+        service.stats().repair_upgrades == 1
+    });
+    assert!(!service.is_quarantined(&doomed_query.key()));
+    let healed = service.submit(&doomed_query).wait();
+    assert_eq!(healed.served, Served::Cache);
+    assert!(healed.choice.is_some());
 }
 
 #[test]

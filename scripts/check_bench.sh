@@ -23,7 +23,10 @@
 #   5. the trace-driven load gate: BENCH_load.json must show the SLO
 #      defenses firing (shed_rate > 0), timeouts bounded, ordered
 #      percentiles (p50 <= p99 <= p999), and load_qps within TOLERANCE
-#      of the committed baseline.
+#      of the committed baseline;
+#   6. the self-healing gate: BENCH_serving.json must show the
+#      quarantine->repair cycle completing (repair_upgrades >= 1) and a
+#      degraded-free steady state (degraded_rate == 0).
 #
 # Usage:
 #   scripts/check_bench.sh [--baseline <file>] [--serving-baseline <file>]
@@ -135,7 +138,8 @@ validate BENCH_serving.json \
     wal_full_rewrite_bytes wal_bytes_per_interval wal_compactions \
     wal_records_replayed wal_recovery_s wal_restored_cold_tunes \
     async_in_flight async_unique_cold async_cold_wall_s \
-    async_queue_latency_s async_cached_qps
+    async_queue_latency_s async_cached_qps \
+    degraded_rate breaker_opens repair_upgrades heal_wall_s
 
 validate BENCH_micro.json \
     mul_bt_naive_s mul_bt_tiled_s mul_bt_naive_gflops \
@@ -225,6 +229,28 @@ fi
 timeouts=$(json_num BENCH_serving.json deadline_timed_out)
 if [ -n "$timeouts" ] && ! awk -v t="$timeouts" 'BEGIN { exit !(t >= 1) }'; then
     die "deadline_timed_out=$timeouts: the ticket-deadline section never expired"
+fi
+
+# ---- self-healing gates (deterministic, not timings) -----------------
+# The fault section quarantines a key and heals the seam: the background
+# repair must have upgraded it to an authoritative cache entry.
+repairs=$(json_num BENCH_serving.json repair_upgrades)
+if [ -n "$repairs" ]; then
+    if ! awk -v r="$repairs" 'BEGIN { exit !(r >= 1) }'; then
+        die "repair_upgrades=$repairs: the quarantined key was never repaired"
+    else
+        say "OK: background repair upgraded $repairs quarantined key(s)"
+    fi
+fi
+# The main (never-faulted) serving run must stay degraded-free: the
+# heuristic fallback is for sick fleets, not steady state.
+deg_rate=$(json_num BENCH_serving.json degraded_rate)
+if [ -n "$deg_rate" ]; then
+    if ! awk -v d="$deg_rate" 'BEGIN { exit !(d == 0) }'; then
+        die "degraded_rate=$deg_rate: the healthy serving run answered degraded"
+    else
+        say "OK: steady-state serving stayed degraded-free"
+    fi
 fi
 
 # ---- the trace-driven load gate (BENCH_load.json) --------------------
