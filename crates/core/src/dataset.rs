@@ -8,7 +8,10 @@
 //! covering the paper's evaluation workloads (LINPACK squares through
 //! ICA's K = 60000 deep reductions).
 
-use crate::features::{conv_features_into, gemm_features_into, CONV_FEATURES, GEMM_FEATURES};
+use crate::features::{
+    conv_features_into, gemm_features_into, sparse_features_into, CONV_FEATURES, GEMM_FEATURES,
+    SPARSE_FEATURES,
+};
 // `mix_seed`/`cfg_seed` live in `sampling`: one copy shared with the
 // bench harness, so per-sample stream derivation cannot diverge.
 use crate::sampling::{cfg_seed, mix_seed, CategoricalSampler};
@@ -16,17 +19,35 @@ use isaac_device::{DType, Profiler};
 use isaac_gen::profile::{conv_profile, gemm_profile};
 use isaac_gen::shapes::{ConvShape, GemmShape};
 use isaac_mlp::{Dataset, Mat};
+use isaac_sparse::{random_sparse_shape, SparseShape};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rayon::prelude::*;
 
-/// Which operation a tuner instance covers.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+/// Which operation family a tuner instance covers. `Ord` follows the
+/// declaration (and name-tag) order so op-keyed maps iterate
+/// deterministically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum OpKind {
     /// Matrix multiplication.
     Gemm,
     /// Multi-channel convolution.
     Conv,
+    /// The sparse family (SpMV / SpTRSV / SymGS), keyed on structural
+    /// summaries instead of exact shapes.
+    Sparse,
+}
+
+impl OpKind {
+    /// Every op family, in declaration order.
+    pub const ALL: [OpKind; 3] = [OpKind::Gemm, OpKind::Conv, OpKind::Sparse];
+
+    /// Parse the `Display` tag back into a kind (`"gemm"`, `"conv"`,
+    /// `"sparse"`); the inverse the serving layer's file-name codecs
+    /// use so they never hardcode per-op string tables.
+    pub fn parse(tag: &str) -> Option<OpKind> {
+        OpKind::ALL.into_iter().find(|k| k.to_string() == tag)
+    }
 }
 
 impl std::fmt::Display for OpKind {
@@ -34,6 +55,7 @@ impl std::fmt::Display for OpKind {
         match self {
             OpKind::Gemm => f.write_str("gemm"),
             OpKind::Conv => f.write_str("conv"),
+            OpKind::Sparse => f.write_str("sparse"),
         }
     }
 }
@@ -233,6 +255,40 @@ pub fn generate_conv_dataset(profiler: &Profiler, opts: &DatasetOptions) -> Data
     })
 }
 
+/// Generate a sparse-family training dataset (parallel; see
+/// [`generate_gemm_dataset`]). Input structures are drawn as random
+/// [`SparseShape`] summaries over the synthetic generators' regimes;
+/// measurements come from the closed-form sparse profiles on the device
+/// model, so generation never materializes a CSR.
+pub fn generate_sparse_dataset(profiler: &Profiler, opts: &DatasetOptions) -> Dataset {
+    let spec = profiler.spec().clone();
+    let cat = {
+        let mut cal_rng = StdRng::seed_from_u64(opts.seed ^ 0x5A7E);
+        let dtypes = opts.dtypes.clone();
+        CategoricalSampler::fit_over(
+            &isaac_sparse::SPARSE_SPACE,
+            move |cfg| {
+                let mut srng = StdRng::seed_from_u64(cfg_seed(0x5A7E, cfg));
+                let shape = random_sparse_shape(&mut srng, &dtypes);
+                isaac_sparse::space::check(cfg, &shape).is_ok()
+            },
+            &mut cal_rng,
+            opts.calibration,
+            100.0,
+        )
+    };
+
+    generate_rows(opts.samples, opts.seed, SPARSE_FEATURES, |rng| {
+        let shape: SparseShape = random_sparse_shape(rng, &opts.dtypes);
+        let cfg = cat.sample(rng);
+        let profile = isaac_sparse::profile::sparse_profile(&cfg, &shape, &spec).ok()?;
+        let measurement = profiler.measure(&profile).ok()?;
+        let mut row = vec![0.0f32; SPARSE_FEATURES];
+        sparse_features_into(&shape, &cfg, opts.log_features, &mut row);
+        Some((row, (measurement.tflops * 1e3).max(1e-6).ln() as f32))
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -292,6 +348,33 @@ mod tests {
             ..Default::default()
         };
         let d = generate_gemm_dataset(&profiler, &opts);
+        let mean = d.y.iter().sum::<f32>() / d.len() as f32;
+        let var = d.y.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / d.len() as f32;
+        assert!(var > 0.5, "target variance {var} suspiciously small");
+    }
+
+    #[test]
+    fn op_kind_display_roundtrips_through_parse() {
+        for kind in OpKind::ALL {
+            assert_eq!(OpKind::parse(&kind.to_string()), Some(kind));
+        }
+        assert_eq!(OpKind::parse("spmv"), None);
+        assert_eq!(OpKind::parse(""), None);
+    }
+
+    #[test]
+    fn sparse_dataset_generates_requested_samples() {
+        let profiler = Profiler::new(tesla_p100(), 6);
+        let opts = DatasetOptions {
+            samples: 300,
+            calibration: 2_000,
+            ..Default::default()
+        };
+        let d = generate_sparse_dataset(&profiler, &opts);
+        assert_eq!(d.len(), 300);
+        assert_eq!(d.x.cols, crate::features::SPARSE_FEATURES);
+        let a = generate_sparse_dataset(&profiler, &opts);
+        assert_eq!(a.y, d.y, "sparse generation is deterministic");
         let mean = d.y.iter().sum::<f32>() / d.len() as f32;
         let var = d.y.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / d.len() as f32;
         assert!(var > 0.5, "target variance {var} suspiciously small");

@@ -124,20 +124,44 @@ pub struct WalDecode {
     /// Line-shaped chunks dropped after the first bad record, plus one
     /// for an unterminated trailing fragment. Zero on a clean log.
     pub torn_records: usize,
+    /// CRC-valid records whose body this build cannot interpret -- a
+    /// future format version's opcode or op tag. These are *not*
+    /// corruption: the frame proves the writer completed the append, so
+    /// decoding skips past them (they count into `valid_len`) and keeps
+    /// going instead of truncating a healthy log written by a newer
+    /// build.
+    pub skipped: usize,
 }
 
-/// Decode a WAL byte stream with **truncate-on-first-bad-record**
-/// semantics: records are accepted in order until one fails its CRC,
-/// fails to parse, or is missing its `\n` terminator (a torn append);
-/// everything from the first bad record on is dropped and counted --
-/// once an append tore, nothing after it can be trusted. Keys are
-/// stamped with `device` (the WAL file name carries the shard's device
-/// ordinal, like the `.cache` header does).
+/// What one framed line decoded to; see [`decode_line`].
+enum LineOutcome {
+    /// A record this build understands.
+    Record(WalRecord),
+    /// Frame intact (CRC matches) but the body is from a future format
+    /// version: skip it, count it, keep decoding.
+    Unknown,
+    /// The frame itself is bad -- CRC failure, non-UTF-8, missing
+    /// framing: a torn or corrupt append, nothing after it is
+    /// trustworthy.
+    BadFrame,
+}
+
+/// Decode a WAL byte stream with **truncate-on-first-bad-frame**
+/// semantics: records are accepted in order until one fails its CRC or
+/// is missing its `\n` terminator (a torn append); everything from the
+/// first bad frame on is dropped and counted -- once an append tore,
+/// nothing after it can be trusted. A record whose *frame* is intact
+/// but whose body this build cannot interpret (a future format
+/// version) is instead skipped and counted ([`WalDecode::skipped`]):
+/// the writer demonstrably completed that append, so the records after
+/// it are still good. Keys are stamped with `device` (the WAL file name
+/// carries the shard's device ordinal, like the `.cache` header does).
 pub fn decode_wal(bytes: &[u8], device: u16) -> WalDecode {
     let mut decode = WalDecode {
         records: Vec::new(),
         valid_len: 0,
         torn_records: 0,
+        skipped: 0,
     };
     let mut offset = 0usize;
     while offset < bytes.len() {
@@ -148,15 +172,20 @@ pub fn decode_wal(bytes: &[u8], device: u16) -> WalDecode {
         };
         let line = &bytes[offset..offset + nl];
         match decode_line(line, device) {
-            Some(record) => {
+            LineOutcome::Record(record) => {
                 decode.records.push(record);
                 offset += nl + 1;
                 decode.valid_len = offset;
             }
-            None => break,
+            LineOutcome::Unknown => {
+                decode.skipped += 1;
+                offset += nl + 1;
+                decode.valid_len = offset;
+            }
+            LineOutcome::BadFrame => break,
         }
     }
-    // Count what the first bad record poisons: every remaining
+    // Count what the first bad frame poisons: every remaining
     // line-shaped chunk plus any unterminated fragment.
     let tail = &bytes[decode.valid_len..];
     if !tail.is_empty() {
@@ -168,25 +197,36 @@ pub fn decode_wal(bytes: &[u8], device: u16) -> WalDecode {
     decode
 }
 
-/// Decode one framed line (without its `\n`); `None` if the CRC or the
-/// body is bad.
-fn decode_line(line: &[u8], device: u16) -> Option<WalRecord> {
-    let line = std::str::from_utf8(line).ok()?;
-    let (crc_hex, body) = line.split_once(' ')?;
-    if crc_hex.len() != 8 || u32::from_str_radix(crc_hex, 16).ok()? != crc32(body.as_bytes()) {
-        return None;
+/// Decode one framed line (without its `\n`).
+fn decode_line(line: &[u8], device: u16) -> LineOutcome {
+    let Ok(line) = std::str::from_utf8(line) else {
+        return LineOutcome::BadFrame;
+    };
+    let Some((crc_hex, body)) = line.split_once(' ') else {
+        return LineOutcome::BadFrame;
+    };
+    let crc_ok = crc_hex.len() == 8
+        && u32::from_str_radix(crc_hex, 16).is_ok_and(|crc| crc == crc32(body.as_bytes()));
+    if !crc_ok {
+        return LineOutcome::BadFrame;
     }
-    let (op, payload) = body.split_once(' ')?;
+    // From here the frame is proven intact; anything unparseable is a
+    // future format's record, not corruption.
+    let Some((op, payload)) = body.split_once(' ') else {
+        return LineOutcome::Unknown;
+    };
     match op {
-        "I" => {
-            let (key, choice) = parse_cache_line(payload, device)?;
-            Some(WalRecord::Insert { key, choice })
-        }
-        "E" => {
-            let key = TuneKey::parse(payload)?.on_device(device);
-            Some(WalRecord::Evict { key })
-        }
-        _ => None,
+        "I" => match parse_cache_line(payload, device) {
+            Some((key, choice)) => LineOutcome::Record(WalRecord::Insert { key, choice }),
+            None => LineOutcome::Unknown,
+        },
+        "E" => match TuneKey::parse(payload) {
+            Some(key) => LineOutcome::Record(WalRecord::Evict {
+                key: key.on_device(device),
+            }),
+            None => LineOutcome::Unknown,
+        },
+        _ => LineOutcome::Unknown,
     }
 }
 
@@ -683,6 +723,65 @@ mod tests {
                 );
             }
         }
+    }
+
+    /// Frame an arbitrary body the way a (possibly newer) writer would:
+    /// valid CRC, newline-terminated.
+    fn frame(body: &str) -> Vec<u8> {
+        let mut line = format!("{:08x} {}", crc32(body.as_bytes()), body);
+        line.push('\n');
+        line.into_bytes()
+    }
+
+    /// Forward compatibility: a CRC-valid record from a future format
+    /// version -- an opcode or op tag this build does not know -- is
+    /// skipped and counted, and the known records *after* it still
+    /// replay. Before this contract, one v-next record truncated the
+    /// whole healthy tail of the log.
+    #[test]
+    fn future_format_records_are_skipped_not_truncated() {
+        let first = WalRecord::Insert {
+            key: key(8),
+            choice: choice(1.0),
+        };
+        let last = WalRecord::Evict { key: key(8) };
+        let mut bytes = encode_record(&first);
+        // A v-next opcode ("R" for some future refresh record)...
+        bytes.extend_from_slice(&frame("R sgemm_nt_8x32x64 42"));
+        // ...and a v-next op family's insert, tag "sfft", shape body in
+        // some future layout. Both are hand-written here exactly so this
+        // test fails the day the skip contract regresses.
+        bytes.extend_from_slice(&frame(
+            "I sfft_n1024_b8 1 1 1 1 1 1 1 1 1 1.0e2 2.0e-1 3.0e-3",
+        ));
+        bytes.extend_from_slice(&encode_record(&last));
+        let decode = decode_wal(&bytes, 0);
+        assert_eq!(decode.records, vec![first, last]);
+        assert_eq!(decode.skipped, 2, "both v-next records counted");
+        assert_eq!(decode.torn_records, 0, "nothing was treated as torn");
+        assert_eq!(decode.valid_len, bytes.len(), "no truncation");
+    }
+
+    /// The skip contract must not weaken the torn-tail contract: a
+    /// future-format record followed by a genuinely corrupt frame still
+    /// truncates at the corruption.
+    #[test]
+    fn corruption_after_a_skipped_record_still_truncates() {
+        let first = encode_record(&WalRecord::Insert {
+            key: key(8),
+            choice: choice(1.0),
+        });
+        let unknown = frame("X future-things");
+        let mut bytes = first.clone();
+        bytes.extend_from_slice(&unknown);
+        let mut corrupt = encode_record(&WalRecord::Evict { key: key(8) });
+        corrupt[2] ^= 0x01; // break the CRC hex
+        bytes.extend_from_slice(&corrupt);
+        let decode = decode_wal(&bytes, 0);
+        assert_eq!(decode.records.len(), 1);
+        assert_eq!(decode.skipped, 1);
+        assert_eq!(decode.torn_records, 1);
+        assert_eq!(decode.valid_len, first.len() + unknown.len());
     }
 
     #[test]

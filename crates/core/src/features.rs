@@ -10,6 +10,7 @@
 
 use isaac_gen::shapes::{ConvShape, GemmShape};
 use isaac_gen::GemmConfig;
+use isaac_sparse::{SparseOp, SparseShape};
 
 /// Number of input features for GEMM (M, N, K, element size, two layout
 /// flags).
@@ -23,6 +24,12 @@ pub const GEMM_FEATURES: usize = GEMM_INPUT_FEATURES + TUNING_FEATURES;
 pub const CONV_INPUT_FEATURES: usize = 6;
 /// Total CONV feature-vector length.
 pub const CONV_FEATURES: usize = CONV_INPUT_FEATURES + TUNING_FEATURES;
+/// Number of input features for the sparse family: rows, nnz, mean and
+/// dispersion of the row lengths, longest row, bandwidth, block density,
+/// element size, and two categorical operation flags.
+pub const SPARSE_INPUT_FEATURES: usize = 10;
+/// Total sparse feature-vector length.
+pub const SPARSE_FEATURES: usize = SPARSE_INPUT_FEATURES + TUNING_FEATURES;
 
 #[inline]
 fn enc(v: f64, log: bool) -> f32 {
@@ -98,6 +105,44 @@ pub fn conv_features_into(shape: &ConvShape, cfg: &GemmConfig, log: bool, out: &
 pub fn conv_features(shape: &ConvShape, cfg: &GemmConfig, log: bool) -> Vec<f32> {
     let mut out = vec![0.0; CONV_FEATURES];
     conv_features_into(shape, cfg, log, &mut out);
+    out
+}
+
+/// Write only the input-structure half of the sparse feature vector; see
+/// [`gemm_shape_features_into`]. Dimensionless ratios that can reach zero
+/// (row-length CV, bandwidth) are shifted by one before the log so the
+/// encoding stays finite and monotone.
+pub fn sparse_shape_features_into(shape: &SparseShape, log: bool, out: &mut [f32]) {
+    assert_eq!(
+        out.len(),
+        SPARSE_INPUT_FEATURES,
+        "shape-feature slice length"
+    );
+    out[0] = enc(shape.rows as f64, log);
+    out[1] = enc(shape.nnz as f64, log);
+    out[2] = enc(shape.row_mean().max(1e-3), log);
+    out[3] = enc(1.0 + shape.row_cv(), log);
+    out[4] = enc(shape.row_max.max(1) as f64, log);
+    out[5] = enc(1.0 + shape.bandwidth as f64, log);
+    out[6] = enc(shape.block_density().max(1e-3), log);
+    out[7] = enc(shape.dtype.size_bytes() as f64, log);
+    // Operation flags are categorical; they stay 0/1 in both variants.
+    out[8] = (shape.op != SparseOp::Spmv) as u8 as f32; // solve/smooth
+    out[9] = (shape.op == SparseOp::Symgs) as u8 as f32; // two sweeps
+}
+
+/// Write the sparse feature vector into `out[..SPARSE_FEATURES]`; see
+/// [`gemm_features_into`].
+pub fn sparse_features_into(shape: &SparseShape, cfg: &GemmConfig, log: bool, out: &mut [f32]) {
+    assert_eq!(out.len(), SPARSE_FEATURES, "feature slice length");
+    sparse_shape_features_into(shape, log, &mut out[..SPARSE_INPUT_FEATURES]);
+    write_tuning(&mut out[SPARSE_INPUT_FEATURES..], cfg, log);
+}
+
+/// Feature vector for a sparse `(structure, tuning)` pair.
+pub fn sparse_features(shape: &SparseShape, cfg: &GemmConfig, log: bool) -> Vec<f32> {
+    let mut out = vec![0.0; SPARSE_FEATURES];
+    sparse_features_into(shape, cfg, log, &mut out);
     out
 }
 
@@ -217,6 +262,63 @@ mod tests {
             assert_eq!(
                 half,
                 conv_features(&cshape, &cfg, log)[..CONV_INPUT_FEATURES]
+            );
+        }
+    }
+
+    /// Same bitwise guarantee for the sparse family's precomputed rows
+    /// (`isaac_sparse::space_feature_table`).
+    #[test]
+    fn sparse_space_feature_table_matches_write_tuning_bitwise() {
+        use isaac_sparse::{space_feature_table, space_table};
+        let shape = SparseShape::from_csr(
+            SparseOp::Spmv,
+            &isaac_sparse::csr::banded(256, 4, 1),
+            DType::F32,
+        );
+        for log in [true, false] {
+            let table = space_feature_table(log);
+            let configs = space_table();
+            assert_eq!(table.len(), configs.len());
+            for i in 0..configs.len() {
+                let full = sparse_features(&shape, &configs[i], log);
+                assert_eq!(
+                    &table[i][..],
+                    &full[SPARSE_INPUT_FEATURES..],
+                    "config {i} (log={log})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_features_encode_structure_and_operation() {
+        let a = isaac_sparse::csr::banded(512, 4, 3);
+        let spmv = SparseShape::from_csr(SparseOp::Spmv, &a, DType::F32);
+        let f = sparse_features(&spmv, &GemmConfig::default(), true);
+        assert_eq!(f.len(), SPARSE_FEATURES);
+        assert_eq!(f[0], 9.0); // log2(512 rows)
+        assert_eq!(f[7], 2.0); // log2(4 bytes)
+        assert_eq!((f[8], f[9]), (0.0, 0.0));
+
+        let mut trsv = spmv;
+        trsv.op = SparseOp::Sptrsv;
+        let ft = sparse_features(&trsv, &GemmConfig::default(), true);
+        assert_eq!((ft[8], ft[9]), (1.0, 0.0));
+        let mut gs = spmv;
+        gs.op = SparseOp::Symgs;
+        let fg = sparse_features(&gs, &GemmConfig::default(), true);
+        assert_eq!((fg[8], fg[9]), (1.0, 1.0));
+        // Only the operation flags differ between ops on one matrix.
+        assert_eq!(f[..8], ft[..8]);
+
+        // Shape-half writer agrees with the full writer's prefix.
+        for log in [true, false] {
+            let mut half = vec![0.0; SPARSE_INPUT_FEATURES];
+            sparse_shape_features_into(&spmv, log, &mut half);
+            assert_eq!(
+                half,
+                sparse_features(&spmv, &GemmConfig::default(), log)[..SPARSE_INPUT_FEATURES]
             );
         }
     }

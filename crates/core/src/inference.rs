@@ -63,8 +63,8 @@
 //! the per-candidate work.
 
 use crate::features::{
-    conv_shape_features_into, gemm_shape_features_into, CONV_INPUT_FEATURES, GEMM_INPUT_FEATURES,
-    TUNING_FEATURES,
+    conv_shape_features_into, gemm_shape_features_into, sparse_shape_features_into,
+    CONV_INPUT_FEATURES, GEMM_INPUT_FEATURES, SPARSE_INPUT_FEATURES, TUNING_FEATURES,
 };
 use isaac_device::{DeviceSpec, Measurement, Profiler};
 use isaac_gen::legality::{space_feature_table, space_table};
@@ -73,6 +73,8 @@ use isaac_gen::shapes::{ConvShape, GemmShape};
 use isaac_gen::GemmConfig;
 use isaac_mlp::io::{ModelBundle, QueryPrefix};
 use isaac_mlp::ScratchSpace;
+use isaac_sparse::profile::sparse_profile;
+use isaac_sparse::SparseShape;
 use rayon::prelude::*;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
@@ -190,19 +192,34 @@ pub fn space_iter() -> impl Iterator<Item = GemmConfig> {
 
 /// All configurations legal for `shape` on `spec`, in space order.
 pub fn enumerate_legal_gemm(shape: &GemmShape, spec: &DeviceSpec) -> Vec<GemmConfig> {
-    enumerate_legal(|cfg| isaac_gen::legality::check_physical(cfg, shape, spec).is_ok())
+    enumerate_legal(space_table(), |cfg| {
+        isaac_gen::legality::check_physical(cfg, shape, spec).is_ok()
+    })
 }
 
 /// All configurations legal for a convolution, in space order.
 pub fn enumerate_legal_conv(shape: &ConvShape, spec: &DeviceSpec) -> Vec<GemmConfig> {
     let g = isaac_gen::conv::equivalent_gemm(shape);
-    enumerate_legal(|cfg| isaac_gen::conv::check_physical(cfg, &g, shape.n, spec).is_ok())
+    enumerate_legal(space_table(), |cfg| {
+        isaac_gen::conv::check_physical(cfg, &g, shape.n, spec).is_ok()
+    })
 }
 
-/// Parallel legality filter over the space table, concatenated in index
-/// order (deterministic for any thread count).
-fn enumerate_legal(legal: impl Fn(&GemmConfig) -> bool + Sync) -> Vec<GemmConfig> {
-    let table = space_table();
+/// All sparse configurations legal for the input structure `shape`, in
+/// sparse-space order (sparse legality is input-dependent, not
+/// device-dependent).
+pub fn enumerate_legal_sparse(shape: &SparseShape) -> Vec<GemmConfig> {
+    enumerate_legal(isaac_sparse::space_table(), |cfg| {
+        isaac_sparse::space::check(cfg, shape).is_ok()
+    })
+}
+
+/// Parallel legality filter over an op family's space table, concatenated
+/// in index order (deterministic for any thread count).
+fn enumerate_legal(
+    table: &'static [GemmConfig],
+    legal: impl Fn(&GemmConfig) -> bool + Sync,
+) -> Vec<GemmConfig> {
     let chunks = table.len().div_ceil(CHUNK);
     (0..chunks)
         .into_par_iter()
@@ -249,6 +266,22 @@ pub fn heuristic_gemm(shape: &GemmShape, spec: &DeviceSpec) -> Option<TunedChoic
 /// [`heuristic_gemm`].
 pub fn heuristic_conv(shape: &ConvShape, spec: &DeviceSpec) -> Option<TunedChoice> {
     heuristic_choice(|cfg| isaac_gen::conv::check(cfg, shape, spec).is_ok())
+}
+
+/// Model-free fallback choice for a sparse input: the scalar
+/// one-row-per-thread kernel (`isaac_sparse::space::heuristic_config`),
+/// which is legal for every operation and structure -- the classic
+/// structure-oblivious CSR baseline the input-aware model is measured
+/// against. Falls back to a sparse-space scan for defensive totality.
+pub fn heuristic_sparse(shape: &SparseShape) -> Option<TunedChoice> {
+    let cfg = isaac_sparse::space::heuristic_config();
+    if isaac_sparse::space::check(&cfg, shape).is_ok() {
+        return Some(fallback_choice(cfg));
+    }
+    isaac_sparse::space_table()
+        .iter()
+        .find(|cfg| isaac_sparse::space::check(cfg, shape).is_ok())
+        .map(|cfg| fallback_choice(*cfg))
 }
 
 /// Shared sweep for the heuristic fallback: try a small, preference-
@@ -397,11 +430,13 @@ fn rank_cmp(a: &(u32, f32), b: &(u32, f32)) -> std::cmp::Ordering {
 }
 
 /// The per-query model context shared by every scoring call: the trained
-/// bundle, its precomputed factored prefix, and the encoded tuning-table
-/// rows for the query's feature encoding.
+/// bundle, its precomputed factored prefix, and the op family's decoded
+/// space table plus its encoded tuning-feature rows for the query's
+/// feature encoding.
 struct ModelCtx<'a> {
     bundle: &'a ModelBundle,
     prefix: &'a QueryPrefix,
+    table: &'static [GemmConfig],
     tfeat: &'static [[f32; TUNING_FEATURES]],
 }
 
@@ -460,7 +495,7 @@ fn score_chunk(
     cheap: bool,
     mut times: Option<&mut StageBreakdown>,
 ) -> Vec<(u32, f32)> {
-    let table = space_table();
+    let table = ctx.table;
     with_scratch(|scratch| {
         let mark = Instant::now();
         scratch.idx.clear();
@@ -487,23 +522,26 @@ fn score_survivors(
     })
 }
 
-/// Exhaustive model search + top-k re-benchmark, shared by the GEMM and
-/// CONV paths. `opts.parallel` switches the rayon fan-out on or off; both
+/// Exhaustive model search + top-k re-benchmark, shared by every op
+/// family: the family supplies its space table, the matching encoded
+/// tuning-feature rows, a legality predicate and a bench closure.
+/// `opts.parallel` switches the rayon fan-out on or off; both
 /// modes run identical arithmetic in identical index order, so their
 /// results are bit-identical (asserted by tests/parallel_inference.rs).
 /// With `opts.cascade`, stage 3 (the cheap pass) prunes the candidate set
 /// before the full model runs; the default (`None`) path never computes a
 /// cheap score and is bit-identical to the pre-cascade engine.
+#[allow(clippy::too_many_arguments)] // the five middle args ARE the op-family seam
 fn infer_engine(
     bundle: &ModelBundle,
+    table: &'static [GemmConfig],
+    tfeat: &'static [[f32; TUNING_FEATURES]],
     shape_feats: &[f32],
     opts: &InferOptions,
     legal: impl Fn(&GemmConfig) -> bool + Sync,
     bench: impl Fn(&GemmConfig) -> Option<Measurement> + Sync,
     mut stages: Option<&mut StageBreakdown>,
 ) -> Option<TunedChoice> {
-    let table = space_table();
-    let tfeat = space_feature_table(opts.log_features);
     let prefix = if opts.cascade.is_some() {
         bundle.query_prefix_cascade(shape_feats)
     } else {
@@ -514,6 +552,7 @@ fn infer_engine(
     let ctx = ModelCtx {
         bundle,
         prefix: &prefix,
+        table,
         tfeat,
     };
 
@@ -655,6 +694,8 @@ fn infer_gemm_engine(
     gemm_shape_features_into(shape, opts.log_features, &mut shape_feats);
     infer_engine(
         bundle,
+        space_table(),
+        space_feature_table(opts.log_features),
         &shape_feats,
         opts,
         // The space table is in-space by construction, so only the
@@ -764,6 +805,8 @@ fn infer_conv_engine(
     let gemm_view = isaac_gen::conv::equivalent_gemm(shape);
     infer_engine(
         bundle,
+        space_table(),
+        space_feature_table(opts.log_features),
         &shape_feats,
         opts,
         |cfg| isaac_gen::conv::check_physical(cfg, &gemm_view, shape.n, spec).is_ok(),
@@ -843,6 +886,111 @@ pub fn infer_conv_staged(
     (choice, stages)
 }
 
+/// The fully parameterized sparse entry point: exhaustive model search
+/// over the 216-point sparse space plus top-k re-benchmark, driven by the
+/// input's structural summary instead of an exact shape.
+pub fn infer_sparse_opts(
+    bundle: &ModelBundle,
+    shape: &SparseShape,
+    profiler: &Profiler,
+    opts: &InferOptions,
+) -> Option<TunedChoice> {
+    infer_sparse_engine(bundle, shape, profiler, opts, None)
+}
+
+fn infer_sparse_engine(
+    bundle: &ModelBundle,
+    shape: &SparseShape,
+    profiler: &Profiler,
+    opts: &InferOptions,
+    stages: Option<&mut StageBreakdown>,
+) -> Option<TunedChoice> {
+    let spec = profiler.spec();
+    let mut shape_feats = [0.0f32; SPARSE_INPUT_FEATURES];
+    sparse_shape_features_into(shape, opts.log_features, &mut shape_feats);
+    infer_engine(
+        bundle,
+        isaac_sparse::space_table(),
+        isaac_sparse::space_feature_table(opts.log_features),
+        &shape_feats,
+        opts,
+        |cfg| isaac_sparse::space::check(cfg, shape).is_ok(),
+        |cfg| {
+            let profile = sparse_profile(cfg, shape, spec).ok()?;
+            profiler.measure_best_of(&profile, RE_BENCH_REPS).ok()
+        },
+        stages,
+    )
+}
+
+/// Exhaustive model search + top-k re-benchmark for the sparse family,
+/// parallelized across cores with a deterministic reduction.
+pub fn infer_sparse(
+    bundle: &ModelBundle,
+    shape: &SparseShape,
+    profiler: &Profiler,
+    top_k: usize,
+    log_features: bool,
+) -> Option<TunedChoice> {
+    infer_sparse_opts(
+        bundle,
+        shape,
+        profiler,
+        &InferOptions {
+            top_k,
+            log_features,
+            parallel: true,
+            cascade: None,
+        },
+    )
+}
+
+/// Serial reference for [`infer_sparse`]; see [`infer_gemm_serial`].
+pub fn infer_sparse_serial(
+    bundle: &ModelBundle,
+    shape: &SparseShape,
+    profiler: &Profiler,
+    top_k: usize,
+    log_features: bool,
+) -> Option<TunedChoice> {
+    infer_sparse_opts(
+        bundle,
+        shape,
+        profiler,
+        &InferOptions {
+            top_k,
+            log_features,
+            parallel: false,
+            cascade: None,
+        },
+    )
+}
+
+/// [`infer_sparse_serial`] with per-stage instrumentation; see
+/// [`infer_gemm_staged`].
+pub fn infer_sparse_staged(
+    bundle: &ModelBundle,
+    shape: &SparseShape,
+    profiler: &Profiler,
+    top_k: usize,
+    log_features: bool,
+) -> (Option<TunedChoice>, StageBreakdown) {
+    let mut stages = StageBreakdown::default();
+    let choice = infer_sparse_engine(
+        bundle,
+        shape,
+        profiler,
+        &InferOptions {
+            top_k,
+            log_features,
+            parallel: false,
+            cascade: None,
+        },
+        Some(&mut stages),
+    );
+    (choice, stages)
+}
+
 /// Re-benchmark a single, already-chosen GEMM configuration on a device:
 /// legality check, analytical profile, then the same best-of measurement
 /// policy as the engine's finalist stage -- so results are directly
@@ -870,6 +1018,17 @@ pub fn rebench_conv(
     let spec = profiler.spec();
     isaac_gen::conv::check(cfg, shape, spec).ok()?;
     let profile = conv_profile(cfg, shape, spec).ok()?;
+    profiler.measure_best_of(&profile, RE_BENCH_REPS).ok()
+}
+
+/// Re-benchmark a single sparse configuration; see [`rebench_gemm`].
+pub fn rebench_sparse(
+    cfg: &GemmConfig,
+    shape: &SparseShape,
+    profiler: &Profiler,
+) -> Option<Measurement> {
+    isaac_sparse::space::check(cfg, shape).ok()?;
+    let profile = sparse_profile(cfg, shape, profiler.spec()).ok()?;
     profiler.measure_best_of(&profile, RE_BENCH_REPS).ok()
 }
 

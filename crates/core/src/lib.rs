@@ -40,21 +40,34 @@ pub mod dataset;
 pub mod durability;
 pub mod features;
 pub mod inference;
+pub mod ops;
 pub mod optimizers;
 pub mod sampling;
 pub mod tuner;
 
-pub use dataset::{generate_conv_dataset, generate_gemm_dataset, DatasetOptions, OpKind};
+pub use dataset::{
+    generate_conv_dataset, generate_gemm_dataset, generate_sparse_dataset, DatasetOptions, OpKind,
+};
 pub use durability::{
     crc32, decode_wal, encode_record, CacheJournal, DurabilityIo, FaultIo, FaultPlan, StdIo,
     WalDecode, WalRecord, WalWriter,
 };
 pub use inference::{
-    engine_stats, enumerate_legal_conv, enumerate_legal_gemm, heuristic_conv, heuristic_gemm,
-    infer_conv, infer_conv_opts, infer_conv_serial, infer_conv_staged, infer_gemm, infer_gemm_opts,
-    infer_gemm_serial, infer_gemm_staged, rebench_conv, rebench_gemm, CascadeConfig, EngineStats,
-    InferOptions, StageBreakdown, TunedChoice,
+    engine_stats, enumerate_legal_conv, enumerate_legal_gemm, enumerate_legal_sparse,
+    heuristic_conv, heuristic_gemm, heuristic_sparse, infer_conv, infer_conv_opts,
+    infer_conv_serial, infer_conv_staged, infer_gemm, infer_gemm_opts, infer_gemm_serial,
+    infer_gemm_staged, infer_sparse, infer_sparse_opts, infer_sparse_serial, infer_sparse_staged,
+    rebench_conv, rebench_gemm, rebench_sparse, CascadeConfig, EngineStats, InferOptions,
+    StageBreakdown, TunedChoice,
 };
+pub use ops::{family, OpFamily};
+// The sparse family's input types are part of the tuner's public
+// currency (`KeyShape::Sparse`, `TuneKey::sparse`), so re-export them
+// alongside it for downstream crates -- plus the seeded matrix
+// generators and reference kernels the bench/serve harnesses drive the
+// family with.
+pub use isaac_sparse::{csr as sparse_csr, kernels as sparse_kernels};
+pub use isaac_sparse::{space_size as sparse_space_size, Csr, SparseOp, SparseShape};
 pub use optimizers::{exhaustive, genetic, simulated_annealing, SearchResult};
 pub use sampling::{acceptance_rate, cfg_seed, mix_seed, CategoricalSampler, UniformSampler};
 pub use tuner::{

@@ -1,0 +1,258 @@
+//! Pluggable op families: one trait object per operation kind, owning
+//! everything about the op that the generic tuning/serving machinery
+//! must not hardcode.
+//!
+//! The tuner pipeline (dataset generation, the exhaustive query engine,
+//! finalist re-benchmarking, warm-start, the degraded-mode heuristic) is
+//! the same loop for every operation; what differs per family is the
+//! tuning space, the legality rules, the analytical profile and the
+//! feature encoding. [`OpFamily`] packages those differences behind a
+//! `&'static dyn` registry ([`family`]), so `IsaacTuner` and the serving
+//! layer dispatch on [`OpKind`] exactly once -- here -- instead of
+//! growing a per-op `match` in every method. Adding an operation means
+//! adding a variant, a family struct and a registry row; the tuner,
+//! cache, WAL, snapshot and serving code paths pick it up unchanged.
+
+use crate::dataset::{
+    generate_conv_dataset, generate_gemm_dataset, generate_sparse_dataset, DatasetOptions, OpKind,
+};
+use crate::inference::{
+    heuristic_conv, heuristic_gemm, heuristic_sparse, infer_conv_opts, infer_gemm_opts,
+    infer_sparse_opts, rebench_conv, rebench_gemm, rebench_sparse, InferOptions, TunedChoice,
+};
+use crate::tuner::KeyShape;
+use isaac_device::{DeviceSpec, Measurement, Profiler};
+use isaac_gen::GemmConfig;
+use isaac_mlp::io::ModelBundle;
+use isaac_mlp::Dataset;
+
+/// Everything the generic tuning machinery needs from one operation
+/// family. Implementations are stateless unit structs; the per-process
+/// state they rely on (decoded space tables, encoded feature rows) lives
+/// in the family's own crate behind `OnceLock`s.
+pub trait OpFamily: Sync {
+    /// The kind this family implements.
+    fn kind(&self) -> OpKind;
+
+    /// Cold-tune `shape`: exhaustive model search over this family's
+    /// space plus top-k re-benchmark.
+    ///
+    /// # Panics
+    /// If `shape` belongs to a different family.
+    fn infer(
+        &self,
+        bundle: &ModelBundle,
+        shape: &KeyShape,
+        profiler: &Profiler,
+        opts: &InferOptions,
+    ) -> Option<TunedChoice>;
+
+    /// Re-measure one already-chosen configuration for `shape` (the unit
+    /// of cross-device warm-start); `None` if it is illegal there.
+    ///
+    /// # Panics
+    /// If `shape` belongs to a different family.
+    fn rebench(
+        &self,
+        cfg: &GemmConfig,
+        shape: &KeyShape,
+        profiler: &Profiler,
+    ) -> Option<Measurement>;
+
+    /// Model-free degraded-mode fallback choice for `shape`.
+    ///
+    /// # Panics
+    /// If `shape` belongs to a different family.
+    fn heuristic(&self, shape: &KeyShape, spec: &DeviceSpec) -> Option<TunedChoice>;
+
+    /// Generate this family's training dataset on the device behind
+    /// `profiler`.
+    fn generate_dataset(&self, profiler: &Profiler, opts: &DatasetOptions) -> Dataset;
+}
+
+fn wrong_family(family: OpKind, shape: &KeyShape) -> ! {
+    panic!("{family} op family asked about a {} shape", shape.kind())
+}
+
+struct GemmFamily;
+
+impl OpFamily for GemmFamily {
+    fn kind(&self) -> OpKind {
+        OpKind::Gemm
+    }
+
+    fn infer(
+        &self,
+        bundle: &ModelBundle,
+        shape: &KeyShape,
+        profiler: &Profiler,
+        opts: &InferOptions,
+    ) -> Option<TunedChoice> {
+        match shape {
+            KeyShape::Gemm(s) => infer_gemm_opts(bundle, s, profiler, opts),
+            other => wrong_family(OpKind::Gemm, other),
+        }
+    }
+
+    fn rebench(
+        &self,
+        cfg: &GemmConfig,
+        shape: &KeyShape,
+        profiler: &Profiler,
+    ) -> Option<Measurement> {
+        match shape {
+            KeyShape::Gemm(s) => rebench_gemm(cfg, s, profiler),
+            other => wrong_family(OpKind::Gemm, other),
+        }
+    }
+
+    fn heuristic(&self, shape: &KeyShape, spec: &DeviceSpec) -> Option<TunedChoice> {
+        match shape {
+            KeyShape::Gemm(s) => heuristic_gemm(s, spec),
+            other => wrong_family(OpKind::Gemm, other),
+        }
+    }
+
+    fn generate_dataset(&self, profiler: &Profiler, opts: &DatasetOptions) -> Dataset {
+        generate_gemm_dataset(profiler, opts)
+    }
+}
+
+struct ConvFamily;
+
+impl OpFamily for ConvFamily {
+    fn kind(&self) -> OpKind {
+        OpKind::Conv
+    }
+
+    fn infer(
+        &self,
+        bundle: &ModelBundle,
+        shape: &KeyShape,
+        profiler: &Profiler,
+        opts: &InferOptions,
+    ) -> Option<TunedChoice> {
+        match shape {
+            KeyShape::Conv(s) => infer_conv_opts(bundle, s, profiler, opts),
+            other => wrong_family(OpKind::Conv, other),
+        }
+    }
+
+    fn rebench(
+        &self,
+        cfg: &GemmConfig,
+        shape: &KeyShape,
+        profiler: &Profiler,
+    ) -> Option<Measurement> {
+        match shape {
+            KeyShape::Conv(s) => rebench_conv(cfg, s, profiler),
+            other => wrong_family(OpKind::Conv, other),
+        }
+    }
+
+    fn heuristic(&self, shape: &KeyShape, spec: &DeviceSpec) -> Option<TunedChoice> {
+        match shape {
+            KeyShape::Conv(s) => heuristic_conv(s, spec),
+            other => wrong_family(OpKind::Conv, other),
+        }
+    }
+
+    fn generate_dataset(&self, profiler: &Profiler, opts: &DatasetOptions) -> Dataset {
+        generate_conv_dataset(profiler, opts)
+    }
+}
+
+struct SparseFamily;
+
+impl OpFamily for SparseFamily {
+    fn kind(&self) -> OpKind {
+        OpKind::Sparse
+    }
+
+    fn infer(
+        &self,
+        bundle: &ModelBundle,
+        shape: &KeyShape,
+        profiler: &Profiler,
+        opts: &InferOptions,
+    ) -> Option<TunedChoice> {
+        match shape {
+            KeyShape::Sparse(s) => infer_sparse_opts(bundle, s, profiler, opts),
+            other => wrong_family(OpKind::Sparse, other),
+        }
+    }
+
+    fn rebench(
+        &self,
+        cfg: &GemmConfig,
+        shape: &KeyShape,
+        profiler: &Profiler,
+    ) -> Option<Measurement> {
+        match shape {
+            KeyShape::Sparse(s) => rebench_sparse(cfg, s, profiler),
+            other => wrong_family(OpKind::Sparse, other),
+        }
+    }
+
+    fn heuristic(&self, shape: &KeyShape, _spec: &DeviceSpec) -> Option<TunedChoice> {
+        match shape {
+            KeyShape::Sparse(s) => heuristic_sparse(s),
+            other => wrong_family(OpKind::Sparse, other),
+        }
+    }
+
+    fn generate_dataset(&self, profiler: &Profiler, opts: &DatasetOptions) -> Dataset {
+        generate_sparse_dataset(profiler, opts)
+    }
+}
+
+/// The op-family registry: the one place an [`OpKind`] is matched on.
+pub fn family(kind: OpKind) -> &'static dyn OpFamily {
+    match kind {
+        OpKind::Gemm => &GemmFamily,
+        OpKind::Conv => &ConvFamily,
+        OpKind::Sparse => &SparseFamily,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use isaac_device::specs::tesla_p100;
+    use isaac_device::DType;
+    use isaac_gen::shapes::GemmShape;
+    use isaac_sparse::{SparseOp, SparseShape};
+
+    #[test]
+    fn registry_returns_the_matching_family() {
+        for kind in OpKind::ALL {
+            assert_eq!(family(kind).kind(), kind);
+        }
+    }
+
+    #[test]
+    fn families_dispatch_heuristics_for_their_own_shapes() {
+        let spec = tesla_p100();
+        let gemm = KeyShape::Gemm(GemmShape::new(256, 256, 256, "N", "T", DType::F32));
+        assert!(family(OpKind::Gemm).heuristic(&gemm, &spec).is_some());
+        let sparse = KeyShape::Sparse(SparseShape {
+            op: SparseOp::Spmv,
+            rows: 4096,
+            nnz: 81920,
+            row_mean_milli: 20_000,
+            row_cv_milli: 500,
+            row_max: 64,
+            bandwidth: 128,
+            block_density_milli: 250,
+            dtype: DType::F32,
+        });
+        assert!(family(OpKind::Sparse).heuristic(&sparse, &spec).is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "sparse op family asked about a gemm shape")]
+    fn shape_family_mismatch_panics() {
+        let gemm = KeyShape::Gemm(GemmShape::new(8, 8, 8, "N", "N", DType::F32));
+        let _ = family(OpKind::Sparse).heuristic(&gemm, &tesla_p100());
+    }
+}

@@ -28,17 +28,16 @@
 //! neighbour's decisions by re-benchmarking them instead of
 //! cold-tuning.
 
-use crate::dataset::{generate_conv_dataset, generate_gemm_dataset, DatasetOptions, OpKind};
+use crate::dataset::{DatasetOptions, OpKind};
 use crate::durability::{CacheJournal, WalRecord};
-use crate::inference::{
-    infer_conv_opts, infer_gemm_opts, rebench_conv, rebench_gemm, CascadeConfig, InferOptions,
-    TunedChoice,
-};
+use crate::inference::{CascadeConfig, InferOptions, TunedChoice};
+use crate::ops::family;
 use isaac_device::{DType, DeviceSpec, Profiler};
 use isaac_gen::shapes::{ConvShape, GemmShape};
 use isaac_gen::{conv, gemm};
 use isaac_mlp::io::ModelBundle;
 use isaac_mlp::{Mlp, TrainConfig};
+use isaac_sparse::{kernels as sparse_kernels, Csr, SparseOp, SparseShape};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::HashMap;
@@ -78,6 +77,28 @@ pub enum ShapeKey {
         r: u32,
         /// Filter width.
         s: u32,
+    },
+    /// Sparse input parameters: operation plus the structural summary
+    /// (everything but the dtype). Sparse decisions are keyed by
+    /// *structure*, not by the concrete matrix -- two matrices with the
+    /// same summary share a tuning decision by design.
+    Sparse {
+        /// Which sparse operation (SpMV / SpTRSV / SymGS).
+        op: SparseOp,
+        /// Matrix rows.
+        rows: u32,
+        /// Stored non-zeros.
+        nnz: u32,
+        /// Mean non-zeros per row, in milli-units.
+        row_mean_milli: u32,
+        /// Coefficient of variation of row lengths, in milli-units.
+        row_cv_milli: u32,
+        /// Longest row.
+        row_max: u32,
+        /// Maximum `|col - row|` over stored entries.
+        bandwidth: u32,
+        /// Occupied fraction of 32x32 tiles, in milli-units.
+        block_density_milli: u32,
     },
 }
 
@@ -137,6 +158,25 @@ impl TuneKey {
         }
     }
 
+    /// Cache key for a sparse input (device 0).
+    pub fn sparse(shape: &SparseShape) -> Self {
+        TuneKey {
+            device: 0,
+            op: OpKind::Sparse,
+            dtype: shape.dtype,
+            shape: ShapeKey::Sparse {
+                op: shape.op,
+                rows: shape.rows,
+                nnz: shape.nnz,
+                row_mean_milli: shape.row_mean_milli,
+                row_cv_milli: shape.row_cv_milli,
+                row_max: shape.row_max,
+                bandwidth: shape.bandwidth,
+                block_density_milli: shape.block_density_milli,
+            },
+        }
+    }
+
     /// The same key rebound to a device ordinal.
     pub fn on_device(mut self, device: u16) -> Self {
         self.device = device;
@@ -180,6 +220,26 @@ impl TuneKey {
                 s,
                 dtype: self.dtype,
             }),
+            ShapeKey::Sparse {
+                op,
+                rows,
+                nnz,
+                row_mean_milli,
+                row_cv_milli,
+                row_max,
+                bandwidth,
+                block_density_milli,
+            } => KeyShape::Sparse(SparseShape {
+                op,
+                rows,
+                nnz,
+                row_mean_milli,
+                row_cv_milli,
+                row_max,
+                bandwidth,
+                block_density_milli,
+                dtype: self.dtype,
+            }),
         }
     }
 
@@ -219,6 +279,12 @@ impl TuneKey {
                     * f64::from(s)
                     * p
                     * q
+            }
+            // One multiply-add per stored non-zero per sweep; SymGS
+            // runs a forward and a backward sweep.
+            ShapeKey::Sparse { op, nnz, .. } => {
+                let sweeps = if op == SparseOp::Symgs { 2.0 } else { 1.0 };
+                2.0 * f64::from(nnz) * sweeps
             }
         };
         (1.0 + flops).log2()
@@ -262,6 +328,10 @@ impl TuneKey {
                 dtype: self.dtype,
             }
             .name(),
+            ShapeKey::Sparse { .. } => match self.to_shape() {
+                KeyShape::Sparse(shape) => shape.name(),
+                _ => unreachable!("sparse shape key reconstructs a sparse shape"),
+            },
         }
     }
 
@@ -324,18 +394,59 @@ impl TuneKey {
                 },
             })
         } else {
-            None
+            // "<op>_r<rows>_z<nnz>_m<mean>_c<cv>_x<max>_b<bw>_d<density>"
+            let shape = SparseShape::parse_body(rest, dtype)?;
+            Some(TuneKey::sparse(&shape))
         }
     }
 }
 
-/// A concrete input shape reconstructed from a [`TuneKey`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// A concrete input shape reconstructed from a [`TuneKey`] -- the
+/// op-agnostic shape currency the generic tuning and serving paths
+/// traffic in (see [`crate::ops::OpFamily`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum KeyShape {
     /// A GEMM input.
     Gemm(GemmShape),
     /// A CONV input.
     Conv(ConvShape),
+    /// A sparse input (structural summary; see [`SparseShape`]).
+    Sparse(SparseShape),
+}
+
+impl KeyShape {
+    /// The operation family this shape belongs to.
+    pub fn kind(&self) -> OpKind {
+        match self {
+            KeyShape::Gemm(_) => OpKind::Gemm,
+            KeyShape::Conv(_) => OpKind::Conv,
+            KeyShape::Sparse(_) => OpKind::Sparse,
+        }
+    }
+
+    /// Element type of the input.
+    pub fn dtype(&self) -> DType {
+        match self {
+            KeyShape::Gemm(s) => s.dtype,
+            KeyShape::Conv(s) => s.dtype,
+            KeyShape::Sparse(s) => s.dtype,
+        }
+    }
+
+    /// The device-0 cache key for this shape (rebind with
+    /// [`TuneKey::on_device`]); inverse of [`TuneKey::to_shape`].
+    pub fn key(&self) -> TuneKey {
+        match self {
+            KeyShape::Gemm(s) => TuneKey::gemm(s),
+            KeyShape::Conv(s) => TuneKey::conv(s),
+            KeyShape::Sparse(s) => TuneKey::sparse(s),
+        }
+    }
+
+    /// The mangled shape name (same string as [`TuneKey::name`]).
+    pub fn name(&self) -> String {
+        self.key().name()
+    }
 }
 
 /// Hit/miss/eviction counters of a [`TuneCache`], for the bench harness
@@ -977,10 +1088,7 @@ impl IsaacTuner {
             calibration: (opts.samples / 2).clamp(2_000, 20_000),
             seed: opts.seed,
         };
-        let raw = match kind {
-            OpKind::Gemm => generate_gemm_dataset(&profiler, &dopts),
-            OpKind::Conv => generate_conv_dataset(&profiler, &dopts),
-        };
+        let raw = family(kind).generate_dataset(&profiler, &dopts);
         let mut rng = StdRng::seed_from_u64(opts.seed ^ 0x5EED);
         let (mut train, mut val) = raw.split(0.1, &mut rng);
         let (sx, y_mean, y_std) = train.standardize();
@@ -1057,14 +1165,24 @@ impl IsaacTuner {
         &self.cache
     }
 
+    /// The cache key a query for `shape` resolves to on this tuner.
+    pub fn key_shape(&self, shape: &KeyShape) -> TuneKey {
+        shape.key().on_device(self.device_id)
+    }
+
     /// The cache key a GEMM query resolves to on this tuner.
     pub fn key_gemm(&self, shape: &GemmShape) -> TuneKey {
-        TuneKey::gemm(shape).on_device(self.device_id)
+        self.key_shape(&KeyShape::Gemm(*shape))
     }
 
     /// The cache key a CONV query resolves to on this tuner.
     pub fn key_conv(&self, shape: &ConvShape) -> TuneKey {
-        TuneKey::conv(shape).on_device(self.device_id)
+        self.key_shape(&KeyShape::Conv(*shape))
+    }
+
+    /// The cache key a sparse query resolves to on this tuner.
+    pub fn key_sparse(&self, shape: &SparseShape) -> TuneKey {
+        self.key_shape(&KeyShape::Sparse(*shape))
     }
 
     /// Operation kind.
@@ -1083,25 +1201,34 @@ impl IsaacTuner {
         &self.profiler
     }
 
-    /// Tune a GEMM input. Decisions are cached per `(op, dtype, shape)`
-    /// key: repeated queries are O(1) lock-shared lookups, safe to serve
-    /// from many threads at once.
-    pub fn tune_gemm(&self, shape: &GemmShape) -> Option<TunedChoice> {
-        let key = self.key_gemm(shape);
+    /// Tune any input shape. Decisions are cached per
+    /// `(op, dtype, shape)` key: repeated queries are O(1) lock-shared
+    /// lookups, safe to serve from many threads at once. The per-op
+    /// `tune_gemm`/`tune_conv`/`tune_sparse` wrappers are conveniences
+    /// over this method; the serving layer calls it directly and never
+    /// branches on the operation kind.
+    pub fn tune_shape(&self, shape: &KeyShape) -> Option<TunedChoice> {
+        let key = self.key_shape(shape);
         if let Some(hit) = self.cache.get(&key) {
             return Some(hit);
         }
-        self.tune_gemm_cold(shape)
+        self.tune_shape_cold(shape)
     }
 
     /// Run the cold tune for `shape` and publish the decision, without
     /// consulting the cache first. For callers (the serving router) that
     /// have already taken a counted miss on [`IsaacTuner::cache`] --
-    /// going through [`IsaacTuner::tune_gemm`] would double-count it.
-    pub fn tune_gemm_cold(&self, shape: &GemmShape) -> Option<TunedChoice> {
-        assert_eq!(self.kind, OpKind::Gemm, "this tuner was trained for CONV");
-        let choice = infer_gemm_opts(&self.bundle, shape, &self.profiler, &self.infer_options())?;
-        self.cache.insert(self.key_gemm(shape), choice.clone());
+    /// going through [`IsaacTuner::tune_shape`] would double-count it.
+    pub fn tune_shape_cold(&self, shape: &KeyShape) -> Option<TunedChoice> {
+        assert_eq!(
+            self.kind,
+            shape.kind(),
+            "this tuner was trained for {}",
+            self.kind.to_string().to_uppercase()
+        );
+        let choice =
+            family(self.kind).infer(&self.bundle, shape, &self.profiler, &self.infer_options())?;
+        self.cache.insert(self.key_shape(shape), choice.clone());
         Some(choice)
     }
 
@@ -1115,38 +1242,65 @@ impl IsaacTuner {
         }
     }
 
-    /// Tune a CONV input; see [`IsaacTuner::tune_gemm`] for caching.
+    /// Tune a GEMM input; see [`IsaacTuner::tune_shape`].
+    pub fn tune_gemm(&self, shape: &GemmShape) -> Option<TunedChoice> {
+        self.tune_shape(&KeyShape::Gemm(*shape))
+    }
+
+    /// Cold-tune a GEMM input without the cache lookup; see
+    /// [`IsaacTuner::tune_shape_cold`].
+    pub fn tune_gemm_cold(&self, shape: &GemmShape) -> Option<TunedChoice> {
+        self.tune_shape_cold(&KeyShape::Gemm(*shape))
+    }
+
+    /// Tune a CONV input; see [`IsaacTuner::tune_shape`].
     pub fn tune_conv(&self, shape: &ConvShape) -> Option<TunedChoice> {
-        let key = self.key_conv(shape);
-        if let Some(hit) = self.cache.get(&key) {
-            return Some(hit);
-        }
-        self.tune_conv_cold(shape)
+        self.tune_shape(&KeyShape::Conv(*shape))
     }
 
     /// Cold-tune a CONV input without the cache lookup; see
-    /// [`IsaacTuner::tune_gemm_cold`].
+    /// [`IsaacTuner::tune_shape_cold`].
     pub fn tune_conv_cold(&self, shape: &ConvShape) -> Option<TunedChoice> {
-        assert_eq!(self.kind, OpKind::Conv, "this tuner was trained for GEMM");
-        let choice = infer_conv_opts(&self.bundle, shape, &self.profiler, &self.infer_options())?;
-        self.cache.insert(self.key_conv(shape), choice.clone());
-        Some(choice)
+        self.tune_shape_cold(&KeyShape::Conv(*shape))
     }
 
-    /// Model-free heuristic choice for a GEMM shape on this tuner's
-    /// device: the largest-legal-tile rule
-    /// ([`crate::inference::heuristic_gemm`]). Never touches the MLP,
+    /// Tune a sparse input; see [`IsaacTuner::tune_shape`].
+    pub fn tune_sparse(&self, shape: &SparseShape) -> Option<TunedChoice> {
+        self.tune_shape(&KeyShape::Sparse(*shape))
+    }
+
+    /// Cold-tune a sparse input without the cache lookup; see
+    /// [`IsaacTuner::tune_shape_cold`].
+    pub fn tune_sparse_cold(&self, shape: &SparseShape) -> Option<TunedChoice> {
+        self.tune_shape_cold(&KeyShape::Sparse(*shape))
+    }
+
+    /// Model-free heuristic choice for any input shape on this tuner's
+    /// device (e.g. the largest-legal-tile rule for GEMM,
+    /// [`crate::inference::heuristic_gemm`]). Never touches the MLP,
     /// the profiler, or the cache -- the serving layer's degraded mode
     /// uses it when the tuned path is unhealthy, and must not publish
     /// the result as an authoritative decision.
+    pub fn heuristic_shape(&self, shape: &KeyShape) -> Option<TunedChoice> {
+        family(shape.kind()).heuristic(shape, &self.spec)
+    }
+
+    /// Model-free heuristic choice for a GEMM shape; see
+    /// [`IsaacTuner::heuristic_shape`].
     pub fn heuristic_gemm(&self, shape: &GemmShape) -> Option<TunedChoice> {
-        crate::inference::heuristic_gemm(shape, &self.spec)
+        self.heuristic_shape(&KeyShape::Gemm(*shape))
     }
 
     /// Model-free heuristic choice for a convolution; see
-    /// [`IsaacTuner::heuristic_gemm`].
+    /// [`IsaacTuner::heuristic_shape`].
     pub fn heuristic_conv(&self, shape: &ConvShape) -> Option<TunedChoice> {
-        crate::inference::heuristic_conv(shape, &self.spec)
+        self.heuristic_shape(&KeyShape::Conv(*shape))
+    }
+
+    /// Model-free heuristic choice for a sparse input; see
+    /// [`IsaacTuner::heuristic_shape`].
+    pub fn heuristic_sparse(&self, shape: &SparseShape) -> Option<TunedChoice> {
+        self.heuristic_shape(&KeyShape::Sparse(*shape))
     }
 
     /// Tune and *execute* a single-precision (or half-precision) GEMM on
@@ -1169,6 +1323,16 @@ impl IsaacTuner {
         let choice = self.tune_conv(shape)?;
         let (o, _) = conv::run_f32(&choice.config, shape, input, filters).ok()?;
         Some(o)
+    }
+
+    /// Tune an SpMV for `a`'s structure and execute `y = A * x` with the
+    /// scalar reference kernel. The tuning decision is keyed by the
+    /// matrix's structural summary, so every matrix sharing that summary
+    /// reuses it.
+    pub fn spmv_f32(&self, a: &Csr, x: &[f32]) -> Option<Vec<f32>> {
+        let shape = SparseShape::from_csr(SparseOp::Spmv, a, DType::F32);
+        let _choice = self.tune_sparse(&shape)?;
+        Some(sparse_kernels::spmv(a, x))
     }
 
     /// Number of cached tuning decisions.
@@ -1282,10 +1446,8 @@ impl IsaacTuner {
                 report.skipped += 1;
                 continue;
             }
-            let measured = match local.to_shape() {
-                KeyShape::Gemm(shape) => rebench_gemm(&choice.config, &shape, &self.profiler),
-                KeyShape::Conv(shape) => rebench_conv(&choice.config, &shape, &self.profiler),
-            };
+            let measured =
+                family(self.kind).rebench(&choice.config, &local.to_shape(), &self.profiler);
             match measured {
                 Some(m) => {
                     self.cache.insert(
@@ -1494,6 +1656,39 @@ mod tests {
         assert_eq!(TuneKey::parse("xgemm_nt_1x2x3"), None);
         assert_eq!(TuneKey::parse("sgemm_nt_1x2"), None);
         assert_eq!(TuneKey::parse("snonsense"), None);
+    }
+
+    #[test]
+    fn sparse_key_name_roundtrips() {
+        let a = isaac_sparse::csr::power_law(600, 9, 3);
+        for op in SparseOp::ALL {
+            let shape = SparseShape::from_csr(op, &a, DType::F32);
+            let key = TuneKey::sparse(&shape);
+            assert_eq!(key.op, OpKind::Sparse);
+            assert_eq!(key.name(), shape.name());
+            assert_eq!(TuneKey::parse(&key.name()), Some(key));
+            assert_eq!(key.to_shape(), KeyShape::Sparse(shape));
+            assert_eq!(KeyShape::Sparse(shape).key(), key);
+            assert_eq!(KeyShape::Sparse(shape).kind(), OpKind::Sparse);
+        }
+        assert_eq!(TuneKey::parse("sspmv_r10_z20"), None, "truncated name");
+    }
+
+    #[test]
+    fn sparse_retune_cost_scales_with_nnz_and_sweeps() {
+        let a = isaac_sparse::csr::banded(4096, 6, 1);
+        let spmv = TuneKey::sparse(&SparseShape::from_csr(SparseOp::Spmv, &a, DType::F32));
+        let symgs = TuneKey::sparse(&SparseShape::from_csr(SparseOp::Symgs, &a, DType::F32));
+        assert!(
+            symgs.retune_cost() > spmv.retune_cost(),
+            "two sweeps cost more than one"
+        );
+        let small = TuneKey::sparse(&SparseShape::from_csr(
+            SparseOp::Spmv,
+            &isaac_sparse::csr::banded(64, 2, 1),
+            DType::F32,
+        ));
+        assert!(spmv.retune_cost() > small.retune_cost());
     }
 
     #[test]
@@ -2006,6 +2201,44 @@ mod tests {
         let _ = std::fs::remove_file(&path);
     }
 
+    /// Forward compatibility of the cache file: a line whose op tag
+    /// belongs to a *future* op family (hand-written here in a
+    /// plausible v-next layout) is skipped and counted, and the known
+    /// entries around it still load -- one newer-build line must never
+    /// poison an older build's recovery.
+    #[test]
+    fn future_op_cache_lines_are_skipped_and_counted() {
+        let path = std::env::temp_dir().join("isaac_test_cache_vnext.txt");
+        let tuner = IsaacTuner::train(tesla_p100(), OpKind::Gemm, quick_options());
+        let good_line = {
+            tuner.tune_gemm(&GemmShape::new(96, 64, 48, "N", "T", DType::F32));
+            tuner.save_cache(&path).unwrap();
+            let text = std::fs::read_to_string(&path).unwrap();
+            text.lines().nth(1).unwrap().to_string()
+        };
+        std::fs::write(
+            &path,
+            format!(
+                "isaac-kernel-cache v2 device 3\n\
+                 sfft_n1024_b8_w4 1 1 1 1 1 1 1 1 1 1.0e2 2.0e-1 3.0e-3\n\
+                 {good_line}\n\
+                 dstencil_x64_y64_z64_h2 2 1 4 1 1 1 1 1 1 5.0e1 1.0e-1 2.0e-3\n"
+            ),
+        )
+        .unwrap();
+        let fresh = IsaacTuner::train(tesla_p100(), OpKind::Gemm, quick_options());
+        let report = fresh.load_cache(&path).expect("header is valid");
+        assert_eq!(
+            report,
+            CacheLoadReport {
+                loaded: 1,
+                skipped: 2
+            },
+            "the good entry loads; both v-next lines are skipped and counted"
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
     #[test]
     fn warm_start_seeds_from_neighbour_without_cold_tunes() {
         let neighbour = IsaacTuner::train(tesla_p100(), OpKind::Gemm, quick_options());
@@ -2079,5 +2312,64 @@ mod tests {
         );
         let shape = GemmShape::new(64, 64, 64, "N", "N", DType::F32);
         let _ = tuner.tune_gemm(&shape);
+    }
+
+    #[test]
+    fn sparse_tuner_tunes_caches_and_executes() {
+        let tuner = IsaacTuner::train(tesla_p100(), OpKind::Sparse, quick_options());
+        let a = isaac_sparse::csr::banded(2048, 5, 7);
+        let shape = SparseShape::from_csr(SparseOp::Spmv, &a, DType::F32);
+        let first = tuner.tune_sparse(&shape).expect("sparse shape tunes");
+        assert!(
+            isaac_sparse::space::check(&first.config, &shape).is_ok(),
+            "chosen config is legal for the input"
+        );
+        assert!(first.time_s > 0.0);
+        let again = tuner.tune_sparse(&shape).expect("cached");
+        assert_eq!(first, again, "repeat queries serve the cached decision");
+        assert_eq!(tuner.cache_len(), 1);
+        assert_eq!(tuner.cache_stats().hits, 1);
+
+        // End-to-end execution: the tune keys off the matrix structure,
+        // the reference kernel computes the product.
+        let x: Vec<f32> = (0..2048).map(|i| (i % 7) as f32 * 0.25).collect();
+        let y = tuner.spmv_f32(&a, &x).expect("executes");
+        assert_eq!(y, isaac_sparse::kernels::spmv(&a, &x));
+        assert_eq!(tuner.cache_len(), 1, "same structure reuses the decision");
+
+        // The model-free heuristic never touches the cache.
+        let stats = tuner.cache_stats();
+        assert!(tuner.heuristic_sparse(&shape).is_some());
+        assert_eq!(tuner.cache_stats(), stats);
+    }
+
+    #[test]
+    fn sparse_cache_text_roundtrips_through_load() {
+        let tuner = IsaacTuner::train(tesla_p100(), OpKind::Sparse, quick_options());
+        for rows in [512, 1024, 2048] {
+            let a = isaac_sparse::csr::random_uniform(rows, 6, rows as u64);
+            let shape = SparseShape::from_csr(SparseOp::Spmv, &a, DType::F32);
+            tuner.tune_sparse(&shape).expect("tunes");
+        }
+        let text = tuner.cache_text();
+        let other = IsaacTuner::train(tesla_p100(), OpKind::Sparse, quick_options());
+        let report = other.load_cache_text(&text).expect("parses");
+        assert_eq!(
+            report,
+            CacheLoadReport {
+                loaded: 3,
+                skipped: 0
+            }
+        );
+        // The persisted text has 6-significant-digit measurements, so
+        // compare keys and configurations, not the float payloads.
+        let kc = |t: &IsaacTuner| -> Vec<(TuneKey, isaac_gen::GemmConfig)> {
+            t.cache()
+                .entries()
+                .into_iter()
+                .map(|(k, c, _)| (k, c.config))
+                .collect()
+        };
+        assert_eq!(kc(&other), kc(&tuner));
     }
 }

@@ -8,18 +8,16 @@
 //! every position, so a batch with heavy repetition costs one resolution
 //! per *unique* key.
 
-use isaac_core::{OpKind, TuneKey, TunedChoice};
+use isaac_core::{KeyShape, OpKind, SparseShape, TuneKey, TunedChoice};
 use isaac_gen::shapes::{ConvShape, GemmShape};
 use std::collections::HashMap;
 
-/// The input of one tuning query.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub enum QueryShape {
-    /// A GEMM input.
-    Gemm(GemmShape),
-    /// A CONV input.
-    Conv(ConvShape),
-}
+/// The input of one tuning query: any op family's shape, in the
+/// op-agnostic currency the core tuner keys on. The serving layer never
+/// matches on the variants -- keys, operation kinds and cold tunes all
+/// come from [`KeyShape`]'s own methods and the core's op-family
+/// registry, so a new operation flows through untouched.
+pub type QueryShape = KeyShape;
 
 /// One tuning query addressed to a device shard.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -31,36 +29,34 @@ pub struct Query {
 }
 
 impl Query {
+    /// A query for any op family's shape on a device shard.
+    pub fn new(device: u16, shape: QueryShape) -> Self {
+        Query { device, shape }
+    }
+
     /// A GEMM query for a device shard.
     pub fn gemm(device: u16, shape: GemmShape) -> Self {
-        Query {
-            device,
-            shape: QueryShape::Gemm(shape),
-        }
+        Query::new(device, KeyShape::Gemm(shape))
     }
 
     /// A CONV query for a device shard.
     pub fn conv(device: u16, shape: ConvShape) -> Self {
-        Query {
-            device,
-            shape: QueryShape::Conv(shape),
-        }
+        Query::new(device, KeyShape::Conv(shape))
+    }
+
+    /// A sparse query for a device shard.
+    pub fn sparse(device: u16, shape: SparseShape) -> Self {
+        Query::new(device, KeyShape::Sparse(shape))
     }
 
     /// The cache/flight key this query resolves to.
     pub fn key(&self) -> TuneKey {
-        match self.shape {
-            QueryShape::Gemm(ref s) => TuneKey::gemm(s).on_device(self.device),
-            QueryShape::Conv(ref s) => TuneKey::conv(s).on_device(self.device),
-        }
+        self.shape.key().on_device(self.device)
     }
 
     /// The operation this query needs a tuner for.
     pub fn op(&self) -> OpKind {
-        match self.shape {
-            QueryShape::Gemm(_) => OpKind::Gemm,
-            QueryShape::Conv(_) => OpKind::Conv,
-        }
+        self.shape.kind()
     }
 }
 
@@ -80,8 +76,8 @@ pub enum Served {
     /// shard was removed or replaced while the tune was in flight, or
     /// the service shut down. `choice` is always `None`.
     Failed,
-    /// Served by the model-free heuristic fallback
-    /// ([`isaac_core::heuristic_gemm`]) because the tuned path is
+    /// Served by the op family's model-free heuristic fallback
+    /// ([`isaac_core::IsaacTuner::heuristic_shape`]) because the tuned path is
     /// unhealthy: the shard's circuit breaker is open, the key is
     /// quarantined after repeated tune faults, or this flight exhausted
     /// its retry budget. `choice` carries the heuristic configuration

@@ -36,12 +36,7 @@ pub fn parse_wal_file_name(name: &str) -> Option<(u16, OpKind)> {
     let rest = name.strip_prefix("shard-")?.strip_suffix(".wal")?;
     let (device, op) = rest.split_once('-')?;
     let device = device.parse().ok()?;
-    let op = match op {
-        "gemm" => OpKind::Gemm,
-        "conv" => OpKind::Conv,
-        _ => return None,
-    };
-    Some((device, op))
+    Some((device, OpKind::parse(op)?))
 }
 
 /// Per-shard outcome of [`recover_shard`].
@@ -154,6 +149,9 @@ pub(crate) fn recover_shard(
     let bytes = io.read(&wal)?;
     let decode = decode_wal(&bytes, device);
     recovery.torn_records = decode.torn_records;
+    // CRC-valid records from a future format version: skipped, not
+    // treated as corruption (see `WalDecode::skipped`).
+    recovery.skipped += decode.skipped;
     if (decode.valid_len as u64) < wal_len {
         // Torn-write contract: drop the untrusted tail *on disk* too,
         // so appends resumed after recovery extend a clean log instead

@@ -148,30 +148,21 @@ impl Default for RetryPolicy {
     }
 }
 
-/// The tuners of one device.
+/// The tuners of one device, keyed by operation. Op-agnostic on
+/// purpose: a new op family registered in `isaac-core` gets a slot here
+/// without the serving layer changing.
 #[derive(Debug, Default)]
 struct Shard {
-    gemm: Option<Arc<IsaacTuner>>,
-    conv: Option<Arc<IsaacTuner>>,
+    tuners: BTreeMap<OpKind, Arc<IsaacTuner>>,
 }
 
 impl Shard {
     fn tuner(&self, op: OpKind) -> Option<&Arc<IsaacTuner>> {
-        match op {
-            OpKind::Gemm => self.gemm.as_ref(),
-            OpKind::Conv => self.conv.as_ref(),
-        }
-    }
-
-    fn slot_mut(&mut self, op: OpKind) -> &mut Option<Arc<IsaacTuner>> {
-        match op {
-            OpKind::Gemm => &mut self.gemm,
-            OpKind::Conv => &mut self.conv,
-        }
+        self.tuners.get(&op)
     }
 
     fn is_empty(&self) -> bool {
-        self.gemm.is_none() && self.conv.is_none()
+        self.tuners.is_empty()
     }
 }
 
@@ -403,10 +394,7 @@ impl ServiceCore {
 
     /// The model-free heuristic stand-in for one shape.
     fn heuristic_for(tuner: &IsaacTuner, shape: &QueryShape) -> Option<TunedChoice> {
-        match shape {
-            QueryShape::Gemm(s) => tuner.heuristic_gemm(s),
-            QueryShape::Conv(s) => tuner.heuristic_conv(s),
-        }
+        tuner.heuristic_shape(shape)
     }
 
     /// Schedule a background repair for a ledgered key, unless one is
@@ -644,9 +632,10 @@ impl ServiceCore {
         let map = self.shards.read().expect("shard map poisoned");
         map.iter()
             .flat_map(|(&device, shard)| {
-                [OpKind::Gemm, OpKind::Conv]
-                    .into_iter()
-                    .filter_map(move |op| shard.tuner(op).map(|t| (device, op, Arc::clone(t))))
+                shard
+                    .tuners
+                    .iter()
+                    .map(move |(&op, t)| (device, op, Arc::clone(t)))
             })
             .collect()
     }
@@ -843,11 +832,7 @@ impl ServiceCore {
                     FaultKind::Slow(delay) => std::thread::sleep(delay),
                 }
             }
-            let choice = match job.shape {
-                QueryShape::Gemm(ref s) => job.tuner.tune_gemm_cold(s),
-                QueryShape::Conv(ref s) => job.tuner.tune_conv_cold(s),
-            };
-            Attempt::Cold(choice)
+            Attempt::Cold(job.tuner.tune_shape_cold(&job.shape))
         }));
         match outcome {
             Ok(Attempt::Rehit(hit)) => {
@@ -996,10 +981,7 @@ impl ServiceCore {
                     FaultKind::Slow(delay) => std::thread::sleep(delay),
                 }
             }
-            Probe::Done(match shape {
-                QueryShape::Gemm(ref s) => tuner.tune_gemm_cold(s),
-                QueryShape::Conv(ref s) => tuner.tune_conv_cold(s),
-            })
+            Probe::Done(tuner.tune_shape_cold(&shape))
         }));
         match outcome {
             Ok(Probe::Done(choice)) => {
@@ -1143,8 +1125,8 @@ impl TuneService {
             shards
                 .entry(device)
                 .or_default()
-                .slot_mut(op)
-                .replace(Arc::clone(&tuner))
+                .tuners
+                .insert(op, Arc::clone(&tuner))
         };
         if let Some(old) = &old {
             self.core
@@ -1170,7 +1152,7 @@ impl TuneService {
         let removed = {
             let mut shards = self.core.shards.write().expect("shard map poisoned");
             let shard = shards.get_mut(&device)?;
-            let removed = shard.slot_mut(op).take();
+            let removed = shard.tuners.remove(&op);
             if shard.is_empty() {
                 shards.remove(&device);
             }
@@ -1969,12 +1951,7 @@ pub fn parse_snapshot_file_name(name: &str) -> Option<(u16, OpKind)> {
     let rest = name.strip_prefix("shard-")?.strip_suffix(".cache")?;
     let (device, op) = rest.split_once('-')?;
     let device = device.parse().ok()?;
-    let op = match op {
-        "gemm" => OpKind::Gemm,
-        "conv" => OpKind::Conv,
-        _ => return None,
-    };
-    Some((device, op))
+    Some((device, OpKind::parse(op)?))
 }
 
 #[cfg(test)]

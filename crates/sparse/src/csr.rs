@@ -1,0 +1,264 @@
+//! Compressed-sparse-row matrices and seeded synthetic generators.
+//!
+//! The four generators cover the structural regimes the tuner must
+//! distinguish: narrow bands (stencils), uniform random scatter
+//! (graphs), power-law row lengths (web/social matrices) and dense
+//! blocks (FEM). All are deterministic in their seed, force a nonzero
+//! diagonal (so every matrix is usable by the triangular solve and
+//! Gauss-Seidel kernels) and keep column indices sorted within each row.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A square sparse matrix in CSR layout.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Csr {
+    /// Number of rows (and columns; all generators produce square
+    /// matrices, which the solve/smooth kernels require).
+    pub rows: usize,
+    /// Row start offsets into `col_idx`/`vals`; length `rows + 1`.
+    pub row_ptr: Vec<u32>,
+    /// Column index of each stored entry, sorted within a row.
+    pub col_idx: Vec<u32>,
+    /// Stored values.
+    pub vals: Vec<f32>,
+}
+
+impl Csr {
+    /// Number of stored entries.
+    pub fn nnz(&self) -> usize {
+        self.col_idx.len()
+    }
+
+    /// The `(columns, values)` slices of row `i`.
+    pub fn row(&self, i: usize) -> (&[u32], &[f32]) {
+        let (lo, hi) = (self.row_ptr[i] as usize, self.row_ptr[i + 1] as usize);
+        (&self.col_idx[lo..hi], &self.vals[lo..hi])
+    }
+
+    /// The stored diagonal entry of row `i` (every generator forces one).
+    pub fn diag(&self, i: usize) -> f32 {
+        let (cols, vals) = self.row(i);
+        let pos = cols
+            .iter()
+            .position(|&c| c as usize == i)
+            .expect("generators always store the diagonal");
+        vals[pos]
+    }
+
+    /// The strictly-lower-triangle-plus-diagonal submatrix, for the
+    /// forward solve.
+    pub fn lower_triangle(&self) -> Csr {
+        let mut row_ptr = Vec::with_capacity(self.rows + 1);
+        let mut col_idx = Vec::new();
+        let mut vals = Vec::new();
+        row_ptr.push(0);
+        for i in 0..self.rows {
+            let (cols, vs) = self.row(i);
+            for (&c, &v) in cols.iter().zip(vs) {
+                if c as usize <= i {
+                    col_idx.push(c);
+                    vals.push(v);
+                }
+            }
+            row_ptr.push(col_idx.len() as u32);
+        }
+        Csr {
+            rows: self.rows,
+            row_ptr,
+            col_idx,
+            vals,
+        }
+    }
+
+    /// Assemble from per-row `(column, value)` lists: sorts each row,
+    /// keeps the last value per duplicate column, and forces a
+    /// diagonally-dominant pivot so triangular solves stay
+    /// well-conditioned.
+    fn from_rows(mut rows: Vec<Vec<(u32, f32)>>) -> Csr {
+        let n = rows.len();
+        let mut row_ptr = Vec::with_capacity(n + 1);
+        let mut col_idx = Vec::new();
+        let mut vals = Vec::new();
+        row_ptr.push(0u32);
+        for (i, row) in rows.iter_mut().enumerate() {
+            row.sort_by_key(|&(c, _)| c);
+            row.dedup_by_key(|&mut (c, _)| c);
+            let off_diag: f32 = row
+                .iter()
+                .filter(|&&(c, _)| c as usize != i)
+                .map(|&(_, v)| v.abs())
+                .sum();
+            for &(c, v) in row.iter() {
+                col_idx.push(c);
+                vals.push(if c as usize == i { off_diag + 1.0 } else { v });
+            }
+            if !row.iter().any(|&(c, _)| c as usize == i) {
+                // Diagonal missing: insert it in sorted position.
+                let at = row.partition_point(|&(c, _)| (c as usize) < i);
+                let base = row_ptr[i] as usize;
+                col_idx.insert(base + at, i as u32);
+                vals.insert(base + at, off_diag + 1.0);
+            }
+            row_ptr.push(col_idx.len() as u32);
+        }
+        Csr {
+            rows: n,
+            row_ptr,
+            col_idx,
+            vals,
+        }
+    }
+}
+
+fn val(rng: &mut StdRng) -> f32 {
+    rng.gen_range(-1.0..1.0)
+}
+
+/// Banded matrix: every entry within `half_bandwidth` of the diagonal is
+/// stored with probability ~0.9 (stencil-like structure, tiny bandwidth,
+/// near-constant row lengths).
+pub fn banded(rows: usize, half_bandwidth: usize, seed: u64) -> Csr {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x0BA0_D5EE_D001);
+    let data = (0..rows)
+        .map(|i| {
+            let lo = i.saturating_sub(half_bandwidth);
+            let hi = (i + half_bandwidth).min(rows - 1);
+            let mut row = Vec::with_capacity(hi - lo + 1);
+            for j in lo..=hi {
+                if j == i || rng.gen_bool(0.9) {
+                    row.push((j as u32, val(&mut rng)));
+                }
+            }
+            row
+        })
+        .collect();
+    Csr::from_rows(data)
+}
+
+/// Uniform random scatter: each row stores `nnz_per_row` entries at
+/// uniform columns (full bandwidth, near-constant row lengths, no
+/// locality in the gather).
+pub fn random_uniform(rows: usize, nnz_per_row: usize, seed: u64) -> Csr {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x0BA0_D5EE_D002);
+    let data = (0..rows)
+        .map(|_| {
+            (0..nnz_per_row)
+                .map(|_| (rng.gen_range(0..rows) as u32, val(&mut rng)))
+                .collect()
+        })
+        .collect();
+    Csr::from_rows(data)
+}
+
+/// Power-law row lengths: row `i`'s nnz follows a heavy-tailed draw
+/// around `mean_nnz` (web-graph structure: a few enormous rows dominate
+/// warp-level load balance).
+pub fn power_law(rows: usize, mean_nnz: usize, seed: u64) -> Csr {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x0BA0_D5EE_D003);
+    let data = (0..rows)
+        .map(|_| {
+            let u: f64 = rng.gen_range(0.005..1.0);
+            let len = ((mean_nnz as f64 * 0.4) / u.sqrt()).round() as usize;
+            let len = len.clamp(1, rows);
+            (0..len)
+                .map(|_| (rng.gen_range(0..rows) as u32, val(&mut rng)))
+                .collect()
+        })
+        .collect();
+    Csr::from_rows(data)
+}
+
+/// Blocked structure: the matrix is tiled into `block x block` tiles and
+/// each block-row stores a handful of dense tiles (FEM-style structure
+/// where row-blocking and vectorized loads pay off).
+pub fn blocked(rows: usize, block: usize, tiles_per_block_row: usize, seed: u64) -> Csr {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x0BA0_D5EE_D004);
+    let nblocks = rows.div_ceil(block);
+    let mut data: Vec<Vec<(u32, f32)>> = vec![Vec::new(); rows];
+    for bi in 0..nblocks {
+        let mut targets: Vec<usize> = vec![bi]; // diagonal tile always present
+        for _ in 1..tiles_per_block_row.max(1) {
+            targets.push(rng.gen_range(0..nblocks));
+        }
+        for bj in targets {
+            let rows_in_tile = &mut data[bi * block..((bi + 1) * block).min(rows)];
+            for row in rows_in_tile {
+                for j in bj * block..((bj + 1) * block).min(rows) {
+                    row.push((j as u32, val(&mut rng)));
+                }
+            }
+        }
+    }
+    Csr::from_rows(data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn well_formed(a: &Csr) {
+        assert_eq!(a.row_ptr.len(), a.rows + 1);
+        assert_eq!(a.row_ptr[0], 0);
+        assert_eq!(*a.row_ptr.last().unwrap() as usize, a.nnz());
+        for i in 0..a.rows {
+            let (cols, _) = a.row(i);
+            assert!(cols.windows(2).all(|w| w[0] < w[1]), "row {i} not sorted");
+            assert!(cols.iter().all(|&c| (c as usize) < a.rows));
+            assert!(a.diag(i).abs() >= 1.0, "weak pivot in row {i}");
+        }
+    }
+
+    #[test]
+    fn generators_produce_well_formed_matrices() {
+        for a in [
+            banded(200, 4, 7),
+            random_uniform(200, 9, 7),
+            power_law(200, 12, 7),
+            blocked(200, 4, 3, 7),
+        ] {
+            well_formed(&a);
+            assert!(a.nnz() >= a.rows, "diagonal must always be stored");
+        }
+    }
+
+    #[test]
+    fn generators_are_seed_deterministic() {
+        assert_eq!(power_law(128, 8, 42), power_law(128, 8, 42));
+        assert_ne!(power_law(128, 8, 42), power_law(128, 8, 43));
+    }
+
+    #[test]
+    fn banded_respects_its_bandwidth() {
+        let a = banded(300, 5, 1);
+        for i in 0..a.rows {
+            let (cols, _) = a.row(i);
+            for &c in cols {
+                assert!((c as i64 - i as i64).unsigned_abs() <= 5);
+            }
+        }
+    }
+
+    #[test]
+    fn power_law_rows_are_skewed() {
+        let a = power_law(2000, 16, 3);
+        let lens: Vec<usize> = (0..a.rows).map(|i| a.row(i).0.len()).collect();
+        let max = *lens.iter().max().unwrap() as f64;
+        let mean = lens.iter().sum::<usize>() as f64 / lens.len() as f64;
+        assert!(
+            max > 4.0 * mean,
+            "expected heavy tail: max {max} vs mean {mean}"
+        );
+    }
+
+    #[test]
+    fn lower_triangle_keeps_only_lower_entries() {
+        let a = random_uniform(100, 8, 9);
+        let l = a.lower_triangle();
+        well_formed(&l);
+        for i in 0..l.rows {
+            let (cols, _) = l.row(i);
+            assert!(cols.iter().all(|&c| c as usize <= i));
+        }
+    }
+}

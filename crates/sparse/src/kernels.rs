@@ -1,0 +1,226 @@
+//! Scalar reference kernels pinning the semantics of the sparse family.
+//!
+//! These are the ground truth every tuned variant must reproduce. The
+//! level-scheduled triangular solve is the interesting one: level
+//! scheduling reorders the work into dependency levels that a GPU would
+//! run as one grid launch (or barrier) per level, and the test suite
+//! pins that this reordering is *bit-identical* to plain sequential
+//! forward substitution -- rows within a level touch only columns from
+//! strictly earlier levels, so per-row arithmetic order is unchanged.
+
+use crate::csr::Csr;
+
+/// `y = A x`.
+pub fn spmv(a: &Csr, x: &[f32]) -> Vec<f32> {
+    assert_eq!(x.len(), a.rows);
+    (0..a.rows)
+        .map(|i| {
+            let (cols, vals) = a.row(i);
+            cols.iter()
+                .zip(vals)
+                .map(|(&c, &v)| v * x[c as usize])
+                .sum()
+        })
+        .collect()
+}
+
+/// Group the rows of lower-triangular `l` into dependency levels: a row
+/// lands in level `1 + max(level of its off-diagonal columns)`. Rows in
+/// one level only depend on earlier levels, so a solver may process a
+/// whole level in parallel between global barriers. Returns the levels
+/// in order; concatenated they are a permutation of `0..rows`.
+pub fn levels(l: &Csr) -> Vec<Vec<u32>> {
+    let mut level_of = vec![0usize; l.rows];
+    let mut out: Vec<Vec<u32>> = Vec::new();
+    for i in 0..l.rows {
+        let (cols, _) = l.row(i);
+        let lvl = cols
+            .iter()
+            .filter(|&&c| (c as usize) < i)
+            .map(|&c| level_of[c as usize] + 1)
+            .max()
+            .unwrap_or(0);
+        level_of[i] = lvl;
+        if out.len() <= lvl {
+            out.resize(lvl + 1, Vec::new());
+        }
+        out[lvl].push(i as u32);
+    }
+    out
+}
+
+fn solve_row(l: &Csr, b: &[f32], x: &[f32], i: usize) -> f32 {
+    let (cols, vals) = l.row(i);
+    let mut acc = b[i];
+    let mut diag = 1.0f32;
+    for (&c, &v) in cols.iter().zip(vals) {
+        if (c as usize) < i {
+            acc -= v * x[c as usize];
+        } else {
+            diag = v;
+        }
+    }
+    acc / diag
+}
+
+/// Sequential forward substitution `L x = b`; the semantic baseline.
+pub fn sptrsv_sequential(l: &Csr, b: &[f32]) -> Vec<f32> {
+    assert_eq!(b.len(), l.rows);
+    let mut x = vec![0.0f32; l.rows];
+    for i in 0..l.rows {
+        x[i] = solve_row(l, b, &x, i);
+    }
+    x
+}
+
+/// Level-scheduled forward substitution `L x = b`: rows are processed
+/// level by level, exactly as the parallel kernel would between
+/// barriers. Bit-identical to [`sptrsv_sequential`].
+pub fn sptrsv_level_scheduled(l: &Csr, b: &[f32]) -> Vec<f32> {
+    assert_eq!(b.len(), l.rows);
+    let mut x = vec![0.0f32; l.rows];
+    for level in levels(l) {
+        let solved: Vec<(u32, f32)> = level
+            .iter()
+            .map(|&i| (i, solve_row(l, b, &x, i as usize)))
+            .collect();
+        for (i, v) in solved {
+            x[i as usize] = v;
+        }
+    }
+    x
+}
+
+/// One symmetric Gauss-Seidel sweep on `A x = b`: a forward update pass
+/// followed by a backward pass, updating `x` in place.
+pub fn symgs_sweep(a: &Csr, x: &mut [f32], b: &[f32]) {
+    assert_eq!(x.len(), a.rows);
+    assert_eq!(b.len(), a.rows);
+    let update = |x: &mut [f32], i: usize| {
+        let (cols, vals) = a.row(i);
+        let mut acc = b[i];
+        for (&c, &v) in cols.iter().zip(vals) {
+            if c as usize != i {
+                acc -= v * x[c as usize];
+            }
+        }
+        x[i] = acc / a.diag(i);
+    };
+    for i in 0..a.rows {
+        update(x, i);
+    }
+    for i in (0..a.rows).rev() {
+        update(x, i);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csr;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn rhs(n: usize, seed: u64) -> Vec<f32> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect()
+    }
+
+    #[test]
+    fn spmv_matches_a_dense_reference() {
+        let a = csr::random_uniform(64, 6, 5);
+        let x = rhs(64, 1);
+        let mut dense = vec![vec![0.0f32; 64]; 64];
+        for (i, drow) in dense.iter_mut().enumerate() {
+            let (cols, vals) = a.row(i);
+            for (&c, &v) in cols.iter().zip(vals) {
+                drow[c as usize] = v;
+            }
+        }
+        let y = spmv(&a, &x);
+        for i in 0..64 {
+            let want: f32 = (0..64).map(|j| dense[i][j] * x[j]).sum();
+            assert!((y[i] - want).abs() < 1e-4, "row {i}: {} vs {want}", y[i]);
+        }
+    }
+
+    #[test]
+    fn levels_partition_the_rows_and_respect_dependencies() {
+        let l = csr::power_law(300, 10, 8).lower_triangle();
+        let lv = levels(&l);
+        let mut seen = vec![false; l.rows];
+        let mut level_of = vec![usize::MAX; l.rows];
+        for (k, level) in lv.iter().enumerate() {
+            assert!(!level.is_empty(), "level {k} empty");
+            for &i in level {
+                assert!(!seen[i as usize]);
+                seen[i as usize] = true;
+                level_of[i as usize] = k;
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "levels must cover every row");
+        for i in 0..l.rows {
+            let (cols, _) = l.row(i);
+            for &c in cols {
+                if (c as usize) < i {
+                    assert!(level_of[c as usize] < level_of[i]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn level_scheduled_solve_is_bit_identical_to_sequential() {
+        for (name, a) in [
+            ("banded", csr::banded(400, 6, 13)),
+            ("uniform", csr::random_uniform(400, 8, 13)),
+            ("power_law", csr::power_law(400, 10, 13)),
+            ("blocked", csr::blocked(400, 4, 3, 13)),
+        ] {
+            let l = a.lower_triangle();
+            let b = rhs(400, 2);
+            let seq = sptrsv_sequential(&l, &b);
+            let lvl = sptrsv_level_scheduled(&l, &b);
+            assert!(
+                seq.iter()
+                    .zip(&lvl)
+                    .all(|(s, l)| s.to_bits() == l.to_bits()),
+                "{name}: level scheduling changed the arithmetic"
+            );
+        }
+    }
+
+    #[test]
+    fn the_solve_actually_solves() {
+        let l = csr::banded(200, 4, 3).lower_triangle();
+        let x_true = rhs(200, 7);
+        let b = spmv(&l, &x_true);
+        let x = sptrsv_sequential(&l, &b);
+        for i in 0..200 {
+            assert!((x[i] - x_true[i]).abs() < 1e-3, "row {i}");
+        }
+    }
+
+    #[test]
+    fn symgs_sweeps_shrink_the_residual() {
+        let a = csr::banded(300, 3, 17);
+        let x_true = rhs(300, 4);
+        let b = spmv(&a, &x_true);
+        let mut x = vec![0.0f32; 300];
+        let residual = |x: &[f32]| -> f32 {
+            spmv(&a, x)
+                .iter()
+                .zip(&b)
+                .map(|(y, b)| (y - b) * (y - b))
+                .sum::<f32>()
+                .sqrt()
+        };
+        let r0 = residual(&x);
+        symgs_sweep(&a, &mut x, &b);
+        let r1 = residual(&x);
+        symgs_sweep(&a, &mut x, &b);
+        let r2 = residual(&x);
+        assert!(r1 < 0.5 * r0, "first sweep: {r0} -> {r1}");
+        assert!(r2 < r1, "second sweep: {r1} -> {r2}");
+    }
+}

@@ -1,0 +1,35 @@
+//! The sparse kernel family: SpMV, level-scheduled SpTRSV and SymGS.
+//!
+//! Dense GEMM/CONV tuning keys off the input *shape*; sparse kernels are
+//! where the paper's input-awareness bites hardest, because the best
+//! configuration depends on the matrix *structure*: the nnz/row
+//! distribution decides whether vectorized row reads pay off, the
+//! bandwidth bounds how many rows a level-scheduled solve can process in
+//! parallel, and block density decides whether row-blocking amortizes
+//! its index overhead. This crate packages that family for the
+//! `isaac-core` tuner:
+//!
+//! * seeded synthetic CSR generators ([`csr`]): banded, random-uniform,
+//!   power-law rows, and blocked matrices;
+//! * structural feature extraction ([`shape::SparseShape::from_csr`]):
+//!   rows, nnz, nnz/row mean/cv/max, bandwidth, a block-density
+//!   estimate -- the input half of the model's feature vector, and the
+//!   fields hashed into the serving layer's `TuneKey`;
+//! * a 216-point tuning space ([`space`]) over row-blocking, unroll
+//!   depth, accumulator splitting and vector width, with
+//!   input-dependent legality;
+//! * scalar reference kernels ([`kernels`]) that pin the semantics of
+//!   every variant (the level-scheduled solve must equal sequential
+//!   forward substitution bit-for-bit);
+//! * analytical [`isaac_device::KernelProfile`]s ([`profile`]) for the
+//!   device model, mirroring `isaac-gen`'s closed-form GEMM profiles.
+
+pub mod csr;
+pub mod kernels;
+pub mod profile;
+pub mod shape;
+pub mod space;
+
+pub use csr::Csr;
+pub use shape::{random_sparse_shape, SparseOp, SparseShape};
+pub use space::{space_feature_table, space_size, space_table, SPARSE_SPACE};

@@ -1,0 +1,301 @@
+//! The sparse tuning space and its input-dependent legality rules.
+//!
+//! The space reuses the nine-slot `GemmConfig` vector as the universal
+//! configuration currency (the sampler, feature encoder and cache-line
+//! codec all speak it). The sparse family populates four of the slots
+//! and pins the rest to 1:
+//!
+//! | slot  | sparse meaning                            | values            |
+//! |-------|-------------------------------------------|-------------------|
+//! | `ms`  | rows per thread (row blocking)            | 1,2,4,8,16,32     |
+//! | `u`   | inner-loop unroll over a row's nonzeros   | 1,2,4,8           |
+//! | `ks`  | partial-sum accumulators per row (Σ-split)| 1,2,4             |
+//! | `vec` | vector width of value/index loads         | 1,2,4             |
+//!
+//! That yields 216 candidate configurations. Legality depends on the
+//! *input structure*, not just the device: vectorized loads need rows at
+//! least as long as the vector, unrolling needs a longest row that can
+//! fill the unrolled body, and the level-scheduled solves restrict
+//! row-blocking and accumulator splitting further.
+
+use crate::shape::{SparseOp, SparseShape};
+use isaac_gen::{ConfigIssue, GemmConfig, ParamRange};
+use std::sync::OnceLock;
+
+/// The sparse tuning space, in `GemmConfig::as_vector` slot order.
+pub const SPARSE_SPACE: [ParamRange; 9] = [
+    ParamRange {
+        name: "ms",
+        values: &[1, 2, 4, 8, 16, 32],
+    },
+    ParamRange {
+        name: "ns",
+        values: &[1],
+    },
+    ParamRange {
+        name: "ml",
+        values: &[1],
+    },
+    ParamRange {
+        name: "nl",
+        values: &[1],
+    },
+    ParamRange {
+        name: "u",
+        values: &[1, 2, 4, 8],
+    },
+    ParamRange {
+        name: "ks",
+        values: &[1, 2, 4],
+    },
+    ParamRange {
+        name: "kl",
+        values: &[1],
+    },
+    ParamRange {
+        name: "kg",
+        values: &[1],
+    },
+    ParamRange {
+        name: "vec",
+        values: &[1, 2, 4],
+    },
+];
+
+/// Total number of points in [`SPARSE_SPACE`].
+pub fn space_size() -> usize {
+    SPARSE_SPACE.iter().map(|p| p.values.len()).product()
+}
+
+fn decode(mut idx: usize) -> GemmConfig {
+    let mut v = [0u32; 9];
+    for (slot, p) in v.iter_mut().zip(SPARSE_SPACE.iter()) {
+        *slot = p.values[idx % p.values.len()];
+        idx /= p.values.len();
+    }
+    GemmConfig::from_vector(v)
+}
+
+/// Every configuration in the space, in mixed-radix order (first
+/// parameter fastest); built once.
+pub fn space_table() -> &'static [GemmConfig] {
+    static TABLE: OnceLock<Vec<GemmConfig>> = OnceLock::new();
+    TABLE.get_or_init(|| (0..space_size()).map(decode).collect())
+}
+
+/// Per-configuration feature rows matching `features::write_tuning`'s
+/// encoding; built once per encoding.
+pub fn space_feature_table(log: bool) -> &'static [[f32; 9]] {
+    static LOG: OnceLock<Vec<[f32; 9]>> = OnceLock::new();
+    static RAW: OnceLock<Vec<[f32; 9]>> = OnceLock::new();
+    let build = move || {
+        space_table()
+            .iter()
+            .map(|cfg| {
+                let mut row = [0f32; 9];
+                for (dst, v) in row.iter_mut().zip(cfg.as_vector()) {
+                    *dst = if log {
+                        ((v as f64).max(1e-9)).log2() as f32
+                    } else {
+                        v as f32
+                    };
+                }
+                row
+            })
+            .collect()
+    };
+    if log {
+        LOG.get_or_init(build)
+    } else {
+        RAW.get_or_init(build)
+    }
+}
+
+fn in_space(cfg: &GemmConfig) -> Result<(), ConfigIssue> {
+    for (p, v) in SPARSE_SPACE.iter().zip(cfg.as_vector()) {
+        if !p.values.contains(&v) {
+            return Err(ConfigIssue::OutsideSpace(p.name));
+        }
+    }
+    Ok(())
+}
+
+/// Check `cfg` against the structure described by `shape`.
+///
+/// The rules are input-dependent on purpose -- they are where the
+/// input-aware half of the sparse space lives:
+///
+/// * row-blocking cannot exceed the row count;
+/// * vectorized loads (`vec > 1`) need a mean row at least `vec` long,
+///   otherwise most loads straddle row boundaries;
+/// * unrolling (`u > 1`) needs a longest row that can fill the body;
+/// * SpTRSV processes rows in dependency levels, so accumulator
+///   splitting is meaningless (`ks` must be 1) and a thread's row block
+///   must fit inside one level (`ms <= bandwidth`);
+/// * SymGS touches every row twice per sweep, so the deepest Σ-split
+///   (`ks == 4`) never amortizes its reduction cost and is excluded.
+pub fn check(cfg: &GemmConfig, shape: &SparseShape) -> Result<(), ConfigIssue> {
+    in_space(cfg)?;
+    if cfg.ms > shape.rows {
+        return Err(ConfigIssue::TileMismatch);
+    }
+    if cfg.vec > 1 && shape.row_mean_milli < cfg.vec * 1000 {
+        return Err(ConfigIssue::Vectorization);
+    }
+    if cfg.u > 1 && shape.row_max < cfg.u {
+        return Err(ConfigIssue::LoadPartition);
+    }
+    match shape.op {
+        SparseOp::Spmv => {}
+        SparseOp::Sptrsv => {
+            if cfg.ks != 1 {
+                return Err(ConfigIssue::SplitTooDeep);
+            }
+            if cfg.ms > shape.bandwidth.max(1) {
+                return Err(ConfigIssue::TileMismatch);
+            }
+        }
+        SparseOp::Symgs => {
+            if cfg.ks == 4 {
+                return Err(ConfigIssue::SplitTooDeep);
+            }
+        }
+    }
+    Ok(())
+}
+
+/// The always-legal fallback configuration: one row per thread, no
+/// unroll, one accumulator, scalar loads.
+pub fn heuristic_config() -> GemmConfig {
+    GemmConfig::from_vector([1, 1, 1, 1, 1, 1, 1, 1, 1])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use isaac_device::DType;
+
+    fn shape(op: SparseOp) -> SparseShape {
+        SparseShape {
+            op,
+            rows: 4096,
+            nnz: 81920,
+            row_mean_milli: 20_000,
+            row_cv_milli: 500,
+            row_max: 64,
+            bandwidth: 128,
+            block_density_milli: 250,
+            dtype: DType::F32,
+        }
+    }
+
+    #[test]
+    fn the_space_has_216_points_and_decodes_uniquely() {
+        assert_eq!(space_size(), 216);
+        let table = space_table();
+        assert_eq!(table.len(), 216);
+        let unique: std::collections::HashSet<[u32; 9]> =
+            table.iter().map(|c| c.as_vector()).collect();
+        assert_eq!(unique.len(), 216);
+        // Fixed slots really are fixed.
+        for cfg in table {
+            assert_eq!((cfg.ns, cfg.ml, cfg.nl, cfg.kl, cfg.kg), (1, 1, 1, 1, 1));
+        }
+    }
+
+    #[test]
+    fn feature_tables_encode_the_config_vector() {
+        let table = space_table();
+        let raw = space_feature_table(false);
+        let log = space_feature_table(true);
+        for i in [0, 7, 215] {
+            let v = table[i].as_vector();
+            for j in 0..9 {
+                assert_eq!(raw[i][j], v[j] as f32);
+                assert_eq!(log[i][j], ((v[j] as f64).max(1e-9)).log2() as f32);
+            }
+        }
+    }
+
+    #[test]
+    fn legality_tracks_the_input_structure() {
+        let mut cfg = heuristic_config();
+        assert!(check(&cfg, &shape(SparseOp::Spmv)).is_ok());
+
+        // Vectorization needs long enough rows.
+        cfg.vec = 4;
+        let mut short_rows = shape(SparseOp::Spmv);
+        short_rows.row_mean_milli = 2_500;
+        assert_eq!(
+            check(&cfg, &short_rows),
+            Err(ConfigIssue::Vectorization),
+            "mean 2.5 nnz/row cannot feed vec=4 loads"
+        );
+        assert!(check(&cfg, &shape(SparseOp::Spmv)).is_ok());
+
+        // Unroll needs a row that can fill the body.
+        cfg = heuristic_config();
+        cfg.u = 8;
+        let mut tiny_rows = shape(SparseOp::Spmv);
+        tiny_rows.row_max = 4;
+        assert_eq!(check(&cfg, &tiny_rows), Err(ConfigIssue::LoadPartition));
+
+        // Row blocking cannot exceed the matrix.
+        cfg = heuristic_config();
+        cfg.ms = 32;
+        let mut tiny = shape(SparseOp::Spmv);
+        tiny.rows = 16;
+        assert_eq!(check(&cfg, &tiny), Err(ConfigIssue::TileMismatch));
+    }
+
+    #[test]
+    fn solve_ops_restrict_the_space_further() {
+        let mut cfg = heuristic_config();
+        cfg.ks = 2;
+        assert!(check(&cfg, &shape(SparseOp::Spmv)).is_ok());
+        assert_eq!(
+            check(&cfg, &shape(SparseOp::Sptrsv)),
+            Err(ConfigIssue::SplitTooDeep)
+        );
+        assert!(check(&cfg, &shape(SparseOp::Symgs)).is_ok());
+
+        cfg.ks = 4;
+        assert_eq!(
+            check(&cfg, &shape(SparseOp::Symgs)),
+            Err(ConfigIssue::SplitTooDeep)
+        );
+
+        // A narrow band caps SpTRSV row blocking at the level width.
+        let mut cfg = heuristic_config();
+        cfg.ms = 16;
+        let mut narrow = shape(SparseOp::Sptrsv);
+        narrow.bandwidth = 4;
+        assert_eq!(check(&cfg, &narrow), Err(ConfigIssue::TileMismatch));
+        assert!(check(&cfg, &shape(SparseOp::Sptrsv)).is_ok());
+    }
+
+    #[test]
+    fn the_heuristic_config_is_legal_for_every_op_and_structure() {
+        let cfg = heuristic_config();
+        for op in SparseOp::ALL {
+            let mut s = shape(op);
+            s.rows = 1;
+            s.row_max = 1;
+            s.row_mean_milli = 1000;
+            s.bandwidth = 0;
+            assert!(check(&cfg, &s).is_ok(), "{op}");
+        }
+    }
+
+    #[test]
+    fn a_useful_fraction_of_the_space_is_legal() {
+        for op in SparseOp::ALL {
+            let s = shape(op);
+            let legal = space_table()
+                .iter()
+                .filter(|c| check(c, &s).is_ok())
+                .count();
+            assert!(legal >= 20, "{op}: only {legal} of 216 legal");
+        }
+    }
+}

@@ -26,18 +26,23 @@
 #      of the committed baseline;
 #   6. the self-healing gate: BENCH_serving.json must show the
 #      quarantine->repair cycle completing (repair_upgrades >= 1) and a
-#      degraded-free steady state (degraded_rate == 0).
+#      degraded-free steady state (degraded_rate == 0);
+#   7. the sparse-family gate: BENCH_sparse.json must show the cascade
+#      agreeing with the exhaustive sweep on at least one bench matrix
+#      (sparse_choice_matches_exhaustive >= 1 -- a correctness bit, not
+#      a timing) and the sparse cached-hit cost (sparse_cached_hit_ns)
+#      within TOLERANCE of the committed baseline.
 #
 # Usage:
 #   scripts/check_bench.sh [--baseline <file>] [--serving-baseline <file>]
-#                          [--load-baseline <file>]
+#                          [--load-baseline <file>] [--sparse-baseline <file>]
 #                          [--tolerance <factor>] [--cold-tolerance <factor>]
 #
-# With no --baseline/--serving-baseline/--load-baseline, the committed
-# BENCH_inference.json / BENCH_serving.json / BENCH_load.json are read
+# With no --*-baseline, the committed BENCH_inference.json /
+# BENCH_serving.json / BENCH_load.json / BENCH_sparse.json are read
 # from git (origin's default branch, falling back to HEAD), so the
 # script works unchanged in CI and locally after
-# `cargo bench -p isaac-bench --bench inference --bench serving --bench micro --bench load`.
+# `cargo bench -p isaac-bench --bench inference --bench serving --bench micro --bench load --bench sparse`.
 
 set -u
 
@@ -48,14 +53,16 @@ COLD_TOLERANCE=5
 BASELINE=""
 SERVING_BASELINE=""
 LOAD_BASELINE=""
+SPARSE_BASELINE=""
 while [ $# -gt 0 ]; do
     case "$1" in
         --baseline) BASELINE="$2"; shift 2 ;;
         --serving-baseline) SERVING_BASELINE="$2"; shift 2 ;;
         --load-baseline) LOAD_BASELINE="$2"; shift 2 ;;
+        --sparse-baseline) SPARSE_BASELINE="$2"; shift 2 ;;
         --tolerance) TOLERANCE="$2"; shift 2 ;;
         --cold-tolerance) COLD_TOLERANCE="$2"; shift 2 ;;
-        *) echo "usage: $0 [--baseline <file>] [--serving-baseline <file>] [--load-baseline <file>] [--tolerance <factor>] [--cold-tolerance <factor>]" >&2; exit 2 ;;
+        *) echo "usage: $0 [--baseline <file>] [--serving-baseline <file>] [--load-baseline <file>] [--sparse-baseline <file>] [--tolerance <factor>] [--cold-tolerance <factor>]" >&2; exit 2 ;;
     esac
 done
 
@@ -148,6 +155,13 @@ validate BENCH_micro.json \
 validate BENCH_load.json \
     load_p50_s load_p99_s load_p999_s load_hit_rate \
     load_timeout_rate load_shed_rate load_tenants load_qps
+
+validate BENCH_sparse.json \
+    threads sparse_matrices sparse_space_points sparse_total_nnz \
+    sparse_cold_serial_s_per_query sparse_cold_s_per_query \
+    sparse_cold_cascade_s_per_query sparse_choice_matches_exhaustive \
+    sparse_cached_hit_ns sparse_cached_speedup_vs_cold \
+    sparse_cache_hits sparse_cache_misses sparse_spmv_s
 
 # The cascade quality guard is a correctness bit, not a timing: fail
 # outright if the benchmark saw the cascade change a tuning decision.
@@ -250,6 +264,21 @@ if [ -n "$deg_rate" ]; then
         die "degraded_rate=$deg_rate: the healthy serving run answered degraded"
     else
         say "OK: steady-state serving stayed degraded-free"
+    fi
+fi
+
+# ---- the sparse-family gate (BENCH_sparse.json) ----------------------
+# Like the GEMM cascade bit: a correctness floor, not a timing. The
+# cascade must agree with the exhaustive sweep on at least one of the
+# bench matrices (the goal is all of them; the floor catches a broken
+# sparse cascade without flaking on model noise).
+sparse_matches=$(json_num BENCH_sparse.json sparse_choice_matches_exhaustive)
+if [ -n "$sparse_matches" ]; then
+    if ! awk -v m="$sparse_matches" 'BEGIN { exit !(m >= 1) }'; then
+        die "sparse_choice_matches_exhaustive=$sparse_matches: the sparse cascade never matched the exhaustive sweep"
+    else
+        sparse_total=$(json_num BENCH_sparse.json sparse_matrices)
+        say "OK: sparse cascade matched exhaustive on $sparse_matches/$sparse_total matrices"
     fi
 fi
 
@@ -376,6 +405,41 @@ fi
 
 if [ -n "$LOAD_BASELINE" ] && [ "$fail" -eq 0 ]; then
     guard_qps BENCH_load.json "$LOAD_BASELINE" load_qps "$TOLERANCE" "trace-driven load"
+fi
+
+# ---- regression guard: sparse cached-hit cost (lower is better) ------
+if [ -z "$SPARSE_BASELINE" ]; then
+    SPARSE_BASELINE=$(tmp_baseline)
+    ref=$(fetch_baseline BENCH_sparse.json "$SPARSE_BASELINE")
+    if [ -n "$ref" ]; then
+        say "sparse baseline: BENCH_sparse.json from $ref"
+    else
+        say "SKIP: no committed BENCH_sparse.json baseline found"
+        SPARSE_BASELINE=""
+    fi
+fi
+
+# guard_cost FILE BASELINE KEY TOLERANCE LABEL UNIT -> cost guard: fresh
+# must stay within tolerance x the baseline (lower is better).
+guard_cost() {
+    file="$1"; baseline="$2"; key="$3"; tol="$4"; label="$5"; unit="$6"
+    fresh=$(json_num "$file" "$key")
+    base=$(json_num "$baseline" "$key")
+    if [ -z "$base" ]; then
+        say "SKIP: baseline has no $key"
+        return
+    fi
+    say "$label: fresh ${fresh}${unit} vs baseline ${base}${unit} (tolerance ${tol}x)"
+    if ! awk -v f="$fresh" -v b="$base" -v t="$tol" \
+            'BEGIN { exit !(f <= b * t) }'; then
+        die "$label cost regressed: ${fresh}${unit} > ${tol} x ${base}${unit}"
+    else
+        say "OK: $label within tolerance"
+    fi
+}
+
+if [ -n "$SPARSE_BASELINE" ] && [ "$fail" -eq 0 ]; then
+    guard_cost BENCH_sparse.json "$SPARSE_BASELINE" sparse_cached_hit_ns "$TOLERANCE" "sparse cached hit" "ns"
 fi
 
 if [ "$fail" -ne 0 ]; then
