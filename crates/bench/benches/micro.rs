@@ -7,8 +7,9 @@
 //! benchmarking the paper spends.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use isaac_bench::report::{bench_json_path, write_json};
+use isaac_bench::report::{bench_json_path, write_json, Table};
 use isaac_core::sampling::{CategoricalSampler, UniformSampler};
+use isaac_core::{CacheConfig, EvictionPolicy, TuneCache, TuneKey, TunedChoice};
 use isaac_device::specs::tesla_p100;
 use isaac_device::{simulate, DType};
 use isaac_gen::profile::gemm_profile;
@@ -19,7 +20,26 @@ use isaac_mlp::Mat;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::hint::black_box;
+use std::sync::{Arc, Barrier, Mutex};
 use std::time::Instant;
+
+/// `BENCH_micro.json` fields accumulated across bench functions: each
+/// contributor records its keys and the file is rewritten with
+/// everything collected so far, so the final file is complete whichever
+/// function runs last (criterion runs them in group order).
+static MICRO_FIELDS: Mutex<Vec<(String, String)>> = Mutex::new(Vec::new());
+
+fn record_micro_fields(fields: Vec<(String, String)>) {
+    let mut all = MICRO_FIELDS.lock().expect("micro fields poisoned");
+    for (k, v) in fields {
+        match all.iter_mut().find(|(have, _)| *have == k) {
+            Some(slot) => slot.1 = v,
+            None => all.push((k, v)),
+        }
+    }
+    let rendered: Vec<(&str, String)> = all.iter().map(|(k, v)| (k.as_str(), v.clone())).collect();
+    write_json(&bench_json_path("BENCH_micro.json"), &rendered);
+}
 
 fn small_cfg() -> GemmConfig {
     GemmConfig {
@@ -155,33 +175,131 @@ fn mlp_matmul(c: &mut Criterion) {
     });
     group.finish();
 
-    let json = bench_json_path("BENCH_micro.json");
-    write_json(
-        &json,
-        &[
-            ("matmul_rows", rows.to_string()),
-            ("matmul_k", k.to_string()),
-            ("matmul_cols", cols.to_string()),
-            ("mul_bt_naive_s", format!("{naive_s:.6}")),
-            ("mul_bt_tiled_s", format!("{tiled_s:.6}")),
-            (
-                "mul_bt_naive_gflops",
-                format!("{:.2}", flops / naive_s / 1e9),
-            ),
-            (
-                "mul_bt_tiled_gflops",
-                format!("{:.2}", flops / tiled_s / 1e9),
-            ),
-            ("mul_bt_tiled_speedup", format!("{:.3}", naive_s / tiled_s)),
-        ],
-    );
+    record_micro_fields(vec![
+        ("matmul_rows".into(), rows.to_string()),
+        ("matmul_k".into(), k.to_string()),
+        ("matmul_cols".into(), cols.to_string()),
+        ("mul_bt_naive_s".into(), format!("{naive_s:.6}")),
+        ("mul_bt_tiled_s".into(), format!("{tiled_s:.6}")),
+        (
+            "mul_bt_naive_gflops".into(),
+            format!("{:.2}", flops / naive_s / 1e9),
+        ),
+        (
+            "mul_bt_tiled_gflops".into(),
+            format!("{:.2}", flops / tiled_s / 1e9),
+        ),
+        (
+            "mul_bt_tiled_speedup".into(),
+            format!("{:.3}", naive_s / tiled_s),
+        ),
+    ]);
     println!(
         "wrote {} (tiled {:.2} GFLOP/s, naive {:.2} GFLOP/s, {:.2}x)",
-        json.display(),
+        bench_json_path("BENCH_micro.json").display(),
         flops / tiled_s / 1e9,
         flops / naive_s / 1e9,
         naive_s / tiled_s
     );
+}
+
+/// Hit throughput of the segmented decision cache under reader
+/// contention, swept from 1 thread to the machine's parallelism. The
+/// hit path is wait-free (read lock on one segment, thread-striped
+/// counters, sampled recency), so QPS should hold -- or on a real
+/// multicore, scale -- as readers are added; the swept ratio lands in
+/// `BENCH_micro.json` as `hit_scaling` and CI guards the 1-thread
+/// baseline (`hit_qps_1t`). A shared-clock hot path is exactly what
+/// this sweep would expose: every added reader would bounce the same
+/// cache line and the ratio would collapse.
+fn contended_cache_hits(c: &mut Criterion) {
+    const KEYS: u32 = 64;
+    const GETS_PER_THREAD: u64 = 200_000;
+
+    let cache = Arc::new(TuneCache::with_config(CacheConfig {
+        capacity: 512,
+        policy: EvictionPolicy::CostAware,
+        segments: 8,
+        sample_every: 8,
+    }));
+    let keys: Vec<TuneKey> = (0..KEYS)
+        .map(|i| TuneKey::gemm(&GemmShape::new(16 + i, 8, 8, "N", "N", DType::F32)))
+        .collect();
+    let choice = TunedChoice {
+        config: GemmConfig::default(),
+        predicted_gflops: 1.0,
+        tflops: 1.0,
+        time_s: 1.0,
+    };
+    for k in &keys {
+        cache.insert(*k, choice.clone());
+    }
+
+    // Criterion trajectory for the single hit itself.
+    let mut group = c.benchmark_group("cache");
+    group.bench_function("hit", |b| {
+        let mut at = 0usize;
+        b.iter(|| {
+            at += 1;
+            black_box(cache.get(&keys[at % keys.len()]))
+        });
+    });
+    group.finish();
+
+    let hit_qps = |threads: usize| -> f64 {
+        let start = Arc::new(Barrier::new(threads + 1));
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let cache = Arc::clone(&cache);
+                let keys = keys.clone();
+                let start = Arc::clone(&start);
+                std::thread::spawn(move || {
+                    start.wait();
+                    let mut at = t; // stagger so threads don't walk in lockstep
+                    for _ in 0..GETS_PER_THREAD {
+                        at += 1;
+                        black_box(cache.get(&keys[at % keys.len()]));
+                    }
+                })
+            })
+            .collect();
+        start.wait();
+        let t0 = Instant::now();
+        for h in handles {
+            h.join().expect("reader panicked");
+        }
+        (threads as u64 * GETS_PER_THREAD) as f64 / t0.elapsed().as_secs_f64()
+    };
+
+    let max_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .max(2);
+    let mut table = Table::new("contended cache hits", &["threads", "hit QPS"]);
+    let mut sweep = Vec::new();
+    let mut threads = 1;
+    while threads <= max_threads {
+        let qps = hit_qps(threads);
+        table.row(vec![threads.to_string(), format!("{qps:.0}")]);
+        sweep.push((threads, qps));
+        threads = if threads * 2 > max_threads && threads < max_threads {
+            max_threads
+        } else {
+            threads * 2
+        };
+    }
+    table.print();
+
+    let (_, qps_1t) = sweep[0];
+    let &(nt, qps_nt) = sweep.last().expect("sweep is never empty");
+    record_micro_fields(vec![
+        ("hit_qps_1t".into(), format!("{qps_1t:.0}")),
+        ("hit_qps_nt".into(), format!("{qps_nt:.0}")),
+        ("hit_threads".into(), nt.to_string()),
+        ("hit_scaling".into(), format!("{:.3}", qps_nt / qps_1t)),
+    ]);
+    let stats = cache.stats();
+    assert_eq!(stats.misses, 0, "the sweep must be all hits");
 }
 
 fn enumeration(c: &mut Criterion) {
@@ -202,6 +320,7 @@ criterion_group!(
     simulator,
     samplers,
     mlp_matmul,
-    enumeration
+    enumeration,
+    contended_cache_hits
 );
 criterion_main!(benches);

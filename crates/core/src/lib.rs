@@ -27,10 +27,12 @@
 //! process, legality filtering / feature construction / model scoring
 //! fan out across cores with index-ordered (bit-deterministic)
 //! reductions, and feature matrices are built in place inside pooled
-//! scratch buffers. Decisions are memoized in a shape-keyed, size-bounded
-//! LRU [`tuner::TuneCache`] behind an `RwLock`, so a trained tuner can
-//! serve repeated queries from many threads in O(1); the `isaac-serve`
-//! crate adds sharding, batching and single-flight coalescing on top.
+//! scratch buffers. Decisions are memoized in a shape-keyed,
+//! size-bounded [`tuner::TuneCache`] split into hash-partitioned
+//! segments with sampled per-segment recency accounting, so a trained
+//! tuner can serve repeated queries from many threads in O(1) with a
+//! wait-free hit path; the `isaac-serve` crate adds sharding, batching
+//! and single-flight coalescing on top.
 //! Dataset generation
 //! ([`dataset`]) and sampler calibration ([`sampling`]) fan out the same
 //! way, with per-sample seeding that keeps results independent of the
@@ -71,6 +73,6 @@ pub use isaac_sparse::{space_size as sparse_space_size, Csr, SparseOp, SparseSha
 pub use optimizers::{exhaustive, genetic, simulated_annealing, SearchResult};
 pub use sampling::{acceptance_rate, cfg_seed, mix_seed, CategoricalSampler, UniformSampler};
 pub use tuner::{
-    read_cache_file, read_cache_text, CacheLoadReport, CacheStats, EvictionPolicy, IsaacTuner,
-    KeyShape, ShapeKey, TrainOptions, TuneCache, TuneKey, WarmStartReport,
+    read_cache_file, read_cache_text, CacheConfig, CacheLoadReport, CacheStats, EvictionPolicy,
+    IsaacTuner, KeyShape, RaceHook, ShapeKey, TrainOptions, TuneCache, TuneKey, WarmStartReport,
 };

@@ -11,11 +11,14 @@
 //! `target/isaac-cache/`.
 //!
 //! Tuning decisions live in a [`TuneCache`]: a size-bounded,
-//! shape-keyed cache behind an `RwLock` keyed by
-//! `(device, OpKind, DType, ShapeKey)`, so repeated queries for the
-//! same input are O(1) shared-lock reads -- every tuning method takes
-//! `&self` and the tuner can be shared across serving threads. Victim
-//! choice under capacity pressure is pluggable ([`EvictionPolicy`]):
+//! shape-keyed cache keyed by `(device, OpKind, DType, ShapeKey)` and
+//! split into hash-partitioned segments, so repeated queries for the
+//! same input are O(1) reads under one segment's shared lock and a hit
+//! touches no cross-segment shared state (recency/hit bookkeeping is
+//! sampled 1-in-K per segment; cache-wide hit/miss totals stay exact in
+//! thread-striped counters) -- every tuning method takes `&self` and
+//! the tuner can be shared across serving threads. Victim choice under
+//! capacity pressure is pluggable ([`EvictionPolicy`]):
 //! the default [`EvictionPolicy::CostAware`] weighs recency, per-entry
 //! hit counts and the shape-derived re-tune cost
 //! ([`TuneKey::retune_cost`]) so hot or expensive decisions outlive
@@ -40,7 +43,9 @@ use isaac_mlp::{Mlp, TrainConfig};
 use isaac_sparse::{kernels as sparse_kernels, Csr, SparseOp, SparseShape};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::cell::Cell;
 use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
@@ -500,10 +505,10 @@ pub enum EvictionPolicy {
     CostAware,
 }
 
-/// One cached decision plus its last-recently-used stamp, lifetime hit
-/// count and eviction score. All three are atomic so hits can refresh
-/// them under the *shared* read lock. The per-entry hit count survives
-/// the recency-preserving rebuild, is exposed by
+/// One cached decision plus its recency stamp, lifetime hit count and
+/// eviction score. All three are atomic so sampled hits can refresh
+/// them under the *shared* read lock of their segment. The per-entry
+/// hit count survives the recency-preserving rebuild, is exposed by
 /// [`TuneCache::entries`], and (since PR 5) feeds the
 /// [`EvictionPolicy::CostAware`] score together with the key's
 /// estimated re-tune cost.
@@ -517,7 +522,7 @@ struct CacheSlot {
     cost: f64,
     /// GreedyDual eviction score (`f64` bits): `clock_at_last_touch +
     /// (hits + 1) x cost`. Only consulted by
-    /// [`EvictionPolicy::CostAware`]; kept fresh on every hit.
+    /// [`EvictionPolicy::CostAware`]; refreshed on every sampled touch.
     score: AtomicU64,
 }
 
@@ -531,65 +536,297 @@ impl CacheSlot {
     }
 }
 
-/// A concurrent, size-bounded, shape-keyed LRU cache of tuning
-/// decisions.
+/// Stripes a [`Striped`] counter spreads its updates over. More than
+/// the host's core count buys nothing; fewer just means two threads
+/// occasionally share a stripe (still correct, just contended).
+const STAT_STRIPES: usize = 16;
+
+/// One stripe of a [`Striped`] counter, alone on its cache line so
+/// threads on different stripes never dirty the same line.
+#[repr(align(64))]
+#[derive(Debug, Default)]
+struct StripeCell(AtomicU64);
+
+/// A monotonic counter threads bump without sharing a cache line: each
+/// thread is assigned one of [`STAT_STRIPES`] stripes (round-robin on
+/// first use) and only ever fetch-adds its own padded cell. Totals stay
+/// *exact* -- the hit + miss conservation invariant the contended-cache
+/// stress suite pins -- without the every-core-one-line contention of a
+/// single shared atomic. Reads sum the stripes; each stripe is itself
+/// monotonic, so a concurrent sum can lag the true total but two
+/// successive sums never go backwards.
+#[derive(Debug)]
+struct Striped {
+    cells: [StripeCell; STAT_STRIPES],
+}
+
+thread_local! {
+    /// This thread's stripe index into every [`Striped`] counter.
+    static STRIPE: Cell<usize> = const { Cell::new(usize::MAX) };
+    /// `(cache id, lookups since the last sampled touch)` for the cache
+    /// this thread hit most recently -- the 1-in-K recency sampler.
+    /// Keyed by cache id so interleaved traffic to two caches cannot
+    /// smear one cache's sampling phase into the other's (and a
+    /// single-threaded replay against one cache is exactly periodic,
+    /// which the sampled-recency property test depends on).
+    static SAMPLE: Cell<(u64, u64)> = const { Cell::new((0, 0)) };
+}
+
+/// Round-robin source of per-thread stripe indexes (see [`STRIPE`]).
+static STRIPE_SEQ: AtomicU64 = AtomicU64::new(0);
+/// Process-unique [`TuneCache`] ids (see [`SAMPLE`]; 0 means "no
+/// cache", so ids start at 1).
+static CACHE_SEQ: AtomicU64 = AtomicU64::new(1);
+
+impl Striped {
+    fn new() -> Self {
+        Striped {
+            cells: std::array::from_fn(|_| StripeCell::default()),
+        }
+    }
+
+    /// This thread's stripe, assigned on first use.
+    fn stripe() -> usize {
+        STRIPE.with(|s| {
+            let mut idx = s.get();
+            if idx == usize::MAX {
+                idx = STRIPE_SEQ.fetch_add(1, Ordering::Relaxed) as usize % STAT_STRIPES;
+                s.set(idx);
+            }
+            idx
+        })
+    }
+
+    fn add(&self, n: u64) {
+        self.cells[Self::stripe()].0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    fn sum(&self) -> u64 {
+        self.cells.iter().map(|c| c.0.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Reset to an exact total. Only used to carry counters onto a
+    /// freshly rebuilt cache before it is shared with other threads.
+    fn store_total(&self, total: u64) {
+        for cell in &self.cells[1..] {
+            cell.0.store(0, Ordering::Relaxed);
+        }
+        self.cells[0].0.store(total, Ordering::Relaxed);
+    }
+}
+
+/// One hash-partitioned slice of a [`TuneCache`]: its own map lock,
+/// recency tick and GreedyDual aging clock. Nothing in a segment is
+/// shared with any other segment, so readers of different segments
+/// never contend and a hit's sampled bookkeeping stays segment-local.
+#[derive(Debug)]
+struct Segment {
+    map: RwLock<HashMap<TuneKey, CacheSlot>>,
+    /// Segment-local recency tick: the low half of every stamp minted
+    /// in this segment (see [`TuneCache::stamp`]).
+    tick: AtomicU64,
+    /// Segment-local GreedyDual aging clock (`f64` bits): ratchets up
+    /// to the evicted entry's score on every cost-aware eviction *in
+    /// this segment*, so long-idle entries eventually lose to fresh
+    /// ones regardless of cost. Only mutated under the segment's write
+    /// lock.
+    clock: AtomicU64,
+}
+
+impl Segment {
+    fn new() -> Self {
+        Segment {
+            map: RwLock::new(HashMap::new()),
+            tick: AtomicU64::new(0),
+            clock: AtomicU64::new(0f64.to_bits()),
+        }
+    }
+
+    fn clock_value(&self) -> f64 {
+        f64::from_bits(self.clock.load(Ordering::Relaxed))
+    }
+
+    /// GreedyDual score of an entry with `hits` lifetime hits and the
+    /// given retune cost, touched at this segment's current clock: the
+    /// insert counts as one use, every hit adds one.
+    fn greedy_dual_score(&self, hits: u64, cost: f64) -> f64 {
+        self.clock_value() + (hits + 1) as f64 * cost
+    }
+}
+
+/// Minimal FNV-1a over a key's `Hash` stream. Segment residency must be
+/// identical across runs, platforms and processes (the seeded stress
+/// replays and the scripted interleaving schedules both depend on
+/// knowing which keys collide into a segment), so the per-process
+/// randomized std hasher is out.
+struct Fnv64(u64);
+
+impl Hasher for Fnv64 {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+}
+
+/// Construction-time shape of a [`TuneCache`]: capacity, eviction
+/// policy, segment count and recency-sampling period.
 ///
-/// Repeated queries for the same `(device, op, dtype, shape)` are O(1)
-/// reads under a shared [`RwLock`] -- many threads can serve hits
-/// concurrently while misses briefly take the write lock to publish
-/// their result. Hits bump a per-entry recency stamp (an atomic, so the
-/// read lock suffices); when an insert would exceed the configured
-/// capacity, the least-recently-used entry is evicted and counted in
-/// [`CacheStats::evictions`]. Eviction scans the map (O(n)), which is
-/// fine at the capacities a tuning cache runs at -- lookups stay O(1).
+/// `Default` is the standalone-tuner shape: unbounded, cost-aware,
+/// auto-segmented, exact (`sample_every = 1`) accounting. Serving
+/// deployments bound the capacity and raise `sample_every` so hot hits
+/// skip even the segment-local bookkeeping most of the time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Maximum decisions held (clamped to at least 1; `usize::MAX` =
+    /// unbounded). The bound is enforced *per segment* at
+    /// `capacity.div_ceil(segments)`, so a multi-segment cache can
+    /// transiently hold up to `segments - 1` more entries than
+    /// `capacity` when the key hash spreads unevenly.
+    pub capacity: usize,
+    /// Victim choice under capacity pressure (segment-local: each
+    /// segment evicts among its own entries).
+    pub policy: EvictionPolicy,
+    /// Hash-partitioned segment count, rounded up to a power of two.
+    /// `0` = auto: one segment for small bounded caches (capacity
+    /// below 256, where the eviction tests pin exact whole-cache
+    /// victim order), eight otherwise.
+    pub segments: usize,
+    /// Recency/hit sampling period K: a hitting thread performs the
+    /// entry's recency/score/hit-count bookkeeping on every K-th hit it
+    /// observes, crediting K hits per sampled touch so expected
+    /// per-entry counts stay unbiased. `1` (or `0`) = exact accounting
+    /// on every hit. The cache-wide hit/miss totals are always exact
+    /// regardless of K (they use `Striped` counters, not sampling).
+    pub sample_every: u64,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        CacheConfig {
+            capacity: usize::MAX,
+            policy: EvictionPolicy::default(),
+            segments: 0,
+            sample_every: 1,
+        }
+    }
+}
+
+/// A scripted observer for the deterministic interleaving harness.
+/// When installed via [`TuneCache::set_race_hook`] it is invoked at the
+/// declared race points of the cache's *write* paths (see
+/// [`TuneCache::set_race_hook`] for the list) and may block there --
+/// holding the writer mid-flight while a test drives other threads
+/// through the window. The hit path ([`TuneCache::get`] /
+/// [`TuneCache::peek`]) never consults it, hooked or not, so the
+/// wait-free property under test is not perturbed by the harness.
+#[derive(Clone)]
+pub struct RaceHook(Arc<dyn Fn(&'static str) + Send + Sync>);
+
+impl RaceHook {
+    /// Wrap a closure that receives the race-point label.
+    pub fn new(f: impl Fn(&'static str) + Send + Sync + 'static) -> Self {
+        RaceHook(Arc::new(f))
+    }
+}
+
+impl std::fmt::Debug for RaceHook {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("RaceHook")
+    }
+}
+
+/// A concurrent, size-bounded, shape-keyed cache of tuning decisions
+/// with a wait-free hit path.
 ///
-/// The recency clock is one shared atomic, so every hit pays a
-/// fetch-add on the same cache line (~40ns on this host). That keeps
-/// LRU order exact and deterministic -- the property the eviction tests
-/// pin down -- at the cost of some cross-core contention under very hot
-/// hit traffic; sampling/approximate recency is a ROADMAP item if that
-/// ever dominates. [`TuneCache::peek`] deliberately touches *neither*
-/// the clock nor the per-entry counters, so introspection (snapshot
-/// scans, leader-side re-peeks) is contention-free and cannot perturb
-/// eviction order -- pinned by a regression test.
+/// The cache is split into N hash-partitioned `Segment`s (power of
+/// two, [`CacheConfig::segments`]). A lookup hashes its key to one
+/// segment and takes only that segment's shared read lock, so readers
+/// of different segments never touch the same lock or cache line and
+/// cached QPS scales with reader threads. Within a segment, a hit's
+/// bookkeeping is *sampled*: every K-th hit a thread observes
+/// ([`CacheConfig::sample_every`]) refreshes the entry's recency stamp,
+/// eviction score and hit count (crediting K so expectations stay
+/// unbiased); the other K-1 hits clone the decision and leave. The
+/// cache-wide hit/miss totals are exact at any K -- they live in
+/// thread-striped, cache-line-padded `Striped` counters -- so
+/// `hits + misses == lookups` is an invariant the concurrency stress
+/// suite can (and does) assert under full contention.
 ///
-/// The victim choice is pluggable via [`EvictionPolicy`]
-/// ([`EvictionPolicy::CostAware`] by default since PR 5); the cache
-/// also carries a **dirty bit** (set by every insert, cleared by
-/// [`IsaacTuner::save_cache`]) so a background snapshotter can skip
-/// shards whose persisted state is already current.
+/// Recency stamps must stay comparable *across* segments (the
+/// recency-preserving rebuild replays entries oldest-first when
+/// shrinking or re-keying), but hits must not share a clock. Each stamp
+/// is therefore `(write_epoch << 32) | segment_tick`: the global epoch
+/// is bumped only by writes (insert/apply) and merely *loaded* by hits
+/// -- a wait-free read of a rarely-written line -- while the low half
+/// comes from the segment-local tick. Within a segment stamps are
+/// strictly increasing; across segments they order by write epoch,
+/// which is exact whenever recency matters deterministically (the
+/// single-threaded eviction tests) and a sound approximation under
+/// concurrent traffic. The segment tick wraps at 2^32, which can
+/// momentarily misorder recency *quality* within a segment after four
+/// billion sampled touches, never correctness.
+///
+/// Writes -- insert, policy eviction, WAL [`TuneCache::apply`],
+/// [`TuneCache::remove`] -- take the owning segment's write lock, and
+/// everything PR 6 pinned about them is preserved: the journal sees
+/// mutations in per-key mutation order (recorded under the segment
+/// lock, eviction before the insert that forced it), eviction policy
+/// semantics are unchanged (now per segment, with a per-segment
+/// GreedyDual clock), and persistence (`entries`, hence cache files and
+/// compaction) is byte-identical because entries were always emitted
+/// name-sorted. [`TuneCache::peek`] remains side-effect-free per
+/// segment: no recency, no score, no counters, no sampling state.
+///
+/// The write paths carry declared race points for the deterministic
+/// interleaving harness ([`TuneCache::set_race_hook`]); the hit path
+/// has none. The cache also carries a **dirty bit** (set by every
+/// mutation, cleared by [`IsaacTuner::save_cache`]) so a background
+/// snapshotter can skip shards whose persisted state is current.
 #[derive(Debug)]
 pub struct TuneCache {
-    map: RwLock<HashMap<TuneKey, CacheSlot>>,
+    /// Hash-partitioned segments; length is a power of two.
+    segments: Box<[Segment]>,
     capacity: usize,
+    /// Per-segment capacity bound: `capacity.div_ceil(segments.len())`.
+    seg_capacity: usize,
     policy: EvictionPolicy,
-    /// Monotonic recency clock; larger stamp == more recently used.
-    tick: AtomicU64,
-    /// GreedyDual aging clock (`f64` bits): ratchets up to the evicted
-    /// entry's score on every cost-aware eviction, so long-idle entries
-    /// eventually lose to fresh ones regardless of cost. Only mutated
-    /// under the write lock.
-    clock: AtomicU64,
-    /// Set on every insert, cleared when the cache is persisted.
+    /// Recency-sampling period K (>= 1; see
+    /// [`CacheConfig::sample_every`]).
+    sample_every: u64,
+    /// Process-unique id keying the per-thread sampling counter.
+    id: u64,
+    /// Global write epoch: the high half of recency stamps. Bumped by
+    /// every insert/apply (write paths, which already serialize on a
+    /// segment lock), only *loaded* by hits.
+    epoch: AtomicU64,
+    /// Set on every mutation, cleared when the cache is persisted.
     dirty: AtomicBool,
-    hits: AtomicU64,
-    misses: AtomicU64,
+    hits: Striped,
+    misses: Striped,
     evictions: AtomicU64,
     evicted_hits: AtomicU64,
     /// Accumulated retune cost of evicted entries, in millicost units
     /// (kept integral so [`CacheStats`] stays `Eq`).
     evicted_cost_milli: AtomicU64,
     /// Durability journal: when attached, every insert and policy
-    /// eviction is reported in mutation order, under the write lock
-    /// (see [`crate::durability::CacheJournal`]).
+    /// eviction is reported in mutation order, under the owning
+    /// segment's write lock (see [`crate::durability::CacheJournal`]).
     journal: RwLock<Option<Arc<dyn CacheJournal>>>,
+    /// Interleaving-harness observer; consulted on write paths only.
+    race: RwLock<Option<RaceHook>>,
 }
 
 /// An unbounded [`TuneCache`] (the default: a tuner's working set of
 /// distinct shapes is usually small; serving deployments bound it).
 impl Default for TuneCache {
     fn default() -> Self {
-        Self::with_capacity(usize::MAX)
+        Self::with_config(CacheConfig::default())
     }
 }
 
@@ -603,24 +840,61 @@ impl TuneCache {
     /// least 1), evicting by the default [`EvictionPolicy::CostAware`]
     /// beyond that.
     pub fn with_capacity(capacity: usize) -> Self {
-        Self::with_policy(capacity, EvictionPolicy::default())
+        Self::with_config(CacheConfig {
+            capacity,
+            ..CacheConfig::default()
+        })
     }
 
     /// Empty cache with an explicit capacity and eviction policy.
     pub fn with_policy(capacity: usize, policy: EvictionPolicy) -> Self {
-        TuneCache {
-            map: RwLock::new(HashMap::new()),
-            capacity: capacity.max(1),
+        Self::with_config(CacheConfig {
+            capacity,
             policy,
-            tick: AtomicU64::new(0),
-            clock: AtomicU64::new(0f64.to_bits()),
+            ..CacheConfig::default()
+        })
+    }
+
+    /// Empty cache with a full [`CacheConfig`] (segment count and
+    /// recency-sampling period included).
+    pub fn with_config(config: CacheConfig) -> Self {
+        let capacity = config.capacity.max(1);
+        let requested = if config.segments == 0 {
+            // Auto rule: small bounded caches keep one segment so
+            // victim choice is the exact whole-cache policy the
+            // eviction tests pin; big or unbounded caches take the
+            // concurrency win (a per-segment bound of >= 32 entries
+            // cannot distort eviction much).
+            if capacity >= 256 {
+                8
+            } else {
+                1
+            }
+        } else {
+            config.segments
+        };
+        let nsegs = requested.next_power_of_two();
+        let seg_capacity = if capacity == usize::MAX {
+            usize::MAX
+        } else {
+            capacity.div_ceil(nsegs)
+        };
+        TuneCache {
+            segments: (0..nsegs).map(|_| Segment::new()).collect(),
+            capacity,
+            seg_capacity,
+            policy: config.policy,
+            sample_every: config.sample_every.max(1),
+            id: CACHE_SEQ.fetch_add(1, Ordering::Relaxed),
+            epoch: AtomicU64::new(0),
             dirty: AtomicBool::new(false),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
+            hits: Striped::new(),
+            misses: Striped::new(),
             evictions: AtomicU64::new(0),
             evicted_hits: AtomicU64::new(0),
             evicted_cost_milli: AtomicU64::new(0),
             journal: RwLock::new(None),
+            race: RwLock::new(None),
         }
     }
 
@@ -639,6 +913,38 @@ impl TuneCache {
         self.journal.read().expect("tune cache poisoned").clone()
     }
 
+    /// Install (or, with `None`, remove) the interleaving-harness
+    /// observer. The hook is invoked, under whatever locks the path
+    /// holds there, at these declared race points -- all on write
+    /// paths; the hit path never calls it:
+    ///
+    /// * `insert.pre_lock` -- an insert is about to take its segment's
+    ///   write lock.
+    /// * `insert.pre_evict` -- under the lock, the segment is at
+    ///   capacity and a victim is about to be chosen.
+    /// * `evict.removed` -- under the lock, the victim has left the
+    ///   map but its `Evict` record is not yet journaled.
+    /// * `evict.journaled` -- under the lock, the `Evict` record is in
+    ///   the journal.
+    /// * `insert.published` -- under the lock, the new entry is in the
+    ///   map but its `Insert` record is not yet journaled.
+    /// * `insert.journaled` -- the `Insert` record is in the journal
+    ///   (lock still held).
+    pub fn set_race_hook(&self, hook: Option<RaceHook>) {
+        *self.race.write().expect("tune cache poisoned") = hook;
+    }
+
+    /// Invoke the interleaving hook at a declared race point. Write
+    /// paths only: [`TuneCache::get`] and [`TuneCache::peek`] never
+    /// call this, so the hit path stays hook-free by construction (the
+    /// source-scan test pins it).
+    fn race(&self, point: &'static str) {
+        let hook = self.race.read().expect("tune cache poisoned").clone();
+        if let Some(hook) = hook {
+            (hook.0)(point);
+        }
+    }
+
     /// Maximum number of decisions held (`usize::MAX` if unbounded).
     pub fn capacity(&self) -> usize {
         self.capacity
@@ -647,6 +953,48 @@ impl TuneCache {
     /// The eviction policy victims are chosen by.
     pub fn policy(&self) -> EvictionPolicy {
         self.policy
+    }
+
+    /// Number of hash-partitioned segments (a power of two).
+    pub fn segments(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// The recency-sampling period K (1 = exact accounting).
+    pub fn sample_every(&self) -> u64 {
+        self.sample_every
+    }
+
+    /// This cache's shape as a [`CacheConfig`] (with the resolved
+    /// segment count, not the `0` auto marker), e.g. to rebuild a copy
+    /// with one knob changed.
+    pub fn config(&self) -> CacheConfig {
+        CacheConfig {
+            capacity: self.capacity,
+            policy: self.policy,
+            segments: self.segments.len(),
+            sample_every: self.sample_every,
+        }
+    }
+
+    /// Which segment a key lives in (deterministic across runs and
+    /// platforms). Exposed for the interleaving harness, which needs
+    /// same-segment and cross-segment key pairs to script lock-window
+    /// schedules.
+    pub fn segment_of(&self, key: &TuneKey) -> usize {
+        if self.segments.len() == 1 {
+            return 0;
+        }
+        let mut h = Fnv64(0xcbf2_9ce4_8422_2325);
+        key.hash(&mut h);
+        // Fibonacci-fold the digest so the handful of bits the mask
+        // keeps see the whole word.
+        let mixed = (h.0 ^ (h.0 >> 32)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        (mixed >> 32) as usize & (self.segments.len() - 1)
+    }
+
+    fn segment(&self, key: &TuneKey) -> &Segment {
+        &self.segments[self.segment_of(key)]
     }
 
     /// Whether the cache has been mutated since it was last persisted
@@ -669,68 +1017,104 @@ impl TuneCache {
         self.dirty.store(true, Ordering::Release);
     }
 
-    fn next_stamp(&self) -> u64 {
-        self.tick.fetch_add(1, Ordering::Relaxed) + 1
+    /// Mint a recency stamp in `seg`: global write epoch (loaded, never
+    /// written here) in the high half, the segment-local tick in the
+    /// low half. See the type docs for why this keeps stamps
+    /// cross-segment comparable without a shared hit-path clock.
+    fn stamp(&self, seg: &Segment) -> u64 {
+        let tick = seg.tick.fetch_add(1, Ordering::Relaxed) + 1;
+        (self.epoch.load(Ordering::Relaxed) << 32) | (tick & 0xFFFF_FFFF)
     }
 
-    fn clock_value(&self) -> f64 {
-        f64::from_bits(self.clock.load(Ordering::Relaxed))
+    /// [`TuneCache::stamp`] for write paths: advances the global epoch
+    /// first, so everything written after this point outranks every
+    /// earlier stamp in any segment.
+    fn write_stamp(&self, seg: &Segment) -> u64 {
+        self.epoch.fetch_add(1, Ordering::Relaxed);
+        self.stamp(seg)
     }
 
-    /// GreedyDual score of an entry with `hits` lifetime hits and the
-    /// given retune cost, touched at the current clock: the insert
-    /// counts as one use, every hit adds one.
-    fn greedy_dual_score(&self, hits: u64, cost: f64) -> f64 {
-        self.clock_value() + (hits + 1) as f64 * cost
+    /// Whether this thread's K-th-hit sampler elects the current hit
+    /// for recency bookkeeping. Pure thread-local state -- no atomics,
+    /// no locks -- and deterministic per (thread, cache) sequence: hits
+    /// 1, K+1, 2K+1, ... are sampled.
+    fn touch_due(&self) -> bool {
+        if self.sample_every <= 1 {
+            return true;
+        }
+        SAMPLE.with(|cell| {
+            let (id, n) = cell.get();
+            let n = if id == self.id { n + 1 } else { 1 };
+            cell.set((self.id, n % self.sample_every));
+            n % self.sample_every == 1
+        })
     }
 
-    /// Look up a decision, counting the hit or miss (globally and on
-    /// the entry), refreshing the entry's LRU recency and -- under
-    /// [`EvictionPolicy::CostAware`] -- its eviction score.
+    /// The sampled hit's bookkeeping: refresh the entry's recency
+    /// stamp, credit K hits (so expected counts match exact
+    /// accounting), and -- under [`EvictionPolicy::CostAware`] on a
+    /// bounded cache -- refresh its eviction score. Called for one hit
+    /// in K; everything here is segment-local.
+    fn touch(&self, seg: &Segment, slot: &CacheSlot) {
+        slot.stamp.store(self.stamp(seg), Ordering::Relaxed);
+        let hits = slot.hits.fetch_add(self.sample_every, Ordering::Relaxed) + self.sample_every;
+        // An unbounded cache never evicts, so the score would never be
+        // read: skip the refresh.
+        if self.policy == EvictionPolicy::CostAware && self.capacity != usize::MAX {
+            slot.set_score(seg.greedy_dual_score(hits, slot.cost));
+        }
+    }
+
+    /// Look up a decision, counting the hit or miss exactly (striped
+    /// counters) and, on every K-th hit this thread observes, doing the
+    /// entry's sampled recency/score bookkeeping.
+    ///
+    /// This is the wait-free hot path: one segment read lock, zero
+    /// unconditional read-modify-write on shared state (the source-scan
+    /// test pins the body to contain no `write()` lock acquisition and
+    /// no `fetch_add`).
     pub fn get(&self, key: &TuneKey) -> Option<TunedChoice> {
+        let seg = self.segment(key);
         let hit = {
-            let map = self.map.read().expect("tune cache poisoned");
+            let map = seg.map.read().expect("tune cache poisoned");
             map.get(key).map(|slot| {
-                slot.stamp.store(self.next_stamp(), Ordering::Relaxed);
-                let hits = slot.hits.fetch_add(1, Ordering::Relaxed) + 1;
-                // An unbounded cache never evicts, so the score would
-                // never be read: skip the refresh and keep the
-                // hot-hit path at two atomics.
-                if self.policy == EvictionPolicy::CostAware && self.capacity != usize::MAX {
-                    slot.set_score(self.greedy_dual_score(hits, slot.cost));
+                if self.touch_due() {
+                    self.touch(seg, slot);
                 }
                 slot.choice.clone()
             })
         };
         match hit {
             Some(choice) => {
-                self.hits.fetch_add(1, Ordering::Relaxed);
+                self.hits.add(1);
                 Some(choice)
             }
             None => {
-                self.misses.fetch_add(1, Ordering::Relaxed);
+                self.misses.add(1);
                 None
             }
         }
     }
 
     /// Look up a decision without touching the hit/miss counters, the
-    /// recency clock, the per-entry hit count or the eviction score
-    /// (for tests, cache introspection and snapshot scans). Peeking is
-    /// guaranteed side-effect-free: it can never rescue an entry from
-    /// eviction nor pay the shared recency-clock fetch-add.
+    /// recency tick, the per-entry hit count, the eviction score or the
+    /// per-thread sampling state (for tests, cache introspection and
+    /// snapshot scans). Peeking is guaranteed side-effect-free per
+    /// segment: it can never rescue an entry from eviction, and a peek
+    /// storm cannot shift any thread's sampling phase.
     pub fn peek(&self, key: &TuneKey) -> Option<TunedChoice> {
-        self.map
+        self.segment(key)
+            .map
             .read()
             .expect("tune cache poisoned")
             .get(key)
             .map(|slot| slot.choice.clone())
     }
 
-    /// Publish a decision, evicting one entry by the configured
-    /// [`EvictionPolicy`] if the cache is at capacity. Re-inserting an
-    /// existing key refreshes the decision and recency but keeps the
-    /// entry's accumulated hit count.
+    /// Publish a decision, evicting one entry from the key's segment by
+    /// the configured [`EvictionPolicy`] if the segment is at capacity.
+    /// Re-inserting an existing key refreshes the decision and recency
+    /// but keeps the entry's accumulated hit count.
     pub fn insert(&self, key: TuneKey, choice: TunedChoice) {
         self.insert_with_hits(key, choice, 0);
     }
@@ -742,16 +1126,19 @@ impl TuneCache {
         // Clone for the journal before the choice moves into the map;
         // journal-free caches skip the clone entirely.
         let logged = journal.as_ref().map(|_| choice.clone());
-        let stamp = self.next_stamp();
-        let mut map = self.map.write().expect("tune cache poisoned");
+        let seg = self.segment(&key);
+        self.race("insert.pre_lock");
+        let stamp = self.write_stamp(seg);
+        let mut map = seg.map.write().expect("tune cache poisoned");
         if let Some(slot) = map.get_mut(&key) {
             slot.choice = choice;
             slot.stamp.store(stamp, Ordering::Relaxed);
             let total = slot.hits.fetch_add(hits, Ordering::Relaxed) + hits;
-            slot.set_score(self.greedy_dual_score(total, slot.cost));
+            slot.set_score(seg.greedy_dual_score(total, slot.cost));
         } else {
-            if map.len() >= self.capacity {
-                self.evict_one(&mut map, journal.as_deref());
+            if map.len() >= self.seg_capacity {
+                self.race("insert.pre_evict");
+                self.evict_one(seg, &mut map, journal.as_deref());
             }
             let cost = key.retune_cost();
             map.insert(
@@ -761,9 +1148,10 @@ impl TuneCache {
                     stamp: AtomicU64::new(stamp),
                     hits: AtomicU64::new(hits),
                     cost,
-                    score: AtomicU64::new(self.greedy_dual_score(hits, cost).to_bits()),
+                    score: AtomicU64::new(seg.greedy_dual_score(hits, cost).to_bits()),
                 },
             );
+            self.race("insert.published");
         }
         // Journal the publish while still holding the write lock: the
         // log must list mutations in the order they were applied (the
@@ -771,6 +1159,7 @@ impl TuneCache {
         // would reconstruct a different cache.
         if let (Some(journal), Some(choice)) = (&journal, logged) {
             journal.record(&WalRecord::Insert { key, choice });
+            self.race("insert.journaled");
         }
         // Dirty only once the entry is in the map, while still holding
         // the write lock: a concurrent `save_cache` either reads its
@@ -801,8 +1190,9 @@ impl TuneCache {
     pub fn apply(&self, record: &WalRecord) {
         match record {
             WalRecord::Insert { key, choice } => {
-                let stamp = self.next_stamp();
-                let mut map = self.map.write().expect("tune cache poisoned");
+                let seg = self.segment(key);
+                let stamp = self.write_stamp(seg);
+                let mut map = seg.map.write().expect("tune cache poisoned");
                 if let Some(slot) = map.get_mut(key) {
                     slot.choice = choice.clone();
                     slot.stamp.store(stamp, Ordering::Relaxed);
@@ -815,7 +1205,7 @@ impl TuneCache {
                             stamp: AtomicU64::new(stamp),
                             hits: AtomicU64::new(0),
                             cost,
-                            score: AtomicU64::new(self.greedy_dual_score(0, cost).to_bits()),
+                            score: AtomicU64::new(seg.greedy_dual_score(0, cost).to_bits()),
                         },
                     );
                 }
@@ -835,7 +1225,8 @@ impl TuneCache {
     /// was present; a removal marks the cache dirty.
     pub fn remove(&self, key: &TuneKey) -> bool {
         let removed = {
-            let mut map = self.map.write().expect("tune cache poisoned");
+            let seg = self.segment(key);
+            let mut map = seg.map.write().expect("tune cache poisoned");
             map.remove(key).is_some()
         };
         if removed {
@@ -844,12 +1235,19 @@ impl TuneCache {
         removed
     }
 
-    /// Remove one victim according to the policy (called at capacity,
-    /// under the write lock) and account for what was lost.
-    fn evict_one(&self, map: &mut HashMap<TuneKey, CacheSlot>, journal: Option<&dyn CacheJournal>) {
+    /// Remove one victim from `seg` according to the policy (called at
+    /// capacity, under the segment's write lock) and account for what
+    /// was lost. Victim choice is exact *within the segment*; segments
+    /// never evict each other's entries.
+    fn evict_one(
+        &self,
+        seg: &Segment,
+        map: &mut HashMap<TuneKey, CacheSlot>,
+        journal: Option<&dyn CacheJournal>,
+    ) {
         let victim = match self.policy {
-            // Exact LRU: smallest recency stamp. Stamps are unique, so
-            // the choice is deterministic.
+            // Exact LRU: smallest recency stamp. Stamps are unique
+            // within a segment, so the choice is deterministic.
             EvictionPolicy::Lru => map
                 .iter()
                 .min_by_key(|(_, slot)| slot.stamp.load(Ordering::Relaxed))
@@ -869,8 +1267,10 @@ impl TuneCache {
         };
         if let Some(victim) = victim {
             if let Some(slot) = map.remove(&victim) {
+                self.race("evict.removed");
                 if let Some(journal) = journal {
                     journal.record(&WalRecord::Evict { key: victim });
+                    self.race("evict.journaled");
                 }
                 self.evictions.fetch_add(1, Ordering::Relaxed);
                 self.evicted_hits
@@ -878,20 +1278,23 @@ impl TuneCache {
                 self.evicted_cost_milli
                     .fetch_add((slot.cost * 1e3) as u64, Ordering::Relaxed);
                 if self.policy == EvictionPolicy::CostAware {
-                    // Age the cache: everything inserted or touched from
-                    // now on outranks entries idle since before this
-                    // eviction, bounding how long a once-hot entry can
-                    // squat.
-                    let clock = self.clock_value().max(slot.score());
-                    self.clock.store(clock.to_bits(), Ordering::Relaxed);
+                    // Age the segment: everything inserted or touched
+                    // here from now on outranks entries idle since
+                    // before this eviction, bounding how long a
+                    // once-hot entry can squat.
+                    let clock = seg.clock_value().max(slot.score());
+                    seg.clock.store(clock.to_bits(), Ordering::Relaxed);
                 }
             }
         }
     }
 
-    /// Number of cached decisions.
+    /// Number of cached decisions (summed over segments).
     pub fn len(&self) -> usize {
-        self.map.read().expect("tune cache poisoned").len()
+        self.segments
+            .iter()
+            .map(|seg| seg.map.read().expect("tune cache poisoned").len())
+            .sum()
     }
 
     /// Whether the cache is empty.
@@ -899,11 +1302,15 @@ impl TuneCache {
         self.len() == 0
     }
 
-    /// Hit/miss/eviction counters since construction.
+    /// Hit/miss/eviction counters since construction. Hit and miss
+    /// totals are exact sums over the striped cells; taken while
+    /// traffic is in flight the sums can lag, but each is monotonic, so
+    /// two successive snapshots never go backwards (the serving layer's
+    /// consistent-read loop relies on this).
     pub fn stats(&self) -> CacheStats {
         CacheStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
+            hits: self.hits.sum(),
+            misses: self.misses.sum(),
             evictions: self.evictions.load(Ordering::Relaxed),
             evicted_hits: self.evicted_hits.load(Ordering::Relaxed),
             evicted_cost: self.evicted_cost_milli.load(Ordering::Relaxed) / 1_000,
@@ -913,58 +1320,85 @@ impl TuneCache {
     /// Snapshot of all entries with their lifetime hit counts, sorted
     /// by shape name. Used for persistence, as the source side of
     /// cross-device warm-start, and as the signal for frequency-aware
-    /// eviction policies (hot entries cost more to lose).
+    /// eviction policies (hot entries cost more to lose). The name sort
+    /// makes the output independent of segmentation, so cache files and
+    /// compaction rewrites are byte-identical to the pre-segmented
+    /// format.
     pub fn entries(&self) -> Vec<(TuneKey, TunedChoice, u64)> {
-        let map = self.map.read().expect("tune cache poisoned");
-        let mut entries: Vec<(TuneKey, TunedChoice, u64)> = map
-            .iter()
-            .map(|(k, slot)| (*k, slot.choice.clone(), slot.hits.load(Ordering::Relaxed)))
-            .collect();
+        let mut entries: Vec<(TuneKey, TunedChoice, u64)> = Vec::with_capacity(self.len());
+        for seg in self.segments.iter() {
+            let map = seg.map.read().expect("tune cache poisoned");
+            entries.extend(
+                map.iter()
+                    .map(|(k, slot)| (*k, slot.choice.clone(), slot.hits.load(Ordering::Relaxed))),
+            );
+        }
         entries.sort_by_cached_key(|(k, _, _)| k.name());
         entries
     }
 
     /// A copy of this cache with a new capacity and (optionally) every
-    /// key rebound to a device ordinal; the eviction policy is
-    /// preserved. Entries are replayed in recency order, so LRU order
-    /// survives and shrinking evicts the overflow the policy would have
-    /// chosen; per-entry hit counts and the hit/miss/eviction counters
-    /// carry over (shrink evictions are added on top).
+    /// key rebound to a device ordinal; policy, segment auto-rule and
+    /// sampling period are preserved. See [`TuneCache::rebuilt_config`].
     fn rebuilt(&self, capacity: usize, device: Option<u16>) -> TuneCache {
         self.rebuilt_with(capacity, self.policy, device)
     }
 
     /// [`TuneCache::rebuilt`] with an explicit eviction policy for the
     /// copy (how a live cache switches policies without losing its
-    /// contents or counters).
+    /// contents or counters). The segment count is re-derived by the
+    /// auto rule for the new capacity.
     fn rebuilt_with(
         &self,
         capacity: usize,
         policy: EvictionPolicy,
         device: Option<u16>,
     ) -> TuneCache {
-        let mut stamped: Vec<(TuneKey, TunedChoice, u64, u64)> = {
-            let map = self.map.read().expect("tune cache poisoned");
-            map.iter()
-                .map(|(k, slot)| {
-                    (
-                        *k,
-                        slot.choice.clone(),
-                        slot.stamp.load(Ordering::Relaxed),
-                        slot.hits.load(Ordering::Relaxed),
-                    )
-                })
-                .collect()
-        };
-        stamped.sort_by_key(|&(_, _, stamp, _)| stamp);
-        let rebuilt = TuneCache::with_policy(capacity, policy);
+        self.rebuilt_config(
+            CacheConfig {
+                capacity,
+                policy,
+                segments: 0,
+                sample_every: self.sample_every,
+            },
+            device,
+        )
+    }
+
+    /// A copy of this cache reshaped to `config`, optionally with every
+    /// key rebound to a device ordinal. Entries are replayed in global
+    /// recency-stamp order (the write-epoch high half keeps stamps
+    /// comparable across segments), so recency survives and shrinking
+    /// evicts the overflow the policy would have chosen; per-entry hit
+    /// counts and the hit/miss/eviction counters carry over (shrink
+    /// evictions are added on top). This is also how the serving layer
+    /// hot-swaps a cache's shape under traffic: readers keep hitting
+    /// the old cache until the rebuilt copy is published.
+    pub fn rebuilt_config(&self, config: CacheConfig, device: Option<u16>) -> TuneCache {
+        let mut stamped: Vec<(TuneKey, TunedChoice, u64, u64)> = Vec::with_capacity(self.len());
+        for seg in self.segments.iter() {
+            let map = seg.map.read().expect("tune cache poisoned");
+            stamped.extend(map.iter().map(|(k, slot)| {
+                (
+                    *k,
+                    slot.choice.clone(),
+                    slot.stamp.load(Ordering::Relaxed),
+                    slot.hits.load(Ordering::Relaxed),
+                )
+            }));
+        }
+        // Stamps can collide across segments (same epoch, same tick);
+        // the name tiebreak keeps the replay deterministic regardless
+        // of HashMap iteration order.
+        stamped.sort_by_cached_key(|&(k, _, stamp, _)| (stamp, k.name()));
+        let rebuilt = TuneCache::with_config(config);
         for (key, choice, _, hits) in stamped {
             let key = device.map_or(key, |d| key.on_device(d));
             rebuilt.insert_with_hits(key, choice, hits);
         }
         let stats = self.stats();
-        rebuilt.hits.store(stats.hits, Ordering::Relaxed);
-        rebuilt.misses.store(stats.misses, Ordering::Relaxed);
+        rebuilt.hits.store_total(stats.hits);
+        rebuilt.misses.store_total(stats.misses);
         rebuilt
             .evictions
             .fetch_add(stats.evictions, Ordering::Relaxed);
@@ -978,7 +1412,9 @@ impl TuneCache {
         // The copy inherits the journal only *after* the replay above:
         // rebuild inserts re-key state the log already records, and
         // re-journaling them would duplicate every record. The next
-        // compaction persists the rebuilt shape.
+        // compaction persists the rebuilt shape. The race hook is
+        // deliberately NOT inherited -- a scripted schedule targets one
+        // cache instance.
         *rebuilt.journal.write().expect("tune cache poisoned") =
             self.journal.read().expect("tune cache poisoned").clone();
         // The copy is dirty if the source had unsnapshotted decisions
@@ -1157,6 +1593,15 @@ impl IsaacTuner {
     /// reference policy kept for comparison benchmarks.
     pub fn set_eviction_policy(&mut self, policy: EvictionPolicy) {
         self.cache = self.cache.rebuilt_with(self.cache.capacity(), policy, None);
+    }
+
+    /// Reshape the decision cache to a full [`CacheConfig`] -- segment
+    /// count and recency-sampling period included (the capacity-only
+    /// setters re-derive segments by the auto rule instead). Entries,
+    /// recency order, per-entry hit counts and the cache counters are
+    /// preserved, exactly as for [`IsaacTuner::set_cache_capacity`].
+    pub fn set_cache_config(&mut self, config: CacheConfig) {
+        self.cache = self.cache.rebuilt_config(config, None);
     }
 
     /// The decision cache (stats, entries, capacity). Mutating it

@@ -1,0 +1,74 @@
+//! Shared fixtures for the cache-concurrency test layer (the stress,
+//! interleaving, sampling and hit-path suites): key/choice builders
+//! that tag decisions so an observed value can be traced back to its
+//! publication, a vector-backed [`CacheJournal`] for replay-equivalence
+//! checks, and the pinned-seed plumbing shared with the chaos suites.
+#![allow(dead_code)]
+
+use isaac_core::{CacheJournal, TuneKey, TunedChoice, WalRecord};
+use isaac_device::DType;
+use isaac_gen::shapes::GemmShape;
+use std::sync::Mutex;
+
+/// The seed set under test: `ISAAC_STRESS_SEEDS` (space-separated
+/// u64s; CI pins a superset of this default) or the pinned fallback.
+pub fn seeds() -> Vec<u64> {
+    let raw = std::env::var("ISAAC_STRESS_SEEDS").unwrap_or_else(|_| "11 42 1802".into());
+    let seeds: Vec<u64> = raw
+        .split_whitespace()
+        .map(|s| s.parse().expect("ISAAC_STRESS_SEEDS: integers only"))
+        .collect();
+    assert!(!seeds.is_empty(), "ISAAC_STRESS_SEEDS is empty");
+    seeds
+}
+
+/// The `idx`-th key of the stress keyspace (distinct GEMM shapes).
+pub fn key(idx: u32) -> TuneKey {
+    TuneKey::gemm(&GemmShape::new(16 + idx, 8, 8, "N", "N", DType::F32))
+}
+
+/// A decision tagged with `(key index, version)` so every observed
+/// value names exactly one publication: `predicted_gflops` carries the
+/// key index (a `get` must never return another key's decision),
+/// `tflops` carries the version tag (the decision must have been
+/// published for that key at some point). Both are exact in `f64` at
+/// stress-suite magnitudes.
+pub fn tagged_choice(key_idx: u32, version: u64) -> TunedChoice {
+    TunedChoice {
+        config: isaac_gen::GemmConfig::default(),
+        predicted_gflops: f64::from(key_idx),
+        tflops: tag(key_idx, version) as f64,
+        time_s: 1.0,
+    }
+}
+
+/// The version tag `tagged_choice` stores in `tflops`.
+pub fn tag(key_idx: u32, version: u64) -> u64 {
+    u64::from(key_idx) * 1_000_000 + version
+}
+
+/// A [`CacheJournal`] that records every mutation into a vector, in
+/// the order the cache reported them. Callbacks run under the owning
+/// segment's write lock, so per-key (= per-segment) order in the
+/// vector is exactly mutation order; records of different segments
+/// interleave by wall clock, which is fine -- they never touch the
+/// same key, so replaying the vector front to back reconstructs the
+/// same final cache.
+#[derive(Debug, Default)]
+pub struct VecJournal(pub Mutex<Vec<WalRecord>>);
+
+impl CacheJournal for VecJournal {
+    fn record(&self, record: &WalRecord) {
+        self.0
+            .lock()
+            .expect("journal poisoned")
+            .push(record.clone());
+    }
+}
+
+impl VecJournal {
+    /// A copy of everything recorded so far.
+    pub fn records(&self) -> Vec<WalRecord> {
+        self.0.lock().expect("journal poisoned").clone()
+    }
+}

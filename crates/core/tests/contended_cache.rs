@@ -1,0 +1,408 @@
+//! Seeded concurrency stress suite for the segmented [`TuneCache`] --
+//! the "prove it with tests, not assertions" half of the wait-free hit
+//! path. Reader packs race writers, policy evictions, direct removals,
+//! hot-swap rebuilds and snapshot scans on a live cache, and three
+//! invariants are held under full contention:
+//!
+//! 1. **published decision** -- every value a `get`/`peek` returns was,
+//!    at some point, published for exactly that key (decisions are
+//!    tagged with `(key index, version)` and registered *before* the
+//!    insert, so a hit can never observe an unpublished or cross-keyed
+//!    value);
+//! 2. **counter conservation** -- `hits + misses` equals the exact
+//!    number of lookups issued, at any sampling period K (the striped
+//!    counters are exact even though recency accounting is sampled);
+//! 3. **no serve after journaled evict** -- replaying the journal a
+//!    racy run produced reconstructs the final cache exactly, and a key
+//!    whose *last* journal record is an `Evict` is not in the cache.
+//!
+//! Seeds come from `ISAAC_STRESS_SEEDS` (space-separated u64s; CI pins
+//! the set), and a failure message names the seed, so any run is
+//! replayable. Run `--release` like the chaos suites: debug-mode
+//! locking hides the very interleavings this hunts.
+
+mod common;
+
+use common::{key, seeds, tag, tagged_choice, VecJournal};
+use isaac_core::{CacheConfig, EvictionPolicy, TuneCache, TuneKey, WalRecord};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Barrier, Mutex, RwLock};
+use std::thread;
+
+const READERS: usize = 8;
+const READS_PER_READER: u64 = 20_000;
+const WRITERS: usize = 2;
+const WRITES_PER_WRITER: u64 = 2_000;
+const KEYSPACE: u32 = 192;
+
+/// Append-only registry of every `(key, version-tag)` ever published:
+/// writers register *before* inserting, so the set over-approximates
+/// what a reader may legally observe (never under-approximates).
+#[derive(Default)]
+struct Published {
+    by_key: Mutex<HashMap<TuneKey, HashSet<u64>>>,
+}
+
+impl Published {
+    fn publish(&self, k: TuneKey, version_tag: u64) {
+        self.by_key
+            .lock()
+            .expect("registry poisoned")
+            .entry(k)
+            .or_default()
+            .insert(version_tag);
+    }
+
+    fn check(
+        &self,
+        k: TuneKey,
+        key_idx: u32,
+        choice: &isaac_core::TunedChoice,
+    ) -> Result<(), String> {
+        if choice.predicted_gflops != f64::from(key_idx) {
+            return Err(format!(
+                "key {key_idx}: served another key's decision (saw key tag {})",
+                choice.predicted_gflops
+            ));
+        }
+        let observed = choice.tflops as u64;
+        let map = self.by_key.lock().expect("registry poisoned");
+        match map.get(&k) {
+            Some(tags) if tags.contains(&observed) => Ok(()),
+            _ => Err(format!(
+                "key {key_idx}: served tag {observed}, never published for this key"
+            )),
+        }
+    }
+}
+
+/// Spawn the standard reader pack against `cache` (via an accessor so
+/// hot-swap scenarios can redirect reads mid-run). Returns the exact
+/// number of `get` calls issued and any invariant violations.
+fn run_readers<F>(
+    seed: u64,
+    start: &Arc<Barrier>,
+    registry: &Arc<Published>,
+    cache_of: F,
+) -> (u64, Vec<String>)
+where
+    F: Fn() -> Arc<TuneCache> + Send + Sync + Clone + 'static,
+{
+    let lookups = Arc::new(AtomicU64::new(0));
+    let violations = Arc::new(Mutex::new(Vec::new()));
+    let mut handles = Vec::new();
+    for reader in 0..READERS {
+        let start = Arc::clone(start);
+        let registry = Arc::clone(registry);
+        let lookups = Arc::clone(&lookups);
+        let violations = Arc::clone(&violations);
+        let cache_of = cache_of.clone();
+        handles.push(thread::spawn(move || {
+            let mut rng = StdRng::seed_from_u64(seed ^ (0xBEEF << 8) ^ reader as u64);
+            start.wait();
+            for _ in 0..READS_PER_READER {
+                let idx = rng.gen_range(0..KEYSPACE);
+                let k = key(idx);
+                let cache = cache_of();
+                let served = if rng.gen_range(0..8u32) == 0 {
+                    // A sprinkle of peeks: same published-decision
+                    // invariant, but peeks must not count as lookups
+                    // (they touch no counters).
+                    cache.peek(&k)
+                } else {
+                    lookups.fetch_add(1, Ordering::Relaxed);
+                    cache.get(&k)
+                };
+                if let Some(choice) = served {
+                    if let Err(v) = registry.check(k, idx, &choice) {
+                        violations.lock().expect("violations poisoned").push(v);
+                    }
+                }
+            }
+        }));
+    }
+    for h in handles {
+        h.join().expect("reader panicked");
+    }
+    (
+        lookups.load(Ordering::Relaxed),
+        Arc::try_unwrap(violations)
+            .expect("violations still shared")
+            .into_inner()
+            .expect("violations poisoned"),
+    )
+}
+
+/// Readers race writers and policy evictions on one bounded, segmented,
+/// sampled cache; all three write-path mutators (insert, policy evict,
+/// direct remove) run concurrently with the reader pack.
+#[test]
+fn readers_racing_writers_and_evictors_hold_all_invariants() {
+    for &seed in &seeds() {
+        let cache = Arc::new(TuneCache::with_config(CacheConfig {
+            capacity: 128,
+            policy: EvictionPolicy::CostAware,
+            segments: 8,
+            sample_every: 4,
+        }));
+        let registry = Arc::new(Published::default());
+        // Pre-publish one version of every key so readers start hitting
+        // immediately.
+        for idx in 0..KEYSPACE {
+            registry.publish(key(idx), tag(idx, 0));
+            cache.insert(key(idx), tagged_choice(idx, 0));
+        }
+
+        let start = Arc::new(Barrier::new(READERS + WRITERS));
+        let mut writers = Vec::new();
+        for writer in 0..WRITERS {
+            let cache = Arc::clone(&cache);
+            let registry = Arc::clone(&registry);
+            let start = Arc::clone(&start);
+            writers.push(thread::spawn(move || {
+                let mut rng = StdRng::seed_from_u64(seed ^ (0xF00D << 8) ^ writer as u64);
+                start.wait();
+                for version in 1..=WRITES_PER_WRITER {
+                    let idx = rng.gen_range(0..KEYSPACE);
+                    if rng.gen_range(0..16u32) == 0 {
+                        // Direct removal (the WAL-replay side of an
+                        // eviction): un-publishes nothing -- the
+                        // registry stays an over-approximation.
+                        cache.remove(&key(idx));
+                    } else {
+                        let t = tag(idx, version * WRITERS as u64 + writer as u64);
+                        registry.publish(key(idx), t);
+                        cache.insert(
+                            key(idx),
+                            tagged_choice(idx, version * WRITERS as u64 + writer as u64),
+                        );
+                    }
+                }
+            }));
+        }
+
+        let cache_for_readers = Arc::clone(&cache);
+        let (lookups, violations) = run_readers(seed, &start, &registry, move || {
+            Arc::clone(&cache_for_readers)
+        });
+        for w in writers {
+            w.join().expect("writer panicked");
+        }
+
+        assert!(
+            violations.is_empty(),
+            "seed {seed}: published-decision violations: {:?}",
+            &violations[..violations.len().min(5)]
+        );
+        let stats = cache.stats();
+        assert_eq!(
+            stats.hits + stats.misses,
+            lookups,
+            "seed {seed}: hit+miss conservation broke (hits {} misses {} lookups {lookups})",
+            stats.hits,
+            stats.misses
+        );
+        assert!(
+            stats.evictions > 0,
+            "seed {seed}: the trace was meant to overflow capacity"
+        );
+        // The per-segment bound can overshoot `capacity` by at most
+        // (segments - 1) when the hash spreads unevenly.
+        assert!(
+            cache.len() <= 128 + 7,
+            "seed {seed}: capacity bound violated (len {})",
+            cache.len()
+        );
+    }
+}
+
+/// Readers race hot-swap rebuilds: a swapper thread repeatedly replaces
+/// the cache with a `rebuilt_config` copy (the serving layer's shard
+/// hot-swap) while writers publish new versions into whichever cache is
+/// current. Every observed decision must still trace to a publication.
+#[test]
+fn readers_racing_hot_swap_rebuilds_see_only_published_decisions() {
+    const SWAPS: usize = 40;
+    for &seed in &seeds() {
+        let slot = Arc::new(RwLock::new(Arc::new(TuneCache::with_config(CacheConfig {
+            capacity: 256,
+            policy: EvictionPolicy::CostAware,
+            segments: 8,
+            sample_every: 4,
+        }))));
+        let registry = Arc::new(Published::default());
+        {
+            let cache = slot.read().expect("slot poisoned").clone();
+            for idx in 0..KEYSPACE {
+                registry.publish(key(idx), tag(idx, 0));
+                cache.insert(key(idx), tagged_choice(idx, 0));
+            }
+        }
+
+        let start = Arc::new(Barrier::new(READERS + 2)); // readers + writer + swapper
+        let writer = {
+            let slot = Arc::clone(&slot);
+            let registry = Arc::clone(&registry);
+            let start = Arc::clone(&start);
+            thread::spawn(move || {
+                let mut rng = StdRng::seed_from_u64(seed ^ 0xD00F);
+                start.wait();
+                for version in 1..=WRITES_PER_WRITER {
+                    let idx = rng.gen_range(0..KEYSPACE);
+                    registry.publish(key(idx), tag(idx, version));
+                    let cache = slot.read().expect("slot poisoned").clone();
+                    cache.insert(key(idx), tagged_choice(idx, version));
+                }
+            })
+        };
+        let swapper = {
+            let slot = Arc::clone(&slot);
+            let start = Arc::clone(&start);
+            thread::spawn(move || {
+                start.wait();
+                for swap in 0..SWAPS {
+                    let current = slot.read().expect("slot poisoned").clone();
+                    // Alternate the segment count so the swap also
+                    // re-partitions -- entries must land in their new
+                    // segments with choices intact.
+                    let mut config = current.config();
+                    config.segments = if swap % 2 == 0 { 4 } else { 8 };
+                    let rebuilt = Arc::new(current.rebuilt_config(config, None));
+                    *slot.write().expect("slot poisoned") = rebuilt;
+                    thread::yield_now();
+                }
+            })
+        };
+
+        let slot_for_readers = Arc::clone(&slot);
+        let (_, violations) = run_readers(seed, &start, &registry, move || {
+            slot_for_readers.read().expect("slot poisoned").clone()
+        });
+        writer.join().expect("writer panicked");
+        swapper.join().expect("swapper panicked");
+
+        assert!(
+            violations.is_empty(),
+            "seed {seed}: hot-swap published-decision violations: {:?}",
+            &violations[..violations.len().min(5)]
+        );
+    }
+}
+
+/// Readers and a snapshotter race journaled writes; afterwards the
+/// journal must replay to the exact final cache (WAL semantics are
+/// preserved bit-for-bit by the per-segment locks), and no key whose
+/// last journaled record is an `Evict` may still be served.
+#[test]
+fn journal_replay_reconstructs_a_racily_mutated_cache() {
+    for &seed in &seeds() {
+        let journal = Arc::new(VecJournal::default());
+        let config = CacheConfig {
+            capacity: 64,
+            policy: EvictionPolicy::CostAware,
+            segments: 4,
+            sample_every: 2,
+        };
+        let cache = Arc::new(TuneCache::with_config(config));
+        cache.set_journal(Some(journal.clone()));
+        let registry = Arc::new(Published::default());
+
+        let start = Arc::new(Barrier::new(READERS + WRITERS + 1)); // + snapshotter
+        let mut writers = Vec::new();
+        for writer in 0..WRITERS {
+            let cache = Arc::clone(&cache);
+            let registry = Arc::clone(&registry);
+            let start = Arc::clone(&start);
+            writers.push(thread::spawn(move || {
+                let mut rng = StdRng::seed_from_u64(seed ^ (0xABBA << 8) ^ writer as u64);
+                start.wait();
+                for version in 1..=WRITES_PER_WRITER {
+                    let idx = rng.gen_range(0..KEYSPACE);
+                    let t = tag(idx, version * WRITERS as u64 + writer as u64);
+                    registry.publish(key(idx), t);
+                    cache.insert(
+                        key(idx),
+                        tagged_choice(idx, version * WRITERS as u64 + writer as u64),
+                    );
+                }
+            }));
+        }
+        // The snapshotter: a full `entries()` scan (what `save_cache`
+        // iterates) racing the writers; every scanned decision must be
+        // a published one.
+        let snapshotter = {
+            let cache = Arc::clone(&cache);
+            let registry = Arc::clone(&registry);
+            let start = Arc::clone(&start);
+            thread::spawn(move || {
+                start.wait();
+                let mut scan_violations = Vec::new();
+                for _ in 0..50 {
+                    for (k, choice, _) in cache.entries() {
+                        let idx = (choice.predicted_gflops) as u32;
+                        if let Err(v) = registry.check(k, idx, &choice) {
+                            scan_violations.push(v);
+                        }
+                    }
+                    thread::yield_now();
+                }
+                scan_violations
+            })
+        };
+
+        let cache_for_readers = Arc::clone(&cache);
+        let (lookups, violations) = run_readers(seed, &start, &registry, move || {
+            Arc::clone(&cache_for_readers)
+        });
+        for w in writers {
+            w.join().expect("writer panicked");
+        }
+        let scan_violations = snapshotter.join().expect("snapshotter panicked");
+
+        assert!(violations.is_empty(), "seed {seed}: {violations:?}");
+        assert!(
+            scan_violations.is_empty(),
+            "seed {seed}: {scan_violations:?}"
+        );
+        let stats = cache.stats();
+        assert_eq!(stats.hits + stats.misses, lookups, "seed {seed}");
+
+        // Replay the journal into a fresh, journal-free cache with
+        // exact put/delete semantics; the final decision maps must be
+        // identical, and evict-last keys must be absent.
+        let records = journal.records();
+        let replayed = TuneCache::with_config(config);
+        for record in &records {
+            replayed.apply(record);
+        }
+        let final_of = |c: &TuneCache| -> HashMap<TuneKey, u64> {
+            c.entries()
+                .into_iter()
+                .map(|(k, choice, _)| (k, choice.tflops as u64))
+                .collect()
+        };
+        assert_eq!(
+            final_of(&cache),
+            final_of(&replayed),
+            "seed {seed}: journal replay diverged from the live cache"
+        );
+        let mut last: HashMap<TuneKey, bool> = HashMap::new();
+        for record in &records {
+            match record {
+                WalRecord::Insert { key, .. } => last.insert(*key, true),
+                WalRecord::Evict { key } => last.insert(*key, false),
+            };
+        }
+        for (k, live) in last {
+            if !live {
+                assert!(
+                    cache.peek(&k).is_none(),
+                    "seed {seed}: key served after its evict was journaled last"
+                );
+            }
+        }
+    }
+}

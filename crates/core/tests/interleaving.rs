@@ -1,0 +1,253 @@
+//! Deterministic interleaving harness for the segmented cache's write
+//! path. [`RaceHook`] gives tests a seam at each *declared race point*
+//! (`insert.pre_lock`, `insert.pre_evict`, `evict.removed`,
+//! `evict.journaled`, `insert.published`, `insert.journaled`); a
+//! barrier-gated hook parks the mutating thread at a chosen point --
+//! mid-eviction, mid-publish -- while the test drives readers through
+//! the frozen state machine and asserts exactly what they may observe.
+//! Unlike the seeded stress suite these schedules are scripted, not
+//! sampled: each test exercises one specific interleaving, every time.
+
+mod common;
+
+use common::{key, tagged_choice, VecJournal};
+use isaac_core::{CacheConfig, EvictionPolicy, RaceHook, TuneCache, WalRecord};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Barrier, Mutex};
+use std::thread;
+use std::time::Duration;
+
+/// Parks the first write-path thread that reaches `point`: the test
+/// rendezvouses with it via [`Park::wait_parked`], inspects whatever it
+/// wants while the writer is frozen, then lets it continue with
+/// [`Park::release`]. One-shot -- later passes through the same point
+/// run unparked, so the writer can finish.
+struct Park {
+    arrive: Arc<Barrier>,
+    resume: Arc<Barrier>,
+}
+
+impl Park {
+    fn at(cache: &TuneCache, point: &'static str) -> Park {
+        let arrive = Arc::new(Barrier::new(2));
+        let resume = Arc::new(Barrier::new(2));
+        let armed = Arc::new(AtomicBool::new(true));
+        let (a, r) = (Arc::clone(&arrive), Arc::clone(&resume));
+        cache.set_race_hook(Some(RaceHook::new(move |p| {
+            if p == point && armed.swap(false, Ordering::SeqCst) {
+                a.wait();
+                r.wait();
+            }
+        })));
+        Park { arrive, resume }
+    }
+
+    /// Block until the writer is parked at the race point.
+    fn wait_parked(&self) {
+        self.arrive.wait();
+    }
+
+    /// Let the parked writer continue.
+    fn release(&self) {
+        self.resume.wait();
+    }
+}
+
+fn cache(capacity: usize, segments: usize, policy: EvictionPolicy) -> TuneCache {
+    TuneCache::with_config(CacheConfig {
+        capacity,
+        policy,
+        segments,
+        sample_every: 1,
+    })
+}
+
+/// Schedule: park the writer *between* journaling an eviction and
+/// publishing the replacement (`evict.journaled`, segment write lock
+/// held). A reader of the evicted key must not complete inside that
+/// window -- the segment lock is exactly what guarantees "never served
+/// after its evict is journaled" -- and once released it observes the
+/// miss. The journal must show the full ordered history.
+#[test]
+fn reader_of_evicted_key_blocks_until_the_eviction_completes() {
+    let cache = Arc::new(cache(2, 1, EvictionPolicy::Lru));
+    let journal = Arc::new(VecJournal::default());
+    cache.set_journal(Some(journal.clone()));
+    cache.insert(key(1), tagged_choice(1, 1));
+    cache.insert(key(2), tagged_choice(2, 1));
+
+    let park = Park::at(&cache, "evict.journaled");
+    let writer = {
+        let cache = Arc::clone(&cache);
+        // At capacity: inserting key 3 must evict key 1 (oldest stamp
+        // under LRU) and parks right after the evict hits the journal.
+        thread::spawn(move || cache.insert(key(3), tagged_choice(3, 1)))
+    };
+    park.wait_parked();
+
+    let (tx, rx) = mpsc::channel();
+    let reader = {
+        let cache = Arc::clone(&cache);
+        thread::spawn(move || {
+            let served = cache.get(&key(1));
+            tx.send(served.is_some()).expect("main dropped receiver");
+        })
+    };
+    // The reader targets the parked segment: it must still be waiting
+    // on the segment lock, not serving the evicted entry.
+    assert_eq!(
+        rx.recv_timeout(Duration::from_millis(200)),
+        Err(mpsc::RecvTimeoutError::Timeout),
+        "reader completed while the eviction was mid-flight"
+    );
+    park.release();
+    writer.join().expect("writer panicked");
+    assert_eq!(
+        rx.recv_timeout(Duration::from_secs(5)),
+        Ok(false),
+        "evicted key was served after its evict record was journaled"
+    );
+    reader.join().expect("reader panicked");
+
+    let names: Vec<String> = journal
+        .records()
+        .iter()
+        .map(|r| match r {
+            WalRecord::Insert { key, .. } => format!("I{}", key.name()),
+            WalRecord::Evict { key } => format!("E{}", key.name()),
+        })
+        .collect();
+    let expect: Vec<String> = [
+        format!("I{}", key(1).name()),
+        format!("I{}", key(2).name()),
+        format!("E{}", key(1).name()),
+        format!("I{}", key(3).name()),
+    ]
+    .into();
+    assert_eq!(names, expect, "journal order diverged from the schedule");
+}
+
+/// Schedule: park a writer mid-publish (`insert.published`, segment
+/// write lock held) and prove hits in *other* segments still complete
+/// -- the partitioning means a stalled writer freezes one segment, not
+/// the cache.
+#[test]
+fn hits_in_other_segments_complete_while_a_writer_is_parked() {
+    let c = Arc::new(cache(1024, 8, EvictionPolicy::CostAware));
+    let writer_key = key(0);
+    let parked_segment = c.segment_of(&writer_key);
+    // Probe for a key that hashes to a different segment.
+    let other_key = (1..256)
+        .map(key)
+        .find(|k| c.segment_of(k) != parked_segment)
+        .expect("256 probes found no second segment");
+    c.insert(other_key, tagged_choice(7, 7));
+
+    let park = Park::at(&c, "insert.published");
+    let writer = {
+        let c = Arc::clone(&c);
+        thread::spawn(move || c.insert(writer_key, tagged_choice(0, 1)))
+    };
+    park.wait_parked();
+
+    let (tx, rx) = mpsc::channel();
+    let reader = {
+        let c = Arc::clone(&c);
+        thread::spawn(move || tx.send(c.get(&other_key)).expect("main dropped receiver"))
+    };
+    let served = rx
+        .recv_timeout(Duration::from_secs(5))
+        .expect("cross-segment hit blocked behind a parked writer");
+    assert_eq!(
+        served.map(|choice| choice.tflops as u64),
+        Some(common::tag(7, 7)),
+        "cross-segment hit served the wrong decision"
+    );
+    reader.join().expect("reader panicked");
+    park.release();
+    writer.join().expect("writer panicked");
+}
+
+/// Schedule: park a refresh *before* it takes the segment lock
+/// (`insert.pre_lock`). A reader inside that window must observe the
+/// old published decision -- the new one is not visible until the
+/// writer publishes -- and the new one after the writer finishes.
+#[test]
+fn reader_sees_old_decision_until_the_replacement_is_published() {
+    let c = Arc::new(cache(16, 1, EvictionPolicy::Lru));
+    c.insert(key(1), tagged_choice(1, 1));
+
+    let park = Park::at(&c, "insert.pre_lock");
+    let writer = {
+        let c = Arc::clone(&c);
+        thread::spawn(move || c.insert(key(1), tagged_choice(1, 2)))
+    };
+    park.wait_parked();
+    // Writer holds no lock at pre_lock: the read completes immediately
+    // and must still see version 1.
+    let during = c.get(&key(1)).expect("published key missing");
+    assert_eq!(during.tflops as u64, common::tag(1, 1));
+    park.release();
+    writer.join().expect("writer panicked");
+    let after = c.get(&key(1)).expect("published key missing");
+    assert_eq!(after.tflops as u64, common::tag(1, 2));
+}
+
+/// The full write-path schedule, recorded: a journaled at-capacity
+/// insert must pass its declared race points in exactly the documented
+/// order -- lock, choose victim, remove it, journal the evict, publish
+/// the replacement, journal the insert.
+#[test]
+fn at_capacity_insert_fires_race_points_in_declared_order() {
+    let c = cache(1, 1, EvictionPolicy::Lru);
+    c.set_journal(Some(Arc::new(VecJournal::default())));
+    let seen = Arc::new(Mutex::new(Vec::new()));
+    let log = Arc::clone(&seen);
+    c.set_race_hook(Some(RaceHook::new(move |p| {
+        log.lock().expect("log poisoned").push(p);
+    })));
+
+    c.insert(key(1), tagged_choice(1, 1));
+    seen.lock().expect("log poisoned").clear();
+    c.insert(key(2), tagged_choice(2, 1)); // evicts key 1
+
+    assert_eq!(
+        *seen.lock().expect("log poisoned"),
+        vec![
+            "insert.pre_lock",
+            "insert.pre_evict",
+            "evict.removed",
+            "evict.journaled",
+            "insert.published",
+            "insert.journaled",
+        ]
+    );
+}
+
+/// The hit path carries no race points at all: `get` and `peek` never
+/// reach the hook, parked or not -- the instrumented seam exists only
+/// on the write path, so scheduling can never perturb (or depend on)
+/// reads.
+#[test]
+fn hits_and_peeks_never_reach_the_race_hook() {
+    let c = cache(16, 4, EvictionPolicy::CostAware);
+    for idx in 0..8 {
+        c.insert(key(idx), tagged_choice(idx, 1));
+    }
+    let seen = Arc::new(Mutex::new(Vec::new()));
+    let log = Arc::clone(&seen);
+    c.set_race_hook(Some(RaceHook::new(move |p| {
+        log.lock().expect("log poisoned").push(p);
+    })));
+    for idx in 0..8 {
+        assert!(c.get(&key(idx)).is_some());
+        assert!(c.peek(&key(idx)).is_some());
+        assert!(c.get(&key(100 + idx)).is_none()); // misses neither
+    }
+    assert!(
+        seen.lock().expect("log poisoned").is_empty(),
+        "a read-path operation fired a race point: {:?}",
+        seen.lock().expect("log poisoned")
+    );
+}

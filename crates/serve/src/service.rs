@@ -1779,7 +1779,18 @@ impl TuneService {
     /// workers can be observed torn relative to each other -- use
     /// [`ServiceStats::snapshot`] when cross-counter invariants matter.
     pub fn service_stats(&self) -> ServiceStats {
+        // Aggregate the per-shard segmented cache counters (striped,
+        // monotonic) alongside the gauges so the consistent-read loop
+        // in `ServiceStats::snapshot` covers them too.
+        let (shard_cache_hits, shard_cache_misses) = self
+            .core
+            .shard_list()
+            .iter()
+            .map(|(_, _, tuner)| tuner.cache_stats())
+            .fold((0, 0), |(h, m), s| (h + s.hits, m + s.misses));
         ServiceStats {
+            shard_cache_hits,
+            shard_cache_misses,
             open_tickets: self.core.tickets.open(),
             peak_open_tickets: self.core.tickets.peak(),
             queue_depth: self.core.queue.depth() as u64,
@@ -1884,6 +1895,13 @@ impl ServiceStats {
     /// consecutive reads agree -- on a quiescent service that's two
     /// cheap passes; under churn it returns the last sample after a
     /// bounded number of tries, which is no worse than the single read.
+    ///
+    /// The loop also covers the aggregated per-shard cache counters
+    /// ([`ServiceStats::shard_cache_hits`] /
+    /// [`ServiceStats::shard_cache_misses`]): those sum many striped
+    /// per-segment cells, and a sum taken mid-traffic can lag -- but
+    /// every stripe is monotonic, so between two snapshot calls the
+    /// aggregated totals never go backwards (regression-tested).
     pub fn snapshot(service: &TuneService) -> ServiceStats {
         let mut prev = service.service_stats();
         for _ in 0..8 {

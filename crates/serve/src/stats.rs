@@ -210,6 +210,19 @@ pub struct ServiceStats {
     /// quarantined keys, whether or not they upgraded anything (an
     /// upgrade also counts in [`RouterStats::repair_upgrades`]).
     pub repair_jobs: u64,
+    /// Cache hits summed over every registered shard's segmented
+    /// decision cache. Unlike [`RouterStats::cache_hits`] (the front
+    /// door's count of queries *served* from cache), this aggregates
+    /// the caches' own striped per-segment counters, so it also sees
+    /// leader re-peeks, prewarm probes and direct tuner traffic. Each
+    /// underlying stripe is monotonic; a mid-traffic sum can lag the
+    /// true total but never exceeds it, so consecutive
+    /// [`ServiceStats::snapshot`] reads never go backwards.
+    pub shard_cache_hits: u64,
+    /// Cache misses summed over every registered shard's segmented
+    /// decision cache (same aggregation and monotonicity guarantees as
+    /// [`ServiceStats::shard_cache_hits`]).
+    pub shard_cache_misses: u64,
 }
 
 impl ServiceStats {

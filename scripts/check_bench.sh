@@ -31,17 +31,25 @@
 #      agreeing with the exhaustive sweep on at least one bench matrix
 #      (sparse_choice_matches_exhaustive >= 1 -- a correctness bit, not
 #      a timing) and the sparse cached-hit cost (sparse_cached_hit_ns)
-#      within TOLERANCE of the committed baseline.
+#      within TOLERANCE of the committed baseline;
+#   8. the contended-cache gate: BENCH_micro.json must carry the
+#      reader-contention sweep (hit_qps_1t / hit_qps_nt / hit_threads /
+#      hit_scaling) and the single-thread hit throughput (hit_qps_1t)
+#      must stay within TOLERANCE of the committed baseline. The
+#      scaling ratio itself is recorded but not gated: CI hosts are
+#      often single-core, where the ratio measures the scheduler, not
+#      the cache.
 #
 # Usage:
 #   scripts/check_bench.sh [--baseline <file>] [--serving-baseline <file>]
 #                          [--load-baseline <file>] [--sparse-baseline <file>]
+#                          [--micro-baseline <file>]
 #                          [--tolerance <factor>] [--cold-tolerance <factor>]
 #
 # With no --*-baseline, the committed BENCH_inference.json /
-# BENCH_serving.json / BENCH_load.json / BENCH_sparse.json are read
-# from git (origin's default branch, falling back to HEAD), so the
-# script works unchanged in CI and locally after
+# BENCH_serving.json / BENCH_load.json / BENCH_sparse.json /
+# BENCH_micro.json are read from git (origin's default branch, falling
+# back to HEAD), so the script works unchanged in CI and locally after
 # `cargo bench -p isaac-bench --bench inference --bench serving --bench micro --bench load --bench sparse`.
 
 set -u
@@ -54,15 +62,17 @@ BASELINE=""
 SERVING_BASELINE=""
 LOAD_BASELINE=""
 SPARSE_BASELINE=""
+MICRO_BASELINE=""
 while [ $# -gt 0 ]; do
     case "$1" in
         --baseline) BASELINE="$2"; shift 2 ;;
         --serving-baseline) SERVING_BASELINE="$2"; shift 2 ;;
         --load-baseline) LOAD_BASELINE="$2"; shift 2 ;;
         --sparse-baseline) SPARSE_BASELINE="$2"; shift 2 ;;
+        --micro-baseline) MICRO_BASELINE="$2"; shift 2 ;;
         --tolerance) TOLERANCE="$2"; shift 2 ;;
         --cold-tolerance) COLD_TOLERANCE="$2"; shift 2 ;;
-        *) echo "usage: $0 [--baseline <file>] [--serving-baseline <file>] [--load-baseline <file>] [--sparse-baseline <file>] [--tolerance <factor>] [--cold-tolerance <factor>]" >&2; exit 2 ;;
+        *) echo "usage: $0 [--baseline <file>] [--serving-baseline <file>] [--load-baseline <file>] [--sparse-baseline <file>] [--micro-baseline <file>] [--tolerance <factor>] [--cold-tolerance <factor>]" >&2; exit 2 ;;
     esac
 done
 
@@ -150,7 +160,8 @@ validate BENCH_serving.json \
 
 validate BENCH_micro.json \
     mul_bt_naive_s mul_bt_tiled_s mul_bt_naive_gflops \
-    mul_bt_tiled_gflops mul_bt_tiled_speedup
+    mul_bt_tiled_gflops mul_bt_tiled_speedup \
+    hit_qps_1t hit_qps_nt hit_threads hit_scaling
 
 validate BENCH_load.json \
     load_p50_s load_p99_s load_p999_s load_hit_rate \
@@ -440,6 +451,25 @@ guard_cost() {
 
 if [ -n "$SPARSE_BASELINE" ] && [ "$fail" -eq 0 ]; then
     guard_cost BENCH_sparse.json "$SPARSE_BASELINE" sparse_cached_hit_ns "$TOLERANCE" "sparse cached hit" "ns"
+fi
+
+# ---- regression guard: contended-cache hit throughput ----------------
+# Only the single-thread figure is gated: hit_scaling depends on how
+# many cores the host exposes, so it is archived for trajectory but a
+# one-core CI runner must not fail the build over it.
+if [ -z "$MICRO_BASELINE" ]; then
+    MICRO_BASELINE=$(tmp_baseline)
+    ref=$(fetch_baseline BENCH_micro.json "$MICRO_BASELINE")
+    if [ -n "$ref" ]; then
+        say "micro baseline: BENCH_micro.json from $ref"
+    else
+        say "SKIP: no committed BENCH_micro.json baseline found"
+        MICRO_BASELINE=""
+    fi
+fi
+
+if [ -n "$MICRO_BASELINE" ] && [ "$fail" -eq 0 ]; then
+    guard_qps BENCH_micro.json "$MICRO_BASELINE" hit_qps_1t "$TOLERANCE" "contended cache hit (1t)"
 fi
 
 if [ "$fail" -ne 0 ]; then
